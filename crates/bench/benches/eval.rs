@@ -1,0 +1,56 @@
+//! EX-EVAL: query-engine substrate microbenches — hash-join vs the naive
+//! oracle on chain joins, and view materialization with provenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delprop_query::eval::{hashjoin, naive, CompiledQuery};
+use delprop_query::{parse_query, View};
+use delprop_relation::{tup, Database, RelationSchema, Schema};
+
+fn chain_db(n: i64) -> Database {
+    let schema = Schema::from_relations([
+        RelationSchema::new("A", 2, vec![0]).unwrap(),
+        RelationSchema::new("B", 2, vec![0]).unwrap(),
+        RelationSchema::new("C", 2, vec![0]).unwrap(),
+    ])
+    .unwrap();
+    let mut d = Database::new(schema);
+    for i in 0..n {
+        d.insert("A", tup![i, i % 50]).unwrap();
+        d.insert("B", tup![i, i % 20]).unwrap();
+        d.insert("C", tup![i, i % 10]).unwrap();
+    }
+    d
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval");
+    for n in [100i64, 400] {
+        let db = chain_db(n);
+        let q = parse_query("Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)")
+            .unwrap()
+            .bind(db.schema())
+            .unwrap();
+        let compiled = CompiledQuery::compile(&q);
+        group.bench_with_input(
+            BenchmarkId::new("hashjoin", n),
+            &(&db, &compiled),
+            |b, (db, cq)| b.iter(|| hashjoin::evaluate(db, cq)),
+        );
+        if n <= 100 {
+            group.bench_with_input(
+                BenchmarkId::new("naive", n),
+                &(&db, &compiled),
+                |b, (db, cq)| b.iter(|| naive::evaluate(db, cq)),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("materialize", n),
+            &(&db, &q),
+            |b, (db, q)| b.iter(|| View::materialize(db, q).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

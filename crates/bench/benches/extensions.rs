@@ -1,0 +1,122 @@
+//! Microbenches for the extension modules: incremental maintenance vs
+//! re-materialization, the Yannakakis engine, the source-side-effect
+//! solver, and the local-search polish.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delprop_core::solvers::{general, local_search, source};
+use delprop_query::eval::{hashjoin, yannakakis, CompiledQuery};
+use delprop_query::{parse_query, DeletionDelta, ViewSet};
+use delprop_relation::{tup, Database, RelationSchema, Schema, TupleId};
+use delprop_workload::{forest, random_db};
+
+fn chain_db(n: i64) -> Database {
+    let schema = Schema::from_relations([
+        RelationSchema::new("A", 2, vec![0]).unwrap(),
+        RelationSchema::new("B", 2, vec![0]).unwrap(),
+        RelationSchema::new("C", 2, vec![0]).unwrap(),
+    ])
+    .unwrap();
+    let mut d = Database::new(schema);
+    for i in 0..n {
+        d.insert("A", tup![i, i % 50]).unwrap();
+        d.insert("B", tup![i, i % 20]).unwrap();
+        d.insert("C", tup![i, i % 10]).unwrap();
+    }
+    d
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance");
+    for n in [200i64, 800] {
+        let db = chain_db(n);
+        let q = parse_query("Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)")
+            .unwrap()
+            .bind(db.schema())
+            .unwrap();
+        let vs = ViewSet::materialize(&db, std::slice::from_ref(&q)).unwrap();
+        let victims: Vec<TupleId> = db.live_ids().step_by(37).collect();
+        group.bench_with_input(
+            BenchmarkId::new("delta", n),
+            &(&vs, &victims),
+            |b, (vs, victims)| b.iter(|| DeletionDelta::compute(vs, victims)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rematerialize", n),
+            &(&db, &q, &victims),
+            |b, (db, q, victims)| {
+                b.iter(|| {
+                    let mut d = (*db).clone();
+                    d.delete_all(victims);
+                    ViewSet::materialize(&d, std::slice::from_ref(*q)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_yannakakis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yannakakis");
+    for n in [200i64, 800] {
+        let db = chain_db(n);
+        let q = parse_query("Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)")
+            .unwrap()
+            .bind(db.schema())
+            .unwrap();
+        let compiled = CompiledQuery::compile(&q);
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis", n),
+            &(&db, &compiled),
+            |b, (db, cq)| b.iter(|| yannakakis::evaluate(db, cq).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hashjoin", n),
+            &(&db, &compiled),
+            |b, (db, cq)| b.iter(|| hashjoin::evaluate(db, cq)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("source_side_effect");
+    let p = random_db::generate(
+        random_db::RandomDbParams {
+            num_queries: 3,
+            ..Default::default()
+        },
+        7,
+    );
+    group.bench_function("exact", |b| b.iter(|| source::solve(&p)));
+    group.bench_function("greedy", |b| b.iter(|| source::solve_greedy(&p)));
+    group.finish();
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search");
+    group.sample_size(20);
+    let p = forest::generate(
+        forest::ForestParams {
+            levels: 4,
+            window: 2,
+            chains: 12,
+            delete_fraction: 0.3,
+            weighted: true,
+        },
+        5,
+    );
+    let start = general::solve(&p).unwrap();
+    group.bench_function("polish", |b| {
+        b.iter(|| local_search::improve(&p, &start, Default::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maintenance,
+    bench_yannakakis,
+    bench_source,
+    bench_local_search
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! EX-T1 (runtime side): the Theorem 1 gadget construction and the
+//! Claim 1 reduction of a deletion-propagation instance to Red-Blue Set
+//! Cover. Both are claimed (and must stay) linear-ish in instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delprop_core::reduction;
+use delprop_workload::redblue_gen::{self, RedBlueParams};
+use delprop_workload::{gadget, random_db};
+
+fn bench_gadget_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadget_build");
+    for ns in [8usize, 16, 32] {
+        let inst = redblue_gen::redblue(
+            RedBlueParams {
+                num_red: ns,
+                num_blue: ns / 2,
+                num_sets: ns,
+                ..Default::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(ns), &inst, |b, inst| {
+            b.iter(|| gadget::redblue_to_vse(inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vse_to_redblue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vse_to_redblue");
+    for tuples in [10usize, 30, 60] {
+        let p = random_db::generate(
+            random_db::RandomDbParams {
+                tuples_per_relation: tuples,
+                domain: tuples,
+                ..Default::default()
+            },
+            3,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
+            &p,
+            |b, p| b.iter(|| reduction::to_redblue(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gadget_build, bench_vse_to_redblue);
+criterion_main!(benches);

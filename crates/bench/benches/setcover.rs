@@ -1,0 +1,38 @@
+//! EX-SC: set-cover substrate microbenches — exact branch-and-bound vs
+//! greedy vs the low-degree algorithm on random Red-Blue instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delprop_setcover::exact::ExactConfig;
+use delprop_setcover::{exact, greedy, lowdeg};
+use delprop_workload::redblue_gen::{self, RedBlueParams};
+
+fn bench_setcover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setcover");
+    for (nr, nb, ns) in [(8usize, 6usize, 10usize), (12, 8, 16), (16, 10, 22)] {
+        let inst = redblue_gen::redblue(
+            RedBlueParams {
+                num_red: nr,
+                num_blue: nb,
+                num_sets: ns,
+                ..Default::default()
+            },
+            42,
+        );
+        let label = format!("{nr}r{nb}b{ns}s");
+        group.bench_with_input(BenchmarkId::new("greedy", &label), &inst, |b, inst| {
+            b.iter(|| greedy::cover(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("lowdeg", &label), &inst, |b, inst| {
+            b.iter(|| lowdeg::solve(inst))
+        });
+        if ns <= 16 {
+            group.bench_with_input(BenchmarkId::new("exact", &label), &inst, |b, inst| {
+                b.iter(|| exact::solve(inst, ExactConfig::default()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setcover);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Solver microbenches backing EX-C1, EX-T3, EX-P1, EX-T4 and EX-DP:
+//! the general approximation, the primal-dual algorithm (with its
+//! Proposition 1 scaling series), the τ-sweeping tree algorithm, the
+//! pivot-forest DP, and the LP machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delprop_core::solvers::{dp_tree, general, lowdeg_tree, lp_round, primal_dual};
+use delprop_workload::{forest, random_db};
+
+fn bench_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("general_approx");
+    for m in [2usize, 4] {
+        let p = random_db::generate(
+            random_db::RandomDbParams {
+                num_queries: m,
+                ..Default::default()
+            },
+            11,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}q_{}v", p.norm_v())),
+            &p,
+            |b, p| b.iter(|| general::solve(p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_primal_dual_scaling(c: &mut Criterion) {
+    // EX-P1: ‖V‖ scaling series at fixed shape.
+    let mut group = c.benchmark_group("primal_dual_scaling");
+    for chains in [64usize, 256, 1024] {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains,
+                delete_fraction: 0.2,
+                weighted: false,
+            },
+            7,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
+            &p,
+            |b, p| b.iter(|| primal_dual::solve_default(p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lowdeg_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowdeg_tree");
+    group.sample_size(20);
+    for chains in [8usize, 16] {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains,
+                delete_fraction: 0.3,
+                weighted: false,
+            },
+            5,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
+            &p,
+            |b, p| b.iter(|| lowdeg_tree::solve(p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dp_tree(c: &mut Criterion) {
+    // EX-DP runtime side: the DP is near-linear; sizes can grow freely.
+    let mut group = c.benchmark_group("dp_tree");
+    for branches in [16usize, 64, 256] {
+        let blue: Vec<usize> = (0..branches).step_by(2).collect();
+        let p = forest::pivot_broom(branches, 3, &blue);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
+            &p,
+            |b, p| b.iter(|| dp_tree::solve(p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_lower_bound");
+    group.sample_size(20);
+    for tuples in [10usize, 20] {
+        let p = random_db::generate(
+            random_db::RandomDbParams {
+                tuples_per_relation: tuples,
+                ..Default::default()
+            },
+            13,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
+            &p,
+            |b, p| b.iter(|| lp_round::lower_bound(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_general,
+    bench_primal_dual_scaling,
+    bench_lowdeg_tree,
+    bench_dp_tree,
+    bench_lp
+);
+criterion_main!(benches);

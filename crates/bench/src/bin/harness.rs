@@ -1,0 +1,47 @@
+//! The experiment harness: regenerates every table/figure experiment of
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p delprop-bench --bin harness              # run everything
+//! cargo run -p delprop-bench --bin harness -- ex-t3     # one experiment
+//! cargo run -p delprop-bench --bin harness -- --list    # list ids
+//! ```
+
+use delprop_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = experiments::all();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &all {
+            println!("{id}");
+        }
+        return;
+    }
+    let selected: Vec<&(&str, delprop_bench::experiments::Runner)> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        let picks: Vec<_> = all
+            .iter()
+            .filter(|(id, _)| args.iter().any(|a| a == id))
+            .collect();
+        if picks.is_empty() {
+            eprintln!(
+                "unknown experiment id(s) {:?}; known ids:\n  {}",
+                args,
+                all.iter().map(|(id, _)| *id).collect::<Vec<_>>().join("\n  ")
+            );
+            std::process::exit(2);
+        }
+        picks
+    };
+    for (i, (id, run)) in selected.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(72));
+        }
+        let start = std::time::Instant::now();
+        let report = run();
+        println!("{report}");
+        println!("[{id} completed in {:.2}s]", start.elapsed().as_secs_f64());
+    }
+}

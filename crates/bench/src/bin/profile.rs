@@ -1,0 +1,47 @@
+//! Ad-hoc profiling helper: times the pieces of the slowest experiments
+//! so regressions are easy to localize. Not part of the experiment suite.
+
+use delprop_core::solvers::{exact, general, lp_round};
+use delprop_setcover::exact::ExactConfig;
+use delprop_workload::random_db;
+use std::time::Instant;
+
+fn main() {
+    for (m, atoms) in [(2usize, 2usize), (3, 2), (4, 2), (2, 3), (3, 3)] {
+        for seed in 0..3u64 {
+            let p = random_db::generate(
+                random_db::RandomDbParams {
+                    num_queries: m,
+                    atoms_per_query: atoms,
+                    num_relations: atoms + 3,
+                    // Keep 3-atom workloads small: the exact/LP baselines
+                    // are exponential/dense and only the *shape* matters.
+                    domain: if atoms >= 3 { 4 } else { 6 },
+                    tuples_per_relation: if atoms >= 3 { 9 } else { 14 },
+                    ..Default::default()
+                },
+                seed,
+            );
+            let t0 = Instant::now();
+            let sol = general::solve(&p).unwrap();
+            let t_gen = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let lb = lp_round::lower_bound(&p);
+            let t_lp = t1.elapsed().as_secs_f64();
+            let t2 = Instant::now();
+            let ex = exact::solve(&p, ExactConfig { node_limit: Some(2_000_000) });
+            let t_ex = t2.elapsed().as_secs_f64();
+            println!(
+                "{m}x{atoms} seed {seed}: V={} dV={} gen={:.2}s lp={:.2}s (lb={lb:.1}) exact={:.2}s (opt={}, proven={})",
+                p.norm_v(),
+                p.norm_delta(),
+                t_gen,
+                t_lp,
+                t_ex,
+                ex.cost,
+                ex.proven_optimal
+            );
+            let _ = sol;
+        }
+    }
+}

@@ -1,0 +1,848 @@
+//! The experiment suite: one function per table/figure of
+//! `EXPERIMENTS.md`. Everything is seeded and deterministic.
+
+use crate::{ratio, table};
+use delprop_core::solvers::{dp_tree, exact, general, lowdeg_tree, lp_round, primal_dual};
+use delprop_core::{classify, landscape};
+use delprop_hypergraph::{gyo, Hypergraph};
+use delprop_setcover::exact::ExactConfig;
+use delprop_workload::{cleaning, figures, forest, gadget, random_db, redblue_gen};
+use std::time::Instant;
+
+/// EX-FIG1 — the paper's Fig. 1 worked example, both deletions of §II.C.
+pub fn ex_fig1() -> String {
+    let mut out = String::from("EX-FIG1: Fig. 1 worked example (Q4 over the author/journal DB)\n\n");
+    let p = figures::fig1_problem();
+    out.push_str(&format!("D:\n{}", p.db().render()));
+    out.push_str(&format!("\n‖V‖ = {} (paper: 7)\n", p.norm_v()));
+    out.push_str("ΔV = {(John, TKDE, XML)}\n");
+    let opt = exact::solve(&p, ExactConfig::default());
+    let sol = opt.solution.expect("feasible");
+    out.push_str(&format!(
+        "optimal ΔD = {:?}, view side-effect = {} (paper: 1 — either\n\
+         T1(John,TKDE) at cost 1 or T2(TKDE,XML,30) at cost 2; the key-\n\
+         preserving property lets side-effects be read off key occurrences)\n",
+        sol.deleted
+            .iter()
+            .map(|&t| p.db().tuple(t).unwrap().to_string())
+            .collect::<Vec<_>>(),
+        opt.cost
+    ));
+    let report = classify(&p);
+    out.push_str(&format!("classifier: {}\n", report.recommendation));
+    out
+}
+
+/// EX-FIG2 — the Fig. 2 reduction gadget.
+pub fn ex_fig2() -> String {
+    let mut out = String::from("EX-FIG2: Fig. 2 hardness gadget (Thm 1 reduction)\n\n");
+    let rb = figures::fig2_redblue();
+    out.push_str(&format!("{rb}\n"));
+    let g = gadget::redblue_to_vse(&rb);
+    out.push_str(&format!(
+        "gadget: {} views ({} red join-path + {} blue), |D| = {}\n",
+        g.problem.views().views.len(),
+        g.red_views.len(),
+        g.blue_views.len(),
+        g.problem.db().len()
+    ));
+    let rb_opt = delprop_setcover::exact::solve(&rb, ExactConfig::default()).cost;
+    let vse_opt = exact::solve(&g.problem, ExactConfig::default()).cost;
+    out.push_str(&format!(
+        "Red-Blue OPT = {rb_opt}, view-side-effect OPT = {vse_opt} (must coincide)\n"
+    ));
+    assert_eq!(rb_opt, vse_opt);
+    out
+}
+
+/// EX-FIG3 — Fig. 3 dual-hypergraph hypertree classification.
+pub fn ex_fig3() -> String {
+    let mut out = String::from("EX-FIG3: Fig. 3 dual hypergraphs (hypertree recognition)\n\n");
+    let (s1, s2, s3) = figures::fig3_query_sets();
+    for (name, set, expected) in [
+        ("Q1 = {Q1,Q3,Q4,Q5}", s1, false),
+        ("Q2 = {Q1,Q3,Q5}", s2, true),
+        ("Q3 = {Q1,Q2,Q5}", s3, true),
+    ] {
+        let got = gyo::is_hypertree(&Hypergraph::new(4, set));
+        out.push_str(&format!(
+            "{name}: hypertree = {got} (paper: {expected})\n"
+        ));
+        assert_eq!(got, expected);
+    }
+    out
+}
+
+/// EX-TAB1 — Table I (notation) as an API glossary.
+pub fn ex_tab1() -> String {
+    let rows = vec![
+        vec!["S".into(), "schema".into(), "delprop_relation::Schema".into()],
+        vec!["D".into(), "database instance".into(), "delprop_relation::Database".into()],
+        vec!["T".into(), "relation symbol".into(), "delprop_relation::RelationSchema".into()],
+        vec!["t".into(), "tuple".into(), "delprop_relation::Tuple / TupleId".into()],
+        vec!["Q, Q(D), V".into(), "query, result, view".into(), "delprop_query::{BoundQuery, View}".into()],
+        vec!["Q".into(), "query set".into(), "delprop_core::Problem::queries".into()],
+        vec!["V".into(), "view set".into(), "delprop_query::ViewSet".into()],
+        vec!["ΔV".into(), "view deletions".into(), "delprop_core::Problem::deletions".into()],
+        vec!["ΔD".into(), "source deletions".into(), "delprop_core::Solution".into()],
+        vec!["‖·‖".into(), "total size".into(), "Problem::{norm_v, norm_delta}".into()],
+    ];
+    format!(
+        "EX-TAB1: Table I notation → API map\n\n{}",
+        table(&["paper", "meaning", "API"], &rows)
+    )
+}
+
+/// EX-TAB25 — Tables II–V: the complexity landscape.
+pub fn ex_tab25() -> String {
+    let mut out = String::from("EX-TAB25: complexity landscape (Tables II–V + this paper)\n\n");
+    out.push_str("— source side-effect (Tables II–III) —\n");
+    out.push_str(&landscape::render(&landscape::source_side_effect()));
+    out.push_str("\n— view side-effect (Tables IV–V + this paper's results) —\n");
+    out.push_str(&landscape::render(&landscape::view_side_effect()));
+    out
+}
+
+/// EX-T1 — Theorem 1: the reduction preserves optima exactly, and the
+/// approximation gap of cheap heuristics grows with instance size.
+pub fn ex_t1() -> String {
+    let mut rows = Vec::new();
+    for (nr, nb, ns) in [(4, 4, 6), (6, 5, 8), (8, 6, 10), (10, 7, 14), (12, 8, 18)] {
+        for seed in 0..3u64 {
+            let rb = redblue_gen::redblue(
+                redblue_gen::RedBlueParams {
+                    num_red: nr,
+                    num_blue: nb,
+                    num_sets: ns,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let g = gadget::redblue_to_vse(&rb);
+            let rb_opt = delprop_setcover::exact::solve(&rb, ExactConfig::default()).cost;
+            let vse = exact::solve(&g.problem, ExactConfig::default());
+            let greedy = general::solve_greedy(&g.problem).unwrap();
+            assert!((rb_opt - vse.cost).abs() < 1e-9, "optima must transfer");
+            rows.push(vec![
+                format!("{nr}/{nb}/{ns}"),
+                seed.to_string(),
+                g.problem.norm_v().to_string(),
+                g.problem.db().len().to_string(),
+                format!("{rb_opt:.0}"),
+                format!("{:.0}", vse.cost),
+                ratio(greedy.side_effect(&g.problem), vse.cost),
+            ]);
+        }
+    }
+    format!(
+        "EX-T1: Theorem 1 reduction (Red-Blue ↔ view side-effect)\n\
+         optima coincide on every row (asserted) — the cost-preserving map\n\
+         behind the inapproximability transfer; the greedy column shows\n\
+         where the cheap heuristic starts missing.\n\n{}",
+        table(
+            &["ρ/β/|𝒞|", "seed", "‖V‖", "|D|", "RB-OPT", "VSE-OPT", "greedy/OPT"],
+            &rows
+        )
+    )
+}
+
+/// EX-T2 — Theorem 2: the balanced reduction preserves optima exactly.
+pub fn ex_t2() -> String {
+    let mut rows = Vec::new();
+    for (nr, nb, ns) in [(4, 4, 6), (6, 5, 8), (8, 6, 10), (10, 7, 12)] {
+        for seed in 0..3u64 {
+            let pn = redblue_gen::posneg(
+                redblue_gen::RedBlueParams {
+                    num_red: nr,
+                    num_blue: nb,
+                    num_sets: ns,
+                    weighted: true,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let g = gadget::posneg_to_balanced(&pn);
+            let (_, pn_opt, _) =
+                delprop_setcover::reduce::solve_posneg_exact(&pn, ExactConfig::default());
+            let bal = exact::solve_balanced(&g.problem, ExactConfig::default());
+            assert!((pn_opt - bal.cost).abs() < 1e-9, "balanced optima must transfer");
+            rows.push(vec![
+                format!("{nr}/{nb}/{ns}"),
+                seed.to_string(),
+                g.problem.norm_v().to_string(),
+                format!("{pn_opt:.1}"),
+                format!("{:.1}", bal.cost),
+            ]);
+        }
+    }
+    format!(
+        "EX-T2: Theorem 2 reduction (Pos-Neg ↔ balanced deletion propagation)\n\n{}",
+        table(&["|N|/|P|/|𝒞|", "seed", "‖V‖", "PN-OPT", "BAL-OPT"], &rows)
+    )
+}
+
+/// EX-C1 — Claim 1: general-case approximation vs its bound.
+pub fn ex_c1() -> String {
+    let mut rows = Vec::new();
+    for (m, atoms) in [(2usize, 2usize), (3, 2), (4, 2), (2, 3), (3, 3)] {
+        for seed in 0..3u64 {
+            let p = random_db::generate(
+                random_db::RandomDbParams {
+                    num_queries: m,
+                    atoms_per_query: atoms,
+                    num_relations: atoms + 3,
+                    // Keep 3-atom workloads small: the exact/LP baselines
+                    // are exponential/dense and only the *shape* matters.
+                    domain: if atoms >= 3 { 4 } else { 6 },
+                    tuples_per_relation: if atoms >= 3 { 9 } else { 14 },
+                    ..Default::default()
+                },
+                seed,
+            );
+            let sol = general::solve(&p).unwrap();
+            let cost = sol.side_effect(&p);
+            let lb = lp_round::lower_bound(&p);
+            let ex = exact::solve(&p, ExactConfig { node_limit: Some(2_000_000) });
+            let denom = if ex.proven_optimal { ex.cost } else { lb };
+            let bound = general::ratio_bound(&p);
+            assert!(sol.is_feasible(&p));
+            assert!(cost <= bound * denom.max(1.0) + 1e-6);
+            rows.push(vec![
+                format!("{m}×{atoms}"),
+                seed.to_string(),
+                p.l().to_string(),
+                p.norm_v().to_string(),
+                p.norm_delta().to_string(),
+                format!("{cost:.0}"),
+                if ex.proven_optimal { format!("{:.0}", ex.cost) } else { format!("≥{lb:.1}") },
+                ratio(cost, denom),
+                format!("{bound:.1}"),
+            ]);
+        }
+    }
+    format!(
+        "EX-C1: Claim 1 general-case approximation (reduce to Red-Blue + LowDeg)\n\
+         measured ratios sit far below the 2√(l·‖V‖·log‖ΔV‖) bound.\n\n{}",
+        table(
+            &["q×atoms", "seed", "l", "‖V‖", "‖ΔV‖", "alg", "OPT", "ratio", "bound"],
+            &rows
+        )
+    )
+}
+
+/// EX-L1 — Lemma 1: balanced approximation vs its bound.
+pub fn ex_l1() -> String {
+    let mut rows = Vec::new();
+    for (m, atoms) in [(2usize, 2usize), (3, 2), (2, 3)] {
+        for seed in 0..3u64 {
+            let p = random_db::generate(
+                random_db::RandomDbParams {
+                    num_queries: m,
+                    atoms_per_query: atoms,
+                    num_relations: atoms + 3,
+                    tuples_per_relation: 12,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let sol = general::solve_balanced(&p);
+            let cost = sol.balanced_cost(&p);
+            let ex = exact::solve_balanced(&p, ExactConfig { node_limit: Some(2_000_000) });
+            let lb = if ex.proven_optimal {
+                ex.cost
+            } else {
+                lp_round::balanced_lower_bound(&p)
+            };
+            let bound = general::balanced_ratio_bound(&p);
+            assert!(cost <= bound * lb.max(1.0) + 1e-6);
+            rows.push(vec![
+                format!("{m}×{atoms}"),
+                seed.to_string(),
+                p.norm_v().to_string(),
+                p.norm_delta().to_string(),
+                format!("{cost:.1}"),
+                format!("{lb:.1}"),
+                ratio(cost, lb),
+                format!("{bound:.1}"),
+            ]);
+        }
+    }
+    format!(
+        "EX-L1: Lemma 1 balanced approximation (via Pos-Neg partial cover)\n\n{}",
+        table(
+            &["q×atoms", "seed", "‖V‖", "‖ΔV‖", "alg", "OPT/LB", "ratio", "bound"],
+            &rows
+        )
+    )
+}
+
+/// EX-T3 — Theorem 3: PrimeDualVSE ratio ≤ l on forest cases.
+pub fn ex_t3() -> String {
+    let mut rows = Vec::new();
+    for window in 1usize..=4 {
+        let mut worst: f64 = 0.0;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for seed in 0..6u64 {
+            let p = forest::generate(
+                forest::ForestParams {
+                    levels: window.max(3) + 1,
+                    window,
+                    chains: 10,
+                    delete_fraction: 0.3,
+                    weighted: true,
+                },
+                seed,
+            );
+            let out = primal_dual::solve(&p, &Default::default()).unwrap();
+            let ex = exact::solve(&p, ExactConfig { node_limit: Some(5_000_000) });
+            assert!(out.solution.is_feasible(&p));
+            assert!(out.dual_objective <= ex.cost + 1e-6);
+            let r = if ex.cost > 1e-9 {
+                out.solution.side_effect(&p) / ex.cost
+            } else if out.solution.side_effect(&p) > 1e-9 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            worst = worst.max(r);
+            sum += r;
+            n += 1;
+        }
+        let l = window + 1;
+        assert!(worst <= l as f64 + 1e-6, "ratio above l");
+        rows.push(vec![
+            l.to_string(),
+            format!("{:.2}", sum / n as f64),
+            format!("{worst:.2}"),
+            l.to_string(),
+        ]);
+    }
+    format!(
+        "EX-T3: Theorem 3 — PrimeDualVSE on forest cases (6 seeds per l)\n\
+         every measured ratio ≤ l; dual objective ≤ OPT (weak duality checked).\n\n{}",
+        table(&["l", "mean ratio", "worst ratio", "bound (l)"], &rows)
+    )
+}
+
+/// EX-P1 — Proposition 1: PrimeDualVSE runtime scaling.
+pub fn ex_p1() -> String {
+    let mut rows = Vec::new();
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for chains in [64usize, 128, 256, 512, 1024] {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains,
+                delete_fraction: 0.2,
+                weighted: false,
+            },
+            7,
+        );
+        let start = Instant::now();
+        let out = primal_dual::solve(&p, &Default::default()).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(out.solution.is_feasible(&p));
+        points.push(((p.norm_v() as f64).ln(), elapsed.max(1e-6).ln()));
+        rows.push(vec![
+            chains.to_string(),
+            p.norm_v().to_string(),
+            p.norm_delta().to_string(),
+            format!("{:.3} ms", elapsed * 1e3),
+        ]);
+    }
+    // Least-squares slope of log(time) vs log(‖V‖).
+    let n = points.len() as f64;
+    let (sx, sy): (f64, f64) = points.iter().fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
+    let (sxx, sxy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |a, p| (a.0 + p.0 * p.0, a.1 + p.0 * p.1));
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    format!(
+        "EX-P1: Proposition 1 — PrimeDualVSE runtime scaling\n\
+         fitted log-log slope = {slope:.2}; Proposition 1 allows up to\n\
+         O(l·‖ΔV‖²·‖V‖ + ‖V‖⁴) — the implementation sits far below it.\n\n{}",
+        table(&["chains", "‖V‖", "‖ΔV‖", "time"], &rows)
+    )
+}
+
+/// EX-T4 — Theorem 4: LowDegTreeVSETwo ≤ 2√‖V‖, and the crossover
+/// against factor-l PrimeDualVSE.
+pub fn ex_t4() -> String {
+    let mut rows = Vec::new();
+    // Regime A: large l, few view tuples (2√‖V‖ < l plausible).
+    // Regime B: small l, many view tuples (l < 2√‖V‖).
+    for (label, levels, window, chains) in [
+        ("large-l", 6usize, 5usize, 4usize),
+        ("large-l", 5, 4, 4),
+        ("small-l", 4, 1, 24),
+        ("small-l", 5, 2, 16),
+    ] {
+        for seed in 0..3u64 {
+            let p = forest::generate(
+                forest::ForestParams {
+                    levels,
+                    window,
+                    chains,
+                    delete_fraction: 0.3,
+                    weighted: true,
+                },
+                seed,
+            );
+            let pd = primal_dual::solve_default(&p).unwrap();
+            let ld = lowdeg_tree::solve(&p).unwrap();
+            let ex = exact::solve(&p, ExactConfig { node_limit: Some(5_000_000) });
+            let bound = lowdeg_tree::ratio_bound(&p);
+            assert!(ld.side_effect(&p) <= bound * ex.cost.max(1.0) + 1e-6);
+            let l = p.l() as f64;
+            rows.push(vec![
+                label.to_string(),
+                seed.to_string(),
+                format!("{l:.0}"),
+                format!("{:.1}", 2.0 * (p.norm_v() as f64).sqrt()),
+                format!("{:.0}", ex.cost),
+                format!("{:.0}", pd.side_effect(&p)),
+                format!("{:.0}", ld.side_effect(&p)),
+                if ld.side_effect(&p) < pd.side_effect(&p) - 1e-9 {
+                    "lowdeg".into()
+                } else if pd.side_effect(&p) < ld.side_effect(&p) - 1e-9 {
+                    "primal-dual".into()
+                } else {
+                    "tie".into()
+                },
+            ]);
+        }
+    }
+    format!(
+        "EX-T4: Theorem 4 — LowDegTreeVSETwo (2√‖V‖) vs PrimeDualVSE (l)\n\
+         the paper: \"sometimes better than factor l\". The *guarantee*\n\
+         crossover shows in the l vs 2√‖V‖ columns (which bound is\n\
+         smaller flips between regimes); on these workloads both\n\
+         algorithms usually reach the optimum, so measured costs tie.\n\n{}",
+        table(
+            &["regime", "seed", "l", "2√‖V‖", "OPT", "primal-dual", "lowdeg", "winner"],
+            &rows
+        )
+    )
+}
+
+/// EX-DP — §IV.E: the pivot-forest DP is exact and scales polynomially
+/// where branch and bound explodes.
+pub fn ex_dp() -> String {
+    let mut rows = Vec::new();
+    for (branches, depth) in [(3usize, 2usize), (5, 2), (8, 3), (12, 3), (40, 3), (120, 3)] {
+        let blue: Vec<usize> = (0..branches).step_by(2).collect();
+        let p = forest::pivot_broom(branches, depth, &blue);
+        assert!(dp_tree::applies(&p));
+        let t0 = Instant::now();
+        let dp = dp_tree::solve(&p).unwrap();
+        let dp_time = t0.elapsed().as_secs_f64();
+        let (opt_str, exact_time) = if branches <= 12 {
+            let t1 = Instant::now();
+            let ex = exact::solve(&p, ExactConfig { node_limit: Some(5_000_000) });
+            let et = t1.elapsed().as_secs_f64();
+            assert!((dp.side_effect(&p) - ex.cost).abs() < 1e-9, "DP must be exact");
+            (format!("{:.0}", ex.cost), format!("{:.3} ms", et * 1e3))
+        } else {
+            ("—".into(), "skipped".into())
+        };
+        rows.push(vec![
+            format!("{branches}×{depth}"),
+            p.norm_v().to_string(),
+            p.norm_delta().to_string(),
+            format!("{:.0}", dp.side_effect(&p)),
+            opt_str,
+            format!("{:.3} ms", dp_time * 1e3),
+            exact_time,
+        ]);
+    }
+    format!(
+        "EX-DP: §IV.E — DPTreeVSE exactness and polynomial runtime on pivot brooms\n\n{}",
+        table(
+            &["broom", "‖V‖", "‖ΔV‖", "DP cost", "OPT", "DP time", "B&B time"],
+            &rows
+        )
+    )
+}
+
+/// EX-APP — §V: batch vs sequential query-oriented cleaning.
+pub fn ex_app() -> String {
+    let mut rows = Vec::new();
+    let mut batch_total = 0.0;
+    let mut seq_total = 0.0;
+    for seed in 0..10u64 {
+        let s = cleaning::generate(cleaning::CleaningParams::default(), seed);
+        let p = &s.problem;
+        let batch = exact::solve(p, ExactConfig::default());
+        let fwd = cleaning::sequential_baseline(p, &[0, 1, 2]);
+        let rev = cleaning::sequential_baseline(p, &[2, 1, 0]);
+        let best_seq = fwd.side_effect(p).min(rev.side_effect(p));
+        batch_total += batch.cost;
+        seq_total += best_seq;
+        rows.push(vec![
+            seed.to_string(),
+            p.norm_delta().to_string(),
+            format!("{:.0}", batch.cost),
+            format!("{:.0}", fwd.side_effect(p)),
+            format!("{:.0}", rev.side_effect(p)),
+        ]);
+    }
+    format!(
+        "EX-APP: §V — query-oriented cleaning, batch vs sequential feedback\n\
+         batch total = {batch_total:.0}, best-sequential total = {seq_total:.0}\n\
+         (batch never loses; the gap is the cost of order-dependent cleaning)\n\n{}",
+        table(&["seed", "‖ΔV‖", "batch OPT", "seq(QA,QJ,QT)", "seq(QT,QJ,QA)"], &rows)
+    )
+}
+
+/// EX-SRC — the source side-effect sibling objective (Tables II–III):
+/// the two measures genuinely diverge on shared-witness workloads.
+pub fn ex_src() -> String {
+    use delprop_core::solvers::source;
+    let mut rows = Vec::new();
+    for seed in 0..6u64 {
+        let p = random_db::generate(
+            random_db::RandomDbParams {
+                num_queries: 3,
+                ..Default::default()
+            },
+            seed,
+        );
+        let src_opt = source::solve(&p);
+        let src_greedy = source::solve_greedy(&p);
+        let view_opt = exact::solve(&p, ExactConfig { node_limit: Some(2_000_000) });
+        assert!(src_opt.is_feasible(&p) && src_greedy.is_feasible(&p));
+        assert!(src_greedy.len() >= src_opt.len());
+        let view_sol = view_opt.solution.expect("feasible");
+        rows.push(vec![
+            seed.to_string(),
+            p.norm_delta().to_string(),
+            src_opt.len().to_string(),
+            src_greedy.len().to_string(),
+            format!("{:.0}", src_opt.side_effect(&p)),
+            view_sol.len().to_string(),
+            format!("{:.0}", view_sol.side_effect(&p)),
+        ]);
+    }
+    format!(
+        "EX-SRC: source vs view side-effect (the sibling objective of Tables II–III)\n\
+         the source-optimal ΔD is small but collaterally damaging; the\n\
+         view-optimal ΔD deletes more tuples to protect the views.\n\n{}",
+        table(
+            &["seed", "‖ΔV‖", "src-OPT |ΔD|", "src-greedy |ΔD|", "src-OPT damage", "view-OPT |ΔD|", "view-OPT damage"],
+            &rows
+        )
+    )
+}
+
+/// EX-LS — local-search post-optimization of every approximate solver.
+pub fn ex_ls() -> String {
+    use delprop_core::solvers::local_search::{self, LocalSearchConfig};
+    let mut rows = Vec::new();
+    for seed in 0..5u64 {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains: 10,
+                delete_fraction: 0.3,
+                weighted: true,
+            },
+            seed,
+        );
+        let opt = exact::solve(&p, ExactConfig { node_limit: Some(5_000_000) }).cost;
+        let mut row = vec![seed.to_string(), format!("{opt:.0}")];
+        for sol in [
+            general::solve(&p).unwrap(),
+            primal_dual::solve_default(&p).unwrap(),
+            lowdeg_tree::solve(&p).unwrap(),
+            // Strawman start: delete every candidate tuple.
+            delprop_core::Solution::from_tuples(p.candidates()),
+        ] {
+            let polished = local_search::improve(&p, &sol, LocalSearchConfig::default());
+            assert!(polished.is_feasible(&p));
+            assert!(polished.side_effect(&p) <= sol.side_effect(&p) + 1e-9);
+            assert!(polished.side_effect(&p) >= opt - 1e-9);
+            row.push(format!(
+                "{:.0}→{:.0}",
+                sol.side_effect(&p),
+                polished.side_effect(&p)
+            ));
+        }
+        rows.push(row);
+    }
+    format!(
+        "EX-LS: local-search polish (remove/swap descent) on weighted forest cases\n\
+         'a→b' = side-effect before → after polishing; never worse, often optimal.\n\n{}",
+        table(
+            &["seed", "OPT", "general", "primal-dual", "lowdeg-tree", "delete-all"],
+            &rows
+        )
+    )
+}
+
+/// EX-ABL — Algorithm 1 ablations: demand order and reverse-delete.
+pub fn ex_abl() -> String {
+    use delprop_core::solvers::primal_dual::{DemandOrder, PrimalDualConfig};
+    let mut rows = Vec::new();
+    for seed in 0..6u64 {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 5,
+                window: 3,
+                chains: 12,
+                delete_fraction: 0.35,
+                weighted: false,
+            },
+            seed,
+        );
+        let base = primal_dual::solve(&p, &PrimalDualConfig::default()).unwrap();
+        let no_prune = primal_dual::solve(
+            &p,
+            &PrimalDualConfig {
+                skip_reverse_delete: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let arbitrary = primal_dual::solve(
+            &p,
+            &PrimalDualConfig {
+                order: DemandOrder::Arbitrary,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(base.solution.side_effect(&p) <= no_prune.solution.side_effect(&p) + 1e-9);
+        rows.push(vec![
+            seed.to_string(),
+            format!("{:.0}", base.solution.side_effect(&p)),
+            format!("{:.0}", no_prune.solution.side_effect(&p)),
+            format!("{:.0}", arbitrary.solution.side_effect(&p)),
+            format!("{}→{}", no_prune.solution.len(), base.solution.len()),
+        ]);
+    }
+    format!(
+        "EX-ABL: PrimeDualVSE ablations (Algorithm 1 design choices)\n\
+         reverse-delete (lines 7–10) is what keeps the solution lean; the\n\
+         bottom-up order matters less but never hurts on these workloads.\n\n{}",
+        table(
+            &["seed", "full alg", "no prune", "arbitrary order", "|ΔD| no-prune→pruned"],
+            &rows
+        )
+    )
+}
+
+/// EX-FD — functional dependencies widen the tractable class.
+pub fn ex_fd() -> String {
+    use delprop_core::Problem;
+    use delprop_query::parse_query;
+    use delprop_relation::{
+        tup, Database, FunctionalDependency, RelationFds, RelationSchema, Schema, SchemaFds,
+    };
+    let schema = Schema::from_relations([
+        RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+    ])
+    .unwrap();
+    let mut db = Database::new(schema);
+    for (a, j) in [("Joe", "TKDE"), ("John", "TODS"), ("Tom", "VLDB")] {
+        db.insert("T1", tup![a, j]).unwrap();
+    }
+    for (j, z, w) in [("TKDE", "XML", 30), ("TODS", "CUBE", 20), ("VLDB", "ML", 10)] {
+        db.insert("T2", tup![j, z, w]).unwrap();
+    }
+    let t1 = db.schema().relation_id("T1").unwrap();
+    let t2 = db.schema().relation_id("T2").unwrap();
+    let mut fds = SchemaFds::new();
+    let mut f1 = RelationFds::new(2);
+    f1.add(FunctionalDependency::new(vec![0], vec![1])).unwrap();
+    fds.insert(t1, f1);
+    let mut f2 = RelationFds::new(3);
+    f2.add(FunctionalDependency::new(vec![1], vec![0, 2])).unwrap();
+    fds.insert(t2, f2);
+
+    let q3 = parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap();
+    let plain = Problem::new(db.clone(), vec![q3.clone()]);
+    let with_fds = Problem::new_with_fds(db, vec![q3], &fds);
+    let mut out = String::from(
+        "EX-FD: FD-extended key preservation (the 'fd-…' rows of Tables II–V)\n\n\
+         Q3(x, z) :- T1(x, y), T2(y, z, w) drops the key variable y.\n",
+    );
+    out.push_str(&format!(
+        "plain constructor: {}\n",
+        plain
+            .map(|_| "accepted".to_string())
+            .unwrap_or_else(|e| format!("rejected — {e}"))
+    ));
+    match with_fds {
+        Ok(mut p) => {
+            out.push_str(&format!(
+                "with x→y on T1 and topic→(journal, papers) on T2: accepted, ‖V‖ = {}\n",
+                p.norm_v()
+            ));
+            p.mark_deleted(0, &tup!["Joe", "XML"]).unwrap();
+            let sol = exact::solve(&p, ExactConfig::default());
+            out.push_str(&format!(
+                "deleting Q3(Joe, XML) exactly: side-effect = {} (unique witnesses hold)\n",
+                sol.cost
+            ));
+        }
+        Err(e) => out.push_str(&format!("with FDs: unexpectedly rejected — {e}\n")),
+    }
+    out
+}
+
+/// EX-YAN — the Yannakakis engine vs hash-join on acyclic workloads.
+pub fn ex_yan() -> String {
+    use delprop_query::eval::{hashjoin, sort_matches, yannakakis, CompiledQuery};
+    use delprop_query::parse_query;
+    use delprop_relation::{tup, Database, RelationSchema, Schema};
+    let mut rows = Vec::new();
+    for n in [200i64, 800, 2000] {
+        let schema = Schema::from_relations([
+            RelationSchema::new("A", 2, vec![0]).unwrap(),
+            RelationSchema::new("B", 2, vec![0]).unwrap(),
+            RelationSchema::new("C", 2, vec![0]).unwrap(),
+        ])
+        .unwrap();
+        let mut db = Database::new(schema);
+        for i in 0..n {
+            db.insert("A", tup![i, i % 40]).unwrap();
+            db.insert("B", tup![i, i % 17]).unwrap();
+            db.insert("C", tup![i, i % 5]).unwrap();
+        }
+        let q = parse_query("Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)")
+            .unwrap()
+            .bind(db.schema())
+            .unwrap();
+        let c = CompiledQuery::compile(&q);
+        let t0 = Instant::now();
+        let mut hj = hashjoin::evaluate(&db, &c);
+        let t_hj = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let mut yk = yannakakis::evaluate(&db, &c).expect("chain is acyclic");
+        let t_yk = t1.elapsed().as_secs_f64();
+        sort_matches(&mut hj);
+        sort_matches(&mut yk);
+        assert_eq!(hj, yk, "engines must agree");
+        rows.push(vec![
+            n.to_string(),
+            hj.len().to_string(),
+            format!("{:.2} ms", t_hj * 1e3),
+            format!("{:.2} ms", t_yk * 1e3),
+        ]);
+    }
+    format!(
+        "EX-YAN: Yannakakis (semijoin-reduced) vs hash-join on acyclic chains\n\
+         identical outputs; relative speed depends on dangling-tuple share.\n\n{}",
+        table(&["|R|", "answers", "hash-join", "yannakakis"], &rows)
+    )
+}
+
+/// An experiment runner.
+pub type Runner = fn() -> String;
+
+
+/// EX-BAL — the balanced prize-collecting primal-dual (§IV.C's "similar
+/// results for the balanced version").
+pub fn ex_bal() -> String {
+    use delprop_core::solvers::primal_dual_balanced;
+    let mut rows = Vec::new();
+    for seed in 0..6u64 {
+        let mut p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains: 10,
+                delete_fraction: 0.3,
+                weighted: true,
+            },
+            seed,
+        );
+        // Make a third of the demands dubious (cheap prizes).
+        let demands: Vec<_> = p.deletions().iter().copied().collect();
+        for (i, id) in demands.iter().enumerate() {
+            if i % 3 == 0 {
+                p.set_weight(*id, 0.3).unwrap();
+            }
+        }
+        let out = primal_dual_balanced::solve_balanced(&p, &Default::default()).unwrap();
+        let opt = exact::solve_balanced(&p, ExactConfig { node_limit: Some(5_000_000) });
+        assert!(out.dual_objective <= opt.cost + 1e-6, "weak duality");
+        rows.push(vec![
+            seed.to_string(),
+            p.norm_delta().to_string(),
+            out.skipped.len().to_string(),
+            format!("{:.1}", out.solution.balanced_cost(&p)),
+            format!("{:.1}", opt.cost),
+            format!("{:.1}", out.dual_objective),
+        ]);
+    }
+    format!(
+        "EX-BAL: balanced prize-collecting PrimeDualVSE (§IV.C)\n\
+         cheap prizes get paid instead of cut; Σv_r lower-bounds OPT.\n\n{}",
+        table(
+            &["seed", "‖ΔV‖", "skipped", "alg", "OPT", "dual LB"],
+            &rows
+        )
+    )
+}
+
+/// All experiments in order, as `(id, runner)`.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("ex-fig1", ex_fig1 as Runner),
+        ("ex-fig2", ex_fig2),
+        ("ex-fig3", ex_fig3),
+        ("ex-tab1", ex_tab1),
+        ("ex-tab25", ex_tab25),
+        ("ex-t1", ex_t1),
+        ("ex-t2", ex_t2),
+        ("ex-c1", ex_c1),
+        ("ex-l1", ex_l1),
+        ("ex-t3", ex_t3),
+        ("ex-p1", ex_p1),
+        ("ex-t4", ex_t4),
+        ("ex-dp", ex_dp),
+        ("ex-app", ex_app),
+        ("ex-src", ex_src),
+        ("ex-ls", ex_ls),
+        ("ex-abl", ex_abl),
+        ("ex-fd", ex_fd),
+        ("ex-yan", ex_yan),
+        ("ex-bal", ex_bal),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cheap figure/table experiments run in debug; the heavy sweeps
+    /// are exercised by `all_experiments_run_full` (release-only, run via
+    /// `cargo test -p delprop-bench --release -- --ignored`) and by the
+    /// harness itself.
+    #[test]
+    fn figure_experiments_run() {
+        for (id, run) in all().into_iter().take(7) {
+            let report = run();
+            assert!(report.len() > 40, "{id} produced a trivial report");
+        }
+    }
+
+    /// Every experiment must run without panicking (internal asserts are
+    /// the claims themselves) and produce a non-trivial report.
+    #[test]
+    #[ignore = "heavy: run with --release -- --ignored"]
+    fn all_experiments_run_full() {
+        for (id, run) in all() {
+            let report = run();
+            assert!(report.len() > 40, "{id} produced a trivial report");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Solutions (`ΔD`) and the two objectives (§II.C, §III).
+//!
+//! Everything here evaluates through the unique-witness property: a
+//! key-preserving view tuple is eliminated by `ΔD` iff its witness set
+//! intersects `ΔD`. [`Solution::verify_by_reevaluation`] cross-checks that
+//! shortcut against full re-materialization and is used heavily in tests.
+
+use crate::problem::Problem;
+use delprop_query::{ViewSet, ViewTupleId};
+use delprop_relation::TupleId;
+use std::collections::{BTreeSet, HashSet};
+
+/// A source-deletion solution `ΔD ⊆ D`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Solution {
+    /// The deleted base tuples.
+    pub deleted: BTreeSet<TupleId>,
+}
+
+impl Solution {
+    /// Empty solution (deletes nothing).
+    pub fn empty() -> Self {
+        Solution::default()
+    }
+
+    /// Solution from tuple ids.
+    pub fn from_tuples(ids: impl IntoIterator<Item = TupleId>) -> Self {
+        Solution {
+            deleted: ids.into_iter().collect(),
+        }
+    }
+
+    /// Number of deleted base tuples (the *source side-effect* measure of
+    /// the sibling problem line; reported for context, never optimized
+    /// here).
+    pub fn len(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Whether nothing is deleted.
+    pub fn is_empty(&self) -> bool {
+        self.deleted.is_empty()
+    }
+
+    /// Whether view tuple `id` is eliminated by this solution.
+    pub fn eliminates(&self, problem: &Problem, id: ViewTupleId) -> bool {
+        problem
+            .witnesses(id)
+            .iter()
+            .any(|t| self.deleted.contains(t))
+    }
+
+    /// Feasibility for the **standard** problem: every view tuple of `ΔV`
+    /// is eliminated (condition (a) of §II.C; condition `Qi(D\ΔD) ⊆ Vi\ΔVi`
+    /// follows because deletions only shrink key-preserving views).
+    pub fn is_feasible(&self, problem: &Problem) -> bool {
+        problem
+            .deletions()
+            .iter()
+            .all(|&id| self.eliminates(problem, id))
+    }
+
+    /// The **view side-effect** `s_view`: total weight of preserved view
+    /// tuples accidentally eliminated (§II.C (b), weighted per §IV).
+    pub fn side_effect(&self, problem: &Problem) -> f64 {
+        problem
+            .preserved()
+            .filter(|(id, _)| self.eliminates(problem, *id))
+            .map(|(id, _)| problem.weight(id))
+            .sum::<f64>()
+            + 0.0 // normalize the empty sum's -0.0
+    }
+
+    /// The **balanced** objective (§III): weight of bad view tuples still
+    /// present plus weight of good view tuples eliminated. Always finite;
+    /// every `ΔD` is feasible for the balanced problem.
+    pub fn balanced_cost(&self, problem: &Problem) -> f64 {
+        let missed: f64 = problem
+            .deleted()
+            .filter(|(id, _)| !self.eliminates(problem, *id))
+            .map(|(id, _)| problem.weight(id))
+            .sum::<f64>();
+        missed + self.side_effect(problem) + 0.0
+    }
+
+    /// Ground-truth check: tombstone `ΔD` on a copy of the database,
+    /// re-materialize every view, and verify that the surviving view
+    /// tuples are exactly those the witness shortcut predicts. Returns the
+    /// re-evaluated side-effect.
+    ///
+    /// # Panics
+    /// Panics if prediction and re-evaluation disagree (that would be a
+    /// provenance bug, not bad input).
+    pub fn verify_by_reevaluation(&self, problem: &Problem) -> f64 {
+        let mut db = problem.db().clone();
+        let ids: Vec<TupleId> = self.deleted.iter().copied().collect();
+        db.delete_all(&ids);
+        let reeval = ViewSet::materialize(&db, problem.queries())
+            .expect("re-materialization of a valid problem cannot fail");
+        let mut side_effect = 0.0;
+        for (vi, view) in problem.views().views.iter().enumerate() {
+            let new_view = &reeval.views[vi];
+            for (ti, vt) in view.tuples.iter().enumerate() {
+                let id = ViewTupleId::new(vi, ti);
+                let survived = new_view.position_of(&vt.head).is_some();
+                let predicted = !self.eliminates(problem, id);
+                assert_eq!(
+                    survived, predicted,
+                    "witness shortcut disagrees with re-evaluation on {id}"
+                );
+                if !survived && !problem.is_deleted(id) {
+                    side_effect += problem.weight(id);
+                }
+            }
+            // Key-preserving views cannot gain tuples under deletion.
+            assert!(new_view.len() <= view.len());
+        }
+        side_effect
+    }
+
+    /// Restrict to the candidate tuples of `problem` (dropping deletions
+    /// that cannot cut anything never increases either objective).
+    pub fn restricted_to_candidates(&self, problem: &Problem) -> Solution {
+        let candidates: HashSet<TupleId> = problem.candidates().into_iter().collect();
+        Solution {
+            deleted: self
+                .deleted
+                .iter()
+                .copied()
+                .filter(|t| candidates.contains(t))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delprop_query::parse_query;
+    use delprop_relation::{tup, Database, RelationSchema, Schema, Value};
+
+    fn fig1() -> (Problem, Database) {
+        let schema = Schema::from_relations([
+            RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+            RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+        ])
+        .unwrap();
+        let mut d = Database::new(schema);
+        for t in [tup!["Joe", "TKDE"], tup!["John", "TKDE"], tup!["Tom", "TKDE"], tup!["John", "TODS"]] {
+            d.insert("T1", t).unwrap();
+        }
+        for t in [tup!["TKDE", "XML", 30], tup!["TKDE", "CUBE", 30], tup!["TODS", "XML", 30]] {
+            d.insert("T2", t).unwrap();
+        }
+        let q4 = parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
+            .unwrap()
+            .bind(d.schema())
+            .unwrap();
+        let mut p = Problem::new(d.clone(), vec![q4]).unwrap();
+        p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        (p, d)
+    }
+
+    fn tid(db: &Database, rel: &str, key: &[Value]) -> TupleId {
+        let r = db.schema().relation_id(rel).unwrap();
+        db.find_by_key(r, key).unwrap()
+    }
+
+    #[test]
+    fn fig1_q4_deleting_t1_side_effect_one() {
+        let (p, d) = fig1();
+        // Delete T1(John, TKDE): kills (John,TKDE,XML) and (John,TKDE,CUBE).
+        let s = Solution::from_tuples([tid(&d, "T1", &[Value::str("John"), Value::str("TKDE")])]);
+        assert!(s.is_feasible(&p));
+        assert_eq!(s.side_effect(&p), 1.0);
+        assert_eq!(s.verify_by_reevaluation(&p), 1.0);
+    }
+
+    #[test]
+    fn fig1_q4_deleting_t2_side_effect_two() {
+        let (p, d) = fig1();
+        // Delete T2(TKDE, XML, 30): kills Joe/John/Tom × TKDE × XML.
+        let s = Solution::from_tuples([tid(&d, "T2", &[Value::str("TKDE"), Value::str("XML")])]);
+        assert!(s.is_feasible(&p));
+        assert_eq!(s.side_effect(&p), 2.0);
+        assert_eq!(s.verify_by_reevaluation(&p), 2.0);
+    }
+
+    #[test]
+    fn empty_solution_infeasible_but_balanced() {
+        let (p, _) = fig1();
+        let s = Solution::empty();
+        assert!(!s.is_feasible(&p));
+        assert_eq!(s.side_effect(&p), 0.0);
+        assert_eq!(s.balanced_cost(&p), 1.0); // the missed bad tuple
+    }
+
+    #[test]
+    fn balanced_cost_combines_terms() {
+        let (p, d) = fig1();
+        let s = Solution::from_tuples([tid(&d, "T2", &[Value::str("TKDE"), Value::str("XML")])]);
+        // bad tuple eliminated (0) + 2 good ones lost = 2.
+        assert_eq!(s.balanced_cost(&p), 2.0);
+    }
+
+    #[test]
+    fn weights_scale_objectives() {
+        let (mut p, d) = fig1();
+        // Make (Joe, TKDE, XML) precious.
+        let joe = p.views().views[0]
+            .position_of(&tup!["Joe", "TKDE", "XML"])
+            .unwrap();
+        p.set_weight(ViewTupleId::new(0, joe), 10.0).unwrap();
+        let s = Solution::from_tuples([tid(&d, "T2", &[Value::str("TKDE"), Value::str("XML")])]);
+        assert_eq!(s.side_effect(&p), 11.0);
+    }
+
+    #[test]
+    fn restricted_to_candidates_drops_noise() {
+        let (p, d) = fig1();
+        let useful = tid(&d, "T1", &[Value::str("John"), Value::str("TKDE")]);
+        let noise = tid(&d, "T1", &[Value::str("Tom"), Value::str("TKDE")]);
+        let s = Solution::from_tuples([useful, noise]);
+        let r = s.restricted_to_candidates(&p);
+        assert_eq!(r.deleted.len(), 1);
+        assert!(r.deleted.contains(&useful));
+        assert!(r.side_effect(&p) <= s.side_effect(&p));
+    }
+
+    #[test]
+    fn deleting_everything_is_feasible_and_expensive() {
+        let (p, _) = fig1();
+        let s = Solution::from_tuples(p.db().live_ids());
+        assert!(s.is_feasible(&p));
+        assert_eq!(s.side_effect(&p), 6.0); // all preserved tuples lost
+        assert_eq!(s.verify_by_reevaluation(&p), 6.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! `DPTreeVSE` — Algorithm 4 of the paper: an **exact** polynomial dynamic
+//! program for the restricted forest case with pivot tuples (§IV.E).
+//!
+//! Precondition (certified by `delprop-hypergraph::find_pivot_structure`):
+//! the data dual graph is a forest and each component has a pivot tuple
+//! from which every view tuple's witness set is a root-prefix path. Under
+//! that structure, deleting a tuple `t` eliminates exactly the view tuples
+//! whose path endpoint lies in `t`'s subtree, deletions below a deleted
+//! tuple are redundant, and a two-option post-order recursion is exact:
+//!
+//! - **standard**: `DP(v) = redsub(v)` if a demand ends at `v`, else
+//!   `min(redsub(v), Σ_children DP(c))`, where `redsub(v)` is the
+//!   preserved weight ending in `v`'s subtree;
+//! - **balanced**: `DP(v) = min(redsub(v), blue(v) + Σ_children DP(c))`,
+//!   pricing missed demands instead of forbidding them.
+//!
+//! Both run in `O(|V(graph)| + ‖V‖)` after the pivot certification — the
+//! paper's "poly size status transition array" sharpened to linear.
+
+use crate::error::CoreError;
+use crate::problem::Problem;
+use crate::solution::Solution;
+use delprop_hypergraph::{find_pivot_structure, DataDualGraph, PivotStructure};
+use delprop_query::ViewTupleId;
+use delprop_relation::TupleId;
+
+/// Whether the pivot-forest precondition holds for `problem`.
+pub fn applies(problem: &Problem) -> bool {
+    structure(problem).is_ok()
+}
+
+/// Solve the standard view side-effect exactly.
+pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
+    run(problem, Mode::Standard)
+}
+
+/// Solve the balanced objective exactly.
+pub fn solve_balanced(problem: &Problem) -> Result<Solution, CoreError> {
+    run(problem, Mode::Balanced)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Standard,
+    Balanced,
+}
+
+/// Build the graph + pivot structure + per-path view ids.
+fn structure(
+    problem: &Problem,
+) -> Result<(DataDualGraph, PivotStructure, Vec<ViewTupleId>), CoreError> {
+    let mut path_ids: Vec<ViewTupleId> = Vec::new();
+    let mut paths: Vec<Vec<TupleId>> = Vec::new();
+    for (id, vt) in problem.views().iter() {
+        path_ids.push(id);
+        paths.push(vt.unique_witnesses().to_vec());
+    }
+    let graph = DataDualGraph::new(&paths);
+    let pivot = find_pivot_structure(&graph).ok_or_else(|| CoreError::StructureMismatch {
+        solver: "DPTreeVSE",
+        reason: "data dual graph is not a pivot forest (no pivot tuple \
+                 makes every witness set a root-prefix path)"
+            .into(),
+    })?;
+    Ok((graph, pivot, path_ids))
+}
+
+fn run(problem: &Problem, mode: Mode) -> Result<Solution, CoreError> {
+    let (graph, pivot, path_ids) = structure(problem)?;
+    let n = graph.num_vertices();
+    let forest = &pivot.forest;
+
+    // Per-vertex endpoint weights.
+    let mut red_at = vec![0.0f64; n]; // preserved weight ending here
+    let mut blue_at = vec![0.0f64; n]; // demand weight ending here
+    let mut blue_count_at = vec![0usize; n];
+    for (pi, &endpoint) in pivot.endpoints.iter().enumerate() {
+        let id = path_ids[pi];
+        if problem.is_deleted(id) {
+            blue_at[endpoint] += problem.weight(id);
+            blue_count_at[endpoint] += 1;
+        } else {
+            red_at[endpoint] += problem.weight(id);
+        }
+    }
+
+    // Post-order: reverse BFS order visits children before parents.
+    let children = forest.children();
+    let mut redsub = red_at.clone();
+    for &v in forest.bfs_order.iter().rev() {
+        for &c in &children[v] {
+            redsub[v] += redsub[c];
+        }
+    }
+
+    // DP values + whether the optimal choice at v (in the "no ancestor
+    // deleted" context) is to delete v.
+    let mut dp = vec![0.0f64; n];
+    let mut delete_here = vec![false; n];
+    for &v in forest.bfs_order.iter().rev() {
+        let keep_children: f64 = children[v].iter().map(|&c| dp[c]).sum();
+        let (keep_allowed, keep_cost) = match mode {
+            Mode::Standard => (blue_count_at[v] == 0, keep_children),
+            Mode::Balanced => (true, blue_at[v] + keep_children),
+        };
+        let delete_cost = redsub[v];
+        if !keep_allowed || delete_cost < keep_cost {
+            dp[v] = delete_cost;
+            delete_here[v] = true;
+        } else {
+            dp[v] = keep_cost;
+            delete_here[v] = false;
+        }
+    }
+
+    // Reconstruct: walk down from each root, stopping at deletions.
+    let mut deleted: Vec<TupleId> = Vec::new();
+    let mut stack: Vec<usize> = forest.roots.clone();
+    while let Some(v) = stack.pop() {
+        if delete_here[v] {
+            deleted.push(graph.tuple(v));
+        } else {
+            stack.extend(children[v].iter().copied());
+        }
+    }
+    Ok(Solution::from_tuples(deleted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::exact;
+    use crate::test_support::{fig1_problem, star_problem};
+    use delprop_relation::tup;
+    use delprop_setcover::exact::ExactConfig;
+
+    #[test]
+    fn star_problem_has_pivot_structure() {
+        let p = star_problem(6, &[1, 3]);
+        assert!(applies(&p));
+    }
+
+    #[test]
+    fn matches_exact_on_star_instances() {
+        for blue in [&[0usize][..], &[1, 4], &[0, 2, 5], &[0, 1, 2, 3, 4, 5]] {
+            let p = star_problem(6, blue);
+            let dp = solve(&p).unwrap();
+            assert!(dp.is_feasible(&p));
+            let opt = exact::solve(&p, ExactConfig::default());
+            assert!(
+                (dp.side_effect(&p) - opt.cost).abs() < 1e-9,
+                "DP {} != OPT {} for blues {:?}",
+                dp.side_effect(&p),
+                opt.cost,
+                blue
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exact_balanced_on_star_instances() {
+        for blue in [&[0usize][..], &[1, 4], &[0, 2, 5]] {
+            let p = star_problem(6, blue);
+            let dp = solve_balanced(&p).unwrap();
+            let opt = exact::solve_balanced(&p, ExactConfig::default());
+            assert!(
+                (dp.balanced_cost(&p) - opt.cost).abs() < 1e-9,
+                "DP balanced {} != OPT {} for blues {:?}",
+                dp.balanced_cost(&p),
+                opt.cost,
+                blue
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_star_steers_the_dp() {
+        let mut p = star_problem(4, &[0]);
+        // Every preserved view tuple weighs 100. The cheapest cut deletes
+        // the branch tip, losing only the Q3b twin: cost exactly 100 —
+        // and the DP must still match the exact optimum.
+        let ids: Vec<ViewTupleId> = p.preserved().map(|(id, _)| id).collect();
+        for id in ids {
+            p.set_weight(id, 100.0).unwrap();
+        }
+        let dp = solve(&p).unwrap();
+        assert!(dp.is_feasible(&p));
+        assert_eq!(dp.side_effect(&p), 100.0);
+        let opt = exact::solve(&p, ExactConfig::default());
+        assert_eq!(dp.side_effect(&p), opt.cost);
+    }
+
+    #[test]
+    fn non_pivot_structure_is_rejected() {
+        // Fig. 1 Q4: witness paths share the T2 tuple across different T1
+        // tuples and vice versa — no pivot.
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        });
+        assert!(!applies(&p));
+        assert!(matches!(
+            solve(&p),
+            Err(CoreError::StructureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn balanced_may_leave_demands_uncut() {
+        let mut p = star_problem(4, &[0]);
+        // The cheapest cut costs 1 (the Q3b twin on the branch tip), but
+        // the demand itself weighs only 0.1: the balanced optimum leaves
+        // it uncut and pays 0.1. The standard version must still cut.
+        let blue_id = *p.deletions().iter().next().unwrap();
+        p.set_weight(blue_id, 0.1).unwrap();
+        let bal = solve_balanced(&p).unwrap();
+        assert!((bal.balanced_cost(&p) - 0.1).abs() < 1e-9);
+        assert!(bal.is_empty(), "balanced optimum deletes nothing here");
+        let std = solve(&p).unwrap();
+        assert!(std.is_feasible(&p));
+        assert_eq!(std.side_effect(&p), 1.0);
+    }
+
+    #[test]
+    fn empty_demand_set_deletes_nothing() {
+        let p = star_problem(3, &[]);
+        let sol = solve(&p).unwrap();
+        assert!(sol.is_empty());
+        let sol = solve_balanced(&p).unwrap();
+        assert_eq!(sol.balanced_cost(&p), 0.0);
+    }
+}

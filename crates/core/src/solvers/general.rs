@@ -1,0 +1,124 @@
+//! The general-case approximation (Claim 1 and Lemma 1 of the paper).
+//!
+//! Standard version: reduce to Red-Blue Set Cover and run the low-degree
+//! algorithm, giving ratio `O(2√(l·‖V‖·log‖ΔV‖))` — each view tuple joins
+//! at most `l` base tuples, so the image has at most `l·‖V‖`-ish set
+//! memberships, and the Red-Blue guarantee `2√(|𝒞|·log β)` transfers
+//! through the cost-preserving reduction.
+//!
+//! Balanced version: reduce to Pos-Neg Partial Set Cover, then through
+//! Miettinen's reduction to Red-Blue, ratio
+//! `2√(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)`.
+
+use crate::error::CoreError;
+use crate::problem::Problem;
+use crate::reduction;
+use crate::solution::Solution;
+use delprop_setcover::{lowdeg, reduce};
+
+/// Approximate the minimum view side-effect (standard version).
+///
+/// Returns an error only if some `ΔV` tuple cannot be eliminated, which
+/// key-preservation makes impossible for well-formed problems.
+pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
+    let rb = reduction::to_redblue(problem);
+    let sel = lowdeg::solve(&rb.instance).ok_or_else(|| CoreError::Infeasible {
+        reason: "a deleted view tuple has no candidate witness".into(),
+    })?;
+    Ok(rb.map_back(&sel))
+}
+
+/// Approximate the balanced objective (Lemma 1 route).
+pub fn solve_balanced(problem: &Problem) -> Solution {
+    let pn = reduction::to_posneg(problem);
+    let (sel, _) = reduce::solve_posneg_lowdeg(&pn.instance);
+    pn.map_back(&sel)
+}
+
+/// The Claim 1 ratio bound `2√(l·‖V‖·log‖ΔV‖)` for this instance
+/// (logarithm clamped below at 1 so tiny instances keep a sane bound).
+pub fn ratio_bound(problem: &Problem) -> f64 {
+    let l = problem.l().max(1) as f64;
+    let v = problem.norm_v().max(1) as f64;
+    let logd = (problem.norm_delta().max(2) as f64).ln().max(1.0);
+    2.0 * (l * v * logd).sqrt()
+}
+
+/// The Lemma 1 ratio bound `2√(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)`.
+pub fn balanced_ratio_bound(problem: &Problem) -> f64 {
+    let l = problem.l().max(1) as f64;
+    let v = (problem.norm_v() + problem.norm_delta()).max(1) as f64;
+    let logd = (problem.norm_delta().max(2) as f64).ln().max(1.0);
+    2.0 * (l * v * logd).sqrt()
+}
+
+/// Cheap greedy baseline (reduce to Red-Blue, greedy weighted cover).
+/// No ratio guarantee beyond greedy's; used in experiments as the
+/// strawman Claim 1's algorithm is compared against.
+pub fn solve_greedy(problem: &Problem) -> Result<Solution, CoreError> {
+    let rb = reduction::to_redblue(problem);
+    let sel = delprop_setcover::greedy::cover(&rb.instance).ok_or_else(|| {
+        CoreError::Infeasible {
+            reason: "a deleted view tuple has no candidate witness".into(),
+        }
+    })?;
+    Ok(rb.map_back(&sel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::exact;
+    use crate::test_support::fig1_problem;
+    use delprop_relation::tup;
+    use delprop_setcover::exact::ExactConfig;
+
+    fn problem() -> Problem {
+        fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        })
+    }
+
+    #[test]
+    fn feasible_and_within_bound() {
+        let p = problem();
+        let sol = solve(&p).unwrap();
+        assert!(sol.is_feasible(&p));
+        let opt = exact::solve(&p, ExactConfig::default()).cost;
+        let bound = ratio_bound(&p);
+        assert!(sol.side_effect(&p) <= bound * opt.max(1.0) + 1e-9);
+    }
+
+    #[test]
+    fn fig1_finds_the_optimum() {
+        // On this tiny instance the low-degree sweep hits τ=1 and finds
+        // the side-effect-1 solution.
+        let p = problem();
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.side_effect(&p), 1.0);
+    }
+
+    #[test]
+    fn balanced_feasible_and_sane() {
+        let p = problem();
+        let sol = solve_balanced(&p);
+        let cost = sol.balanced_cost(&p);
+        let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+        assert!(cost >= opt - 1e-9);
+        assert!(cost <= balanced_ratio_bound(&p) * opt.max(1.0) + 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_feasible() {
+        let p = problem();
+        let sol = solve_greedy(&p).unwrap();
+        assert!(sol.is_feasible(&p));
+    }
+
+    #[test]
+    fn bounds_grow_with_instance_measures() {
+        let p = problem();
+        assert!(ratio_bound(&p) >= 2.0);
+        assert!(balanced_ratio_bound(&p) >= ratio_bound(&p));
+    }
+}

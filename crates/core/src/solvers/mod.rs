@@ -1,0 +1,26 @@
+//! The solver suite: every algorithm of the paper plus the baselines the
+//! experiments compare against.
+//!
+//! | module | paper element | guarantee |
+//! |---|---|---|
+//! | [`exact`] | branch-and-bound ground truth | exact (exp. time) |
+//! | [`general`] | Claim 1 / Lemma 1 | `O(2√(l·‖V‖·log‖ΔV‖))` |
+//! | [`primal_dual`] | Algorithm 1, `PrimeDualVSE` | `l` on forest cases |
+//! | [`lowdeg_tree`] | Algorithms 2–3, `LowDegTreeVSE(Two)` | `2√‖V‖` |
+//! | [`dp_tree`] | Algorithm 4, `DPTreeVSE` | exact (poly) on pivot forests |
+//! | [`lp_round`] | LP (1)–(5) + rounding | certified `l`; LP lower bounds |
+//! | [`single_query`] | §III recalled tractable case | exact (poly) |
+//! | [`source`] | source side-effect sibling objective (Tables II–III) | exact + greedy H(‖ΔV‖) |
+//! | [`primal_dual_balanced`] | §IV.C balanced version (prize-collecting) | dual lower bound |
+//! | [`local_search`] | post-optimization descent | never worse |
+
+pub mod dp_tree;
+pub mod exact;
+pub mod general;
+pub mod local_search;
+pub mod lowdeg_tree;
+pub mod lp_round;
+pub mod primal_dual;
+pub mod primal_dual_balanced;
+pub mod single_query;
+pub mod source;

@@ -1,0 +1,219 @@
+//! The balanced counterpart of `PrimeDualVSE` (§IV.C: "Similar results
+//! will be shown for the balanced version"): a prize-collecting
+//! primal-dual in the style of Goemans–Williamson.
+//!
+//! In the balanced problem a demand `r ∈ ΔV` need not be cut — leaving it
+//! costs its weight `w_r`. The dual therefore gains the constraint
+//! `v_r ≤ w_r` on top of the per-tuple capacities
+//! `cap(t) = Σ_{s∋t} w_s/k_s` of the standard algorithm: a demand's dual
+//! rises until either **a witness saturates** (cut it, as before) or
+//! **its own prize is exhausted** (leave it and pay `w_r`). The reverse
+//! pass prunes deletions whose removal does not worsen the balanced
+//! objective.
+//!
+//! `Σ v_r` remains dual-feasible for the balanced LP, hence a certified
+//! lower bound on the balanced optimum; experiment EX-L1's sibling tests
+//! verify it against the exact solver.
+
+use crate::error::CoreError;
+use crate::problem::Problem;
+use crate::solution::Solution;
+use crate::solvers::primal_dual::PrimalDualConfig;
+use delprop_query::ViewTupleId;
+use delprop_relation::TupleId;
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of the balanced primal-dual run.
+#[derive(Debug, Clone)]
+pub struct BalancedOutcome {
+    /// The polished solution.
+    pub solution: Solution,
+    /// Demands intentionally left uncut (their weight is paid instead).
+    pub skipped: Vec<ViewTupleId>,
+    /// `Σ v_r`: a lower bound on the balanced optimum.
+    pub dual_objective: f64,
+}
+
+/// Run the prize-collecting primal-dual for the balanced objective.
+pub fn solve_balanced(
+    problem: &Problem,
+    config: &PrimalDualConfig,
+) -> Result<BalancedOutcome, CoreError> {
+    let counted = |id: ViewTupleId| -> bool {
+        config.counted.as_ref().map_or(true, |c| c.contains(&id))
+    };
+
+    // Capacities as in the standard algorithm.
+    let mut cap: HashMap<TupleId, f64> = HashMap::new();
+    for t in problem.candidates() {
+        cap.insert(t, 0.0);
+    }
+    for (sid, vt) in problem.preserved() {
+        if !counted(sid) {
+            continue;
+        }
+        let ws = vt.unique_witnesses();
+        let k = ws.len().max(1) as f64;
+        let share = problem.weight(sid) / k;
+        for t in ws {
+            if let Some(c) = cap.get_mut(t) {
+                *c += share;
+            }
+        }
+    }
+
+    let demands: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
+    let mut load: HashMap<TupleId, f64> = cap.keys().map(|&t| (t, 0.0)).collect();
+    let mut deleted: Vec<TupleId> = Vec::new();
+    let mut deleted_set: HashSet<TupleId> = HashSet::new();
+    let mut dual_objective = 0.0;
+    const EPS: f64 = 1e-9;
+
+    for &r in &demands {
+        let witnesses = problem.witnesses(r);
+        if witnesses.iter().any(|t| deleted_set.contains(t)) {
+            continue; // already cut for free
+        }
+        let allowed: Vec<TupleId> = witnesses
+            .iter()
+            .copied()
+            .filter(|t| !config.forbidden.contains(t))
+            .collect();
+        let prize = problem.weight(r);
+        let slack = allowed
+            .iter()
+            .map(|t| (cap[t] - load[t]).max(0.0))
+            .fold(f64::INFINITY, f64::min); // ∞ iff `allowed` is empty
+        // The dual rises until the cheaper of the two events.
+        let raise = slack.min(prize);
+        dual_objective += raise;
+        if slack <= prize {
+            // Witness saturation wins: cut the demand.
+            for t in &allowed {
+                *load.get_mut(t).expect("candidate tuple") += raise;
+            }
+            for &t in &allowed {
+                if load[&t] >= cap[&t] - EPS && deleted_set.insert(t) {
+                    deleted.push(t);
+                }
+            }
+            debug_assert!(witnesses.iter().any(|t| deleted_set.contains(t)));
+        } else {
+            // Prize exhausted first (or no deletable witness): pay w_r.
+            for t in &allowed {
+                *load.get_mut(t).expect("candidate tuple") += raise;
+            }
+        }
+    }
+
+    // Reverse pass: drop any deletion whose removal does not increase the
+    // balanced cost (covers both redundancy and bad trades).
+    let mut solution = Solution::from_tuples(deleted_set.iter().copied());
+    let mut current = solution.balanced_cost(problem);
+    for &t in deleted.iter().rev() {
+        if !solution.deleted.contains(&t) {
+            continue;
+        }
+        let mut trial = solution.clone();
+        trial.deleted.remove(&t);
+        let c = trial.balanced_cost(problem);
+        if c <= current + EPS {
+            solution = trial;
+            current = c;
+        }
+    }
+    // The demands actually left uncut (after pruning).
+    let skipped = problem
+        .deletions()
+        .iter()
+        .copied()
+        .filter(|&r| !solution.eliminates(problem, r))
+        .collect();
+
+    Ok(BalancedOutcome {
+        solution,
+        skipped,
+        dual_objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::exact;
+    use crate::test_support::{chain_problem, fig1_problem, star_problem};
+    use delprop_relation::tup;
+    use delprop_setcover::exact::ExactConfig;
+
+    #[test]
+    fn fig1_balanced_matches_exact() {
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        });
+        let out = solve_balanced(&p, &Default::default()).unwrap();
+        let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+        assert!(out.dual_objective <= opt + 1e-9, "weak duality");
+        assert_eq!(out.solution.balanced_cost(&p), opt);
+    }
+
+    #[test]
+    fn cheap_prizes_are_paid_not_cut() {
+        let mut p = star_problem(4, &[0]);
+        let blue = *p.deletions().iter().next().unwrap();
+        p.set_weight(blue, 0.1).unwrap(); // cutting costs 1 (the twin)
+        let out = solve_balanced(&p, &Default::default()).unwrap();
+        assert_eq!(out.skipped, vec![blue]);
+        assert!((out.solution.balanced_cost(&p) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expensive_prizes_are_cut() {
+        let mut p = star_problem(4, &[0]);
+        let blue = *p.deletions().iter().next().unwrap();
+        p.set_weight(blue, 50.0).unwrap();
+        let out = solve_balanced(&p, &Default::default()).unwrap();
+        assert!(out.skipped.is_empty());
+        assert!((out.solution.balanced_cost(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_objective_lower_bounds_balanced_opt_on_chains() {
+        for blue in [&[0usize, 1][..], &[2, 5, 7], &[0, 3, 4, 6]] {
+            let p = chain_problem(8, 3, blue);
+            let out = solve_balanced(&p, &Default::default()).unwrap();
+            let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+            assert!(
+                out.dual_objective <= opt + 1e-9,
+                "dual {} above balanced OPT {}",
+                out.dual_objective,
+                opt
+            );
+            assert!(out.solution.balanced_cost(&p) + 1e-9 >= opt);
+        }
+    }
+
+    #[test]
+    fn forbidden_witnesses_force_payment() {
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        });
+        let cfg = PrimalDualConfig {
+            forbidden: p.candidates().into_iter().collect(),
+            ..Default::default()
+        };
+        // Unlike the standard version, the balanced one cannot fail: it
+        // pays the prize instead.
+        let out = solve_balanced(&p, &cfg).unwrap();
+        assert!(out.solution.is_empty());
+        assert_eq!(out.skipped.len(), 1);
+        assert_eq!(out.solution.balanced_cost(&p), 1.0);
+    }
+
+    #[test]
+    fn empty_demand_set_is_trivial() {
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
+        let out = solve_balanced(&p, &Default::default()).unwrap();
+        assert!(out.solution.is_empty());
+        assert_eq!(out.dual_objective, 0.0);
+    }
+}

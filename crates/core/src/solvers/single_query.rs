@@ -1,0 +1,140 @@
+//! The single-query tractable case recalled in §III of the paper: for one
+//! key-preserving conjunctive query and a **single** view-tuple deletion,
+//! the optimum is found in polynomial time (Cong et al., TKDE 2012).
+//!
+//! With a unique witness set `{t_1, …, t_k}` for the deleted view tuple,
+//! a minimal feasible solution deletes exactly one `t_i`, and the
+//! side-effect of each choice is the weight of the preserved view tuples
+//! whose witness sets contain `t_i` — directly readable off the
+//! occurrence index ("finding the occurrences of key values of the
+//! deleted relation tuples in the view", §II.C). Minimizing over the `k ≤
+//! l` choices is exact.
+//!
+//! For multiple deletions on a single query the problem is already
+//! covered by the general machinery; [`solve_single_deletion`] rejects
+//! such inputs instead of silently being heuristic.
+
+use crate::error::CoreError;
+use crate::problem::Problem;
+use crate::solution::Solution;
+use delprop_relation::TupleId;
+
+/// Exact polynomial solver for |Q| = 1 and |ΔV| = 1.
+pub fn solve_single_deletion(problem: &Problem) -> Result<Solution, CoreError> {
+    if problem.queries().len() != 1 {
+        return Err(CoreError::StructureMismatch {
+            solver: "single_query",
+            reason: format!(
+                "expected exactly one query, got {}",
+                problem.queries().len()
+            ),
+        });
+    }
+    if problem.norm_delta() != 1 {
+        return Err(CoreError::StructureMismatch {
+            solver: "single_query",
+            reason: format!(
+                "expected exactly one deleted view tuple, got {}",
+                problem.norm_delta()
+            ),
+        });
+    }
+    let rid = *problem.deletions().iter().next().expect("one deletion");
+    let mut best: Option<(f64, TupleId)> = None;
+    for &t in problem.witnesses(rid) {
+        let damage: f64 = problem
+            .views()
+            .occurrences(t)
+            .iter()
+            .filter(|&&vid| vid != rid && !problem.is_deleted(vid))
+            .map(|&vid| problem.weight(vid))
+            .sum();
+        if best.is_none_or(|(b, _)| damage < b) {
+            best = Some((damage, t));
+        }
+    }
+    let (_, t) = best.expect("key-preserving view tuples have non-empty witness sets");
+    Ok(Solution::from_tuples([t]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::exact;
+    use crate::test_support::fig1_problem;
+    use delprop_relation::tup;
+    use delprop_setcover::exact::ExactConfig;
+
+    #[test]
+    fn fig1_single_deletion_matches_paper() {
+        // §II.C: for ΔV = (John, TKDE, XML) on Q4, deleting T1(John,TKDE)
+        // gives side-effect 1 (the (John,TKDE,CUBE) tuple), while deleting
+        // T2(TKDE,XML,30) gives 2. The solver must pick the former.
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        });
+        let sol = solve_single_deletion(&p).unwrap();
+        assert!(sol.is_feasible(&p));
+        assert_eq!(sol.side_effect(&p), 1.0);
+        assert_eq!(sol.len(), 1);
+        let opt = exact::solve(&p, ExactConfig::default());
+        assert_eq!(sol.side_effect(&p), opt.cost);
+    }
+
+    #[test]
+    fn weights_change_the_choice() {
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+            let idx = p.views().views[0]
+                .position_of(&tup!["John", "TKDE", "CUBE"])
+                .unwrap();
+            p.set_weight(delprop_query::ViewTupleId::new(0, idx), 5.0)
+                .unwrap();
+        });
+        let sol = solve_single_deletion(&p).unwrap();
+        // T1 choice now costs 5, T2 choice costs 2.
+        assert_eq!(sol.side_effect(&p), 2.0);
+    }
+
+    #[test]
+    fn rejects_multi_query_or_multi_deletion() {
+        let p = fig1_problem(
+            &[
+                ("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)"),
+                ("Q5", "Q5(y, z) :- T2(y, z, w)"),
+            ],
+            |p| {
+                p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+            },
+        );
+        assert!(solve_single_deletion(&p).is_err());
+
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+            p.mark_deleted(0, &tup!["John", "TODS", "XML"]).unwrap();
+        });
+        assert!(solve_single_deletion(&p).is_err());
+    }
+
+    #[test]
+    fn matches_exact_on_every_possible_single_deletion() {
+        let base = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
+        let heads: Vec<_> = base.views().views[0]
+            .tuples
+            .iter()
+            .map(|vt| vt.head.clone())
+            .collect();
+        for head in heads {
+            let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+                p.mark_deleted(0, &head).unwrap();
+            });
+            let sol = solve_single_deletion(&p).unwrap();
+            let opt = exact::solve(&p, ExactConfig::default());
+            assert_eq!(
+                sol.side_effect(&p),
+                opt.cost,
+                "single-query solver suboptimal for deletion {head:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Shared instance builders for this crate's unit tests.
+
+use crate::problem::Problem;
+use delprop_query::parse_query;
+use delprop_relation::{tup, Database, RelationSchema, Schema, Tuple, Value};
+
+/// The paper's Fig. 1 database with the given queries bound and a setup
+/// hook to mark deletions / set weights.
+pub(crate) fn fig1_problem(
+    queries: &[(&str, &str)],
+    setup: impl FnOnce(&mut Problem),
+) -> Problem {
+    let schema = Schema::from_relations([
+        RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+    ])
+    .unwrap();
+    let mut d = Database::new(schema);
+    for t in [
+        tup!["Joe", "TKDE"],
+        tup!["John", "TKDE"],
+        tup!["Tom", "TKDE"],
+        tup!["John", "TODS"],
+    ] {
+        d.insert("T1", t).unwrap();
+    }
+    for t in [
+        tup!["TKDE", "XML", 30],
+        tup!["TKDE", "CUBE", 30],
+        tup!["TODS", "XML", 30],
+    ] {
+        d.insert("T2", t).unwrap();
+    }
+    let bound = queries
+        .iter()
+        .map(|(_, src)| parse_query(src).unwrap().bind(d.schema()).unwrap())
+        .collect();
+    let mut p = Problem::new(d, bound).unwrap();
+    setup(&mut p);
+    p
+}
+
+/// A binary-merging chain workload: one project-free chain query of
+/// `atoms` atoms over `n` chains whose nodes coalesce like a binary tree
+/// (`value at level j` = `i >> j`), so witness paths share suffixes and
+/// deletions have real trade-offs. `blue` lists the chain indices whose
+/// view tuples are marked for deletion.
+pub(crate) fn chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
+    assert!(atoms >= 1);
+    let schema = Schema::from_relations(
+        (1..=atoms).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut d = Database::new(schema);
+    for i in 0..n {
+        for j in 1..=atoms {
+            let a = (i >> (j - 1)) as i64;
+            let b = (i >> j) as i64;
+            let rel = format!("R{j}");
+            let rid = d.schema().relation_id(&rel).unwrap();
+            if d.find_by_key(rid, &[Value::int(a), Value::int(b)]).is_none() {
+                d.insert(&rel, tup![a, b]).unwrap();
+            }
+        }
+    }
+    let head: Vec<String> = (0..=atoms).map(|j| format!("x{j}")).collect();
+    let body: Vec<String> = (1..=atoms)
+        .map(|j| format!("R{j}(x{}, x{})", j - 1, j))
+        .collect();
+    let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
+    let q = parse_query(&src).unwrap().bind(d.schema()).unwrap();
+    let mut p = Problem::new(d, vec![q]).unwrap();
+    for &i in blue {
+        let head: Tuple = (0..=atoms).map(|j| (i >> j) as i64).collect();
+        p.mark_deleted(0, &head).unwrap();
+    }
+    p
+}
+
+/// A "broom" pivot workload: hub `R0(h)`, branches `R1(h, j)`, tips
+/// `R2(j, j)`, with four queries `Q1 ⊂ Q2 ⊂ Q3 = Q3b` so that every view
+/// tuple's witness set is a root-prefix path from the hub (a certified
+/// pivot case) and the duplicated deepest view (`Q3b`) makes deletions of
+/// blue `Q3` tuples cost at least 1. `blue` lists branch indices whose
+/// `Q3` tuple is marked for deletion (OPT side-effect = `blue.len()`).
+pub(crate) fn star_problem(branches: usize, blue: &[usize]) -> Problem {
+    let schema = Schema::from_relations([
+        RelationSchema::new("R0", 1, vec![0]).unwrap(),
+        RelationSchema::new("R1", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("R2", 2, vec![0, 1]).unwrap(),
+    ])
+    .unwrap();
+    let mut d = Database::new(schema);
+    d.insert("R0", tup![0]).unwrap();
+    for j in 0..branches {
+        d.insert("R1", tup![0, j as i64 + 1]).unwrap();
+        d.insert("R2", tup![j as i64 + 1, j as i64 + 1]).unwrap();
+    }
+    let sources = [
+        "Q1(x0) :- R0(x0)",
+        "Q2(x0, x1) :- R0(x0), R1(x0, x1)",
+        "Q3(x0, x1, x2) :- R0(x0), R1(x0, x1), R2(x1, x2)",
+        "Q3b(x0, x1, x2) :- R0(x0), R1(x0, x1), R2(x1, x2)",
+    ];
+    let bound = sources
+        .iter()
+        .map(|src| parse_query(src).unwrap().bind(d.schema()).unwrap())
+        .collect();
+    let mut p = Problem::new(d, bound).unwrap();
+    for &j in blue {
+        assert!(j < branches, "blue branch out of range");
+        let b = j as i64 + 1;
+        p.mark_deleted(2, &tup![0, b, b]).unwrap();
+    }
+    p
+}
+
+/// A staggered-window workload: `levels` chain relations `R1..R_levels`
+/// holding `(i, i)` for `n` parallel chains, and one query per adjacent
+/// relation pair `Q_j :- R_j, R_{j+1}`. Each chain's data dual graph is a
+/// path `R1(i)–…–R_levels(i)` whose witness paths are staggered windows —
+/// a forest case (§IV.B) that is **not** a pivot case for `levels ≥ 4`
+/// (the windows share no common tuple). `blue` lists `(query, chain)`
+/// pairs to mark for deletion.
+pub(crate) fn staggered_problem(levels: usize, n: usize, blue: &[(usize, usize)]) -> Problem {
+    assert!(levels >= 2);
+    let schema = Schema::from_relations(
+        (1..=levels).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut d = Database::new(schema);
+    for j in 1..=levels {
+        for i in 0..n {
+            d.insert(&format!("R{j}"), tup![i as i64, i as i64]).unwrap();
+        }
+    }
+    let bound = (1..levels)
+        .map(|j| {
+            let src = format!("Q{j}(a, b, c) :- R{j}(a, b), R{}(b, c)", j + 1);
+            parse_query(&src).unwrap().bind(d.schema()).unwrap()
+        })
+        .collect();
+    let mut p = Problem::new(d, bound).unwrap();
+    for &(q, i) in blue {
+        let v = i as i64;
+        p.mark_deleted(q, &tup![v, v, v]).unwrap();
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::exact;
+    use delprop_setcover::exact::ExactConfig;
+
+    #[test]
+    fn chain_problem_counts() {
+        let p = chain_problem(8, 3, &[1, 4]);
+        assert_eq!(p.views().views[0].len(), 8);
+        assert_eq!(p.norm_delta(), 2);
+        assert_eq!(p.l(), 4);
+    }
+
+    #[test]
+    fn star_problem_opt_is_number_of_blues() {
+        let p = star_problem(5, &[0, 3]);
+        let out = exact::solve(&p, ExactConfig::default());
+        assert_eq!(out.cost, 2.0, "each blue Q3 tuple costs its Q3b twin");
+    }
+
+    #[test]
+    fn star_problem_view_counts() {
+        let p = star_problem(3, &[]);
+        // Q1: 1, Q2: 3, Q3: 3, Q3b: 3
+        assert_eq!(p.norm_v(), 10);
+    }
+}

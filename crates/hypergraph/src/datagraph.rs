@@ -1,0 +1,321 @@
+//! The **data dual graph** (§IV.E of the paper): a graph on base tuples in
+//! which every view tuple's witness set forms a path.
+//!
+//! Construction: one vertex per base tuple occurring in some witness set;
+//! for each witness set `[t1, …, tk]` (in the layout order of the query's
+//! hypertree — body-atom order for the chain/star workloads this library
+//! generates), consecutive members are joined by an edge. On the paper's
+//! tree cases this graph is a forest; [`DataDualGraph::is_forest`] checks
+//! it, and [`RootedForest`] provides the depth/LCA machinery the
+//! primal-dual algorithm's processing order is defined with.
+
+use delprop_relation::TupleId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Graph over the base tuples appearing in witness sets.
+#[derive(Debug, Clone)]
+pub struct DataDualGraph {
+    vertices: Vec<TupleId>,
+    index: HashMap<TupleId, usize>,
+    adj: Vec<BTreeSet<usize>>,
+    /// Witness sets re-expressed as vertex-index paths (consecutive
+    /// duplicates collapsed).
+    paths: Vec<Vec<usize>>,
+}
+
+impl DataDualGraph {
+    /// Build from witness sets (one per view tuple, members in layout
+    /// order).
+    pub fn new(witness_sets: &[Vec<TupleId>]) -> DataDualGraph {
+        let mut vertices: Vec<TupleId> = Vec::new();
+        let mut index: HashMap<TupleId, usize> = HashMap::new();
+        let mut intern = |t: TupleId, vertices: &mut Vec<TupleId>| -> usize {
+            *index.entry(t).or_insert_with(|| {
+                vertices.push(t);
+                vertices.len() - 1
+            })
+        };
+        let mut paths = Vec::with_capacity(witness_sets.len());
+        for ws in witness_sets {
+            let mut path: Vec<usize> = Vec::with_capacity(ws.len());
+            for &t in ws {
+                let v = intern(t, &mut vertices);
+                if path.last() != Some(&v) {
+                    path.push(v);
+                }
+            }
+            paths.push(path);
+        }
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); vertices.len()];
+        for path in &paths {
+            for w in path.windows(2) {
+                adj[w[0]].insert(w[1]);
+                adj[w[1]].insert(w[0]);
+            }
+        }
+        DataDualGraph {
+            vertices,
+            index,
+            adj,
+            paths,
+        }
+    }
+
+    /// Number of vertices (distinct base tuples).
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The tuple behind vertex `v`.
+    pub fn tuple(&self, v: usize) -> TupleId {
+        self.vertices[v]
+    }
+
+    /// The vertex of a tuple, if it occurs in any witness set.
+    pub fn vertex(&self, t: TupleId) -> Option<usize> {
+        self.index.get(&t).copied()
+    }
+
+    /// Witness sets as vertex paths, in input order.
+    pub fn paths(&self) -> &[Vec<usize>] {
+        &self.paths
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// Connected components as sorted vertex lists.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.vertices.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = out.len();
+            let mut stack = vec![start];
+            let mut members = Vec::new();
+            comp[start] = c;
+            while let Some(v) = stack.pop() {
+                members.push(v);
+                for &u in &self.adj[v] {
+                    if comp[u] == usize::MAX {
+                        comp[u] = c;
+                        stack.push(u);
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// Whether every component is a tree (|E| = |V| − 1).
+    pub fn is_forest(&self) -> bool {
+        let total_edges: usize = self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2;
+        let comps = self.components();
+        total_edges + comps.len() == self.num_vertices()
+    }
+
+    /// Root every component (at its smallest vertex by default, or at the
+    /// provided roots) and return the forest structure. Returns `None` if
+    /// the graph is not a forest.
+    pub fn rooted(&self, roots: Option<&[usize]>) -> Option<RootedForest> {
+        if !self.is_forest() {
+            return None;
+        }
+        let comps = self.components();
+        let chosen: Vec<usize> = match roots {
+            Some(r) => {
+                assert_eq!(r.len(), comps.len(), "one root per component");
+                for (root, comp) in r.iter().zip(&comps) {
+                    assert!(comp.binary_search(root).is_ok(), "root not in its component");
+                }
+                r.to_vec()
+            }
+            None => comps.iter().map(|c| c[0]).collect(),
+        };
+        let n = self.num_vertices();
+        let mut parent = vec![None; n];
+        let mut depth = vec![0usize; n];
+        let mut component = vec![usize::MAX; n];
+        let mut bfs_order = Vec::with_capacity(n);
+        for (ci, &root) in chosen.iter().enumerate() {
+            let mut queue = std::collections::VecDeque::from([root]);
+            component[root] = ci;
+            while let Some(v) = queue.pop_front() {
+                bfs_order.push(v);
+                for &u in &self.adj[v] {
+                    if component[u] == usize::MAX {
+                        component[u] = ci;
+                        parent[u] = Some(v);
+                        depth[u] = depth[v] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        Some(RootedForest {
+            roots: chosen,
+            parent,
+            depth,
+            component,
+            bfs_order,
+        })
+    }
+}
+
+/// A rooted forest over the data dual graph's vertices.
+#[derive(Debug, Clone)]
+pub struct RootedForest {
+    /// Root vertex per component.
+    pub roots: Vec<usize>,
+    /// Parent of each vertex (`None` for roots).
+    pub parent: Vec<Option<usize>>,
+    /// Depth of each vertex (0 at roots).
+    pub depth: Vec<usize>,
+    /// Component index of each vertex.
+    pub component: Vec<usize>,
+    /// All vertices in BFS order (roots first within each component).
+    pub bfs_order: Vec<usize>,
+}
+
+impl RootedForest {
+    /// Lowest common ancestor of two vertices, or `None` if they lie in
+    /// different components.
+    pub fn lca(&self, mut a: usize, mut b: usize) -> Option<usize> {
+        if self.component[a] != self.component[b] {
+            return None;
+        }
+        while self.depth[a] > self.depth[b] {
+            a = self.parent[a].expect("non-root has parent");
+        }
+        while self.depth[b] > self.depth[a] {
+            b = self.parent[b].expect("non-root has parent");
+        }
+        while a != b {
+            a = self.parent[a].expect("distinct vertices at depth 0 would differ in component");
+            b = self.parent[b].expect("distinct vertices at depth 0 would differ in component");
+        }
+        Some(a)
+    }
+
+    /// Shallowest vertex of a non-empty vertex set (the path's top, used to
+    /// order primal-dual demand processing).
+    pub fn shallowest<'a>(&self, vs: impl IntoIterator<Item = &'a usize>) -> Option<usize> {
+        vs.into_iter().copied().min_by_key(|&v| self.depth[v])
+    }
+
+    /// Vertices on the path from `v` up to (and including) the root.
+    pub fn ancestors_inclusive(&self, mut v: usize) -> Vec<usize> {
+        let mut out = vec![v];
+        while let Some(p) = self.parent[v] {
+            out.push(p);
+            v = p;
+        }
+        out
+    }
+
+    /// Children lists (inverse of `parent`).
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (v, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(v);
+            }
+        }
+        ch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delprop_relation::RelationId;
+
+    fn t(r: usize, i: usize) -> TupleId {
+        TupleId::new(RelationId(r), i)
+    }
+
+    #[test]
+    fn chain_paths_form_tree() {
+        // Two view tuples sharing a middle tuple: a path a-b-c plus b-d.
+        let g = DataDualGraph::new(&[
+            vec![t(0, 0), t(1, 0), t(2, 0)],
+            vec![t(0, 1), t(1, 0)],
+        ]);
+        assert_eq!(g.num_vertices(), 4);
+        assert!(g.is_forest());
+        assert_eq!(g.components().len(), 1);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = DataDualGraph::new(&[
+            vec![t(0, 0), t(1, 0)],
+            vec![t(1, 0), t(2, 0)],
+            vec![t(2, 0), t(0, 0)],
+        ]);
+        assert!(!g.is_forest());
+        assert!(g.rooted(None).is_none());
+    }
+
+    #[test]
+    fn rooted_depth_and_lca() {
+        // Star: center c with leaves x, y, z (three 2-tuple witness sets).
+        let c = t(0, 0);
+        let g = DataDualGraph::new(&[
+            vec![c, t(1, 0)],
+            vec![c, t(1, 1)],
+            vec![c, t(1, 2)],
+        ]);
+        let f = g.rooted(Some(&[g.vertex(c).unwrap()])).unwrap();
+        assert_eq!(f.depth[g.vertex(c).unwrap()], 0);
+        let x = g.vertex(t(1, 0)).unwrap();
+        let y = g.vertex(t(1, 1)).unwrap();
+        assert_eq!(f.depth[x], 1);
+        assert_eq!(f.lca(x, y), Some(g.vertex(c).unwrap()));
+        assert_eq!(f.ancestors_inclusive(x), vec![x, g.vertex(c).unwrap()]);
+    }
+
+    #[test]
+    fn lca_across_components_is_none() {
+        let g = DataDualGraph::new(&[vec![t(0, 0), t(1, 0)], vec![t(0, 1), t(1, 1)]]);
+        let f = g.rooted(None).unwrap();
+        let a = g.vertex(t(0, 0)).unwrap();
+        let b = g.vertex(t(0, 1)).unwrap();
+        assert_eq!(f.lca(a, b), None);
+        assert_eq!(f.roots.len(), 2);
+    }
+
+    #[test]
+    fn repeated_tuple_in_witness_collapses() {
+        // Self-join hitting the same tuple twice: path has one vertex.
+        let g = DataDualGraph::new(&[vec![t(0, 0), t(0, 0)]]);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.paths()[0], vec![0]);
+        assert!(g.is_forest());
+    }
+
+    #[test]
+    fn children_inverse_of_parent() {
+        let g = DataDualGraph::new(&[vec![t(0, 0), t(1, 0), t(2, 0)]]);
+        let root = g.vertex(t(0, 0)).unwrap();
+        let f = g.rooted(Some(&[root])).unwrap();
+        let ch = f.children();
+        assert_eq!(ch[root], vec![g.vertex(t(1, 0)).unwrap()]);
+    }
+
+    #[test]
+    fn shallowest_picks_min_depth() {
+        let g = DataDualGraph::new(&[vec![t(0, 0), t(1, 0), t(2, 0)]]);
+        let root = g.vertex(t(0, 0)).unwrap();
+        let f = g.rooted(Some(&[root])).unwrap();
+        let path = &g.paths()[0];
+        assert_eq!(f.shallowest(path.iter()), Some(root));
+    }
+}

@@ -1,0 +1,99 @@
+//! The dual hypergraph `H(Q)` of a query set (§IV.B of the paper):
+//! one vertex per relation, one hyperedge per query containing the
+//! relations its body mentions.
+
+use crate::gyo;
+use crate::hypergraph::Hypergraph;
+use delprop_relation::RelationId;
+use std::collections::BTreeSet;
+
+/// The dual hypergraph of a set of queries, with the vertex numbering
+/// retained for reporting.
+#[derive(Debug, Clone)]
+pub struct DualHypergraph {
+    /// Relations in vertex order (vertex `i` is `relations[i]`).
+    pub relations: Vec<RelationId>,
+    /// The hypergraph: vertex `i` ↔ `relations[i]`, edge `j` ↔ query `j`.
+    pub hypergraph: Hypergraph,
+}
+
+impl DualHypergraph {
+    /// Build from the per-query relation sets (body relations of each
+    /// query, self-joins collapsing to one occurrence).
+    pub fn new(query_relations: &[Vec<RelationId>]) -> DualHypergraph {
+        let mut relations: Vec<RelationId> = query_relations
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        relations.sort_unstable();
+        let vertex_of = |r: RelationId| relations.binary_search(&r).expect("collected above");
+        let edges: Vec<Vec<usize>> = query_relations
+            .iter()
+            .map(|q| q.iter().map(|&r| vertex_of(r)).collect())
+            .collect();
+        DualHypergraph {
+            hypergraph: Hypergraph::new(relations.len(), edges),
+            relations,
+        }
+    }
+
+    /// Whether the paper's **forest case** applies: every connected
+    /// component of the dual hypergraph is a hypertree.
+    pub fn is_forest_case(&self) -> bool {
+        gyo::is_forest_of_hypertrees(&self.hypergraph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: usize) -> RelationId {
+        RelationId(i)
+    }
+
+    #[test]
+    fn fig3_via_dual_hypergraph() {
+        // T1..T4 are relations 0..3.
+        let q1 = vec![rid(0), rid(1), rid(2)];
+        let q2 = vec![rid(0), rid(1), rid(3)];
+        let q3 = vec![rid(0), rid(1)];
+        let q4 = vec![rid(0), rid(2)];
+        let q5 = vec![rid(1), rid(2)];
+
+        let set1 = DualHypergraph::new(&[q1.clone(), q3.clone(), q4.clone(), q5.clone()]);
+        assert!(!set1.is_forest_case());
+
+        let set2 = DualHypergraph::new(&[q1.clone(), q3, q5.clone()]);
+        assert!(set2.is_forest_case());
+
+        let set3 = DualHypergraph::new(&[q1, q2, q5]);
+        assert!(set3.is_forest_case());
+    }
+
+    #[test]
+    fn vertex_numbering_is_dense_over_used_relations() {
+        let d = DualHypergraph::new(&[vec![rid(7), rid(3)], vec![rid(3)]]);
+        assert_eq!(d.relations, vec![rid(3), rid(7)]);
+        assert_eq!(d.hypergraph.num_vertices(), 2);
+        assert_eq!(d.hypergraph.num_edges(), 2);
+    }
+
+    #[test]
+    fn disconnected_queries_form_forest() {
+        let d = DualHypergraph::new(&[vec![rid(0), rid(1)], vec![rid(2), rid(3)]]);
+        assert!(d.is_forest_case());
+        assert_eq!(d.hypergraph.components().len(), 2);
+    }
+
+    #[test]
+    fn self_join_collapses() {
+        // A query over the same relation twice has a singleton edge.
+        let d = DualHypergraph::new(&[vec![rid(0), rid(0)]]);
+        assert_eq!(d.hypergraph.edges()[0].len(), 1);
+        assert!(d.is_forest_case());
+    }
+}

@@ -1,0 +1,164 @@
+//! α-acyclicity via the GYO (Graham / Yu–Özsoyoğlu) reduction, and the
+//! paper's "hypertree" recognition built on it.
+//!
+//! **GYO**: repeatedly (a) delete a vertex that occurs in at most one
+//! hyperedge, and (b) delete a hyperedge contained in another hyperedge.
+//! The hypergraph is α-acyclic iff this empties it.
+//!
+//! **Hypertree (§IV.B, Fig. 3)**: the paper calls a dual hypergraph a
+//! hypertree when there is a *tree on its vertices* in which every
+//! hyperedge induces a subtree (the arboreal/Helly "hypertree" of the
+//! hypergraph literature, cited to Fagin [23]). A hypergraph has such a
+//! tree iff its **dual** is α-acyclic — which is exactly the test
+//! [`is_hypertree`] performs, and it reproduces Fig. 3: `{T1T2T3, T1T2,
+//! T1T3, T2T3}` is not a hypertree, while dropping either `T1T3` or `T2T3`
+//! (queries Q4/Q5) yields one.
+
+use crate::hypergraph::Hypergraph;
+use std::collections::BTreeSet;
+
+/// Whether `h` is α-acyclic (GYO reduces it to nothing).
+pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
+    let mut edges: Vec<BTreeSet<usize>> = h.edges().to_vec();
+    loop {
+        let mut changed = false;
+
+        // (b) remove edges contained in another edge (also removes
+        // duplicates, keeping one representative).
+        let mut kept: Vec<BTreeSet<usize>> = Vec::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            let dominated = edges.iter().enumerate().any(|(j, f)| {
+                j != i && e.is_subset(f) && (e != f || j < i)
+            });
+            if dominated {
+                changed = true;
+            } else {
+                kept.push(e.clone());
+            }
+        }
+        edges = kept;
+
+        // (a) remove vertices occurring in at most one edge.
+        let mut occurrence: std::collections::HashMap<usize, usize> = Default::default();
+        for e in &edges {
+            for &v in e {
+                *occurrence.entry(v).or_insert(0) += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| occurrence[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        edges.retain(|e| !e.is_empty());
+
+        if edges.is_empty() {
+            return true;
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// Whether `h` is a **hypertree** in the paper's sense: some tree on the
+/// vertex set has every hyperedge inducing a subtree. Tested via
+/// α-acyclicity of the dual.
+pub fn is_hypertree(h: &Hypergraph) -> bool {
+    is_alpha_acyclic(&h.dual())
+}
+
+/// Whether every connected component of `h` is a hypertree — the paper's
+/// **forest case** (§IV.B).
+pub fn is_forest_of_hypertrees(h: &Hypergraph) -> bool {
+    h.components().iter().all(|comp| {
+        let (sub, _) = h.induced(comp);
+        is_hypertree(&sub)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: usize, edges: Vec<Vec<usize>>) -> Hypergraph {
+        Hypergraph::new(n, edges)
+    }
+
+    #[test]
+    fn triangle_is_not_alpha_acyclic() {
+        assert!(!is_alpha_acyclic(&h(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]])));
+    }
+
+    #[test]
+    fn triangle_plus_big_edge_is_alpha_acyclic() {
+        // α-acyclicity is not hereditary: the covering edge absorbs the
+        // triangle.
+        assert!(is_alpha_acyclic(&h(
+            3,
+            vec![vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]]
+        )));
+    }
+
+    #[test]
+    fn path_is_alpha_acyclic() {
+        assert!(is_alpha_acyclic(&h(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]])));
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        assert!(is_alpha_acyclic(&h(0, vec![])));
+        assert!(is_alpha_acyclic(&h(3, vec![vec![0, 1, 2]])));
+        assert!(is_alpha_acyclic(&h(3, vec![vec![0, 1, 2], vec![0, 1, 2]])));
+    }
+
+    /// Fig. 3 of the paper: with queries as hyperedges over {T1,T2,T3,T4},
+    /// Q1 = {Q1,Q3,Q4,Q5} is *not* a hypertree; Q2 = {Q1,Q3,Q5} and
+    /// Q3 = {Q1,Q2,Q5} are.
+    #[test]
+    fn fig3_hypertree_classification() {
+        // vertices: 0=T1, 1=T2, 2=T3, 3=T4
+        let q1_edge = vec![0, 1, 2]; // Q1 :- T1,T2,T3
+        let q2_edge = vec![0, 1, 3]; // Q2 :- T1,T2,T4
+        let q3_edge = vec![0, 1]; // Q3 :- T1,T2
+        let q4_edge = vec![0, 2]; // Q4 :- T1,T3
+        let q5_edge = vec![1, 2]; // Q5 :- T2,T3
+
+        let set1 = h(3, vec![q1_edge.clone(), q3_edge.clone(), q4_edge.clone(), q5_edge.clone()]);
+        assert!(!is_hypertree(&set1), "Fig. 3(a) is not a hypertree");
+
+        let set2 = h(3, vec![q1_edge.clone(), q3_edge.clone(), q5_edge.clone()]);
+        assert!(is_hypertree(&set2), "Fig. 3(b) is a hypertree");
+
+        let set3 = h(4, vec![q1_edge, q2_edge, q5_edge]);
+        assert!(is_hypertree(&set3), "Fig. 3(c) is a hypertree");
+    }
+
+    #[test]
+    fn forest_of_hypertrees() {
+        // Two disjoint path components: a forest.
+        let g = h(6, vec![vec![0, 1], vec![1, 2], vec![3, 4], vec![4, 5]]);
+        assert!(is_forest_of_hypertrees(&g));
+        // Add the Fig. 3(a) pattern to one component: no longer a forest.
+        let g = h(
+            6,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![3, 4],
+            ],
+        );
+        assert!(!is_forest_of_hypertrees(&g));
+    }
+
+    #[test]
+    fn star_hypergraph_is_hypertree() {
+        // Edges all through a hub vertex: the star tree realizes them.
+        let g = h(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        assert!(is_hypertree(&g));
+    }
+}

@@ -1,0 +1,174 @@
+//! A plain hypergraph with the operations the acyclicity analysis needs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A hypergraph on vertices `0..num_vertices` with labeled hyperedges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    edges: Vec<BTreeSet<usize>>,
+}
+
+impl Hypergraph {
+    /// Build a hypergraph; edge members are deduplicated.
+    ///
+    /// # Panics
+    /// Panics if an edge references a vertex `>= num_vertices`.
+    pub fn new(num_vertices: usize, edges: Vec<Vec<usize>>) -> Self {
+        let edges: Vec<BTreeSet<usize>> = edges
+            .into_iter()
+            .map(|e| e.into_iter().collect())
+            .collect();
+        for (i, e) in edges.iter().enumerate() {
+            assert!(
+                e.iter().all(|&v| v < num_vertices),
+                "edge {i} references vertex out of range"
+            );
+        }
+        Hypergraph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[BTreeSet<usize>] {
+        &self.edges
+    }
+
+    /// The dual hypergraph: one vertex per edge of `self`, and for each
+    /// vertex `v` of `self` (that occurs in at least one edge) an edge
+    /// containing the indices of the hyperedges containing `v`.
+    pub fn dual(&self) -> Hypergraph {
+        let mut dual_edges: Vec<Vec<usize>> = Vec::new();
+        for v in 0..self.num_vertices {
+            let e: Vec<usize> = self
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, edge)| edge.contains(&v))
+                .map(|(i, _)| i)
+                .collect();
+            if !e.is_empty() {
+                dual_edges.push(e);
+            }
+        }
+        Hypergraph::new(self.edges.len(), dual_edges)
+    }
+
+    /// Connected components over the "share an edge" relation, as sorted
+    /// vertex lists (isolated vertices form singleton components).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut parent: Vec<usize> = (0..self.num_vertices).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for e in &self.edges {
+            let mut it = e.iter();
+            if let Some(&first) = it.next() {
+                for &v in it {
+                    let (a, b) = (find(&mut parent, first), find(&mut parent, v));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for v in 0..self.num_vertices {
+            let r = find(&mut parent, v);
+            groups.entry(r).or_default().push(v);
+        }
+        groups.into_values().collect()
+    }
+
+    /// The subhypergraph induced by keeping only the given vertices
+    /// (edges are intersected with the set; empty results are dropped).
+    /// Vertex indices are *renumbered* to `0..kept.len()` in sorted order;
+    /// the mapping is returned alongside.
+    pub fn induced(&self, kept: &[usize]) -> (Hypergraph, Vec<usize>) {
+        let mut kept: Vec<usize> = kept.to_vec();
+        kept.sort_unstable();
+        kept.dedup();
+        let index_of = |v: usize| kept.binary_search(&v).ok();
+        let edges: Vec<Vec<usize>> = self
+            .edges
+            .iter()
+            .map(|e| e.iter().filter_map(|&v| index_of(v)).collect::<Vec<_>>())
+            .filter(|e: &Vec<usize>| !e.is_empty())
+            .collect();
+        (Hypergraph::new(kept.len(), edges), kept)
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H(n={}; ", self.num_vertices)?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{{:?}}}", e.iter().collect::<Vec<_>>())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_of_triangle_with_big_edge() {
+        // Fig. 3(a): edges {012},{01},{02},{12}
+        let h = Hypergraph::new(3, vec![vec![0, 1, 2], vec![0, 1], vec![0, 2], vec![1, 2]]);
+        let d = h.dual();
+        assert_eq!(d.num_vertices(), 4);
+        assert_eq!(d.num_edges(), 3); // one per original vertex
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let h = Hypergraph::new(5, vec![vec![0, 1], vec![3, 4]]);
+        let cs = h.components();
+        assert_eq!(cs, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn induced_renumbers() {
+        let h = Hypergraph::new(4, vec![vec![0, 2, 3], vec![1, 2]]);
+        let (sub, map) = h.induced(&[2, 3]);
+        assert_eq!(map, vec![2, 3]);
+        assert_eq!(sub.num_vertices(), 2);
+        // Edge {0,2,3} ∩ {2,3} = {2,3} -> renumbered {0,1}; {1,2} ∩ = {2} -> {0}
+        assert_eq!(sub.num_edges(), 2);
+    }
+
+    #[test]
+    fn dual_skips_isolated_vertices() {
+        let h = Hypergraph::new(3, vec![vec![0, 1]]);
+        let d = h.dual();
+        assert_eq!(d.num_edges(), 2); // vertices 0 and 1 only
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_edge_rejected() {
+        Hypergraph::new(2, vec![vec![2]]);
+    }
+}

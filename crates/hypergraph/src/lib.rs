@@ -1,0 +1,27 @@
+//! # delprop-hypergraph — hypergraph substrate
+//!
+//! The structural analysis behind the paper's tractable/approximable cases:
+//!
+//! - [`Hypergraph`]: plain hypergraphs with duals, components, induced
+//!   subhypergraphs;
+//! - [`gyo`]: α-acyclicity (GYO reduction) and the paper's **hypertree**
+//!   test (Fig. 3) — a tree on the vertices in which every hyperedge
+//!   induces a subtree, recognized via α-acyclicity of the dual;
+//! - [`DualHypergraph`]: the dual hypergraph `H(Q)` of a query set and the
+//!   **forest case** recognition (§IV.B);
+//! - [`DataDualGraph`] / [`RootedForest`]: the data dual graph on base
+//!   tuples whose paths are witness sets (§IV.E), with rooting, depth, and
+//!   LCA support for the primal-dual algorithm;
+//! - [`pivot`]: recognition of the **pivot-tuple** restricted forest case
+//!   that makes the exact dynamic program applicable.
+
+mod datagraph;
+mod dual;
+pub mod gyo;
+mod hypergraph;
+pub mod pivot;
+
+pub use datagraph::{DataDualGraph, RootedForest};
+pub use dual::DualHypergraph;
+pub use hypergraph::Hypergraph;
+pub use pivot::{find_pivot_structure, PivotStructure};

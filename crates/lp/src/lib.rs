@@ -1,0 +1,20 @@
+//! # delprop-lp — linear-programming substrate
+//!
+//! A small dense two-phase primal simplex solver, written from scratch
+//! because the offline crate set contains no LP solver. It exists for two
+//! jobs in this workspace:
+//!
+//! 1. solving the paper's LP relaxation (formulation (1)–(5), §IV.C) to
+//!    optimality, giving the **lower bounds** every approximation-ratio
+//!    experiment divides by, and
+//! 2. powering the deterministic LP-rounding `l`-approximation in
+//!    `delprop-core`.
+//!
+//! Bland's rule is used throughout: slower than Dantzig pricing, but
+//! provably terminating, which matters for a correctness baseline.
+
+mod model;
+mod simplex;
+
+pub use model::{Cmp, Constraint, LpOutcome, LpProblem, Sense};
+pub use simplex::solve;

@@ -1,0 +1,195 @@
+//! Linear-program model: variables, linear constraints, objective.
+//!
+//! All variables are non-negative (`x ≥ 0`), which is all the paper's LP
+//! relaxation (formulation (1)–(5) in §IV.C) needs; bounded variables are
+//! expressed as explicit constraints.
+
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+/// One linear constraint `Σ coeff·x (op) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficients `(variable, coefficient)`.
+    pub terms: Vec<(usize, f64)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    num_vars: usize,
+    sense: Sense,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// New program with `num_vars` non-negative variables, objective 0.
+    pub fn new(num_vars: usize, sense: Sense) -> Self {
+        LpProblem {
+            num_vars,
+            sense,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Set the objective coefficient of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or `c` is non-finite.
+    pub fn set_objective(&mut self, v: usize, c: f64) {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        assert!(c.is_finite(), "objective coefficient must be finite");
+        self.objective[v] = c;
+    }
+
+    /// Add a constraint.
+    ///
+    /// # Panics
+    /// Panics on out-of-range variables or non-finite numbers.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        for &(v, c) in &terms {
+            assert!(v < self.num_vars, "variable {v} out of range");
+            assert!(c.is_finite(), "coefficient must be finite");
+        }
+        self.constraints.push(Constraint { terms, cmp, rhs });
+    }
+}
+
+impl fmt::Display for LpProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {:?} over {} vars, {} constraints",
+            match self.sense {
+                Sense::Minimize => "min",
+                Sense::Maximize => "max",
+            },
+            self.objective,
+            self.num_vars,
+            self.constraints.len()
+        )
+    }
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Variable values.
+        x: Vec<f64>,
+        /// Objective value at `x` (in the problem's own sense).
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The solver's iteration cap fired before reaching optimality
+    /// (pathologically degenerate instance). No primal answer is
+    /// available; callers must fall back (e.g. use a trivial bound).
+    IterationLimit,
+}
+
+impl LpOutcome {
+    /// The optimal objective, if any.
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            LpOutcome::Optimal { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+
+    /// The optimal point, if any.
+    pub fn solution(&self) -> Option<&[f64]> {
+        match self {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut p = LpProblem::new(2, Sense::Minimize);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 2.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.constraints().len(), 1);
+        assert_eq!(p.objective(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn objective_bounds_checked() {
+        LpProblem::new(1, Sense::Minimize).set_objective(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        LpProblem::new(1, Sense::Minimize).add_constraint(vec![(0, 1.0)], Cmp::Le, f64::NAN);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = LpOutcome::Optimal {
+            x: vec![1.0],
+            objective: 3.0,
+        };
+        assert_eq!(o.objective(), Some(3.0));
+        assert_eq!(o.solution(), Some(&[1.0][..]));
+        assert_eq!(LpOutcome::Infeasible.objective(), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Dense two-phase primal simplex with Bland's rule.
+//!
+//! Built from scratch because no LP solver exists in the offline crate set.
+//! The instances this library solves (the LP relaxation (1)–(5) of §IV.C,
+//! used for lower bounds and LP rounding) have at most a few thousand
+//! nonzeros, where a dense tableau is simple and fast enough. Bland's rule
+//! guarantees termination (no cycling) at the cost of some extra pivots —
+//! the right trade for a correctness-critical baseline.
+
+use crate::model::{Cmp, LpOutcome, LpProblem, Sense};
+
+const EPS: f64 = 1e-9;
+
+/// Solve `problem` to optimality (or detect infeasibility/unboundedness).
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    let n = problem.num_vars();
+    let m = problem.constraints().len();
+
+    // --- Build the standard form: min c·x, Ax = b, x ≥ 0, b ≥ 0. ---
+    // Column layout: [structural 0..n | slack/surplus | artificial].
+    let mut num_slack = 0;
+    for c in problem.constraints() {
+        if matches!(c.cmp, Cmp::Le | Cmp::Ge) {
+            num_slack += 1;
+        }
+    }
+    let total = n + num_slack + m; // reserve one artificial slot per row
+    let mut a = vec![vec![0.0; total]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut num_art = 0;
+    let mut slack_col = n;
+
+    for (i, con) in problem.constraints().iter().enumerate() {
+        for &(v, coeff) in &con.terms {
+            a[i][v] += coeff;
+        }
+        b[i] = con.rhs;
+        let mut slack_sign = 0.0;
+        match con.cmp {
+            Cmp::Le => slack_sign = 1.0,
+            Cmp::Ge => slack_sign = -1.0,
+            Cmp::Eq => {}
+        }
+        let this_slack = if slack_sign != 0.0 {
+            a[i][slack_col] = slack_sign;
+            let col = slack_col;
+            slack_col += 1;
+            Some(col)
+        } else {
+            None
+        };
+        // Normalize to b ≥ 0.
+        if b[i] < 0.0 {
+            for x in a[i].iter_mut() {
+                *x = -*x;
+            }
+            b[i] = -b[i];
+        }
+        // A slack column with coefficient +1 can start in the basis.
+        match this_slack {
+            Some(col) if a[i][col] > 0.5 => basis[i] = col,
+            _ => {
+                let art = n + num_slack + num_art;
+                num_art += 1;
+                a[i][art] = 1.0;
+                basis[i] = art;
+            }
+        }
+    }
+    let num_cols = n + num_slack + num_art;
+    for row in a.iter_mut() {
+        row.truncate(num_cols);
+    }
+
+    // Objective in minimization form.
+    let sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; num_cols];
+    for (v, &c) in problem.objective().iter().enumerate() {
+        cost[v] = sign * c;
+    }
+
+    // --- Phase 1: minimize sum of artificials. ---
+    if num_art > 0 {
+        let mut phase1 = vec![0.0; num_cols];
+        for p in phase1.iter_mut().skip(n + num_slack) {
+            *p = 1.0;
+        }
+        match run_simplex(&mut a, &mut b, &mut basis, &phase1, num_cols) {
+            SimplexEnd::Optimal(obj) => {
+                if obj > 1e-7 {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            SimplexEnd::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+            SimplexEnd::IterationLimit => return LpOutcome::IterationLimit,
+        }
+        // Drive any remaining artificial out of the basis (degenerate rows).
+        for i in 0..m {
+            if basis[i] >= n + num_slack {
+                // Pivot on any non-artificial column with nonzero entry.
+                if let Some(j) = (0..n + num_slack).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut b, &mut basis, i, j);
+                }
+                // If none exists the row is all-zero (redundant); the
+                // artificial stays basic at value 0, which is harmless.
+            }
+        }
+        // Freeze artificials at zero for phase 2 by zeroing their columns.
+        for row in a.iter_mut() {
+            for x in row.iter_mut().skip(n + num_slack) {
+                *x = 0.0;
+            }
+        }
+    }
+
+    // --- Phase 2: the real objective. ---
+    match run_simplex(&mut a, &mut b, &mut basis, &cost, n + num_slack) {
+        SimplexEnd::Unbounded => LpOutcome::Unbounded,
+        SimplexEnd::IterationLimit => LpOutcome::IterationLimit,
+        SimplexEnd::Optimal(obj) => {
+            let mut x = vec![0.0; n];
+            for (i, &bv) in basis.iter().enumerate() {
+                if bv < n {
+                    x[bv] = b[i];
+                }
+            }
+            LpOutcome::Optimal {
+                x,
+                objective: sign * obj,
+            }
+        }
+    }
+}
+
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+    /// The iteration cap fired (pathological degeneracy). Callers treat
+    /// this as "no usable answer" rather than waiting minutes.
+    IterationLimit,
+}
+
+/// Run primal simplex on the tableau, restricted to entering columns
+/// `< enter_limit`. Pricing is Dantzig (most negative reduced cost) for
+/// speed, switching to Bland's rule after a generous iteration budget so
+/// termination stays guaranteed on degenerate instances. Returns the
+/// optimal objective value `Σ cost[basis[i]]·b[i]` on success.
+fn run_simplex(
+    a: &mut [Vec<f64>],
+    b: &mut [f64],
+    basis: &mut [usize],
+    cost: &[f64],
+    enter_limit: usize,
+) -> SimplexEnd {
+    let m = a.len();
+    // Three pricing phases: Dantzig (fast), then randomized (breaks the
+    // degenerate treadmills Dantzig can enter), then Bland (guaranteed
+    // progress), with a hard cap as the final backstop.
+    let dantzig_until = 5 * (m + enter_limit) as u64 + 500;
+    let random_until = dantzig_until + 20 * (m + enter_limit) as u64 + 2_000;
+    let max_iterations = random_until + 50 * (m + enter_limit) as u64 + 10_000;
+    let mut rng_state: u64 = 0x9e3779b97f4a7c15;
+    let mut iterations: u64 = 0;
+    let mut in_basis = vec![false; enter_limit.max(basis.iter().copied().max().map_or(0, |x| x + 1))];
+    for &bv in basis.iter() {
+        if bv < in_basis.len() {
+            in_basis[bv] = true;
+        }
+    }
+    loop {
+        iterations += 1;
+        if iterations > max_iterations {
+            return SimplexEnd::IterationLimit;
+        }
+        let bland = iterations > random_until;
+        let randomized = !bland && iterations > dantzig_until;
+        // Reduced cost of column j: cost[j] - Σ_i cost[basis[i]]·a[i][j]
+        // (the tableau is kept in canonical form). Precompute the basic
+        // cost vector once per iteration.
+        let basic_costs: Vec<f64> = basis.iter().map(|&bv| cost[bv]).collect();
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..enter_limit {
+            if j < in_basis.len() && in_basis[j] {
+                continue;
+            }
+            let mut reduced = cost[j];
+            for i in 0..m {
+                let c = basic_costs[i];
+                if c != 0.0 {
+                    reduced -= c * a[i][j];
+                }
+            }
+            if reduced < -EPS {
+                if bland {
+                    entering = Some((j, reduced)); // first index
+                    break;
+                }
+                if entering.is_none_or(|(_, r)| reduced < r) {
+                    entering = Some((j, reduced)); // most negative
+                }
+            }
+        }
+        let Some((j, _)) = entering else {
+            let obj = (0..m).map(|i| cost[basis[i]] * b[i]).sum();
+            return SimplexEnd::Optimal(obj);
+        };
+        // Ratio test (Bland ties: smallest basis variable index).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if a[i][j] > EPS {
+                let ratio = b[i] / a[i][j];
+                let better = match leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return SimplexEnd::Unbounded;
+        };
+        let old = basis[i];
+        if old < in_basis.len() {
+            in_basis[old] = false;
+        }
+        pivot(a, b, basis, i, j);
+        if j < in_basis.len() {
+            in_basis[j] = true;
+        }
+    }
+}
+
+/// Pivot the tableau: make column `j` basic in row `i`.
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], i: usize, j: usize) {
+    let m = a.len();
+    let p = a[i][j];
+    debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+    for x in a[i].iter_mut() {
+        *x /= p;
+    }
+    b[i] /= p;
+    // Clone the (normalized) pivot row once; eliminating column j from
+    // every other row is the hot loop of the whole solver.
+    let pivot_row: Vec<f64> = a[i].clone();
+    for r in 0..m {
+        if r != i && a[r][j].abs() > EPS {
+            let factor = a[r][j];
+            for (x, pv) in a[r].iter_mut().zip(&pivot_row) {
+                *x -= factor * pv;
+            }
+            b[r] -= factor * b[i];
+        }
+    }
+    basis[i] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LpProblem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12
+        let mut p = LpProblem::new(2, Sense::Maximize);
+        p.set_objective(0, 3.0);
+        p.set_objective(1, 2.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(0, 1.0), (1, 3.0)], Cmp::Le, 6.0);
+        let o = solve(&p);
+        assert_close(o.objective().unwrap(), 12.0);
+        let x = o.solution().unwrap();
+        assert_close(x[0], 4.0);
+        assert_close(x[1], 0.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min x + 2y s.t. x + y >= 3, y >= 1 -> x=2, y=1, obj 4
+        let mut p = LpProblem::new(2, Sense::Minimize);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 2.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 3.0);
+        p.add_constraint(vec![(1, 1.0)], Cmp::Ge, 1.0);
+        let o = solve(&p);
+        assert_close(o.objective().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 -> x=2, y=1, obj 3
+        let mut p = LpProblem::new(2, Sense::Minimize);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, 2.0)], Cmp::Eq, 4.0);
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], Cmp::Eq, 1.0);
+        let o = solve(&p);
+        assert_close(o.objective().unwrap(), 3.0);
+        let x = o.solution().unwrap();
+        assert_close(x[0], 2.0);
+        assert_close(x[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2
+        let mut p = LpProblem::new(1, Sense::Minimize);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(vec![(0, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(solve(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x s.t. x >= 0 (no upper bound)
+        let mut p = LpProblem::new(1, Sense::Maximize);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0)], Cmp::Ge, 0.0);
+        assert_eq!(solve(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -2  (i.e. x >= 2)
+        let mut p = LpProblem::new(1, Sense::Minimize);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, -1.0)], Cmp::Le, -2.0);
+        assert_close(solve(&p).objective().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn degenerate_vertex_terminates() {
+        // Classic degenerate LP; Bland's rule must not cycle.
+        let mut p = LpProblem::new(4, Sense::Minimize);
+        for (i, c) in [-0.75, 150.0, -0.02, 6.0].iter().enumerate() {
+            p.set_objective(i, *c);
+        }
+        p.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Cmp::Le, 0.0);
+        p.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Cmp::Le, 0.0);
+        p.add_constraint(vec![(2, 1.0)], Cmp::Le, 1.0);
+        let o = solve(&p);
+        assert_close(o.objective().unwrap(), -0.05);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        // x + x <= 4 means 2x <= 4.
+        let mut p = LpProblem::new(1, Sense::Maximize);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0), (0, 1.0)], Cmp::Le, 4.0);
+        assert_close(solve(&p).objective().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn fractional_vertex_lp() {
+        // The LP relaxation of vertex cover on a triangle: min Σx,
+        // x_i + x_j >= 1 for the 3 edges -> all 0.5, objective 1.5.
+        let mut p = LpProblem::new(3, Sense::Minimize);
+        for v in 0..3 {
+            p.set_objective(v, 1.0);
+        }
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Ge, 1.0);
+        p.add_constraint(vec![(1, 1.0), (2, 1.0)], Cmp::Ge, 1.0);
+        p.add_constraint(vec![(0, 1.0), (2, 1.0)], Cmp::Ge, 1.0);
+        let o = solve(&p);
+        assert_close(o.objective().unwrap(), 1.5);
+        for &v in o.solution().unwrap() {
+            assert_close(v, 0.5);
+        }
+    }
+
+    #[test]
+    fn redundant_equality_rows_handled() {
+        // x + y = 2 stated twice: phase 1 leaves a zero row with a basic
+        // artificial at 0, which must not break phase 2.
+        let mut p = LpProblem::new(2, Sense::Minimize);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        let o = solve(&p);
+        assert_close(o.objective().unwrap(), 0.0); // x=0, y=2
+    }
+}

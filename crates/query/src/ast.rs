@@ -1,0 +1,380 @@
+//! Conjunctive-query AST and schema binding.
+//!
+//! Queries are written datalog-style (§II.B of the paper):
+//!
+//! ```text
+//! Q(y1, …, yq) :- T1(x1, y1, c1), …, Tq(xq, yq, cq)
+//! ```
+//!
+//! Terms are variables or constants; the head lists head variables (possibly
+//! repeated, as in the paper's `Q2(y, y1, y, y2, y, y3)`). A query is first
+//! built/parsed as a raw [`ConjunctiveQuery`] and then *bound* to a
+//! [`Schema`], which checks atom arities and yields a [`BoundQuery`] that
+//! downstream analysis and evaluation operate on.
+
+use crate::error::QueryError;
+use delprop_relation::{RelationId, Schema, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term of an atom or head: a variable (by name) or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Shorthand for a constant term.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => write!(f, "'{s}'"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One body atom `T(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name (resolved at bind time).
+    pub relation: String,
+    /// Terms, one per attribute position.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Variables occurring in this atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(v.as_str()) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A raw (unbound) conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Query name (`Q3` etc.), used for display and view labels.
+    pub name: String,
+    /// Head terms. The paper restricts heads to variables; constants are
+    /// rejected at bind time.
+    pub head: Vec<Term>,
+    /// Body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a raw query.
+    pub fn new(name: impl Into<String>, head: Vec<Term>, body: Vec<Atom>) -> Self {
+        ConjunctiveQuery {
+            name: name.into(),
+            head,
+            body,
+        }
+    }
+
+    /// Bind to a schema: resolve relation names, check arities, check
+    /// safety (every head variable occurs in the body) and that the head
+    /// contains only variables and is non-empty.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundQuery, QueryError> {
+        if self.head.is_empty() {
+            return Err(QueryError::EmptyHead(self.name.clone()));
+        }
+        if self.body.is_empty() {
+            return Err(QueryError::EmptyBody(self.name.clone()));
+        }
+        let mut head_vars = Vec::new();
+        for t in &self.head {
+            match t {
+                Term::Var(v) => head_vars.push(v.clone()),
+                Term::Const(_) => {
+                    return Err(QueryError::ConstantInHead(self.name.clone()))
+                }
+            }
+        }
+        let mut atoms = Vec::with_capacity(self.body.len());
+        let mut body_vars: BTreeSet<&str> = BTreeSet::new();
+        for atom in &self.body {
+            let rid = schema
+                .relation_id(&atom.relation)
+                .map_err(QueryError::Relation)?;
+            let decl = schema.relation(rid);
+            if decl.arity() != atom.terms.len() {
+                return Err(QueryError::AtomArityMismatch {
+                    query: self.name.clone(),
+                    relation: atom.relation.clone(),
+                    expected: decl.arity(),
+                    got: atom.terms.len(),
+                });
+            }
+            body_vars.extend(atom.variables());
+            atoms.push(BoundAtom {
+                relation: rid,
+                terms: atom.terms.clone(),
+            });
+        }
+        for hv in &head_vars {
+            if !body_vars.contains(hv.as_str()) {
+                return Err(QueryError::UnsafeHeadVariable {
+                    query: self.name.clone(),
+                    variable: hv.clone(),
+                });
+            }
+        }
+        Ok(BoundQuery {
+            name: self.name.clone(),
+            head: head_vars,
+            atoms,
+        })
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An atom whose relation name has been resolved against a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundAtom {
+    /// Resolved relation.
+    pub relation: RelationId,
+    /// Terms, one per position; arity already validated.
+    pub terms: Vec<Term>,
+}
+
+/// A schema-validated conjunctive query.
+///
+/// The head is a list of variable names (repetitions allowed); the width
+/// `arity(Q)` of the paper is [`BoundQuery::arity`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundQuery {
+    /// Query name.
+    pub name: String,
+    /// Head variable names in head order (may repeat).
+    pub head: Vec<String>,
+    /// Bound body atoms.
+    pub atoms: Vec<BoundAtom>,
+}
+
+impl BoundQuery {
+    /// The width `arity(Q)`: the length of the head.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Distinct head variables.
+    pub fn head_var_set(&self) -> BTreeSet<&str> {
+        self.head.iter().map(String::as_str).collect()
+    }
+
+    /// All distinct variables of the body in first-occurrence order.
+    pub fn body_vars(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    if seen.insert(v.as_str()) {
+                        out.push(v.as_str());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Existential variables `Var∃(Q)`: body variables not in the head.
+    pub fn existential_vars(&self) -> Vec<&str> {
+        let head = self.head_var_set();
+        self.body_vars()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delprop_relation::RelationSchema;
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            RelationSchema::new("T1", 3, vec![1]).unwrap(),
+            RelationSchema::new("T2", 3, vec![1]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn q1() -> ConjunctiveQuery {
+        // Q1(y1, y2, w) :- T1(x, y1, z), T2(x, y2, w)  (paper §II.B)
+        ConjunctiveQuery::new(
+            "Q1",
+            vec![Term::var("y1"), Term::var("y2"), Term::var("w")],
+            vec![
+                Atom::new("T1", vec![Term::var("x"), Term::var("y1"), Term::var("z")]),
+                Atom::new("T2", vec![Term::var("x"), Term::var("y2"), Term::var("w")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn bind_succeeds_and_classifies_vars() {
+        let b = q1().bind(&schema()).unwrap();
+        assert_eq!(b.arity(), 3);
+        assert_eq!(b.existential_vars(), vec!["x", "z"]);
+        assert_eq!(b.body_vars(), vec!["x", "y1", "z", "y2", "w"]);
+    }
+
+    #[test]
+    fn bind_rejects_unknown_relation() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec![Term::var("x")],
+            vec![Atom::new("Nope", vec![Term::var("x")])],
+        );
+        assert!(matches!(
+            q.bind(&schema()),
+            Err(QueryError::Relation(_))
+        ));
+    }
+
+    #[test]
+    fn bind_rejects_arity_mismatch() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec![Term::var("x")],
+            vec![Atom::new("T1", vec![Term::var("x")])],
+        );
+        assert!(matches!(
+            q.bind(&schema()),
+            Err(QueryError::AtomArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_rejects_unsafe_head() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec![Term::var("u")],
+            vec![Atom::new(
+                "T1",
+                vec![Term::var("x"), Term::var("y"), Term::var("z")],
+            )],
+        );
+        assert!(matches!(
+            q.bind(&schema()),
+            Err(QueryError::UnsafeHeadVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_rejects_constant_or_empty_head() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec![Term::constant(1)],
+            vec![Atom::new(
+                "T1",
+                vec![Term::var("x"), Term::var("y"), Term::var("z")],
+            )],
+        );
+        assert!(matches!(q.bind(&schema()), Err(QueryError::ConstantInHead(_))));
+        let q = ConjunctiveQuery::new("Q", vec![], vec![]);
+        assert!(matches!(q.bind(&schema()), Err(QueryError::EmptyHead(_))));
+    }
+
+    #[test]
+    fn repeated_head_vars_allowed() {
+        // Q(y, y) :- T1(x, y, z)
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec![Term::var("y"), Term::var("y")],
+            vec![Atom::new(
+                "T1",
+                vec![Term::var("x"), Term::var("y"), Term::var("z")],
+            )],
+        );
+        let b = q.bind(&schema()).unwrap();
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.head_var_set().len(), 1);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let s = q1().to_string();
+        assert_eq!(s, "Q1(y1, y2, w) :- T1(x, y1, z), T2(x, y2, w)");
+    }
+
+    #[test]
+    fn constants_display_quoted() {
+        let a = Atom::new("T", vec![Term::constant("c"), Term::constant(3)]);
+        assert_eq!(a.to_string(), "T('c', 3)");
+    }
+}

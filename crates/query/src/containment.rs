@@ -1,0 +1,220 @@
+//! Conjunctive-query containment and equivalence via the classical
+//! Chandra–Merlin homomorphism theorem (the paper's reference [9]).
+//!
+//! `Q1 ⊑ Q2` (every database gives `Q1(D) ⊆ Q2(D)`) iff there is a
+//! **containment mapping** `h : Var(Q2) → Var(Q1) ∪ Const` such that
+//! every atom of `Q2` maps into an atom of `Q1` and `h` maps `Q2`'s head
+//! to `Q1`'s head. Deciding this is NP-complete in query size, which is
+//! irrelevant at the 2–6-atom sizes of this domain.
+//!
+//! Why it lives here: multi-query deletion-propagation inputs often carry
+//! redundant views (duplicated or subsumed queries inflate `‖V‖`, and
+//! with it the bounds `2√(l·‖V‖·log‖ΔV‖)` and `2√‖V‖`). [`equivalent`]
+//! lets a workload be de-duplicated *semantically* before solving.
+
+use crate::ast::{BoundQuery, Term};
+use delprop_relation::Value;
+use std::collections::HashMap;
+
+/// A homomorphism target: variables map to variables or constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Image {
+    Var(String),
+    Const(Value),
+}
+
+impl Image {
+    fn of(term: &Term) -> Image {
+        match term {
+            Term::Var(v) => Image::Var(v.clone()),
+            Term::Const(c) => Image::Const(c.clone()),
+        }
+    }
+}
+
+/// Whether `sub ⊑ sup`: every answer of `sub` is an answer of `sup` on
+/// every database. Requires equal head arity (otherwise trivially false).
+pub fn contained_in(sub: &BoundQuery, sup: &BoundQuery) -> bool {
+    if sub.head.len() != sup.head.len() {
+        return false;
+    }
+    // Seed the mapping with the head constraint h(sup.head[i]) = sub.head[i].
+    let mut mapping: HashMap<String, Image> = HashMap::new();
+    for (sv, tv) in sup.head.iter().zip(sub.head.iter()) {
+        let img = Image::Var(tv.clone());
+        match mapping.get(sv) {
+            Some(existing) if existing != &img => return false,
+            _ => {
+                mapping.insert(sv.clone(), img);
+            }
+        }
+    }
+    search(sup, sub, 0, mapping)
+}
+
+/// Backtracking over `sup`'s atoms: each must map into some atom of `sub`
+/// over the same relation, consistently extending the variable mapping.
+fn search(
+    sup: &BoundQuery,
+    sub: &BoundQuery,
+    atom_idx: usize,
+    mapping: HashMap<String, Image>,
+) -> bool {
+    let Some(atom) = sup.atoms.get(atom_idx) else {
+        return true;
+    };
+    for target in sub.atoms.iter().filter(|t| t.relation == atom.relation) {
+        let mut extended = mapping.clone();
+        let mut ok = true;
+        for (s_term, t_term) in atom.terms.iter().zip(target.terms.iter()) {
+            match s_term {
+                Term::Const(c) => {
+                    // Constants must match constants exactly.
+                    if !matches!(t_term, Term::Const(tc) if tc == c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => {
+                    let img = Image::of(t_term);
+                    match extended.get(v) {
+                        Some(existing) if existing != &img => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            extended.insert(v.clone(), img);
+                        }
+                    }
+                }
+            }
+        }
+        if ok && search(sup, sub, atom_idx + 1, extended) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether two queries are semantically equivalent (mutual containment).
+pub fn equivalent(a: &BoundQuery, b: &BoundQuery) -> bool {
+    contained_in(a, b) && contained_in(b, a)
+}
+
+/// Partition a query set into equivalence classes; returns, per input
+/// query, the index of its class representative (the first equivalent
+/// query). Useful for de-duplicating multi-query workloads before
+/// solving.
+pub fn deduplicate(queries: &[BoundQuery]) -> Vec<usize> {
+    let mut representative: Vec<usize> = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let rep = (0..i)
+            .find(|&j| representative[j] == j && equivalent(q, &queries[j]))
+            .unwrap_or(i);
+        representative.push(rep);
+    }
+    representative
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use delprop_relation::{RelationSchema, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            RelationSchema::new("R", 2, vec![0]).unwrap(),
+            RelationSchema::new("S", 2, vec![0]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn bind(src: &str) -> BoundQuery {
+        parse_query(src).unwrap().bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn renamed_variables_are_equivalent() {
+        let a = bind("Q(x, z) :- R(x, y), S(y, z)");
+        let b = bind("P(u, w) :- R(u, v), S(v, w)");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn redundant_atom_is_contained_both_ways() {
+        // Adding a duplicate-up-to-renaming atom does not change meaning.
+        let small = bind("Q(x, z) :- R(x, y), S(y, z)");
+        let big = bind("Q(x, z) :- R(x, y), S(y, z), R(x, y2)");
+        assert!(equivalent(&small, &big));
+    }
+
+    #[test]
+    fn strictly_more_constrained_is_one_way() {
+        let general = bind("Q(x) :- R(x, y)");
+        let specific = bind("Q(x) :- R(x, 1)");
+        assert!(contained_in(&specific, &general));
+        assert!(!contained_in(&general, &specific));
+    }
+
+    #[test]
+    fn join_is_contained_in_projection_of_one_atom() {
+        let join = bind("Q(x) :- R(x, y), S(y, z)");
+        let single = bind("Q(x) :- R(x, y)");
+        assert!(contained_in(&join, &single));
+        assert!(!contained_in(&single, &join));
+    }
+
+    #[test]
+    fn head_order_matters() {
+        let a = bind("Q(x, y) :- R(x, y)");
+        let b = bind("Q(y, x) :- R(x, y)");
+        assert!(!contained_in(&a, &b));
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_relations_are_incomparable() {
+        let a = bind("Q(x, y) :- R(x, y)");
+        let b = bind("Q(x, y) :- S(x, y)");
+        assert!(!contained_in(&a, &b));
+        assert!(!contained_in(&b, &a));
+    }
+
+    #[test]
+    fn arity_mismatch_is_never_contained() {
+        let a = bind("Q(x) :- R(x, y)");
+        let b = bind("Q(x, y) :- R(x, y)");
+        assert!(!contained_in(&a, &b));
+    }
+
+    #[test]
+    fn self_join_collapse() {
+        // R(x,y), R(y,y): contained in R(x,y) but not vice versa.
+        let tight = bind("Q(x, y) :- R(x, y), R(y, y)");
+        let loose = bind("Q(x, y) :- R(x, y)");
+        assert!(contained_in(&tight, &loose));
+        assert!(!contained_in(&loose, &tight));
+    }
+
+    #[test]
+    fn deduplicate_groups_equivalent_queries() {
+        let qs = vec![
+            bind("Q0(x, z) :- R(x, y), S(y, z)"),
+            bind("Q1(a, c) :- R(a, b), S(b, c)"), // ≡ Q0
+            bind("Q2(x) :- R(x, y)"),
+            bind("Q3(x, z) :- R(x, y), S(y, z), R(x, y2)"), // ≡ Q0
+        ];
+        assert_eq!(deduplicate(&qs), vec![0, 0, 2, 0]);
+    }
+
+    #[test]
+    fn constants_must_agree() {
+        let one = bind("Q(x) :- R(x, 1)");
+        let two = bind("Q(x) :- R(x, 2)");
+        assert!(!contained_in(&one, &two));
+        assert!(!contained_in(&two, &one));
+        assert!(equivalent(&one, &one.clone()));
+    }
+}

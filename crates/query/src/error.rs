@@ -1,0 +1,105 @@
+//! Errors raised by query construction, analysis, and evaluation.
+
+use delprop_relation::RelationError;
+use std::fmt;
+
+/// Errors from parsing, binding, analyzing, or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Underlying relational error (unknown relation, …).
+    Relation(RelationError),
+    /// Query head has no terms.
+    EmptyHead(String),
+    /// Query body has no atoms.
+    EmptyBody(String),
+    /// Head contains a constant; the paper's heads are variable tuples.
+    ConstantInHead(String),
+    /// A head variable does not occur in the body (unsafe query).
+    UnsafeHeadVariable { query: String, variable: String },
+    /// An atom's term count differs from its relation's declared arity.
+    AtomArityMismatch {
+        query: String,
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// Parse error with a human-readable reason.
+    Parse { input: String, reason: String },
+    /// An operation requiring a key-preserving query was invoked on a query
+    /// that is not key-preserving (e.g. unique-witness provenance).
+    NotKeyPreserving { query: String, reason: String },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Relation(e) => write!(f, "{e}"),
+            QueryError::EmptyHead(q) => write!(f, "query {q} has an empty head"),
+            QueryError::EmptyBody(q) => write!(f, "query {q} has an empty body"),
+            QueryError::ConstantInHead(q) => {
+                write!(f, "query {q} has a constant in its head")
+            }
+            QueryError::UnsafeHeadVariable { query, variable } => write!(
+                f,
+                "head variable {variable} of query {query} does not occur in the body"
+            ),
+            QueryError::AtomArityMismatch {
+                query,
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "atom {relation} in query {query}: expected arity {expected}, got {got}"
+            ),
+            QueryError::Parse { input, reason } => {
+                write!(f, "cannot parse {input:?}: {reason}")
+            }
+            QueryError::NotKeyPreserving { query, reason } => {
+                write!(f, "query {query} is not key-preserving: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for QueryError {
+    fn from(e: RelationError) -> Self {
+        QueryError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = QueryError::UnsafeHeadVariable {
+            query: "Q".into(),
+            variable: "u".into(),
+        };
+        assert!(e.to_string().contains('u'));
+        let e = QueryError::Parse {
+            input: "Q(".into(),
+            reason: "unbalanced".into(),
+        };
+        assert!(e.to_string().contains("unbalanced"));
+    }
+
+    #[test]
+    fn source_chains_relation_errors() {
+        use std::error::Error;
+        let e = QueryError::Relation(RelationError::UnknownRelation("X".into()));
+        assert!(e.source().is_some());
+        assert!(QueryError::EmptyHead("Q".into()).source().is_none());
+    }
+}

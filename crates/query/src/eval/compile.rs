@@ -1,0 +1,131 @@
+//! Query compilation: map variable names to dense slots so evaluation can
+//! use flat vectors instead of name maps.
+
+use crate::ast::{BoundQuery, Term};
+use delprop_relation::{RelationId, Value};
+
+/// A term with its variable resolved to a dense slot index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// Variable slot index into the assignment vector.
+    Var(usize),
+    /// Constant that must match exactly.
+    Const(Value),
+}
+
+/// A compiled atom: relation + per-position slots.
+#[derive(Debug, Clone)]
+pub struct CompiledAtom {
+    /// Resolved relation.
+    pub relation: RelationId,
+    /// One slot per attribute position.
+    pub slots: Vec<Slot>,
+}
+
+/// A compiled query: dense variable numbering plus head projection.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Variable names in slot order (first occurrence order).
+    pub vars: Vec<String>,
+    /// Compiled atoms in body order.
+    pub atoms: Vec<CompiledAtom>,
+    /// Head as slot indices (head vars are always body vars, so this is
+    /// total).
+    pub head_slots: Vec<usize>,
+}
+
+impl CompiledQuery {
+    /// Compile a bound query.
+    pub fn compile(query: &BoundQuery) -> CompiledQuery {
+        let mut vars: Vec<String> = Vec::new();
+        let slot_of = |name: &str, vars: &mut Vec<String>| -> usize {
+            match vars.iter().position(|v| v == name) {
+                Some(i) => i,
+                None => {
+                    vars.push(name.to_string());
+                    vars.len() - 1
+                }
+            }
+        };
+        let atoms = query
+            .atoms
+            .iter()
+            .map(|a| CompiledAtom {
+                relation: a.relation,
+                slots: a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => Slot::Var(slot_of(v, &mut vars)),
+                        Term::Const(c) => Slot::Const(c.clone()),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let head_slots = query
+            .head
+            .iter()
+            .map(|h| {
+                vars.iter()
+                    .position(|v| v == h)
+                    .expect("bound query head vars occur in body")
+            })
+            .collect();
+        CompiledQuery {
+            vars,
+            atoms,
+            head_slots,
+        }
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use delprop_relation::{RelationSchema, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            RelationSchema::new("T1", 2, vec![0]).unwrap(),
+            RelationSchema::new("T2", 3, vec![0]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compiles_slots_in_first_occurrence_order() {
+        let q = parse_query("Q(x, z) :- T1(x, y), T2(y, z, 'c')")
+            .unwrap()
+            .bind(&schema())
+            .unwrap();
+        let c = CompiledQuery::compile(&q);
+        assert_eq!(c.vars, vec!["x", "y", "z"]);
+        assert_eq!(c.head_slots, vec![0, 2]);
+        assert_eq!(c.atoms[0].slots, vec![Slot::Var(0), Slot::Var(1)]);
+        assert_eq!(
+            c.atoms[1].slots,
+            vec![
+                Slot::Var(1),
+                Slot::Var(2),
+                Slot::Const(delprop_relation::Value::str("c"))
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_head_vars_share_slots() {
+        let q = parse_query("Q(x, x) :- T1(x, y)")
+            .unwrap()
+            .bind(&schema())
+            .unwrap();
+        let c = CompiledQuery::compile(&q);
+        assert_eq!(c.head_slots, vec![0, 0]);
+        assert_eq!(c.num_vars(), 2);
+    }
+}

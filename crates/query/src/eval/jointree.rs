@@ -1,0 +1,164 @@
+//! Join-tree construction for α-acyclic conjunctive queries via GYO ear
+//! removal.
+//!
+//! A *join tree* has one node per body atom and satisfies the running-
+//! intersection property: for any variable, the atoms containing it form
+//! a connected subtree. It exists iff the query's atom hypergraph is
+//! α-acyclic, and it is the scaffold the Yannakakis evaluator
+//! ([`super::yannakakis`]) runs on.
+
+use super::compile::{CompiledQuery, Slot};
+use std::collections::BTreeSet;
+
+/// A join tree over the atoms of a compiled query.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// Root atom index.
+    pub root: usize,
+    /// Parent atom of each atom (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Atoms in elimination order (leaves first, root last) — a valid
+    /// bottom-up processing order.
+    pub order: Vec<usize>,
+}
+
+/// Variable slots of atom `ai`.
+pub fn atom_vars(query: &CompiledQuery, ai: usize) -> BTreeSet<usize> {
+    query.atoms[ai]
+        .slots
+        .iter()
+        .filter_map(|s| match s {
+            Slot::Var(v) => Some(*v),
+            Slot::Const(_) => None,
+        })
+        .collect()
+}
+
+/// Build a join tree by GYO ear removal, or `None` if the query is
+/// cyclic.
+///
+/// An atom `A` is an *ear* w.r.t. the remaining atoms if the variables it
+/// shares with the rest are all contained in some single other atom `B`
+/// (its witness, which becomes its parent).
+pub fn build(query: &CompiledQuery) -> Option<JoinTree> {
+    let n = query.atoms.len();
+    if n == 0 {
+        return None;
+    }
+    let vars: Vec<BTreeSet<usize>> = (0..n).map(|ai| atom_vars(query, ai)).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+
+    while remaining > 1 {
+        let mut removed_one = false;
+        'ears: for a in 0..n {
+            if !alive[a] {
+                continue;
+            }
+            // Variables of `a` occurring in some other live atom.
+            let boundary: BTreeSet<usize> = vars[a]
+                .iter()
+                .copied()
+                .filter(|v| {
+                    (0..n).any(|b| b != a && alive[b] && vars[b].contains(v))
+                })
+                .collect();
+            for b in 0..n {
+                if b != a && alive[b] && boundary.is_subset(&vars[b]) {
+                    alive[a] = false;
+                    parent[a] = Some(b);
+                    order.push(a);
+                    remaining -= 1;
+                    removed_one = true;
+                    break 'ears;
+                }
+            }
+        }
+        if !removed_one {
+            return None; // cyclic
+        }
+    }
+    let root = (0..n).find(|&a| alive[a]).expect("one atom survives");
+    order.push(root);
+    Some(JoinTree {
+        root,
+        parent,
+        order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::CompiledQuery;
+    use crate::parse_query;
+    use delprop_relation::{RelationSchema, Schema};
+
+    fn compile(src: &str) -> CompiledQuery {
+        let schema = Schema::from_relations([
+            RelationSchema::new("A", 2, vec![0]).unwrap(),
+            RelationSchema::new("B", 2, vec![0]).unwrap(),
+            RelationSchema::new("C", 2, vec![0]).unwrap(),
+            RelationSchema::new("D", 3, vec![0]).unwrap(),
+        ])
+        .unwrap();
+        CompiledQuery::compile(&parse_query(src).unwrap().bind(&schema).unwrap())
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let q = compile("Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)");
+        let t = build(&q).expect("chain joins are acyclic");
+        assert_eq!(t.order.len(), 3);
+        // Every non-root parent edge shares at least one variable.
+        for a in 0..3 {
+            if let Some(p) = t.parent[a] {
+                let va = atom_vars(&q, a);
+                let vp = atom_vars(&q, p);
+                assert!(va.intersection(&vp).count() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let q = compile("Q(x, y, z) :- A(x, y), B(y, z), C(z, x)");
+        assert!(build(&q).is_none());
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let q = compile("Q(x, a, b, c) :- D(x, a, b), A(x, c), B(x, a)");
+        assert!(build(&q).is_some());
+    }
+
+    #[test]
+    fn single_atom_trivial_tree() {
+        let q = compile("Q(x, y) :- A(x, y)");
+        let t = build(&q).unwrap();
+        assert_eq!(t.root, 0);
+        assert_eq!(t.order, vec![0]);
+        assert_eq!(t.parent, vec![None]);
+    }
+
+    #[test]
+    fn disconnected_atoms_form_tree_with_empty_boundary() {
+        // Cartesian products are acyclic: the empty boundary is a subset
+        // of anything.
+        let q = compile("Q(x, y, u, v) :- A(x, y), B(u, v)");
+        assert!(build(&q).is_some());
+    }
+
+    #[test]
+    fn order_is_leaves_first() {
+        let q = compile("Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)");
+        let t = build(&q).unwrap();
+        assert_eq!(*t.order.last().unwrap(), t.root);
+        // Each atom appears exactly once.
+        let mut sorted = t.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Backtracking evaluator: the correctness oracle.
+//!
+//! Tries every live tuple for every atom in body order, unifying against
+//! the partial assignment. Exponential in the worst case, but its
+//! simplicity makes it the trusted baseline the hash-join engine is tested
+//! against.
+
+use super::{CompiledQuery, QueryMatch, Slot};
+use delprop_relation::{Database, TupleId, Value};
+
+/// Evaluate `query` on the live tuples of `db`, returning all matches.
+pub fn evaluate(db: &Database, query: &CompiledQuery) -> Vec<QueryMatch> {
+    let mut out = Vec::new();
+    let mut assignment: Vec<Option<Value>> = vec![None; query.num_vars()];
+    let mut witnesses: Vec<TupleId> = Vec::with_capacity(query.atoms.len());
+    recurse(db, query, 0, &mut assignment, &mut witnesses, &mut out);
+    out
+}
+
+fn recurse(
+    db: &Database,
+    query: &CompiledQuery,
+    atom_idx: usize,
+    assignment: &mut Vec<Option<Value>>,
+    witnesses: &mut Vec<TupleId>,
+    out: &mut Vec<QueryMatch>,
+) {
+    if atom_idx == query.atoms.len() {
+        out.push(QueryMatch {
+            assignment: assignment
+                .iter()
+                .map(|v| v.clone().expect("all vars bound at full depth"))
+                .collect(),
+            witnesses: witnesses.clone(),
+        });
+        return;
+    }
+    let atom = &query.atoms[atom_idx];
+    for (tid, tuple) in db.live_tuples(atom.relation) {
+        // Try to unify this tuple with the atom under the current partial
+        // assignment, remembering which slots we newly bound for rollback.
+        let mut newly_bound: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (pos, slot) in atom.slots.iter().enumerate() {
+            let v = &tuple[pos];
+            match slot {
+                Slot::Const(c) => {
+                    if c != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                Slot::Var(s) => match &assignment[*s] {
+                    Some(bound) => {
+                        if bound != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment[*s] = Some(v.clone());
+                        newly_bound.push(*s);
+                    }
+                },
+            }
+        }
+        if ok {
+            witnesses.push(tid);
+            recurse(db, query, atom_idx + 1, assignment, witnesses, out);
+            witnesses.pop();
+        }
+        for s in newly_bound {
+            assignment[s] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::CompiledQuery;
+    use crate::parse::parse_query;
+    use delprop_relation::{tup, Database, RelationSchema, Schema};
+
+    fn small_db() -> Database {
+        let schema = Schema::from_relations([
+            RelationSchema::new("R", 2, vec![0]).unwrap(),
+            RelationSchema::new("S", 2, vec![0]).unwrap(),
+        ])
+        .unwrap();
+        let mut d = Database::new(schema);
+        d.insert("R", tup![1, 10]).unwrap();
+        d.insert("R", tup![2, 20]).unwrap();
+        d.insert("S", tup![10, 100]).unwrap();
+        d.insert("S", tup![20, 100]).unwrap();
+        d
+    }
+
+    fn eval(d: &Database, src: &str) -> Vec<QueryMatch> {
+        let q = parse_query(src).unwrap().bind(d.schema()).unwrap();
+        evaluate(d, &CompiledQuery::compile(&q))
+    }
+
+    #[test]
+    fn simple_join() {
+        let d = small_db();
+        let ms = eval(&d, "Q(x, z) :- R(x, y), S(y, z)");
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn constants_filter() {
+        let d = small_db();
+        let ms = eval(&d, "Q(x) :- R(x, 10)");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].assignment, vec![delprop_relation::Value::int(1)]);
+    }
+
+    #[test]
+    fn repeated_var_in_atom_forces_equality() {
+        let schema =
+            Schema::from_relations([RelationSchema::new("P", 2, vec![0, 1]).unwrap()]).unwrap();
+        let mut d = Database::new(schema);
+        d.insert("P", tup![1, 1]).unwrap();
+        d.insert("P", tup![1, 2]).unwrap();
+        let ms = eval(&d, "Q(x) :- P(x, x)");
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn self_join_enumerates_pairs() {
+        let d = small_db();
+        // R × R restricted to shared first column value? No join var: full product.
+        let ms = eval(&d, "Q(x, y, u, v) :- R(x, y), R(u, v)");
+        assert_eq!(ms.len(), 4);
+    }
+
+    #[test]
+    fn deleted_tuples_are_invisible() {
+        let mut d = small_db();
+        let rid = d.schema().relation_id("R").unwrap();
+        let victim = d.find_by_key(rid, &[delprop_relation::Value::int(1)]).unwrap();
+        d.delete(victim);
+        let ms = eval(&d, "Q(x, z) :- R(x, y), S(y, z)");
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn witnesses_point_at_matched_tuples() {
+        let d = small_db();
+        let ms = eval(&d, "Q(x, z) :- R(x, y), S(y, z)");
+        for m in &ms {
+            assert_eq!(m.witnesses.len(), 2);
+            let r = d.tuple(m.witnesses[0]).unwrap();
+            let s = d.tuple(m.witnesses[1]).unwrap();
+            assert_eq!(r[1], s[0], "join column must agree");
+        }
+    }
+
+    #[test]
+    fn empty_relation_yields_no_matches() {
+        let schema =
+            Schema::from_relations([RelationSchema::new("E", 1, vec![0]).unwrap()]).unwrap();
+        let d = Database::new(schema);
+        let ms = eval(&d, "Q(x) :- E(x)");
+        assert!(ms.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Incremental view maintenance under deletions.
+//!
+//! Deletion propagation explores many candidate `ΔD`s; re-materializing
+//! every view per candidate is O(query evaluation) each time. For
+//! key-preserving views the occurrence index makes maintenance exact and
+//! cheap: a view tuple dies iff its (unique) witness set intersects the
+//! deleted set, and the inverted index already maps base tuples to the
+//! view tuples containing them. [`DeletionDelta`] computes the affected
+//! set in time proportional to the damage, not the view size, and
+//! [`MaintainedViews`] keeps a live/dead mask across a *sequence* of
+//! deletions with O(1) amortized updates — the building block a cleaning
+//! loop (apply feedback, inspect, apply more) needs.
+
+use crate::view::{ViewSet, ViewTupleId};
+use delprop_relation::TupleId;
+use std::collections::HashSet;
+
+/// The effect of deleting a batch of base tuples from materialized views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeletionDelta {
+    /// View tuples eliminated by the batch, sorted and deduplicated.
+    pub eliminated: Vec<ViewTupleId>,
+}
+
+impl DeletionDelta {
+    /// Compute the delta of deleting `tuples` against `views`.
+    ///
+    /// For key-preserving views this is exact. For general views a tuple
+    /// is reported eliminated only when **all** of its witness sets are
+    /// hit (the same rule as [`crate::view::ViewTuple::survives`]).
+    pub fn compute(views: &ViewSet, tuples: &[TupleId]) -> DeletionDelta {
+        let deleted: HashSet<TupleId> = tuples.iter().copied().collect();
+        let mut touched: Vec<ViewTupleId> = tuples
+            .iter()
+            .flat_map(|&t| views.occurrences(t).iter().copied())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let eliminated = touched
+            .into_iter()
+            .filter(|&id| !views.tuple(id).survives(&deleted))
+            .collect();
+        DeletionDelta { eliminated }
+    }
+}
+
+/// Materialized views plus a liveness mask maintained across incremental
+/// deletions.
+#[derive(Debug, Clone)]
+pub struct MaintainedViews<'a> {
+    views: &'a ViewSet,
+    deleted: HashSet<TupleId>,
+    dead: HashSet<ViewTupleId>,
+}
+
+impl<'a> MaintainedViews<'a> {
+    /// Start maintenance over freshly materialized views.
+    pub fn new(views: &'a ViewSet) -> Self {
+        MaintainedViews {
+            views,
+            deleted: HashSet::new(),
+            dead: HashSet::new(),
+        }
+    }
+
+    /// The underlying views.
+    pub fn views(&self) -> &ViewSet {
+        self.views
+    }
+
+    /// Apply one more batch of base-tuple deletions; returns the view
+    /// tuples that died **in this batch** (already-dead ones are not
+    /// repeated).
+    pub fn delete(&mut self, tuples: &[TupleId]) -> Vec<ViewTupleId> {
+        self.deleted.extend(tuples.iter().copied());
+        let mut touched: Vec<ViewTupleId> = tuples
+            .iter()
+            .flat_map(|&t| self.views.occurrences(t).iter().copied())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let mut newly_dead = Vec::new();
+        for id in touched {
+            if !self.dead.contains(&id) && !self.views.tuple(id).survives(&self.deleted) {
+                self.dead.insert(id);
+                newly_dead.push(id);
+            }
+        }
+        newly_dead
+    }
+
+    /// Whether a view tuple is still live.
+    pub fn is_live(&self, id: ViewTupleId) -> bool {
+        !self.dead.contains(&id)
+    }
+
+    /// Number of live view tuples.
+    pub fn live_count(&self) -> usize {
+        self.views.total_tuples() - self.dead.len()
+    }
+
+    /// All base tuples deleted so far.
+    pub fn deleted_tuples(&self) -> &HashSet<TupleId> {
+        &self.deleted
+    }
+
+    /// Iterate the surviving view tuples.
+    pub fn live(&self) -> impl Iterator<Item = ViewTupleId> + '_ {
+        self.views
+            .iter()
+            .map(|(id, _)| id)
+            .filter(move |id| !self.dead.contains(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use crate::view::ViewSet;
+    use delprop_relation::{tup, Database, RelationSchema, Schema, Value};
+
+    fn fig1() -> (Database, ViewSet) {
+        let schema = Schema::from_relations([
+            RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+            RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+        ])
+        .unwrap();
+        let mut d = Database::new(schema);
+        for t in [tup!["Joe", "TKDE"], tup!["John", "TKDE"], tup!["Tom", "TKDE"], tup!["John", "TODS"]] {
+            d.insert("T1", t).unwrap();
+        }
+        for t in [tup!["TKDE", "XML", 30], tup!["TKDE", "CUBE", 30], tup!["TODS", "XML", 30]] {
+            d.insert("T2", t).unwrap();
+        }
+        let q4 = parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
+            .unwrap()
+            .bind(d.schema())
+            .unwrap();
+        let q3 = parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)")
+            .unwrap()
+            .bind(d.schema())
+            .unwrap();
+        let vs = ViewSet::materialize(&d, &[q4, q3]).unwrap();
+        (d, vs)
+    }
+
+    fn tid(db: &Database, rel: &str, key: &[Value]) -> TupleId {
+        let r = db.schema().relation_id(rel).unwrap();
+        db.find_by_key(r, key).unwrap()
+    }
+
+    #[test]
+    fn delta_matches_full_rematerialization() {
+        let (mut db, vs) = fig1();
+        let victim = tid(&db, "T1", &[Value::str("John"), Value::str("TKDE")]);
+        let delta = DeletionDelta::compute(&vs, &[victim]);
+
+        db.delete(victim);
+        let reeval = ViewSet::materialize(&db, &[vs.views[0].query.clone(), vs.views[1].query.clone()]).unwrap();
+        // Predicted dead = tuples present before, absent after.
+        let mut expected = Vec::new();
+        for (vi, view) in vs.views.iter().enumerate() {
+            for (ti, vt) in view.tuples.iter().enumerate() {
+                if reeval.views[vi].position_of(&vt.head).is_none() {
+                    expected.push(ViewTupleId::new(vi, ti));
+                }
+            }
+        }
+        assert_eq!(delta.eliminated, expected);
+    }
+
+    #[test]
+    fn multi_witness_tuples_need_all_witnesses_cut() {
+        let (db, vs) = fig1();
+        // Q3's (John, XML) has witnesses via TKDE and TODS; deleting one
+        // T1 row does not kill it.
+        let john_tkde = tid(&db, "T1", &[Value::str("John"), Value::str("TKDE")]);
+        let john_tods = tid(&db, "T1", &[Value::str("John"), Value::str("TODS")]);
+        let q3_john_xml = {
+            let idx = vs.views[1].position_of(&tup!["John", "XML"]).unwrap();
+            ViewTupleId::new(1, idx)
+        };
+        let d1 = DeletionDelta::compute(&vs, &[john_tkde]);
+        assert!(!d1.eliminated.contains(&q3_john_xml));
+        let d2 = DeletionDelta::compute(&vs, &[john_tkde, john_tods]);
+        assert!(d2.eliminated.contains(&q3_john_xml));
+    }
+
+    #[test]
+    fn maintained_views_report_incremental_deaths_once() {
+        let (db, vs) = fig1();
+        let mut m = MaintainedViews::new(&vs);
+        let before = m.live_count();
+        let john_tkde = tid(&db, "T1", &[Value::str("John"), Value::str("TKDE")]);
+        let first = m.delete(&[john_tkde]);
+        assert!(!first.is_empty());
+        assert_eq!(m.live_count(), before - first.len());
+        // Deleting the same tuple again kills nothing new.
+        let again = m.delete(&[john_tkde]);
+        assert!(again.is_empty());
+        // A second batch only reports additional deaths.
+        let tkde_xml = tid(&db, "T2", &[Value::str("TKDE"), Value::str("XML")]);
+        let second = m.delete(&[tkde_xml]);
+        for id in &second {
+            assert!(!first.contains(id));
+        }
+        assert_eq!(m.live_count(), before - first.len() - second.len());
+    }
+
+    #[test]
+    fn sequence_of_batches_equals_one_big_batch() {
+        let (db, vs) = fig1();
+        let a = tid(&db, "T1", &[Value::str("John"), Value::str("TKDE")]);
+        let b = tid(&db, "T1", &[Value::str("John"), Value::str("TODS")]);
+        let c = tid(&db, "T2", &[Value::str("TKDE"), Value::str("CUBE")]);
+
+        let mut seq = MaintainedViews::new(&vs);
+        let mut dead_seq: Vec<ViewTupleId> = Vec::new();
+        for batch in [[a].as_slice(), &[b], &[c]] {
+            dead_seq.extend(seq.delete(batch));
+        }
+        dead_seq.sort_unstable();
+
+        let once = DeletionDelta::compute(&vs, &[a, b, c]);
+        assert_eq!(dead_seq, once.eliminated);
+        assert_eq!(seq.live().count(), vs.total_tuples() - dead_seq.len());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (_, vs) = fig1();
+        let mut m = MaintainedViews::new(&vs);
+        assert!(m.delete(&[]).is_empty());
+        assert_eq!(m.live_count(), vs.total_tuples());
+        let d = DeletionDelta::compute(&vs, &[]);
+        assert!(d.eliminated.is_empty());
+    }
+}

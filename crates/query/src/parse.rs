@@ -1,0 +1,233 @@
+//! A small text syntax for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  :=  NAME '(' terms ')' ':-' atom (',' atom)*
+//! atom   :=  NAME '(' terms ')'
+//! terms  :=  term (',' term)*
+//! term   :=  IDENT            // variable
+//!          | INT              // integer constant
+//!          | '\'' chars '\''  // string constant
+//!          | '"' chars '"'    // string constant
+//! ```
+//!
+//! Bare identifiers are **variables**; constants must be quoted or numeric.
+//! This matches how the paper writes queries, e.g.
+//! `Q3(x, z) :- T1(x, y), T2(y, z, w)`.
+
+use crate::ast::{Atom, ConjunctiveQuery, Term};
+use crate::error::QueryError;
+use delprop_relation::Value;
+
+/// Parse one conjunctive query from text.
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, QueryError> {
+    Parser::new(input).query()
+}
+
+/// Parse one atom, e.g. `T1('John', 'TKDE')` or `T2(x, 'XML', w)`.
+/// Used by fact-file formats on top of this crate.
+pub fn parse_atom(input: &str) -> Result<Atom, QueryError> {
+    let mut p = Parser::new(input);
+    let atom = p.atom()?;
+    p.skip_ws();
+    if !p.rest.is_empty() {
+        return Err(p.err(format!("trailing input {:?}", p.rest)));
+    }
+    Ok(atom)
+}
+
+/// Parse a whole program: one query per non-empty, non-`%`-comment line.
+pub fn parse_program(input: &str) -> Result<Vec<ConjunctiveQuery>, QueryError> {
+    input
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('%'))
+        .map(parse_query)
+        .collect()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, rest: input }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            input: self.input.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), QueryError> {
+        self.skip_ws();
+        if let Some(r) = self.rest.strip_prefix(token) {
+            self.rest = r;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {token:?} at {:?}",
+                &self.rest[..self.rest.len().min(20)]
+            )))
+        }
+    }
+
+    fn peek(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        self.rest.starts_with(token)
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        self.skip_ws();
+        let mut chars = self.rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return Err(self.err("expected identifier")),
+        }
+        let end = self
+            .rest
+            .char_indices()
+            .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_' || c == '\u{2032}'))
+            .map(|(i, _)| i)
+            .unwrap_or(self.rest.len());
+        let (id, r) = self.rest.split_at(end);
+        self.rest = r;
+        Ok(id.to_string())
+    }
+
+    fn term(&mut self) -> Result<Term, QueryError> {
+        self.skip_ws();
+        let first = self.rest.chars().next().ok_or_else(|| self.err("expected term"))?;
+        match first {
+            '\'' | '"' => {
+                let quote = first;
+                let body = &self.rest[1..];
+                let end = body
+                    .find(quote)
+                    .ok_or_else(|| self.err("unterminated string constant"))?;
+                let s = &body[..end];
+                self.rest = &body[end + 1..];
+                Ok(Term::Const(Value::str(s)))
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start_neg = c == '-';
+                let digits_from = usize::from(start_neg);
+                let end = self.rest[digits_from..]
+                    .char_indices()
+                    .find(|&(_, c)| !c.is_ascii_digit())
+                    .map(|(i, _)| i + digits_from)
+                    .unwrap_or(self.rest.len());
+                if end == digits_from {
+                    return Err(self.err("expected digits after '-'"));
+                }
+                let (num, r) = self.rest.split_at(end);
+                let v: i64 = num
+                    .parse()
+                    .map_err(|_| self.err(format!("bad integer {num:?}")))?;
+                self.rest = r;
+                Ok(Term::Const(Value::int(v)))
+            }
+            _ => Ok(Term::Var(self.ident()?)),
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<Term>, QueryError> {
+        self.eat("(")?;
+        let mut terms = vec![self.term()?];
+        while self.peek(",") {
+            self.eat(",")?;
+            terms.push(self.term()?);
+        }
+        self.eat(")")?;
+        Ok(terms)
+    }
+
+    fn atom(&mut self) -> Result<Atom, QueryError> {
+        let name = self.ident()?;
+        let terms = self.term_list()?;
+        Ok(Atom::new(name, terms))
+    }
+
+    fn query(&mut self) -> Result<ConjunctiveQuery, QueryError> {
+        let name = self.ident()?;
+        let head = self.term_list()?;
+        self.eat(":-")?;
+        let mut body = vec![self.atom()?];
+        while self.peek(",") {
+            self.eat(",")?;
+            body.push(self.atom()?);
+        }
+        self.skip_ws();
+        if !self.rest.is_empty() {
+            return Err(self.err(format!("trailing input {:?}", self.rest)));
+        }
+        Ok(ConjunctiveQuery::new(name, head, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q3() {
+        let q = parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)").unwrap();
+        assert_eq!(q.name, "Q3");
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.body.len(), 2);
+        assert_eq!(q.to_string(), "Q3(x, z) :- T1(x, y), T2(y, z, w)");
+    }
+
+    #[test]
+    fn parses_constants() {
+        let q = parse_query(r#"Q(x) :- T(x, 'XML', 30, -2, "quoted")"#).unwrap();
+        let a = &q.body[0];
+        assert_eq!(a.terms[1], Term::constant("XML"));
+        assert_eq!(a.terms[2], Term::constant(30));
+        assert_eq!(a.terms[3], Term::constant(-2));
+        assert_eq!(a.terms[4], Term::constant("quoted"));
+    }
+
+    #[test]
+    fn parses_without_spaces() {
+        let q = parse_query("Q(x):-T(x,y)").unwrap();
+        assert_eq!(q.body[0].terms.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("Q(x)").is_err()); // missing body
+        assert!(parse_query("Q(x) :- T(x").is_err()); // unbalanced
+        assert!(parse_query("Q(x) :- T(x) extra").is_err()); // trailing
+        assert!(parse_query("(x) :- T(x)").is_err()); // missing name
+        assert!(parse_query("Q(x) :- T('oops)").is_err()); // unterminated
+        assert!(parse_query("Q(x) :- T(-)").is_err()); // dash w/o digits
+    }
+
+    #[test]
+    fn program_skips_comments_and_blanks() {
+        let qs = parse_program(
+            "% two queries\nQ1(x) :- T(x, y)\n\nQ2(y) :- T(x, y)\n",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1].name, "Q2");
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let src = "Q1(y1, y2, w) :- T1(x, y1, z), T2(x, y2, w)";
+        let q = parse_query(src).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

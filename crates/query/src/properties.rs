@@ -1,0 +1,255 @@
+//! Query-class analysis: the syntactic properties the paper's dichotomies
+//! hinge on (§II.B, §III, §IV.B).
+//!
+//! - **project-free**: every body variable appears in the head (select-join
+//!   queries). Project-free implies key-preserving.
+//! - **self-join-free (sj-free)**: no relation symbol occurs twice in the
+//!   body.
+//! - **key-preserving**: every atom has a key (guaranteed by the schema
+//!   substrate) and every *key variable* — a variable at a key position of
+//!   some atom — occurs in the head.
+
+use crate::ast::{BoundQuery, Term};
+use delprop_relation::Schema;
+use std::collections::BTreeSet;
+
+/// Why a query fails to be key-preserving (empty list = key-preserving).
+///
+/// Each entry is `(atom index, key position, variable name)` for a key
+/// variable missing from the head.
+pub fn key_preserving_violations(
+    query: &BoundQuery,
+    schema: &Schema,
+) -> Vec<(usize, usize, String)> {
+    let head: BTreeSet<&str> = query.head_var_set();
+    let mut out = Vec::new();
+    for (ai, atom) in query.atoms.iter().enumerate() {
+        let decl = schema.relation(atom.relation);
+        for &kp in decl.key() {
+            if let Term::Var(v) = &atom.terms[kp] {
+                if !head.contains(v.as_str()) {
+                    out.push((ai, kp, v.clone()));
+                }
+            }
+            // A constant at a key position still determines the base tuple;
+            // it imposes no head requirement.
+        }
+    }
+    out
+}
+
+/// Whether the query is key-preserving w.r.t. the schema's keys.
+pub fn is_key_preserving(query: &BoundQuery, schema: &Schema) -> bool {
+    key_preserving_violations(query, schema).is_empty()
+}
+
+/// Whether the query is project-free: all body variables occur in the head.
+pub fn is_project_free(query: &BoundQuery) -> bool {
+    let head = query.head_var_set();
+    query.body_vars().iter().all(|v| head.contains(v))
+}
+
+/// Whether the query is self-join-free: no relation occurs in two atoms.
+pub fn is_self_join_free(query: &BoundQuery) -> bool {
+    let mut seen = BTreeSet::new();
+    query.atoms.iter().all(|a| seen.insert(a.relation))
+}
+
+/// Structural profile of one query; see also
+/// `delprop-core`'s solver classifier, which consumes these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Query name.
+    pub name: String,
+    /// `arity(Q)` — head width.
+    pub arity: usize,
+    /// Number of body atoms (the witness-set size of each view tuple).
+    pub num_atoms: usize,
+    /// All body variables occur in the head.
+    pub project_free: bool,
+    /// No repeated relation symbol.
+    pub self_join_free: bool,
+    /// All key variables occur in the head.
+    pub key_preserving: bool,
+}
+
+/// Profile a bound query against a schema.
+pub fn profile(query: &BoundQuery, schema: &Schema) -> QueryProfile {
+    QueryProfile {
+        name: query.name.clone(),
+        arity: query.arity(),
+        num_atoms: query.atoms.len(),
+        project_free: is_project_free(query),
+        self_join_free: is_self_join_free(query),
+        key_preserving: is_key_preserving(query, schema),
+    }
+}
+
+/// The paper's `l`: the maximum `arity(Q)` over a set of queries.
+/// Returns 0 for an empty set.
+pub fn max_arity<'a>(queries: impl IntoIterator<Item = &'a BoundQuery>) -> usize {
+    queries.into_iter().map(BoundQuery::arity).max().unwrap_or(0)
+}
+
+/// FD-aware key preservation: an atom passes if **some candidate key** of
+/// its relation — derived from the declared key plus the functional
+/// dependencies — has only constants or head variables at its positions.
+///
+/// This is the mechanism behind the "fd-…" rows of the paper's landscape
+/// tables: FDs let more attribute sets act as keys, so queries that fail
+/// the syntactic [`is_key_preserving`] test may still pin down unique
+/// witnesses per view tuple. Reduces to the plain test when `fds` has no
+/// declarations.
+pub fn is_key_preserving_with_fds(
+    query: &BoundQuery,
+    schema: &Schema,
+    fds: &delprop_relation::SchemaFds,
+) -> bool {
+    let head: BTreeSet<&str> = query.head_var_set();
+    query.atoms.iter().all(|atom| {
+        let decl = schema.relation(atom.relation);
+        let declared_key = decl.key().to_vec();
+        let candidate_keys: Vec<Vec<usize>> = match fds.get(atom.relation) {
+            Some(rel_fds) => {
+                // The declared key is a key by enforcement; make that fact
+                // visible to the closure before deriving candidates.
+                let mut augmented = rel_fds.clone();
+                augmented
+                    .add(delprop_relation::FunctionalDependency::new(
+                        declared_key.clone(),
+                        (0..decl.arity()).collect(),
+                    ))
+                    .expect("declared key positions are in range");
+                augmented.candidate_keys(std::slice::from_ref(&declared_key))
+            }
+            None => vec![declared_key],
+        };
+        candidate_keys.iter().any(|key| {
+            key.iter().all(|&p| match &atom.terms[p] {
+                Term::Var(v) => head.contains(v.as_str()),
+                Term::Const(_) => true,
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use delprop_relation::RelationSchema;
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            // T1(AuName, Journal), key = whole tuple
+            RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+            // T2(Journal, Topic, #Papers), key = (Journal, Topic)
+            RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn bind(src: &str) -> BoundQuery {
+        parse_query(src).unwrap().bind(&schema()).unwrap()
+    }
+
+    #[test]
+    fn paper_q3_is_key_preserving_not_project_free() {
+        // Q3(x, z) :- T1(x, y), T2(y, z, w): keys x,y (T1) and y,z (T2).
+        // y is a key variable NOT in the head -> not key-preserving.
+        let q3 = bind("Q3(x, z) :- T1(x, y), T2(y, z, w)");
+        assert!(!is_project_free(&q3));
+        assert!(!is_key_preserving(&q3, &schema()));
+        let v = key_preserving_violations(&q3, &schema());
+        assert!(v.iter().any(|(_, _, var)| var == "y"));
+    }
+
+    #[test]
+    fn paper_q4_is_key_preserving() {
+        // Q4(x, y, z) :- T1(x, y), T2(y, z, w): key vars x,y,y,z all in head.
+        let q4 = bind("Q4(x, y, z) :- T1(x, y), T2(y, z, w)");
+        assert!(is_key_preserving(&q4, &schema()));
+        assert!(!is_project_free(&q4)); // w is existential
+    }
+
+    #[test]
+    fn project_free_implies_key_preserving() {
+        let q = bind("Q(x, y, z, w) :- T1(x, y), T2(y, z, w)");
+        assert!(is_project_free(&q));
+        assert!(is_key_preserving(&q, &schema()));
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let q = bind("Q(x, y, z) :- T1(x, y), T1(y, z)");
+        assert!(!is_self_join_free(&q));
+        let q = bind("Q(x, y, z, w) :- T1(x, y), T2(y, z, w)");
+        assert!(is_self_join_free(&q));
+    }
+
+    #[test]
+    fn constant_at_key_position_is_no_violation() {
+        let q = bind("Q(x) :- T2('TKDE', x, w)");
+        // key positions of T2 are 0 ('TKDE', constant) and 1 (x, in head)
+        assert!(is_key_preserving(&q, &schema()));
+    }
+
+    #[test]
+    fn profile_summarizes() {
+        let p = profile(&bind("Q4(x, y, z) :- T1(x, y), T2(y, z, w)"), &schema());
+        assert_eq!(p.arity, 3);
+        assert_eq!(p.num_atoms, 2);
+        assert!(p.key_preserving && p.self_join_free && !p.project_free);
+    }
+
+    #[test]
+    fn fd_extended_key_preservation() {
+        use delprop_relation::{FunctionalDependency, RelationFds, SchemaFds};
+        let s = schema();
+        // Q3(x, z) :- T1(x, y), T2(y, z, w) is NOT key-preserving: key
+        // variable y is existential.
+        let q3 = bind("Q3(x, z) :- T1(x, y), T2(y, z, w)");
+        assert!(!is_key_preserving(&q3, &s));
+        // Without FDs the FD-aware test agrees.
+        assert!(!is_key_preserving_with_fds(&q3, &s, &SchemaFds::new()));
+        // Declare x → y on T1 (authors publish in one journal) and
+        // z → y on T2 (topics determine the journal): now {0} is a
+        // candidate key of T1 and {1} of T2, both head-covered.
+        let mut fds = SchemaFds::new();
+        let t1 = s.relation_id("T1").unwrap();
+        let t2 = s.relation_id("T2").unwrap();
+        let mut f1 = RelationFds::new(2);
+        f1.add(FunctionalDependency::new(vec![0], vec![1])).unwrap();
+        fds.insert(t1, f1);
+        let mut f2 = RelationFds::new(3);
+        f2.add(FunctionalDependency::new(vec![1], vec![0, 2])).unwrap();
+        fds.insert(t2, f2);
+        assert!(is_key_preserving_with_fds(&q3, &s, &fds));
+    }
+
+    #[test]
+    fn fd_test_reduces_to_plain_without_declarations() {
+        use delprop_relation::SchemaFds;
+        let s = schema();
+        for src in [
+            "Q4(x, y, z) :- T1(x, y), T2(y, z, w)",
+            "Q(x, y, z, w) :- T1(x, y), T2(y, z, w)",
+            "Q(x) :- T2('TKDE', x, w)",
+        ] {
+            let q = bind(src);
+            assert_eq!(
+                is_key_preserving(&q, &s),
+                is_key_preserving_with_fds(&q, &s, &SchemaFds::new()),
+                "mismatch for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_arity_over_set() {
+        let a = bind("Q3(x, z) :- T1(x, y), T2(y, z, w)");
+        let b = bind("Q4(x, y, z) :- T1(x, y), T2(y, z, w)");
+        assert_eq!(max_arity([&a, &b]), 3);
+        assert_eq!(max_arity([]), 0);
+    }
+}

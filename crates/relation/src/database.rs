@@ -1,0 +1,266 @@
+//! Database instances: one [`Relation`] store per schema relation, plus
+//! stable tuple identities and bulk delete/restore used by the solvers.
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::{RelationId, RelationSchema, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// Globally stable identity of a base tuple: (relation, slot).
+///
+/// Tuple ids survive deletions (slots are tombstoned, never reused), so a
+/// solution `ΔD` is simply a set of `TupleId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Which relation the tuple lives in.
+    pub relation: RelationId,
+    /// Slot within that relation's store.
+    pub index: usize,
+}
+
+impl TupleId {
+    /// Construct a tuple id.
+    pub fn new(relation: RelationId, index: usize) -> Self {
+        TupleId { relation, index }
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.relation, self.index)
+    }
+}
+
+/// A database instance `D` over a [`Schema`].
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Empty instance over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let relations = (0..schema.len()).map(|_| Relation::new()).collect();
+        Database { schema, relations }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert a tuple into the named relation.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<TupleId, RelationError> {
+        let id = self.schema.relation_id(relation)?;
+        self.insert_by_id(id, tuple)
+    }
+
+    /// Insert a tuple into relation `id`.
+    pub fn insert_by_id(
+        &mut self,
+        id: RelationId,
+        tuple: Tuple,
+    ) -> Result<TupleId, RelationError> {
+        let decl = self.schema.relation(id).clone();
+        let slot = self.relations[id.0].insert(&decl, tuple)?;
+        Ok(TupleId::new(id, slot))
+    }
+
+    /// Insert many tuples into the named relation.
+    pub fn insert_all<I>(&mut self, relation: &str, tuples: I) -> Result<Vec<TupleId>, RelationError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let id = self.schema.relation_id(relation)?;
+        tuples
+            .into_iter()
+            .map(|t| self.insert_by_id(id, t))
+            .collect()
+    }
+
+    /// The relation store for `id`.
+    pub fn relation(&self, id: RelationId) -> &Relation {
+        &self.relations[id.0]
+    }
+
+    /// The declaration for `id` (convenience passthrough).
+    pub fn relation_schema(&self, id: RelationId) -> &RelationSchema {
+        self.schema.relation(id)
+    }
+
+    /// The tuple behind `id`, whether live or tombstoned.
+    pub fn tuple(&self, id: TupleId) -> Option<&Tuple> {
+        self.relations.get(id.relation.0)?.tuple(id.index)
+    }
+
+    /// Whether `id` refers to a live tuple.
+    pub fn is_live(&self, id: TupleId) -> bool {
+        self.relations
+            .get(id.relation.0)
+            .map(|r| r.is_live(id.index))
+            .unwrap_or(false)
+    }
+
+    /// Total number of live tuples across all relations (the instance size
+    /// `|D|` used in the paper's complexity statements).
+    pub fn len(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Whether the instance has no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tombstone one tuple. Returns whether it was live.
+    pub fn delete(&mut self, id: TupleId) -> bool {
+        self.relations
+            .get_mut(id.relation.0)
+            .map(|r| r.delete(id.index))
+            .unwrap_or(false)
+    }
+
+    /// Revive one tombstoned tuple. Returns whether it was tombstoned.
+    pub fn restore(&mut self, id: TupleId) -> bool {
+        self.relations
+            .get_mut(id.relation.0)
+            .map(|r| r.restore(id.index))
+            .unwrap_or(false)
+    }
+
+    /// Tombstone a batch `ΔD`, returning the ids that were actually live
+    /// (pass the return value to [`Database::restore_all`] to undo).
+    pub fn delete_all(&mut self, ids: &[TupleId]) -> Vec<TupleId> {
+        ids.iter().copied().filter(|&id| self.delete(id)).collect()
+    }
+
+    /// Revive a batch.
+    pub fn restore_all(&mut self, ids: &[TupleId]) {
+        for &id in ids {
+            self.restore(id);
+        }
+    }
+
+    /// Find the live tuple of relation `id` matching the given key values.
+    pub fn find_by_key(&self, id: RelationId, key: &[Value]) -> Option<TupleId> {
+        self.relations[id.0]
+            .find_by_key(key)
+            .map(|slot| TupleId::new(id, slot))
+    }
+
+    /// Iterate all live tuple ids across the instance.
+    pub fn live_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.relations.iter().enumerate().flat_map(|(ri, rel)| {
+            rel.iter()
+                .map(move |(slot, _)| TupleId::new(RelationId(ri), slot))
+        })
+    }
+
+    /// Iterate `(id, tuple)` over live tuples of one relation.
+    pub fn live_tuples(&self, id: RelationId) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.relations[id.0]
+            .iter()
+            .map(move |(slot, t)| (TupleId::new(id, slot), t))
+    }
+
+    /// Render the instance for example programs: one block per relation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, decl) in self.schema.iter() {
+            out.push_str(decl.name());
+            out.push('\n');
+            for (_, t) in self.relations[id.0].iter() {
+                out.push_str(&format!("  {t}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn db() -> Database {
+        let schema = Schema::from_relations([
+            RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+            RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+        ])
+        .unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut d = db();
+        let id = d.insert("T1", tup!["John", "TKDE"]).unwrap();
+        assert!(d.is_live(id));
+        assert_eq!(d.tuple(id), Some(&tup!["John", "TKDE"]));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut d = db();
+        assert!(d.insert("Nope", tup![1]).is_err());
+    }
+
+    #[test]
+    fn delete_and_restore_batch() {
+        let mut d = db();
+        let a = d.insert("T1", tup!["a", "x"]).unwrap();
+        let b = d.insert("T1", tup!["b", "x"]).unwrap();
+        let c = d.insert("T2", tup!["x", "y", 1]).unwrap();
+        let undone = d.delete_all(&[a, c, a]); // duplicate delete ignored
+        assert_eq!(undone, vec![a, c]);
+        assert_eq!(d.len(), 1);
+        assert!(d.is_live(b));
+        d.restore_all(&undone);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn find_by_key_respects_liveness() {
+        let mut d = db();
+        let t2 = d.schema().relation_id("T2").unwrap();
+        let id = d.insert("T2", tup!["TKDE", "XML", 30]).unwrap();
+        let key = vec![Value::str("TKDE"), Value::str("XML")];
+        assert_eq!(d.find_by_key(t2, &key), Some(id));
+        d.delete(id);
+        assert_eq!(d.find_by_key(t2, &key), None);
+    }
+
+    #[test]
+    fn live_ids_spans_relations() {
+        let mut d = db();
+        d.insert("T1", tup!["a", "x"]).unwrap();
+        d.insert("T2", tup!["x", "y", 1]).unwrap();
+        assert_eq!(d.live_ids().count(), 2);
+    }
+
+    #[test]
+    fn insert_all_rolls_through() {
+        let mut d = db();
+        let ids = d
+            .insert_all("T1", vec![tup!["a", "1"], tup!["b", "2"]])
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_names_and_tuples() {
+        let mut d = db();
+        d.insert("T1", tup!["John", "TKDE"]).unwrap();
+        let s = d.render();
+        assert!(s.contains("T1"));
+        assert!(s.contains("(John, TKDE)"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Errors raised by the relational substrate.
+
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// Errors from schema/instance construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// Inserting a tuple whose key values collide with an existing live
+    /// tuple. Keys are hard constraints in this library: the paper's
+    /// key-preserving machinery is unsound without them.
+    KeyViolation {
+        relation: String,
+        tuple: Tuple,
+        existing: Tuple,
+    },
+    /// Referencing a relation name absent from the schema.
+    UnknownRelation(String),
+    /// Declaring two relations with the same name.
+    DuplicateRelation(String),
+    /// A key position outside the relation's arity.
+    InvalidKeyPosition { relation: String, position: usize, arity: usize },
+    /// A relation schema with an empty key. Every atom of a key-preserving
+    /// query must have a key ("there is at least one key attribute
+    /// position", §II.B), so keyless relations are rejected up front.
+    EmptyKey(String),
+    /// A relation schema with zero arity.
+    ZeroArity(String),
+    /// A tuple id that does not refer to a live tuple.
+    InvalidTupleId { relation: usize, index: usize },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for relation {relation}: expected {expected}, got {got}"
+            ),
+            RelationError::KeyViolation {
+                relation,
+                tuple,
+                existing,
+            } => write!(
+                f,
+                "key violation in relation {relation}: {tuple} collides with existing {existing}"
+            ),
+            RelationError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            RelationError::DuplicateRelation(name) => {
+                write!(f, "duplicate relation {name}")
+            }
+            RelationError::InvalidKeyPosition {
+                relation,
+                position,
+                arity,
+            } => write!(
+                f,
+                "invalid key position {position} for relation {relation} of arity {arity}"
+            ),
+            RelationError::EmptyKey(name) => {
+                write!(f, "relation {name} declares an empty key")
+            }
+            RelationError::ZeroArity(name) => {
+                write!(f, "relation {name} declares zero arity")
+            }
+            RelationError::InvalidTupleId { relation, index } => {
+                write!(f, "invalid tuple id (relation #{relation}, index {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn display_messages_mention_relation() {
+        let e = RelationError::ArityMismatch {
+            relation: "T1".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("T1"));
+        let e = RelationError::KeyViolation {
+            relation: "T".into(),
+            tuple: tup![1],
+            existing: tup![2],
+        };
+        assert!(e.to_string().contains("key violation"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RelationError::UnknownRelation("X".into()));
+    }
+}

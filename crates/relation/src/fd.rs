@@ -1,0 +1,268 @@
+//! Functional dependencies and key derivation.
+//!
+//! The paper's related-work landscape (Tables II–V) repeatedly notes that
+//! functional dependencies shift the tractability frontier
+//! ("fd-head-domination", "fd-induced triads"). The mechanism is always
+//! the same: FDs let more attribute sets act as keys, so more queries
+//! become key-preserving *in effect*. This module supplies that
+//! machinery: FD declarations per relation, attribute closure, key
+//! testing, candidate-key enumeration, and instance-level FD validation —
+//! consumed by `delprop-query`'s FD-aware key-preservation test and
+//! `delprop-core`'s FD-aware problem constructor.
+
+use crate::database::Database;
+use crate::error::RelationError;
+use crate::schema::RelationId;
+use std::collections::{BTreeSet, HashMap};
+
+/// One functional dependency `lhs → rhs` over the attribute positions of
+/// a single relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Determinant positions (sorted, deduplicated).
+    pub lhs: Vec<usize>,
+    /// Determined positions (sorted, deduplicated).
+    pub rhs: Vec<usize>,
+}
+
+impl FunctionalDependency {
+    /// Build an FD, normalizing both sides.
+    pub fn new(mut lhs: Vec<usize>, mut rhs: Vec<usize>) -> Self {
+        lhs.sort_unstable();
+        lhs.dedup();
+        rhs.sort_unstable();
+        rhs.dedup();
+        FunctionalDependency { lhs, rhs }
+    }
+}
+
+/// The FDs of one relation (of a known arity).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationFds {
+    arity: usize,
+    fds: Vec<FunctionalDependency>,
+}
+
+impl RelationFds {
+    /// Empty FD set for a relation of `arity`.
+    pub fn new(arity: usize) -> Self {
+        RelationFds { arity, fds: Vec::new() }
+    }
+
+    /// Add an FD; errors if a position is out of range.
+    pub fn add(&mut self, fd: FunctionalDependency) -> Result<(), RelationError> {
+        if let Some(&bad) = fd.lhs.iter().chain(&fd.rhs).find(|&&p| p >= self.arity) {
+            return Err(RelationError::InvalidKeyPosition {
+                relation: "<fd>".to_string(),
+                position: bad,
+                arity: self.arity,
+            });
+        }
+        self.fds.push(fd);
+        Ok(())
+    }
+
+    /// The declared FDs.
+    pub fn fds(&self) -> &[FunctionalDependency] {
+        &self.fds
+    }
+
+    /// Attribute closure `attrs⁺` under the FDs.
+    pub fn closure(&self, attrs: &[usize]) -> BTreeSet<usize> {
+        let mut closed: BTreeSet<usize> = attrs.iter().copied().collect();
+        loop {
+            let mut grew = false;
+            for fd in &self.fds {
+                if fd.lhs.iter().all(|p| closed.contains(p)) {
+                    for &p in &fd.rhs {
+                        grew |= closed.insert(p);
+                    }
+                }
+            }
+            if !grew {
+                return closed;
+            }
+        }
+    }
+
+    /// Whether `attrs` functionally determines the whole tuple.
+    pub fn is_superkey(&self, attrs: &[usize]) -> bool {
+        self.closure(attrs).len() == self.arity
+    }
+
+    /// All minimal keys (candidate keys) of the relation, assuming the
+    /// declared key of the schema is also provided as an FD or passed via
+    /// `seed_superkeys`. Exponential in arity in the worst case — fine for
+    /// the small arities of this domain.
+    pub fn candidate_keys(&self, seed_superkeys: &[Vec<usize>]) -> Vec<Vec<usize>> {
+        // Collect superkeys: seeds plus every FD lhs that is a superkey.
+        let mut supers: Vec<Vec<usize>> = seed_superkeys
+            .iter()
+            .cloned()
+            .chain(self.fds.iter().map(|fd| fd.lhs.clone()))
+            .filter(|k| self.is_superkey(k))
+            .collect();
+        // Minimize each superkey by dropping attributes greedily.
+        for key in supers.iter_mut() {
+            let mut i = 0;
+            while i < key.len() {
+                let mut trial = key.clone();
+                trial.remove(i);
+                if self.is_superkey(&trial) {
+                    *key = trial;
+                } else {
+                    i += 1;
+                }
+            }
+            key.sort_unstable();
+        }
+        supers.sort();
+        supers.dedup();
+        // Drop non-minimal ones (a key containing another key).
+        let copy = supers.clone();
+        supers.retain(|k| {
+            !copy
+                .iter()
+                .any(|other| other != k && other.iter().all(|p| k.contains(p)))
+        });
+        supers
+    }
+}
+
+/// FD declarations for a whole schema.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaFds {
+    per_relation: HashMap<RelationId, RelationFds>,
+}
+
+impl SchemaFds {
+    /// Empty declaration set.
+    pub fn new() -> Self {
+        SchemaFds::default()
+    }
+
+    /// Set the FDs of one relation.
+    pub fn insert(&mut self, relation: RelationId, fds: RelationFds) {
+        self.per_relation.insert(relation, fds);
+    }
+
+    /// The FDs of a relation (empty set if none declared).
+    pub fn get(&self, relation: RelationId) -> Option<&RelationFds> {
+        self.per_relation.get(&relation)
+    }
+
+    /// Verify every declared FD against the live tuples of `db`. Returns
+    /// the first violating pair as `(relation, fd index)` if any.
+    pub fn check(&self, db: &Database) -> Option<(RelationId, usize)> {
+        for (&rid, rel_fds) in &self.per_relation {
+            for (fi, fd) in rel_fds.fds.iter().enumerate() {
+                let mut seen: HashMap<Vec<crate::value::Value>, Vec<crate::value::Value>> =
+                    HashMap::new();
+                for (_, tuple) in db.live_tuples(rid) {
+                    let lhs = tuple.key_values(&fd.lhs);
+                    let rhs = tuple.key_values(&fd.rhs);
+                    match seen.get(&lhs) {
+                        Some(prev) if prev != &rhs => return Some((rid, fi)),
+                        Some(_) => {}
+                        None => {
+                            seen.insert(lhs, rhs);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelationSchema, Schema};
+    use crate::tup;
+
+    fn fds(arity: usize, list: &[(&[usize], &[usize])]) -> RelationFds {
+        let mut f = RelationFds::new(arity);
+        for (l, r) in list {
+            f.add(FunctionalDependency::new(l.to_vec(), r.to_vec())).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn closure_transitive() {
+        // 0 -> 1, 1 -> 2: {0}+ = {0,1,2}
+        let f = fds(3, &[(&[0], &[1]), (&[1], &[2])]);
+        assert_eq!(f.closure(&[0]).into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(f.is_superkey(&[0]));
+        assert!(!f.is_superkey(&[2]));
+    }
+
+    #[test]
+    fn candidate_keys_minimized() {
+        // 0 -> 1,2 and 1 -> 0,2: both {0} and {1} are candidate keys.
+        let f = fds(3, &[(&[0], &[1, 2]), (&[1], &[0, 2])]);
+        let keys = f.candidate_keys(&[vec![0, 1, 2]]);
+        assert_eq!(keys, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn seed_superkey_minimized_even_without_fd_keys() {
+        let f = fds(2, &[]);
+        let keys = f.candidate_keys(&[vec![0, 1]]);
+        assert_eq!(keys, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn out_of_range_fd_rejected() {
+        let mut f = RelationFds::new(2);
+        assert!(f
+            .add(FunctionalDependency::new(vec![0], vec![2]))
+            .is_err());
+    }
+
+    #[test]
+    fn check_detects_violations() {
+        let schema =
+            Schema::from_relations([RelationSchema::new("T", 3, vec![0]).unwrap()]).unwrap();
+        let rid = schema.relation_id("T").unwrap();
+        let mut db = Database::new(schema);
+        db.insert("T", tup![1, "a", "x"]).unwrap();
+        db.insert("T", tup![2, "a", "y"]).unwrap();
+        let mut sf = SchemaFds::new();
+        // 1 -> 2 is violated: both rows have "a" at position 1 but differ
+        // at position 2.
+        sf.insert(rid, fds(3, &[(&[1], &[2])]));
+        assert_eq!(sf.check(&db), Some((rid, 0)));
+        // 0 -> 1 holds (position 0 is unique).
+        let mut sf = SchemaFds::new();
+        sf.insert(rid, fds(3, &[(&[0], &[1])]));
+        assert_eq!(sf.check(&db), None);
+    }
+
+    #[test]
+    fn check_ignores_tombstoned_tuples() {
+        let schema =
+            Schema::from_relations([RelationSchema::new("T", 2, vec![0]).unwrap()]).unwrap();
+        let rid = schema.relation_id("T").unwrap();
+        let mut db = Database::new(schema);
+        let bad = db.insert("T", tup![1, "a"]).unwrap();
+        db.insert("T", tup![2, "b"]).unwrap();
+        let mut sf = SchemaFds::new();
+        sf.insert(rid, fds(2, &[(&[1], &[0])]));
+        assert_eq!(sf.check(&db), None);
+        // Introduce a violation, then tombstone it away.
+        let dup = db.insert("T", tup![3, "a"]).unwrap();
+        assert!(sf.check(&db).is_some());
+        db.delete(dup);
+        assert_eq!(sf.check(&db), None);
+        let _ = bad;
+    }
+
+    #[test]
+    fn fd_normalization() {
+        let fd = FunctionalDependency::new(vec![2, 0, 2], vec![1, 1]);
+        assert_eq!(fd.lhs, vec![0, 2]);
+        assert_eq!(fd.rhs, vec![1]);
+    }
+}

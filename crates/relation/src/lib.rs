@@ -1,0 +1,30 @@
+//! # delprop-relation — relational storage substrate
+//!
+//! The paper's setting (§II.A) is a vanilla relational model with one twist
+//! that everything downstream relies on: **every relation has a key**, and
+//! the key is enforced as a hard constraint. This crate provides:
+//!
+//! - [`Value`] / [`Tuple`]: constants and rows;
+//! - [`RelationSchema`] / [`Schema`]: relation declarations with non-empty
+//!   keys;
+//! - [`Relation`]: a key-enforcing tuple store with tombstoned deletion so
+//!   [`TupleId`]s stay stable while solvers explore deletion sets;
+//! - [`Database`]: the instance `D`, with O(1) `delete`/`restore` and
+//!   key-based lookup ([`Database::find_by_key`]) — the primitive behind
+//!   unique-witness provenance for key-preserving queries.
+
+mod database;
+mod error;
+mod fd;
+mod relation;
+mod schema;
+mod tuple;
+mod value;
+
+pub use database::{Database, TupleId};
+pub use error::RelationError;
+pub use fd::{FunctionalDependency, RelationFds, SchemaFds};
+pub use relation::Relation;
+pub use schema::{RelationId, RelationSchema, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

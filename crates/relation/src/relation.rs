@@ -1,0 +1,219 @@
+//! A key-enforcing tuple store for one relation.
+//!
+//! Tuples get dense, stable indices; deletion tombstones a slot instead of
+//! shifting, so `TupleId`s held by views, witnesses, and solvers stay valid
+//! across deletions. Deletion propagation explores many candidate deletion
+//! sets, so [`Relation::delete`]/[`Relation::restore`] are O(1).
+
+use crate::error::RelationError;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Storage for the tuples of a single relation, enforcing its key.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+    live: Vec<bool>,
+    live_count: usize,
+    /// key values -> slot index of the live tuple carrying them
+    key_index: HashMap<Vec<Value>, usize>,
+}
+
+impl Relation {
+    /// Empty store.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// Insert a tuple, enforcing arity and the key of `schema`.
+    /// Returns the slot index of the new tuple.
+    pub fn insert(
+        &mut self,
+        schema: &RelationSchema,
+        tuple: Tuple,
+    ) -> Result<usize, RelationError> {
+        if tuple.arity() != schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: schema.name().to_string(),
+                expected: schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        let key = tuple.key_values(schema.key());
+        if let Some(&slot) = self.key_index.get(&key) {
+            return Err(RelationError::KeyViolation {
+                relation: schema.name().to_string(),
+                tuple,
+                existing: self.tuples[slot].clone(),
+            });
+        }
+        let slot = self.tuples.len();
+        self.key_index.insert(key, slot);
+        self.tuples.push(tuple);
+        self.live.push(true);
+        self.live_count += 1;
+        Ok(slot)
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether there are no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Total slots ever allocated (live + tombstoned).
+    pub fn capacity(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether slot `idx` holds a live tuple.
+    pub fn is_live(&self, idx: usize) -> bool {
+        self.live.get(idx).copied().unwrap_or(false)
+    }
+
+    /// The tuple at slot `idx`, live or tombstoned.
+    pub fn tuple(&self, idx: usize) -> Option<&Tuple> {
+        self.tuples.get(idx)
+    }
+
+    /// The live tuple at slot `idx`.
+    pub fn live_tuple(&self, idx: usize) -> Option<&Tuple> {
+        if self.is_live(idx) {
+            self.tuples.get(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Slot of the live tuple with the given key values.
+    pub fn find_by_key(&self, key: &[Value]) -> Option<usize> {
+        self.key_index.get(key).copied().filter(|&s| self.live[s])
+    }
+
+    /// Tombstone slot `idx`. Returns whether it was live.
+    ///
+    /// The key index entry is retained so a later [`Relation::restore`] can
+    /// revive the tuple; `find_by_key` filters on liveness.
+    pub fn delete(&mut self, idx: usize) -> bool {
+        if self.is_live(idx) {
+            self.live[idx] = false;
+            self.live_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Revive a tombstoned slot. Returns whether it was tombstoned.
+    pub fn restore(&mut self, idx: usize) -> bool {
+        if idx < self.live.len() && !self.live[idx] {
+            self.live[idx] = true;
+            self.live_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate `(slot, tuple)` over live tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.live[i])
+    }
+
+    /// Iterate `(slot, tuple)` over all slots, live or not.
+    pub fn iter_all(&self) -> impl Iterator<Item = (usize, &Tuple)> {
+        self.tuples.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new("T", 2, vec![0]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let s = schema();
+        let mut r = Relation::new();
+        assert!(r.is_empty());
+        r.insert(&s, tup![1, "a"]).unwrap();
+        r.insert(&s, tup![2, "b"]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let s = schema();
+        let mut r = Relation::new();
+        assert!(matches!(
+            r.insert(&s, tup![1]),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn key_enforced() {
+        let s = schema();
+        let mut r = Relation::new();
+        r.insert(&s, tup![1, "a"]).unwrap();
+        // Same key, different payload: rejected.
+        assert!(matches!(
+            r.insert(&s, tup![1, "b"]),
+            Err(RelationError::KeyViolation { .. })
+        ));
+        // Different key: fine.
+        r.insert(&s, tup![2, "a"]).unwrap();
+    }
+
+    #[test]
+    fn delete_restore_roundtrip() {
+        let s = schema();
+        let mut r = Relation::new();
+        let slot = r.insert(&s, tup![1, "a"]).unwrap();
+        assert!(r.delete(slot));
+        assert!(!r.delete(slot), "double delete is a no-op");
+        assert_eq!(r.len(), 0);
+        assert!(r.find_by_key(&[Value::int(1)]).is_none());
+        assert!(r.restore(slot));
+        assert!(!r.restore(slot), "double restore is a no-op");
+        assert_eq!(r.find_by_key(&[Value::int(1)]), Some(slot));
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let s = schema();
+        let mut r = Relation::new();
+        let a = r.insert(&s, tup![1, "a"]).unwrap();
+        let b = r.insert(&s, tup![2, "b"]).unwrap();
+        r.delete(a);
+        let live: Vec<usize> = r.iter().map(|(i, _)| i).collect();
+        assert_eq!(live, vec![b]);
+        assert_eq!(r.iter_all().count(), 2);
+        assert_eq!(r.capacity(), 2);
+    }
+
+    #[test]
+    fn find_by_key_uses_key_positions() {
+        let s = RelationSchema::new("T", 3, vec![0, 2]).unwrap();
+        let mut r = Relation::new();
+        let slot = r.insert(&s, tup!["k1", "x", "k2"]).unwrap();
+        assert_eq!(
+            r.find_by_key(&[Value::str("k1"), Value::str("k2")]),
+            Some(slot)
+        );
+        assert_eq!(r.find_by_key(&[Value::str("k1"), Value::str("zz")]), None);
+    }
+}

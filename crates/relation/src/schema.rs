@@ -1,0 +1,249 @@
+//! Schemas: relation declarations with keys.
+//!
+//! A schema `S` is a finite sequence of distinct relations, each with an
+//! arity and a non-empty key (§II.A of the paper, plus the key requirement
+//! of §II.B). Key positions are 0-based attribute indices.
+
+use crate::error::RelationError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a relation within a [`Schema`] (dense, stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub usize);
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Declaration of one relation: name, arity, key positions, optional
+/// attribute names (used only for pretty-printing examples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    arity: usize,
+    key: Vec<usize>,
+    attr_names: Option<Vec<String>>,
+}
+
+impl RelationSchema {
+    /// Declare a relation. `key` is a set of 0-based positions; it is
+    /// deduplicated and sorted. Errors if empty, out of range, or arity 0.
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        key: impl Into<Vec<usize>>,
+    ) -> Result<Self, RelationError> {
+        let name = name.into();
+        if arity == 0 {
+            return Err(RelationError::ZeroArity(name));
+        }
+        let mut key = key.into();
+        key.sort_unstable();
+        key.dedup();
+        if key.is_empty() {
+            return Err(RelationError::EmptyKey(name));
+        }
+        if let Some(&bad) = key.iter().find(|&&p| p >= arity) {
+            return Err(RelationError::InvalidKeyPosition {
+                relation: name,
+                position: bad,
+                arity,
+            });
+        }
+        Ok(RelationSchema {
+            name,
+            arity,
+            key,
+            attr_names: None,
+        })
+    }
+
+    /// Attach human-readable attribute names (for display only).
+    ///
+    /// # Panics
+    /// Panics if the number of names differs from the arity.
+    pub fn with_attr_names(mut self, names: &[&str]) -> Self {
+        assert_eq!(
+            names.len(),
+            self.arity,
+            "attribute name count must equal arity"
+        );
+        self.attr_names = Some(names.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Sorted, deduplicated key positions.
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Whether `pos` is a key position.
+    pub fn is_key_position(&self, pos: usize) -> bool {
+        self.key.binary_search(&pos).is_ok()
+    }
+
+    /// Attribute display name for position `pos`.
+    pub fn attr_name(&self, pos: usize) -> String {
+        match &self.attr_names {
+            Some(names) => names[pos].clone(),
+            None => format!("#{pos}"),
+        }
+    }
+}
+
+/// A database schema: an ordered list of distinct relation declarations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelationId>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Build a schema from declarations, erroring on duplicate names.
+    pub fn from_relations(
+        rels: impl IntoIterator<Item = RelationSchema>,
+    ) -> Result<Self, RelationError> {
+        let mut s = Schema::new();
+        for r in rels {
+            s.add(r)?;
+        }
+        Ok(s)
+    }
+
+    /// Add one relation declaration; returns its id.
+    pub fn add(&mut self, rel: RelationSchema) -> Result<RelationId, RelationError> {
+        if self.by_name.contains_key(rel.name()) {
+            return Err(RelationError::DuplicateRelation(rel.name().to_string()));
+        }
+        let id = RelationId(self.relations.len());
+        self.by_name.insert(rel.name().to_string(), id);
+        self.relations.push(rel);
+        Ok(id)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Look a relation up by name.
+    pub fn relation_id(&self, name: &str) -> Result<RelationId, RelationError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownRelation(name.to_string()))
+    }
+
+    /// The declaration for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (ids are only minted by this schema).
+    pub fn relation(&self, id: RelationId) -> &RelationSchema {
+        &self.relations[id.0]
+    }
+
+    /// Iterate `(id, declaration)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelationId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelationId(i), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_schema_validates() {
+        assert!(RelationSchema::new("T", 0, vec![0]).is_err());
+        assert!(matches!(
+            RelationSchema::new("T", 2, Vec::<usize>::new()),
+            Err(RelationError::EmptyKey(_))
+        ));
+        assert!(matches!(
+            RelationSchema::new("T", 2, vec![2]),
+            Err(RelationError::InvalidKeyPosition { .. })
+        ));
+        let r = RelationSchema::new("T", 3, vec![1, 0, 1]).unwrap();
+        assert_eq!(r.key(), &[0, 1]);
+        assert!(r.is_key_position(0));
+        assert!(!r.is_key_position(2));
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let mut s = Schema::new();
+        s.add(RelationSchema::new("T", 1, vec![0]).unwrap()).unwrap();
+        assert!(matches!(
+            s.add(RelationSchema::new("T", 2, vec![0]).unwrap()),
+            Err(RelationError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::from_relations([
+            RelationSchema::new("A", 1, vec![0]).unwrap(),
+            RelationSchema::new("B", 2, vec![0]).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(s.relation_id("B").unwrap(), RelationId(1));
+        assert!(s.relation_id("C").is_err());
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn attr_names() {
+        let r = RelationSchema::new("Author", 2, vec![0, 1])
+            .unwrap()
+            .with_attr_names(&["AuName", "Journal"]);
+        assert_eq!(r.attr_name(0), "AuName");
+        let plain = RelationSchema::new("T", 1, vec![0]).unwrap();
+        assert_eq!(plain.attr_name(0), "#0");
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute name count")]
+    fn attr_names_wrong_count_panics() {
+        let _ = RelationSchema::new("T", 2, vec![0])
+            .unwrap()
+            .with_attr_names(&["only-one"]);
+    }
+
+    #[test]
+    fn iter_in_declaration_order() {
+        let s = Schema::from_relations([
+            RelationSchema::new("A", 1, vec![0]).unwrap(),
+            RelationSchema::new("B", 1, vec![0]).unwrap(),
+        ])
+        .unwrap();
+        let names: Vec<_> = s.iter().map(|(_, r)| r.name().to_string()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

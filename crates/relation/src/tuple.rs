@@ -1,0 +1,149 @@
+//! Tuples: fixed-arity sequences of [`Value`]s.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// A database tuple (a row of a relation, or a view tuple of a query result).
+///
+/// Tuples are immutable once built; the deletion-propagation algorithms only
+/// ever create, compare, hash, and project them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Tuple {
+            values: values.into().into_boxed_slice(),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field access without panicking.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Project onto the given positions (in the given order).
+    ///
+    /// Used to extract key values (`positions` = key positions of the
+    /// relation schema) and head tuples of query answers.
+    ///
+    /// # Panics
+    /// Panics if any position is out of bounds; positions always come from a
+    /// validated schema or query.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(
+            positions
+                .iter()
+                .map(|&p| self.values[p].clone())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Key values at `positions` as an owned `Vec`, for use as an index key.
+    pub fn key_values(&self, positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&p| self.values[p].clone()).collect()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<T: IntoIterator<Item = V>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().map(Into::into).collect::<Vec<_>>())
+    }
+}
+
+/// Convenience: build a [`Tuple`] from heterogeneous literals.
+///
+/// ```
+/// use delprop_relation::tup;
+/// let t = tup!["John", "TKDE"];
+/// assert_eq!(t.arity(), 2);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_and_arity() {
+        let t = tup!["John", "TKDE", 30];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::str("John"));
+        assert_eq!(t[2], Value::int(30));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = tup![1, 2, 3];
+        assert_eq!(t.project(&[2, 0]), tup![3, 1]);
+    }
+
+    #[test]
+    fn project_empty_positions() {
+        let t = tup![1, 2];
+        assert_eq!(t.project(&[]).arity(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tup!["a", 1].to_string(), "(a, 1)");
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let t = tup![1];
+        assert!(t.get(0).is_some());
+        assert!(t.get(1).is_none());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = (0..3).map(|i| i as i64).collect();
+        assert_eq!(t, tup![0, 1, 2]);
+    }
+
+    #[test]
+    fn key_values_match_project() {
+        let t = tup!["x", "y", "z"];
+        assert_eq!(t.key_values(&[1]), vec![Value::str("y")]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Constant values stored in relations.
+//!
+//! The paper's domain `Const` is an abstract set of constants; real
+//! deletion-propagation workloads mix integers (surrogate keys, counts) and
+//! strings (names, topics). [`Value`] covers both. String payloads are
+//! reference-counted so that cloning a tuple is cheap, which matters because
+//! view materialization and witness tracking copy values freely.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single constant from the domain `Const`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Integer constant. Also used for invented distinct padding values in
+    /// hardness gadgets (Theorem 1/2 constructions).
+    Int(i64),
+    /// String constant. Shared storage: cloning is a refcount bump.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Return the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Return the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("TKDE").to_string(), "TKDE");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::str("a"), Value::from("a"));
+        assert_ne!(Value::str("1"), Value::int(1));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::str("b"), Value::int(3), Value::str("a"), Value::int(1)];
+        vs.sort();
+        // Ints sort before Strs (enum variant order); within a variant, natural order.
+        assert_eq!(
+            vs,
+            vec![Value::int(1), Value::int(3), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(3i32), Value::int(3));
+        assert_eq!(Value::from(3usize), Value::int(3));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+    }
+
+    #[test]
+    fn clone_is_cheap_for_strings() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! A small fixed-capacity bitset used by the exact branch-and-bound solver.
+//!
+//! `std` has no bitset and the offline crate list has no `fixedbitset`, so
+//! we carry a minimal one: enough for coverage bookkeeping, nothing more.
+
+/// Fixed-capacity bitset over `0..capacity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// All-zero bitset with room for `capacity` bits.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Set bit `i`. Returns whether it was previously unset.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let (b, m) = (i / 64, 1u64 << (i % 64));
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] |= m;
+        !was
+    }
+
+    /// Clear bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        self.blocks[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.blocks[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// OR another bitset into this one (capacities must match).
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate set bit indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let t = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + t)
+                }
+            })
+        })
+    }
+
+    /// First unset bit below capacity, if any.
+    pub fn first_unset(&self) -> Option<usize> {
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            if block != u64::MAX {
+                let t = (!block).trailing_zeros() as usize;
+                let i = bi * 64 + t;
+                if i < self.capacity {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a bitset sized to the maximum index + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "double insert reports already-set");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        s.remove(129);
+        assert!(!s.contains(129));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        b.insert(1);
+        b.insert(65);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        a.union_with(&b);
+        assert!(b.is_subset_of(&a));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [3usize, 64, 7, 127].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7, 64, 127]);
+    }
+
+    #[test]
+    fn first_unset() {
+        let mut s = BitSet::new(3);
+        assert_eq!(s.first_unset(), Some(0));
+        s.insert(0);
+        s.insert(1);
+        assert_eq!(s.first_unset(), Some(2));
+        s.insert(2);
+        assert_eq!(s.first_unset(), None);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.first_unset(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_insert_panics() {
+        BitSet::new(4).insert(4);
+    }
+}

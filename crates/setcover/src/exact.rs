@@ -1,0 +1,291 @@
+//! Exact Red-Blue Set Cover by branch and bound.
+//!
+//! Red-Blue Set Cover is NP-hard (indeed hard to approximate, which is the
+//! engine of the paper's Theorem 1), so exactness costs exponential time.
+//! This solver is the ground-truth baseline for the ratio experiments
+//! (EX-T1, EX-C1, EX-T3, EX-T4, EX-DP): it branches on the sets covering
+//! the lowest-indexed uncovered blue element and prunes with the
+//! monotonically non-decreasing red cost.
+
+use crate::bitset::BitSet;
+use crate::redblue::{RedBlueInstance, SetSelection};
+
+/// Configuration for the branch-and-bound search.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactConfig {
+    /// Hard cap on explored nodes; `None` searches exhaustively. When the
+    /// cap is hit the best solution so far is returned with
+    /// `ExactResult::proven_optimal == false`.
+    pub node_limit: Option<u64>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            node_limit: Some(50_000_000),
+        }
+    }
+}
+
+/// Result of the exact search.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// Best selection found (feasible), or `None` if the instance is
+    /// infeasible.
+    pub selection: Option<SetSelection>,
+    /// Cost of `selection` (0.0 when infeasible).
+    pub cost: f64,
+    /// Whether the search completed without hitting the node limit.
+    pub proven_optimal: bool,
+    /// Number of search nodes explored.
+    pub nodes: u64,
+}
+
+/// Solve Red-Blue Set Cover exactly (subject to the node limit).
+pub fn solve(instance: &RedBlueInstance, config: ExactConfig) -> ExactResult {
+    if !instance.is_coverable() {
+        return ExactResult {
+            selection: None,
+            cost: 0.0,
+            proven_optimal: true,
+            nodes: 0,
+        };
+    }
+
+    // Precompute per-set bitsets once.
+    let set_blue: Vec<BitSet> = instance
+        .sets()
+        .iter()
+        .map(|s| {
+            let mut b = BitSet::new(instance.num_blue());
+            for &x in &s.blue {
+                b.insert(x);
+            }
+            b
+        })
+        .collect();
+    let set_red: Vec<BitSet> = instance
+        .sets()
+        .iter()
+        .map(|s| {
+            let mut b = BitSet::new(instance.num_red());
+            for &x in &s.red {
+                b.insert(x);
+            }
+            b
+        })
+        .collect();
+    // For each blue element, the sets covering it.
+    let mut coverers: Vec<Vec<usize>> = vec![Vec::new(); instance.num_blue()];
+    for (si, s) in instance.sets().iter().enumerate() {
+        for &b in &s.blue {
+            coverers[b].push(si);
+        }
+    }
+
+    let mut search = Search {
+        instance,
+        set_blue: &set_blue,
+        set_red: &set_red,
+        coverers: &coverers,
+        best: None,
+        best_cost: f64::INFINITY,
+        nodes: 0,
+        node_limit: config.node_limit.unwrap_or(u64::MAX),
+        truncated: false,
+    };
+    let blue0 = BitSet::new(instance.num_blue());
+    let red0 = BitSet::new(instance.num_red());
+    let mut chosen = Vec::new();
+    search.recurse(&blue0, &red0, 0.0, &mut chosen);
+
+    ExactResult {
+        cost: if search.best.is_some() {
+            search.best_cost
+        } else {
+            0.0
+        },
+        selection: search.best,
+        proven_optimal: !search.truncated,
+        nodes: search.nodes,
+    }
+}
+
+struct Search<'a> {
+    instance: &'a RedBlueInstance,
+    set_blue: &'a [BitSet],
+    set_red: &'a [BitSet],
+    coverers: &'a [Vec<usize>],
+    best: Option<SetSelection>,
+    best_cost: f64,
+    nodes: u64,
+    node_limit: u64,
+    truncated: bool,
+}
+
+impl Search<'_> {
+    fn recurse(
+        &mut self,
+        covered_blue: &BitSet,
+        covered_red: &BitSet,
+        cost: f64,
+        chosen: &mut Vec<usize>,
+    ) {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            self.truncated = true;
+            return;
+        }
+        // Prune: red cost never decreases down the tree.
+        if cost >= self.best_cost {
+            return;
+        }
+        let Some(next_blue) = covered_blue.first_unset() else {
+            // Feasible and strictly better than incumbent.
+            self.best_cost = cost;
+            self.best = Some(chosen.clone());
+            return;
+        };
+        for &si in &self.coverers[next_blue] {
+            // Skip sets already chosen (they'd have covered next_blue).
+            debug_assert!(!chosen.contains(&si));
+            let mut nb = covered_blue.clone();
+            nb.union_with(&self.set_blue[si]);
+            let mut nr = covered_red.clone();
+            let mut ncost = cost;
+            for r in self.set_red[si].iter() {
+                if !covered_red.contains(r) {
+                    nr.insert(r);
+                    ncost += self.instance.red_weight(r);
+                }
+            }
+            chosen.push(si);
+            self.recurse(&nb, &nr, ncost, chosen);
+            chosen.pop();
+            if self.truncated {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redblue::CoverSet;
+
+    fn inst(num_red: usize, num_blue: usize, sets: Vec<(Vec<usize>, Vec<usize>)>) -> RedBlueInstance {
+        RedBlueInstance::new(
+            num_red,
+            num_blue,
+            sets.into_iter()
+                .map(|(r, b)| CoverSet::new(r, b))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fig2_optimum_is_one() {
+        let i = inst(
+            1,
+            3,
+            vec![(vec![0], vec![0]), (vec![0], vec![1]), (vec![0], vec![2])],
+        );
+        let r = solve(&i, ExactConfig::default());
+        assert!(r.proven_optimal);
+        assert_eq!(r.cost, 1.0);
+        assert_eq!(r.selection.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn prefers_cheap_disjoint_cover() {
+        // Covering both blues with one big set costs 3 reds; two singleton
+        // sets cost 1 red total.
+        let i = inst(
+            4,
+            2,
+            vec![
+                (vec![0, 1, 2], vec![0, 1]),
+                (vec![3], vec![0]),
+                (vec![], vec![1]),
+            ],
+        );
+        let r = solve(&i, ExactConfig::default());
+        assert_eq!(r.cost, 1.0);
+        let sel = r.selection.unwrap();
+        assert_eq!(sel, vec![1, 2]);
+    }
+
+    #[test]
+    fn shared_red_counted_once() {
+        let i = inst(
+            1,
+            2,
+            vec![(vec![0], vec![0]), (vec![0], vec![1])],
+        );
+        let r = solve(&i, ExactConfig::default());
+        assert_eq!(r.cost, 1.0);
+    }
+
+    #[test]
+    fn infeasible_instance() {
+        let i = inst(1, 1, vec![(vec![0], vec![])]);
+        let r = solve(&i, ExactConfig::default());
+        assert!(r.selection.is_none());
+        assert!(r.proven_optimal);
+    }
+
+    #[test]
+    fn zero_cost_solution_found() {
+        let i = inst(2, 2, vec![(vec![], vec![0, 1]), (vec![0, 1], vec![0, 1])]);
+        let r = solve(&i, ExactConfig::default());
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.selection.unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn weighted_instance() {
+        let i = RedBlueInstance::with_weights(
+            2,
+            1,
+            vec![10.0, 1.0],
+            vec![
+                CoverSet::new(vec![0], vec![0]),
+                CoverSet::new(vec![1], vec![0]),
+            ],
+        );
+        let r = solve(&i, ExactConfig::default());
+        assert_eq!(r.cost, 1.0);
+        assert_eq!(r.selection.unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn node_limit_truncates_but_stays_feasible() {
+        // 12 blues, each coverable by 3 sets with random-ish reds.
+        let sets: Vec<(Vec<usize>, Vec<usize>)> = (0..12)
+            .flat_map(|b| {
+                (0..3).map(move |k| (vec![(b * 3 + k) % 10], vec![b]))
+            })
+            .collect();
+        let i = inst(10, 12, sets);
+        let r = solve(
+            &i,
+            ExactConfig {
+                node_limit: Some(50),
+            },
+        );
+        assert!(!r.proven_optimal);
+        if let Some(sel) = r.selection {
+            assert!(i.is_feasible(&sel));
+        }
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_feasible() {
+        let i = inst(0, 0, vec![]);
+        let r = solve(&i, ExactConfig::default());
+        assert!(r.proven_optimal);
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.selection.unwrap(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,28 @@
+//! # delprop-setcover — set-cover substrate
+//!
+//! The combinatorial problems and algorithms the paper's complexity and
+//! approximation results flow through (§II.D, §III, §IV.A):
+//!
+//! - [`RedBlueInstance`]: Red-Blue Set Cover (Carr et al., SODA'02) — the
+//!   problem multi-query view side-effect reduces to (Claim 1) and from
+//!   (Theorem 1);
+//! - [`PosNegInstance`]: Positive-Negative Partial Set Cover (Miettinen,
+//!   IPL 2008) — likewise for the balanced variant (Theorem 2, Lemma 1);
+//! - [`exact`]: branch-and-bound ground truth;
+//! - [`greedy`]: weighted greedy covering;
+//! - [`lowdeg`]: the low-degree ("LowDegTwo") algorithm with the
+//!   `2√(|𝒞|·log β)` guarantee;
+//! - [`reduce`]: Miettinen's cost-preserving reductions between the two
+//!   problems, and the Pos-Neg solvers they induce.
+
+mod bitset;
+pub mod exact;
+pub mod greedy;
+pub mod lowdeg;
+mod posneg;
+mod redblue;
+pub mod reduce;
+
+pub use bitset::BitSet;
+pub use posneg::{PnSet, PosNegInstance};
+pub use redblue::{CoverSet, RedBlueInstance, SetSelection};

@@ -1,0 +1,189 @@
+//! The Positive-Negative Partial Set Cover problem (Miettinen, IPL 2008),
+//! the combinatorial core of **balanced** deletion propagation (§III,
+//! Theorem 2 and Lemma 1 of the paper).
+//!
+//! Instead of covering all positives, a solution trades off *uncovered
+//! positives* against *covered negatives*:
+//! `cost(𝒞′) = w(P \ ∪𝒞′) + w(N ∩ ∪𝒞′)`.
+
+use std::fmt;
+
+/// One set of the collection: its positive and negative members.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PnSet {
+    /// Positive element indices, sorted and deduplicated.
+    pub pos: Vec<usize>,
+    /// Negative element indices, sorted and deduplicated.
+    pub neg: Vec<usize>,
+}
+
+impl PnSet {
+    /// Build a set, normalizing member lists.
+    pub fn new(mut pos: Vec<usize>, mut neg: Vec<usize>) -> Self {
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        PnSet { pos, neg }
+    }
+}
+
+/// A Positive-Negative Partial Set Cover instance with element weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosNegInstance {
+    pos_weights: Vec<f64>,
+    neg_weights: Vec<f64>,
+    sets: Vec<PnSet>,
+}
+
+impl PosNegInstance {
+    /// Instance with unit weights.
+    pub fn new(num_pos: usize, num_neg: usize, sets: Vec<PnSet>) -> Self {
+        Self::with_weights(vec![1.0; num_pos], vec![1.0; num_neg], sets)
+    }
+
+    /// Instance with explicit weights.
+    ///
+    /// # Panics
+    /// Panics on negative/non-finite weights or out-of-range members.
+    pub fn with_weights(
+        pos_weights: Vec<f64>,
+        neg_weights: Vec<f64>,
+        sets: Vec<PnSet>,
+    ) -> Self {
+        assert!(
+            pos_weights
+                .iter()
+                .chain(&neg_weights)
+                .all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        for (i, s) in sets.iter().enumerate() {
+            assert!(
+                s.pos.iter().all(|&p| p < pos_weights.len()),
+                "set {i} references positive element out of range"
+            );
+            assert!(
+                s.neg.iter().all(|&n| n < neg_weights.len()),
+                "set {i} references negative element out of range"
+            );
+        }
+        PosNegInstance {
+            pos_weights,
+            neg_weights,
+            sets,
+        }
+    }
+
+    /// Number of positive elements.
+    pub fn num_pos(&self) -> usize {
+        self.pos_weights.len()
+    }
+
+    /// Number of negative elements.
+    pub fn num_neg(&self) -> usize {
+        self.neg_weights.len()
+    }
+
+    /// The collection.
+    pub fn sets(&self) -> &[PnSet] {
+        &self.sets
+    }
+
+    /// Weight of positive element `p`.
+    pub fn pos_weight(&self, p: usize) -> f64 {
+        self.pos_weights[p]
+    }
+
+    /// Weight of negative element `n`.
+    pub fn neg_weight(&self, n: usize) -> f64 {
+        self.neg_weights[n]
+    }
+
+    /// Cost of a selection: uncovered-positive weight + covered-negative
+    /// weight. Every selection (including the empty one) is feasible.
+    pub fn cost(&self, selection: &[usize]) -> f64 {
+        let mut pos_covered = vec![false; self.num_pos()];
+        let mut neg_covered = vec![false; self.num_neg()];
+        for &si in selection {
+            for &p in &self.sets[si].pos {
+                pos_covered[p] = true;
+            }
+            for &n in &self.sets[si].neg {
+                neg_covered[n] = true;
+            }
+        }
+        let uncovered_pos: f64 = pos_covered
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(p, _)| self.pos_weights[p])
+            .sum();
+        let covered_neg: f64 = neg_covered
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(n, _)| self.neg_weights[n])
+            .sum();
+        uncovered_pos + covered_neg
+    }
+}
+
+impl fmt::Display for PosNegInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "PosNeg(|P|={}, |N|={}, |𝒞|={})",
+            self.num_pos(),
+            self.num_neg(),
+            self.sets.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_selection_pays_all_positives() {
+        let i = PosNegInstance::new(3, 2, vec![PnSet::new(vec![0, 1], vec![0])]);
+        assert_eq!(i.cost(&[]), 3.0);
+    }
+
+    #[test]
+    fn selection_trades_positives_for_negatives() {
+        let i = PosNegInstance::new(3, 2, vec![PnSet::new(vec![0, 1], vec![0])]);
+        // Covers p0, p1 (leaves p2) and touches n0: cost = 1 + 1.
+        assert_eq!(i.cost(&[0]), 2.0);
+    }
+
+    #[test]
+    fn weights_flow_through() {
+        let i = PosNegInstance::with_weights(
+            vec![10.0],
+            vec![3.0],
+            vec![PnSet::new(vec![0], vec![0])],
+        );
+        assert_eq!(i.cost(&[]), 10.0);
+        assert_eq!(i.cost(&[0]), 3.0);
+    }
+
+    #[test]
+    fn duplicate_selection_counts_once() {
+        let i = PosNegInstance::new(1, 1, vec![PnSet::new(vec![0], vec![0])]);
+        assert_eq!(i.cost(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_member_rejected() {
+        PosNegInstance::new(1, 0, vec![PnSet::new(vec![1], vec![])]);
+    }
+
+    #[test]
+    fn pnset_normalizes() {
+        let s = PnSet::new(vec![2, 2, 0], vec![1]);
+        assert_eq!(s.pos, vec![0, 2]);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Red-Blue Set Cover problem (Carr, Doddi, Konjevod, Marathe, SODA'02),
+//! the combinatorial core of multi-query deletion propagation (§II.D, §III,
+//! Claim 1 of the paper).
+//!
+//! Given disjoint red elements `R` and blue elements `B` and a collection
+//! `𝒞 ⊆ 2^(R∪B)`, pick a subcollection covering **all** blue elements while
+//! minimizing the (weighted) number of red elements covered.
+
+use crate::bitset::BitSet;
+use std::fmt;
+
+/// One set of the collection `𝒞`: its red and blue members.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoverSet {
+    /// Red element indices (`0..num_red`), sorted and deduplicated.
+    pub red: Vec<usize>,
+    /// Blue element indices (`0..num_blue`), sorted and deduplicated.
+    pub blue: Vec<usize>,
+}
+
+impl CoverSet {
+    /// Build a set, normalizing member lists.
+    pub fn new(mut red: Vec<usize>, mut blue: Vec<usize>) -> Self {
+        red.sort_unstable();
+        red.dedup();
+        blue.sort_unstable();
+        blue.dedup();
+        CoverSet { red, blue }
+    }
+}
+
+/// A Red-Blue Set Cover instance with per-red-element weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedBlueInstance {
+    num_red: usize,
+    num_blue: usize,
+    red_weights: Vec<f64>,
+    sets: Vec<CoverSet>,
+}
+
+/// A solution: indices into the instance's set collection.
+pub type SetSelection = Vec<usize>;
+
+impl RedBlueInstance {
+    /// Instance with unit red weights.
+    pub fn new(num_red: usize, num_blue: usize, sets: Vec<CoverSet>) -> Self {
+        Self::with_weights(num_red, num_blue, vec![1.0; num_red], sets)
+    }
+
+    /// Instance with explicit red weights.
+    ///
+    /// # Panics
+    /// Panics if weights length ≠ `num_red`, any weight is negative or
+    /// non-finite, or any set references an out-of-range element.
+    pub fn with_weights(
+        num_red: usize,
+        num_blue: usize,
+        red_weights: Vec<f64>,
+        sets: Vec<CoverSet>,
+    ) -> Self {
+        assert_eq!(red_weights.len(), num_red, "one weight per red element");
+        assert!(
+            red_weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "red weights must be finite and non-negative"
+        );
+        for (i, s) in sets.iter().enumerate() {
+            assert!(
+                s.red.iter().all(|&r| r < num_red),
+                "set {i} references red element out of range"
+            );
+            assert!(
+                s.blue.iter().all(|&b| b < num_blue),
+                "set {i} references blue element out of range"
+            );
+        }
+        RedBlueInstance {
+            num_red,
+            num_blue,
+            red_weights,
+            sets,
+        }
+    }
+
+    /// Number of red elements `ρ`.
+    pub fn num_red(&self) -> usize {
+        self.num_red
+    }
+
+    /// Number of blue elements `β`.
+    pub fn num_blue(&self) -> usize {
+        self.num_blue
+    }
+
+    /// The collection `𝒞`.
+    pub fn sets(&self) -> &[CoverSet] {
+        &self.sets
+    }
+
+    /// Weight of red element `r`.
+    pub fn red_weight(&self, r: usize) -> f64 {
+        self.red_weights[r]
+    }
+
+    /// Whether every blue element is covered by some set (a feasible
+    /// solution exists iff this holds).
+    pub fn is_coverable(&self) -> bool {
+        let mut covered = BitSet::new(self.num_blue);
+        for s in &self.sets {
+            for &b in &s.blue {
+                covered.insert(b);
+            }
+        }
+        covered.count() == self.num_blue
+    }
+
+    /// Blue elements covered by `selection`, as a bitset.
+    pub fn covered_blue(&self, selection: &[usize]) -> BitSet {
+        let mut covered = BitSet::new(self.num_blue);
+        for &si in selection {
+            for &b in &self.sets[si].blue {
+                covered.insert(b);
+            }
+        }
+        covered
+    }
+
+    /// Red elements covered by `selection`, as a bitset.
+    pub fn covered_red(&self, selection: &[usize]) -> BitSet {
+        let mut covered = BitSet::new(self.num_red);
+        for &si in selection {
+            for &r in &self.sets[si].red {
+                covered.insert(r);
+            }
+        }
+        covered
+    }
+
+    /// Whether `selection` covers all blue elements.
+    pub fn is_feasible(&self, selection: &[usize]) -> bool {
+        self.covered_blue(selection).count() == self.num_blue
+    }
+
+    /// Total weight of red elements covered by `selection` (the Red-Blue
+    /// objective; reds are counted once no matter how many chosen sets
+    /// contain them).
+    pub fn cost(&self, selection: &[usize]) -> f64 {
+        self.covered_red(selection)
+            .iter()
+            .map(|r| self.red_weights[r])
+            .sum()
+    }
+
+    /// Max red-degree over sets: `max_S |S ∩ R|` (the τ range scanned by
+    /// the low-degree algorithm).
+    pub fn max_red_degree(&self) -> usize {
+        self.sets.iter().map(|s| s.red.len()).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for RedBlueInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "RedBlue(ρ={}, β={}, |𝒞|={})",
+            self.num_red,
+            self.num_blue,
+            self.sets.len()
+        )?;
+        for (i, s) in self.sets.iter().enumerate() {
+            writeln!(f, "  C{i}: red {:?}, blue {:?}", s.red, s.blue)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 2 instance: C1={r1,b1}, C2={r1,b2}, C3={r1,b3}.
+    pub(crate) fn fig2() -> RedBlueInstance {
+        RedBlueInstance::new(
+            1,
+            3,
+            vec![
+                CoverSet::new(vec![0], vec![0]),
+                CoverSet::new(vec![0], vec![1]),
+                CoverSet::new(vec![0], vec![2]),
+            ],
+        )
+    }
+
+    #[test]
+    fn fig2_costs() {
+        let inst = fig2();
+        assert!(inst.is_coverable());
+        assert!(!inst.is_feasible(&[0, 1]));
+        assert!(inst.is_feasible(&[0, 1, 2]));
+        // r1 is covered once even though all three sets contain it.
+        assert_eq!(inst.cost(&[0, 1, 2]), 1.0);
+    }
+
+    #[test]
+    fn uncoverable_detected() {
+        let inst = RedBlueInstance::new(0, 2, vec![CoverSet::new(vec![], vec![0])]);
+        assert!(!inst.is_coverable());
+    }
+
+    #[test]
+    fn weights_respected() {
+        let inst = RedBlueInstance::with_weights(
+            2,
+            1,
+            vec![5.0, 0.5],
+            vec![
+                CoverSet::new(vec![0], vec![0]),
+                CoverSet::new(vec![1], vec![0]),
+            ],
+        );
+        assert_eq!(inst.cost(&[0]), 5.0);
+        assert_eq!(inst.cost(&[1]), 0.5);
+    }
+
+    #[test]
+    fn max_red_degree() {
+        assert_eq!(fig2().max_red_degree(), 1);
+        let inst = RedBlueInstance::new(3, 1, vec![CoverSet::new(vec![0, 1, 2], vec![0])]);
+        assert_eq!(inst.max_red_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_set_rejected() {
+        RedBlueInstance::new(1, 1, vec![CoverSet::new(vec![1], vec![0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_rejected() {
+        RedBlueInstance::with_weights(1, 0, vec![-1.0], vec![]);
+    }
+
+    #[test]
+    fn coverset_normalizes() {
+        let s = CoverSet::new(vec![2, 0, 2], vec![1, 1]);
+        assert_eq!(s.red, vec![0, 2]);
+        assert_eq!(s.blue, vec![1]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cost-preserving reductions between Positive-Negative Partial Set Cover
+//! and Red-Blue Set Cover (Miettinen, IPL 2008), plus the Pos-Neg solvers
+//! obtained through them.
+//!
+//! These are exactly the reductions the paper leans on: Theorem 2 pushes
+//! hardness *into* balanced deletion propagation through Pos-Neg, and
+//! Lemma 1 pulls the Red-Blue approximation *out* again
+//! (`2√((|𝒞|+|B|)·log|B|)`).
+
+use crate::exact::{self, ExactConfig};
+use crate::lowdeg;
+use crate::posneg::PosNegInstance;
+use crate::redblue::{CoverSet, RedBlueInstance};
+
+/// A Pos-Neg instance reduced to Red-Blue, with the bookkeeping needed to
+/// map solutions back.
+#[derive(Debug, Clone)]
+pub struct PosNegAsRedBlue {
+    /// The Red-Blue image.
+    pub redblue: RedBlueInstance,
+    /// Number of original sets (Red-Blue sets `0..num_original` are the
+    /// originals; set `num_original + p` is the escape set of positive `p`).
+    pub num_original: usize,
+}
+
+/// Reduce Pos-Neg Partial Set Cover to Red-Blue Set Cover.
+///
+/// Construction: blues = positives; reds = negatives (same weights) plus
+/// one fresh red per positive `p` with weight `w(p)`; each original set
+/// maps to a Red-Blue set (pos → blue, neg → red); and each positive `p`
+/// gets an *escape set* `{blue p, red ρ+p}` whose selection prices leaving
+/// `p` uncovered. Costs are preserved exactly:
+/// `OPT_RB = OPT_PN`, and any Red-Blue solution maps back to a Pos-Neg
+/// selection of no greater cost.
+pub fn posneg_to_redblue(pn: &PosNegInstance) -> PosNegAsRedBlue {
+    let num_neg = pn.num_neg();
+    let num_pos = pn.num_pos();
+    let mut red_weights: Vec<f64> = (0..num_neg).map(|n| pn.neg_weight(n)).collect();
+    red_weights.extend((0..num_pos).map(|p| pn.pos_weight(p)));
+
+    let mut sets: Vec<CoverSet> = pn
+        .sets()
+        .iter()
+        .map(|s| CoverSet::new(s.neg.clone(), s.pos.clone()))
+        .collect();
+    for p in 0..num_pos {
+        sets.push(CoverSet::new(vec![num_neg + p], vec![p]));
+    }
+    PosNegAsRedBlue {
+        redblue: RedBlueInstance::with_weights(num_neg + num_pos, num_pos, red_weights, sets),
+        num_original: pn.sets().len(),
+    }
+}
+
+impl PosNegAsRedBlue {
+    /// Map a Red-Blue selection back to a Pos-Neg selection (drop escapes).
+    pub fn map_back(&self, rb_selection: &[usize]) -> Vec<usize> {
+        rb_selection
+            .iter()
+            .copied()
+            .filter(|&si| si < self.num_original)
+            .collect()
+    }
+}
+
+/// Reduce Red-Blue Set Cover to Pos-Neg Partial Set Cover.
+///
+/// Blues become positives weighted heavily enough (`w(R) + 1` each) that an
+/// optimal Pos-Neg solution never leaves one uncovered when the Red-Blue
+/// instance is coverable; reds become negatives with their weights. Used to
+/// transfer inapproximability in the direction Theorem 2 cites.
+pub fn redblue_to_posneg(rb: &RedBlueInstance) -> PosNegInstance {
+    let total_red: f64 = (0..rb.num_red()).map(|r| rb.red_weight(r)).sum();
+    let big = total_red + 1.0;
+    PosNegInstance::with_weights(
+        vec![big; rb.num_blue()],
+        (0..rb.num_red()).map(|r| rb.red_weight(r)).collect(),
+        rb.sets()
+            .iter()
+            .map(|s| crate::posneg::PnSet::new(s.blue.clone(), s.red.clone()))
+            .collect(),
+    )
+}
+
+/// Solve Pos-Neg exactly via the Red-Blue reduction + branch and bound.
+/// Returns `(selection, cost, proven_optimal)`.
+pub fn solve_posneg_exact(pn: &PosNegInstance, config: ExactConfig) -> (Vec<usize>, f64, bool) {
+    let img = posneg_to_redblue(pn);
+    let res = exact::solve(&img.redblue, config);
+    // The escape sets make the Red-Blue image always coverable.
+    let rb_sel = res.selection.expect("reduced instance is always feasible");
+    let sel = img.map_back(&rb_sel);
+    let cost = pn.cost(&sel);
+    (sel, cost, res.proven_optimal)
+}
+
+/// Solve Pos-Neg approximately via the Red-Blue reduction + the low-degree
+/// algorithm (the paper's Lemma 1 route, ratio `2√((|𝒞|+|B|)·log|B|)`).
+pub fn solve_posneg_lowdeg(pn: &PosNegInstance) -> (Vec<usize>, f64) {
+    let img = posneg_to_redblue(pn);
+    let rb_sel = lowdeg::solve(&img.redblue).expect("reduced instance is always feasible");
+    let sel = img.map_back(&rb_sel);
+    let cost = pn.cost(&sel);
+    (sel, cost)
+}
+
+/// The Lemma 1 bound `2·sqrt((|𝒞|+|B|)·log|B|)` (log clamped as in
+/// [`lowdeg::ratio_bound`]).
+pub fn posneg_ratio_bound(num_sets: usize, num_pos: usize) -> f64 {
+    lowdeg::ratio_bound(num_sets + num_pos, num_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posneg::PnSet;
+
+    fn pn(num_pos: usize, num_neg: usize, sets: Vec<(Vec<usize>, Vec<usize>)>) -> PosNegInstance {
+        PosNegInstance::new(
+            num_pos,
+            num_neg,
+            sets.into_iter().map(|(p, n)| PnSet::new(p, n)).collect(),
+        )
+    }
+
+    #[test]
+    fn reduction_preserves_optimum() {
+        // Covering p0,p1 via set 0 touches n0 (cost 1); leaving both
+        // uncovered costs 2; escape one and cover the other is ≥ 2.
+        let i = pn(2, 1, vec![(vec![0, 1], vec![0])]);
+        let (sel, cost, proven) = solve_posneg_exact(&i, ExactConfig::default());
+        assert!(proven);
+        assert_eq!(cost, 1.0);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn exact_prefers_leaving_positives_uncovered_when_cheaper() {
+        let i = PosNegInstance::with_weights(
+            vec![1.0],
+            vec![100.0],
+            vec![PnSet::new(vec![0], vec![0])],
+        );
+        let (sel, cost, _) = solve_posneg_exact(&i, ExactConfig::default());
+        assert!(sel.is_empty());
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_instances() {
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..15 {
+            let np = 3 + next() % 3;
+            let nn = 2 + next() % 3;
+            let nsets = 4 + next() % 3;
+            let sets: Vec<(Vec<usize>, Vec<usize>)> = (0..nsets)
+                .map(|_| {
+                    (
+                        (0..np).filter(|_| next() % 2 == 0).collect(),
+                        (0..nn).filter(|_| next() % 3 == 0).collect(),
+                    )
+                })
+                .collect();
+            let i = pn(np, nn, sets);
+            // Brute force all subsets.
+            let nsets = i.sets().len();
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << nsets) {
+                let sel: Vec<usize> = (0..nsets).filter(|&s| mask & (1 << s) != 0).collect();
+                best = best.min(i.cost(&sel));
+            }
+            let (_, cost, proven) = solve_posneg_exact(&i, ExactConfig::default());
+            assert!(proven);
+            assert!((cost - best).abs() < 1e-9, "exact {cost} != brute {best}");
+        }
+    }
+
+    #[test]
+    fn lowdeg_is_within_bound_of_exact() {
+        let i = pn(
+            4,
+            3,
+            vec![
+                (vec![0, 1], vec![0]),
+                (vec![2], vec![]),
+                (vec![3], vec![1, 2]),
+            ],
+        );
+        let (_, opt, _) = solve_posneg_exact(&i, ExactConfig::default());
+        let (_, approx) = solve_posneg_lowdeg(&i);
+        let bound = posneg_ratio_bound(i.sets().len(), i.num_pos());
+        assert!(approx >= opt - 1e-9);
+        if opt > 0.0 {
+            assert!(approx <= bound * opt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn redblue_to_posneg_forces_coverage() {
+        use crate::redblue::{CoverSet, RedBlueInstance};
+        let rb = RedBlueInstance::new(
+            2,
+            2,
+            vec![
+                CoverSet::new(vec![0], vec![0]),
+                CoverSet::new(vec![1], vec![1]),
+            ],
+        );
+        let pn = redblue_to_posneg(&rb);
+        // Optimal Pos-Neg solution covers both positives: reds cost 2,
+        // leaving a positive costs 3.
+        let (sel, cost, _) = solve_posneg_exact(&pn, ExactConfig::default());
+        assert_eq!(sel.len(), 2);
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn map_back_strips_escape_sets() {
+        let i = pn(2, 0, vec![(vec![0], vec![])]);
+        let img = posneg_to_redblue(&i);
+        // RB sets: 0 = original, 1 = escape(p0), 2 = escape(p1)
+        assert_eq!(img.map_back(&[0, 2]), vec![0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's worked examples as ready-made instances: Fig. 1 (the
+//! author/journal database), Fig. 2 (the hardness gadget's Red-Blue
+//! instance), and Fig. 3 (the dual-hypergraph query sets).
+
+use delprop_core::Problem;
+use delprop_query::{parse_query, BoundQuery};
+use delprop_relation::{tup, Database, RelationSchema, Schema};
+use delprop_setcover::{CoverSet, RedBlueInstance};
+
+/// Fig. 1 database: `T1(AuName, Journal)` and `T2(Journal, Topic,
+/// #Papers)` with the seven tuples of the paper.
+pub fn fig1_db() -> Database {
+    let schema = Schema::from_relations([
+        RelationSchema::new("T1", 2, vec![0, 1])
+            .unwrap()
+            .with_attr_names(&["AuName", "Journal"]),
+        RelationSchema::new("T2", 3, vec![0, 1])
+            .unwrap()
+            .with_attr_names(&["Journal", "Topic", "#Papers"]),
+    ])
+    .unwrap();
+    let mut d = Database::new(schema);
+    for t in [
+        tup!["Joe", "TKDE"],
+        tup!["John", "TKDE"],
+        tup!["Tom", "TKDE"],
+        tup!["John", "TODS"],
+    ] {
+        d.insert("T1", t).unwrap();
+    }
+    for t in [
+        tup!["TKDE", "XML", 30],
+        tup!["TKDE", "CUBE", 30],
+        tup!["TODS", "XML", 30],
+    ] {
+        d.insert("T2", t).unwrap();
+    }
+    d
+}
+
+/// Fig. 1(d) query `Q4(x, y, z) :- T1(x, y), T2(y, z, w)` — the
+/// key-preserving one.
+pub fn fig1_q4(db: &Database) -> BoundQuery {
+    parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap()
+}
+
+/// Fig. 1(c) query `Q3(x, z) :- T1(x, y), T2(y, z, w)` — **not**
+/// key-preserving (`y` is a key variable missing from the head); included
+/// so examples can demonstrate the rejection.
+pub fn fig1_q3(db: &Database) -> BoundQuery {
+    parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap()
+}
+
+/// The §II.C worked deletion on Q4: `ΔV = {(John, TKDE, XML)}`.
+pub fn fig1_problem() -> Problem {
+    let db = fig1_db();
+    let q4 = fig1_q4(&db);
+    let mut p = Problem::new(db, vec![q4]).unwrap();
+    p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+    p
+}
+
+/// Fig. 2's Red-Blue instance: `𝒞 = {C1(r1,b1), C2(r1,b2), C3(r1,b3)}`.
+pub fn fig2_redblue() -> RedBlueInstance {
+    RedBlueInstance::new(
+        1,
+        3,
+        vec![
+            CoverSet::new(vec![0], vec![0]),
+            CoverSet::new(vec![0], vec![1]),
+            CoverSet::new(vec![0], vec![2]),
+        ],
+    )
+}
+
+/// A query set given as relation-index hyperedges.
+pub type QuerySetEdges = Vec<Vec<usize>>;
+
+/// Fig. 3's query sets as relation-index hyperedges over `{T1..T4}`
+/// (0-based): returns `(Q1-set, Q2-set, Q3-set)` of the paper — the first
+/// is not a hypertree, the other two are.
+pub fn fig3_query_sets() -> (QuerySetEdges, QuerySetEdges, QuerySetEdges) {
+    let q1 = vec![0, 1, 2];
+    let q2 = vec![0, 1, 3];
+    let q3 = vec![0, 1];
+    let q4 = vec![0, 2];
+    let q5 = vec![1, 2];
+    (
+        vec![q1.clone(), q3.clone(), q4, q5.clone()],
+        vec![q1.clone(), q3, q5.clone()],
+        vec![q1, q2, q5],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delprop_core::solvers::exact;
+    use delprop_hypergraph::{gyo, Hypergraph};
+    use delprop_setcover::exact::ExactConfig;
+
+    #[test]
+    fn fig1_views_have_paper_sizes() {
+        let db = fig1_db();
+        let q4 = fig1_q4(&db);
+        let view = delprop_query::View::materialize(&db, &q4).unwrap();
+        assert_eq!(view.len(), 7);
+        let q3 = fig1_q3(&db);
+        let view = delprop_query::View::materialize(&db, &q3).unwrap();
+        assert_eq!(view.len(), 6);
+    }
+
+    #[test]
+    fn fig1_worked_example_optimum() {
+        let p = fig1_problem();
+        let out = exact::solve(&p, ExactConfig::default());
+        assert_eq!(out.cost, 1.0, "the paper's minimum view side-effect");
+    }
+
+    #[test]
+    fn fig2_optimum_is_one_red() {
+        let rb = fig2_redblue();
+        let r = delprop_setcover::exact::solve(&rb, ExactConfig::default());
+        assert_eq!(r.cost, 1.0);
+    }
+
+    #[test]
+    fn fig3_classification_matches_paper() {
+        let (s1, s2, s3) = fig3_query_sets();
+        let h = |edges: Vec<Vec<usize>>| Hypergraph::new(4, edges);
+        assert!(!gyo::is_hypertree(&h(s1)));
+        assert!(gyo::is_hypertree(&h(s2)));
+        assert!(gyo::is_hypertree(&h(s3)));
+    }
+}

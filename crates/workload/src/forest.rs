@@ -1,0 +1,223 @@
+//! Forest-case workloads (§IV.B–D): window queries over a chain of
+//! relations. The dual hypergraph of contiguous windows over a path is
+//! always a hypertree (the chain itself realizes every window as a
+//! subtree), so these inputs exercise `PrimeDualVSE` and
+//! `LowDegTreeVSETwo` inside their guaranteed regime, and with staggered
+//! windows they are *not* pivot cases — the regime where the
+//! approximations matter.
+
+use delprop_core::Problem;
+use delprop_query::{parse_query, ViewTupleId};
+use delprop_relation::{tup, Database, RelationSchema, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for forest workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestParams {
+    /// Number of chain relations `R1..R_levels` (levels of the chain).
+    pub levels: usize,
+    /// Window width in atoms (`arity = window + 1`); the paper's `l`.
+    pub window: usize,
+    /// Number of parallel chains; chains merge like a binary tree
+    /// (`value at level j = i >> j`), creating shared witnesses.
+    pub chains: usize,
+    /// Fraction of view tuples marked for deletion.
+    pub delete_fraction: f64,
+    /// Weighted preserved views?
+    pub weighted: bool,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            levels: 4,
+            window: 2,
+            chains: 8,
+            delete_fraction: 0.25,
+            weighted: false,
+        }
+    }
+}
+
+/// Generate a forest-case workload: one query per window position
+/// `[j, j+window)` for `j = 1..=levels-window+1`.
+pub fn generate(params: ForestParams, seed: u64) -> Problem {
+    assert!(params.window >= 1 && params.window <= params.levels);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::from_relations(
+        (1..=params.levels)
+            .map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut db = Database::new(schema);
+    for i in 0..params.chains {
+        for j in 1..=params.levels {
+            let a = (i >> (j - 1)) as i64;
+            let b = (i >> j) as i64;
+            let name = format!("R{j}");
+            let rid = db.schema().relation_id(&name).unwrap();
+            if db
+                .find_by_key(rid, &[Value::int(a), Value::int(b)])
+                .is_none()
+            {
+                db.insert(&name, tup![a, b]).unwrap();
+            }
+        }
+    }
+    let queries: Vec<String> = (1..=params.levels - params.window + 1)
+        .map(|start| {
+            let head: Vec<String> = (0..=params.window)
+                .map(|k| format!("x{k}"))
+                .collect();
+            let body: Vec<String> = (0..params.window)
+                .map(|k| format!("R{}(x{k}, x{})", start + k, k + 1))
+                .collect();
+            format!("W{start}({}) :- {}", head.join(", "), body.join(", "))
+        })
+        .collect();
+    let bound = queries
+        .iter()
+        .map(|src| parse_query(src).unwrap().bind(db.schema()).unwrap())
+        .collect();
+    let mut problem = Problem::new(db, bound).unwrap();
+
+    let ids: Vec<ViewTupleId> = problem.views().iter().map(|(id, _)| id).collect();
+    let mut any = false;
+    for &id in &ids {
+        if rng.gen_bool(params.delete_fraction) {
+            problem.mark_deleted_id(id).unwrap();
+            any = true;
+        }
+    }
+    if !any {
+        if let Some(&id) = ids.first() {
+            problem.mark_deleted_id(id).unwrap();
+        }
+    }
+    if params.weighted {
+        for &id in &ids {
+            if !problem.is_deleted(id) {
+                problem.set_weight(id, rng.gen_range(1..=5) as f64).unwrap();
+            }
+        }
+    }
+    problem
+}
+
+/// A deterministic "broom" pivot-forest workload (§IV.E): hub `R0`,
+/// `branches` arms of depth `depth`, and one prefix query per depth plus a
+/// duplicated deepest query so cutting deep demands has nonzero cost.
+/// Marks the `Q_depth` view tuple of every branch in `blue`.
+pub fn pivot_broom(branches: usize, depth: usize, blue: &[usize]) -> Problem {
+    assert!(depth >= 1);
+    let mut rels = vec![RelationSchema::new("R0", 1, vec![0]).unwrap()];
+    rels.extend(
+        (1..=depth).map(|d| RelationSchema::new(format!("R{d}"), 2, vec![0, 1]).unwrap()),
+    );
+    let schema = Schema::from_relations(rels).unwrap();
+    let mut db = Database::new(schema);
+    db.insert("R0", tup![0]).unwrap();
+    for j in 0..branches {
+        let id = j as i64 + 1;
+        let mut prev = id;
+        db.insert("R1", tup![0, id]).unwrap();
+        for d in 2..=depth {
+            let next = id * 100 + d as i64;
+            db.insert(&format!("R{d}"), tup![prev, next]).unwrap();
+            prev = next;
+        }
+    }
+    // Prefix queries P0..P_depth plus a duplicate of the deepest one, so
+    // cutting a deep demand always damages its twin.
+    let prefix_query = |name: &str, d: usize| {
+        let head: Vec<String> = (0..=d).map(|k| format!("x{k}")).collect();
+        let mut body: Vec<String> = vec!["R0(x0)".to_string()];
+        body.extend((1..=d).map(|k| format!("R{k}(x{}, x{k})", k - 1)));
+        format!("{name}({}) :- {}", head.join(", "), body.join(", "))
+    };
+    let mut queries: Vec<String> = (0..=depth)
+        .map(|d| prefix_query(&format!("P{d}"), d))
+        .collect();
+    queries.push(prefix_query("Pdup", depth));
+    let bound = queries
+        .iter()
+        .map(|src| parse_query(src).unwrap().bind(db.schema()).unwrap())
+        .collect();
+    let mut problem = Problem::new(db, bound).unwrap();
+    // Mark blue branches on the deepest non-duplicate query (view index
+    // `depth` in query order P0..Pdepth, Pdup).
+    for &j in blue {
+        assert!(j < branches);
+        let id = j as i64 + 1;
+        let mut head: Vec<Value> = vec![Value::int(0), Value::int(id)];
+        for d in 2..=depth {
+            head.push(Value::int(id * 100 + d as i64));
+        }
+        problem.mark_deleted(depth, &Tuple::new(head)).unwrap();
+    }
+    problem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delprop_core::{classify, SolverKind};
+
+    #[test]
+    fn windows_are_forest_cases() {
+        let p = generate(
+            ForestParams {
+                levels: 4,
+                window: 2,
+                chains: 6,
+                delete_fraction: 0.3,
+                weighted: false,
+            },
+            3,
+        );
+        let r = classify(&p);
+        assert!(r.forest_case);
+        assert_eq!(r.l, 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let params = ForestParams::default();
+        let a = generate(params, 1);
+        let b = generate(params, 1);
+        assert_eq!(a.norm_delta(), b.norm_delta());
+        assert_eq!(a.norm_v(), b.norm_v());
+    }
+
+    #[test]
+    fn broom_is_pivot_case() {
+        let p = pivot_broom(4, 3, &[0, 2]);
+        let r = classify(&p);
+        assert!(r.pivot_case, "broom must certify as pivot forest");
+        assert_eq!(r.recommendation, SolverKind::PivotForestDp);
+        assert_eq!(p.norm_delta(), 2);
+    }
+
+    #[test]
+    fn broom_view_counts() {
+        let p = pivot_broom(3, 2, &[]);
+        // P0: 1, P1: 3, P2: 3, Pdup: 3.
+        assert_eq!(p.norm_v(), 10);
+    }
+
+    #[test]
+    fn full_window_is_single_query() {
+        let p = generate(
+            ForestParams {
+                levels: 3,
+                window: 3,
+                chains: 4,
+                delete_fraction: 0.5,
+                weighted: false,
+            },
+            7,
+        );
+        assert_eq!(p.queries().len(), 1);
+    }
+}

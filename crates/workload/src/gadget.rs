@@ -1,0 +1,323 @@
+//! The hardness gadgets of Theorems 1 and 2: cost-preserving encodings of
+//! Red-Blue Set Cover into view side-effect and of Pos-Neg Partial Set
+//! Cover into balanced deletion propagation.
+//!
+//! Construction (§III, Fig. 2). One relation `T(sid, tag)` with key `sid`
+//! holds one tuple per set `C ∈ 𝒞`. For every element `e ∈ R ∪ B` there
+//! is one project-free query `Q_e` whose body is a **join path over the
+//! sets containing `e`**: one `T('C_i', x_i)` atom per such set, the `sid`
+//! pinned by a constant (constants at key positions keep the query
+//! key-preserving). Its view is therefore a *single* view tuple whose
+//! witness set is exactly `{t_C : e ∈ C}` — so
+//!
+//! - deleting any chosen set's tuple kills element `e`'s view tuple;
+//! - a blue/positive element is "covered" iff its view tuple dies;
+//! - a red/negative element is "damaged" (side-effect) iff covered.
+//!
+//! Selection costs transfer **exactly** in both directions, which is what
+//! pushes the `O(2^(log^(1-δ)‖V‖))` inapproximability through (Thm 1/2)
+//! and what experiment EX-T1/EX-T2 verifies numerically.
+
+use delprop_core::{Problem, Solution};
+use delprop_query::{parse_query, ViewTupleId};
+use delprop_relation::{tup, Database, RelationSchema, Schema, TupleId};
+use delprop_setcover::{PosNegInstance, RedBlueInstance};
+
+/// A Red-Blue (or Pos-Neg) instance realized as deletion propagation.
+#[derive(Debug)]
+pub struct Gadget {
+    /// The deletion-propagation image.
+    pub problem: Problem,
+    /// `set_tuples[i]` is the base tuple of set `i`.
+    pub set_tuples: Vec<TupleId>,
+    /// View index of each red (resp. negative) element's query.
+    pub red_views: Vec<usize>,
+    /// View index of each blue (resp. positive) element's query.
+    pub blue_views: Vec<usize>,
+}
+
+impl Gadget {
+    /// Translate a set selection into a deletion solution.
+    pub fn selection_to_solution(&self, selection: &[usize]) -> Solution {
+        Solution::from_tuples(selection.iter().map(|&si| self.set_tuples[si]))
+    }
+
+    /// Translate a deletion solution back into a set selection
+    /// (non-gadget tuples are ignored; there are none to delete anyway).
+    pub fn solution_to_selection(&self, solution: &Solution) -> Vec<usize> {
+        self.set_tuples
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| solution.deleted.contains(t))
+            .map(|(si, _)| si)
+            .collect()
+    }
+}
+
+/// Membership lists per element: `memberships[e] = sets containing e`.
+fn memberships(num_elements: usize, sets: impl Iterator<Item = Vec<usize>>) -> Vec<Vec<usize>> {
+    let mut m = vec![Vec::new(); num_elements];
+    for (si, elems) in sets.enumerate() {
+        for e in elems {
+            m[e].push(si);
+        }
+    }
+    m
+}
+
+/// Core construction shared by both gadgets: `red_members[r]` /
+/// `blue_members[b]` list the sets containing each element. Elements
+/// contained in no set get no query (an uncoverable blue element would
+/// make Red-Blue infeasible; the caller's instances avoid that).
+fn build(
+    num_sets: usize,
+    red_members: &[Vec<usize>],
+    blue_members: &[Vec<usize>],
+    red_weights: &[f64],
+    blue_weights: &[f64],
+) -> Gadget {
+    let schema = Schema::from_relations([RelationSchema::new("T", 2, vec![0]).unwrap()]).unwrap();
+    let mut db = Database::new(schema);
+    let set_tuples: Vec<TupleId> = (0..num_sets)
+        .map(|si| db.insert("T", tup![si as i64, si as i64]).unwrap())
+        .collect();
+
+    let mut queries = Vec::new();
+    let mut red_views = Vec::new();
+    let mut blue_views = Vec::new();
+    let make_query = |name: String, sets_of_e: &[usize]| {
+        let head: Vec<String> = (0..sets_of_e.len()).map(|i| format!("x{i}")).collect();
+        let body: Vec<String> = sets_of_e
+            .iter()
+            .enumerate()
+            .map(|(i, &si)| format!("T({si}, x{i})"))
+            .collect();
+        format!("{name}({}) :- {}", head.join(", "), body.join(", "))
+    };
+    for (r, sets_of) in red_members.iter().enumerate() {
+        if sets_of.is_empty() {
+            continue;
+        }
+        red_views.push(queries.len());
+        queries.push(make_query(format!("Qr{r}"), sets_of));
+    }
+    for (b, sets_of) in blue_members.iter().enumerate() {
+        assert!(
+            !sets_of.is_empty(),
+            "blue/positive element {b} is uncoverable; gadget requires coverable instances"
+        );
+        blue_views.push(queries.len());
+        queries.push(make_query(format!("Qb{b}"), sets_of));
+    }
+
+    let bound = queries
+        .iter()
+        .map(|src| parse_query(src).unwrap().bind(db.schema()).unwrap())
+        .collect();
+    let mut problem = Problem::new(db, bound).unwrap();
+
+    // Every element view has exactly one view tuple; weight it and (for
+    // blues) mark it deleted.
+    let mut ri = 0;
+    for (e, sets_of) in red_members.iter().enumerate() {
+        if sets_of.is_empty() {
+            continue;
+        }
+        let view = red_views[ri];
+        debug_assert_eq!(problem.views().views[view].len(), 1);
+        problem
+            .set_weight(ViewTupleId::new(view, 0), red_weights[e])
+            .unwrap();
+        ri += 1;
+    }
+    let mut bi = 0;
+    for (e, sets_of) in blue_members.iter().enumerate() {
+        if sets_of.is_empty() {
+            continue;
+        }
+        let view = blue_views[bi];
+        debug_assert_eq!(problem.views().views[view].len(), 1);
+        let id = ViewTupleId::new(view, 0);
+        problem.set_weight(id, blue_weights[e]).unwrap();
+        problem.mark_deleted_id(id).unwrap();
+        bi += 1;
+    }
+
+    Gadget {
+        problem,
+        set_tuples,
+        red_views,
+        blue_views,
+    }
+}
+
+/// Theorem 1 gadget: Red-Blue Set Cover → (standard) view side-effect.
+///
+/// # Panics
+/// Panics if the instance is not coverable (some blue element in no set).
+pub fn redblue_to_vse(rb: &RedBlueInstance) -> Gadget {
+    let red_members = memberships(rb.num_red(), rb.sets().iter().map(|s| s.red.clone()));
+    let blue_members = memberships(rb.num_blue(), rb.sets().iter().map(|s| s.blue.clone()));
+    let red_weights: Vec<f64> = (0..rb.num_red()).map(|r| rb.red_weight(r)).collect();
+    let blue_weights = vec![1.0; rb.num_blue()];
+    build(
+        rb.sets().len(),
+        &red_members,
+        &blue_members,
+        &red_weights,
+        &blue_weights,
+    )
+}
+
+/// Theorem 2 gadget: Pos-Neg Partial Set Cover → balanced deletion
+/// propagation. Positive elements become `ΔV` (weights price missing
+/// them); negative elements become preserved views (weights price
+/// covering them).
+///
+/// # Panics
+/// Panics if some positive element appears in no set (give it an escape
+/// set first, or drop it — its cost is constant either way).
+pub fn posneg_to_balanced(pn: &PosNegInstance) -> Gadget {
+    let neg_members = memberships(pn.num_neg(), pn.sets().iter().map(|s| s.neg.clone()));
+    let pos_members = memberships(pn.num_pos(), pn.sets().iter().map(|s| s.pos.clone()));
+    let neg_weights: Vec<f64> = (0..pn.num_neg()).map(|n| pn.neg_weight(n)).collect();
+    let pos_weights: Vec<f64> = (0..pn.num_pos()).map(|p| pn.pos_weight(p)).collect();
+    build(
+        pn.sets().len(),
+        &neg_members,
+        &pos_members,
+        &neg_weights,
+        &pos_weights,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delprop_setcover::{CoverSet, PnSet};
+
+    /// Fig. 2: 𝒞 = {C1(r1,b1), C2(r1,b2), C3(r1,b3)}.
+    fn fig2() -> RedBlueInstance {
+        RedBlueInstance::new(
+            1,
+            3,
+            vec![
+                CoverSet::new(vec![0], vec![0]),
+                CoverSet::new(vec![0], vec![1]),
+                CoverSet::new(vec![0], vec![2]),
+            ],
+        )
+    }
+
+    #[test]
+    fn fig2_gadget_shape() {
+        let g = redblue_to_vse(&fig2());
+        // 4 views: one red (r1, a 3-atom join path) + three blues.
+        assert_eq!(g.problem.views().views.len(), 4);
+        assert_eq!(g.problem.norm_v(), 4);
+        assert_eq!(g.problem.norm_delta(), 3);
+        // The red view tuple joins all three sets.
+        let red_view = g.red_views[0];
+        let vt = &g.problem.views().views[red_view].tuples[0];
+        assert_eq!(vt.unique_witnesses().len(), 3);
+    }
+
+    #[test]
+    fn fig2_costs_transfer_exactly() {
+        let rb = fig2();
+        let g = redblue_to_vse(&rb);
+        // Any cover must take all three sets; the red element is covered:
+        // Red-Blue cost 1 == side-effect 1.
+        let all = vec![0, 1, 2];
+        let sol = g.selection_to_solution(&all);
+        assert!(sol.is_feasible(&g.problem));
+        assert!((sol.side_effect(&g.problem) - rb.cost(&all)).abs() < 1e-9);
+        // Partial selections are infeasible on both sides.
+        let partial = vec![0, 1];
+        assert!(!rb.is_feasible(&partial));
+        assert!(!g.selection_to_solution(&partial).is_feasible(&g.problem));
+    }
+
+    #[test]
+    fn costs_transfer_on_random_instances() {
+        let mut seed = 41u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..10 {
+            let nr = 3 + next() % 3;
+            let nb = 2 + next() % 3;
+            let nsets = 4 + next() % 4;
+            let sets: Vec<CoverSet> = (0..nsets)
+                .map(|si| {
+                    CoverSet::new(
+                        (0..nr).filter(|_| next() % 3 == 0).collect(),
+                        // ensure coverability: set si covers blue si % nb
+                        {
+                            let mut b: Vec<usize> =
+                                (0..nb).filter(|_| next() % 3 == 0).collect();
+                            b.push(si % nb);
+                            b
+                        },
+                    )
+                })
+                .collect();
+            let rb = RedBlueInstance::new(nr, nb, sets);
+            if !rb.is_coverable() {
+                continue;
+            }
+            let g = redblue_to_vse(&rb);
+            // Every selection maps with equal feasibility and cost.
+            for mask in 0u32..(1 << nsets.min(10)) {
+                let sel: Vec<usize> =
+                    (0..nsets).filter(|&s| mask & (1 << s) != 0).collect();
+                let sol = g.selection_to_solution(&sel);
+                assert_eq!(rb.is_feasible(&sel), sol.is_feasible(&g.problem));
+                assert!(
+                    (rb.cost(&sel) - sol.side_effect(&g.problem)).abs() < 1e-9,
+                    "cost mismatch for {sel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn posneg_gadget_costs_transfer() {
+        let pn = PosNegInstance::new(
+            2,
+            2,
+            vec![
+                PnSet::new(vec![0, 1], vec![0]),
+                PnSet::new(vec![1], vec![1]),
+            ],
+        );
+        let g = posneg_to_balanced(&pn);
+        for mask in 0u32..4 {
+            let sel: Vec<usize> = (0..2).filter(|&s| mask & (1 << s) != 0).collect();
+            let sol = g.selection_to_solution(&sel);
+            assert!(
+                (pn.cost(&sel) - sol.balanced_cost(&g.problem)).abs() < 1e-9,
+                "balanced cost mismatch for {sel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solution_roundtrip() {
+        let g = redblue_to_vse(&fig2());
+        let sel = vec![0, 2];
+        let back = g.solution_to_selection(&g.selection_to_solution(&sel));
+        assert_eq!(back, sel);
+    }
+
+    #[test]
+    fn gadget_queries_are_project_free_and_key_preserving() {
+        use delprop_query::properties;
+        let g = redblue_to_vse(&fig2());
+        for q in g.problem.queries() {
+            assert!(properties::is_project_free(q));
+            assert!(properties::is_key_preserving(q, g.problem.db().schema()));
+        }
+    }
+}

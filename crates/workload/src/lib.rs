@@ -1,0 +1,22 @@
+//! # delprop-workload — instance generators
+//!
+//! Seeded, reproducible workloads for every experiment in `EXPERIMENTS.md`:
+//!
+//! - [`figures`]: the paper's own worked examples (Fig. 1–3);
+//! - [`gadget`]: the Theorem 1/2 hardness gadgets (Red-Blue / Pos-Neg
+//!   instances realized as deletion-propagation problems with exact cost
+//!   transfer);
+//! - [`redblue_gen`]: random Red-Blue / Pos-Neg instances;
+//! - [`random_db`]: random multi-query chain workloads (general case,
+//!   EX-C1 / EX-L1);
+//! - [`forest`]: window-query forest cases and pivot "brooms"
+//!   (EX-T3 / EX-T4 / EX-DP);
+//! - [`cleaning`]: the QOCO-style batch-vs-sequential cleaning scenario
+//!   (§V, EX-APP).
+
+pub mod cleaning;
+pub mod figures;
+pub mod forest;
+pub mod gadget;
+pub mod random_db;
+pub mod redblue_gen;

@@ -1,0 +1,185 @@
+//! Random multi-query workloads for the general-case experiments (EX-C1,
+//! EX-L1): several chain-join queries over a shared pool of binary
+//! relations, so views overlap and deletions trade off across queries.
+
+use delprop_core::Problem;
+use delprop_query::{parse_query, ViewTupleId};
+use delprop_relation::{tup, Database, RelationSchema, Schema, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random multi-query workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomDbParams {
+    /// Number of binary relations in the pool.
+    pub num_relations: usize,
+    /// Number of queries (each a chain over distinct relations: sj-free).
+    pub num_queries: usize,
+    /// Atoms per query (chain length); `arity = atoms + 1`.
+    pub atoms_per_query: usize,
+    /// Domain size for join values.
+    pub domain: usize,
+    /// Tuples per relation (distinct pairs; capped at `domain²`).
+    pub tuples_per_relation: usize,
+    /// Fraction of view tuples marked for deletion.
+    pub delete_fraction: f64,
+    /// If true, preserved-view weights drawn from {1, …, 5}.
+    pub weighted: bool,
+}
+
+impl Default for RandomDbParams {
+    fn default() -> Self {
+        RandomDbParams {
+            num_relations: 5,
+            num_queries: 3,
+            atoms_per_query: 2,
+            domain: 6,
+            tuples_per_relation: 14,
+            delete_fraction: 0.25,
+            weighted: false,
+        }
+    }
+}
+
+/// Generate a random workload. Guarantees at least one deletion whenever
+/// any view tuple exists.
+pub fn generate(params: RandomDbParams, seed: u64) -> Problem {
+    assert!(params.atoms_per_query >= 1);
+    assert!(
+        params.num_relations >= params.atoms_per_query,
+        "need enough relations for sj-free chains"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::from_relations(
+        (0..params.num_relations)
+            .map(|i| RelationSchema::new(format!("R{i}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut db = Database::new(schema);
+    for i in 0..params.num_relations {
+        let name = format!("R{i}");
+        let rid = db.schema().relation_id(&name).unwrap();
+        let target = params.tuples_per_relation.min(params.domain * params.domain);
+        let mut inserted = 0;
+        let mut attempts = 0;
+        while inserted < target && attempts < target * 20 {
+            attempts += 1;
+            let a = rng.gen_range(0..params.domain) as i64;
+            let b = rng.gen_range(0..params.domain) as i64;
+            if db
+                .find_by_key(rid, &[Value::int(a), Value::int(b)])
+                .is_none()
+            {
+                db.insert(&name, tup![a, b]).unwrap();
+                inserted += 1;
+            }
+        }
+    }
+
+    let mut rel_ids: Vec<usize> = (0..params.num_relations).collect();
+    let queries: Vec<String> = (0..params.num_queries)
+        .map(|qi| {
+            rel_ids.shuffle(&mut rng);
+            let chain = &rel_ids[..params.atoms_per_query];
+            let head: Vec<String> = (0..=params.atoms_per_query)
+                .map(|j| format!("x{j}"))
+                .collect();
+            let body: Vec<String> = chain
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| format!("R{r}(x{j}, x{})", j + 1))
+                .collect();
+            format!("Q{qi}({}) :- {}", head.join(", "), body.join(", "))
+        })
+        .collect();
+    let bound = queries
+        .iter()
+        .map(|src| parse_query(src).unwrap().bind(db.schema()).unwrap())
+        .collect();
+    let mut problem = Problem::new(db, bound).unwrap();
+
+    // Mark deletions and draw weights.
+    let all_ids: Vec<ViewTupleId> = problem.views().iter().map(|(id, _)| id).collect();
+    let mut any = false;
+    for &id in &all_ids {
+        if rng.gen_bool(params.delete_fraction) {
+            problem.mark_deleted_id(id).unwrap();
+            any = true;
+        }
+    }
+    if !any {
+        if let Some(&id) = all_ids.first() {
+            problem.mark_deleted_id(id).unwrap();
+        }
+    }
+    if params.weighted {
+        for &id in &all_ids {
+            if !problem.is_deleted(id) {
+                problem
+                    .set_weight(id, rng.gen_range(1..=5) as f64)
+                    .unwrap();
+            }
+        }
+    }
+    problem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delprop_core::solvers::{exact, general};
+    use delprop_setcover::exact::ExactConfig;
+
+    #[test]
+    fn deterministic_and_nonempty() {
+        let p = RandomDbParams::default();
+        let a = generate(p, 5);
+        let b = generate(p, 5);
+        assert_eq!(a.norm_v(), b.norm_v());
+        assert_eq!(a.norm_delta(), b.norm_delta());
+        assert!(a.norm_v() > 0, "workload should produce view tuples");
+        assert!(a.norm_delta() > 0, "always at least one deletion");
+    }
+
+    #[test]
+    fn queries_are_valid_inputs() {
+        // Problem::new accepting them means key-preserving passed; also
+        // check sj-freeness of the chains.
+        use delprop_query::properties;
+        let p = generate(RandomDbParams::default(), 9);
+        for q in p.queries() {
+            assert!(properties::is_self_join_free(q));
+            assert!(properties::is_project_free(q));
+        }
+    }
+
+    #[test]
+    fn solvers_accept_generated_instances() {
+        for seed in 0..5 {
+            let p = generate(RandomDbParams::default(), seed);
+            let approx = general::solve(&p).unwrap();
+            assert!(approx.is_feasible(&p));
+            let ex = exact::solve(&p, ExactConfig { node_limit: Some(200_000) });
+            if let Some(opt) = ex.solution {
+                assert!(approx.side_effect(&p) >= opt.side_effect(&p) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_flag_sets_weights() {
+        let p = generate(
+            RandomDbParams {
+                weighted: true,
+                ..Default::default()
+            },
+            3,
+        );
+        let distinct: std::collections::BTreeSet<u64> = p
+            .preserved()
+            .map(|(id, _)| p.weight(id) as u64)
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Random Red-Blue and Pos-Neg Set Cover instance generators (seeded,
+//! reproducible) for the hardness and approximation experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use delprop_setcover::{CoverSet, PnSet, PosNegInstance, RedBlueInstance};
+
+/// Parameters for random Red-Blue instances.
+#[derive(Debug, Clone, Copy)]
+pub struct RedBlueParams {
+    /// Number of red elements ρ.
+    pub num_red: usize,
+    /// Number of blue elements β.
+    pub num_blue: usize,
+    /// Number of sets |𝒞|.
+    pub num_sets: usize,
+    /// Probability a given red element joins a given set.
+    pub red_density: f64,
+    /// Probability a given blue element joins a given set (coverability is
+    /// patched afterwards: every blue is added to at least one set).
+    pub blue_density: f64,
+    /// If true, red weights are drawn uniformly from {1, …, 5}; else 1.
+    pub weighted: bool,
+}
+
+impl Default for RedBlueParams {
+    fn default() -> Self {
+        RedBlueParams {
+            num_red: 8,
+            num_blue: 6,
+            num_sets: 10,
+            red_density: 0.3,
+            blue_density: 0.3,
+            weighted: false,
+        }
+    }
+}
+
+/// Generate a coverable Red-Blue instance.
+pub fn redblue(params: RedBlueParams, seed: u64) -> RedBlueInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sets: Vec<CoverSet> = (0..params.num_sets)
+        .map(|_| {
+            CoverSet::new(
+                (0..params.num_red)
+                    .filter(|_| rng.gen_bool(params.red_density))
+                    .collect(),
+                (0..params.num_blue)
+                    .filter(|_| rng.gen_bool(params.blue_density))
+                    .collect(),
+            )
+        })
+        .collect();
+    // Patch coverability: each blue element lands in some set.
+    for b in 0..params.num_blue {
+        if !sets.iter().any(|s| s.blue.contains(&b)) {
+            let si = rng.gen_range(0..params.num_sets);
+            let mut blue = sets[si].blue.clone();
+            blue.push(b);
+            sets[si] = CoverSet::new(sets[si].red.clone(), blue);
+        }
+    }
+    let weights = if params.weighted {
+        (0..params.num_red)
+            .map(|_| rng.gen_range(1..=5) as f64)
+            .collect()
+    } else {
+        vec![1.0; params.num_red]
+    };
+    RedBlueInstance::with_weights(params.num_red, params.num_blue, weights, sets)
+}
+
+/// Generate a Pos-Neg instance with the same shape parameters
+/// (positives ↔ blue, negatives ↔ red; every positive is in some set so
+/// the Theorem 2 gadget accepts it).
+pub fn posneg(params: RedBlueParams, seed: u64) -> PosNegInstance {
+    let rb = redblue(params, seed);
+    let sets = rb
+        .sets()
+        .iter()
+        .map(|s| PnSet::new(s.blue.clone(), s.red.clone()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let pos_weights = if params.weighted {
+        (0..params.num_blue)
+            .map(|_| rng.gen_range(1..=3) as f64)
+            .collect()
+    } else {
+        vec![1.0; params.num_blue]
+    };
+    let neg_weights = (0..params.num_red).map(|r| rb.red_weight(r)).collect();
+    PosNegInstance::with_weights(pos_weights, neg_weights, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_instances_are_coverable() {
+        for seed in 0..20 {
+            let rb = redblue(RedBlueParams::default(), seed);
+            assert!(rb.is_coverable(), "seed {seed} produced uncoverable instance");
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let p = RedBlueParams::default();
+        assert_eq!(redblue(p, 7), redblue(p, 7));
+        assert_ne!(redblue(p, 7), redblue(p, 8));
+    }
+
+    #[test]
+    fn weighted_instances_have_varied_weights() {
+        let p = RedBlueParams {
+            weighted: true,
+            num_red: 30,
+            ..Default::default()
+        };
+        let rb = redblue(p, 3);
+        let distinct: std::collections::BTreeSet<u64> = (0..rb.num_red())
+            .map(|r| rb.red_weight(r) as u64)
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn posneg_mirrors_shape() {
+        let p = RedBlueParams::default();
+        let pn = posneg(p, 11);
+        assert_eq!(pn.num_pos(), p.num_blue);
+        assert_eq!(pn.num_neg(), p.num_red);
+        assert_eq!(pn.sets().len(), p.num_sets);
+        // Every positive is coverable.
+        for e in 0..pn.num_pos() {
+            assert!(pn.sets().iter().any(|s| s.pos.contains(&e)));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Data annotation via multiple views (§V of the paper).
+//!
+//! When an error is found in one view, the same underlying source error
+//! usually surfaces in other views too. The paper's observation: merging
+//! deletions specified on the results of **multiple** queries shrinks the
+//! set of optimal source candidates — "the more queries and views, the
+//! closer we approach the side-effect-free solution".
+//!
+//! This example reproduces that narrowing on Fig. 1: with Q4 alone the
+//! instance has two optimal solutions; adding a second view (the journal
+//! catalog Q5) disambiguates to the author-side tuple.
+//!
+//! Run with: `cargo run --example annotation`
+
+use delprop::core::solvers::exact;
+use delprop::prelude::*;
+use delprop::setcover::exact::ExactConfig;
+use delprop::workload::figures;
+
+/// All optimal solutions (by enumerating candidate subsets — fine at this
+/// scale) for a problem.
+fn all_optima(problem: &Problem) -> Vec<Solution> {
+    let candidates = problem.candidates();
+    let opt = exact::solve(problem, ExactConfig::default()).cost;
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << candidates.len()) {
+        let sol = Solution::from_tuples(
+            candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| t),
+        );
+        if sol.is_feasible(problem) && (sol.side_effect(problem) - opt).abs() < 1e-9 {
+            // Keep only minimal solutions (no deletable subset).
+            let minimal = sol.deleted.iter().all(|&t| {
+                let mut smaller = sol.clone();
+                smaller.deleted.remove(&t);
+                !(smaller.is_feasible(problem)
+                    && (smaller.side_effect(problem) - opt).abs() < 1e-9)
+            });
+            if minimal {
+                out.push(sol);
+            }
+        }
+    }
+    out
+}
+
+fn render(problem: &Problem, sols: &[Solution]) {
+    for (i, s) in sols.iter().enumerate() {
+        let tuples: Vec<String> = s
+            .deleted
+            .iter()
+            .map(|&t| problem.db().tuple(t).unwrap().to_string())
+            .collect();
+        println!("  optimum #{}: delete {}", i + 1, tuples.join(", "));
+    }
+}
+
+fn main() {
+    let db = figures::fig1_db();
+
+    // --- One view: Q4 only. John does no XML research, so both of his
+    //     XML answers are reported as errors. Two optimal ways to
+    //     annotate the source remain: the journal-side candidate
+    //     T2(TODS, XML, 30) is as cheap as the author-side T1(John, TODS).
+    let q4 = figures::fig1_q4(&db);
+    let mut single = Problem::new(db.clone(), vec![q4.clone()]).unwrap();
+    single.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+    single.mark_deleted(0, &tup!["John", "TODS", "XML"]).unwrap();
+    let sols1 = all_optima(&single);
+    println!("Q4 alone: {} optimal annotation target(s)", sols1.len());
+    render(&single, &sols1);
+
+    // --- Two views: the catalog view Q5(journal, topic) is also
+    //     materialized, and the expert confirms (TODS, XML) is fine —
+    //     i.e. it is NOT in ΔV, so damaging it now counts.
+    let q5 = parse_query("Q5(y, z) :- T2(y, z, w)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap();
+    let mut multi = Problem::new(db, vec![q4, q5]).unwrap();
+    multi.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+    multi.mark_deleted(0, &tup!["John", "TODS", "XML"]).unwrap();
+    let sols2 = all_optima(&multi);
+    println!("\nQ4 + Q5: {} optimal annotation target(s)", sols2.len());
+    render(&multi, &sols2);
+
+    assert!(sols2.len() < sols1.len(), "extra views must narrow candidates");
+    println!(
+        "\nAdding the catalog view eliminated the journal-side candidate \
+         T2(TODS, XML, 30): the annotation now uniquely targets John's \
+         two roster entries."
+    );
+}

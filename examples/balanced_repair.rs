@@ -1,0 +1,80 @@
+//! Balanced deletion propagation (§III, §V of the paper).
+//!
+//! When view feedback is noisy (crowdsourced flags, heuristic detectors),
+//! insisting on removing *every* flagged tuple can be ruinous: one
+//! mis-flagged answer whose witnesses support dozens of good answers
+//! forces massive collateral damage. The balanced objective prices missed
+//! flags instead of forbidding them.
+//!
+//! This example builds exactly that situation on a pivot "broom"
+//! workload, then solves the standard and balanced versions with the
+//! exact dynamic program (`DPTreeVSE` handles both, §IV.E) and compares.
+//!
+//! Run with: `cargo run --example balanced_repair`
+
+use delprop::core::solvers::{dp_tree, exact};
+use delprop::prelude::*;
+use delprop::setcover::exact::ExactConfig;
+use delprop::workload::forest;
+
+fn main() {
+    // A broom with 6 branches of depth 2; the deepest views are
+    // duplicated, so every cut has a real price. Flag three deep answers.
+    let mut problem = forest::pivot_broom(6, 2, &[0, 1, 2]);
+
+    // Two of the three flags are confident (weight 5); one is a dubious
+    // crowd flag (weight 0.2). Meanwhile the dubious flag's twin is a
+    // curated answer of weight 10 — destroying it would hurt.
+    let flagged: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
+    problem.set_weight(flagged[0], 5.0).unwrap();
+    problem.set_weight(flagged[1], 5.0).unwrap();
+    problem.set_weight(flagged[2], 0.2).unwrap();
+    // The dubious flag lives in view `P2` (index 2); its duplicate in
+    // `Pdup` (index 3) shares the same head. Weight the duplicate high.
+    let dup_view = 3;
+    let dubious_head = problem.views().tuple(flagged[2]).head.clone();
+    let dup_index = problem.views().views[dup_view]
+        .position_of(&dubious_head)
+        .expect("duplicate view shares heads");
+    problem
+        .set_weight(ViewTupleId::new(dup_view, dup_index), 10.0)
+        .unwrap();
+
+    println!("flags: 2 × weight 5 (confident), 1 × weight 0.2 (dubious)");
+    println!("the dubious flag's twin answer has weight 10\n");
+
+    // --- Standard version: every flag must go. ---
+    let standard = dp_tree::solve(&problem).unwrap();
+    assert!(standard.is_feasible(&problem));
+    println!(
+        "standard  : {} deletions, side-effect = {}",
+        standard.len(),
+        standard.side_effect(&problem)
+    );
+
+    // --- Balanced version: flags are priced, not mandated. ---
+    let balanced = dp_tree::solve_balanced(&problem).unwrap();
+    println!(
+        "balanced  : {} deletions, balanced cost = {} (missed flags + damage)",
+        balanced.len(),
+        balanced.balanced_cost(&problem)
+    );
+
+    // The balanced optimum should skip the dubious flag (paying 0.2)
+    // instead of destroying the weight-10 twin.
+    assert!(balanced.balanced_cost(&problem) < standard.side_effect(&problem));
+    let missed: Vec<_> = problem
+        .deletions()
+        .iter()
+        .filter(|&&id| !balanced.eliminates(&problem, id))
+        .collect();
+    println!("\nflags left in place by the balanced repair: {missed:?}");
+    assert_eq!(missed.len(), 1, "exactly the dubious flag survives");
+
+    // Cross-check the DP against branch and bound on both objectives.
+    let opt_std = exact::solve(&problem, ExactConfig::default());
+    let opt_bal = exact::solve_balanced(&problem, ExactConfig::default());
+    assert_eq!(standard.side_effect(&problem), opt_std.cost);
+    assert_eq!(balanced.balanced_cost(&problem), opt_bal.cost);
+    println!("\nboth DP answers match the exact branch-and-bound optima.");
+}

@@ -1,0 +1,52 @@
+//! Query-oriented data cleaning (§V of the paper, QOCO-style).
+//!
+//! A cleaning system collects expert feedback on the answers of several
+//! covering queries and must translate it into source deletions. The
+//! paper's argument for the multi-query batch formulation: processing the
+//! feedback one query at a time is order-dependent and can damage far
+//! more good answers than the batch optimum. This example measures that
+//! gap on generated scenarios.
+//!
+//! Run with: `cargo run --example data_cleaning`
+
+use delprop::core::solvers::{exact, general};
+use delprop::setcover::exact::ExactConfig;
+use delprop::workload::cleaning::{self, CleaningParams};
+
+fn main() {
+    println!("seed | ΔV | batch OPT | batch approx | seq(QA,QJ,QT) | seq(QT,QJ,QA)");
+    println!("-----+----+-----------+--------------+---------------+--------------");
+    let mut seq_total = 0.0;
+    let mut batch_total = 0.0;
+    for seed in 0..10u64 {
+        let scenario = cleaning::generate(CleaningParams::default(), seed);
+        let p = &scenario.problem;
+
+        // Batch: the multi-query optimum (exact on these sizes) and the
+        // Claim 1 approximation.
+        let batch = exact::solve(p, ExactConfig::default());
+        let approx = general::solve(p).unwrap();
+
+        // Sequential: per-query feedback processing in two different
+        // orders — the order dependence the paper warns about.
+        let fwd = cleaning::sequential_baseline(p, &[0, 1, 2]);
+        let rev = cleaning::sequential_baseline(p, &[2, 1, 0]);
+
+        let opt = batch.cost;
+        println!(
+            "{seed:4} | {:2} | {opt:9.1} | {:12.1} | {:13.1} | {:12.1}",
+            p.norm_delta(),
+            approx.side_effect(p),
+            fwd.side_effect(p),
+            rev.side_effect(p),
+        );
+        seq_total += fwd.side_effect(p).min(rev.side_effect(p));
+        batch_total += opt;
+    }
+    println!(
+        "\nbatch total = {batch_total}, best-sequential total = {seq_total}: \
+         the batch formulation never loses, and wins whenever feedback is \
+         incomplete enough to make local choices misleading."
+    );
+    assert!(batch_total <= seq_total + 1e-9);
+}

@@ -1,0 +1,92 @@
+//! Functional dependencies widen the key-preserving class.
+//!
+//! `Q3(x, z) :- T1(x, y), T2(y, z, w)` from the paper's Fig. 1 is *not*
+//! key-preserving — the key variable `y` is projected away — so the plain
+//! constructor rejects it. But when the data satisfies `author → journal`
+//! and `topic → journal`, those FDs derive smaller candidate keys that
+//! ARE covered by the head, witnesses become unique again, and the whole
+//! solver stack applies. This is the "fd-…" mechanism the paper's
+//! landscape tables (II–V) refer to.
+//!
+//! Run with: `cargo run --example fd_repair`
+
+use delprop::core::solvers::exact;
+use delprop::prelude::*;
+use delprop::relation::{FunctionalDependency, RelationFds, SchemaFds};
+use delprop::setcover::exact::ExactConfig;
+
+fn main() {
+    let schema = Schema::from_relations([
+        RelationSchema::new("T1", 2, vec![0, 1])
+            .unwrap()
+            .with_attr_names(&["AuName", "Journal"]),
+        RelationSchema::new("T2", 3, vec![0, 1])
+            .unwrap()
+            .with_attr_names(&["Journal", "Topic", "#Papers"]),
+    ])
+    .unwrap();
+    let mut db = Database::new(schema);
+    // One journal per author, one journal per topic: the FDs hold.
+    for (a, j) in [("Joe", "TKDE"), ("John", "TODS"), ("Tom", "VLDB")] {
+        db.insert("T1", tup![a, j]).unwrap();
+    }
+    for (j, z, w) in [("TKDE", "XML", 30), ("TODS", "CUBE", 20), ("VLDB", "ML", 10)] {
+        db.insert("T2", tup![j, z, w]).unwrap();
+    }
+
+    let q3 = parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap();
+
+    // Without FDs: rejected.
+    match Problem::new(db.clone(), vec![q3.clone()]) {
+        Err(e) => println!("without FDs: {e}\n"),
+        Ok(_) => unreachable!(),
+    }
+
+    // Declare author → journal and topic → (journal, #papers).
+    let t1 = db.schema().relation_id("T1").unwrap();
+    let t2 = db.schema().relation_id("T2").unwrap();
+    let mut fds = SchemaFds::new();
+    let mut f1 = RelationFds::new(2);
+    f1.add(FunctionalDependency::new(vec![0], vec![1])).unwrap();
+    fds.insert(t1, f1);
+    let mut f2 = RelationFds::new(3);
+    f2.add(FunctionalDependency::new(vec![1], vec![0, 2])).unwrap();
+    fds.insert(t2, f2);
+
+    let mut problem = Problem::new_with_fds(db, vec![q3], &fds).unwrap();
+    println!(
+        "with FDs: accepted; Q3(D) has {} tuples, each with a unique witness set",
+        problem.norm_v()
+    );
+    for (id, vt) in problem.views().iter() {
+        println!("  {} ({} witnesses)", vt.head, problem.witnesses(id).len());
+    }
+
+    problem.mark_deleted(0, &tup!["Joe", "XML"]).unwrap();
+    let out = exact::solve(&problem, ExactConfig::default());
+    let sol = out.solution.unwrap();
+    println!(
+        "\ndeleting Q3(Joe, XML): ΔD = {:?}, side-effect = {}",
+        sol.deleted
+            .iter()
+            .map(|&t| problem.db().tuple(t).unwrap().to_string())
+            .collect::<Vec<_>>(),
+        out.cost
+    );
+    assert_eq!(out.cost, 0.0, "Joe's roster row is private to that answer");
+
+    // The FD guard: violate author → journal and the constructor refuses.
+    let mut dirty = problem.db().clone();
+    dirty.insert("T1", tup!["Joe", "ICDE"]).unwrap();
+    let q3_again = parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)")
+        .unwrap()
+        .bind(dirty.schema())
+        .unwrap();
+    match Problem::new_with_fds(dirty, vec![q3_again], &fds) {
+        Err(e) => println!("\nafter injecting a second Joe row: {e}"),
+        Ok(_) => unreachable!("violated FDs must be rejected"),
+    }
+}

@@ -1,0 +1,69 @@
+//! The Theorem 1 reduction, walked through and measured.
+//!
+//! Red-Blue Set Cover is quasi-polynomially inapproximable, and the
+//! paper's Theorem 1 pushes that hardness into multi-query deletion
+//! propagation through a cost-preserving gadget (Fig. 2). This example
+//! (1) walks the Fig. 2 instance through the gadget, and (2) verifies on
+//! random instances that the optima of the two sides coincide exactly —
+//! the property the hardness transfer rests on.
+//!
+//! Run with: `cargo run --example hardness_gap`
+
+use delprop::core::solvers::exact as vse_exact;
+use delprop::setcover::exact::{self as rb_exact, ExactConfig};
+use delprop::workload::figures::fig2_redblue;
+use delprop::workload::gadget;
+use delprop::workload::redblue_gen::{self, RedBlueParams};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Fig. 2: C1(r1,b1), C2(r1,b2), C3(r1,b3).
+    // ------------------------------------------------------------------
+    let rb = fig2_redblue();
+    println!("Fig. 2 Red-Blue instance:\n{rb}");
+    let g = gadget::redblue_to_vse(&rb);
+    println!(
+        "gadget image: {} views ({} red join-paths + {} blue), ‖ΔV‖ = {}",
+        g.problem.views().views.len(),
+        g.red_views.len(),
+        g.blue_views.len(),
+        g.problem.norm_delta()
+    );
+    for q in g.problem.queries() {
+        println!("  {}(…) with {} atoms", q.name, q.atoms.len());
+    }
+
+    let rb_opt = rb_exact::solve(&rb, ExactConfig::default()).cost;
+    let vse_opt = vse_exact::solve(&g.problem, ExactConfig::default()).cost;
+    println!("\nRed-Blue OPT = {rb_opt}, view-side-effect OPT = {vse_opt}");
+    assert_eq!(rb_opt, vse_opt);
+
+    // ------------------------------------------------------------------
+    // Random instances: optima must transfer exactly in both directions.
+    // ------------------------------------------------------------------
+    println!("\nseed | ρ β |𝒞| | RB-OPT | VSE-OPT");
+    for seed in 0..10u64 {
+        let params = RedBlueParams {
+            num_red: 6,
+            num_blue: 5,
+            num_sets: 8,
+            ..Default::default()
+        };
+        let rb = redblue_gen::redblue(params, seed);
+        let g = gadget::redblue_to_vse(&rb);
+        let a = rb_exact::solve(&rb, ExactConfig::default()).cost;
+        let b = vse_exact::solve(&g.problem, ExactConfig::default()).cost;
+        println!(
+            "{seed:4} | {} {} {} | {a:6.1} | {b:7.1}",
+            rb.num_red(),
+            rb.num_blue(),
+            rb.sets().len()
+        );
+        assert_eq!(a, b, "Theorem 1 reduction must preserve optima");
+    }
+    println!(
+        "\nOptima coincide on every instance: any approximation of \
+         multi-query view side-effect approximates Red-Blue Set Cover \
+         with the same factor — Theorem 1's inapproximability follows."
+    );
+}

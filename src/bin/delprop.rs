@@ -1,0 +1,121 @@
+//! The `delprop` CLI: solve a deletion-propagation scenario described in
+//! the script format of [`delprop::script`].
+//!
+//! ```text
+//! delprop <scenario.dpl> [--solver NAME] [--objective standard|balanced]
+//!         [--explain]    # print the structure report and all objectives
+//! ```
+
+use delprop::core::solvers::{exact, lp_round, source};
+use delprop::core::{classify, Problem, Solution};
+use delprop::script::{self, ObjectiveSpec, SolverSpec};
+use delprop::setcover::exact::ExactConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("delprop: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut solver_override: Option<SolverSpec> = None;
+    let mut objective_override: Option<ObjectiveSpec> = None;
+    let mut explain = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--solver" => {
+                i += 1;
+                let name = args.get(i).ok_or("--solver needs a name")?;
+                solver_override =
+                    Some(SolverSpec::parse(name).ok_or_else(|| format!("unknown solver {name:?}"))?);
+            }
+            "--objective" => {
+                i += 1;
+                objective_override = Some(match args.get(i).map(String::as_str) {
+                    Some("standard") => ObjectiveSpec::Standard,
+                    Some("balanced") => ObjectiveSpec::Balanced,
+                    other => return Err(format!("unknown objective {other:?}")),
+                });
+            }
+            "--explain" => explain = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: delprop <scenario.dpl> [--solver NAME] \
+                     [--objective standard|balanced] [--explain]"
+                );
+                return Ok(());
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(&args[i]),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+    let path = path.ok_or("usage: delprop <scenario.dpl> [options]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = script::parse_script(&text).map_err(|e| format!("{path}: {e}"))?;
+    let (problem, objective, solver) = parsed.into_problem().map_err(|e| e.to_string())?;
+    let objective = objective_override.unwrap_or(objective);
+    let solver = solver_override.unwrap_or(solver);
+
+    println!(
+        "loaded {path}: |D| = {}, {} queries, ‖V‖ = {}, ‖ΔV‖ = {}, l = {}",
+        problem.db().len(),
+        problem.queries().len(),
+        problem.norm_v(),
+        problem.norm_delta(),
+        problem.l()
+    );
+    if explain {
+        let r = classify(&problem);
+        println!(
+            "structure: project-free = {}, sj-free = {}, forest = {}, pivot = {}",
+            r.all_project_free, r.all_self_join_free, r.forest_case, r.pivot_case
+        );
+        println!("recommended solver: {}", r.recommendation);
+    }
+
+    let solution =
+        script::run_solver(&problem, objective, solver).map_err(|e| e.to_string())?;
+    report(&problem, &solution, objective, explain);
+    Ok(())
+}
+
+fn report(problem: &Problem, solution: &Solution, objective: ObjectiveSpec, explain: bool) {
+    println!("\nΔD ({} source deletions):", solution.len());
+    for &t in &solution.deleted {
+        let tuple = problem.db().tuple(t).expect("solution tuples exist");
+        let name = problem.db().relation_schema(t.relation).name();
+        println!("  {name}{tuple}");
+    }
+    match objective {
+        ObjectiveSpec::Standard => {
+            println!("feasible (all of ΔV eliminated): {}", solution.is_feasible(problem));
+            println!("view side-effect: {}", solution.side_effect(problem));
+        }
+        ObjectiveSpec::Balanced => {
+            println!("balanced cost: {}", solution.balanced_cost(problem));
+            let missed = problem
+                .deletions()
+                .iter()
+                .filter(|&&id| !solution.eliminates(problem, id))
+                .count();
+            println!("deletions left in place: {missed}");
+        }
+    }
+    if explain {
+        println!("source side-effect (|ΔD|): {}", source::source_cost(solution));
+        println!("LP lower bound: {:.3}", lp_round::lower_bound(problem));
+        let opt = exact::solve(problem, ExactConfig { node_limit: Some(5_000_000) });
+        if opt.proven_optimal {
+            println!("exact optimum: {}", opt.cost);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # delprop — deletion propagation for multiple key-preserving
+//! conjunctive queries
+//!
+//! A production-quality Rust implementation of
+//!
+//! > Zhipeng Cai, Dongjing Miao, Yingshu Li.
+//! > *Deletion Propagation for Multiple Key Preserving Conjunctive
+//! > Queries: Approximations and Complexity.* ICDE 2019.
+//!
+//! Given a database `D`, key-preserving conjunctive queries `Q`, their
+//! materialized views `V = Q(D)`, and unwanted view tuples `ΔV`, find
+//! source deletions `ΔD` that eliminate all of `ΔV` while destroying as
+//! little else as possible (the **view side-effect**) — or trade the two
+//! off (**balanced** deletion propagation).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use delprop::prelude::*;
+//!
+//! // Fig. 1 of the paper: authors, journals, topics.
+//! let schema = Schema::from_relations([
+//!     RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+//!     RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+//! ]).unwrap();
+//! let mut db = Database::new(schema);
+//! db.insert("T1", tup!["John", "TKDE"]).unwrap();
+//! db.insert("T2", tup!["TKDE", "XML", 30]).unwrap();
+//! db.insert("T2", tup!["TKDE", "CUBE", 30]).unwrap();
+//!
+//! let q4 = parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
+//!     .unwrap().bind(db.schema()).unwrap();
+//! let mut problem = Problem::new(db, vec![q4]).unwrap();
+//! problem.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+//!
+//! let solution = solve_auto(&problem).unwrap();
+//! assert!(solution.is_feasible(&problem));
+//! assert!(solution.side_effect(&problem) <= 1.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`relation`] | `delprop-relation` | values, schemas with keys, key-enforcing stores, databases |
+//! | [`query`] | `delprop-query` | CQ AST/parser, query classes, evaluation, views with witness provenance |
+//! | [`setcover`] | `delprop-setcover` | Red-Blue & Pos-Neg Set Cover, exact/greedy/low-degree solvers |
+//! | [`hypergraph`] | `delprop-hypergraph` | GYO α-acyclicity, hypertrees, data dual graphs, pivot structure |
+//! | [`lp`] | `delprop-lp` | dense two-phase simplex (LP bounds & rounding) |
+//! | [`core`] | `delprop-core` | the problem, objectives, and the paper's solver suite |
+//! | [`workload`] | `delprop-workload` | generators: figures, gadgets, random/forest/pivot/cleaning workloads |
+
+pub use delprop_core as core;
+pub use delprop_hypergraph as hypergraph;
+pub use delprop_lp as lp;
+pub use delprop_query as query;
+pub use delprop_relation as relation;
+pub use delprop_setcover as setcover;
+pub use delprop_workload as workload;
+
+pub mod script;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::core::{classify, solve_auto, CoreError, Problem, Solution, SolverKind};
+    pub use crate::query::{parse_program, parse_query, ConjunctiveQuery, View, ViewSet, ViewTupleId};
+    pub use crate::relation::{Database, RelationSchema, Schema, Tuple, TupleId, Value};
+    pub use crate::tup;
+}
+
+// Re-export the tuple literal macro at the facade root so `use delprop::tup`
+// works (macro_export places it at the defining crate's root).
+pub use delprop_relation::tup;

@@ -1,0 +1,477 @@
+//! A small text format for whole deletion-propagation scenarios, and its
+//! loader — the input format of the `delprop` CLI.
+//!
+//! ```text
+//! % comments start with '%' or '#'
+//! relation T1(AuName, Journal) key(0, 1)
+//! relation T2(Journal, Topic, Papers) key(0, 1)
+//!
+//! fact T1('John', 'TKDE')
+//! fact T2('TKDE', 'XML', 30)
+//!
+//! fd T2 (1) -> (0, 2)          % optional: positions, 0-based
+//!
+//! query Q4(x, y, z) :- T1(x, y), T2(y, z, w)
+//!
+//! delete Q4('John', 'TKDE', 'XML')
+//! weight Q4('Joe', 'TKDE', 'XML') 2.5
+//!
+//! objective standard            % or: balanced
+//! solver auto                   % auto|exact|general|greedy|primal-dual|
+//!                               % lowdeg-tree|dp-tree|lp-round|source
+//! ```
+//!
+//! Directives may appear in any order except that `relation` must precede
+//! the facts/queries that use it (the natural reading order).
+
+use crate::core::{CoreError, Problem};
+use crate::query::{parse_atom, parse_query, QueryError, Term};
+use crate::relation::{
+    Database, FunctionalDependency, RelationFds, RelationSchema, Schema, SchemaFds, Tuple,
+    Value,
+};
+use std::fmt;
+
+/// Requested objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObjectiveSpec {
+    /// Minimize view side-effect, eliminating all of `ΔV`.
+    #[default]
+    Standard,
+    /// Minimize missed deletions + side-effect.
+    Balanced,
+}
+
+/// Requested solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverSpec {
+    /// Let the classifier choose (the default).
+    #[default]
+    Auto,
+    /// Exact branch and bound.
+    Exact,
+    /// Claim 1 / Lemma 1 general approximation.
+    General,
+    /// Greedy baseline.
+    Greedy,
+    /// Algorithm 1, `PrimeDualVSE`.
+    PrimalDual,
+    /// Algorithms 2–3, `LowDegTreeVSETwo`.
+    LowDegTree,
+    /// Algorithm 4, `DPTreeVSE`.
+    DpTree,
+    /// LP rounding.
+    LpRound,
+    /// Source side-effect (minimum #deleted base tuples).
+    Source,
+}
+
+impl SolverSpec {
+    /// Parse a solver name as written in scripts / on the CLI.
+    pub fn parse(s: &str) -> Option<SolverSpec> {
+        Some(match s {
+            "auto" => SolverSpec::Auto,
+            "exact" => SolverSpec::Exact,
+            "general" => SolverSpec::General,
+            "greedy" => SolverSpec::Greedy,
+            "primal-dual" => SolverSpec::PrimalDual,
+            "lowdeg-tree" => SolverSpec::LowDegTree,
+            "dp-tree" => SolverSpec::DpTree,
+            "lp-round" => SolverSpec::LpRound,
+            "source" => SolverSpec::Source,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed scenario, ready to turn into a [`Problem`].
+#[derive(Debug)]
+pub struct Script {
+    /// The database instance built from `relation` + `fact` directives.
+    pub db: Database,
+    /// Query sources in declaration order.
+    pub queries: Vec<crate::query::ConjunctiveQuery>,
+    /// Declared functional dependencies.
+    pub fds: SchemaFds,
+    /// `delete` directives as (query name, head tuple).
+    pub deletions: Vec<(String, Tuple)>,
+    /// `weight` directives as (query name, head tuple, weight).
+    pub weights: Vec<(String, Tuple, f64)>,
+    /// Requested objective.
+    pub objective: ObjectiveSpec,
+    /// Requested solver.
+    pub solver: SolverSpec,
+}
+
+/// Script parsing / assembly errors with a line number.
+#[derive(Debug)]
+pub struct ScriptError {
+    /// 1-based line of the offending directive (0 for assembly errors).
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.reason)
+        } else {
+            write!(f, "{}", self.reason)
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn err(line: usize, reason: impl fmt::Display) -> ScriptError {
+    ScriptError {
+        line,
+        reason: reason.to_string(),
+    }
+}
+
+/// Parse a scenario script.
+pub fn parse_script(text: &str) -> Result<Script, ScriptError> {
+    let mut schema = Schema::new();
+    let mut pending_facts: Vec<(usize, String)> = Vec::new();
+    let mut queries = Vec::new();
+    let mut fd_lines: Vec<(usize, String)> = Vec::new();
+    let mut deletions = Vec::new();
+    let mut weights = Vec::new();
+    let mut objective = ObjectiveSpec::default();
+    let mut solver = SolverSpec::default();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword {
+            "relation" => {
+                let decl = parse_relation_decl(rest).map_err(|e| err(line_no, e))?;
+                schema.add(decl).map_err(|e| err(line_no, e))?;
+            }
+            "fact" => pending_facts.push((line_no, rest.to_string())),
+            "query" => {
+                let q = parse_query(rest).map_err(|e| err(line_no, e))?;
+                queries.push(q);
+            }
+            "fd" => fd_lines.push((line_no, rest.to_string())),
+            "delete" => {
+                let (name, tuple) = parse_ground_atom(rest).map_err(|e| err(line_no, e))?;
+                deletions.push((name, tuple));
+            }
+            "weight" => {
+                let (head, w) = rest
+                    .rsplit_once(char::is_whitespace)
+                    .ok_or_else(|| err(line_no, "weight needs an atom and a number"))?;
+                let w: f64 = w
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad weight {w:?}")))?;
+                let (name, tuple) =
+                    parse_ground_atom(head.trim()).map_err(|e| err(line_no, e))?;
+                weights.push((name, tuple, w));
+            }
+            "objective" => {
+                objective = match rest {
+                    "standard" => ObjectiveSpec::Standard,
+                    "balanced" => ObjectiveSpec::Balanced,
+                    other => return Err(err(line_no, format!("unknown objective {other:?}"))),
+                };
+            }
+            "solver" => {
+                solver = SolverSpec::parse(rest)
+                    .ok_or_else(|| err(line_no, format!("unknown solver {rest:?}")))?;
+            }
+            other => return Err(err(line_no, format!("unknown directive {other:?}"))),
+        }
+    }
+
+    // Assemble: facts then FDs need the final schema.
+    let mut db = Database::new(schema);
+    for (line_no, src) in pending_facts {
+        let (name, tuple) = parse_ground_atom(&src).map_err(|e| err(line_no, e))?;
+        db.insert(&name, tuple).map_err(|e| err(line_no, e))?;
+    }
+    let mut fds = SchemaFds::new();
+    for (line_no, src) in fd_lines {
+        let (rid, fd) = parse_fd(&src, db.schema()).map_err(|e| err(line_no, e))?;
+        let arity = db.schema().relation(rid).arity();
+        // Accumulate into any existing declaration for the relation.
+        let mut rel_fds = fds.get(rid).cloned().unwrap_or_else(|| RelationFds::new(arity));
+        rel_fds.add(fd).map_err(|e| err(line_no, e))?;
+        fds.insert(rid, rel_fds);
+    }
+    Ok(Script {
+        db,
+        queries,
+        fds,
+        deletions,
+        weights,
+        objective,
+        solver,
+    })
+}
+
+/// `T1(AuName, Journal) key(0, 1)` — attribute names are display-only.
+fn parse_relation_decl(src: &str) -> Result<RelationSchema, String> {
+    let (atom_part, key_part) = src
+        .split_once("key")
+        .ok_or("relation declaration needs a key(...) clause")?;
+    let atom = parse_atom(atom_part.trim()).map_err(|e| e.to_string())?;
+    let names: Vec<String> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => Ok(v.clone()),
+            Term::Const(c) => Ok(c.to_string()),
+        })
+        .collect::<Result<_, String>>()?;
+    let key_positions = parse_usize_list(key_part.trim())?;
+    let decl = RelationSchema::new(atom.relation, atom.terms.len(), key_positions)
+        .map_err(|e| e.to_string())?;
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    Ok(decl.with_attr_names(&name_refs))
+}
+
+/// `T2 (1) -> (0, 2)`
+fn parse_fd(
+    src: &str,
+    schema: &Schema,
+) -> Result<(crate::relation::RelationId, FunctionalDependency), String> {
+    let (rel, rest) = src
+        .split_once(char::is_whitespace)
+        .ok_or("fd needs: <relation> (lhs) -> (rhs)")?;
+    let rid = schema.relation_id(rel.trim()).map_err(|e| e.to_string())?;
+    let (lhs, rhs) = rest.split_once("->").ok_or("fd needs '->'")?;
+    Ok((
+        rid,
+        FunctionalDependency::new(parse_usize_list(lhs.trim())?, parse_usize_list(rhs.trim())?),
+    ))
+}
+
+/// `(0, 2)` or `(1)`.
+fn parse_usize_list(src: &str) -> Result<Vec<usize>, String> {
+    let inner = src
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| format!("expected parenthesized list, got {src:?}"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad position {s:?}")))
+        .collect()
+}
+
+/// A ground atom: relation/query name + constant tuple.
+fn parse_ground_atom(src: &str) -> Result<(String, Tuple), QueryError> {
+    let atom = parse_atom(src)?;
+    let values: Result<Vec<Value>, QueryError> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Ok(c.clone()),
+            Term::Var(v) => Err(QueryError::Parse {
+                input: src.to_string(),
+                reason: format!("expected a ground atom, found variable {v}"),
+            }),
+        })
+        .collect();
+    Ok((atom.relation, Tuple::new(values?)))
+}
+
+impl Script {
+    /// Build the [`Problem`] (marking deletions, applying weights). Uses
+    /// the FD-aware constructor iff any FDs were declared.
+    pub fn into_problem(self) -> Result<(Problem, ObjectiveSpec, SolverSpec), ScriptError> {
+        let bound = self
+            .queries
+            .iter()
+            .map(|q| q.bind(self.db.schema()))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| err(0, e))?;
+        let has_fds = bound
+            .iter()
+            .any(|q| q.atoms.iter().any(|a| self.fds.get(a.relation).is_some()));
+        let mut problem = if has_fds {
+            Problem::new_with_fds(self.db, bound, &self.fds).map_err(|e| err(0, e))?
+        } else {
+            Problem::new(self.db, bound).map_err(|e| err(0, e))?
+        };
+        let view_of = |problem: &Problem, name: &str| -> Result<usize, ScriptError> {
+            problem
+                .queries()
+                .iter()
+                .position(|q| q.name == name)
+                .ok_or_else(|| err(0, format!("no query named {name}")))
+        };
+        for (name, head) in &self.deletions {
+            let vi = view_of(&problem, name)?;
+            problem.mark_deleted(vi, head).map_err(|e| err(0, e))?;
+        }
+        for (name, head, w) in &self.weights {
+            let vi = view_of(&problem, name)?;
+            let idx = problem.views().views[vi]
+                .position_of(head)
+                .ok_or_else(|| err(0, format!("no view tuple {head} in {name}")))?;
+            problem
+                .set_weight(crate::query::ViewTupleId::new(vi, idx), *w)
+                .map_err(|e| err(0, e))?;
+        }
+        Ok((problem, self.objective, self.solver))
+    }
+}
+
+/// Run the requested solver on a problem.
+pub fn run_solver(
+    problem: &Problem,
+    objective: ObjectiveSpec,
+    solver: SolverSpec,
+) -> Result<crate::core::Solution, CoreError> {
+    use crate::core::solvers::*;
+    use delprop_setcover::exact::ExactConfig;
+    match (objective, solver) {
+        (ObjectiveSpec::Standard, SolverSpec::Auto) => crate::core::solve_auto(problem),
+        (ObjectiveSpec::Standard, SolverSpec::Exact) => exact::solve(problem, ExactConfig::default())
+            .solution
+            .ok_or(CoreError::Infeasible {
+                reason: "no feasible deletion".into(),
+            }),
+        (ObjectiveSpec::Standard, SolverSpec::General) => general::solve(problem),
+        (ObjectiveSpec::Standard, SolverSpec::Greedy) => general::solve_greedy(problem),
+        (ObjectiveSpec::Standard, SolverSpec::PrimalDual) => primal_dual::solve_default(problem),
+        (ObjectiveSpec::Standard, SolverSpec::LowDegTree) => lowdeg_tree::solve(problem),
+        (ObjectiveSpec::Standard, SolverSpec::DpTree) => dp_tree::solve(problem),
+        (ObjectiveSpec::Standard, SolverSpec::LpRound) => lp_round::solve(problem),
+        (ObjectiveSpec::Standard, SolverSpec::Source) => Ok(source::solve(problem)),
+        (ObjectiveSpec::Balanced, SolverSpec::DpTree) => dp_tree::solve_balanced(problem),
+        (ObjectiveSpec::Balanced, SolverSpec::Exact) => {
+            Ok(exact::solve_balanced(problem, ExactConfig::default())
+                .solution
+                .expect("balanced is always feasible"))
+        }
+        (ObjectiveSpec::Balanced, SolverSpec::Auto) => {
+            crate::core::solve_auto_balanced(problem)
+        }
+        (ObjectiveSpec::Balanced, SolverSpec::General) => {
+            Ok(general::solve_balanced(problem))
+        }
+        (ObjectiveSpec::Balanced, SolverSpec::PrimalDual) => {
+            primal_dual_balanced::solve_balanced(problem, &Default::default())
+                .map(|o| o.solution)
+        }
+        (ObjectiveSpec::Balanced, other) => Err(CoreError::StructureMismatch {
+            solver: "script",
+            reason: format!("solver {other:?} does not support the balanced objective"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    const FIG1: &str = r#"
+% Fig. 1 of the paper
+relation T1(AuName, Journal) key(0, 1)
+relation T2(Journal, Topic, Papers) key(0, 1)
+
+fact T1('Joe', 'TKDE')
+fact T1('John', 'TKDE')
+fact T1('Tom', 'TKDE')
+fact T1('John', 'TODS')
+fact T2('TKDE', 'XML', 30)
+fact T2('TKDE', 'CUBE', 30)
+fact T2('TODS', 'XML', 30)
+
+query Q4(x, y, z) :- T1(x, y), T2(y, z, w)
+delete Q4('John', 'TKDE', 'XML')
+weight Q4('Joe', 'TKDE', 'XML') 2.0
+solver exact
+"#;
+
+    #[test]
+    fn parses_and_solves_fig1() {
+        let script = parse_script(FIG1).unwrap();
+        assert_eq!(script.queries.len(), 1);
+        assert_eq!(script.deletions.len(), 1);
+        let (problem, objective, solver) = script.into_problem().unwrap();
+        assert_eq!(objective, ObjectiveSpec::Standard);
+        assert_eq!(solver, SolverSpec::Exact);
+        assert_eq!(problem.norm_v(), 7);
+        let sol = run_solver(&problem, objective, solver).unwrap();
+        assert_eq!(sol.side_effect(&problem), 1.0);
+    }
+
+    #[test]
+    fn weight_is_applied() {
+        let script = parse_script(FIG1).unwrap();
+        let (problem, _, _) = script.into_problem().unwrap();
+        let idx = problem.views().views[0]
+            .position_of(&tup!["Joe", "TKDE", "XML"])
+            .unwrap();
+        assert_eq!(problem.weight(crate::query::ViewTupleId::new(0, idx)), 2.0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "relation T(A) key(0)\nfact T('x', 'y')\n";
+        let e = parse_script(bad).unwrap_err();
+        assert_eq!(e.line, 2, "arity mismatch is on line 2: {e}");
+
+        let bad = "bogus directive\n";
+        assert_eq!(parse_script(bad).unwrap_err().line, 1);
+
+        let bad = "relation T(A) key(0)\nfd T (0 -> (0)\n";
+        assert!(parse_script(bad).is_err());
+
+        let bad = "relation T(A) key(0)\ndelete T(x)\n";
+        let e = parse_script(bad).unwrap_err();
+        assert!(e.reason.contains("ground"), "{e}");
+    }
+
+    #[test]
+    fn balanced_and_fd_directives() {
+        let src = r#"
+relation T1(A, J) key(0, 1)
+relation T2(J, Z, W) key(0, 1)
+fact T1('Joe', 'TKDE')
+fact T1('John', 'TODS')
+fact T2('TKDE', 'XML', 30)
+fact T2('TODS', 'CUBE', 20)
+fd T1 (0) -> (1)
+fd T2 (1) -> (0, 2)
+query Q3(x, z) :- T1(x, y), T2(y, z, w)
+delete Q3('Joe', 'XML')
+objective balanced
+solver exact
+"#;
+        let script = parse_script(src).unwrap();
+        let (problem, objective, solver) = script.into_problem().unwrap();
+        assert_eq!(objective, ObjectiveSpec::Balanced);
+        let sol = run_solver(&problem, objective, solver).unwrap();
+        assert!(sol.balanced_cost(&problem) <= 1.0);
+    }
+
+    #[test]
+    fn unknown_solver_and_objective_rejected() {
+        assert!(parse_script("solver warp\n").is_err());
+        assert!(parse_script("objective vibes\n").is_err());
+    }
+
+    #[test]
+    fn source_solver_via_script() {
+        let mut src = FIG1.replace("solver exact", "solver source");
+        src.push_str("delete Q4('John', 'TKDE', 'CUBE')\n");
+        let (problem, o, s) = parse_script(&src).unwrap().into_problem().unwrap();
+        let sol = run_solver(&problem, o, s).unwrap();
+        assert!(sol.is_feasible(&problem));
+        assert_eq!(sol.len(), 1, "one source tuple hits both demands");
+    }
+}

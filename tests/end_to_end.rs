@@ -1,0 +1,166 @@
+//! End-to-end integration tests spanning every crate: build a database,
+//! parse and bind queries, materialize views, solve with each algorithm,
+//! and verify predictions against full re-evaluation.
+
+use delprop::core::solvers::{dp_tree, exact, general, lowdeg_tree, lp_round, primal_dual};
+use delprop::prelude::*;
+use delprop::setcover::exact::ExactConfig;
+use delprop::workload::{cleaning, figures, forest, random_db};
+
+fn fig1_problem() -> Problem {
+    figures::fig1_problem()
+}
+
+#[test]
+fn every_solver_agrees_on_fig1() {
+    let p = fig1_problem();
+    let opt = exact::solve(&p, ExactConfig::default());
+    assert_eq!(opt.cost, 1.0);
+
+    let solutions = vec![
+        ("auto", solve_auto(&p).unwrap()),
+        ("general", general::solve(&p).unwrap()),
+        ("greedy", general::solve_greedy(&p).unwrap()),
+        ("primal_dual", primal_dual::solve_default(&p).unwrap()),
+        ("lowdeg_tree", lowdeg_tree::solve(&p).unwrap()),
+        ("lp_round", lp_round::solve(&p).unwrap()),
+    ];
+    for (name, s) in solutions {
+        assert!(s.is_feasible(&p), "{name} infeasible");
+        let predicted = s.side_effect(&p);
+        let reevaluated = s.verify_by_reevaluation(&p);
+        assert_eq!(predicted, reevaluated, "{name} prediction mismatch");
+        assert!(predicted >= opt.cost - 1e-9, "{name} beat the optimum?!");
+        // Fig. 1 is tiny: everything should actually hit the optimum.
+        assert_eq!(predicted, opt.cost, "{name} missed the tiny optimum");
+    }
+}
+
+#[test]
+fn multi_view_narrowing_is_observable_end_to_end() {
+    // §V data annotation: add the catalog view; the optimum is still 1
+    // but the journal-side solution becomes strictly worse.
+    let db = figures::fig1_db();
+    let q4 = figures::fig1_q4(&db);
+    let q5 = parse_query("Q5(y, z) :- T2(y, z, w)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap();
+    let mut p = Problem::new(db.clone(), vec![q4, q5]).unwrap();
+    p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+
+    let t2 = db.schema().relation_id("T2").unwrap();
+    let journal_side = db
+        .find_by_key(t2, &[Value::str("TKDE"), Value::str("XML")])
+        .unwrap();
+    let t1 = db.schema().relation_id("T1").unwrap();
+    let author_side = db
+        .find_by_key(t1, &[Value::str("John"), Value::str("TKDE")])
+        .unwrap();
+
+    let journal_sol = Solution::from_tuples([journal_side]);
+    let author_sol = Solution::from_tuples([author_side]);
+    assert!(journal_sol.is_feasible(&p) && author_sol.is_feasible(&p));
+    assert_eq!(author_sol.side_effect(&p), 1.0);
+    assert_eq!(
+        journal_sol.side_effect(&p),
+        3.0,
+        "with the catalog view, the journal-side repair also kills Q5(TKDE, XML)"
+    );
+    let opt = exact::solve(&p, ExactConfig::default());
+    assert_eq!(opt.cost, 1.0);
+    assert_eq!(opt.solution.unwrap().deleted, author_sol.deleted);
+}
+
+#[test]
+fn pivot_broom_full_stack() {
+    let p = forest::pivot_broom(5, 3, &[0, 2, 4]);
+    assert!(dp_tree::applies(&p));
+    let dp = dp_tree::solve(&p).unwrap();
+    let opt = exact::solve(&p, ExactConfig::default());
+    assert_eq!(dp.side_effect(&p), opt.cost);
+    assert_eq!(dp.verify_by_reevaluation(&p), opt.cost);
+    // Balanced too.
+    let dpb = dp_tree::solve_balanced(&p).unwrap();
+    let optb = exact::solve_balanced(&p, ExactConfig::default());
+    assert!((dpb.balanced_cost(&p) - optb.cost).abs() < 1e-9);
+}
+
+#[test]
+fn classifier_routes_each_workload_family() {
+    let fig1 = fig1_problem();
+    assert_eq!(
+        classify(&fig1).recommendation,
+        SolverKind::SingleQuerySingleDeletion
+    );
+
+    let broom = forest::pivot_broom(4, 2, &[1]);
+    assert_eq!(classify(&broom).recommendation, SolverKind::PivotForestDp);
+
+    let windows = forest::generate(
+        forest::ForestParams {
+            levels: 4,
+            window: 2,
+            chains: 8,
+            delete_fraction: 0.3,
+            weighted: false,
+        },
+        11,
+    );
+    let r = classify(&windows);
+    assert!(r.forest_case);
+
+    let random = random_db::generate(random_db::RandomDbParams::default(), 5);
+    let r = classify(&random);
+    // Random chains over a shared pool are rarely forests, but whatever
+    // the class, auto-solving must be feasible.
+    let sol = solve_auto(&random).unwrap();
+    assert!(sol.is_feasible(&random));
+    let _ = r;
+}
+
+#[test]
+fn cleaning_scenarios_solve_and_verify() {
+    for seed in 0..5 {
+        let s = cleaning::generate(cleaning::CleaningParams::default(), seed);
+        let sol = solve_auto(&s.problem).unwrap();
+        assert!(sol.is_feasible(&s.problem));
+        let predicted = sol.side_effect(&s.problem);
+        assert_eq!(predicted, sol.verify_by_reevaluation(&s.problem));
+    }
+}
+
+#[test]
+fn weighted_problems_round_trip_through_all_solvers() {
+    let mut p = fig1_problem();
+    let ids: Vec<ViewTupleId> = p.preserved().map(|(id, _)| id).collect();
+    for (i, id) in ids.into_iter().enumerate() {
+        p.set_weight(id, 1.0 + i as f64).unwrap();
+    }
+    let opt = exact::solve(&p, ExactConfig::default());
+    for sol in [
+        general::solve(&p).unwrap(),
+        primal_dual::solve_default(&p).unwrap(),
+        lowdeg_tree::solve(&p).unwrap(),
+        lp_round::solve(&p).unwrap(),
+    ] {
+        assert!(sol.is_feasible(&p));
+        assert!(sol.side_effect(&p) >= opt.cost - 1e-9);
+    }
+}
+
+#[test]
+fn deletion_then_restore_leaves_database_intact() {
+    let p = fig1_problem();
+    let mut db = p.db().clone();
+    let before = db.len();
+    let sol = solve_auto(&p).unwrap();
+    let ids: Vec<TupleId> = sol.deleted.iter().copied().collect();
+    let undone = db.delete_all(&ids);
+    assert_eq!(db.len(), before - undone.len());
+    db.restore_all(&undone);
+    assert_eq!(db.len(), before);
+    // Views re-materialize identically after restore.
+    let again = delprop::query::ViewSet::materialize(&db, p.queries()).unwrap();
+    assert_eq!(again.total_tuples(), p.norm_v());
+}

@@ -1,0 +1,212 @@
+//! One integration test per theorem/claim of the paper — small-scale
+//! versions of the experiments in `EXPERIMENTS.md`.
+
+use delprop::core::solvers::{dp_tree, exact, general, lowdeg_tree, lp_round, primal_dual};
+use delprop::hypergraph::{gyo, Hypergraph};
+use delprop::setcover::exact::ExactConfig;
+use delprop::workload::{figures, forest, gadget, random_db, redblue_gen};
+
+/// Theorem 1: the Red-Blue → VSE reduction preserves optima exactly.
+#[test]
+fn theorem1_reduction_preserves_optima() {
+    for seed in 0..6 {
+        let rb = redblue_gen::redblue(
+            redblue_gen::RedBlueParams {
+                num_red: 5,
+                num_blue: 4,
+                num_sets: 7,
+                ..Default::default()
+            },
+            seed,
+        );
+        let g = gadget::redblue_to_vse(&rb);
+        let a = delprop::setcover::exact::solve(&rb, ExactConfig::default());
+        let b = exact::solve(&g.problem, ExactConfig::default());
+        assert!(a.proven_optimal && b.proven_optimal);
+        assert!((a.cost - b.cost).abs() < 1e-9, "seed {seed}: {} vs {}", a.cost, b.cost);
+    }
+}
+
+/// Theorem 2: the Pos-Neg → balanced reduction preserves optima exactly.
+#[test]
+fn theorem2_reduction_preserves_optima() {
+    for seed in 0..6 {
+        let pn = redblue_gen::posneg(
+            redblue_gen::RedBlueParams {
+                num_red: 4,
+                num_blue: 4,
+                num_sets: 6,
+                weighted: true,
+                ..Default::default()
+            },
+            seed,
+        );
+        let g = gadget::posneg_to_balanced(&pn);
+        let (_, pn_opt, proven) =
+            delprop::setcover::reduce::solve_posneg_exact(&pn, ExactConfig::default());
+        let bal_opt = exact::solve_balanced(&g.problem, ExactConfig::default());
+        assert!(proven && bal_opt.proven_optimal);
+        assert!(
+            (pn_opt - bal_opt.cost).abs() < 1e-9,
+            "seed {seed}: {pn_opt} vs {}",
+            bal_opt.cost
+        );
+    }
+}
+
+/// Claim 1: the general-case algorithm is feasible and within its bound.
+#[test]
+fn claim1_general_approximation_within_bound() {
+    for seed in 0..8 {
+        let p = random_db::generate(random_db::RandomDbParams::default(), seed);
+        let sol = general::solve(&p).unwrap();
+        assert!(sol.is_feasible(&p));
+        let lb = lp_round::lower_bound(&p);
+        let bound = general::ratio_bound(&p);
+        if lb > 1e-9 {
+            assert!(
+                sol.side_effect(&p) <= bound * lb + 1e-6,
+                "seed {seed}: {} > {} × {}",
+                sol.side_effect(&p),
+                bound,
+                lb
+            );
+        }
+    }
+}
+
+/// Lemma 1: the balanced approximation is within its bound of the
+/// balanced optimum.
+#[test]
+fn lemma1_balanced_approximation_within_bound() {
+    for seed in 0..6 {
+        let p = random_db::generate(
+            random_db::RandomDbParams {
+                num_relations: 4,
+                num_queries: 2,
+                tuples_per_relation: 10,
+                ..Default::default()
+            },
+            seed,
+        );
+        let sol = general::solve_balanced(&p);
+        let opt = exact::solve_balanced(&p, ExactConfig { node_limit: Some(2_000_000) });
+        if !opt.proven_optimal {
+            continue;
+        }
+        let bound = general::balanced_ratio_bound(&p);
+        assert!(
+            sol.balanced_cost(&p) <= bound * opt.cost.max(1e-9) + 1e-6,
+            "seed {seed}: {} > {} × {}",
+            sol.balanced_cost(&p),
+            bound,
+            opt.cost
+        );
+    }
+}
+
+/// Theorem 3: PrimeDualVSE is feasible and within factor `l` on forests,
+/// with a valid dual lower bound.
+#[test]
+fn theorem3_primal_dual_l_approximation() {
+    for seed in 0..8 {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains: 8,
+                delete_fraction: 0.3,
+                weighted: false,
+            },
+            seed,
+        );
+        let out = primal_dual::solve(&p, &Default::default()).unwrap();
+        assert!(out.solution.is_feasible(&p));
+        let opt = exact::solve(&p, ExactConfig::default());
+        assert!(out.dual_objective <= opt.cost + 1e-6, "weak duality violated");
+        let l = p.l() as f64;
+        assert!(
+            out.solution.side_effect(&p) <= l * opt.cost.max(1e-9) + 1e-6,
+            "seed {seed}: ratio above l = {l}"
+        );
+    }
+}
+
+/// Theorem 4: LowDegTreeVSETwo within `2√‖V‖` on forests.
+#[test]
+fn theorem4_lowdeg_tree_bound() {
+    for seed in 0..8 {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 5,
+                window: 3,
+                chains: 8,
+                delete_fraction: 0.25,
+                weighted: false,
+            },
+            seed,
+        );
+        let sol = lowdeg_tree::solve(&p).unwrap();
+        assert!(sol.is_feasible(&p));
+        let opt = exact::solve(&p, ExactConfig::default());
+        let bound = lowdeg_tree::ratio_bound(&p);
+        assert!(
+            sol.side_effect(&p) <= bound * opt.cost.max(1.0) + 1e-6,
+            "seed {seed}: {} > {} × {}",
+            sol.side_effect(&p),
+            bound,
+            opt.cost
+        );
+    }
+}
+
+/// §IV.E: the DP is exact (standard and balanced) on pivot brooms.
+#[test]
+fn section4e_dp_exactness() {
+    for (branches, depth, blue) in [
+        (4usize, 2usize, vec![0usize]),
+        (5, 3, vec![0, 2]),
+        (6, 2, vec![1, 3, 5]),
+        (3, 4, vec![0, 1, 2]),
+    ] {
+        let p = forest::pivot_broom(branches, depth, &blue);
+        assert!(dp_tree::applies(&p));
+        let dp = dp_tree::solve(&p).unwrap();
+        let opt = exact::solve(&p, ExactConfig::default());
+        assert!((dp.side_effect(&p) - opt.cost).abs() < 1e-9);
+        let dpb = dp_tree::solve_balanced(&p).unwrap();
+        let optb = exact::solve_balanced(&p, ExactConfig::default());
+        assert!((dpb.balanced_cost(&p) - optb.cost).abs() < 1e-9);
+    }
+}
+
+/// Fig. 3: hypertree recognition matches the paper's classification.
+#[test]
+fn fig3_hypertree_recognition() {
+    let (s1, s2, s3) = figures::fig3_query_sets();
+    assert!(!gyo::is_hypertree(&Hypergraph::new(4, s1)));
+    assert!(gyo::is_hypertree(&Hypergraph::new(4, s2)));
+    assert!(gyo::is_hypertree(&Hypergraph::new(4, s3)));
+}
+
+/// The LP relaxation really lower-bounds, and LP rounding is a certified
+/// l-approximation, across workload families.
+#[test]
+fn lp_bounds_and_rounding_hold_across_families() {
+    let problems = [figures::fig1_problem(),
+        forest::pivot_broom(4, 2, &[0, 1]),
+        forest::generate(forest::ForestParams::default(), 3),
+        random_db::generate(random_db::RandomDbParams::default(), 3)];
+    for (i, p) in problems.iter().enumerate() {
+        let lb = lp_round::lower_bound(p);
+        let opt = exact::solve(p, ExactConfig::default());
+        assert!(lb <= opt.cost + 1e-6, "family {i}: LP bound above OPT");
+        let sol = lp_round::solve(p).unwrap();
+        assert!(sol.is_feasible(p), "family {i}: rounding infeasible");
+        let l = p.l() as f64;
+        assert!(
+            sol.side_effect(p) <= l * lb.max(opt.cost) + 1e-6,
+            "family {i}: rounding above l×LP"
+        );
+    }
+}

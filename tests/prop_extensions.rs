@@ -1,0 +1,361 @@
+//! Property-based tests for the extension modules: functional
+//! dependencies, incremental maintenance, the Yannakakis engine, the
+//! source-side-effect solver, and local search.
+
+use delprop::core::solvers::{exact, general, local_search, source};
+use delprop::core::{Problem, Solution};
+use delprop::query::eval::{hashjoin, naive, sort_matches, yannakakis, CompiledQuery};
+use delprop::query::{parse_query, DeletionDelta, MaintainedViews, ViewSet};
+use delprop::relation::{
+    tup, Database, FunctionalDependency, RelationFds, RelationSchema, Schema, TupleId,
+};
+use delprop::setcover::exact::ExactConfig;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Functional dependencies.
+// ---------------------------------------------------------------------
+
+fn fds_strategy() -> impl Strategy<Value = (usize, RelationFds)> {
+    (3usize..6).prop_flat_map(|arity| {
+        let fd = (
+            proptest::collection::vec(0..arity, 1..3),
+            proptest::collection::vec(0..arity, 1..3),
+        );
+        proptest::collection::vec(fd, 0..5).prop_map(move |fds| {
+            let mut rf = RelationFds::new(arity);
+            for (l, r) in fds {
+                rf.add(FunctionalDependency::new(l, r)).unwrap();
+            }
+            (arity, rf)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Closure is extensive, monotone, and idempotent.
+    #[test]
+    fn fd_closure_is_a_closure_operator(
+        (arity, fds) in fds_strategy(),
+        seed in proptest::collection::btree_set(0usize..6, 0..4),
+    ) {
+        let attrs: Vec<usize> = seed.into_iter().filter(|&a| a < arity).collect();
+        let closed = fds.closure(&attrs);
+        // extensive
+        for &a in &attrs {
+            prop_assert!(closed.contains(&a));
+        }
+        // idempotent
+        let closed_vec: Vec<usize> = closed.iter().copied().collect();
+        prop_assert_eq!(&fds.closure(&closed_vec), &closed);
+        // monotone: closure of a subset is a subset of the closure
+        if !attrs.is_empty() {
+            let sub = &attrs[..attrs.len() - 1];
+            let sub_closed = fds.closure(sub);
+            prop_assert!(sub_closed.is_subset(&closed));
+        }
+    }
+
+    /// Candidate keys are superkeys, minimal, and mutually incomparable.
+    #[test]
+    fn candidate_keys_are_minimal_superkeys((arity, fds) in fds_strategy()) {
+        let all: Vec<usize> = (0..arity).collect();
+        let keys = fds.candidate_keys(std::slice::from_ref(&all));
+        prop_assert!(!keys.is_empty(), "the full attribute set seeds one key");
+        for k in &keys {
+            prop_assert!(fds.is_superkey(k));
+            for i in 0..k.len() {
+                let mut smaller = k.clone();
+                smaller.remove(i);
+                prop_assert!(!fds.is_superkey(&smaller), "key {k:?} not minimal");
+            }
+        }
+        for a in &keys {
+            for b in &keys {
+                if a != b {
+                    prop_assert!(!a.iter().all(|p| b.contains(p)), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental maintenance & Yannakakis, on random databases.
+// ---------------------------------------------------------------------
+
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let pair = || (0i64..5, 0i64..5);
+    (
+        proptest::collection::btree_set(pair(), 1..10),
+        proptest::collection::btree_set(pair(), 1..10),
+    )
+        .prop_map(|(a, b)| {
+            let schema = Schema::from_relations([
+                RelationSchema::new("A", 2, vec![0, 1]).unwrap(),
+                RelationSchema::new("B", 2, vec![0, 1]).unwrap(),
+            ])
+            .unwrap();
+            let mut db = Database::new(schema);
+            for (x, y) in a {
+                db.insert("A", tup![x, y]).unwrap();
+            }
+            for (x, y) in b {
+                db.insert("B", tup![x, y]).unwrap();
+            }
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental delta equals full re-materialization for any
+    /// deletion batch.
+    #[test]
+    fn maintenance_matches_rematerialization(
+        db in db_strategy(),
+        kill_mask in 0u32..64,
+    ) {
+        let q = parse_query("Q(x, y, z) :- A(x, y), B(y, z)")
+            .unwrap()
+            .bind(db.schema())
+            .unwrap();
+        let vs = ViewSet::materialize(&db, std::slice::from_ref(&q)).unwrap();
+        let victims: Vec<TupleId> = db
+            .live_ids()
+            .enumerate()
+            .filter(|(i, _)| kill_mask & (1 << (i % 6)) != 0 && i % 3 == 0)
+            .map(|(_, t)| t)
+            .collect();
+        let delta = DeletionDelta::compute(&vs, &victims);
+
+        let mut db2 = db.clone();
+        db2.delete_all(&victims);
+        let reeval = ViewSet::materialize(&db2, std::slice::from_ref(&q)).unwrap();
+        let mut expected = Vec::new();
+        for (ti, vt) in vs.views[0].tuples.iter().enumerate() {
+            if reeval.views[0].position_of(&vt.head).is_none() {
+                expected.push(delprop::query::ViewTupleId::new(0, ti));
+            }
+        }
+        prop_assert_eq!(delta.eliminated, expected);
+    }
+
+    /// Incremental batches agree with one-shot deltas.
+    #[test]
+    fn maintained_views_batch_split_agrees(db in db_strategy(), split in 1usize..4) {
+        let q = parse_query("Q(x, y, z) :- A(x, y), B(y, z)")
+            .unwrap()
+            .bind(db.schema())
+            .unwrap();
+        let vs = ViewSet::materialize(&db, std::slice::from_ref(&q)).unwrap();
+        let victims: Vec<TupleId> = db.live_ids().step_by(2).collect();
+        let once = DeletionDelta::compute(&vs, &victims);
+        let mut m = MaintainedViews::new(&vs);
+        let mut dead = Vec::new();
+        for chunk in victims.chunks(split) {
+            dead.extend(m.delete(chunk));
+        }
+        dead.sort_unstable();
+        prop_assert_eq!(dead, once.eliminated);
+    }
+
+    /// All three engines agree on random data, acyclic shapes.
+    #[test]
+    fn three_engines_agree(db in db_strategy(), shape in 0usize..3) {
+        let src = match shape {
+            0 => "Q(x, y, z) :- A(x, y), B(y, z)",
+            1 => "Q(x, y, z) :- A(x, y), B(x, z)",
+            _ => "Q(x, y) :- A(x, y), B(x, 1)",
+        };
+        let q = parse_query(src).unwrap().bind(db.schema()).unwrap();
+        let c = CompiledQuery::compile(&q);
+        let mut a = naive::evaluate(&db, &c);
+        let mut b = hashjoin::evaluate(&db, &c);
+        let mut y = yannakakis::evaluate(&db, &c).expect("acyclic shapes");
+        sort_matches(&mut a);
+        sort_matches(&mut b);
+        sort_matches(&mut y);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &y);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source solver & local search on random chain problems.
+// ---------------------------------------------------------------------
+
+fn chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
+    use delprop::relation::{Tuple, Value};
+    let schema = Schema::from_relations(
+        (1..=atoms).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut db = Database::new(schema);
+    for i in 0..n {
+        for j in 1..=atoms {
+            let a = (i >> (j - 1)) as i64;
+            let b = (i >> j) as i64;
+            let name = format!("R{j}");
+            let rid = db.schema().relation_id(&name).unwrap();
+            if db.find_by_key(rid, &[Value::int(a), Value::int(b)]).is_none() {
+                db.insert(&name, tup![a, b]).unwrap();
+            }
+        }
+    }
+    let head: Vec<String> = (0..=atoms).map(|j| format!("x{j}")).collect();
+    let body: Vec<String> = (1..=atoms)
+        .map(|j| format!("R{j}(x{}, x{j})", j - 1))
+        .collect();
+    let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
+    let q = parse_query(&src).unwrap().bind(db.schema()).unwrap();
+    let mut p = Problem::new(db, vec![q]).unwrap();
+    for &i in blue {
+        let h: Tuple = (0..=atoms).map(|j| (i >> j) as i64).collect();
+        p.mark_deleted(0, &h).unwrap();
+    }
+    p
+}
+
+fn chain_strategy() -> impl Strategy<Value = Problem> {
+    (3usize..9, 2usize..4).prop_flat_map(|(n, atoms)| {
+        proptest::collection::btree_set(0..n, 1..n.min(4))
+            .prop_map(move |blues| chain_problem(n, atoms, &blues.into_iter().collect::<Vec<_>>()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The exact source solver is feasible, minimal in cardinality among
+    /// a brute-force sweep over candidate subsets, and never larger than
+    /// greedy's answer.
+    #[test]
+    fn source_solver_is_exact(p in chain_strategy()) {
+        let s = source::solve(&p);
+        prop_assert!(s.is_feasible(&p));
+        let g = source::solve_greedy(&p);
+        prop_assert!(g.is_feasible(&p));
+        prop_assert!(s.len() <= g.len());
+        // Brute force over candidate subsets (candidates are few here).
+        let candidates = p.candidates();
+        if candidates.len() <= 12 {
+            let mut best = usize::MAX;
+            for mask in 0u32..(1 << candidates.len()) {
+                let sol = Solution::from_tuples(
+                    candidates
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, &t)| t),
+                );
+                if sol.is_feasible(&p) {
+                    best = best.min(sol.len());
+                }
+            }
+            prop_assert_eq!(s.len(), best);
+        }
+    }
+
+    /// Local search never worsens anything and preserves feasibility,
+    /// from both good and terrible starting points.
+    #[test]
+    fn local_search_is_safe(p in chain_strategy()) {
+        let starts = vec![
+            general::solve(&p).unwrap(),
+            Solution::from_tuples(p.candidates()),
+        ];
+        let opt = exact::solve(&p, ExactConfig::default()).cost;
+        for start in starts {
+            let polished = local_search::improve(&p, &start, Default::default());
+            prop_assert!(polished.is_feasible(&p));
+            prop_assert!(polished.side_effect(&p) <= start.side_effect(&p) + 1e-9);
+            prop_assert!(polished.side_effect(&p) >= opt - 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser round-trip.
+// ---------------------------------------------------------------------
+
+fn query_strategy() -> impl Strategy<Value = delprop::query::ConjunctiveQuery> {
+    use delprop::query::{Atom, ConjunctiveQuery, Term};
+    let term = prop_oneof![
+        (0usize..4).prop_map(|i| Term::var(format!("x{i}"))),
+        (-3i64..10).prop_map(Term::constant),
+        "[a-z]{1,6}".prop_map(|s| Term::Const(delprop::relation::Value::str(s))),
+    ];
+    let atom = (0usize..3, proptest::collection::vec(term, 1..4))
+        .prop_map(|(r, terms)| Atom::new(format!("T{r}"), terms));
+    proptest::collection::vec(atom, 1..4).prop_map(|body| {
+        // Head: the body's variables in first-occurrence order (safe by
+        // construction; may be empty, in which case add any body var or a
+        // fresh atom won't help — fall back to the first variable-free
+        // body by reusing term x0 in an extra atom).
+        let mut head: Vec<Term> = Vec::new();
+        for a in &body {
+            for v in a.variables() {
+                if !head.iter().any(|t| t.as_var() == Some(v)) {
+                    head.push(Term::var(v));
+                }
+            }
+        }
+        let mut body = body;
+        if head.is_empty() {
+            head.push(Term::var("x0"));
+            body.push(Atom::new("T0", vec![Term::var("x0")]));
+        }
+        ConjunctiveQuery::new("Q", head, body)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → parse is the identity on well-formed queries.
+    #[test]
+    fn parser_roundtrips_display(q in query_strategy()) {
+        let printed = q.to_string();
+        let reparsed = delprop::query::parse_query(&printed)
+            .unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Containment is reflexive and respects the subset-of-atoms direction
+    /// on randomly generated queries sharing a head.
+    #[test]
+    fn containment_reflexive(q in query_strategy()) {
+        // Bind against a permissive schema covering T0..T2 at the used
+        // arities; skip queries whose atoms use one relation at two
+        // different arities (our Schema fixes one arity per relation).
+        use delprop::relation::{RelationSchema, Schema};
+        use std::collections::HashMap;
+        let mut arities: HashMap<&str, usize> = HashMap::new();
+        let mut consistent = true;
+        for a in &q.body {
+            match arities.entry(a.relation.as_str()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != a.terms.len() {
+                        consistent = false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(a.terms.len());
+                }
+            }
+        }
+        prop_assume!(consistent);
+        let schema = Schema::from_relations(
+            arities
+                .iter()
+                .map(|(name, &ar)| RelationSchema::new(*name, ar, vec![0]).unwrap()),
+        )
+        .unwrap();
+        let bound = q.bind(&schema).unwrap();
+        prop_assert!(delprop::query::containment::equivalent(&bound, &bound));
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use delprop::core::solvers::{exact, general, lp_round, primal_dual};
+use delprop::core::{Problem, Solution};
+use delprop::query::eval::{hashjoin, naive, sort_matches, CompiledQuery};
+use delprop::query::parse_query;
+use delprop::relation::{tup, Database, RelationSchema, Schema};
+use delprop::setcover::exact::ExactConfig;
+use delprop::setcover::{greedy, lowdeg, CoverSet, RedBlueInstance};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Set cover invariants.
+// ---------------------------------------------------------------------
+
+/// Strategy: a small Red-Blue instance where each blue is coverable.
+fn redblue_strategy() -> impl Strategy<Value = RedBlueInstance> {
+    (2usize..6, 2usize..5, 3usize..8).prop_flat_map(|(nr, nb, ns)| {
+        let set = (
+            proptest::collection::vec(0..nr, 0..4),
+            proptest::collection::vec(0..nb, 0..4),
+        );
+        proptest::collection::vec(set, ns).prop_map(move |sets| {
+            let mut sets: Vec<CoverSet> = sets
+                .into_iter()
+                .map(|(r, b)| CoverSet::new(r, b))
+                .collect();
+            // Patch coverability deterministically.
+            for b in 0..nb {
+                if !sets.iter().any(|s| s.blue.contains(&b)) {
+                    let si = b % sets.len();
+                    let mut blue = sets[si].blue.clone();
+                    blue.push(b);
+                    sets[si] = CoverSet::new(sets[si].red.clone(), blue);
+                }
+            }
+            RedBlueInstance::new(nr, nb, sets)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact ≤ lowdeg ≤ its ratio bound; all feasible.
+    #[test]
+    fn setcover_solver_ordering(inst in redblue_strategy()) {
+        let ex = delprop::setcover::exact::solve(&inst, ExactConfig::default());
+        let opt = ex.selection.expect("patched instances are coverable");
+        prop_assert!(inst.is_feasible(&opt));
+        let g = greedy::cover(&inst).expect("coverable");
+        prop_assert!(inst.is_feasible(&g));
+        let ld = lowdeg::solve(&inst).expect("coverable");
+        prop_assert!(inst.is_feasible(&ld));
+        prop_assert!(inst.cost(&g) + 1e-9 >= ex.cost);
+        prop_assert!(inst.cost(&ld) + 1e-9 >= ex.cost);
+        let bound = lowdeg::ratio_bound(inst.sets().len(), inst.num_blue());
+        if ex.cost > 0.0 {
+            prop_assert!(inst.cost(&ld) <= bound * ex.cost + 1e-9);
+        }
+    }
+
+    /// The Theorem 1 gadget transfers feasibility and cost for EVERY
+    /// selection, not just optima.
+    #[test]
+    fn gadget_cost_transfer(inst in redblue_strategy(), mask in 0u32..256) {
+        let g = delprop::workload::gadget::redblue_to_vse(&inst);
+        let n = inst.sets().len();
+        let sel: Vec<usize> = (0..n).filter(|&s| mask & (1 << s) != 0).collect();
+        let sol = g.selection_to_solution(&sel);
+        prop_assert_eq!(inst.is_feasible(&sel), sol.is_feasible(&g.problem));
+        prop_assert!((inst.cost(&sel) - sol.side_effect(&g.problem)).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query engine invariants.
+// ---------------------------------------------------------------------
+
+/// Strategy: a 3-relation database with small random binary relations.
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let pair = || (0i64..5, 0i64..5);
+    (
+        proptest::collection::btree_set(pair(), 0..10),
+        proptest::collection::btree_set(pair(), 0..10),
+        proptest::collection::btree_set(pair(), 0..10),
+    )
+        .prop_map(|(a, b, c)| {
+            let schema = Schema::from_relations([
+                RelationSchema::new("A", 2, vec![0, 1]).unwrap(),
+                RelationSchema::new("B", 2, vec![0, 1]).unwrap(),
+                RelationSchema::new("C", 2, vec![0, 1]).unwrap(),
+            ])
+            .unwrap();
+            let mut db = Database::new(schema);
+            for (x, y) in a {
+                db.insert("A", tup![x, y]).unwrap();
+            }
+            for (x, y) in b {
+                db.insert("B", tup![x, y]).unwrap();
+            }
+            for (x, y) in c {
+                db.insert("C", tup![x, y]).unwrap();
+            }
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The hash-join engine agrees with the naive oracle on several query
+    /// shapes, including self-joins and constants.
+    #[test]
+    fn engines_agree(db in db_strategy(), shape in 0usize..5) {
+        let src = match shape {
+            0 => "Q(x, y, z) :- A(x, y), B(y, z)",
+            1 => "Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)",
+            2 => "Q(x, y, u) :- A(x, y), A(y, u)",
+            3 => "Q(x) :- A(x, 2)",
+            _ => "Q(x, y, u, v) :- A(x, y), C(u, v)",
+        };
+        let q = parse_query(src).unwrap().bind(db.schema()).unwrap();
+        let c = CompiledQuery::compile(&q);
+        let mut a = naive::evaluate(&db, &c);
+        let mut b = hashjoin::evaluate(&db, &c);
+        sort_matches(&mut a);
+        sort_matches(&mut b);
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deletion-propagation invariants on random chain workloads.
+// ---------------------------------------------------------------------
+
+/// Strategy: a chain problem with random size and random blue set.
+fn chain_problem_strategy() -> impl Strategy<Value = Problem> {
+    (2usize..10, 2usize..4).prop_flat_map(|(n, atoms)| {
+        proptest::collection::btree_set(0..n, 1..n.min(4)).prop_map(move |blues| {
+            build_chain_problem(n, atoms, &blues.into_iter().collect::<Vec<_>>())
+        })
+    })
+}
+
+fn build_chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
+    use delprop::relation::{Tuple, Value};
+    let schema = Schema::from_relations(
+        (1..=atoms).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut db = Database::new(schema);
+    for i in 0..n {
+        for j in 1..=atoms {
+            let a = (i >> (j - 1)) as i64;
+            let b = (i >> j) as i64;
+            let name = format!("R{j}");
+            let rid = db.schema().relation_id(&name).unwrap();
+            if db.find_by_key(rid, &[Value::int(a), Value::int(b)]).is_none() {
+                db.insert(&name, tup![a, b]).unwrap();
+            }
+        }
+    }
+    let head: Vec<String> = (0..=atoms).map(|j| format!("x{j}")).collect();
+    let body: Vec<String> = (1..=atoms)
+        .map(|j| format!("R{j}(x{}, x{j})", j - 1))
+        .collect();
+    let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
+    let q = parse_query(&src).unwrap().bind(db.schema()).unwrap();
+    let mut p = Problem::new(db, vec![q]).unwrap();
+    for &i in blue {
+        let h: Tuple = (0..=atoms).map(|j| (i >> j) as i64).collect();
+        p.mark_deleted(0, &h).unwrap();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All solvers feasible; optimum lower-bounds them; LP lower-bounds
+    /// the optimum; the witness shortcut matches re-evaluation; deleting
+    /// everything is feasible.
+    #[test]
+    fn solver_stack_invariants(p in chain_problem_strategy()) {
+        let opt = exact::solve(&p, ExactConfig::default());
+        let opt_cost = opt.cost;
+        prop_assert!(opt.proven_optimal);
+
+        let lb = lp_round::lower_bound(&p);
+        prop_assert!(lb <= opt_cost + 1e-6);
+
+        for sol in [
+            general::solve(&p).unwrap(),
+            primal_dual::solve_default(&p).unwrap(),
+            lp_round::solve(&p).unwrap(),
+        ] {
+            prop_assert!(sol.is_feasible(&p));
+            prop_assert!(sol.side_effect(&p) + 1e-9 >= opt_cost);
+            let re = sol.verify_by_reevaluation(&p);
+            prop_assert!((re - sol.side_effect(&p)).abs() < 1e-9);
+        }
+
+        let everything = Solution::from_tuples(p.db().live_ids());
+        prop_assert!(everything.is_feasible(&p));
+
+        // Balanced never exceeds the standard optimum (the standard
+        // optimum is one feasible balanced solution).
+        let bal = exact::solve_balanced(&p, ExactConfig::default());
+        prop_assert!(bal.cost <= opt_cost + 1e-9);
+    }
+
+    /// Dual objective of the primal-dual run is a valid lower bound and
+    /// its solution contains no redundant deletions.
+    #[test]
+    fn primal_dual_certificates(p in chain_problem_strategy()) {
+        let out = primal_dual::solve(&p, &Default::default()).unwrap();
+        let opt = exact::solve(&p, ExactConfig::default());
+        prop_assert!(out.dual_objective <= opt.cost + 1e-6);
+        for &t in &out.solution.deleted {
+            let mut smaller = out.solution.clone();
+            smaller.deleted.remove(&t);
+            prop_assert!(!smaller.is_feasible(&p));
+        }
+    }
+}
