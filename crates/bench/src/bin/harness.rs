@@ -29,7 +29,10 @@ fn main() {
             eprintln!(
                 "unknown experiment id(s) {:?}; known ids:\n  {}",
                 args,
-                all.iter().map(|(id, _)| *id).collect::<Vec<_>>().join("\n  ")
+                all.iter()
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>()
+                    .join("\n  ")
             );
             std::process::exit(2);
         }

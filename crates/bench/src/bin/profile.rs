@@ -29,7 +29,12 @@ fn main() {
             let lb = lp_round::lower_bound(&p);
             let t_lp = t1.elapsed().as_secs_f64();
             let t2 = Instant::now();
-            let ex = exact::solve(&p, ExactConfig { node_limit: Some(2_000_000) });
+            let ex = exact::solve(
+                &p,
+                ExactConfig {
+                    node_limit: Some(2_000_000),
+                },
+            );
             let t_ex = t2.elapsed().as_secs_f64();
             println!(
                 "{m}x{atoms} seed {seed}: V={} dV={} gen={:.2}s lp={:.2}s (lb={lb:.1}) exact={:.2}s (opt={}, proven={})",

@@ -71,14 +71,8 @@ pub struct StructureReport {
 /// approximation.
 pub fn classify(problem: &Problem) -> StructureReport {
     let schema = problem.db().schema();
-    let all_project_free = problem
-        .queries()
-        .iter()
-        .all(properties::is_project_free);
-    let all_self_join_free = problem
-        .queries()
-        .iter()
-        .all(properties::is_self_join_free);
+    let all_project_free = problem.queries().iter().all(properties::is_project_free);
+    let all_self_join_free = problem.queries().iter().all(properties::is_self_join_free);
     let dual = DualHypergraph::new(
         &problem
             .queries()
@@ -147,16 +141,17 @@ pub fn solve_auto_balanced(
             // whichever is cheaper.
             let cut = single_query::solve_single_deletion(problem)?;
             let leave = Solution::empty();
-            Ok(if cut.balanced_cost(problem) <= leave.balanced_cost(problem) {
-                cut
-            } else {
-                leave
-            })
+            Ok(
+                if cut.balanced_cost(problem) <= leave.balanced_cost(problem) {
+                    cut
+                } else {
+                    leave
+                },
+            )
         }
         SolverKind::PivotForestDp => dp_tree::solve_balanced(problem),
         SolverKind::ForestApproximation => {
-            primal_dual_balanced::solve_balanced(problem, &Default::default())
-                .map(|o| o.solution)
+            primal_dual_balanced::solve_balanced(problem, &Default::default()).map(|o| o.solution)
         }
         SolverKind::GeneralApproximation => Ok(general::solve_balanced(problem)),
     }

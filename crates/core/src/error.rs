@@ -16,7 +16,10 @@ pub enum CoreError {
     UnknownViewTuple { view: usize, description: String },
     /// A solver's structural precondition does not hold (e.g. running the
     /// pivot-forest dynamic program on an input without pivot structure).
-    StructureMismatch { solver: &'static str, reason: String },
+    StructureMismatch {
+        solver: &'static str,
+        reason: String,
+    },
     /// A weight was invalid (negative or non-finite).
     InvalidWeight { value: f64 },
     /// A declared functional dependency does not hold on the instance
@@ -26,6 +29,14 @@ pub enum CoreError {
     /// configuration (e.g. every witness of some deleted view tuple is
     /// forbidden by a degree threshold).
     Infeasible { reason: String },
+    /// A cooperative budget ran out before the solver finished and no
+    /// usable best-so-far solution existed at that point. `ticks` is the
+    /// deterministic work counter at exhaustion (0 when only the
+    /// wall-clock deadline fired).
+    BudgetExhausted { ticks: u64 },
+    /// A portfolio member panicked; the panic was contained by the
+    /// runtime's isolation boundary and converted into this error.
+    SolverPanicked { solver: String, message: String },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +63,12 @@ impl fmt::Display for CoreError {
                  is violated by the instance"
             ),
             CoreError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+            CoreError::BudgetExhausted { ticks } => {
+                write!(f, "budget exhausted after {ticks} work ticks")
+            }
+            CoreError::SolverPanicked { solver, message } => {
+                write!(f, "solver {solver} panicked (contained): {message}")
+            }
         }
     }
 }

@@ -63,7 +63,11 @@ impl fmt::Display for LandscapeEntry {
             self.complexity,
             self.detail,
             self.citation,
-            if self.implemented_here { " [implemented]" } else { "" }
+            if self.implemented_here {
+                " [implemented]"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -73,12 +77,54 @@ pub fn source_side_effect() -> Vec<LandscapeEntry> {
     use Complexity::*;
     use ProblemKind::SourceSideEffect as S;
     vec![
-        LandscapeEntry { problem: S, query_class: "project-free & sj-free CQs", complexity: PTime, detail: "", citation: "Buneman et al. 2002", implemented_here: false },
-        LandscapeEntry { problem: S, query_class: "key-preserving CQs", complexity: PTime, detail: "", citation: "Cong et al. 2012", implemented_here: false },
-        LandscapeEntry { problem: S, query_class: "triad-free & sj-free CQs", complexity: PTime, detail: "(resilience dichotomy)", citation: "Freire et al. 2015", implemented_here: false },
-        LandscapeEntry { problem: S, query_class: "select-free CQs", complexity: NpComplete, detail: "", citation: "Buneman et al. 2002", implemented_here: false },
-        LandscapeEntry { problem: S, query_class: "non-key-preserving CQs", complexity: NpComplete, detail: "", citation: "Cong et al. 2012", implemented_here: false },
-        LandscapeEntry { problem: S, query_class: "CQs with (fd-induced) triad", complexity: NpComplete, detail: "", citation: "Freire et al. 2015", implemented_here: false },
+        LandscapeEntry {
+            problem: S,
+            query_class: "project-free & sj-free CQs",
+            complexity: PTime,
+            detail: "",
+            citation: "Buneman et al. 2002",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: S,
+            query_class: "key-preserving CQs",
+            complexity: PTime,
+            detail: "",
+            citation: "Cong et al. 2012",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: S,
+            query_class: "triad-free & sj-free CQs",
+            complexity: PTime,
+            detail: "(resilience dichotomy)",
+            citation: "Freire et al. 2015",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: S,
+            query_class: "select-free CQs",
+            complexity: NpComplete,
+            detail: "",
+            citation: "Buneman et al. 2002",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: S,
+            query_class: "non-key-preserving CQs",
+            complexity: NpComplete,
+            detail: "",
+            citation: "Cong et al. 2012",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: S,
+            query_class: "CQs with (fd-induced) triad",
+            complexity: NpComplete,
+            detail: "",
+            citation: "Freire et al. 2015",
+            implemented_here: false,
+        },
     ]
 }
 
@@ -88,21 +134,119 @@ pub fn view_side_effect() -> Vec<LandscapeEntry> {
     use ProblemKind::{BalancedViewSideEffect as B, ViewSideEffect as V};
     vec![
         // Prior work (Table IV/V).
-        LandscapeEntry { problem: V, query_class: "project-free & sj-free CQs (single view)", complexity: PTime, detail: "", citation: "Buneman et al. 2002", implemented_here: false },
-        LandscapeEntry { problem: V, query_class: "key-preserving CQs (single view, single deletion)", complexity: PTime, detail: "", citation: "Cong et al. 2012", implemented_here: true },
-        LandscapeEntry { problem: V, query_class: "sj-free CQs with head-domination (single view)", complexity: PTime, detail: "", citation: "Kimelfeld et al. 2012", implemented_here: false },
-        LandscapeEntry { problem: V, query_class: "sj-free CQs with level-k head-domination (multi-tuple)", complexity: Fpt, detail: "", citation: "Kimelfeld et al. 2013", implemented_here: false },
-        LandscapeEntry { problem: V, query_class: "select-free / non-key-preserving / non-head-domination CQs", complexity: NpComplete, detail: "", citation: "Buneman 2002; Cong 2012; Kimelfeld 2012/13", implemented_here: false },
-        LandscapeEntry { problem: V, query_class: "CQs with bounded source deletions", complexity: NpKComplete, detail: "", citation: "Miao et al. 2018", implemented_here: false },
-        LandscapeEntry { problem: V, query_class: "CQs, general settings (combined)", complexity: SigmaP2Complete, detail: "", citation: "Miao et al. 2016", implemented_here: false },
+        LandscapeEntry {
+            problem: V,
+            query_class: "project-free & sj-free CQs (single view)",
+            complexity: PTime,
+            detail: "",
+            citation: "Buneman et al. 2002",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "key-preserving CQs (single view, single deletion)",
+            complexity: PTime,
+            detail: "",
+            citation: "Cong et al. 2012",
+            implemented_here: true,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "sj-free CQs with head-domination (single view)",
+            complexity: PTime,
+            detail: "",
+            citation: "Kimelfeld et al. 2012",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "sj-free CQs with level-k head-domination (multi-tuple)",
+            complexity: Fpt,
+            detail: "",
+            citation: "Kimelfeld et al. 2013",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "select-free / non-key-preserving / non-head-domination CQs",
+            complexity: NpComplete,
+            detail: "",
+            citation: "Buneman 2002; Cong 2012; Kimelfeld 2012/13",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "CQs with bounded source deletions",
+            complexity: NpKComplete,
+            detail: "",
+            citation: "Miao et al. 2018",
+            implemented_here: false,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "CQs, general settings (combined)",
+            complexity: SigmaP2Complete,
+            detail: "",
+            citation: "Miao et al. 2016",
+            implemented_here: false,
+        },
         // This paper (multiple key-preserving views).
-        LandscapeEntry { problem: V, query_class: "≥2 project-free CQ views (multiple queries)", complexity: QuasiPolyInapprox, detail: "within O(2^(log^(1-δ)‖V‖)), δ = 1/log log^c ‖V‖, c < 0.5", citation: "this paper, Thm 1", implemented_here: true },
-        LandscapeEntry { problem: B, query_class: "≥2 project-free CQ views (multiple queries)", complexity: QuasiPolyInapprox, detail: "same bound; also within O(2^(log^(1-δ)‖ΔV‖))", citation: "this paper, Thm 2", implemented_here: true },
-        LandscapeEntry { problem: V, query_class: "key-preserving CQs, general case", complexity: Approximable, detail: "ratio O(2√(l·‖V‖·log‖ΔV‖))", citation: "this paper, Claim 1", implemented_here: true },
-        LandscapeEntry { problem: B, query_class: "key-preserving CQs, general case", complexity: Approximable, detail: "ratio 2√(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)", citation: "this paper, Lemma 1", implemented_here: true },
-        LandscapeEntry { problem: V, query_class: "forest case (hypertree components)", complexity: Approximable, detail: "ratio l (PrimeDualVSE, Thm 3) and 2√‖V‖ (LowDegTreeVSETwo, Thm 4)", citation: "this paper, §IV.C–D", implemented_here: true },
-        LandscapeEntry { problem: V, query_class: "pivot forest case", complexity: PTime, detail: "exact dynamic program (DPTreeVSE)", citation: "this paper, §IV.E", implemented_here: true },
-        LandscapeEntry { problem: B, query_class: "pivot forest case", complexity: PTime, detail: "exact dynamic program", citation: "this paper, §IV.E", implemented_here: true },
+        LandscapeEntry {
+            problem: V,
+            query_class: "≥2 project-free CQ views (multiple queries)",
+            complexity: QuasiPolyInapprox,
+            detail: "within O(2^(log^(1-δ)‖V‖)), δ = 1/log log^c ‖V‖, c < 0.5",
+            citation: "this paper, Thm 1",
+            implemented_here: true,
+        },
+        LandscapeEntry {
+            problem: B,
+            query_class: "≥2 project-free CQ views (multiple queries)",
+            complexity: QuasiPolyInapprox,
+            detail: "same bound; also within O(2^(log^(1-δ)‖ΔV‖))",
+            citation: "this paper, Thm 2",
+            implemented_here: true,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "key-preserving CQs, general case",
+            complexity: Approximable,
+            detail: "ratio O(2√(l·‖V‖·log‖ΔV‖))",
+            citation: "this paper, Claim 1",
+            implemented_here: true,
+        },
+        LandscapeEntry {
+            problem: B,
+            query_class: "key-preserving CQs, general case",
+            complexity: Approximable,
+            detail: "ratio 2√(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)",
+            citation: "this paper, Lemma 1",
+            implemented_here: true,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "forest case (hypertree components)",
+            complexity: Approximable,
+            detail: "ratio l (PrimeDualVSE, Thm 3) and 2√‖V‖ (LowDegTreeVSETwo, Thm 4)",
+            citation: "this paper, §IV.C–D",
+            implemented_here: true,
+        },
+        LandscapeEntry {
+            problem: V,
+            query_class: "pivot forest case",
+            complexity: PTime,
+            detail: "exact dynamic program (DPTreeVSE)",
+            citation: "this paper, §IV.E",
+            implemented_here: true,
+        },
+        LandscapeEntry {
+            problem: B,
+            query_class: "pivot forest case",
+            complexity: PTime,
+            detail: "exact dynamic program",
+            citation: "this paper, §IV.E",
+            implemented_here: true,
+        },
     ]
 }
 
@@ -142,7 +286,13 @@ mod tests {
     #[test]
     fn paper_rows_cover_all_four_contributions() {
         let rows = view_side_effect();
-        let papers: Vec<_> = rows.iter().filter(|e| e.citation.contains("this paper")).collect();
-        assert!(papers.len() >= 6, "Thm 1, Thm 2, Claim 1, Lemma 1, §IV.C–D, §IV.E");
+        let papers: Vec<_> = rows
+            .iter()
+            .filter(|e| e.citation.contains("this paper"))
+            .collect();
+        assert!(
+            papers.len() >= 6,
+            "Thm 1, Thm 2, Claim 1, Lemma 1, §IV.C–D, §IV.E"
+        );
     }
 }

@@ -41,6 +41,7 @@ mod error;
 pub mod landscape;
 mod problem;
 pub mod reduction;
+pub mod runtime;
 mod solution;
 pub mod solvers;
 #[cfg(test)]
@@ -49,4 +50,8 @@ pub(crate) mod test_support;
 pub use classify::{classify, solve_auto, solve_auto_balanced, SolverKind, StructureReport};
 pub use error::CoreError;
 pub use problem::Problem;
+pub use runtime::{
+    solve_portfolio, solve_portfolio_balanced, Budget, Guarantee, Portfolio, PortfolioOutcome,
+    Solver,
+};
 pub use solution::Solution;

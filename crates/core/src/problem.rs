@@ -36,11 +36,7 @@ impl Problem {
             }
         }
         let views = ViewSet::materialize(&db, &queries)?;
-        let weights = views
-            .views
-            .iter()
-            .map(|v| vec![1.0; v.len()])
-            .collect();
+        let weights = views.views.iter().map(|v| vec![1.0; v.len()]).collect();
         Ok(Problem {
             db,
             queries,
@@ -137,9 +133,7 @@ impl Problem {
 
     /// Mark a view tuple (by id) for deletion.
     pub fn mark_deleted_id(&mut self, id: ViewTupleId) -> Result<(), CoreError> {
-        if id.view >= self.views.views.len()
-            || id.index >= self.views.views[id.view].len()
-        {
+        if id.view >= self.views.views.len() || id.index >= self.views.views[id.view].len() {
             return Err(CoreError::UnknownViewTuple {
                 view: id.view,
                 description: format!("index {}", id.index),
@@ -159,10 +153,12 @@ impl Problem {
                 view,
                 description: head.to_string(),
             })?;
-        let index = v.position_of(head).ok_or_else(|| CoreError::UnknownViewTuple {
-            view,
-            description: head.to_string(),
-        })?;
+        let index = v
+            .position_of(head)
+            .ok_or_else(|| CoreError::UnknownViewTuple {
+                view,
+                description: head.to_string(),
+            })?;
         let id = ViewTupleId::new(view, index);
         self.deletions.insert(id);
         Ok(id)
@@ -201,12 +197,16 @@ impl Problem {
 
     /// Iterate the view tuples to be **preserved** (`R = V \ ΔV`).
     pub fn preserved(&self) -> impl Iterator<Item = (ViewTupleId, &ViewTuple)> {
-        self.views.iter().filter(move |(id, _)| !self.is_deleted(*id))
+        self.views
+            .iter()
+            .filter(move |(id, _)| !self.is_deleted(*id))
     }
 
     /// Iterate the view tuples to be **deleted** (`ΔV`).
     pub fn deleted(&self) -> impl Iterator<Item = (ViewTupleId, &ViewTuple)> {
-        self.deletions.iter().map(move |&id| (id, self.views.tuple(id)))
+        self.deletions
+            .iter()
+            .map(move |&id| (id, self.views.tuple(id)))
     }
 
     /// The unique witness set of a view tuple (key-preservation guarantees
@@ -232,11 +232,7 @@ impl Problem {
     pub fn vulnerable_preserved(&self) -> Vec<ViewTupleId> {
         let candidates: HashSet<TupleId> = self.candidates().into_iter().collect();
         self.preserved()
-            .filter(|(_, vt)| {
-                vt.unique_witnesses()
-                    .iter()
-                    .any(|t| candidates.contains(t))
-            })
+            .filter(|(_, vt)| vt.unique_witnesses().iter().any(|t| candidates.contains(t)))
             .map(|(id, _)| id)
             .collect()
     }
@@ -256,10 +252,19 @@ mod tests {
         ])
         .unwrap();
         let mut d = Database::new(schema);
-        for t in [tup!["Joe", "TKDE"], tup!["John", "TKDE"], tup!["Tom", "TKDE"], tup!["John", "TODS"]] {
+        for t in [
+            tup!["Joe", "TKDE"],
+            tup!["John", "TKDE"],
+            tup!["Tom", "TKDE"],
+            tup!["John", "TODS"],
+        ] {
             d.insert("T1", t).unwrap();
         }
-        for t in [tup!["TKDE", "XML", 30], tup!["TKDE", "CUBE", 30], tup!["TODS", "XML", 30]] {
+        for t in [
+            tup!["TKDE", "XML", 30],
+            tup!["TKDE", "CUBE", 30],
+            tup!["TODS", "XML", 30],
+        ] {
             d.insert("T2", t).unwrap();
         }
         d
@@ -310,9 +315,7 @@ mod tests {
         let mut p = fig1_q4_problem();
         assert!(p.mark_deleted(0, &tup!["Nobody", "X", "Y"]).is_err());
         assert!(p.mark_deleted(9, &tup!["x"]).is_err());
-        assert!(p
-            .mark_deleted_id(ViewTupleId::new(0, 999))
-            .is_err());
+        assert!(p.mark_deleted_id(ViewTupleId::new(0, 999)).is_err());
     }
 
     #[test]
@@ -362,7 +365,8 @@ mod tests {
         f1.add(FunctionalDependency::new(vec![0], vec![1])).unwrap();
         fds.insert(t1, f1);
         let mut f2 = RelationFds::new(3);
-        f2.add(FunctionalDependency::new(vec![1], vec![0, 2])).unwrap();
+        f2.add(FunctionalDependency::new(vec![1], vec![0, 2]))
+            .unwrap();
         fds.insert(t2, f2);
 
         let q3 = parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)")

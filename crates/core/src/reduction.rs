@@ -73,12 +73,7 @@ pub fn to_redblue(problem: &Problem) -> VseAsRedBlue {
         .collect();
     let red_weights = red_ids.iter().map(|&id| problem.weight(id)).collect();
     VseAsRedBlue {
-        instance: RedBlueInstance::with_weights(
-            red_ids.len(),
-            blue_ids.len(),
-            red_weights,
-            sets,
-        ),
+        instance: RedBlueInstance::with_weights(red_ids.len(), blue_ids.len(), red_weights, sets),
         tuples,
         blue_ids,
         red_ids,
@@ -137,10 +132,19 @@ mod tests {
         ])
         .unwrap();
         let mut d = Database::new(schema);
-        for t in [tup!["Joe", "TKDE"], tup!["John", "TKDE"], tup!["Tom", "TKDE"], tup!["John", "TODS"]] {
+        for t in [
+            tup!["Joe", "TKDE"],
+            tup!["John", "TKDE"],
+            tup!["Tom", "TKDE"],
+            tup!["John", "TODS"],
+        ] {
             d.insert("T1", t).unwrap();
         }
-        for t in [tup!["TKDE", "XML", 30], tup!["TKDE", "CUBE", 30], tup!["TODS", "XML", 30]] {
+        for t in [
+            tup!["TKDE", "XML", 30],
+            tup!["TKDE", "CUBE", 30],
+            tup!["TODS", "XML", 30],
+        ] {
             d.insert("T2", t).unwrap();
         }
         let q4 = parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
@@ -216,7 +220,10 @@ mod tests {
             Schema::from_relations([RelationSchema::new("T", 1, vec![0]).unwrap()]).unwrap();
         let mut d = Database::new(schema);
         d.insert("T", tup![1]).unwrap();
-        let q = parse_query("Q(x) :- T(x)").unwrap().bind(d.schema()).unwrap();
+        let q = parse_query("Q(x) :- T(x)")
+            .unwrap()
+            .bind(d.schema())
+            .unwrap();
         let p = Problem::new(d, vec![q]).unwrap();
         let rb = to_redblue(&p);
         assert_eq!(rb.instance.num_blue(), 0);

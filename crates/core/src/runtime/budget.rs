@@ -1,0 +1,195 @@
+//! Cooperative solver budgets.
+//!
+//! A [`Budget`] bounds solver work two ways at once:
+//!
+//! - a **deterministic work-tick counter**: solvers charge ticks at
+//!   well-defined checkpoints (branch-and-bound node expansions, simplex
+//!   pivots, local-search move trials), so a tick limit reproduces
+//!   exactly across runs and machines;
+//! - an optional **wall-clock deadline**, checked only at checkpoint
+//!   granularity (cooperatively — nothing is interrupted mid-pivot).
+//!
+//! Budgets are shared by reference down a whole portfolio run: every
+//! member draws from the same pool, so a member that burns the pool
+//! leaves less for the fallbacks — which is exactly the semantics a
+//! latency-bound caller wants.
+
+use crate::error::CoreError;
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// How many ticks may elapse between wall-clock checks. Checking
+/// `Instant::now()` at every tick would dominate tight checkpoint loops.
+const DEADLINE_CHECK_EVERY: u64 = 1024;
+
+/// A cooperative work budget (tick counter + optional deadline).
+#[derive(Debug, Clone)]
+pub struct Budget {
+    used: Cell<u64>,
+    limit: Option<u64>,
+    deadline: Option<Instant>,
+    next_deadline_check: Cell<u64>,
+    exhausted: Cell<bool>,
+}
+
+impl Budget {
+    /// No limits: checkpoints never fail.
+    pub fn unlimited() -> Self {
+        Budget {
+            used: Cell::new(0),
+            limit: None,
+            deadline: None,
+            next_deadline_check: Cell::new(0),
+            exhausted: Cell::new(false),
+        }
+    }
+
+    /// A deterministic tick limit and no deadline.
+    pub fn with_ticks(limit: u64) -> Self {
+        Budget {
+            limit: Some(limit),
+            ..Budget::unlimited()
+        }
+    }
+
+    /// Add a wall-clock deadline `timeout` from now. Combines with any
+    /// tick limit: whichever fires first exhausts the budget.
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Ticks charged so far.
+    pub fn used(&self) -> u64 {
+        self.used.get()
+    }
+
+    /// Remaining ticks under the tick limit (`u64::MAX` when unlimited).
+    pub fn remaining(&self) -> u64 {
+        match self.limit {
+            Some(l) => l.saturating_sub(self.used.get()),
+            None => u64::MAX,
+        }
+    }
+
+    /// Whether a checkpoint has already failed on this budget.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.get()
+    }
+
+    /// Charge `n` work ticks. Fails with [`CoreError::BudgetExhausted`]
+    /// once the tick limit is crossed or the deadline has passed; once
+    /// failed, every later call fails too.
+    pub fn charge(&self, n: u64) -> Result<(), CoreError> {
+        let used = self.used.get().saturating_add(n);
+        self.used.set(used);
+        if self.exhausted.get() {
+            return Err(self.error());
+        }
+        if let Some(limit) = self.limit {
+            if used > limit {
+                self.exhausted.set(true);
+                return Err(self.error());
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if used >= self.next_deadline_check.get() {
+                self.next_deadline_check.set(used + DEADLINE_CHECK_EVERY);
+                if Instant::now() >= deadline {
+                    self.exhausted.set(true);
+                    return Err(self.error());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge a single tick — the common checkpoint call.
+    pub fn checkpoint(&self) -> Result<(), CoreError> {
+        self.charge(1)
+    }
+
+    /// The error a failing checkpoint returns.
+    pub fn error(&self) -> CoreError {
+        CoreError::BudgetExhausted {
+            ticks: self.used.get(),
+        }
+    }
+
+    /// A `FnMut(u64) -> bool` view of this budget for the lower-layer
+    /// solvers (`delprop_setcover::exact::solve_with_ticker`,
+    /// `delprop_lp::solve_with_ticker`) that take a plain callback:
+    /// returns `false` once the budget is exhausted.
+    pub fn ticker(&self) -> impl FnMut(u64) -> bool + '_ {
+        move |n| self.charge(n).is_ok()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.checkpoint().unwrap();
+        }
+        assert_eq!(b.used(), 10_000);
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn tick_limit_fires_deterministically() {
+        let b = Budget::with_ticks(5);
+        for _ in 0..5 {
+            b.checkpoint().unwrap();
+        }
+        let err = b.checkpoint().unwrap_err();
+        assert_eq!(err, CoreError::BudgetExhausted { ticks: 6 });
+        assert!(b.is_exhausted());
+        // Sticky: later calls keep failing.
+        assert!(b.charge(0).is_err());
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let b = Budget::with_ticks(10);
+        assert_eq!(b.remaining(), 10);
+        b.charge(4).unwrap();
+        assert_eq!(b.remaining(), 6);
+        assert_eq!(Budget::unlimited().remaining(), u64::MAX);
+    }
+
+    #[test]
+    fn expired_deadline_fails_at_first_check() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(0));
+        assert!(b.checkpoint().is_err());
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let b = Budget::with_ticks(1_000_000).with_deadline(Duration::from_secs(3600));
+        for _ in 0..5_000 {
+            b.checkpoint().unwrap();
+        }
+    }
+
+    #[test]
+    fn ticker_reports_exhaustion_as_false() {
+        let b = Budget::with_ticks(100);
+        {
+            let mut tick = b.ticker();
+            assert!(tick(64));
+            assert!(!tick(64)); // 128 > 100
+        }
+        assert!(b.is_exhausted());
+    }
+}

@@ -1,0 +1,152 @@
+//! Fault injection for the portfolio runtime.
+//!
+//! [`FaultySolver`] wraps any [`Solver`] and misbehaves on command:
+//! panicking, stalling against the budget, draining the budget, or
+//! returning infeasible / corrupt solutions. The fault-injection test
+//! suite drives the portfolio with these to prove the two runtime
+//! invariants — a panic never escapes, and an unverified solution is
+//! never reported — hold under every failure mode, not just the happy
+//! path.
+
+use crate::error::CoreError;
+use crate::problem::Problem;
+use crate::solution::Solution;
+use crate::solvers::local_search::Objective;
+use delprop_relation::{RelationId, TupleId};
+
+use super::budget::Budget;
+use super::solver::{Guarantee, Solver};
+
+/// The failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Behave normally (delegate to the inner solver).
+    None,
+    /// Panic mid-solve.
+    Panic,
+    /// Spin on budget checkpoints until the budget drains, then return
+    /// its error — models a solver stuck in a loop that at least
+    /// cooperates with the budget. Requires a finite budget (under an
+    /// unlimited one this would genuinely hang, which is the point).
+    Stall,
+    /// Drain the entire remaining tick budget in one charge, then fail.
+    ExhaustBudget,
+    /// Return the empty solution (infeasible whenever `ΔV` is nonempty).
+    Infeasible,
+    /// Return a solution of fabricated [`TupleId`]s that exist in no
+    /// relation — verification must reject it (and contain any panic the
+    /// bogus ids cause).
+    Corrupt,
+    /// Return a typed error without doing any work.
+    TypedError,
+}
+
+/// A [`Solver`] wrapper that injects one [`FaultMode`].
+pub struct FaultySolver<S> {
+    inner: S,
+    mode: FaultMode,
+}
+
+impl<S: Solver> FaultySolver<S> {
+    /// Wrap `inner`, injecting `mode` on every solve.
+    pub fn new(inner: S, mode: FaultMode) -> Self {
+        FaultySolver { inner, mode }
+    }
+}
+
+impl<S: Solver> Solver for FaultySolver<S> {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            FaultMode::None => self.inner.name(),
+            FaultMode::Panic => "faulty_panic",
+            FaultMode::Stall => "faulty_stall",
+            FaultMode::ExhaustBudget => "faulty_exhaust",
+            FaultMode::Infeasible => "faulty_infeasible",
+            FaultMode::Corrupt => "faulty_corrupt",
+            FaultMode::TypedError => "faulty_typed_error",
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn applies(&self, problem: &Problem) -> bool {
+        self.inner.applies(problem)
+    }
+
+    fn guarantee(&self, problem: &Problem) -> Guarantee {
+        self.inner.guarantee(problem)
+    }
+
+    fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
+        match self.mode {
+            FaultMode::None => self.inner.solve(problem, budget),
+            FaultMode::Panic => panic!("injected panic from {}", self.name()),
+            FaultMode::Stall => loop {
+                budget.checkpoint()?;
+            },
+            FaultMode::ExhaustBudget => {
+                let remaining = budget.remaining();
+                budget.charge(remaining.saturating_add(1))?;
+                // Only reachable under an unlimited budget (which cannot
+                // drain); still report exhaustion rather than pretending
+                // to have solved anything.
+                Err(budget.error())
+            }
+            FaultMode::Infeasible => Ok(Solution::empty()),
+            FaultMode::Corrupt => Ok(Solution::from_tuples([
+                TupleId::new(RelationId(usize::MAX), usize::MAX),
+                TupleId::new(RelationId(0), usize::MAX),
+            ])),
+            FaultMode::TypedError => Err(CoreError::StructureMismatch {
+                solver: "faulty_typed_error",
+                reason: "injected typed error".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::solver::GreedySolver;
+    use crate::test_support::chain_problem;
+
+    #[test]
+    fn none_mode_is_transparent() {
+        let p = chain_problem(6, 3, &[1, 3]);
+        let f = FaultySolver::new(GreedySolver, FaultMode::None);
+        assert_eq!(f.name(), "greedy");
+        let sol = f.solve(&p, &Budget::unlimited()).unwrap();
+        assert!(sol.is_feasible(&p));
+    }
+
+    #[test]
+    fn stall_terminates_under_a_finite_budget() {
+        let p = chain_problem(6, 3, &[1, 3]);
+        let f = FaultySolver::new(GreedySolver, FaultMode::Stall);
+        let budget = Budget::with_ticks(500);
+        let err = f.solve(&p, &budget).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+        assert!(budget.is_exhausted());
+    }
+
+    #[test]
+    fn exhaust_budget_drains_everything() {
+        let p = chain_problem(6, 3, &[1, 3]);
+        let f = FaultySolver::new(GreedySolver, FaultMode::ExhaustBudget);
+        let budget = Budget::with_ticks(10_000);
+        let err = f.solve(&p, &budget).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+        assert_eq!(budget.remaining(), 0);
+    }
+
+    #[test]
+    fn corrupt_solution_is_not_feasible_noise() {
+        let p = chain_problem(6, 3, &[1, 3]);
+        let f = FaultySolver::new(GreedySolver, FaultMode::Corrupt);
+        let sol = f.solve(&p, &Budget::unlimited()).unwrap();
+        assert!(!sol.is_feasible(&p), "fabricated ids cut nothing");
+    }
+}

@@ -1,0 +1,61 @@
+//! The solver portfolio runtime: budgets, panic isolation, and verified
+//! fallback chains over the paper's algorithm suite.
+//!
+//! The paper contributes a *portfolio* of algorithms with different
+//! preconditions and guarantees (Algorithms 1–4, Claim 1/Lemma 1, exact
+//! branch and bound); this module is the robust single entry point over
+//! all of them:
+//!
+//! - [`Budget`] — deterministic work-tick counter plus optional
+//!   wall-clock deadline, threaded cooperatively into every hot loop
+//!   (branch-and-bound nodes, simplex pivots, local-search moves);
+//! - [`Solver`] — one trait over the ten entry points in
+//!   [`crate::solvers`], with [`Guarantee`] metadata;
+//! - [`Portfolio`] — guarantee-ordered fallback chains with
+//!   `catch_unwind` isolation around each member and mandatory
+//!   verification (`is_feasible` + `verify_by_reevaluation`) before any
+//!   solution is reported;
+//! - [`FaultySolver`] — fault injection used by the test suite to prove
+//!   panics are contained and unverified answers never escape.
+//!
+//! ```
+//! use delprop_core::runtime::{solve_portfolio, Budget, Portfolio};
+//! use delprop_core::Problem;
+//! use delprop_query::parse_query;
+//! use delprop_relation::{tup, Database, RelationSchema, Schema};
+//!
+//! let schema = Schema::from_relations([
+//!     RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+//!     RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+//! ]).unwrap();
+//! let mut db = Database::new(schema);
+//! db.insert("T1", tup!["John", "TKDE"]).unwrap();
+//! db.insert("T2", tup!["TKDE", "XML", 30]).unwrap();
+//! let q = parse_query("Q(x, y, z) :- T1(x, y), T2(y, z, w)")
+//!     .unwrap().bind(db.schema()).unwrap();
+//! let mut problem = Problem::new(db, vec![q]).unwrap();
+//! problem.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+//!
+//! // Unbudgeted convenience entry point:
+//! let outcome = solve_portfolio(&problem)?;
+//! assert!(outcome.solution.is_feasible(&problem));
+//!
+//! // Or bounded, degrading gracefully to the best verified fallback:
+//! let budget = Budget::with_ticks(100_000);
+//! let outcome = Portfolio::standard().solve(&problem, &budget)?;
+//! println!("{}", outcome); // winner + per-member report
+//! # Ok::<(), delprop_core::CoreError>(())
+//! ```
+
+mod budget;
+mod fault;
+mod portfolio;
+pub mod solver;
+
+pub use budget::Budget;
+pub use fault::{FaultMode, FaultySolver};
+pub use portfolio::{
+    solve_portfolio, solve_portfolio_balanced, MemberReport, MemberStatus, Portfolio,
+    PortfolioOutcome,
+};
+pub use solver::{Guarantee, Solver};

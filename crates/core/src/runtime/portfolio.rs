@@ -1,0 +1,454 @@
+//! Verified fallback chains over [`Solver`] members.
+//!
+//! A [`Portfolio`] runs its members in guarantee order, isolates each one
+//! behind `catch_unwind`, and **never** reports a solution it has not
+//! verified: candidates must pass `Solution::is_feasible` (standard
+//! objective) and `Solution::verify_by_reevaluation` (both objectives)
+//! inside their own panic boundary. A member that panics, errors, times
+//! out, or returns garbage is recorded in the report and the chain moves
+//! on; the caller always gets either a verified [`Solution`] or a typed
+//! [`CoreError`].
+
+use crate::error::CoreError;
+use crate::problem::Problem;
+use crate::solution::Solution;
+use crate::solvers::local_search::Objective;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
+use super::budget::Budget;
+use super::solver::{
+    DpTreeSolver, GeneralBalancedSolver, GeneralSolver, GreedySolver, Guarantee, LowDegTreeSolver,
+    LpRoundSolver, PrimalDualBalancedSolver, PrimalDualSolver, SingleQuerySolver, Solver,
+};
+
+/// What happened to one member during a portfolio run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberStatus {
+    /// `applies()` was false on this instance.
+    Skipped,
+    /// An earlier member already produced a verified solution.
+    NotReached,
+    /// Produced a solution that passed verification.
+    Verified { cost: f64 },
+    /// Returned a solution that does not eliminate every `ΔV` tuple.
+    RejectedInfeasible,
+    /// Verification itself panicked on the returned solution (corrupt
+    /// tuple ids, provenance disagreement, …); the panic was contained.
+    RejectedVerification { message: String },
+    /// The member panicked; the panic was contained.
+    Panicked { message: String },
+    /// The member returned a typed error (budget exhaustion included).
+    Failed { error: CoreError },
+}
+
+impl MemberStatus {
+    /// Whether this member produced an accepted (verified) solution.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, MemberStatus::Verified { .. })
+    }
+}
+
+/// Per-member record of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct MemberReport {
+    /// The member's [`Solver::name`].
+    pub name: &'static str,
+    /// Its guarantee on this instance (where it applies).
+    pub guarantee: Guarantee,
+    /// What happened.
+    pub status: MemberStatus,
+}
+
+impl fmt::Display for MemberReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): ", self.name, self.guarantee)?;
+        match &self.status {
+            MemberStatus::Skipped => f.write_str("skipped (does not apply)"),
+            MemberStatus::NotReached => f.write_str("not reached"),
+            MemberStatus::Verified { cost } => write!(f, "verified, cost {cost}"),
+            MemberStatus::RejectedInfeasible => f.write_str("rejected: infeasible output"),
+            MemberStatus::RejectedVerification { message } => {
+                write!(f, "rejected: verification failed ({message})")
+            }
+            MemberStatus::Panicked { message } => write!(f, "panicked (contained): {message}"),
+            MemberStatus::Failed { error } => write!(f, "failed: {error}"),
+        }
+    }
+}
+
+/// A successful portfolio run: the winning verified solution plus the
+/// full member-by-member report.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The verified solution.
+    pub solution: Solution,
+    /// Its cost under the portfolio's objective (side-effect for
+    /// standard, balanced cost for balanced).
+    pub cost: f64,
+    /// Name of the member that produced it.
+    pub winner: &'static str,
+    /// One entry per member, in chain order.
+    pub report: Vec<MemberReport>,
+}
+
+impl fmt::Display for PortfolioOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "winner {} (cost {}, |ΔD| = {})",
+            self.winner,
+            self.cost,
+            self.solution.len()
+        )?;
+        for r in &self.report {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered chain of [`Solver`] members sharing one objective.
+pub struct Portfolio {
+    members: Vec<Box<dyn Solver>>,
+    objective: Objective,
+}
+
+impl Portfolio {
+    /// An empty chain for the given objective.
+    pub fn new(objective: Objective) -> Self {
+        Portfolio {
+            members: Vec::new(),
+            objective,
+        }
+    }
+
+    /// The paper's standard-objective chain in guarantee order: exact
+    /// polynomial cases first (single_query, dp_tree), then the forest
+    /// approximations (lowdeg_tree, primal_dual), then the general-case
+    /// certified rounding (lp_round), the Claim 1 reduction (general),
+    /// and the greedy last resort.
+    pub fn standard() -> Self {
+        Portfolio::new(Objective::Standard)
+            .with(SingleQuerySolver)
+            .with(DpTreeSolver)
+            .with(LowDegTreeSolver)
+            .with(PrimalDualSolver)
+            .with(LpRoundSolver)
+            .with(GeneralSolver)
+            .with(GreedySolver)
+    }
+
+    /// The balanced-objective chain: prize-collecting primal-dual on
+    /// forest cases, then the Lemma 1 reduction (always applicable —
+    /// every `ΔD` is balanced-feasible, so no further tail is needed).
+    pub fn balanced() -> Self {
+        Portfolio::new(Objective::Balanced)
+            .with(PrimalDualBalancedSolver)
+            .with(GeneralBalancedSolver)
+    }
+
+    /// Append a member. Panics if its objective differs from the
+    /// chain's (a programming error, not an input error).
+    pub fn with(mut self, member: impl Solver + 'static) -> Self {
+        assert_eq!(
+            member.objective(),
+            self.objective,
+            "portfolio member {} minimizes a different objective",
+            member.name()
+        );
+        self.members.push(Box::new(member));
+        self
+    }
+
+    /// The chain's objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Member names in chain order.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Run the chain with first-verified-wins semantics: members run in
+    /// order until one produces a solution that passes verification;
+    /// later members are reported as [`MemberStatus::NotReached`].
+    pub fn solve(&self, problem: &Problem, budget: &Budget) -> Result<PortfolioOutcome, CoreError> {
+        self.run(problem, budget, true)
+    }
+
+    /// Run **every** applicable member and return the cheapest verified
+    /// solution (for callers who prefer quality over latency).
+    pub fn solve_best(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> Result<PortfolioOutcome, CoreError> {
+        self.run(problem, budget, false)
+    }
+
+    fn run(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+        stop_at_first: bool,
+    ) -> Result<PortfolioOutcome, CoreError> {
+        let mut report: Vec<MemberReport> = Vec::with_capacity(self.members.len());
+        let mut best: Option<(Solution, f64, &'static str)> = None;
+
+        for member in &self.members {
+            let guarantee = member.guarantee(problem);
+            let status = if stop_at_first && best.is_some() {
+                MemberStatus::NotReached
+            } else if !member.applies(problem) {
+                MemberStatus::Skipped
+            } else {
+                let (status, candidate) = self.run_member(member.as_ref(), problem, budget);
+                if let Some((solution, cost)) = candidate {
+                    if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
+                        best = Some((solution, cost, member.name()));
+                    }
+                }
+                status
+            };
+            report.push(MemberReport {
+                name: member.name(),
+                guarantee,
+                status,
+            });
+        }
+
+        match best {
+            Some((solution, cost, winner)) => Ok(PortfolioOutcome {
+                solution,
+                cost,
+                winner,
+                report,
+            }),
+            None => Err(self.failure_error(budget, &report)),
+        }
+    }
+
+    /// Run one member inside its own panic boundary, then verify its
+    /// output inside another. Returns the status plus the verified
+    /// candidate (solution, cost) when there is one.
+    fn run_member(
+        &self,
+        member: &dyn Solver,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> (MemberStatus, Option<(Solution, f64)>) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| member.solve(problem, budget)));
+        let solution = match outcome {
+            Err(payload) => {
+                return (
+                    MemberStatus::Panicked {
+                        message: panic_message(payload),
+                    },
+                    None,
+                )
+            }
+            Ok(Err(error)) => return (MemberStatus::Failed { error }, None),
+            Ok(Ok(solution)) => solution,
+        };
+        self.verify(problem, solution)
+    }
+
+    /// The verification contract: nothing is accepted on a member's word.
+    ///
+    /// - standard objective: the solution must eliminate every `ΔV` tuple
+    ///   (`is_feasible`) **and** survive ground-truth re-materialization
+    ///   (`verify_by_reevaluation`);
+    /// - balanced objective: every `ΔD` is feasible by definition, so
+    ///   only the re-materialization cross-check applies.
+    ///
+    /// Both checks run inside `catch_unwind`: corrupt tuple ids or a
+    /// provenance disagreement panic in verification, and that panic must
+    /// be contained exactly like a member's own.
+    fn verify(
+        &self,
+        problem: &Problem,
+        solution: Solution,
+    ) -> (MemberStatus, Option<(Solution, f64)>) {
+        let objective = self.objective;
+        let verified = panic::catch_unwind(AssertUnwindSafe(|| {
+            let feasible = match objective {
+                Objective::Standard => solution.is_feasible(problem),
+                Objective::Balanced => true,
+            };
+            if !feasible {
+                return None;
+            }
+            solution.verify_by_reevaluation(problem);
+            Some(match objective {
+                Objective::Standard => solution.side_effect(problem),
+                Objective::Balanced => solution.balanced_cost(problem),
+            })
+        }));
+        match verified {
+            Err(payload) => (
+                MemberStatus::RejectedVerification {
+                    message: panic_message(payload),
+                },
+                None,
+            ),
+            Ok(None) => (MemberStatus::RejectedInfeasible, None),
+            Ok(Some(cost)) if !cost.is_finite() => (
+                MemberStatus::RejectedVerification {
+                    message: format!("non-finite cost {cost}"),
+                },
+                None,
+            ),
+            Ok(Some(cost)) => (MemberStatus::Verified { cost }, Some((solution, cost))),
+        }
+    }
+
+    /// No member produced a verified solution: prefer the budget error
+    /// when the budget drained (the caller can retry with more), then the
+    /// first member's typed error, then a generic infeasibility.
+    fn failure_error(&self, budget: &Budget, report: &[MemberReport]) -> CoreError {
+        if budget.is_exhausted() {
+            return budget.error();
+        }
+        for r in report {
+            if let MemberStatus::Failed { error } = &r.status {
+                return error.clone();
+            }
+        }
+        CoreError::Infeasible {
+            reason: format!(
+                "no portfolio member produced a verifiable solution ({} members tried)",
+                report
+                    .iter()
+                    .filter(|r| !matches!(r.status, MemberStatus::Skipped))
+                    .count()
+            ),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Solve with the standard-objective portfolio under no budget: the
+/// recommended "just give me an answer" entry point.
+pub fn solve_portfolio(problem: &Problem) -> Result<PortfolioOutcome, CoreError> {
+    Portfolio::standard().solve(problem, &Budget::unlimited())
+}
+
+/// Solve with the balanced-objective portfolio under no budget.
+pub fn solve_portfolio_balanced(problem: &Problem) -> Result<PortfolioOutcome, CoreError> {
+    Portfolio::balanced().solve(problem, &Budget::unlimited())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::exact;
+    use crate::test_support::{chain_problem, fig1_problem, star_problem};
+    use delprop_relation::tup;
+    use delprop_setcover::exact::ExactConfig;
+
+    fn fig1() -> Problem {
+        fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        })
+    }
+
+    #[test]
+    fn standard_portfolio_matches_optimum_on_easy_cases() {
+        for p in [
+            fig1(),
+            chain_problem(8, 3, &[1, 4]),
+            star_problem(4, &[0, 2]),
+        ] {
+            let out = solve_portfolio(&p).unwrap();
+            assert!(out.solution.is_feasible(&p));
+            let opt = exact::solve(&p, ExactConfig::default()).cost;
+            // The winner on these families is exact (single_query/dp_tree).
+            assert!(
+                (out.cost - opt).abs() < 1e-9,
+                "portfolio {} vs opt {opt} (winner {})",
+                out.cost,
+                out.winner
+            );
+        }
+    }
+
+    #[test]
+    fn report_covers_every_member_in_order() {
+        let p = fig1();
+        let out = solve_portfolio(&p).unwrap();
+        let chain = Portfolio::standard();
+        assert_eq!(
+            out.report.iter().map(|r| r.name).collect::<Vec<_>>(),
+            chain.member_names()
+        );
+        // fig1 is single-query single-deletion: first member wins, rest
+        // not reached.
+        assert_eq!(out.winner, "single_query");
+        assert!(out.report[0].status.is_verified());
+        assert!(out
+            .report
+            .iter()
+            .skip(1)
+            .all(|r| r.status == MemberStatus::NotReached));
+    }
+
+    #[test]
+    fn solve_best_runs_everything_and_never_loses_to_solve() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let budget = Budget::unlimited();
+        let chain = Portfolio::standard();
+        let first = chain.solve(&p, &budget).unwrap();
+        let best = chain.solve_best(&p, &Budget::unlimited()).unwrap();
+        assert!(best.cost <= first.cost + 1e-9);
+        assert!(!best
+            .report
+            .iter()
+            .any(|r| r.status == MemberStatus::NotReached));
+    }
+
+    #[test]
+    fn balanced_portfolio_is_verified_and_bounded_below_by_opt() {
+        for p in [fig1(), star_problem(4, &[0, 2])] {
+            let out = solve_portfolio_balanced(&p).unwrap();
+            let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+            assert!(out.cost >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_deletions_solved_by_first_applicable_member_at_cost_zero() {
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
+        let out = solve_portfolio(&p).unwrap();
+        assert_eq!(out.cost, 0.0);
+        assert!(out.solution.is_empty());
+    }
+
+    #[test]
+    fn drained_budget_yields_budget_exhausted() {
+        let p = chain_problem(6, 3, &[1, 3]);
+        let budget = Budget::with_ticks(0);
+        let err = Portfolio::standard().solve(&p, &budget).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn member_display_strings_are_informative() {
+        let p = fig1();
+        let out = solve_portfolio(&p).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("winner single_query"));
+        assert!(text.contains("not reached"));
+    }
+}

@@ -4,6 +4,7 @@
 
 use crate::problem::Problem;
 use crate::reduction;
+use crate::runtime::Budget;
 use crate::solution::Solution;
 use delprop_setcover::exact::{self, ExactConfig};
 use delprop_setcover::reduce;
@@ -23,8 +24,16 @@ pub struct ExactOutcome {
 
 /// Minimize the view side-effect exactly.
 pub fn solve(problem: &Problem, config: ExactConfig) -> ExactOutcome {
+    solve_budgeted(problem, config, &Budget::unlimited())
+}
+
+/// [`solve`] under a cooperative [`Budget`]: every branch-and-bound node
+/// expansion charges the budget (batched), and exhaustion truncates the
+/// search exactly like the node limit — the best incumbent so far comes
+/// back with `proven_optimal == false`.
+pub fn solve_budgeted(problem: &Problem, config: ExactConfig, budget: &Budget) -> ExactOutcome {
     let rb = reduction::to_redblue(problem);
-    let res = exact::solve(&rb.instance, config);
+    let res = exact::solve_with_ticker(&rb.instance, config, &mut budget.ticker());
     match res.selection {
         Some(sel) => {
             let solution = rb.map_back(&sel);
@@ -45,8 +54,20 @@ pub fn solve(problem: &Problem, config: ExactConfig) -> ExactOutcome {
 
 /// Minimize the balanced objective exactly.
 pub fn solve_balanced(problem: &Problem, config: ExactConfig) -> ExactOutcome {
+    solve_balanced_budgeted(problem, config, &Budget::unlimited())
+}
+
+/// [`solve_balanced`] under a cooperative [`Budget`] (see
+/// [`solve_budgeted`]). Truncation before any incumbent degrades to the
+/// empty selection, which is always feasible for the balanced objective.
+pub fn solve_balanced_budgeted(
+    problem: &Problem,
+    config: ExactConfig,
+    budget: &Budget,
+) -> ExactOutcome {
     let pn = reduction::to_posneg(problem);
-    let (sel, _, proven) = reduce::solve_posneg_exact(&pn.instance, config);
+    let (sel, _, proven) =
+        reduce::solve_posneg_exact_with_ticker(&pn.instance, config, &mut budget.ticker());
     let solution = pn.map_back(&sel);
     let cost = solution.balanced_cost(problem);
     ExactOutcome {

@@ -57,11 +57,10 @@ pub fn balanced_ratio_bound(problem: &Problem) -> f64 {
 /// strawman Claim 1's algorithm is compared against.
 pub fn solve_greedy(problem: &Problem) -> Result<Solution, CoreError> {
     let rb = reduction::to_redblue(problem);
-    let sel = delprop_setcover::greedy::cover(&rb.instance).ok_or_else(|| {
-        CoreError::Infeasible {
+    let sel =
+        delprop_setcover::greedy::cover(&rb.instance).ok_or_else(|| CoreError::Infeasible {
             reason: "a deleted view tuple has no candidate witness".into(),
-        }
-    })?;
+        })?;
     Ok(rb.map_back(&sel))
 }
 

@@ -9,6 +9,7 @@
 //! workload family.
 
 use crate::problem::Problem;
+use crate::runtime::Budget;
 use crate::solution::Solution;
 use delprop_relation::TupleId;
 
@@ -56,10 +57,19 @@ fn acceptable(problem: &Problem, s: &Solution, objective: Objective) -> bool {
 /// Descend from `start` until no single remove / swap / add improves the
 /// objective (or `max_rounds` is exhausted). The result is never worse
 /// than `start` and, for [`Objective::Standard`], stays feasible.
-pub fn improve(
+pub fn improve(problem: &Problem, start: &Solution, config: LocalSearchConfig) -> Solution {
+    improve_budgeted(problem, start, config, &Budget::unlimited())
+}
+
+/// [`improve`] under a cooperative [`Budget`]: every trial move charges
+/// one tick. Exhaustion stops the descent and returns the best solution
+/// reached so far — local search degrades gracefully by construction
+/// (the current solution is never worse than `start`).
+pub fn improve_budgeted(
     problem: &Problem,
     start: &Solution,
     config: LocalSearchConfig,
+    budget: &Budget,
 ) -> Solution {
     let candidates: Vec<TupleId> = problem.candidates();
     let mut current = start.restricted_to_candidates(problem);
@@ -78,6 +88,9 @@ pub fn improve(
 
         // Move 1: remove a deletion.
         for &t in current.deleted.clone().iter() {
+            if budget.checkpoint().is_err() {
+                return current;
+            }
             let mut trial = current.clone();
             trial.deleted.remove(&t);
             if acceptable(problem, &trial, config.objective) {
@@ -95,6 +108,9 @@ pub fn improve(
             for &u in &candidates {
                 if current.deleted.contains(&u) {
                     continue;
+                }
+                if budget.checkpoint().is_err() {
+                    return current;
                 }
                 let mut trial = current.clone();
                 trial.deleted.remove(&t);
@@ -116,6 +132,9 @@ pub fn improve(
             for &u in &candidates {
                 if current.deleted.contains(&u) {
                     continue;
+                }
+                if budget.checkpoint().is_err() {
+                    return current;
                 }
                 let mut trial = current.clone();
                 trial.deleted.insert(u);

@@ -27,6 +27,7 @@
 
 use crate::error::CoreError;
 use crate::problem::Problem;
+use crate::runtime::Budget;
 use crate::solution::Solution;
 use delprop_lp::{Cmp, LpOutcome, LpProblem, Sense};
 use delprop_relation::TupleId;
@@ -40,8 +41,7 @@ struct Relaxation {
 
 fn build(problem: &Problem) -> Relaxation {
     let tuples = problem.candidates();
-    let index: HashMap<TupleId, usize> =
-        tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let index: HashMap<TupleId, usize> = tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let vulnerable = problem.vulnerable_preserved();
     let ny = tuples.len();
     let nx = vulnerable.len();
@@ -92,11 +92,24 @@ pub fn lower_bound(problem: &Problem) -> f64 {
 /// Deterministic LP rounding at threshold `1/l`: a certified
 /// `l`-approximation.
 pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
+    solve_budgeted(problem, &Budget::unlimited())
+}
+
+/// [`solve`] under a cooperative [`Budget`]: every simplex pivot charges
+/// one tick. Exhaustion mid-solve returns
+/// [`CoreError::BudgetExhausted`] (the portfolio's cheaper fallbacks take
+/// over); the simplex's own iteration cap still degrades to the greedy
+/// cover as before.
+pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
     if problem.deletions().is_empty() {
         return Ok(Solution::empty());
     }
     let relax = build(problem);
-    let LpOutcome::Optimal { x, .. } = delprop_lp::solve(&relax.lp) else {
+    let outcome = delprop_lp::solve_with_ticker(&relax.lp, &mut budget.ticker());
+    let LpOutcome::Optimal { x, .. } = outcome else {
+        if budget.is_exhausted() {
+            return Err(budget.error());
+        }
         // The simplex iteration cap fired (degenerate relaxation): fall
         // back to the greedy cover. Feasibility is preserved; only the
         // l-certificate is lost for this instance.
@@ -128,8 +141,7 @@ pub fn balanced_lower_bound(problem: &Problem) -> f64 {
         return 0.0;
     }
     let tuples = problem.candidates();
-    let index: HashMap<TupleId, usize> =
-        tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let index: HashMap<TupleId, usize> = tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let vulnerable = problem.vulnerable_preserved();
     let demands: Vec<_> = problem.deletions().iter().copied().collect();
     let (ny, nx, nz) = (tuples.len(), vulnerable.len(), demands.len());

@@ -13,6 +13,20 @@
 //! | [`source`] | source side-effect sibling objective (Tables II–III) | exact + greedy H(‖ΔV‖) |
 //! | [`primal_dual_balanced`] | §IV.C balanced version (prize-collecting) | dual lower bound |
 //! | [`local_search`] | post-optimization descent | never worse |
+//!
+//! # Panic policy
+//!
+//! Conditions reachable from user input — wrong query count, empty or
+//! witness-less deletion sets, forbidden-tuple conflicts, malformed
+//! weights — surface as [`crate::CoreError`] variants, never panics.
+//! The `expect`/`unwrap` calls that remain in production paths encode
+//! internal invariants (maps seeded a few lines earlier, ids enumerated
+//! from the structure they index) and each carries a message or comment
+//! saying which invariant. As defense in depth, the portfolio runtime
+//! ([`crate::runtime`]) additionally wraps every member in
+//! `catch_unwind`, so even a broken invariant degrades into a typed
+//! [`crate::CoreError::SolverPanicked`] instead of tearing down the
+//! caller.
 
 pub mod dp_tree;
 pub mod exact;

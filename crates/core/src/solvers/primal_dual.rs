@@ -77,13 +77,9 @@ pub struct PrimalDualOutcome {
 ///
 /// Errors with [`CoreError::Infeasible`] iff some demand's witnesses are
 /// all forbidden (possible only with a non-empty `forbidden` set).
-pub fn solve(
-    problem: &Problem,
-    config: &PrimalDualConfig,
-) -> Result<PrimalDualOutcome, CoreError> {
-    let counted = |id: ViewTupleId| -> bool {
-        config.counted.as_ref().is_none_or(|c| c.contains(&id))
-    };
+pub fn solve(problem: &Problem, config: &PrimalDualConfig) -> Result<PrimalDualOutcome, CoreError> {
+    let counted =
+        |id: ViewTupleId| -> bool { config.counted.as_ref().is_none_or(|c| c.contains(&id)) };
 
     // Per-tuple capacity cap(t) = Σ_{counted preserved s ∋ t} w_s / k_s.
     let mut cap: HashMap<TupleId, f64> = HashMap::new();
@@ -131,6 +127,10 @@ pub fn solve(
     }
 
     // Dual-raising phase.
+    // `load` is seeded with every capacitated tuple; each demand's
+    // witnesses are a subset of `cap`'s keys, so the `expect`s on
+    // `load.get_mut` below encode that seeding invariant, not an
+    // input-dependent condition.
     let mut load: HashMap<TupleId, f64> = cap.keys().map(|&t| (t, 0.0)).collect();
     let mut deleted: Vec<TupleId> = Vec::new(); // in saturation order
     let mut deleted_set: HashSet<TupleId> = HashSet::new();
@@ -273,7 +273,10 @@ mod tests {
         };
         let out = solve(&p, &cfg).unwrap();
         assert!(out.solution.is_feasible(&p));
-        assert!(out.solution.deleted.is_disjoint(&forbidden.into_iter().collect()));
+        assert!(out
+            .solution
+            .deleted
+            .is_disjoint(&forbidden.into_iter().collect()));
         assert_eq!(out.solution.side_effect(&p), 2.0);
     }
 
@@ -286,10 +289,7 @@ mod tests {
             forbidden: p.candidates().into_iter().collect(),
             ..Default::default()
         };
-        assert!(matches!(
-            solve(&p, &cfg),
-            Err(CoreError::Infeasible { .. })
-        ));
+        assert!(matches!(solve(&p, &cfg), Err(CoreError::Infeasible { .. })));
     }
 
     #[test]

@@ -39,9 +39,8 @@ pub fn solve_balanced(
     problem: &Problem,
     config: &PrimalDualConfig,
 ) -> Result<BalancedOutcome, CoreError> {
-    let counted = |id: ViewTupleId| -> bool {
-        config.counted.as_ref().map_or(true, |c| c.contains(&id))
-    };
+    let counted =
+        |id: ViewTupleId| -> bool { config.counted.as_ref().is_none_or(|c| c.contains(&id)) };
 
     // Capacities as in the standard algorithm.
     let mut cap: HashMap<TupleId, f64> = HashMap::new();
@@ -63,6 +62,10 @@ pub fn solve_balanced(
     }
 
     let demands: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
+    // `load` is seeded with every capacitated tuple; each demand's
+    // witnesses are a subset of `cap`'s keys, so the `expect`s on
+    // `load.get_mut` below encode that seeding invariant, not an
+    // input-dependent condition.
     let mut load: HashMap<TupleId, f64> = cap.keys().map(|&t| (t, 0.0)).collect();
     let mut deleted: Vec<TupleId> = Vec::new();
     let mut deleted_set: HashSet<TupleId> = HashSet::new();
@@ -84,7 +87,7 @@ pub fn solve_balanced(
             .iter()
             .map(|t| (cap[t] - load[t]).max(0.0))
             .fold(f64::INFINITY, f64::min); // ∞ iff `allowed` is empty
-        // The dual rises until the cheaper of the two events.
+                                            // The dual rises until the cheaper of the two events.
         let raise = slack.min(prize);
         dual_objective += raise;
         if slack <= prize {

@@ -39,7 +39,14 @@ pub fn solve_single_deletion(problem: &Problem) -> Result<Solution, CoreError> {
             ),
         });
     }
-    let rid = *problem.deletions().iter().next().expect("one deletion");
+    // `norm_delta() == 1` was checked above, but stay panic-free on the
+    // off chance a future refactor reorders the guards.
+    let Some(&rid) = problem.deletions().iter().next() else {
+        return Err(CoreError::StructureMismatch {
+            solver: "single_query",
+            reason: "deletion set is empty".into(),
+        });
+    };
     let mut best: Option<(f64, TupleId)> = None;
     for &t in problem.witnesses(rid) {
         let damage: f64 = problem
@@ -53,7 +60,12 @@ pub fn solve_single_deletion(problem: &Problem) -> Result<Solution, CoreError> {
             best = Some((damage, t));
         }
     }
-    let (_, t) = best.expect("key-preserving view tuples have non-empty witness sets");
+    // Key-preserving views (enforced by `Problem::new`) give every view
+    // tuple a non-empty witness set; an empty one means the instance was
+    // built by other means and the demand can never be eliminated.
+    let (_, t) = best.ok_or_else(|| CoreError::Infeasible {
+        reason: format!("deleted view tuple {rid:?} has no witnesses"),
+    })?;
     Ok(Solution::from_tuples([t]))
 }
 

@@ -98,10 +98,17 @@ pub fn solve_greedy(problem: &Problem) -> Solution {
                 *gain.entry(t).or_insert(0) += 1;
             }
         }
-        let (&t, _) = gain
+        // Key-preserving views (enforced by `Problem::new`) guarantee
+        // every demand a witness, so `gain` is non-empty here. If an
+        // instance built by other means smuggles in a witness-less
+        // demand, it is unhittable: stop with the partial cover instead
+        // of panicking — downstream verification rejects it.
+        let Some((&t, _)) = gain
             .iter()
             .max_by_key(|&(t, &g)| (g, std::cmp::Reverse(*t)))
-            .expect("unhit demand has witnesses");
+        else {
+            break;
+        };
         deleted.push(t);
         for (id, ws) in &demands {
             if ws.contains(&t) {
@@ -199,12 +206,10 @@ mod tests {
         // solution deletes several private tuples.
         let p = chain_problem(8, 3, &[0, 1]);
         let src = solve(&p);
-        let view = crate::solvers::exact::solve(
-            &p,
-            delprop_setcover::exact::ExactConfig::default(),
-        )
-        .solution
-        .unwrap();
+        let view =
+            crate::solvers::exact::solve(&p, delprop_setcover::exact::ExactConfig::default())
+                .solution
+                .unwrap();
         assert!(source_cost(&src) <= source_cost(&view));
         assert!(view.side_effect(&p) <= src.side_effect(&p));
     }
@@ -224,7 +229,11 @@ mod tests {
         db.delete_all(&ids);
         let view = delprop_query::View::materialize(&db, &p.queries()[0]).unwrap();
         assert!(view.is_empty(), "resilience deletion must empty the view");
-        assert_eq!(r.len(), 3, "three journal-topic rows suffice and are needed");
+        assert_eq!(
+            r.len(),
+            3,
+            "three journal-topic rows suffice and are needed"
+        );
     }
 
     #[test]

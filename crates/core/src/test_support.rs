@@ -6,10 +6,7 @@ use delprop_relation::{tup, Database, RelationSchema, Schema, Tuple, Value};
 
 /// The paper's Fig. 1 database with the given queries bound and a setup
 /// hook to mark deletions / set weights.
-pub(crate) fn fig1_problem(
-    queries: &[(&str, &str)],
-    setup: impl FnOnce(&mut Problem),
-) -> Problem {
+pub(crate) fn fig1_problem(queries: &[(&str, &str)], setup: impl FnOnce(&mut Problem)) -> Problem {
     let schema = Schema::from_relations([
         RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
         RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
@@ -58,7 +55,9 @@ pub(crate) fn chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
             let b = (i >> j) as i64;
             let rel = format!("R{j}");
             let rid = d.schema().relation_id(&rel).unwrap();
-            if d.find_by_key(rid, &[Value::int(a), Value::int(b)]).is_none() {
+            if d.find_by_key(rid, &[Value::int(a), Value::int(b)])
+                .is_none()
+            {
                 d.insert(&rel, tup![a, b]).unwrap();
             }
         }
@@ -131,7 +130,8 @@ pub(crate) fn staggered_problem(levels: usize, n: usize, blue: &[(usize, usize)]
     let mut d = Database::new(schema);
     for j in 1..=levels {
         for i in 0..n {
-            d.insert(&format!("R{j}"), tup![i as i64, i as i64]).unwrap();
+            d.insert(&format!("R{j}"), tup![i as i64, i as i64])
+                .unwrap();
         }
     }
     let bound = (1..levels)

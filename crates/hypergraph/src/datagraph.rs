@@ -133,7 +133,10 @@ impl DataDualGraph {
             Some(r) => {
                 assert_eq!(r.len(), comps.len(), "one root per component");
                 for (root, comp) in r.iter().zip(&comps) {
-                    assert!(comp.binary_search(root).is_ok(), "root not in its component");
+                    assert!(
+                        comp.binary_search(root).is_ok(),
+                        "root not in its component"
+                    );
                 }
                 r.to_vec()
             }
@@ -244,10 +247,7 @@ mod tests {
     #[test]
     fn chain_paths_form_tree() {
         // Two view tuples sharing a middle tuple: a path a-b-c plus b-d.
-        let g = DataDualGraph::new(&[
-            vec![t(0, 0), t(1, 0), t(2, 0)],
-            vec![t(0, 1), t(1, 0)],
-        ]);
+        let g = DataDualGraph::new(&[vec![t(0, 0), t(1, 0), t(2, 0)], vec![t(0, 1), t(1, 0)]]);
         assert_eq!(g.num_vertices(), 4);
         assert!(g.is_forest());
         assert_eq!(g.components().len(), 1);
@@ -268,11 +268,7 @@ mod tests {
     fn rooted_depth_and_lca() {
         // Star: center c with leaves x, y, z (three 2-tuple witness sets).
         let c = t(0, 0);
-        let g = DataDualGraph::new(&[
-            vec![c, t(1, 0)],
-            vec![c, t(1, 1)],
-            vec![c, t(1, 2)],
-        ]);
+        let g = DataDualGraph::new(&[vec![c, t(1, 0)], vec![c, t(1, 1)], vec![c, t(1, 2)]]);
         let f = g.rooted(Some(&[g.vertex(c).unwrap()])).unwrap();
         assert_eq!(f.depth[g.vertex(c).unwrap()], 0);
         let x = g.vertex(t(1, 0)).unwrap();

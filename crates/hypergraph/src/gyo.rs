@@ -27,9 +27,10 @@ pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
         // duplicates, keeping one representative).
         let mut kept: Vec<BTreeSet<usize>> = Vec::with_capacity(edges.len());
         for (i, e) in edges.iter().enumerate() {
-            let dominated = edges.iter().enumerate().any(|(j, f)| {
-                j != i && e.is_subset(f) && (e != f || j < i)
-            });
+            let dominated = edges
+                .iter()
+                .enumerate()
+                .any(|(j, f)| j != i && e.is_subset(f) && (e != f || j < i));
             if dominated {
                 changed = true;
             } else {
@@ -89,7 +90,10 @@ mod tests {
 
     #[test]
     fn triangle_is_not_alpha_acyclic() {
-        assert!(!is_alpha_acyclic(&h(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]])));
+        assert!(!is_alpha_acyclic(&h(
+            3,
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]]
+        )));
     }
 
     #[test]
@@ -104,7 +108,10 @@ mod tests {
 
     #[test]
     fn path_is_alpha_acyclic() {
-        assert!(is_alpha_acyclic(&h(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]])));
+        assert!(is_alpha_acyclic(&h(
+            4,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3]]
+        )));
     }
 
     #[test]
@@ -126,7 +133,15 @@ mod tests {
         let q4_edge = vec![0, 2]; // Q4 :- T1,T3
         let q5_edge = vec![1, 2]; // Q5 :- T2,T3
 
-        let set1 = h(3, vec![q1_edge.clone(), q3_edge.clone(), q4_edge.clone(), q5_edge.clone()]);
+        let set1 = h(
+            3,
+            vec![
+                q1_edge.clone(),
+                q3_edge.clone(),
+                q4_edge.clone(),
+                q5_edge.clone(),
+            ],
+        );
         assert!(!is_hypertree(&set1), "Fig. 3(a) is not a hypertree");
 
         let set2 = h(3, vec![q1_edge.clone(), q3_edge.clone(), q5_edge.clone()]);

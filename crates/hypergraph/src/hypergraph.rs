@@ -16,10 +16,8 @@ impl Hypergraph {
     /// # Panics
     /// Panics if an edge references a vertex `>= num_vertices`.
     pub fn new(num_vertices: usize, edges: Vec<Vec<usize>>) -> Self {
-        let edges: Vec<BTreeSet<usize>> = edges
-            .into_iter()
-            .map(|e| e.into_iter().collect())
-            .collect();
+        let edges: Vec<BTreeSet<usize>> =
+            edges.into_iter().map(|e| e.into_iter().collect()).collect();
         for (i, e) in edges.iter().enumerate() {
             assert!(
                 e.iter().all(|&v| v < num_vertices),

@@ -60,8 +60,7 @@ pub fn find_pivot_structure(graph: &DataDualGraph) -> Option<PivotStructure> {
             roots.push(members[0]);
             continue;
         }
-        let mut candidates: BTreeSet<usize> =
-            graph.paths()[pis[0]].iter().copied().collect();
+        let mut candidates: BTreeSet<usize> = graph.paths()[pis[0]].iter().copied().collect();
         for &pi in &pis[1..] {
             let members: BTreeSet<usize> = graph.paths()[pi].iter().copied().collect();
             candidates = candidates.intersection(&members).copied().collect();
@@ -112,10 +111,7 @@ fn single_root_vector(
 fn prefix_endpoint(forest: &RootedForest, path: &[usize]) -> Option<usize> {
     let members: BTreeSet<usize> = path.iter().copied().collect();
     let &endpoint = path.iter().max_by_key(|&&v| forest.depth[v])?;
-    let chain: BTreeSet<usize> = forest
-        .ancestors_inclusive(endpoint)
-        .into_iter()
-        .collect();
+    let chain: BTreeSet<usize> = forest.ancestors_inclusive(endpoint).into_iter().collect();
     (chain == members).then_some(endpoint)
 }
 
@@ -131,11 +127,7 @@ mod tests {
     #[test]
     fn star_with_pivot_center() {
         let c = t(0, 0);
-        let g = DataDualGraph::new(&[
-            vec![c, t(1, 0)],
-            vec![c, t(1, 1)],
-            vec![c],
-        ]);
+        let g = DataDualGraph::new(&[vec![c, t(1, 0)], vec![c, t(1, 1)], vec![c]]);
         let p = find_pivot_structure(&g).expect("star has a pivot");
         let cv = g.vertex(c).unwrap();
         assert_eq!(p.forest.roots, vec![cv]);
@@ -182,10 +174,7 @@ mod tests {
 
     #[test]
     fn multiple_components_each_need_a_pivot() {
-        let g = DataDualGraph::new(&[
-            vec![t(0, 0), t(1, 0)],
-            vec![t(0, 1), t(1, 1)],
-        ]);
+        let g = DataDualGraph::new(&[vec![t(0, 0), t(1, 0)], vec![t(0, 1), t(1, 1)]]);
         let p = find_pivot_structure(&g).unwrap();
         assert_eq!(p.forest.roots.len(), 2);
     }

@@ -17,4 +17,4 @@ mod model;
 mod simplex;
 
 pub use model::{Cmp, Constraint, LpOutcome, LpProblem, Sense};
-pub use simplex::solve;
+pub use simplex::{solve, solve_with_ticker};

@@ -13,6 +13,14 @@ const EPS: f64 = 1e-9;
 
 /// Solve `problem` to optimality (or detect infeasibility/unboundedness).
 pub fn solve(problem: &LpProblem) -> LpOutcome {
+    solve_with_ticker(problem, &mut |_| true)
+}
+
+/// Like [`solve`], but calls `tick(1)` once per simplex pivot iteration
+/// (a cooperative work-budget checkpoint). When `tick` returns `false`
+/// the solve stops and reports [`LpOutcome::IterationLimit`], exactly as
+/// if the internal anti-cycling cap had fired.
+pub fn solve_with_ticker(problem: &LpProblem, tick: &mut dyn FnMut(u64) -> bool) -> LpOutcome {
     let n = problem.num_vars();
     let m = problem.constraints().len();
 
@@ -89,7 +97,7 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
         for p in phase1.iter_mut().skip(n + num_slack) {
             *p = 1.0;
         }
-        match run_simplex(&mut a, &mut b, &mut basis, &phase1, num_cols) {
+        match run_simplex(&mut a, &mut b, &mut basis, &phase1, num_cols, tick) {
             SimplexEnd::Optimal(obj) => {
                 if obj > 1e-7 {
                     return LpOutcome::Infeasible;
@@ -118,7 +126,7 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     }
 
     // --- Phase 2: the real objective. ---
-    match run_simplex(&mut a, &mut b, &mut basis, &cost, n + num_slack) {
+    match run_simplex(&mut a, &mut b, &mut basis, &cost, n + num_slack, tick) {
         SimplexEnd::Unbounded => LpOutcome::Unbounded,
         SimplexEnd::IterationLimit => LpOutcome::IterationLimit,
         SimplexEnd::Optimal(obj) => {
@@ -155,6 +163,7 @@ fn run_simplex(
     basis: &mut [usize],
     cost: &[f64],
     enter_limit: usize,
+    tick: &mut dyn FnMut(u64) -> bool,
 ) -> SimplexEnd {
     let m = a.len();
     // Three pricing phases: Dantzig (fast), then randomized (breaks the
@@ -165,7 +174,8 @@ fn run_simplex(
     let max_iterations = random_until + 50 * (m + enter_limit) as u64 + 10_000;
     let mut rng_state: u64 = 0x9e3779b97f4a7c15;
     let mut iterations: u64 = 0;
-    let mut in_basis = vec![false; enter_limit.max(basis.iter().copied().max().map_or(0, |x| x + 1))];
+    let mut in_basis =
+        vec![false; enter_limit.max(basis.iter().copied().max().map_or(0, |x| x + 1))];
     for &bv in basis.iter() {
         if bv < in_basis.len() {
             in_basis[bv] = true;
@@ -173,7 +183,7 @@ fn run_simplex(
     }
     loop {
         iterations += 1;
-        if iterations > max_iterations {
+        if iterations > max_iterations || !tick(1) {
             return SimplexEnd::IterationLimit;
         }
         let bland = iterations > random_until;
@@ -183,6 +193,7 @@ fn run_simplex(
         // cost vector once per iteration.
         let basic_costs: Vec<f64> = basis.iter().map(|&bv| cost[bv]).collect();
         let mut entering: Option<(usize, f64)> = None;
+        let mut improving_seen: u64 = 0;
         for j in 0..enter_limit {
             if j < in_basis.len() && in_basis[j] {
                 continue;
@@ -199,7 +210,17 @@ fn run_simplex(
                     entering = Some((j, reduced)); // first index
                     break;
                 }
-                if entering.is_none_or(|(_, r)| reduced < r) {
+                if randomized {
+                    // Reservoir-sample uniformly among improving columns
+                    // (breaks the degenerate treadmills Dantzig enters).
+                    improving_seen += 1;
+                    rng_state ^= rng_state << 13;
+                    rng_state ^= rng_state >> 7;
+                    rng_state ^= rng_state << 17;
+                    if rng_state.is_multiple_of(improving_seen) {
+                        entering = Some((j, reduced));
+                    }
+                } else if entering.is_none_or(|(_, r)| reduced < r) {
                     entering = Some((j, reduced)); // most negative
                 }
             }
@@ -348,8 +369,16 @@ mod tests {
         for (i, c) in [-0.75, 150.0, -0.02, 6.0].iter().enumerate() {
             p.set_objective(i, *c);
         }
-        p.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Cmp::Le, 0.0);
-        p.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Cmp::Le, 0.0);
+        p.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
         p.add_constraint(vec![(2, 1.0)], Cmp::Le, 1.0);
         let o = solve(&p);
         assert_close(o.objective().unwrap(), -0.05);

@@ -138,9 +138,7 @@ impl ConjunctiveQuery {
         for t in &self.head {
             match t {
                 Term::Var(v) => head_vars.push(v.clone()),
-                Term::Const(_) => {
-                    return Err(QueryError::ConstantInHead(self.name.clone()))
-                }
+                Term::Const(_) => return Err(QueryError::ConstantInHead(self.name.clone())),
             }
         }
         let mut atoms = Vec::with_capacity(self.body.len());
@@ -300,10 +298,7 @@ mod tests {
             vec![Term::var("x")],
             vec![Atom::new("Nope", vec![Term::var("x")])],
         );
-        assert!(matches!(
-            q.bind(&schema()),
-            Err(QueryError::Relation(_))
-        ));
+        assert!(matches!(q.bind(&schema()), Err(QueryError::Relation(_))));
     }
 
     #[test]
@@ -345,7 +340,10 @@ mod tests {
                 vec![Term::var("x"), Term::var("y"), Term::var("z")],
             )],
         );
-        assert!(matches!(q.bind(&schema()), Err(QueryError::ConstantInHead(_))));
+        assert!(matches!(
+            q.bind(&schema()),
+            Err(QueryError::ConstantInHead(_))
+        ));
         let q = ConjunctiveQuery::new("Q", vec![], vec![]);
         assert!(matches!(q.bind(&schema()), Err(QueryError::EmptyHead(_))));
     }

@@ -141,8 +141,7 @@ fn atom_order(db: &Database, query: &CompiledQuery) -> Vec<usize> {
                 Some((_, bs, bsz)) => {
                     // After the first atom prefer connectivity; always break
                     // ties toward the smaller relation.
-                    (step > 0 && shared > bs)
-                        || ((step == 0 || shared == bs) && sz < bsz)
+                    (step > 0 && shared > bs) || ((step == 0 || shared == bs) && sz < bsz)
                 }
             };
             if better {

@@ -61,9 +61,7 @@ pub fn build(query: &CompiledQuery) -> Option<JoinTree> {
             let boundary: BTreeSet<usize> = vars[a]
                 .iter()
                 .copied()
-                .filter(|v| {
-                    (0..n).any(|b| b != a && alive[b] && vars[b].contains(v))
-                })
+                .filter(|v| (0..n).any(|b| b != a && alive[b] && vars[b].contains(v)))
                 .collect();
             for b in 0..n {
                 if b != a && alive[b] && boundary.is_subset(&vars[b]) {

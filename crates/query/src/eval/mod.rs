@@ -64,10 +64,19 @@ mod tests {
         ])
         .unwrap();
         let mut d = Database::new(schema);
-        for t in [tup!["Joe", "TKDE"], tup!["John", "TKDE"], tup!["Tom", "TKDE"], tup!["John", "TODS"]] {
+        for t in [
+            tup!["Joe", "TKDE"],
+            tup!["John", "TKDE"],
+            tup!["Tom", "TKDE"],
+            tup!["John", "TODS"],
+        ] {
             d.insert("T1", t).unwrap();
         }
-        for t in [tup!["TKDE", "XML", 30], tup!["TKDE", "CUBE", 30], tup!["TODS", "XML", 30]] {
+        for t in [
+            tup!["TKDE", "XML", 30],
+            tup!["TKDE", "CUBE", 30],
+            tup!["TODS", "XML", 30],
+        ] {
             d.insert("T2", t).unwrap();
         }
         d

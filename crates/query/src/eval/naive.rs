@@ -139,7 +139,9 @@ mod tests {
     fn deleted_tuples_are_invisible() {
         let mut d = small_db();
         let rid = d.schema().relation_id("R").unwrap();
-        let victim = d.find_by_key(rid, &[delprop_relation::Value::int(1)]).unwrap();
+        let victim = d
+            .find_by_key(rid, &[delprop_relation::Value::int(1)])
+            .unwrap();
         d.delete(victim);
         let ms = eval(&d, "Q(x, z) :- R(x, y), S(y, z)");
         assert_eq!(ms.len(), 1);

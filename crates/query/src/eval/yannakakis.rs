@@ -103,7 +103,10 @@ fn run(db: &Database, query: &CompiledQuery, tree: &JoinTree) -> Vec<QueryMatch>
         shared
             .iter()
             .map(|v| {
-                let bi = slots_of_atom.iter().position(|s| s == v).expect("shared slot");
+                let bi = slots_of_atom
+                    .iter()
+                    .position(|s| s == v)
+                    .expect("shared slot");
                 row.bindings[bi].clone()
             })
             .collect()
@@ -177,7 +180,9 @@ fn run(db: &Database, query: &CompiledQuery, tree: &JoinTree) -> Vec<QueryMatch>
                 .iter()
                 .map(|&v| pp.0[v].clone().expect("edge slots are bound in parent"))
                 .collect();
-            let Some(matches) = index.get(&key) else { continue };
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
             'cands: for cp in matches {
                 let mut assignment = pp.0.clone();
                 for (av, cv) in assignment.iter_mut().zip(cp.0.iter()) {

@@ -127,10 +127,19 @@ mod tests {
         ])
         .unwrap();
         let mut d = Database::new(schema);
-        for t in [tup!["Joe", "TKDE"], tup!["John", "TKDE"], tup!["Tom", "TKDE"], tup!["John", "TODS"]] {
+        for t in [
+            tup!["Joe", "TKDE"],
+            tup!["John", "TKDE"],
+            tup!["Tom", "TKDE"],
+            tup!["John", "TODS"],
+        ] {
             d.insert("T1", t).unwrap();
         }
-        for t in [tup!["TKDE", "XML", 30], tup!["TKDE", "CUBE", 30], tup!["TODS", "XML", 30]] {
+        for t in [
+            tup!["TKDE", "XML", 30],
+            tup!["TKDE", "CUBE", 30],
+            tup!["TODS", "XML", 30],
+        ] {
             d.insert("T2", t).unwrap();
         }
         let q4 = parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
@@ -157,7 +166,9 @@ mod tests {
         let delta = DeletionDelta::compute(&vs, &[victim]);
 
         db.delete(victim);
-        let reeval = ViewSet::materialize(&db, &[vs.views[0].query.clone(), vs.views[1].query.clone()]).unwrap();
+        let reeval =
+            ViewSet::materialize(&db, &[vs.views[0].query.clone(), vs.views[1].query.clone()])
+                .unwrap();
         // Predicted dead = tuples present before, absent after.
         let mut expected = Vec::new();
         for (vi, view) in vs.views.iter().enumerate() {

@@ -106,7 +106,11 @@ impl<'a> Parser<'a> {
 
     fn term(&mut self) -> Result<Term, QueryError> {
         self.skip_ws();
-        let first = self.rest.chars().next().ok_or_else(|| self.err("expected term"))?;
+        let first = self
+            .rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.err("expected term"))?;
         match first {
             '\'' | '"' => {
                 let quote = first;
@@ -215,10 +219,7 @@ mod tests {
 
     #[test]
     fn program_skips_comments_and_blanks() {
-        let qs = parse_program(
-            "% two queries\nQ1(x) :- T(x, y)\n\nQ2(y) :- T(x, y)\n",
-        )
-        .unwrap();
+        let qs = parse_program("% two queries\nQ1(x) :- T(x, y)\n\nQ2(y) :- T(x, y)\n").unwrap();
         assert_eq!(qs.len(), 2);
         assert_eq!(qs[1].name, "Q2");
     }

@@ -88,7 +88,11 @@ pub fn profile(query: &BoundQuery, schema: &Schema) -> QueryProfile {
 /// The paper's `l`: the maximum `arity(Q)` over a set of queries.
 /// Returns 0 for an empty set.
 pub fn max_arity<'a>(queries: impl IntoIterator<Item = &'a BoundQuery>) -> usize {
-    queries.into_iter().map(BoundQuery::arity).max().unwrap_or(0)
+    queries
+        .into_iter()
+        .map(BoundQuery::arity)
+        .max()
+        .unwrap_or(0)
 }
 
 /// FD-aware key preservation: an atom passes if **some candidate key** of
@@ -222,7 +226,8 @@ mod tests {
         f1.add(FunctionalDependency::new(vec![0], vec![1])).unwrap();
         fds.insert(t1, f1);
         let mut f2 = RelationFds::new(3);
-        f2.add(FunctionalDependency::new(vec![1], vec![0, 2])).unwrap();
+        f2.add(FunctionalDependency::new(vec![1], vec![0, 2]))
+            .unwrap();
         fds.insert(t2, f2);
         assert!(is_key_preserving_with_fds(&q3, &s, &fds));
     }

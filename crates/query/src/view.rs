@@ -126,9 +126,7 @@ impl View {
 
     /// Index of the view tuple with the given head, if present.
     pub fn position_of(&self, head: &Tuple) -> Option<usize> {
-        self.tuples
-            .binary_search_by(|vt| vt.head.cmp(head))
-            .ok()
+        self.tuples.binary_search_by(|vt| vt.head.cmp(head)).ok()
     }
 
     /// The view tuples surviving the deletion of `deleted`.
@@ -246,10 +244,19 @@ mod tests {
         ])
         .unwrap();
         let mut d = Database::new(schema);
-        for t in [tup!["Joe", "TKDE"], tup!["John", "TKDE"], tup!["Tom", "TKDE"], tup!["John", "TODS"]] {
+        for t in [
+            tup!["Joe", "TKDE"],
+            tup!["John", "TKDE"],
+            tup!["Tom", "TKDE"],
+            tup!["John", "TODS"],
+        ] {
             d.insert("T1", t).unwrap();
         }
-        for t in [tup!["TKDE", "XML", 30], tup!["TKDE", "CUBE", 30], tup!["TODS", "XML", 30]] {
+        for t in [
+            tup!["TKDE", "XML", 30],
+            tup!["TKDE", "CUBE", 30],
+            tup!["TODS", "XML", 30],
+        ] {
             d.insert("T2", t).unwrap();
         }
         d

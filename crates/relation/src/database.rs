@@ -53,28 +53,24 @@ impl Database {
     }
 
     /// Insert a tuple into the named relation.
-    pub fn insert(
-        &mut self,
-        relation: &str,
-        tuple: Tuple,
-    ) -> Result<TupleId, RelationError> {
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<TupleId, RelationError> {
         let id = self.schema.relation_id(relation)?;
         self.insert_by_id(id, tuple)
     }
 
     /// Insert a tuple into relation `id`.
-    pub fn insert_by_id(
-        &mut self,
-        id: RelationId,
-        tuple: Tuple,
-    ) -> Result<TupleId, RelationError> {
+    pub fn insert_by_id(&mut self, id: RelationId, tuple: Tuple) -> Result<TupleId, RelationError> {
         let decl = self.schema.relation(id).clone();
         let slot = self.relations[id.0].insert(&decl, tuple)?;
         Ok(TupleId::new(id, slot))
     }
 
     /// Insert many tuples into the named relation.
-    pub fn insert_all<I>(&mut self, relation: &str, tuples: I) -> Result<Vec<TupleId>, RelationError>
+    pub fn insert_all<I>(
+        &mut self,
+        relation: &str,
+        tuples: I,
+    ) -> Result<Vec<TupleId>, RelationError>
     where
         I: IntoIterator<Item = Tuple>,
     {

@@ -25,7 +25,11 @@ pub enum RelationError {
     /// Declaring two relations with the same name.
     DuplicateRelation(String),
     /// A key position outside the relation's arity.
-    InvalidKeyPosition { relation: String, position: usize, arity: usize },
+    InvalidKeyPosition {
+        relation: String,
+        position: usize,
+        arity: usize,
+    },
     /// A relation schema with an empty key. Every atom of a key-preserving
     /// query must have a key ("there is at least one key attribute
     /// position", §II.B), so keyless relations are rejected up front.

@@ -46,7 +46,10 @@ pub struct RelationFds {
 impl RelationFds {
     /// Empty FD set for a relation of `arity`.
     pub fn new(arity: usize) -> Self {
-        RelationFds { arity, fds: Vec::new() }
+        RelationFds {
+            arity,
+            fds: Vec::new(),
+        }
     }
 
     /// Add an FD; errors if a position is out of range.
@@ -184,7 +187,8 @@ mod tests {
     fn fds(arity: usize, list: &[(&[usize], &[usize])]) -> RelationFds {
         let mut f = RelationFds::new(arity);
         for (l, r) in list {
-            f.add(FunctionalDependency::new(l.to_vec(), r.to_vec())).unwrap();
+            f.add(FunctionalDependency::new(l.to_vec(), r.to_vec()))
+                .unwrap();
         }
         f
     }
@@ -193,7 +197,10 @@ mod tests {
     fn closure_transitive() {
         // 0 -> 1, 1 -> 2: {0}+ = {0,1,2}
         let f = fds(3, &[(&[0], &[1]), (&[1], &[2])]);
-        assert_eq!(f.closure(&[0]).into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            f.closure(&[0]).into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert!(f.is_superkey(&[0]));
         assert!(!f.is_superkey(&[2]));
     }
@@ -216,9 +223,7 @@ mod tests {
     #[test]
     fn out_of_range_fd_rejected() {
         let mut f = RelationFds::new(2);
-        assert!(f
-            .add(FunctionalDependency::new(vec![0], vec![2]))
-            .is_err());
+        assert!(f.add(FunctionalDependency::new(vec![0], vec![2])).is_err());
     }
 
     #[test]

@@ -198,7 +198,8 @@ mod tests {
     #[test]
     fn schema_rejects_duplicates() {
         let mut s = Schema::new();
-        s.add(RelationSchema::new("T", 1, vec![0]).unwrap()).unwrap();
+        s.add(RelationSchema::new("T", 1, vec![0]).unwrap())
+            .unwrap();
         assert!(matches!(
             s.add(RelationSchema::new("T", 2, vec![0]).unwrap()),
             Err(RelationError::DuplicateRelation(_))

@@ -112,12 +112,22 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![Value::str("b"), Value::int(3), Value::str("a"), Value::int(1)];
+        let mut vs = vec![
+            Value::str("b"),
+            Value::int(3),
+            Value::str("a"),
+            Value::int(1),
+        ];
         vs.sort();
         // Ints sort before Strs (enum variant order); within a variant, natural order.
         assert_eq!(
             vs,
-            vec![Value::int(1), Value::int(3), Value::str("a"), Value::str("b")]
+            vec![
+                Value::int(1),
+                Value::int(3),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

@@ -29,7 +29,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (b, m) = (i / 64, 1u64 << (i % 64));
         let was = self.blocks[b] & m != 0;
         self.blocks[b] |= m;
@@ -38,7 +42,11 @@ impl BitSet {
 
     /// Clear bit `i`.
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.blocks[i / 64] &= !(1u64 << (i % 64));
     }
 

@@ -41,8 +41,25 @@ pub struct ExactResult {
     pub nodes: u64,
 }
 
+/// Node granularity at which the cooperative ticker is consulted. Small
+/// enough that tight budgets stop the search promptly, large enough that
+/// the callback is off the hot path.
+const TICK_BATCH: u64 = 64;
+
 /// Solve Red-Blue Set Cover exactly (subject to the node limit).
 pub fn solve(instance: &RedBlueInstance, config: ExactConfig) -> ExactResult {
+    solve_with_ticker(instance, config, &mut |_| true)
+}
+
+/// Like [`solve`], but reports every [`TICK_BATCH`] explored nodes to
+/// `tick` (a cooperative work-budget checkpoint). When `tick` returns
+/// `false` the search truncates exactly as if the node limit had fired:
+/// the best solution so far is returned with `proven_optimal == false`.
+pub fn solve_with_ticker(
+    instance: &RedBlueInstance,
+    config: ExactConfig,
+    tick: &mut dyn FnMut(u64) -> bool,
+) -> ExactResult {
     if !instance.is_coverable() {
         return ExactResult {
             selection: None,
@@ -93,6 +110,7 @@ pub fn solve(instance: &RedBlueInstance, config: ExactConfig) -> ExactResult {
         nodes: 0,
         node_limit: config.node_limit.unwrap_or(u64::MAX),
         truncated: false,
+        tick,
     };
     let blue0 = BitSet::new(instance.num_blue());
     let red0 = BitSet::new(instance.num_red());
@@ -121,6 +139,7 @@ struct Search<'a> {
     nodes: u64,
     node_limit: u64,
     truncated: bool,
+    tick: &'a mut dyn FnMut(u64) -> bool,
 }
 
 impl Search<'_> {
@@ -133,6 +152,10 @@ impl Search<'_> {
     ) {
         self.nodes += 1;
         if self.nodes > self.node_limit {
+            self.truncated = true;
+            return;
+        }
+        if self.nodes.is_multiple_of(TICK_BATCH) && !(self.tick)(TICK_BATCH) {
             self.truncated = true;
             return;
         }
@@ -174,13 +197,15 @@ mod tests {
     use super::*;
     use crate::redblue::CoverSet;
 
-    fn inst(num_red: usize, num_blue: usize, sets: Vec<(Vec<usize>, Vec<usize>)>) -> RedBlueInstance {
+    fn inst(
+        num_red: usize,
+        num_blue: usize,
+        sets: Vec<(Vec<usize>, Vec<usize>)>,
+    ) -> RedBlueInstance {
         RedBlueInstance::new(
             num_red,
             num_blue,
-            sets.into_iter()
-                .map(|(r, b)| CoverSet::new(r, b))
-                .collect(),
+            sets.into_iter().map(|(r, b)| CoverSet::new(r, b)).collect(),
         )
     }
 
@@ -218,11 +243,7 @@ mod tests {
 
     #[test]
     fn shared_red_counted_once() {
-        let i = inst(
-            1,
-            2,
-            vec![(vec![0], vec![0]), (vec![0], vec![1])],
-        );
+        let i = inst(1, 2, vec![(vec![0], vec![0]), (vec![0], vec![1])]);
         let r = solve(&i, ExactConfig::default());
         assert_eq!(r.cost, 1.0);
     }
@@ -263,9 +284,7 @@ mod tests {
     fn node_limit_truncates_but_stays_feasible() {
         // 12 blues, each coverable by 3 sets with random-ish reds.
         let sets: Vec<(Vec<usize>, Vec<usize>)> = (0..12)
-            .flat_map(|b| {
-                (0..3).map(move |k| (vec![(b * 3 + k) % 10], vec![b]))
-            })
+            .flat_map(|b| (0..3).map(move |k| (vec![(b * 3 + k) % 10], vec![b])))
             .collect();
         let i = inst(10, 12, sets);
         let r = solve(

@@ -35,7 +35,11 @@ pub fn cover(instance: &RedBlueInstance) -> Option<SetSelection> {
             if used[si] {
                 continue;
             }
-            let new_blue = s.blue.iter().filter(|&&b| !covered_blue.contains(b)).count();
+            let new_blue = s
+                .blue
+                .iter()
+                .filter(|&&b| !covered_blue.contains(b))
+                .count();
             if new_blue == 0 {
                 continue;
             }
@@ -120,11 +124,7 @@ mod tests {
         let i = inst(
             2,
             2,
-            vec![
-                (vec![0], vec![0]),
-                (vec![0], vec![1]),
-                (vec![1], vec![1]),
-            ],
+            vec![(vec![0], vec![0]), (vec![0], vec![1]), (vec![1], vec![1])],
         );
         let sel = cover(&i).unwrap();
         assert_eq!(i.cost(&sel), 1.0);
@@ -136,7 +136,9 @@ mod tests {
         // and both must be feasible.
         let mut seed = 12345u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for trial in 0..20 {

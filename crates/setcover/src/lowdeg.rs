@@ -37,7 +37,9 @@ pub fn with_threshold(instance: &RedBlueInstance, tau: usize) -> LowDegAttempt {
     let restricted = RedBlueInstance::with_weights(
         instance.num_red(),
         instance.num_blue(),
-        (0..instance.num_red()).map(|r| instance.red_weight(r)).collect(),
+        (0..instance.num_red())
+            .map(|r| instance.red_weight(r))
+            .collect(),
         kept_sets,
     );
     match greedy::cover(&restricted) {
@@ -148,7 +150,9 @@ mod tests {
     fn within_claimed_bound_on_random_instances() {
         let mut seed = 99u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..25 {

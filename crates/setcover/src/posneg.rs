@@ -46,11 +46,7 @@ impl PosNegInstance {
     ///
     /// # Panics
     /// Panics on negative/non-finite weights or out-of-range members.
-    pub fn with_weights(
-        pos_weights: Vec<f64>,
-        neg_weights: Vec<f64>,
-        sets: Vec<PnSet>,
-    ) -> Self {
+    pub fn with_weights(pos_weights: Vec<f64>, neg_weights: Vec<f64>, sets: Vec<PnSet>) -> Self {
         assert!(
             pos_weights
                 .iter()
@@ -160,11 +156,8 @@ mod tests {
 
     #[test]
     fn weights_flow_through() {
-        let i = PosNegInstance::with_weights(
-            vec![10.0],
-            vec![3.0],
-            vec![PnSet::new(vec![0], vec![0])],
-        );
+        let i =
+            PosNegInstance::with_weights(vec![10.0], vec![3.0], vec![PnSet::new(vec![0], vec![0])]);
         assert_eq!(i.cost(&[]), 10.0);
         assert_eq!(i.cost(&[0]), 3.0);
     }

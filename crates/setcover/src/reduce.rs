@@ -84,14 +84,35 @@ pub fn redblue_to_posneg(rb: &RedBlueInstance) -> PosNegInstance {
 
 /// Solve Pos-Neg exactly via the Red-Blue reduction + branch and bound.
 /// Returns `(selection, cost, proven_optimal)`.
+///
+/// The reduced instance is always coverable (escape sets), but a very
+/// tight `node_limit` can truncate the search before the first feasible
+/// leaf; in that case the empty selection is returned un-proven (it is
+/// always a feasible Pos-Neg selection — it covers nothing and pays every
+/// positive's weight).
 pub fn solve_posneg_exact(pn: &PosNegInstance, config: ExactConfig) -> (Vec<usize>, f64, bool) {
+    solve_posneg_exact_with_ticker(pn, config, &mut |_| true)
+}
+
+/// [`solve_posneg_exact`] with a cooperative work-budget ticker (see
+/// [`exact::solve_with_ticker`]).
+pub fn solve_posneg_exact_with_ticker(
+    pn: &PosNegInstance,
+    config: ExactConfig,
+    tick: &mut dyn FnMut(u64) -> bool,
+) -> (Vec<usize>, f64, bool) {
     let img = posneg_to_redblue(pn);
-    let res = exact::solve(&img.redblue, config);
-    // The escape sets make the Red-Blue image always coverable.
-    let rb_sel = res.selection.expect("reduced instance is always feasible");
-    let sel = img.map_back(&rb_sel);
-    let cost = pn.cost(&sel);
-    (sel, cost, res.proven_optimal)
+    let res = exact::solve_with_ticker(&img.redblue, config, tick);
+    match res.selection {
+        Some(rb_sel) => {
+            let sel = img.map_back(&rb_sel);
+            let cost = pn.cost(&sel);
+            (sel, cost, res.proven_optimal)
+        }
+        // Truncated before any incumbent: fall back to the empty
+        // selection, which is always feasible for Pos-Neg.
+        None => (Vec::new(), pn.cost(&[]), false),
+    }
 }
 
 /// Solve Pos-Neg approximately via the Red-Blue reduction + the low-degree
@@ -150,7 +171,9 @@ mod tests {
     fn brute_force_agreement_on_small_instances() {
         let mut seed = 7u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..15 {

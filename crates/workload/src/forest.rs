@@ -6,11 +6,10 @@
 //! windows they are *not* pivot cases — the regime where the
 //! approximations matter.
 
+use crate::rng::SplitMix64;
 use delprop_core::Problem;
 use delprop_query::{parse_query, ViewTupleId};
 use delprop_relation::{tup, Database, RelationSchema, Schema, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for forest workloads.
 #[derive(Debug, Clone, Copy)]
@@ -44,10 +43,9 @@ impl Default for ForestParams {
 /// `[j, j+window)` for `j = 1..=levels-window+1`.
 pub fn generate(params: ForestParams, seed: u64) -> Problem {
     assert!(params.window >= 1 && params.window <= params.levels);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let schema = Schema::from_relations(
-        (1..=params.levels)
-            .map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+        (1..=params.levels).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
     )
     .unwrap();
     let mut db = Database::new(schema);
@@ -67,9 +65,7 @@ pub fn generate(params: ForestParams, seed: u64) -> Problem {
     }
     let queries: Vec<String> = (1..=params.levels - params.window + 1)
         .map(|start| {
-            let head: Vec<String> = (0..=params.window)
-                .map(|k| format!("x{k}"))
-                .collect();
+            let head: Vec<String> = (0..=params.window).map(|k| format!("x{k}")).collect();
             let body: Vec<String> = (0..params.window)
                 .map(|k| format!("R{}(x{k}, x{})", start + k, k + 1))
                 .collect();
@@ -85,7 +81,7 @@ pub fn generate(params: ForestParams, seed: u64) -> Problem {
     let ids: Vec<ViewTupleId> = problem.views().iter().map(|(id, _)| id).collect();
     let mut any = false;
     for &id in &ids {
-        if rng.gen_bool(params.delete_fraction) {
+        if rng.chance(params.delete_fraction) {
             problem.mark_deleted_id(id).unwrap();
             any = true;
         }
@@ -98,7 +94,9 @@ pub fn generate(params: ForestParams, seed: u64) -> Problem {
     if params.weighted {
         for &id in &ids {
             if !problem.is_deleted(id) {
-                problem.set_weight(id, rng.gen_range(1..=5) as f64).unwrap();
+                problem
+                    .set_weight(id, rng.range_inclusive(1, 5) as f64)
+                    .unwrap();
             }
         }
     }
@@ -112,9 +110,7 @@ pub fn generate(params: ForestParams, seed: u64) -> Problem {
 pub fn pivot_broom(branches: usize, depth: usize, blue: &[usize]) -> Problem {
     assert!(depth >= 1);
     let mut rels = vec![RelationSchema::new("R0", 1, vec![0]).unwrap()];
-    rels.extend(
-        (1..=depth).map(|d| RelationSchema::new(format!("R{d}"), 2, vec![0, 1]).unwrap()),
-    );
+    rels.extend((1..=depth).map(|d| RelationSchema::new(format!("R{d}"), 2, vec![0, 1]).unwrap()));
     let schema = Schema::from_relations(rels).unwrap();
     let mut db = Database::new(schema);
     db.insert("R0", tup![0]).unwrap();

@@ -242,7 +242,9 @@ mod tests {
     fn costs_transfer_on_random_instances() {
         let mut seed = 41u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..10 {
@@ -255,8 +257,7 @@ mod tests {
                         (0..nr).filter(|_| next() % 3 == 0).collect(),
                         // ensure coverability: set si covers blue si % nb
                         {
-                            let mut b: Vec<usize> =
-                                (0..nb).filter(|_| next() % 3 == 0).collect();
+                            let mut b: Vec<usize> = (0..nb).filter(|_| next() % 3 == 0).collect();
                             b.push(si % nb);
                             b
                         },
@@ -270,8 +271,7 @@ mod tests {
             let g = redblue_to_vse(&rb);
             // Every selection maps with equal feasibility and cost.
             for mask in 0u32..(1 << nsets.min(10)) {
-                let sel: Vec<usize> =
-                    (0..nsets).filter(|&s| mask & (1 << s) != 0).collect();
+                let sel: Vec<usize> = (0..nsets).filter(|&s| mask & (1 << s) != 0).collect();
                 let sol = g.selection_to_solution(&sel);
                 assert_eq!(rb.is_feasible(&sel), sol.is_feasible(&g.problem));
                 assert!(

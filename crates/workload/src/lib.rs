@@ -20,3 +20,4 @@ pub mod forest;
 pub mod gadget;
 pub mod random_db;
 pub mod redblue_gen;
+pub mod rng;

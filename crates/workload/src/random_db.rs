@@ -2,12 +2,10 @@
 //! EX-L1): several chain-join queries over a shared pool of binary
 //! relations, so views overlap and deletions trade off across queries.
 
+use crate::rng::SplitMix64;
 use delprop_core::Problem;
 use delprop_query::{parse_query, ViewTupleId};
 use delprop_relation::{tup, Database, RelationSchema, Schema, Value};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for random multi-query workloads.
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +48,7 @@ pub fn generate(params: RandomDbParams, seed: u64) -> Problem {
         params.num_relations >= params.atoms_per_query,
         "need enough relations for sj-free chains"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let schema = Schema::from_relations(
         (0..params.num_relations)
             .map(|i| RelationSchema::new(format!("R{i}"), 2, vec![0, 1]).unwrap()),
@@ -60,13 +58,15 @@ pub fn generate(params: RandomDbParams, seed: u64) -> Problem {
     for i in 0..params.num_relations {
         let name = format!("R{i}");
         let rid = db.schema().relation_id(&name).unwrap();
-        let target = params.tuples_per_relation.min(params.domain * params.domain);
+        let target = params
+            .tuples_per_relation
+            .min(params.domain * params.domain);
         let mut inserted = 0;
         let mut attempts = 0;
         while inserted < target && attempts < target * 20 {
             attempts += 1;
-            let a = rng.gen_range(0..params.domain) as i64;
-            let b = rng.gen_range(0..params.domain) as i64;
+            let a = rng.below(params.domain) as i64;
+            let b = rng.below(params.domain) as i64;
             if db
                 .find_by_key(rid, &[Value::int(a), Value::int(b)])
                 .is_none()
@@ -80,7 +80,7 @@ pub fn generate(params: RandomDbParams, seed: u64) -> Problem {
     let mut rel_ids: Vec<usize> = (0..params.num_relations).collect();
     let queries: Vec<String> = (0..params.num_queries)
         .map(|qi| {
-            rel_ids.shuffle(&mut rng);
+            rng.shuffle(&mut rel_ids);
             let chain = &rel_ids[..params.atoms_per_query];
             let head: Vec<String> = (0..=params.atoms_per_query)
                 .map(|j| format!("x{j}"))
@@ -103,7 +103,7 @@ pub fn generate(params: RandomDbParams, seed: u64) -> Problem {
     let all_ids: Vec<ViewTupleId> = problem.views().iter().map(|(id, _)| id).collect();
     let mut any = false;
     for &id in &all_ids {
-        if rng.gen_bool(params.delete_fraction) {
+        if rng.chance(params.delete_fraction) {
             problem.mark_deleted_id(id).unwrap();
             any = true;
         }
@@ -117,7 +117,7 @@ pub fn generate(params: RandomDbParams, seed: u64) -> Problem {
         for &id in &all_ids {
             if !problem.is_deleted(id) {
                 problem
-                    .set_weight(id, rng.gen_range(1..=5) as f64)
+                    .set_weight(id, rng.range_inclusive(1, 5) as f64)
                     .unwrap();
             }
         }
@@ -160,7 +160,12 @@ mod tests {
             let p = generate(RandomDbParams::default(), seed);
             let approx = general::solve(&p).unwrap();
             assert!(approx.is_feasible(&p));
-            let ex = exact::solve(&p, ExactConfig { node_limit: Some(200_000) });
+            let ex = exact::solve(
+                &p,
+                ExactConfig {
+                    node_limit: Some(200_000),
+                },
+            );
             if let Some(opt) = ex.solution {
                 assert!(approx.side_effect(&p) >= opt.side_effect(&p) - 1e-9);
             }
@@ -176,10 +181,8 @@ mod tests {
             },
             3,
         );
-        let distinct: std::collections::BTreeSet<u64> = p
-            .preserved()
-            .map(|(id, _)| p.weight(id) as u64)
-            .collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            p.preserved().map(|(id, _)| p.weight(id) as u64).collect();
         assert!(distinct.len() > 1);
     }
 }

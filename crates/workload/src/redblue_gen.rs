@@ -1,8 +1,7 @@
 //! Random Red-Blue and Pos-Neg Set Cover instance generators (seeded,
 //! reproducible) for the hardness and approximation experiments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{SplitMix64, GOLDEN_GAMMA};
 use delprop_setcover::{CoverSet, PnSet, PosNegInstance, RedBlueInstance};
 
 /// Parameters for random Red-Blue instances.
@@ -38,15 +37,15 @@ impl Default for RedBlueParams {
 
 /// Generate a coverable Red-Blue instance.
 pub fn redblue(params: RedBlueParams, seed: u64) -> RedBlueInstance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut sets: Vec<CoverSet> = (0..params.num_sets)
         .map(|_| {
             CoverSet::new(
                 (0..params.num_red)
-                    .filter(|_| rng.gen_bool(params.red_density))
+                    .filter(|_| rng.chance(params.red_density))
                     .collect(),
                 (0..params.num_blue)
-                    .filter(|_| rng.gen_bool(params.blue_density))
+                    .filter(|_| rng.chance(params.blue_density))
                     .collect(),
             )
         })
@@ -54,7 +53,7 @@ pub fn redblue(params: RedBlueParams, seed: u64) -> RedBlueInstance {
     // Patch coverability: each blue element lands in some set.
     for b in 0..params.num_blue {
         if !sets.iter().any(|s| s.blue.contains(&b)) {
-            let si = rng.gen_range(0..params.num_sets);
+            let si = rng.below(params.num_sets);
             let mut blue = sets[si].blue.clone();
             blue.push(b);
             sets[si] = CoverSet::new(sets[si].red.clone(), blue);
@@ -62,7 +61,7 @@ pub fn redblue(params: RedBlueParams, seed: u64) -> RedBlueInstance {
     }
     let weights = if params.weighted {
         (0..params.num_red)
-            .map(|_| rng.gen_range(1..=5) as f64)
+            .map(|_| rng.range_inclusive(1, 5) as f64)
             .collect()
     } else {
         vec![1.0; params.num_red]
@@ -80,10 +79,10 @@ pub fn posneg(params: RedBlueParams, seed: u64) -> PosNegInstance {
         .iter()
         .map(|s| PnSet::new(s.blue.clone(), s.red.clone()))
         .collect();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ GOLDEN_GAMMA);
     let pos_weights = if params.weighted {
         (0..params.num_blue)
-            .map(|_| rng.gen_range(1..=3) as f64)
+            .map(|_| rng.range_inclusive(1, 3) as f64)
             .collect()
     } else {
         vec![1.0; params.num_blue]
@@ -100,7 +99,10 @@ mod tests {
     fn generated_instances_are_coverable() {
         for seed in 0..20 {
             let rb = redblue(RedBlueParams::default(), seed);
-            assert!(rb.is_coverable(), "seed {seed} produced uncoverable instance");
+            assert!(
+                rb.is_coverable(),
+                "seed {seed} produced uncoverable instance"
+            );
         }
     }
 
@@ -119,9 +121,8 @@ mod tests {
             ..Default::default()
         };
         let rb = redblue(p, 3);
-        let distinct: std::collections::BTreeSet<u64> = (0..rb.num_red())
-            .map(|r| rb.red_weight(r) as u64)
-            .collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..rb.num_red()).map(|r| rb.red_weight(r) as u64).collect();
         assert!(distinct.len() > 1);
     }
 

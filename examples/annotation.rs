@@ -36,8 +36,7 @@ fn all_optima(problem: &Problem) -> Vec<Solution> {
             let minimal = sol.deleted.iter().all(|&t| {
                 let mut smaller = sol.clone();
                 smaller.deleted.remove(&t);
-                !(smaller.is_feasible(problem)
-                    && (smaller.side_effect(problem) - opt).abs() < 1e-9)
+                !(smaller.is_feasible(problem) && (smaller.side_effect(problem) - opt).abs() < 1e-9)
             });
             if minimal {
                 out.push(sol);
@@ -67,8 +66,12 @@ fn main() {
     //     T2(TODS, XML, 30) is as cheap as the author-side T1(John, TODS).
     let q4 = figures::fig1_q4(&db);
     let mut single = Problem::new(db.clone(), vec![q4.clone()]).unwrap();
-    single.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
-    single.mark_deleted(0, &tup!["John", "TODS", "XML"]).unwrap();
+    single
+        .mark_deleted(0, &tup!["John", "TKDE", "XML"])
+        .unwrap();
+    single
+        .mark_deleted(0, &tup!["John", "TODS", "XML"])
+        .unwrap();
     let sols1 = all_optima(&single);
     println!("Q4 alone: {} optimal annotation target(s)", sols1.len());
     render(&single, &sols1);
@@ -87,7 +90,10 @@ fn main() {
     println!("\nQ4 + Q5: {} optimal annotation target(s)", sols2.len());
     render(&multi, &sols2);
 
-    assert!(sols2.len() < sols1.len(), "extra views must narrow candidates");
+    assert!(
+        sols2.len() < sols1.len(),
+        "extra views must narrow candidates"
+    );
     println!(
         "\nAdding the catalog view eliminated the journal-side candidate \
          T2(TODS, XML, 30): the annotation now uniquely targets John's \

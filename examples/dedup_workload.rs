@@ -30,9 +30,9 @@ fn main() {
     // identical to the first up to renaming / a redundant atom.
     let sources = [
         "Q0(x, y, z) :- R(x, y), S(y, z)",
-        "Q1(a, b, c) :- R(a, b), S(b, c)",            // ≡ Q0 (renamed)
-        "Q2(x, y, z) :- R(x, y), S(y, z), R(x, y)",   // ≡ Q0 (duplicated atom)
-        "Q3(x, y) :- R(x, y)",                        // genuinely different
+        "Q1(a, b, c) :- R(a, b), S(b, c)", // ≡ Q0 (renamed)
+        "Q2(x, y, z) :- R(x, y), S(y, z), R(x, y)", // ≡ Q0 (duplicated atom)
+        "Q3(x, y) :- R(x, y)",             // genuinely different
     ];
     let queries: Vec<_> = sources
         .iter()
@@ -81,7 +81,10 @@ fn main() {
         sol_full.deleted == sol_dedup.deleted,
         sol_dedup.len()
     );
-    assert!(sol_dedup.is_feasible(&full), "dedup solution repairs the full workload too");
+    assert!(
+        sol_dedup.is_feasible(&full),
+        "dedup solution repairs the full workload too"
+    );
     println!(
         "side-effect on the full workload: {} (dedup solution), {} (full solution)",
         sol_dedup.side_effect(&full),

@@ -30,7 +30,11 @@ fn main() {
     for (a, j) in [("Joe", "TKDE"), ("John", "TODS"), ("Tom", "VLDB")] {
         db.insert("T1", tup![a, j]).unwrap();
     }
-    for (j, z, w) in [("TKDE", "XML", 30), ("TODS", "CUBE", 20), ("VLDB", "ML", 10)] {
+    for (j, z, w) in [
+        ("TKDE", "XML", 30),
+        ("TODS", "CUBE", 20),
+        ("VLDB", "ML", 10),
+    ] {
         db.insert("T2", tup![j, z, w]).unwrap();
     }
 
@@ -53,7 +57,8 @@ fn main() {
     f1.add(FunctionalDependency::new(vec![0], vec![1])).unwrap();
     fds.insert(t1, f1);
     let mut f2 = RelationFds::new(3);
-    f2.add(FunctionalDependency::new(vec![1], vec![0, 2])).unwrap();
+    f2.add(FunctionalDependency::new(vec![1], vec![0, 2]))
+        .unwrap();
     fds.insert(t2, f2);
 
     let mut problem = Problem::new_with_fds(db, vec![q3], &fds).unwrap();

@@ -69,7 +69,9 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. The deletion request: (John, TKDE, XML) is wrong.
     // ------------------------------------------------------------------
-    problem.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+    problem
+        .mark_deleted(0, &tup!["John", "TKDE", "XML"])
+        .unwrap();
     println!("\nΔV = {{(John, TKDE, XML)}}");
 
     // ------------------------------------------------------------------
@@ -80,8 +82,13 @@ fn main() {
         "classification: l = {}, forest = {}, pivot = {}\nrecommended solver: {}",
         report.l, report.forest_case, report.pivot_case, report.recommendation
     );
-    let solution = solve_auto(&problem).unwrap();
-    println!("\nΔD (source deletions):");
+    // The portfolio runtime is the default entry point: it runs the
+    // applicable solvers in guarantee order, verifies every candidate
+    // against ground-truth re-evaluation, and contains member panics.
+    let outcome = solve_portfolio(&problem).unwrap();
+    println!("\nportfolio winner: {}", outcome.winner);
+    let solution = outcome.solution;
+    println!("ΔD (source deletions):");
     for &t in &solution.deleted {
         println!(
             "  {t} = {}",

@@ -34,8 +34,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "--solver" => {
                 i += 1;
                 let name = args.get(i).ok_or("--solver needs a name")?;
-                solver_override =
-                    Some(SolverSpec::parse(name).ok_or_else(|| format!("unknown solver {name:?}"))?);
+                solver_override = Some(
+                    SolverSpec::parse(name).ok_or_else(|| format!("unknown solver {name:?}"))?,
+                );
             }
             "--objective" => {
                 i += 1;
@@ -82,8 +83,7 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("recommended solver: {}", r.recommendation);
     }
 
-    let solution =
-        script::run_solver(&problem, objective, solver).map_err(|e| e.to_string())?;
+    let solution = script::run_solver(&problem, objective, solver).map_err(|e| e.to_string())?;
     report(&problem, &solution, objective, explain);
     Ok(())
 }
@@ -97,7 +97,10 @@ fn report(problem: &Problem, solution: &Solution, objective: ObjectiveSpec, expl
     }
     match objective {
         ObjectiveSpec::Standard => {
-            println!("feasible (all of ΔV eliminated): {}", solution.is_feasible(problem));
+            println!(
+                "feasible (all of ΔV eliminated): {}",
+                solution.is_feasible(problem)
+            );
             println!("view side-effect: {}", solution.side_effect(problem));
         }
         ObjectiveSpec::Balanced => {
@@ -111,9 +114,17 @@ fn report(problem: &Problem, solution: &Solution, objective: ObjectiveSpec, expl
         }
     }
     if explain {
-        println!("source side-effect (|ΔD|): {}", source::source_cost(solution));
+        println!(
+            "source side-effect (|ΔD|): {}",
+            source::source_cost(solution)
+        );
         println!("LP lower bound: {:.3}", lp_round::lower_bound(problem));
-        let opt = exact::solve(problem, ExactConfig { node_limit: Some(5_000_000) });
+        let opt = exact::solve(
+            problem,
+            ExactConfig {
+                node_limit: Some(5_000_000),
+            },
+        );
         if opt.proven_optimal {
             println!("exact optimum: {}", opt.cost);
         }

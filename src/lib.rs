@@ -33,9 +33,13 @@
 //! let mut problem = Problem::new(db, vec![q4]).unwrap();
 //! problem.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
 //!
-//! let solution = solve_auto(&problem).unwrap();
-//! assert!(solution.is_feasible(&problem));
-//! assert!(solution.side_effect(&problem) <= 1.0);
+//! // The portfolio runtime picks the right algorithm, verifies its
+//! // output against ground-truth re-evaluation, and falls back through
+//! // the whole suite if anything misbehaves.
+//! let outcome = solve_portfolio(&problem).unwrap();
+//! assert!(outcome.solution.is_feasible(&problem));
+//! assert!(outcome.cost <= 1.0);
+//! println!("solved by {}", outcome.winner);
 //! ```
 //!
 //! ## Crate map
@@ -62,8 +66,14 @@ pub mod script;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::core::{classify, solve_auto, CoreError, Problem, Solution, SolverKind};
-    pub use crate::query::{parse_program, parse_query, ConjunctiveQuery, View, ViewSet, ViewTupleId};
+    pub use crate::core::runtime::{FaultMode, FaultySolver, MemberReport, MemberStatus};
+    pub use crate::core::{
+        classify, solve_auto, solve_portfolio, solve_portfolio_balanced, Budget, CoreError,
+        Guarantee, Portfolio, PortfolioOutcome, Problem, Solution, Solver, SolverKind,
+    };
+    pub use crate::query::{
+        parse_program, parse_query, ConjunctiveQuery, View, ViewSet, ViewTupleId,
+    };
     pub use crate::relation::{Database, RelationSchema, Schema, Tuple, TupleId, Value};
     pub use crate::tup;
 }

@@ -27,8 +27,7 @@
 use crate::core::{CoreError, Problem};
 use crate::query::{parse_atom, parse_query, QueryError, Term};
 use crate::relation::{
-    Database, FunctionalDependency, RelationFds, RelationSchema, Schema, SchemaFds, Tuple,
-    Value,
+    Database, FunctionalDependency, RelationFds, RelationSchema, Schema, SchemaFds, Tuple, Value,
 };
 use std::fmt;
 
@@ -172,8 +171,7 @@ pub fn parse_script(text: &str) -> Result<Script, ScriptError> {
                 let w: f64 = w
                     .parse()
                     .map_err(|_| err(line_no, format!("bad weight {w:?}")))?;
-                let (name, tuple) =
-                    parse_ground_atom(head.trim()).map_err(|e| err(line_no, e))?;
+                let (name, tuple) = parse_ground_atom(head.trim()).map_err(|e| err(line_no, e))?;
                 weights.push((name, tuple, w));
             }
             "objective" => {
@@ -202,7 +200,10 @@ pub fn parse_script(text: &str) -> Result<Script, ScriptError> {
         let (rid, fd) = parse_fd(&src, db.schema()).map_err(|e| err(line_no, e))?;
         let arity = db.schema().relation(rid).arity();
         // Accumulate into any existing declaration for the relation.
-        let mut rel_fds = fds.get(rid).cloned().unwrap_or_else(|| RelationFds::new(arity));
+        let mut rel_fds = fds
+            .get(rid)
+            .cloned()
+            .unwrap_or_else(|| RelationFds::new(arity));
         rel_fds.add(fd).map_err(|e| err(line_no, e))?;
         fds.insert(rid, rel_fds);
     }
@@ -264,7 +265,10 @@ fn parse_usize_list(src: &str) -> Result<Vec<usize>, String> {
         .split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
-        .map(|s| s.parse::<usize>().map_err(|_| format!("bad position {s:?}")))
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("bad position {s:?}"))
+        })
         .collect()
 }
 
@@ -337,11 +341,13 @@ pub fn run_solver(
     use delprop_setcover::exact::ExactConfig;
     match (objective, solver) {
         (ObjectiveSpec::Standard, SolverSpec::Auto) => crate::core::solve_auto(problem),
-        (ObjectiveSpec::Standard, SolverSpec::Exact) => exact::solve(problem, ExactConfig::default())
-            .solution
-            .ok_or(CoreError::Infeasible {
-                reason: "no feasible deletion".into(),
-            }),
+        (ObjectiveSpec::Standard, SolverSpec::Exact) => {
+            exact::solve(problem, ExactConfig::default())
+                .solution
+                .ok_or(CoreError::Infeasible {
+                    reason: "no feasible deletion".into(),
+                })
+        }
         (ObjectiveSpec::Standard, SolverSpec::General) => general::solve(problem),
         (ObjectiveSpec::Standard, SolverSpec::Greedy) => general::solve_greedy(problem),
         (ObjectiveSpec::Standard, SolverSpec::PrimalDual) => primal_dual::solve_default(problem),
@@ -355,15 +361,10 @@ pub fn run_solver(
                 .solution
                 .expect("balanced is always feasible"))
         }
-        (ObjectiveSpec::Balanced, SolverSpec::Auto) => {
-            crate::core::solve_auto_balanced(problem)
-        }
-        (ObjectiveSpec::Balanced, SolverSpec::General) => {
-            Ok(general::solve_balanced(problem))
-        }
+        (ObjectiveSpec::Balanced, SolverSpec::Auto) => crate::core::solve_auto_balanced(problem),
+        (ObjectiveSpec::Balanced, SolverSpec::General) => Ok(general::solve_balanced(problem)),
         (ObjectiveSpec::Balanced, SolverSpec::PrimalDual) => {
-            primal_dual_balanced::solve_balanced(problem, &Default::default())
-                .map(|o| o.solution)
+            primal_dual_balanced::solve_balanced(problem, &Default::default()).map(|o| o.solution)
         }
         (ObjectiveSpec::Balanced, other) => Err(CoreError::StructureMismatch {
             solver: "script",

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degenerate-86030d91a4b58da8.d: tests/degenerate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegenerate-86030d91a4b58da8.rmeta: tests/degenerate.rs Cargo.toml
+
+tests/degenerate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate-95ad855a97f31d79.d: tests/degenerate.rs
+
+/root/repo/target/debug/deps/degenerate-95ad855a97f31d79: tests/degenerate.rs
+
+tests/degenerate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/delprop-062da3b98611bf05.d: src/lib.rs src/script.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop-062da3b98611bf05.rmeta: src/lib.rs src/script.rs Cargo.toml
+
+src/lib.rs:
+src/script.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delprop-082c7e6624e5dd90.d: src/bin/delprop.rs
+
+/root/repo/target/debug/deps/delprop-082c7e6624e5dd90: src/bin/delprop.rs
+
+src/bin/delprop.rs:

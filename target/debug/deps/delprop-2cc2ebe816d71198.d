@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/delprop-2cc2ebe816d71198.d: src/lib.rs src/script.rs
+
+/root/repo/target/debug/deps/libdelprop-2cc2ebe816d71198.rlib: src/lib.rs src/script.rs
+
+/root/repo/target/debug/deps/libdelprop-2cc2ebe816d71198.rmeta: src/lib.rs src/script.rs
+
+src/lib.rs:
+src/script.rs:

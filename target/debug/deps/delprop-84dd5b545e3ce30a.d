@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/delprop-84dd5b545e3ce30a.d: src/lib.rs src/script.rs
+
+/root/repo/target/debug/deps/delprop-84dd5b545e3ce30a: src/lib.rs src/script.rs
+
+src/lib.rs:
+src/script.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delprop-c02b4d27ccfad1a3.d: src/bin/delprop.rs
+
+/root/repo/target/debug/deps/delprop-c02b4d27ccfad1a3: src/bin/delprop.rs
+
+src/bin/delprop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delprop-cabf4b5bf36ba01d.d: src/bin/delprop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop-cabf4b5bf36ba01d.rmeta: src/bin/delprop.rs Cargo.toml
+
+src/bin/delprop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

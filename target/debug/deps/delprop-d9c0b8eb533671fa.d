@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/delprop-d9c0b8eb533671fa.d: src/lib.rs src/script.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop-d9c0b8eb533671fa.rmeta: src/lib.rs src/script.rs Cargo.toml
+
+src/lib.rs:
+src/script.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

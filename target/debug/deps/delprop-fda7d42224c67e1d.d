@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delprop-fda7d42224c67e1d.d: src/bin/delprop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop-fda7d42224c67e1d.rmeta: src/bin/delprop.rs Cargo.toml
+
+src/bin/delprop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/delprop_bench-24b0f98f18150c19.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_bench-24b0f98f18150c19.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

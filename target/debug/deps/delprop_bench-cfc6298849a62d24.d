@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/delprop_bench-cfc6298849a62d24.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/delprop_bench-cfc6298849a62d24: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

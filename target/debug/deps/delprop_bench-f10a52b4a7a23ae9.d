@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/delprop_bench-f10a52b4a7a23ae9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdelprop_bench-f10a52b4a7a23ae9.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libdelprop_bench-f10a52b4a7a23ae9.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

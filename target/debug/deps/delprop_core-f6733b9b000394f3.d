@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/delprop_core-f6733b9b000394f3.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/error.rs crates/core/src/landscape.rs crates/core/src/problem.rs crates/core/src/reduction.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/budget.rs crates/core/src/runtime/fault.rs crates/core/src/runtime/portfolio.rs crates/core/src/runtime/solver.rs crates/core/src/solution.rs crates/core/src/solvers/mod.rs crates/core/src/solvers/dp_tree.rs crates/core/src/solvers/exact.rs crates/core/src/solvers/general.rs crates/core/src/solvers/local_search.rs crates/core/src/solvers/lowdeg_tree.rs crates/core/src/solvers/lp_round.rs crates/core/src/solvers/primal_dual.rs crates/core/src/solvers/primal_dual_balanced.rs crates/core/src/solvers/single_query.rs crates/core/src/solvers/source.rs
+
+/root/repo/target/debug/deps/libdelprop_core-f6733b9b000394f3.rlib: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/error.rs crates/core/src/landscape.rs crates/core/src/problem.rs crates/core/src/reduction.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/budget.rs crates/core/src/runtime/fault.rs crates/core/src/runtime/portfolio.rs crates/core/src/runtime/solver.rs crates/core/src/solution.rs crates/core/src/solvers/mod.rs crates/core/src/solvers/dp_tree.rs crates/core/src/solvers/exact.rs crates/core/src/solvers/general.rs crates/core/src/solvers/local_search.rs crates/core/src/solvers/lowdeg_tree.rs crates/core/src/solvers/lp_round.rs crates/core/src/solvers/primal_dual.rs crates/core/src/solvers/primal_dual_balanced.rs crates/core/src/solvers/single_query.rs crates/core/src/solvers/source.rs
+
+/root/repo/target/debug/deps/libdelprop_core-f6733b9b000394f3.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/error.rs crates/core/src/landscape.rs crates/core/src/problem.rs crates/core/src/reduction.rs crates/core/src/runtime/mod.rs crates/core/src/runtime/budget.rs crates/core/src/runtime/fault.rs crates/core/src/runtime/portfolio.rs crates/core/src/runtime/solver.rs crates/core/src/solution.rs crates/core/src/solvers/mod.rs crates/core/src/solvers/dp_tree.rs crates/core/src/solvers/exact.rs crates/core/src/solvers/general.rs crates/core/src/solvers/local_search.rs crates/core/src/solvers/lowdeg_tree.rs crates/core/src/solvers/lp_round.rs crates/core/src/solvers/primal_dual.rs crates/core/src/solvers/primal_dual_balanced.rs crates/core/src/solvers/single_query.rs crates/core/src/solvers/source.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/error.rs:
+crates/core/src/landscape.rs:
+crates/core/src/problem.rs:
+crates/core/src/reduction.rs:
+crates/core/src/runtime/mod.rs:
+crates/core/src/runtime/budget.rs:
+crates/core/src/runtime/fault.rs:
+crates/core/src/runtime/portfolio.rs:
+crates/core/src/runtime/solver.rs:
+crates/core/src/solution.rs:
+crates/core/src/solvers/mod.rs:
+crates/core/src/solvers/dp_tree.rs:
+crates/core/src/solvers/exact.rs:
+crates/core/src/solvers/general.rs:
+crates/core/src/solvers/local_search.rs:
+crates/core/src/solvers/lowdeg_tree.rs:
+crates/core/src/solvers/lp_round.rs:
+crates/core/src/solvers/primal_dual.rs:
+crates/core/src/solvers/primal_dual_balanced.rs:
+crates/core/src/solvers/single_query.rs:
+crates/core/src/solvers/source.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/delprop_hypergraph-197ae20c37114757.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_hypergraph-197ae20c37114757.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs Cargo.toml
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/datagraph.rs:
+crates/hypergraph/src/dual.rs:
+crates/hypergraph/src/gyo.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/pivot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

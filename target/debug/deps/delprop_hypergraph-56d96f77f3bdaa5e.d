@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/delprop_hypergraph-56d96f77f3bdaa5e.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+/root/repo/target/debug/deps/libdelprop_hypergraph-56d96f77f3bdaa5e.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+/root/repo/target/debug/deps/libdelprop_hypergraph-56d96f77f3bdaa5e.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/datagraph.rs:
+crates/hypergraph/src/dual.rs:
+crates/hypergraph/src/gyo.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/pivot.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/delprop_hypergraph-e169ecb7984e032c.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+/root/repo/target/debug/deps/delprop_hypergraph-e169ecb7984e032c: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/datagraph.rs:
+crates/hypergraph/src/dual.rs:
+crates/hypergraph/src/gyo.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/pivot.rs:

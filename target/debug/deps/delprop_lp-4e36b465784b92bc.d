@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delprop_lp-4e36b465784b92bc.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libdelprop_lp-4e36b465784b92bc.rlib: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libdelprop_lp-4e36b465784b92bc.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/delprop_lp-8c24d2e0e75f752a.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/delprop_lp-8c24d2e0e75f752a: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/delprop_lp-cdf2d1fe155d8f39.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_lp-cdf2d1fe155d8f39.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs Cargo.toml
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

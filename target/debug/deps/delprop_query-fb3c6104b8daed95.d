@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/delprop_query-fb3c6104b8daed95.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/containment.rs crates/query/src/error.rs crates/query/src/eval/mod.rs crates/query/src/eval/compile.rs crates/query/src/eval/hashjoin.rs crates/query/src/eval/jointree.rs crates/query/src/eval/naive.rs crates/query/src/eval/yannakakis.rs crates/query/src/maintain.rs crates/query/src/parse.rs crates/query/src/properties.rs crates/query/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_query-fb3c6104b8daed95.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/containment.rs crates/query/src/error.rs crates/query/src/eval/mod.rs crates/query/src/eval/compile.rs crates/query/src/eval/hashjoin.rs crates/query/src/eval/jointree.rs crates/query/src/eval/naive.rs crates/query/src/eval/yannakakis.rs crates/query/src/maintain.rs crates/query/src/parse.rs crates/query/src/properties.rs crates/query/src/view.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/containment.rs:
+crates/query/src/error.rs:
+crates/query/src/eval/mod.rs:
+crates/query/src/eval/compile.rs:
+crates/query/src/eval/hashjoin.rs:
+crates/query/src/eval/jointree.rs:
+crates/query/src/eval/naive.rs:
+crates/query/src/eval/yannakakis.rs:
+crates/query/src/maintain.rs:
+crates/query/src/parse.rs:
+crates/query/src/properties.rs:
+crates/query/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

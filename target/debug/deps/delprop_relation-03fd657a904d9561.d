@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/delprop_relation-03fd657a904d9561.d: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_relation-03fd657a904d9561.rmeta: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+crates/relation/src/lib.rs:
+crates/relation/src/database.rs:
+crates/relation/src/error.rs:
+crates/relation/src/fd.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/delprop_relation-36e8fd594b2a18c8.d: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_relation-36e8fd594b2a18c8.rmeta: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs Cargo.toml
+
+crates/relation/src/lib.rs:
+crates/relation/src/database.rs:
+crates/relation/src/error.rs:
+crates/relation/src/fd.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

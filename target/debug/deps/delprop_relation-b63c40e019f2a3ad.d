@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/delprop_relation-b63c40e019f2a3ad.d: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/debug/deps/libdelprop_relation-b63c40e019f2a3ad.rlib: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/debug/deps/libdelprop_relation-b63c40e019f2a3ad.rmeta: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/database.rs:
+crates/relation/src/error.rs:
+crates/relation/src/fd.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/delprop_relation-cf459f90482efd05.d: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/debug/deps/delprop_relation-cf459f90482efd05: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/database.rs:
+crates/relation/src/error.rs:
+crates/relation/src/fd.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/delprop_setcover-45a9f71d64235f47.d: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_setcover-45a9f71d64235f47.rmeta: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs Cargo.toml
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/bitset.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lowdeg.rs:
+crates/setcover/src/posneg.rs:
+crates/setcover/src/redblue.rs:
+crates/setcover/src/reduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

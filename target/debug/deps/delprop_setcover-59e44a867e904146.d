@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/delprop_setcover-59e44a867e904146.d: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_setcover-59e44a867e904146.rmeta: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs Cargo.toml
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/bitset.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lowdeg.rs:
+crates/setcover/src/posneg.rs:
+crates/setcover/src/redblue.rs:
+crates/setcover/src/reduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/delprop_setcover-63d5914596360238.d: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs
+
+/root/repo/target/debug/deps/delprop_setcover-63d5914596360238: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/bitset.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lowdeg.rs:
+crates/setcover/src/posneg.rs:
+crates/setcover/src/redblue.rs:
+crates/setcover/src/reduce.rs:

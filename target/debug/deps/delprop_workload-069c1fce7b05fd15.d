@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/delprop_workload-069c1fce7b05fd15.d: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+/root/repo/target/debug/deps/delprop_workload-069c1fce7b05fd15: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cleaning.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/forest.rs:
+crates/workload/src/gadget.rs:
+crates/workload/src/random_db.rs:
+crates/workload/src/redblue_gen.rs:
+crates/workload/src/rng.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/delprop_workload-0d135bd97222a118.d: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+/root/repo/target/debug/deps/libdelprop_workload-0d135bd97222a118.rlib: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+/root/repo/target/debug/deps/libdelprop_workload-0d135bd97222a118.rmeta: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cleaning.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/forest.rs:
+crates/workload/src/gadget.rs:
+crates/workload/src/random_db.rs:
+crates/workload/src/redblue_gen.rs:
+crates/workload/src/rng.rs:

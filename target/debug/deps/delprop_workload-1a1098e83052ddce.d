@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/delprop_workload-1a1098e83052ddce.d: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelprop_workload-1a1098e83052ddce.rmeta: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/cleaning.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/forest.rs:
+crates/workload/src/gadget.rs:
+crates/workload/src/random_db.rs:
+crates/workload/src/redblue_gen.rs:
+crates/workload/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

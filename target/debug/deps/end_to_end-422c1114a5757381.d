@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-422c1114a5757381.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-422c1114a5757381: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-6a108f7dc30a40df.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-6a108f7dc30a40df: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-33d2a3af1af7ae78.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-33d2a3af1af7ae78.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-556de79cb1b8bcce.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-556de79cb1b8bcce: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-eafedd40cd37b540.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-eafedd40cd37b540.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

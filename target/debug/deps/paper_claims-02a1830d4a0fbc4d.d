@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-02a1830d4a0fbc4d.d: tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-02a1830d4a0fbc4d.rmeta: tests/paper_claims.rs Cargo.toml
+
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-a34237105753ab4d.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-a34237105753ab4d: tests/paper_claims.rs
+
+tests/paper_claims.rs:

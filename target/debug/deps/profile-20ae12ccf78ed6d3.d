@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile-20ae12ccf78ed6d3.d: crates/bench/src/bin/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile-20ae12ccf78ed6d3.rmeta: crates/bench/src/bin/profile.rs Cargo.toml
+
+crates/bench/src/bin/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-399531720e66bc53.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-399531720e66bc53: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_extensions-126b0cdd4726da28.d: tests/prop_extensions.rs
+
+/root/repo/target/debug/deps/prop_extensions-126b0cdd4726da28: tests/prop_extensions.rs
+
+tests/prop_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_extensions-3ab0b8b046e17db1.d: tests/prop_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_extensions-3ab0b8b046e17db1.rmeta: tests/prop_extensions.rs Cargo.toml
+
+tests/prop_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

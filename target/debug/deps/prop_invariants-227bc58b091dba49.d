@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_invariants-227bc58b091dba49.d: tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_invariants-227bc58b091dba49.rmeta: tests/prop_invariants.rs Cargo.toml
+
+tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-857d8507dae714e4.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-857d8507dae714e4: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_nodes-c6d8769c6a4f0605.d: tests/scratch_nodes.rs
+
+/root/repo/target/debug/deps/scratch_nodes-c6d8769c6a4f0605: tests/scratch_nodes.rs
+
+tests/scratch_nodes.rs:

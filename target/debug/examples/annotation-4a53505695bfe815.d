@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/annotation-4a53505695bfe815.d: examples/annotation.rs
+
+/root/repo/target/debug/examples/annotation-4a53505695bfe815: examples/annotation.rs
+
+examples/annotation.rs:

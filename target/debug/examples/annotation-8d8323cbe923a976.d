@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/annotation-8d8323cbe923a976.d: examples/annotation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libannotation-8d8323cbe923a976.rmeta: examples/annotation.rs Cargo.toml
+
+examples/annotation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

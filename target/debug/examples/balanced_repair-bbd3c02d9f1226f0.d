@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/balanced_repair-bbd3c02d9f1226f0.d: examples/balanced_repair.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbalanced_repair-bbd3c02d9f1226f0.rmeta: examples/balanced_repair.rs Cargo.toml
+
+examples/balanced_repair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

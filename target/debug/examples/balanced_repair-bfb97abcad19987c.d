@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/balanced_repair-bfb97abcad19987c.d: examples/balanced_repair.rs
+
+/root/repo/target/debug/examples/balanced_repair-bfb97abcad19987c: examples/balanced_repair.rs
+
+examples/balanced_repair.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_cleaning-886e38dbb281f2bb.d: examples/data_cleaning.rs
+
+/root/repo/target/debug/examples/data_cleaning-886e38dbb281f2bb: examples/data_cleaning.rs
+
+examples/data_cleaning.rs:

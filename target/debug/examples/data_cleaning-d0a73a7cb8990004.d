@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_cleaning-d0a73a7cb8990004.d: examples/data_cleaning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_cleaning-d0a73a7cb8990004.rmeta: examples/data_cleaning.rs Cargo.toml
+
+examples/data_cleaning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

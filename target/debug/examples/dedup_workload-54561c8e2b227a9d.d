@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_workload-54561c8e2b227a9d.d: examples/dedup_workload.rs
+
+/root/repo/target/debug/examples/dedup_workload-54561c8e2b227a9d: examples/dedup_workload.rs
+
+examples/dedup_workload.rs:

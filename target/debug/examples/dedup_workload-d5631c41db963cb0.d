@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dedup_workload-d5631c41db963cb0.d: examples/dedup_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdedup_workload-d5631c41db963cb0.rmeta: examples/dedup_workload.rs Cargo.toml
+
+examples/dedup_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fd_repair-32a722463dfcacf5.d: examples/fd_repair.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfd_repair-32a722463dfcacf5.rmeta: examples/fd_repair.rs Cargo.toml
+
+examples/fd_repair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fd_repair-ab20b5d99003b77f.d: examples/fd_repair.rs
+
+/root/repo/target/debug/examples/fd_repair-ab20b5d99003b77f: examples/fd_repair.rs
+
+examples/fd_repair.rs:

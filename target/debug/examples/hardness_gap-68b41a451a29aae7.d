@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardness_gap-68b41a451a29aae7.d: examples/hardness_gap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardness_gap-68b41a451a29aae7.rmeta: examples/hardness_gap.rs Cargo.toml
+
+examples/hardness_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

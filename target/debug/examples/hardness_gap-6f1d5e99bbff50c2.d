@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardness_gap-6f1d5e99bbff50c2.d: examples/hardness_gap.rs
+
+/root/repo/target/debug/examples/hardness_gap-6f1d5e99bbff50c2: examples/hardness_gap.rs
+
+examples/hardness_gap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/portfolio-79f6dd7d3f69ff8b.d: examples/portfolio.rs Cargo.toml
+
+/root/repo/target/debug/examples/libportfolio-79f6dd7d3f69ff8b.rmeta: examples/portfolio.rs Cargo.toml
+
+examples/portfolio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

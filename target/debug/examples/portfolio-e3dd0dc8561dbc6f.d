@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/portfolio-e3dd0dc8561dbc6f.d: examples/portfolio.rs
+
+/root/repo/target/debug/examples/portfolio-e3dd0dc8561dbc6f: examples/portfolio.rs
+
+examples/portfolio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ad8041a6914dd10e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ad8041a6914dd10e: examples/quickstart.rs
+
+examples/quickstart.rs:

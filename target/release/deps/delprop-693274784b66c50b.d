@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/delprop-693274784b66c50b.d: src/bin/delprop.rs
+
+/root/repo/target/release/deps/delprop-693274784b66c50b: src/bin/delprop.rs
+
+src/bin/delprop.rs:

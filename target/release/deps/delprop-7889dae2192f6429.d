@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/delprop-7889dae2192f6429.d: src/lib.rs src/script.rs
+
+/root/repo/target/release/deps/libdelprop-7889dae2192f6429.rlib: src/lib.rs src/script.rs
+
+/root/repo/target/release/deps/libdelprop-7889dae2192f6429.rmeta: src/lib.rs src/script.rs
+
+src/lib.rs:
+src/script.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/delprop_bench-9535c947386c06ad.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdelprop_bench-9535c947386c06ad.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libdelprop_bench-9535c947386c06ad.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/delprop_hypergraph-cf0b155e679390c5.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+/root/repo/target/release/deps/libdelprop_hypergraph-cf0b155e679390c5.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+/root/repo/target/release/deps/libdelprop_hypergraph-cf0b155e679390c5.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/datagraph.rs crates/hypergraph/src/dual.rs crates/hypergraph/src/gyo.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/pivot.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/datagraph.rs:
+crates/hypergraph/src/dual.rs:
+crates/hypergraph/src/gyo.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/pivot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/delprop_lp-d3212ca4fe326cfa.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libdelprop_lp-d3212ca4fe326cfa.rlib: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libdelprop_lp-d3212ca4fe326cfa.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/delprop_query-055a5545e62dd17b.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/containment.rs crates/query/src/error.rs crates/query/src/eval/mod.rs crates/query/src/eval/compile.rs crates/query/src/eval/hashjoin.rs crates/query/src/eval/jointree.rs crates/query/src/eval/naive.rs crates/query/src/eval/yannakakis.rs crates/query/src/maintain.rs crates/query/src/parse.rs crates/query/src/properties.rs crates/query/src/view.rs
+
+/root/repo/target/release/deps/libdelprop_query-055a5545e62dd17b.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/containment.rs crates/query/src/error.rs crates/query/src/eval/mod.rs crates/query/src/eval/compile.rs crates/query/src/eval/hashjoin.rs crates/query/src/eval/jointree.rs crates/query/src/eval/naive.rs crates/query/src/eval/yannakakis.rs crates/query/src/maintain.rs crates/query/src/parse.rs crates/query/src/properties.rs crates/query/src/view.rs
+
+/root/repo/target/release/deps/libdelprop_query-055a5545e62dd17b.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/containment.rs crates/query/src/error.rs crates/query/src/eval/mod.rs crates/query/src/eval/compile.rs crates/query/src/eval/hashjoin.rs crates/query/src/eval/jointree.rs crates/query/src/eval/naive.rs crates/query/src/eval/yannakakis.rs crates/query/src/maintain.rs crates/query/src/parse.rs crates/query/src/properties.rs crates/query/src/view.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/containment.rs:
+crates/query/src/error.rs:
+crates/query/src/eval/mod.rs:
+crates/query/src/eval/compile.rs:
+crates/query/src/eval/hashjoin.rs:
+crates/query/src/eval/jointree.rs:
+crates/query/src/eval/naive.rs:
+crates/query/src/eval/yannakakis.rs:
+crates/query/src/maintain.rs:
+crates/query/src/parse.rs:
+crates/query/src/properties.rs:
+crates/query/src/view.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/delprop_relation-c17f86fdc1428d18.d: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/release/deps/libdelprop_relation-c17f86fdc1428d18.rlib: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+/root/repo/target/release/deps/libdelprop_relation-c17f86fdc1428d18.rmeta: crates/relation/src/lib.rs crates/relation/src/database.rs crates/relation/src/error.rs crates/relation/src/fd.rs crates/relation/src/relation.rs crates/relation/src/schema.rs crates/relation/src/tuple.rs crates/relation/src/value.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/database.rs:
+crates/relation/src/error.rs:
+crates/relation/src/fd.rs:
+crates/relation/src/relation.rs:
+crates/relation/src/schema.rs:
+crates/relation/src/tuple.rs:
+crates/relation/src/value.rs:

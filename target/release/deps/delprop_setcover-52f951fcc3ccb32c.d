@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/delprop_setcover-52f951fcc3ccb32c.d: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs
+
+/root/repo/target/release/deps/libdelprop_setcover-52f951fcc3ccb32c.rlib: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs
+
+/root/repo/target/release/deps/libdelprop_setcover-52f951fcc3ccb32c.rmeta: crates/setcover/src/lib.rs crates/setcover/src/bitset.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/lowdeg.rs crates/setcover/src/posneg.rs crates/setcover/src/redblue.rs crates/setcover/src/reduce.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/bitset.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/lowdeg.rs:
+crates/setcover/src/posneg.rs:
+crates/setcover/src/redblue.rs:
+crates/setcover/src/reduce.rs:

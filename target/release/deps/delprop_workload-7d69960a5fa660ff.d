@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/delprop_workload-7d69960a5fa660ff.d: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+/root/repo/target/release/deps/libdelprop_workload-7d69960a5fa660ff.rlib: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+/root/repo/target/release/deps/libdelprop_workload-7d69960a5fa660ff.rmeta: crates/workload/src/lib.rs crates/workload/src/cleaning.rs crates/workload/src/figures.rs crates/workload/src/forest.rs crates/workload/src/gadget.rs crates/workload/src/random_db.rs crates/workload/src/redblue_gen.rs crates/workload/src/rng.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cleaning.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/forest.rs:
+crates/workload/src/gadget.rs:
+crates/workload/src/random_db.rs:
+crates/workload/src/redblue_gen.rs:
+crates/workload/src/rng.rs:

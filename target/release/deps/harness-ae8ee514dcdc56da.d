@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-ae8ee514dcdc56da.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-ae8ee514dcdc56da: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

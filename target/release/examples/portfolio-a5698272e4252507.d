@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/portfolio-a5698272e4252507.d: examples/portfolio.rs
+
+/root/repo/target/release/examples/portfolio-a5698272e4252507: examples/portfolio.rs
+
+examples/portfolio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-653ebaa9817af1de.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-653ebaa9817af1de: examples/quickstart.rs
+
+examples/quickstart.rs:

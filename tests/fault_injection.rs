@@ -1,0 +1,229 @@
+//! Fault-injection tests for the portfolio runtime (the acceptance suite
+//! of the robustness layer): a panicking member is contained and
+//! reported, a budget-exhausted exact solve degrades to a verified
+//! feasible approximation, and infeasible/corrupt member output is
+//! rejected by verification. In every scenario the portfolio returns
+//! either a verified `Solution` or a typed `CoreError` — never a raw
+//! panic, never an unverified answer.
+
+use delprop::core::runtime::solver::{ExactSolver, GreedySolver, LocalSearchSolver};
+use delprop::core::solvers::local_search::Objective;
+use delprop::prelude::*;
+use delprop::query::parse_query;
+use delprop::relation::{Database, RelationSchema, Schema, Tuple};
+use delprop::workload::random_db::{self, RandomDbParams};
+
+/// The binary-counter chain workload: `n` counter values joined through
+/// `atoms` binary relations, with the view tuples at `blue` marked for
+/// deletion. Small but combinatorially busy — the exact search explores
+/// hundreds of nodes.
+fn chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
+    let schema = Schema::from_relations(
+        (1..=atoms).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut db = Database::new(schema);
+    for i in 0..n {
+        for j in 1..=atoms {
+            let a = (i >> (j - 1)) as i64;
+            let b = (i >> j) as i64;
+            let name = format!("R{j}");
+            let rid = db.schema().relation_id(&name).unwrap();
+            use delprop::relation::Value;
+            if db
+                .find_by_key(rid, &[Value::int(a), Value::int(b)])
+                .is_none()
+            {
+                db.insert(&name, tup![a, b]).unwrap();
+            }
+        }
+    }
+    let head: Vec<String> = (0..=atoms).map(|j| format!("x{j}")).collect();
+    let body: Vec<String> = (1..=atoms)
+        .map(|j| format!("R{j}(x{}, x{j})", j - 1))
+        .collect();
+    let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
+    let q = parse_query(&src).unwrap().bind(db.schema()).unwrap();
+    let mut p = Problem::new(db, vec![q]).unwrap();
+    for &i in blue {
+        let h: Tuple = (0..=atoms).map(|j| (i >> j) as i64).collect();
+        p.mark_deleted(0, &h).unwrap();
+    }
+    p
+}
+
+fn faulty_chain(mode: FaultMode) -> Portfolio {
+    Portfolio::new(Objective::Standard)
+        .with(FaultySolver::new(GreedySolver, mode))
+        .with(GreedySolver)
+}
+
+// -------------------------------------------------------------------
+// Scenario 1: a panicking member is contained and reported.
+// -------------------------------------------------------------------
+
+#[test]
+fn panicking_member_is_contained_and_chain_recovers() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    let out = faulty_chain(FaultMode::Panic)
+        .solve(&p, &Budget::unlimited())
+        .expect("healthy fallback must win");
+    assert_eq!(out.winner, "greedy");
+    assert!(out.solution.is_feasible(&p));
+    match &out.report[0].status {
+        MemberStatus::Panicked { message } => {
+            assert!(message.contains("injected panic"), "got: {message}")
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn all_members_panicking_yields_typed_error_not_a_panic() {
+    let p = chain_problem(6, 3, &[1, 3]);
+    let chain = Portfolio::new(Objective::Standard)
+        .with(FaultySolver::new(GreedySolver, FaultMode::Panic))
+        .with(FaultySolver::new(LocalSearchSolver, FaultMode::Panic));
+    let err = chain.solve(&p, &Budget::unlimited()).unwrap_err();
+    // No verified solution and no budget/typed failure: a clean
+    // infeasibility report, not an escaping panic.
+    assert!(matches!(err, CoreError::Infeasible { .. }), "got {err:?}");
+}
+
+// -------------------------------------------------------------------
+// Scenario 2: budget exhaustion degrades to a verified feasible answer.
+// -------------------------------------------------------------------
+
+#[test]
+fn budget_exhausted_exact_degrades_to_verified_incumbent() {
+    // A dense multi-query workload whose full branch-and-bound search
+    // runs far past 200k nodes: any small budget is guaranteed to drain
+    // mid-search, while the DFS holds a feasible incumbent within the
+    // first ~‖ΔV‖ nodes.
+    let p = random_db::generate(
+        RandomDbParams {
+            num_relations: 5,
+            num_queries: 4,
+            atoms_per_query: 2,
+            domain: 5,
+            tuples_per_relation: 18,
+            delete_fraction: 0.4,
+            weighted: true,
+        },
+        1,
+    );
+    let chain = Portfolio::new(Objective::Standard)
+        .with(ExactSolver::default())
+        .with(GreedySolver);
+    let budget = Budget::with_ticks(50_000);
+    let out = chain
+        .solve(&p, &budget)
+        .expect("the truncated incumbent must verify");
+    assert!(budget.is_exhausted(), "the budget must actually drain");
+    assert_eq!(out.winner, "exact", "best-so-far incumbent, unproven");
+    assert!(out.report[0].status.is_verified());
+    assert!(out.solution.is_feasible(&p));
+    // The incumbent is a genuine (verified) approximation: its cost is
+    // the re-checked side-effect.
+    assert!((out.cost - out.solution.side_effect(&p)).abs() < 1e-12);
+}
+
+#[test]
+fn stalling_member_is_bounded_by_the_budget() {
+    let p = chain_problem(8, 3, &[1, 4]);
+    let budget = Budget::with_ticks(1_000);
+    let err = faulty_chain(FaultMode::Stall)
+        .solve(&p, &budget)
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::BudgetExhausted { .. }),
+        "got {err:?}"
+    );
+    assert!(budget.is_exhausted());
+}
+
+#[test]
+fn budget_hog_fails_typed_and_starves_the_tail() {
+    let p = chain_problem(8, 3, &[1, 4]);
+    let budget = Budget::with_ticks(10_000);
+    let err = faulty_chain(FaultMode::ExhaustBudget)
+        .solve(&p, &budget)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+    assert_eq!(budget.remaining(), 0);
+}
+
+// -------------------------------------------------------------------
+// Scenario 3: infeasible / corrupt output is rejected by verification.
+// -------------------------------------------------------------------
+
+#[test]
+fn infeasible_member_output_is_rejected() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    let out = faulty_chain(FaultMode::Infeasible)
+        .solve(&p, &Budget::unlimited())
+        .unwrap();
+    assert_eq!(out.report[0].status, MemberStatus::RejectedInfeasible);
+    assert_eq!(out.winner, "greedy");
+    assert!(out.solution.is_feasible(&p));
+}
+
+#[test]
+fn corrupt_member_output_is_rejected() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    let out = faulty_chain(FaultMode::Corrupt)
+        .solve(&p, &Budget::unlimited())
+        .unwrap();
+    // Fabricated tuple ids cut nothing, so verification refuses the
+    // solution outright.
+    assert_eq!(out.report[0].status, MemberStatus::RejectedInfeasible);
+    assert_eq!(out.winner, "greedy");
+    assert!(out.solution.is_feasible(&p));
+}
+
+#[test]
+fn typed_error_member_is_reported_and_skipped_over() {
+    let p = chain_problem(8, 3, &[1, 4]);
+    let out = faulty_chain(FaultMode::TypedError)
+        .solve(&p, &Budget::unlimited())
+        .unwrap();
+    assert!(matches!(
+        out.report[0].status,
+        MemberStatus::Failed {
+            error: CoreError::StructureMismatch { .. }
+        }
+    ));
+    assert_eq!(out.winner, "greedy");
+}
+
+// -------------------------------------------------------------------
+// The invariant, stated as a sweep: under every fault mode the portfolio
+// returns a verified solution or a typed error — never panics.
+// -------------------------------------------------------------------
+
+#[test]
+fn every_fault_mode_is_survivable() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    for mode in [
+        FaultMode::None,
+        FaultMode::Panic,
+        FaultMode::Stall,
+        FaultMode::ExhaustBudget,
+        FaultMode::Infeasible,
+        FaultMode::Corrupt,
+        FaultMode::TypedError,
+    ] {
+        let budget = Budget::with_ticks(100_000);
+        match faulty_chain(mode).solve(&p, &budget) {
+            Ok(out) => {
+                assert!(out.solution.is_feasible(&p), "{mode:?}");
+                // The cost reported is the verified cost, recomputed here.
+                assert!((out.cost - out.solution.side_effect(&p)).abs() < 1e-12);
+            }
+            Err(e) => assert!(
+                matches!(e, CoreError::BudgetExhausted { .. }),
+                "{mode:?} gave unexpected error {e:?}"
+            ),
+        }
+    }
+}

@@ -23,7 +23,12 @@ fn theorem1_reduction_preserves_optima() {
         let a = delprop::setcover::exact::solve(&rb, ExactConfig::default());
         let b = exact::solve(&g.problem, ExactConfig::default());
         assert!(a.proven_optimal && b.proven_optimal);
-        assert!((a.cost - b.cost).abs() < 1e-9, "seed {seed}: {} vs {}", a.cost, b.cost);
+        assert!(
+            (a.cost - b.cost).abs() < 1e-9,
+            "seed {seed}: {} vs {}",
+            a.cost,
+            b.cost
+        );
     }
 }
 
@@ -90,7 +95,12 @@ fn lemma1_balanced_approximation_within_bound() {
             seed,
         );
         let sol = general::solve_balanced(&p);
-        let opt = exact::solve_balanced(&p, ExactConfig { node_limit: Some(2_000_000) });
+        let opt = exact::solve_balanced(
+            &p,
+            ExactConfig {
+                node_limit: Some(2_000_000),
+            },
+        );
         if !opt.proven_optimal {
             continue;
         }
@@ -123,7 +133,10 @@ fn theorem3_primal_dual_l_approximation() {
         let out = primal_dual::solve(&p, &Default::default()).unwrap();
         assert!(out.solution.is_feasible(&p));
         let opt = exact::solve(&p, ExactConfig::default());
-        assert!(out.dual_objective <= opt.cost + 1e-6, "weak duality violated");
+        assert!(
+            out.dual_objective <= opt.cost + 1e-6,
+            "weak duality violated"
+        );
         let l = p.l() as f64;
         assert!(
             out.solution.side_effect(&p) <= l * opt.cost.max(1e-9) + 1e-6,
@@ -193,10 +206,12 @@ fn fig3_hypertree_recognition() {
 /// l-approximation, across workload families.
 #[test]
 fn lp_bounds_and_rounding_hold_across_families() {
-    let problems = [figures::fig1_problem(),
+    let problems = [
+        figures::fig1_problem(),
         forest::pivot_broom(4, 2, &[0, 1]),
         forest::generate(forest::ForestParams::default(), 3),
-        random_db::generate(random_db::RandomDbParams::default(), 3)];
+        random_db::generate(random_db::RandomDbParams::default(), 3),
+    ];
     for (i, p) in problems.iter().enumerate() {
         let lb = lp_round::lower_bound(p);
         let opt = exact::solve(p, ExactConfig::default());

@@ -1,6 +1,8 @@
-//! Property-based tests for the extension modules: functional
-//! dependencies, incremental maintenance, the Yannakakis engine, the
-//! source-side-effect solver, and local search.
+//! Randomized-but-deterministic tests for the extension modules:
+//! functional dependencies, incremental maintenance, the Yannakakis
+//! engine, the source-side-effect solver, and local search. Originally
+//! proptest properties; now driven by the in-tree seeded PRNG so the
+//! workspace builds offline. Every case reproduces from its seed.
 
 use delprop::core::solvers::{exact, general, local_search, source};
 use delprop::core::{Problem, Solution};
@@ -10,72 +12,75 @@ use delprop::relation::{
     tup, Database, FunctionalDependency, RelationFds, RelationSchema, Schema, TupleId,
 };
 use delprop::setcover::exact::ExactConfig;
-use proptest::prelude::*;
+use delprop::workload::rng::SplitMix64;
 
 // ---------------------------------------------------------------------
 // Functional dependencies.
 // ---------------------------------------------------------------------
 
-fn fds_strategy() -> impl Strategy<Value = (usize, RelationFds)> {
-    (3usize..6).prop_flat_map(|arity| {
-        let fd = (
-            proptest::collection::vec(0..arity, 1..3),
-            proptest::collection::vec(0..arity, 1..3),
-        );
-        proptest::collection::vec(fd, 0..5).prop_map(move |fds| {
-            let mut rf = RelationFds::new(arity);
-            for (l, r) in fds {
-                rf.add(FunctionalDependency::new(l, r)).unwrap();
-            }
-            (arity, rf)
-        })
-    })
+fn random_fds(rng: &mut SplitMix64) -> (usize, RelationFds) {
+    let arity = 3 + rng.below(3); // 3..6
+    let mut rf = RelationFds::new(arity);
+    for _ in 0..rng.below(5) {
+        let lhs: Vec<usize> = (0..1 + rng.below(2)).map(|_| rng.below(arity)).collect();
+        let rhs: Vec<usize> = (0..1 + rng.below(2)).map(|_| rng.below(arity)).collect();
+        rf.add(FunctionalDependency::new(lhs, rhs)).unwrap();
+    }
+    (arity, rf)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Closure is extensive, monotone, and idempotent.
-    #[test]
-    fn fd_closure_is_a_closure_operator(
-        (arity, fds) in fds_strategy(),
-        seed in proptest::collection::btree_set(0usize..6, 0..4),
-    ) {
+/// Closure is extensive, monotone, and idempotent.
+#[test]
+fn fd_closure_is_a_closure_operator() {
+    let mut rng = SplitMix64::seed_from_u64(0xfd1);
+    for case in 0..64 {
+        let (arity, fds) = random_fds(&mut rng);
+        let mut seed: std::collections::BTreeSet<usize> = Default::default();
+        for _ in 0..rng.below(4) {
+            seed.insert(rng.below(6));
+        }
         let attrs: Vec<usize> = seed.into_iter().filter(|&a| a < arity).collect();
         let closed = fds.closure(&attrs);
         // extensive
         for &a in &attrs {
-            prop_assert!(closed.contains(&a));
+            assert!(closed.contains(&a), "case {case}");
         }
         // idempotent
         let closed_vec: Vec<usize> = closed.iter().copied().collect();
-        prop_assert_eq!(&fds.closure(&closed_vec), &closed);
+        assert_eq!(&fds.closure(&closed_vec), &closed, "case {case}");
         // monotone: closure of a subset is a subset of the closure
         if !attrs.is_empty() {
             let sub = &attrs[..attrs.len() - 1];
             let sub_closed = fds.closure(sub);
-            prop_assert!(sub_closed.is_subset(&closed));
+            assert!(sub_closed.is_subset(&closed), "case {case}");
         }
     }
+}
 
-    /// Candidate keys are superkeys, minimal, and mutually incomparable.
-    #[test]
-    fn candidate_keys_are_minimal_superkeys((arity, fds) in fds_strategy()) {
+/// Candidate keys are superkeys, minimal, and mutually incomparable.
+#[test]
+fn candidate_keys_are_minimal_superkeys() {
+    let mut rng = SplitMix64::seed_from_u64(0xfd2);
+    for case in 0..64 {
+        let (arity, fds) = random_fds(&mut rng);
         let all: Vec<usize> = (0..arity).collect();
         let keys = fds.candidate_keys(std::slice::from_ref(&all));
-        prop_assert!(!keys.is_empty(), "the full attribute set seeds one key");
+        assert!(!keys.is_empty(), "case {case}: the full set seeds one key");
         for k in &keys {
-            prop_assert!(fds.is_superkey(k));
+            assert!(fds.is_superkey(k), "case {case}");
             for i in 0..k.len() {
                 let mut smaller = k.clone();
                 smaller.remove(i);
-                prop_assert!(!fds.is_superkey(&smaller), "key {k:?} not minimal");
+                assert!(!fds.is_superkey(&smaller), "case {case}: {k:?} not minimal");
             }
         }
         for a in &keys {
             for b in &keys {
                 if a != b {
-                    prop_assert!(!a.iter().all(|p| b.contains(p)), "{a:?} ⊆ {b:?}");
+                    assert!(
+                        !a.iter().all(|p| b.contains(p)),
+                        "case {case}: {a:?} ⊆ {b:?}"
+                    );
                 }
             }
         }
@@ -86,39 +91,38 @@ proptest! {
 // Incremental maintenance & Yannakakis, on random databases.
 // ---------------------------------------------------------------------
 
-fn db_strategy() -> impl Strategy<Value = Database> {
-    let pair = || (0i64..5, 0i64..5);
-    (
-        proptest::collection::btree_set(pair(), 1..10),
-        proptest::collection::btree_set(pair(), 1..10),
-    )
-        .prop_map(|(a, b)| {
-            let schema = Schema::from_relations([
-                RelationSchema::new("A", 2, vec![0, 1]).unwrap(),
-                RelationSchema::new("B", 2, vec![0, 1]).unwrap(),
-            ])
-            .unwrap();
-            let mut db = Database::new(schema);
-            for (x, y) in a {
-                db.insert("A", tup![x, y]).unwrap();
+fn random_two_rel_db(rng: &mut SplitMix64) -> Database {
+    let schema = Schema::from_relations([
+        RelationSchema::new("A", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("B", 2, vec![0, 1]).unwrap(),
+    ])
+    .unwrap();
+    let mut db = Database::new(schema);
+    for name in ["A", "B"] {
+        let rid = db.schema().relation_id(name).unwrap();
+        for _ in 0..1 + rng.below(9) {
+            let x = rng.below(5) as i64;
+            let y = rng.below(5) as i64;
+            use delprop::relation::Value;
+            if db
+                .find_by_key(rid, &[Value::int(x), Value::int(y)])
+                .is_none()
+            {
+                db.insert(name, tup![x, y]).unwrap();
             }
-            for (x, y) in b {
-                db.insert("B", tup![x, y]).unwrap();
-            }
-            db
-        })
+        }
+    }
+    db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The incremental delta equals full re-materialization for any
-    /// deletion batch.
-    #[test]
-    fn maintenance_matches_rematerialization(
-        db in db_strategy(),
-        kill_mask in 0u32..64,
-    ) {
+/// The incremental delta equals full re-materialization for any
+/// deletion batch.
+#[test]
+fn maintenance_matches_rematerialization() {
+    let mut rng = SplitMix64::seed_from_u64(0x11a11);
+    for case in 0..48 {
+        let db = random_two_rel_db(&mut rng);
+        let kill_mask = rng.below(64) as u32;
         let q = parse_query("Q(x, y, z) :- A(x, y), B(y, z)")
             .unwrap()
             .bind(db.schema())
@@ -141,12 +145,17 @@ proptest! {
                 expected.push(delprop::query::ViewTupleId::new(0, ti));
             }
         }
-        prop_assert_eq!(delta.eliminated, expected);
+        assert_eq!(delta.eliminated, expected, "case {case}");
     }
+}
 
-    /// Incremental batches agree with one-shot deltas.
-    #[test]
-    fn maintained_views_batch_split_agrees(db in db_strategy(), split in 1usize..4) {
+/// Incremental batches agree with one-shot deltas.
+#[test]
+fn maintained_views_batch_split_agrees() {
+    let mut rng = SplitMix64::seed_from_u64(0x11a12);
+    for case in 0..48 {
+        let db = random_two_rel_db(&mut rng);
+        let split = 1 + rng.below(3);
         let q = parse_query("Q(x, y, z) :- A(x, y), B(y, z)")
             .unwrap()
             .bind(db.schema())
@@ -160,13 +169,17 @@ proptest! {
             dead.extend(m.delete(chunk));
         }
         dead.sort_unstable();
-        prop_assert_eq!(dead, once.eliminated);
+        assert_eq!(dead, once.eliminated, "case {case}");
     }
+}
 
-    /// All three engines agree on random data, acyclic shapes.
-    #[test]
-    fn three_engines_agree(db in db_strategy(), shape in 0usize..3) {
-        let src = match shape {
+/// All three engines agree on random data, acyclic shapes.
+#[test]
+fn three_engines_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0x11a13);
+    for case in 0..48 {
+        let db = random_two_rel_db(&mut rng);
+        let src = match rng.below(3) {
             0 => "Q(x, y, z) :- A(x, y), B(y, z)",
             1 => "Q(x, y, z) :- A(x, y), B(x, z)",
             _ => "Q(x, y) :- A(x, y), B(x, 1)",
@@ -179,8 +192,8 @@ proptest! {
         sort_matches(&mut a);
         sort_matches(&mut b);
         sort_matches(&mut y);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(&a, &y);
+        assert_eq!(&a, &b, "case {case}: {src}");
+        assert_eq!(&a, &y, "case {case}: {src}");
     }
 }
 
@@ -201,7 +214,10 @@ fn chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
             let b = (i >> j) as i64;
             let name = format!("R{j}");
             let rid = db.schema().relation_id(&name).unwrap();
-            if db.find_by_key(rid, &[Value::int(a), Value::int(b)]).is_none() {
+            if db
+                .find_by_key(rid, &[Value::int(a), Value::int(b)])
+                .is_none()
+            {
                 db.insert(&name, tup![a, b]).unwrap();
             }
         }
@@ -220,26 +236,30 @@ fn chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
     p
 }
 
-fn chain_strategy() -> impl Strategy<Value = Problem> {
-    (3usize..9, 2usize..4).prop_flat_map(|(n, atoms)| {
-        proptest::collection::btree_set(0..n, 1..n.min(4))
-            .prop_map(move |blues| chain_problem(n, atoms, &blues.into_iter().collect::<Vec<_>>()))
-    })
+fn random_chain(rng: &mut SplitMix64) -> Problem {
+    let n = 3 + rng.below(6); // 3..9
+    let atoms = 2 + rng.below(2); // 2..4
+    let mut blues: std::collections::BTreeSet<usize> = Default::default();
+    let want = 1 + rng.below(n.min(4) - 1).min(n - 1);
+    while blues.len() < want {
+        blues.insert(rng.below(n));
+    }
+    chain_problem(n, atoms, &blues.into_iter().collect::<Vec<_>>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The exact source solver is feasible, minimal in cardinality among
-    /// a brute-force sweep over candidate subsets, and never larger than
-    /// greedy's answer.
-    #[test]
-    fn source_solver_is_exact(p in chain_strategy()) {
+/// The exact source solver is feasible, minimal in cardinality among
+/// a brute-force sweep over candidate subsets, and never larger than
+/// greedy's answer.
+#[test]
+fn source_solver_is_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x501);
+    for case in 0..32 {
+        let p = random_chain(&mut rng);
         let s = source::solve(&p);
-        prop_assert!(s.is_feasible(&p));
+        assert!(s.is_feasible(&p), "case {case}");
         let g = source::solve_greedy(&p);
-        prop_assert!(g.is_feasible(&p));
-        prop_assert!(s.len() <= g.len());
+        assert!(g.is_feasible(&p), "case {case}");
+        assert!(s.len() <= g.len(), "case {case}");
         // Brute force over candidate subsets (candidates are few here).
         let candidates = p.candidates();
         if candidates.len() <= 12 {
@@ -256,14 +276,18 @@ proptest! {
                     best = best.min(sol.len());
                 }
             }
-            prop_assert_eq!(s.len(), best);
+            assert_eq!(s.len(), best, "case {case}");
         }
     }
+}
 
-    /// Local search never worsens anything and preserves feasibility,
-    /// from both good and terrible starting points.
-    #[test]
-    fn local_search_is_safe(p in chain_strategy()) {
+/// Local search never worsens anything and preserves feasibility,
+/// from both good and terrible starting points.
+#[test]
+fn local_search_is_safe() {
+    let mut rng = SplitMix64::seed_from_u64(0x502);
+    for case in 0..32 {
+        let p = random_chain(&mut rng);
         let starts = vec![
             general::solve(&p).unwrap(),
             Solution::from_tuples(p.candidates()),
@@ -271,9 +295,12 @@ proptest! {
         let opt = exact::solve(&p, ExactConfig::default()).cost;
         for start in starts {
             let polished = local_search::improve(&p, &start, Default::default());
-            prop_assert!(polished.is_feasible(&p));
-            prop_assert!(polished.side_effect(&p) <= start.side_effect(&p) + 1e-9);
-            prop_assert!(polished.side_effect(&p) >= opt - 1e-9);
+            assert!(polished.is_feasible(&p), "case {case}");
+            assert!(
+                polished.side_effect(&p) <= start.side_effect(&p) + 1e-9,
+                "case {case}"
+            );
+            assert!(polished.side_effect(&p) >= opt - 1e-9, "case {case}");
         }
     }
 }
@@ -282,58 +309,69 @@ proptest! {
 // Parser round-trip.
 // ---------------------------------------------------------------------
 
-fn query_strategy() -> impl Strategy<Value = delprop::query::ConjunctiveQuery> {
+fn random_query(rng: &mut SplitMix64) -> delprop::query::ConjunctiveQuery {
     use delprop::query::{Atom, ConjunctiveQuery, Term};
-    let term = prop_oneof![
-        (0usize..4).prop_map(|i| Term::var(format!("x{i}"))),
-        (-3i64..10).prop_map(Term::constant),
-        "[a-z]{1,6}".prop_map(|s| Term::Const(delprop::relation::Value::str(s))),
-    ];
-    let atom = (0usize..3, proptest::collection::vec(term, 1..4))
-        .prop_map(|(r, terms)| Atom::new(format!("T{r}"), terms));
-    proptest::collection::vec(atom, 1..4).prop_map(|body| {
-        // Head: the body's variables in first-occurrence order (safe by
-        // construction; may be empty, in which case add any body var or a
-        // fresh atom won't help — fall back to the first variable-free
-        // body by reusing term x0 in an extra atom).
-        let mut head: Vec<Term> = Vec::new();
-        for a in &body {
-            for v in a.variables() {
-                if !head.iter().any(|t| t.as_var() == Some(v)) {
-                    head.push(Term::var(v));
-                }
+    let random_term = |rng: &mut SplitMix64| match rng.below(3) {
+        0 => Term::var(format!("x{}", rng.below(4))),
+        1 => Term::constant(rng.range_inclusive(-3, 9)),
+        _ => {
+            let len = 1 + rng.below(6);
+            let s: String = (0..len)
+                .map(|_| (b'a' + rng.below(26) as u8) as char)
+                .collect();
+            Term::Const(delprop::relation::Value::str(s))
+        }
+    };
+    let body_len = 1 + rng.below(3);
+    let mut body: Vec<Atom> = (0..body_len)
+        .map(|_| {
+            let rel = format!("T{}", rng.below(3));
+            let terms: Vec<Term> = (0..1 + rng.below(3)).map(|_| random_term(rng)).collect();
+            Atom::new(rel, terms)
+        })
+        .collect();
+    // Head: the body's variables in first-occurrence order; if the body is
+    // variable-free, append one fresh variable atom.
+    let mut head: Vec<Term> = Vec::new();
+    for a in &body {
+        for v in a.variables() {
+            if !head.iter().any(|t| t.as_var() == Some(v)) {
+                head.push(Term::var(v));
             }
         }
-        let mut body = body;
-        if head.is_empty() {
-            head.push(Term::var("x0"));
-            body.push(Atom::new("T0", vec![Term::var("x0")]));
-        }
-        ConjunctiveQuery::new("Q", head, body)
-    })
+    }
+    if head.is_empty() {
+        head.push(Term::var("x0"));
+        body.push(Atom::new("T0", vec![Term::var("x0")]));
+    }
+    ConjunctiveQuery::new("Q", head, body)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Display → parse is the identity on well-formed queries.
-    #[test]
-    fn parser_roundtrips_display(q in query_strategy()) {
+/// Display → parse is the identity on well-formed queries.
+#[test]
+fn parser_roundtrips_display() {
+    let mut rng = SplitMix64::seed_from_u64(0x9a25e1);
+    for case in 0..128 {
+        let q = random_query(&mut rng);
         let printed = q.to_string();
         let reparsed = delprop::query::parse_query(&printed)
-            .unwrap_or_else(|e| panic!("cannot reparse {printed:?}: {e}"));
-        prop_assert_eq!(q, reparsed);
+            .unwrap_or_else(|e| panic!("case {case}: cannot reparse {printed:?}: {e}"));
+        assert_eq!(q, reparsed, "case {case}");
     }
+}
 
-    /// Containment is reflexive and respects the subset-of-atoms direction
-    /// on randomly generated queries sharing a head.
-    #[test]
-    fn containment_reflexive(q in query_strategy()) {
-        // Bind against a permissive schema covering T0..T2 at the used
-        // arities; skip queries whose atoms use one relation at two
-        // different arities (our Schema fixes one arity per relation).
-        use delprop::relation::{RelationSchema, Schema};
-        use std::collections::HashMap;
+/// Containment is reflexive on randomly generated queries that bind
+/// against a consistent-arity schema.
+#[test]
+fn containment_reflexive() {
+    use delprop::relation::{RelationSchema, Schema};
+    use std::collections::HashMap;
+    let mut rng = SplitMix64::seed_from_u64(0x9a25e2);
+    let mut checked = 0;
+    for _ in 0..128 {
+        let q = random_query(&mut rng);
+        // Skip queries whose atoms use one relation at two different
+        // arities (our Schema fixes one arity per relation).
         let mut arities: HashMap<&str, usize> = HashMap::new();
         let mut consistent = true;
         for a in &q.body {
@@ -348,7 +386,9 @@ proptest! {
                 }
             }
         }
-        prop_assume!(consistent);
+        if !consistent {
+            continue;
+        }
         let schema = Schema::from_relations(
             arities
                 .iter()
@@ -356,6 +396,8 @@ proptest! {
         )
         .unwrap();
         let bound = q.bind(&schema).unwrap();
-        prop_assert!(delprop::query::containment::equivalent(&bound, &bound));
+        assert!(delprop::query::containment::equivalent(&bound, &bound));
+        checked += 1;
     }
+    assert!(checked >= 32, "too many cases discarded: {checked}");
 }

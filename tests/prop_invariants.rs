@@ -1,4 +1,8 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Randomized-but-deterministic tests of the core invariants. These were
+//! originally proptest properties; they now draw their cases from the
+//! in-tree seeded PRNG so the workspace builds with zero external
+//! dependencies. Every case is a pure function of its seed, so failures
+//! reproduce exactly.
 
 use delprop::core::solvers::{exact, general, lp_round, primal_dual};
 use delprop::core::{Problem, Solution};
@@ -7,143 +11,63 @@ use delprop::query::parse_query;
 use delprop::relation::{tup, Database, RelationSchema, Schema};
 use delprop::setcover::exact::ExactConfig;
 use delprop::setcover::{greedy, lowdeg, CoverSet, RedBlueInstance};
-use proptest::prelude::*;
+use delprop::workload::rng::SplitMix64;
 
 // ---------------------------------------------------------------------
-// Set cover invariants.
+// Case generators (seeded equivalents of the old proptest strategies).
 // ---------------------------------------------------------------------
 
-/// Strategy: a small Red-Blue instance where each blue is coverable.
-fn redblue_strategy() -> impl Strategy<Value = RedBlueInstance> {
-    (2usize..6, 2usize..5, 3usize..8).prop_flat_map(|(nr, nb, ns)| {
-        let set = (
-            proptest::collection::vec(0..nr, 0..4),
-            proptest::collection::vec(0..nb, 0..4),
-        );
-        proptest::collection::vec(set, ns).prop_map(move |sets| {
-            let mut sets: Vec<CoverSet> = sets
-                .into_iter()
-                .map(|(r, b)| CoverSet::new(r, b))
-                .collect();
-            // Patch coverability deterministically.
-            for b in 0..nb {
-                if !sets.iter().any(|s| s.blue.contains(&b)) {
-                    let si = b % sets.len();
-                    let mut blue = sets[si].blue.clone();
-                    blue.push(b);
-                    sets[si] = CoverSet::new(sets[si].red.clone(), blue);
-                }
-            }
-            RedBlueInstance::new(nr, nb, sets)
+/// A small Red-Blue instance where each blue is coverable.
+fn random_redblue(rng: &mut SplitMix64) -> RedBlueInstance {
+    let nr = 2 + rng.below(4); // 2..6 reds
+    let nb = 2 + rng.below(3); // 2..5 blues
+    let ns = 3 + rng.below(5); // 3..8 sets
+    let mut sets: Vec<CoverSet> = (0..ns)
+        .map(|_| {
+            let reds = (0..rng.below(4)).map(|_| rng.below(nr)).collect();
+            let blues = (0..rng.below(4)).map(|_| rng.below(nb)).collect();
+            CoverSet::new(reds, blues)
         })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Exact ≤ lowdeg ≤ its ratio bound; all feasible.
-    #[test]
-    fn setcover_solver_ordering(inst in redblue_strategy()) {
-        let ex = delprop::setcover::exact::solve(&inst, ExactConfig::default());
-        let opt = ex.selection.expect("patched instances are coverable");
-        prop_assert!(inst.is_feasible(&opt));
-        let g = greedy::cover(&inst).expect("coverable");
-        prop_assert!(inst.is_feasible(&g));
-        let ld = lowdeg::solve(&inst).expect("coverable");
-        prop_assert!(inst.is_feasible(&ld));
-        prop_assert!(inst.cost(&g) + 1e-9 >= ex.cost);
-        prop_assert!(inst.cost(&ld) + 1e-9 >= ex.cost);
-        let bound = lowdeg::ratio_bound(inst.sets().len(), inst.num_blue());
-        if ex.cost > 0.0 {
-            prop_assert!(inst.cost(&ld) <= bound * ex.cost + 1e-9);
+        .collect();
+    // Patch coverability deterministically.
+    for b in 0..nb {
+        if !sets.iter().any(|s| s.blue.contains(&b)) {
+            let si = b % sets.len();
+            let mut blue = sets[si].blue.clone();
+            blue.push(b);
+            sets[si] = CoverSet::new(sets[si].red.clone(), blue);
         }
     }
+    RedBlueInstance::new(nr, nb, sets)
+}
 
-    /// The Theorem 1 gadget transfers feasibility and cost for EVERY
-    /// selection, not just optima.
-    #[test]
-    fn gadget_cost_transfer(inst in redblue_strategy(), mask in 0u32..256) {
-        let g = delprop::workload::gadget::redblue_to_vse(&inst);
-        let n = inst.sets().len();
-        let sel: Vec<usize> = (0..n).filter(|&s| mask & (1 << s) != 0).collect();
-        let sol = g.selection_to_solution(&sel);
-        prop_assert_eq!(inst.is_feasible(&sel), sol.is_feasible(&g.problem));
-        prop_assert!((inst.cost(&sel) - sol.side_effect(&g.problem)).abs() < 1e-9);
+/// A 3-relation database with small random binary relations.
+fn random_db(rng: &mut SplitMix64) -> Database {
+    let schema = Schema::from_relations([
+        RelationSchema::new("A", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("B", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("C", 2, vec![0, 1]).unwrap(),
+    ])
+    .unwrap();
+    let mut db = Database::new(schema);
+    for name in ["A", "B", "C"] {
+        let rid = db.schema().relation_id(name).unwrap();
+        for _ in 0..rng.below(10) {
+            let x = rng.below(5) as i64;
+            let y = rng.below(5) as i64;
+            use delprop::relation::Value;
+            if db
+                .find_by_key(rid, &[Value::int(x), Value::int(y)])
+                .is_none()
+            {
+                db.insert(name, tup![x, y]).unwrap();
+            }
+        }
     }
+    db
 }
 
-// ---------------------------------------------------------------------
-// Query engine invariants.
-// ---------------------------------------------------------------------
-
-/// Strategy: a 3-relation database with small random binary relations.
-fn db_strategy() -> impl Strategy<Value = Database> {
-    let pair = || (0i64..5, 0i64..5);
-    (
-        proptest::collection::btree_set(pair(), 0..10),
-        proptest::collection::btree_set(pair(), 0..10),
-        proptest::collection::btree_set(pair(), 0..10),
-    )
-        .prop_map(|(a, b, c)| {
-            let schema = Schema::from_relations([
-                RelationSchema::new("A", 2, vec![0, 1]).unwrap(),
-                RelationSchema::new("B", 2, vec![0, 1]).unwrap(),
-                RelationSchema::new("C", 2, vec![0, 1]).unwrap(),
-            ])
-            .unwrap();
-            let mut db = Database::new(schema);
-            for (x, y) in a {
-                db.insert("A", tup![x, y]).unwrap();
-            }
-            for (x, y) in b {
-                db.insert("B", tup![x, y]).unwrap();
-            }
-            for (x, y) in c {
-                db.insert("C", tup![x, y]).unwrap();
-            }
-            db
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The hash-join engine agrees with the naive oracle on several query
-    /// shapes, including self-joins and constants.
-    #[test]
-    fn engines_agree(db in db_strategy(), shape in 0usize..5) {
-        let src = match shape {
-            0 => "Q(x, y, z) :- A(x, y), B(y, z)",
-            1 => "Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)",
-            2 => "Q(x, y, u) :- A(x, y), A(y, u)",
-            3 => "Q(x) :- A(x, 2)",
-            _ => "Q(x, y, u, v) :- A(x, y), C(u, v)",
-        };
-        let q = parse_query(src).unwrap().bind(db.schema()).unwrap();
-        let c = CompiledQuery::compile(&q);
-        let mut a = naive::evaluate(&db, &c);
-        let mut b = hashjoin::evaluate(&db, &c);
-        sort_matches(&mut a);
-        sort_matches(&mut b);
-        prop_assert_eq!(a, b);
-    }
-}
-
-// ---------------------------------------------------------------------
-// Deletion-propagation invariants on random chain workloads.
-// ---------------------------------------------------------------------
-
-/// Strategy: a chain problem with random size and random blue set.
-fn chain_problem_strategy() -> impl Strategy<Value = Problem> {
-    (2usize..10, 2usize..4).prop_flat_map(|(n, atoms)| {
-        proptest::collection::btree_set(0..n, 1..n.min(4)).prop_map(move |blues| {
-            build_chain_problem(n, atoms, &blues.into_iter().collect::<Vec<_>>())
-        })
-    })
-}
-
-fn build_chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
+pub fn build_chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
     use delprop::relation::{Tuple, Value};
     let schema = Schema::from_relations(
         (1..=atoms).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
@@ -156,7 +80,10 @@ fn build_chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
             let b = (i >> j) as i64;
             let name = format!("R{j}");
             let rid = db.schema().relation_id(&name).unwrap();
-            if db.find_by_key(rid, &[Value::int(a), Value::int(b)]).is_none() {
+            if db
+                .find_by_key(rid, &[Value::int(a), Value::int(b)])
+                .is_none()
+            {
                 db.insert(&name, tup![a, b]).unwrap();
             }
         }
@@ -175,52 +102,150 @@ fn build_chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A chain problem with random size and random blue set.
+fn random_chain_problem(rng: &mut SplitMix64) -> Problem {
+    let n = 2 + rng.below(8); // 2..10
+    let atoms = 2 + rng.below(2); // 2..4
+    let mut blues: std::collections::BTreeSet<usize> = Default::default();
+    let want = 1 + rng.below(n.min(4) - 1).min(n - 1);
+    while blues.len() < want {
+        blues.insert(rng.below(n));
+    }
+    build_chain_problem(n, atoms, &blues.into_iter().collect::<Vec<_>>())
+}
 
-    /// All solvers feasible; optimum lower-bounds them; LP lower-bounds
-    /// the optimum; the witness shortcut matches re-evaluation; deleting
-    /// everything is feasible.
-    #[test]
-    fn solver_stack_invariants(p in chain_problem_strategy()) {
+// ---------------------------------------------------------------------
+// Set cover invariants.
+// ---------------------------------------------------------------------
+
+/// Exact ≤ lowdeg ≤ its ratio bound; all feasible.
+#[test]
+fn setcover_solver_ordering() {
+    let mut rng = SplitMix64::seed_from_u64(0x5e7c01);
+    for case in 0..64 {
+        let inst = random_redblue(&mut rng);
+        let ex = delprop::setcover::exact::solve(&inst, ExactConfig::default());
+        let opt = ex.selection.expect("patched instances are coverable");
+        assert!(inst.is_feasible(&opt), "case {case}");
+        let g = greedy::cover(&inst).expect("coverable");
+        assert!(inst.is_feasible(&g), "case {case}");
+        let ld = lowdeg::solve(&inst).expect("coverable");
+        assert!(inst.is_feasible(&ld), "case {case}");
+        assert!(inst.cost(&g) + 1e-9 >= ex.cost, "case {case}");
+        assert!(inst.cost(&ld) + 1e-9 >= ex.cost, "case {case}");
+        let bound = lowdeg::ratio_bound(inst.sets().len(), inst.num_blue());
+        if ex.cost > 0.0 {
+            assert!(inst.cost(&ld) <= bound * ex.cost + 1e-9, "case {case}");
+        }
+    }
+}
+
+/// The Theorem 1 gadget transfers feasibility and cost for EVERY
+/// selection, not just optima.
+#[test]
+fn gadget_cost_transfer() {
+    let mut rng = SplitMix64::seed_from_u64(0x5e7c02);
+    for case in 0..64 {
+        let inst = random_redblue(&mut rng);
+        let mask = rng.below(256) as u32;
+        let g = delprop::workload::gadget::redblue_to_vse(&inst);
+        let n = inst.sets().len();
+        let sel: Vec<usize> = (0..n.min(8)).filter(|&s| mask & (1 << s) != 0).collect();
+        let sol = g.selection_to_solution(&sel);
+        assert_eq!(
+            inst.is_feasible(&sel),
+            sol.is_feasible(&g.problem),
+            "case {case}"
+        );
+        assert!(
+            (inst.cost(&sel) - sol.side_effect(&g.problem)).abs() < 1e-9,
+            "case {case}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query engine invariants.
+// ---------------------------------------------------------------------
+
+/// The hash-join engine agrees with the naive oracle on several query
+/// shapes, including self-joins and constants.
+#[test]
+fn engines_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0x90e5);
+    for case in 0..48 {
+        let db = random_db(&mut rng);
+        let src = match rng.below(5) {
+            0 => "Q(x, y, z) :- A(x, y), B(y, z)",
+            1 => "Q(x, y, z, w) :- A(x, y), B(y, z), C(z, w)",
+            2 => "Q(x, y, u) :- A(x, y), A(y, u)",
+            3 => "Q(x) :- A(x, 2)",
+            _ => "Q(x, y, u, v) :- A(x, y), C(u, v)",
+        };
+        let q = parse_query(src).unwrap().bind(db.schema()).unwrap();
+        let c = CompiledQuery::compile(&q);
+        let mut a = naive::evaluate(&db, &c);
+        let mut b = hashjoin::evaluate(&db, &c);
+        sort_matches(&mut a);
+        sort_matches(&mut b);
+        assert_eq!(a, b, "case {case}: {src}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deletion-propagation invariants on random chain workloads.
+// ---------------------------------------------------------------------
+
+/// All solvers feasible; optimum lower-bounds them; LP lower-bounds
+/// the optimum; the witness shortcut matches re-evaluation; deleting
+/// everything is feasible.
+#[test]
+fn solver_stack_invariants() {
+    let mut rng = SplitMix64::seed_from_u64(0x50f71);
+    for case in 0..32 {
+        let p = random_chain_problem(&mut rng);
         let opt = exact::solve(&p, ExactConfig::default());
         let opt_cost = opt.cost;
-        prop_assert!(opt.proven_optimal);
+        assert!(opt.proven_optimal, "case {case}");
 
         let lb = lp_round::lower_bound(&p);
-        prop_assert!(lb <= opt_cost + 1e-6);
+        assert!(lb <= opt_cost + 1e-6, "case {case}: {lb} > {opt_cost}");
 
         for sol in [
             general::solve(&p).unwrap(),
             primal_dual::solve_default(&p).unwrap(),
             lp_round::solve(&p).unwrap(),
         ] {
-            prop_assert!(sol.is_feasible(&p));
-            prop_assert!(sol.side_effect(&p) + 1e-9 >= opt_cost);
+            assert!(sol.is_feasible(&p), "case {case}");
+            assert!(sol.side_effect(&p) + 1e-9 >= opt_cost, "case {case}");
             let re = sol.verify_by_reevaluation(&p);
-            prop_assert!((re - sol.side_effect(&p)).abs() < 1e-9);
+            assert!((re - sol.side_effect(&p)).abs() < 1e-9, "case {case}");
         }
 
         let everything = Solution::from_tuples(p.db().live_ids());
-        prop_assert!(everything.is_feasible(&p));
+        assert!(everything.is_feasible(&p), "case {case}");
 
         // Balanced never exceeds the standard optimum (the standard
         // optimum is one feasible balanced solution).
         let bal = exact::solve_balanced(&p, ExactConfig::default());
-        prop_assert!(bal.cost <= opt_cost + 1e-9);
+        assert!(bal.cost <= opt_cost + 1e-9, "case {case}");
     }
+}
 
-    /// Dual objective of the primal-dual run is a valid lower bound and
-    /// its solution contains no redundant deletions.
-    #[test]
-    fn primal_dual_certificates(p in chain_problem_strategy()) {
+/// Dual objective of the primal-dual run is a valid lower bound and
+/// its solution contains no redundant deletions.
+#[test]
+fn primal_dual_certificates() {
+    let mut rng = SplitMix64::seed_from_u64(0x50f72);
+    for case in 0..32 {
+        let p = random_chain_problem(&mut rng);
         let out = primal_dual::solve(&p, &Default::default()).unwrap();
         let opt = exact::solve(&p, ExactConfig::default());
-        prop_assert!(out.dual_objective <= opt.cost + 1e-6);
+        assert!(out.dual_objective <= opt.cost + 1e-6, "case {case}");
         for &t in &out.solution.deleted {
             let mut smaller = out.solution.clone();
             smaller.deleted.remove(&t);
-            prop_assert!(!smaller.is_feasible(&p));
+            assert!(!smaller.is_feasible(&p), "case {case}: {t} redundant");
         }
     }
 }
