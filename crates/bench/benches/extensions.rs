@@ -87,8 +87,8 @@ fn bench_source(c: &mut Criterion) {
         },
         7,
     );
-    group.bench_function("exact", |b| b.iter(|| source::solve(&p)));
-    group.bench_function("greedy", |b| b.iter(|| source::solve_greedy(&p)));
+    group.bench_function("exact", |b| b.iter(|| source::solve(p.compiled())));
+    group.bench_function("greedy", |b| b.iter(|| source::solve_greedy(p.compiled())));
     group.finish();
 }
 
@@ -105,9 +105,9 @@ fn bench_local_search(c: &mut Criterion) {
         },
         5,
     );
-    let start = general::solve(&p).unwrap();
+    let start = general::solve(p.compiled()).unwrap();
     group.bench_function("polish", |b| {
-        b.iter(|| local_search::improve(&p, &start, Default::default()))
+        b.iter(|| local_search::improve(p.compiled(), &start, Default::default()))
     });
     group.finish();
 }

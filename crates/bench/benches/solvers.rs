@@ -20,7 +20,7 @@ fn bench_general(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{m}q_{}v", p.norm_v())),
             &p,
-            |b, p| b.iter(|| general::solve(p).unwrap()),
+            |b, p| b.iter(|| general::solve(p.compiled()).unwrap()),
         );
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_primal_dual_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
             &p,
-            |b, p| b.iter(|| primal_dual::solve_default(p).unwrap()),
+            |b, p| b.iter(|| primal_dual::solve_default(p.compiled()).unwrap()),
         );
     }
     group.finish();
@@ -66,7 +66,7 @@ fn bench_lowdeg_tree(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
             &p,
-            |b, p| b.iter(|| lowdeg_tree::solve(p).unwrap()),
+            |b, p| b.iter(|| lowdeg_tree::solve(p.compiled()).unwrap()),
         );
     }
     group.finish();
@@ -81,7 +81,7 @@ fn bench_dp_tree(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
             &p,
-            |b, p| b.iter(|| dp_tree::solve(p).unwrap()),
+            |b, p| b.iter(|| dp_tree::solve(p.compiled()).unwrap()),
         );
     }
     group.finish();
@@ -101,7 +101,7 @@ fn bench_lp(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}v", p.norm_v())),
             &p,
-            |b, p| b.iter(|| lp_round::lower_bound(p)),
+            |b, p| b.iter(|| lp_round::lower_bound(p.compiled())),
         );
     }
     group.finish();

@@ -23,14 +23,14 @@ fn main() {
                 seed,
             );
             let t0 = Instant::now();
-            let sol = general::solve(&p).unwrap();
+            let sol = general::solve(p.compiled()).unwrap();
             let t_gen = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let lb = lp_round::lower_bound(&p);
+            let lb = lp_round::lower_bound(p.compiled());
             let t_lp = t1.elapsed().as_secs_f64();
             let t2 = Instant::now();
             let ex = exact::solve(
-                &p,
+                p.compiled(),
                 ExactConfig {
                     node_limit: Some(2_000_000),
                 },

@@ -17,7 +17,7 @@ pub fn ex_fig1() -> String {
     out.push_str(&format!("D:\n{}", p.db().render()));
     out.push_str(&format!("\n‖V‖ = {} (paper: 7)\n", p.norm_v()));
     out.push_str("ΔV = {(John, TKDE, XML)}\n");
-    let opt = exact::solve(&p, ExactConfig::default());
+    let opt = exact::solve(p.compiled(), ExactConfig::default());
     let sol = opt.solution.expect("feasible");
     out.push_str(&format!(
         "optimal ΔD = {:?}, view side-effect = {} (paper: 1 — either\n\
@@ -48,7 +48,7 @@ pub fn ex_fig2() -> String {
         g.problem.db().len()
     ));
     let rb_opt = delprop_setcover::exact::solve(&rb, ExactConfig::default()).cost;
-    let vse_opt = exact::solve(&g.problem, ExactConfig::default()).cost;
+    let vse_opt = exact::solve(g.problem.compiled(), ExactConfig::default()).cost;
     out.push_str(&format!(
         "Red-Blue OPT = {rb_opt}, view-side-effect OPT = {vse_opt} (must coincide)\n"
     ));
@@ -159,8 +159,8 @@ pub fn ex_t1() -> String {
             );
             let g = gadget::redblue_to_vse(&rb);
             let rb_opt = delprop_setcover::exact::solve(&rb, ExactConfig::default()).cost;
-            let vse = exact::solve(&g.problem, ExactConfig::default());
-            let greedy = general::solve_greedy(&g.problem).unwrap();
+            let vse = exact::solve(g.problem.compiled(), ExactConfig::default());
+            let greedy = general::solve_greedy(g.problem.compiled()).unwrap();
             assert!((rb_opt - vse.cost).abs() < 1e-9, "optima must transfer");
             rows.push(vec![
                 format!("{nr}/{nb}/{ns}"),
@@ -211,7 +211,7 @@ pub fn ex_t2() -> String {
             let g = gadget::posneg_to_balanced(&pn);
             let (_, pn_opt, _) =
                 delprop_setcover::reduce::solve_posneg_exact(&pn, ExactConfig::default());
-            let bal = exact::solve_balanced(&g.problem, ExactConfig::default());
+            let bal = exact::solve_balanced(g.problem.compiled(), ExactConfig::default());
             assert!(
                 (pn_opt - bal.cost).abs() < 1e-9,
                 "balanced optima must transfer"
@@ -249,17 +249,17 @@ pub fn ex_c1() -> String {
                 },
                 seed,
             );
-            let sol = general::solve(&p).unwrap();
+            let sol = general::solve(p.compiled()).unwrap();
             let cost = sol.side_effect(&p);
-            let lb = lp_round::lower_bound(&p);
+            let lb = lp_round::lower_bound(p.compiled());
             let ex = exact::solve(
-                &p,
+                p.compiled(),
                 ExactConfig {
                     node_limit: Some(2_000_000),
                 },
             );
             let denom = if ex.proven_optimal { ex.cost } else { lb };
-            let bound = general::ratio_bound(&p);
+            let bound = general::ratio_bound(p.compiled());
             assert!(sol.is_feasible(&p));
             assert!(cost <= bound * denom.max(1.0) + 1e-6);
             rows.push(vec![
@@ -314,10 +314,10 @@ pub fn ex_l1() -> String {
                 },
                 seed,
             );
-            let sol = general::solve_balanced(&p);
+            let sol = general::solve_balanced(p.compiled());
             let cost = sol.balanced_cost(&p);
             let ex = exact::solve_balanced(
-                &p,
+                p.compiled(),
                 ExactConfig {
                     node_limit: Some(2_000_000),
                 },
@@ -325,9 +325,9 @@ pub fn ex_l1() -> String {
             let lb = if ex.proven_optimal {
                 ex.cost
             } else {
-                lp_round::balanced_lower_bound(&p)
+                lp_round::balanced_lower_bound(p.compiled())
             };
-            let bound = general::balanced_ratio_bound(&p);
+            let bound = general::balanced_ratio_bound(p.compiled());
             assert!(cost <= bound * lb.max(1.0) + 1e-6);
             rows.push(vec![
                 format!("{m}×{atoms}"),
@@ -377,9 +377,9 @@ pub fn ex_t3() -> String {
                 },
                 seed,
             );
-            let out = primal_dual::solve(&p, &Default::default()).unwrap();
+            let out = primal_dual::solve(p.compiled(), &Default::default()).unwrap();
             let ex = exact::solve(
-                &p,
+                p.compiled(),
                 ExactConfig {
                     node_limit: Some(5_000_000),
                 },
@@ -429,7 +429,7 @@ pub fn ex_p1() -> String {
             7,
         );
         let start = Instant::now();
-        let out = primal_dual::solve(&p, &Default::default()).unwrap();
+        let out = primal_dual::solve(p.compiled(), &Default::default()).unwrap();
         let elapsed = start.elapsed().as_secs_f64();
         assert!(out.solution.is_feasible(&p));
         points.push(((p.norm_v() as f64).ln(), elapsed.max(1e-6).ln()));
@@ -480,15 +480,15 @@ pub fn ex_t4() -> String {
                 },
                 seed,
             );
-            let pd = primal_dual::solve_default(&p).unwrap();
-            let ld = lowdeg_tree::solve(&p).unwrap();
+            let pd = primal_dual::solve_default(p.compiled()).unwrap();
+            let ld = lowdeg_tree::solve(p.compiled()).unwrap();
             let ex = exact::solve(
-                &p,
+                p.compiled(),
                 ExactConfig {
                     node_limit: Some(5_000_000),
                 },
             );
-            let bound = lowdeg_tree::ratio_bound(&p);
+            let bound = lowdeg_tree::ratio_bound(p.compiled());
             assert!(ld.side_effect(&p) <= bound * ex.cost.max(1.0) + 1e-6);
             let l = p.l() as f64;
             rows.push(vec![
@@ -538,14 +538,14 @@ pub fn ex_dp() -> String {
     for (branches, depth) in [(3usize, 2usize), (5, 2), (8, 3), (12, 3), (40, 3), (120, 3)] {
         let blue: Vec<usize> = (0..branches).step_by(2).collect();
         let p = forest::pivot_broom(branches, depth, &blue);
-        assert!(dp_tree::applies(&p));
+        assert!(dp_tree::applies(p.compiled()));
         let t0 = Instant::now();
-        let dp = dp_tree::solve(&p).unwrap();
+        let dp = dp_tree::solve(p.compiled()).unwrap();
         let dp_time = t0.elapsed().as_secs_f64();
         let (opt_str, exact_time) = if branches <= 12 {
             let t1 = Instant::now();
             let ex = exact::solve(
-                &p,
+                p.compiled(),
                 ExactConfig {
                     node_limit: Some(5_000_000),
                 },
@@ -586,6 +586,98 @@ pub fn ex_dp() -> String {
     )
 }
 
+/// EX-IR — the compiled-instance IR: one compile per portfolio solve,
+/// and the cost of compiling once versus rebuilding per member, on the
+/// EX-P1 forest sweep. Raw measurements land in `artifacts/BENCH_ir.json`.
+pub fn ex_ir() -> String {
+    use delprop_core::ir;
+    use delprop_core::runtime::{Budget, MemberStatus, Portfolio};
+
+    let params = |chains: usize| forest::ForestParams {
+        levels: 4,
+        window: 2,
+        chains,
+        delete_fraction: 0.2,
+        weighted: false,
+    };
+    let chain = Portfolio::standard();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for chains in [64usize, 128, 256, 512, 1024] {
+        // Cold compile on a fresh instance.
+        let p = forest::generate(params(chains), 7);
+        let t0 = Instant::now();
+        let _ = p.compiled();
+        let compile = t0.elapsed().as_secs_f64();
+
+        // One portfolio solve on a *fresh* instance: the compile counter
+        // must advance by exactly one — every member, applicability
+        // check, and verification shares that single compile.
+        let fresh = forest::generate(params(chains), 7);
+        let before = ir::compile_count();
+        let out = chain.solve(&fresh, &Budget::unlimited()).unwrap();
+        let solve = out.report.iter().map(|m| m.micros).sum::<u64>() as f64 / 1e6
+            + out.compile_micros as f64 / 1e6;
+        let compiles = ir::compile_count() - before;
+        assert_eq!(compiles, 1, "portfolio must compile the IR exactly once");
+        assert!(out.solution.is_feasible(&fresh));
+
+        // Rebuild-per-member counterfactual: compile a fresh instance
+        // once per member that actually ran (what the pre-IR layering
+        // effectively did by re-deriving incidence inside each solver).
+        let ran = out
+            .report
+            .iter()
+            .filter(|m| !matches!(m.status, MemberStatus::Skipped | MemberStatus::NotReached))
+            .count()
+            .max(1);
+        let t2 = Instant::now();
+        for _ in 0..ran {
+            let fresh = forest::generate(params(chains), 7);
+            let _ = fresh.compiled();
+        }
+        let rebuild = t2.elapsed().as_secs_f64();
+
+        rows.push(vec![
+            chains.to_string(),
+            fresh.norm_v().to_string(),
+            format!("{:.3} ms", compile * 1e3),
+            format!("{:.3} ms", solve * 1e3),
+            compiles.to_string(),
+            ran.to_string(),
+            format!("{:.3} ms", rebuild * 1e3),
+        ]);
+        json_rows.push(format!(
+            "  {{\"chains\": {chains}, \"norm_v\": {}, \"norm_delta\": {}, \"compile_micros\": {:.1}, \"portfolio_micros\": {:.1}, \"compiles_per_portfolio_solve\": {compiles}, \"members_run\": {ran}, \"rebuild_per_member_micros\": {:.1}}}",
+            fresh.norm_v(),
+            fresh.norm_delta(),
+            compile * 1e6,
+            solve * 1e6,
+            rebuild * 1e6,
+        ));
+    }
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    let written = std::fs::create_dir_all("artifacts")
+        .and_then(|()| std::fs::write("artifacts/BENCH_ir.json", &json))
+        .map(|()| "artifacts/BENCH_ir.json".to_string())
+        .unwrap_or_else(|e| format!("(not written: {e})"));
+    format!(
+        "EX-IR: compiled-instance IR — one compile per portfolio solve\n         (generation + compile measured on fresh instances each round;\n         raw JSON: {written})\n\n{}",
+        table(
+            &[
+                "chains",
+                "\u{2016}V\u{2016}",
+                "compile",
+                "portfolio",
+                "compiles/solve",
+                "members run",
+                "rebuild\u{d7}members"
+            ],
+            &rows
+        )
+    )
+}
+
 /// EX-APP — §V: batch vs sequential query-oriented cleaning.
 pub fn ex_app() -> String {
     let mut rows = Vec::new();
@@ -594,7 +686,7 @@ pub fn ex_app() -> String {
     for seed in 0..10u64 {
         let s = cleaning::generate(cleaning::CleaningParams::default(), seed);
         let p = &s.problem;
-        let batch = exact::solve(p, ExactConfig::default());
+        let batch = exact::solve(p.compiled(), ExactConfig::default());
         let fwd = cleaning::sequential_baseline(p, &[0, 1, 2]);
         let rev = cleaning::sequential_baseline(p, &[2, 1, 0]);
         let best_seq = fwd.side_effect(p).min(rev.side_effect(p));
@@ -638,10 +730,10 @@ pub fn ex_src() -> String {
             },
             seed,
         );
-        let src_opt = source::solve(&p);
-        let src_greedy = source::solve_greedy(&p);
+        let src_opt = source::solve(p.compiled());
+        let src_greedy = source::solve_greedy(p.compiled());
         let view_opt = exact::solve(
-            &p,
+            p.compiled(),
             ExactConfig {
                 node_limit: Some(2_000_000),
             },
@@ -694,7 +786,7 @@ pub fn ex_ls() -> String {
             seed,
         );
         let opt = exact::solve(
-            &p,
+            p.compiled(),
             ExactConfig {
                 node_limit: Some(5_000_000),
             },
@@ -702,13 +794,13 @@ pub fn ex_ls() -> String {
         .cost;
         let mut row = vec![seed.to_string(), format!("{opt:.0}")];
         for sol in [
-            general::solve(&p).unwrap(),
-            primal_dual::solve_default(&p).unwrap(),
-            lowdeg_tree::solve(&p).unwrap(),
+            general::solve(p.compiled()).unwrap(),
+            primal_dual::solve_default(p.compiled()).unwrap(),
+            lowdeg_tree::solve(p.compiled()).unwrap(),
             // Strawman start: delete every candidate tuple.
             delprop_core::Solution::from_tuples(p.candidates()),
         ] {
-            let polished = local_search::improve(&p, &sol, LocalSearchConfig::default());
+            let polished = local_search::improve(p.compiled(), &sol, LocalSearchConfig::default());
             assert!(polished.is_feasible(&p));
             assert!(polished.side_effect(&p) <= sol.side_effect(&p) + 1e-9);
             assert!(polished.side_effect(&p) >= opt - 1e-9);
@@ -752,9 +844,9 @@ pub fn ex_abl() -> String {
             },
             seed,
         );
-        let base = primal_dual::solve(&p, &PrimalDualConfig::default()).unwrap();
+        let base = primal_dual::solve(p.compiled(), &PrimalDualConfig::default()).unwrap();
         let no_prune = primal_dual::solve(
-            &p,
+            p.compiled(),
             &PrimalDualConfig {
                 skip_reverse_delete: true,
                 ..Default::default()
@@ -762,7 +854,7 @@ pub fn ex_abl() -> String {
         )
         .unwrap();
         let arbitrary = primal_dual::solve(
-            &p,
+            p.compiled(),
             &PrimalDualConfig {
                 order: DemandOrder::Arbitrary,
                 ..Default::default()
@@ -852,7 +944,7 @@ pub fn ex_fd() -> String {
                 p.norm_v()
             ));
             p.mark_deleted(0, &tup!["Joe", "XML"]).unwrap();
-            let sol = exact::solve(&p, ExactConfig::default());
+            let sol = exact::solve(p.compiled(), ExactConfig::default());
             out.push_str(&format!(
                 "deleting Q3(Joe, XML) exactly: side-effect = {} (unique witnesses hold)\n",
                 sol.cost
@@ -936,9 +1028,9 @@ pub fn ex_bal() -> String {
                 p.set_weight(*id, 0.3).unwrap();
             }
         }
-        let out = primal_dual_balanced::solve_balanced(&p, &Default::default()).unwrap();
+        let out = primal_dual_balanced::solve_balanced(p.compiled(), &Default::default()).unwrap();
         let opt = exact::solve_balanced(
-            &p,
+            p.compiled(),
             ExactConfig {
                 node_limit: Some(5_000_000),
             },
@@ -1061,6 +1153,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ex-p1", ex_p1),
         ("ex-t4", ex_t4),
         ("ex-dp", ex_dp),
+        ("ex-ir", ex_ir),
         ("ex-app", ex_app),
         ("ex-src", ex_src),
         ("ex-ls", ex_ls),

@@ -3,7 +3,6 @@
 
 use crate::problem::Problem;
 use crate::solvers::dp_tree;
-use delprop_hypergraph::DualHypergraph;
 use delprop_query::properties;
 use std::fmt;
 
@@ -73,15 +72,10 @@ pub fn classify(problem: &Problem) -> StructureReport {
     let schema = problem.db().schema();
     let all_project_free = problem.queries().iter().all(properties::is_project_free);
     let all_self_join_free = problem.queries().iter().all(properties::is_self_join_free);
-    let dual = DualHypergraph::new(
-        &problem
-            .queries()
-            .iter()
-            .map(|q| q.atoms.iter().map(|a| a.relation).collect())
-            .collect::<Vec<_>>(),
-    );
-    let forest_case = dual.is_forest_case();
-    let pivot_case = dp_tree::applies(problem);
+    // Both structural certificates are computed once at IR compile time.
+    let ir = problem.compiled();
+    let forest_case = ir.forest_case();
+    let pivot_case = dp_tree::applies(ir);
     let recommendation = if problem.queries().len() == 1 && problem.norm_delta() == 1 {
         SolverKind::SingleQuerySingleDeletion
     } else if pivot_case {
@@ -110,19 +104,20 @@ pub fn classify(problem: &Problem) -> StructureReport {
 /// answer.
 pub fn solve_auto(problem: &Problem) -> Result<crate::solution::Solution, crate::error::CoreError> {
     use crate::solvers::{general, lowdeg_tree, primal_dual, single_query};
+    let ir = problem.compiled();
     match classify(problem).recommendation {
-        SolverKind::SingleQuerySingleDeletion => single_query::solve_single_deletion(problem),
-        SolverKind::PivotForestDp => dp_tree::solve(problem),
+        SolverKind::SingleQuerySingleDeletion => single_query::solve_single_deletion(ir),
+        SolverKind::PivotForestDp => dp_tree::solve(ir),
         SolverKind::ForestApproximation => {
-            let pd = primal_dual::solve_default(problem)?;
-            let ld = lowdeg_tree::solve(problem)?;
-            Ok(if pd.side_effect(problem) <= ld.side_effect(problem) {
+            let pd = primal_dual::solve_default(ir)?;
+            let ld = lowdeg_tree::solve(ir)?;
+            Ok(if ir.side_effect_of(&pd) <= ir.side_effect_of(&ld) {
                 pd
             } else {
                 ld
             })
         }
-        SolverKind::GeneralApproximation => general::solve(problem),
+        SolverKind::GeneralApproximation => general::solve(ir),
     }
 }
 
@@ -135,25 +130,26 @@ pub fn solve_auto_balanced(
 ) -> Result<crate::solution::Solution, crate::error::CoreError> {
     use crate::solution::Solution;
     use crate::solvers::{dp_tree, general, primal_dual_balanced, single_query};
+    let ir = problem.compiled();
     match classify(problem).recommendation {
         SolverKind::SingleQuerySingleDeletion => {
             // Either cut optimally or leave the single demand in place —
             // whichever is cheaper.
-            let cut = single_query::solve_single_deletion(problem)?;
+            let cut = single_query::solve_single_deletion(ir)?;
             let leave = Solution::empty();
             Ok(
-                if cut.balanced_cost(problem) <= leave.balanced_cost(problem) {
+                if ir.balanced_cost_of(&cut) <= ir.balanced_cost_of(&leave) {
                     cut
                 } else {
                     leave
                 },
             )
         }
-        SolverKind::PivotForestDp => dp_tree::solve_balanced(problem),
+        SolverKind::PivotForestDp => dp_tree::solve_balanced(ir),
         SolverKind::ForestApproximation => {
-            primal_dual_balanced::solve_balanced(problem, &Default::default()).map(|o| o.solution)
+            primal_dual_balanced::solve_balanced(ir, &Default::default()).map(|o| o.solution)
         }
-        SolverKind::GeneralApproximation => Ok(general::solve_balanced(problem)),
+        SolverKind::GeneralApproximation => Ok(general::solve_balanced(ir)),
     }
 }
 
@@ -234,7 +230,7 @@ mod tests {
             star_problem(4, &[0, 2]),
         ] {
             let sol = solve_auto_balanced(&p).unwrap();
-            let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+            let opt = exact::solve_balanced(p.compiled(), ExactConfig::default()).cost;
             assert!(
                 sol.balanced_cost(&p) >= opt - 1e-9,
                 "cannot beat the optimum"

@@ -1,0 +1,660 @@
+//! The compiled instance IR: one flat CSR incidence index shared by every
+//! solver, the portfolio, and the set-cover reductions.
+//!
+//! Every algorithm of the paper (Algorithms 1–4, the LP, the reductions of
+//! Claim 1 / Lemma 1) is defined over a single object: the bipartite
+//! incidence between candidate base tuples and view tuples, plus
+//! per-view-tuple weights (§IV, Table I). [`CompiledInstance`] is that
+//! object materialized **once** per [`Problem`] — dense `u32` indices via
+//! interning tables, CSR adjacency in both directions, flat `f64` weight
+//! arrays — and cached behind the problem ([`Problem::compiled`]), so the
+//! portfolio's whole fallback chain shares one compile.
+//!
+//! §IV notation → field mapping (see DESIGN.md for the full table):
+//!
+//! | paper (§IV / Table I)                  | field |
+//! |----------------------------------------|-------|
+//! | candidate tuples `𝒞 ⊆ D`               | [`bases`](CompiledInstance::bases) (interned, sorted) |
+//! | `ΔV` (demands / blue elements)          | [`demands`](CompiledInstance::demands) |
+//! | vulnerable `R ⊆ V∖ΔV` (red elements)    | [`vulnerable`](CompiledInstance::vulnerable) |
+//! | witness sets `ws(r)`, `r ∈ ΔV`          | [`demand_row`](CompiledInstance::demand_row) (CSR demand→base) |
+//! | sets `C_t = {s : t ∈ ws(s)}`            | [`incidence_row`](CompiledInstance::incidence_row) / [`hit_row`](CompiledInstance::hit_row) (CSR base→view) |
+//! | `k_s = |ws(s)|`                         | [`vulnerable_k`](CompiledInstance::vulnerable_k) |
+//! | weights `w_s`                           | [`vulnerable_weight`](CompiledInstance::vulnerable_weight) / [`demand_weight`](CompiledInstance::demand_weight) |
+//!
+//! The struct is plain old data — `Vec`s of `Copy` types, no interior
+//! mutability, no maps — hence `Send + Sync`, the prerequisite for
+//! sharding solves across threads later.
+
+use crate::problem::Problem;
+use crate::solution::Solution;
+use delprop_hypergraph::{find_pivot_structure, DataDualGraph, DualHypergraph};
+use delprop_query::ViewTupleId;
+use delprop_relation::TupleId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global count of IR compiles, for the `EX-IR` experiment's
+/// one-compile-per-portfolio-solve assertion. Monotone, process-wide.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`CompiledInstance::compile`] calls so far in this process.
+pub fn compile_count() -> u64 {
+    COMPILE_COUNT.load(Ordering::Relaxed)
+}
+
+/// The pivot-forest structure (§IV.E), flattened from
+/// [`delprop_hypergraph::PivotStructure`] at compile time so `DPTreeVSE`
+/// never rebuilds the data dual graph.
+#[derive(Debug, Clone)]
+pub struct PivotData {
+    /// Endpoint vertex of each view tuple's witness path, parallel to
+    /// [`CompiledInstance::view_tuples`].
+    pub endpoints: Vec<u32>,
+    /// The base tuple behind each forest vertex.
+    pub vertex_tuple: Vec<TupleId>,
+    /// CSR child lists of the forest rooted at the pivots.
+    pub children_offsets: Vec<u32>,
+    /// Concatenated child vertices.
+    pub children: Vec<u32>,
+    /// All vertices in BFS order (reverse = post-order).
+    pub bfs_order: Vec<u32>,
+    /// Root vertex per component (the pivots).
+    pub roots: Vec<u32>,
+}
+
+impl PivotData {
+    /// Children of forest vertex `v`.
+    pub fn children_of(&self, v: usize) -> &[u32] {
+        &self.children[self.children_offsets[v] as usize..self.children_offsets[v + 1] as usize]
+    }
+
+    /// Number of forest vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_tuple.len()
+    }
+}
+
+/// A deletion-propagation instance compiled to flat dense-index form.
+///
+/// Built by [`CompiledInstance::compile`] (or lazily via
+/// [`Problem::compiled`]); all ten solver entry points consume this
+/// instead of re-deriving incidence maps from [`Problem`].
+#[derive(Debug, Clone)]
+pub struct CompiledInstance {
+    // ---- interning tables ----
+    /// Candidate base tuples `𝒞` (sorted ascending; dense base index).
+    bases: Vec<TupleId>,
+    /// `ΔV` in ascending `ViewTupleId` order (dense demand index).
+    demands: Vec<ViewTupleId>,
+    /// Vulnerable preserved view tuples, ascending (dense red index).
+    vulnerable: Vec<ViewTupleId>,
+
+    // ---- flat weight arrays ----
+    demand_weights: Vec<f64>,
+    vulnerable_weights: Vec<f64>,
+
+    // ---- CSR adjacency (both directions) ----
+    /// demand → witness bases (row order = witness-set order: sorted).
+    demand_offsets: Vec<u32>,
+    demand_witnesses: Vec<u32>,
+    /// base → incident vulnerable view tuples (rows sorted ascending).
+    incidence_offsets: Vec<u32>,
+    incidence: Vec<u32>,
+    /// base → demands whose witness set contains it (rows sorted).
+    hit_offsets: Vec<u32>,
+    hit_demands: Vec<u32>,
+    /// vulnerable → candidate witnesses (`ws(s) ∩ 𝒞`).
+    vulnerable_offsets: Vec<u32>,
+    vulnerable_witnesses: Vec<u32>,
+
+    /// `k_s = |ws(s)|` per vulnerable tuple — the **full** witness count,
+    /// including non-candidate witnesses (the dual capacities of
+    /// Algorithm 1 divide by this).
+    vulnerable_k: Vec<u32>,
+
+    // ---- the whole-`V` layer (DP, demand ordering, evaluation) ----
+    /// Every view tuple id, ascending (view-major materialization order).
+    view_tuples: Vec<ViewTupleId>,
+    /// Weight of every view tuple, parallel to `view_tuples`.
+    all_weights: Vec<f64>,
+    /// Whether each view tuple is in `ΔV`, parallel to `view_tuples`.
+    deleted: Vec<bool>,
+    /// CSR witness paths of every view tuple (layout order).
+    path_offsets: Vec<u32>,
+    paths: Vec<TupleId>,
+
+    /// Demand indices in bottom-up processing order (decreasing witness-path
+    /// top depth in the data-dual forest; identity when not a forest) —
+    /// Algorithm 1's GVY-style order, precomputed.
+    demand_order: Vec<u32>,
+
+    /// Pivot-forest certification (§IV.E), when the structure exists.
+    pivot: Option<PivotData>,
+    /// Whether the query dual hypergraph's components are hypertrees
+    /// (§IV.B forest case).
+    forest_case: bool,
+
+    // ---- scalars (Table I) ----
+    l: usize,
+    num_queries: usize,
+    norm_v: usize,
+    norm_delta: usize,
+}
+
+/// Flatten row lists into CSR (offsets, data).
+fn to_csr(rows: Vec<Vec<u32>>) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(rows.len() + 1);
+    offsets.push(0u32);
+    let total: usize = rows.iter().map(Vec::len).sum();
+    let mut data = Vec::with_capacity(total);
+    for row in rows {
+        data.extend(row);
+        offsets.push(data.len() as u32);
+    }
+    (offsets, data)
+}
+
+impl CompiledInstance {
+    /// Compile `problem` into the flat IR. One pass over the views plus
+    /// one data-dual-graph construction (shared by the demand ordering and
+    /// the pivot certification).
+    pub fn compile(problem: &Problem) -> CompiledInstance {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+
+        let bases = problem.candidates();
+        let base_of =
+            |t: TupleId| -> Option<u32> { bases.binary_search(&t).ok().map(|b| b as u32) };
+
+        let demands: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
+        let vulnerable: Vec<ViewTupleId> = problem.vulnerable_preserved();
+
+        let demand_weights: Vec<f64> = demands.iter().map(|&id| problem.weight(id)).collect();
+        let vulnerable_weights: Vec<f64> =
+            vulnerable.iter().map(|&id| problem.weight(id)).collect();
+
+        // demand → bases, and its transpose base → demands.
+        let mut demand_rows: Vec<Vec<u32>> = Vec::with_capacity(demands.len());
+        let mut hit_rows: Vec<Vec<u32>> = vec![Vec::new(); bases.len()];
+        for (di, &id) in demands.iter().enumerate() {
+            let row: Vec<u32> = problem
+                .witnesses(id)
+                .iter()
+                .map(|&t| base_of(t).expect("demand witnesses are candidates by definition"))
+                .collect();
+            for &b in &row {
+                hit_rows[b as usize].push(di as u32);
+            }
+            demand_rows.push(row);
+        }
+
+        // vulnerable → candidate witnesses, and its transpose
+        // base → vulnerable (the red incidence).
+        let mut vulnerable_rows: Vec<Vec<u32>> = Vec::with_capacity(vulnerable.len());
+        let mut incidence_rows: Vec<Vec<u32>> = vec![Vec::new(); bases.len()];
+        let mut vulnerable_k: Vec<u32> = Vec::with_capacity(vulnerable.len());
+        for (ri, &id) in vulnerable.iter().enumerate() {
+            let ws = problem.witnesses(id);
+            vulnerable_k.push(ws.len() as u32);
+            let row: Vec<u32> = ws.iter().filter_map(|&t| base_of(t)).collect();
+            for &b in &row {
+                incidence_rows[b as usize].push(ri as u32);
+            }
+            vulnerable_rows.push(row);
+        }
+
+        // Whole-V layer: ids, weights, membership, witness paths.
+        let mut view_tuples: Vec<ViewTupleId> = Vec::with_capacity(problem.norm_v());
+        let mut all_weights: Vec<f64> = Vec::with_capacity(problem.norm_v());
+        let mut deleted: Vec<bool> = Vec::with_capacity(problem.norm_v());
+        let mut all_paths: Vec<Vec<TupleId>> = Vec::with_capacity(problem.norm_v());
+        for (id, vt) in problem.views().iter() {
+            view_tuples.push(id);
+            all_weights.push(problem.weight(id));
+            deleted.push(problem.is_deleted(id));
+            all_paths.push(vt.unique_witnesses().to_vec());
+        }
+
+        // One data-dual graph serves both the bottom-up demand order
+        // (Algorithm 1) and the pivot certification (Algorithm 4).
+        let graph = DataDualGraph::new(&all_paths);
+        let demand_order = bottom_up_order(&graph, problem, &demands);
+        let pivot = find_pivot_structure(&graph).map(|p| {
+            let children = p.forest.children();
+            let (children_offsets, children) = to_csr(
+                children
+                    .into_iter()
+                    .map(|row| row.into_iter().map(|v| v as u32).collect())
+                    .collect(),
+            );
+            PivotData {
+                endpoints: p.endpoints.iter().map(|&e| e as u32).collect(),
+                vertex_tuple: (0..graph.num_vertices()).map(|v| graph.tuple(v)).collect(),
+                children_offsets,
+                children,
+                bfs_order: p.forest.bfs_order.iter().map(|&v| v as u32).collect(),
+                roots: p.forest.roots.iter().map(|&v| v as u32).collect(),
+            }
+        });
+
+        let dual = DualHypergraph::new(
+            &problem
+                .queries()
+                .iter()
+                .map(|q| q.atoms.iter().map(|a| a.relation).collect())
+                .collect::<Vec<_>>(),
+        );
+        let forest_case = dual.is_forest_case();
+
+        let (demand_offsets, demand_witnesses) = to_csr(demand_rows);
+        let (hit_offsets, hit_demands) = to_csr(hit_rows);
+        let (vulnerable_offsets, vulnerable_witnesses) = to_csr(vulnerable_rows);
+        let (incidence_offsets, incidence) = to_csr(incidence_rows);
+        let (path_offsets, paths) = {
+            let mut offsets = Vec::with_capacity(all_paths.len() + 1);
+            offsets.push(0u32);
+            let mut data = Vec::new();
+            for p in &all_paths {
+                data.extend_from_slice(p);
+                offsets.push(data.len() as u32);
+            }
+            (offsets, data)
+        };
+
+        CompiledInstance {
+            l: problem.l(),
+            num_queries: problem.queries().len(),
+            norm_v: problem.norm_v(),
+            norm_delta: problem.norm_delta(),
+            bases,
+            demands,
+            vulnerable,
+            demand_weights,
+            vulnerable_weights,
+            demand_offsets,
+            demand_witnesses,
+            incidence_offsets,
+            incidence,
+            hit_offsets,
+            hit_demands,
+            vulnerable_offsets,
+            vulnerable_witnesses,
+            vulnerable_k,
+            view_tuples,
+            all_weights,
+            deleted,
+            path_offsets,
+            paths,
+            demand_order,
+            pivot,
+            forest_case,
+        }
+    }
+
+    // ---- interning ----
+
+    /// Candidate base tuples `𝒞`, sorted ascending.
+    pub fn bases(&self) -> &[TupleId] {
+        &self.bases
+    }
+
+    /// Number of candidate base tuples.
+    pub fn num_bases(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// The base tuple behind dense index `b`.
+    pub fn base(&self, b: u32) -> TupleId {
+        self.bases[b as usize]
+    }
+
+    /// Dense index of a base tuple, if it is a candidate.
+    pub fn base_index(&self, t: TupleId) -> Option<u32> {
+        self.bases.binary_search(&t).ok().map(|b| b as u32)
+    }
+
+    /// `ΔV`, ascending.
+    pub fn demands(&self) -> &[ViewTupleId] {
+        &self.demands
+    }
+
+    /// Number of demands `‖ΔV‖`.
+    pub fn num_demands(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// The view tuple behind dense demand index `d`.
+    pub fn demand(&self, d: u32) -> ViewTupleId {
+        self.demands[d as usize]
+    }
+
+    /// Vulnerable preserved view tuples, ascending.
+    pub fn vulnerable(&self) -> &[ViewTupleId] {
+        &self.vulnerable
+    }
+
+    /// Number of vulnerable preserved view tuples.
+    pub fn num_vulnerable(&self) -> usize {
+        self.vulnerable.len()
+    }
+
+    /// The view tuple behind dense red index `r`.
+    pub fn vulnerable_id(&self, r: u32) -> ViewTupleId {
+        self.vulnerable[r as usize]
+    }
+
+    // ---- weights ----
+
+    /// Weight of demand `d` (balanced objective's prize).
+    pub fn demand_weight(&self, d: u32) -> f64 {
+        self.demand_weights[d as usize]
+    }
+
+    /// Weight of vulnerable tuple `r` (side-effect contribution).
+    pub fn vulnerable_weight(&self, r: u32) -> f64 {
+        self.vulnerable_weights[r as usize]
+    }
+
+    // ---- CSR rows ----
+
+    /// Witness bases of demand `d` (sorted dense base indices).
+    pub fn demand_row(&self, d: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.demand_offsets[d as usize],
+            self.demand_offsets[d as usize + 1],
+        );
+        &self.demand_witnesses[lo as usize..hi as usize]
+    }
+
+    /// Vulnerable view tuples incident to base `b` (sorted dense red
+    /// indices). Its length is the **red degree** of `b` (Algorithm 2's
+    /// threshold quantity).
+    pub fn incidence_row(&self, b: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.incidence_offsets[b as usize],
+            self.incidence_offsets[b as usize + 1],
+        );
+        &self.incidence[lo as usize..hi as usize]
+    }
+
+    /// Demands whose witness set contains base `b` (sorted dense demand
+    /// indices) — the blue rows of the Red-Blue image.
+    pub fn hit_row(&self, b: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.hit_offsets[b as usize],
+            self.hit_offsets[b as usize + 1],
+        );
+        &self.hit_demands[lo as usize..hi as usize]
+    }
+
+    /// Candidate witnesses of vulnerable tuple `r` (`ws(s) ∩ 𝒞`).
+    pub fn vulnerable_row(&self, r: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.vulnerable_offsets[r as usize],
+            self.vulnerable_offsets[r as usize + 1],
+        );
+        &self.vulnerable_witnesses[lo as usize..hi as usize]
+    }
+
+    /// `k_s`: full witness-set size of vulnerable tuple `r` (including
+    /// non-candidate witnesses).
+    pub fn vulnerable_k(&self, r: u32) -> u32 {
+        self.vulnerable_k[r as usize]
+    }
+
+    /// Red degree of base `b`: number of vulnerable view tuples whose
+    /// witness set contains it.
+    pub fn red_degree(&self, b: u32) -> usize {
+        self.incidence_row(b).len()
+    }
+
+    // ---- whole-V layer ----
+
+    /// All view tuple ids, ascending.
+    pub fn view_tuples(&self) -> &[ViewTupleId] {
+        &self.view_tuples
+    }
+
+    /// Weight of the `i`-th view tuple.
+    pub fn view_weight(&self, i: usize) -> f64 {
+        self.all_weights[i]
+    }
+
+    /// Whether the `i`-th view tuple is in `ΔV`.
+    pub fn view_deleted(&self, i: usize) -> bool {
+        self.deleted[i]
+    }
+
+    /// Witness path of the `i`-th view tuple (layout order).
+    pub fn path(&self, i: usize) -> &[TupleId] {
+        &self.paths[self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize]
+    }
+
+    /// Demand indices in bottom-up (decreasing top-depth) order.
+    pub fn demand_order(&self) -> &[u32] {
+        &self.demand_order
+    }
+
+    /// The pivot-forest structure, when certified (§IV.E).
+    pub fn pivot(&self) -> Option<&PivotData> {
+        self.pivot.as_ref()
+    }
+
+    /// Whether the instance is a §IV.B forest case.
+    pub fn forest_case(&self) -> bool {
+        self.forest_case
+    }
+
+    // ---- scalars ----
+
+    /// `l = max arity(Q)`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Number of queries `|Q|`.
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    /// `‖V‖`.
+    pub fn norm_v(&self) -> usize {
+        self.norm_v
+    }
+
+    /// `‖ΔV‖`.
+    pub fn norm_delta(&self) -> usize {
+        self.norm_delta
+    }
+
+    // ---- evaluation ----
+
+    /// Dense deletion mask over the candidate bases for `sol`
+    /// (non-candidate deletions have no entry: they cannot cut demands,
+    /// and candidate-restricted solvers never produce them).
+    pub fn base_mask(&self, sol: &Solution) -> Vec<bool> {
+        let mut mask = vec![false; self.bases.len()];
+        for &t in &sol.deleted {
+            if let Some(b) = self.base_index(t) {
+                mask[b as usize] = true;
+            }
+        }
+        mask
+    }
+
+    /// Whether `mask` (over dense base indices) eliminates demand `d`.
+    pub fn eliminates(&self, mask: &[bool], d: u32) -> bool {
+        self.demand_row(d).iter().any(|&b| mask[b as usize])
+    }
+
+    /// Whether `mask` eliminates every demand.
+    pub fn is_feasible_mask(&self, mask: &[bool]) -> bool {
+        (0..self.demands.len() as u32).all(|d| self.eliminates(mask, d))
+    }
+
+    /// Side-effect of `mask`: total weight of vulnerable tuples losing a
+    /// witness. Exact for candidate-restricted solutions (the only kind
+    /// any solver emits), since non-candidate deletions damage only
+    /// non-vulnerable tuples.
+    pub fn side_effect_mask(&self, mask: &[bool]) -> f64 {
+        (0..self.vulnerable.len() as u32)
+            .filter(|&r| self.vulnerable_row(r).iter().any(|&b| mask[b as usize]))
+            .map(|r| self.vulnerable_weight(r))
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Balanced cost of `mask`: prizes of missed demands plus side-effect.
+    pub fn balanced_cost_mask(&self, mask: &[bool]) -> f64 {
+        let missed: f64 = (0..self.demands.len() as u32)
+            .filter(|&d| !self.eliminates(mask, d))
+            .map(|d| self.demand_weight(d))
+            .sum();
+        missed + self.side_effect_mask(mask)
+    }
+
+    /// [`Solution`]-level wrappers over the mask evaluators.
+    pub fn side_effect_of(&self, sol: &Solution) -> f64 {
+        self.side_effect_mask(&self.base_mask(sol))
+    }
+
+    /// Balanced cost of a candidate-restricted solution.
+    pub fn balanced_cost_of(&self, sol: &Solution) -> f64 {
+        self.balanced_cost_mask(&self.base_mask(sol))
+    }
+
+    /// Whether `sol` eliminates every demand (exact for any solution:
+    /// demand witnesses are candidates by definition).
+    pub fn is_feasible_of(&self, sol: &Solution) -> bool {
+        self.is_feasible_mask(&self.base_mask(sol))
+    }
+}
+
+/// Demand indices sorted bottom-up: decreasing depth of each witness
+/// path's shallowest vertex (its top / LCA) in the data-dual forest, ties
+/// and the non-forest fallback in ascending `ViewTupleId` order.
+fn bottom_up_order(graph: &DataDualGraph, problem: &Problem, demands: &[ViewTupleId]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..demands.len() as u32).collect();
+    if let Some(forest) = graph.rooted(None) {
+        let top_depth = |id: ViewTupleId| -> usize {
+            problem
+                .witnesses(id)
+                .iter()
+                .filter_map(|&t| graph.vertex(t))
+                .map(|v| forest.depth[v])
+                .min()
+                .unwrap_or(0)
+        };
+        order.sort_by_key(|&di| {
+            let id = demands[di as usize];
+            (std::cmp::Reverse(top_depth(id)), id)
+        });
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{chain_problem, fig1_problem, star_problem};
+    use delprop_relation::tup;
+
+    fn fig1() -> Problem {
+        fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        })
+    }
+
+    #[test]
+    fn fig1_shapes() {
+        let p = fig1();
+        let ir = CompiledInstance::compile(&p);
+        assert_eq!(ir.num_bases(), 2, "T1(John,TKDE) and T2(TKDE,XML,30)");
+        assert_eq!(ir.num_demands(), 1);
+        assert_eq!(ir.num_vulnerable(), 3);
+        assert_eq!(ir.norm_v(), 7);
+        assert_eq!(ir.l(), 3);
+        // The single demand's witnesses are both bases.
+        assert_eq!(ir.demand_row(0), &[0, 1]);
+        // Red degrees: T1 side damages 1 (John/CUBE), T2 side 2 (Joe, Tom).
+        let mut degs: Vec<usize> = (0..2).map(|b| ir.red_degree(b)).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![1, 2]);
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_and_consistent() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let ir = CompiledInstance::compile(&p);
+        for d in 0..ir.num_demands() as u32 {
+            let row = ir.demand_row(d);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            // Transpose consistency: every witness's hit row names d.
+            for &b in row {
+                assert!(ir.hit_row(b).contains(&d));
+            }
+        }
+        for r in 0..ir.num_vulnerable() as u32 {
+            for &b in ir.vulnerable_row(r) {
+                assert!(ir.incidence_row(b).contains(&r));
+            }
+            assert!(ir.vulnerable_k(r) as usize >= ir.vulnerable_row(r).len());
+        }
+    }
+
+    #[test]
+    fn evaluation_matches_ground_truth() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let ir = CompiledInstance::compile(&p);
+        // Evaluate every single-candidate deletion both ways.
+        for &t in ir.bases() {
+            let sol = Solution::from_tuples([t]);
+            assert_eq!(ir.is_feasible_of(&sol), sol.is_feasible(&p));
+            assert!((ir.side_effect_of(&sol) - sol.side_effect(&p)).abs() < 1e-12);
+            assert!((ir.balanced_cost_of(&sol) - sol.balanced_cost(&p)).abs() < 1e-12);
+        }
+        // And the full candidate set (always feasible).
+        let all = Solution::from_tuples(ir.bases().iter().copied());
+        assert!(ir.is_feasible_of(&all));
+        assert!((ir.side_effect_of(&all) - all.side_effect(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivot_structure_compiled_for_star() {
+        let p = star_problem(6, &[1, 3]);
+        let ir = CompiledInstance::compile(&p);
+        let pivot = ir.pivot().expect("stars are pivot forests");
+        assert_eq!(pivot.endpoints.len(), ir.view_tuples().len());
+        assert!(!pivot.roots.is_empty());
+        // Children CSR covers every vertex.
+        assert_eq!(pivot.children_offsets.len(), pivot.num_vertices() + 1);
+    }
+
+    #[test]
+    fn fig1_is_not_a_pivot_forest() {
+        let ir = CompiledInstance::compile(&fig1());
+        assert!(ir.pivot().is_none());
+    }
+
+    #[test]
+    fn demand_order_is_a_permutation() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let ir = CompiledInstance::compile(&p);
+        let mut seen = ir.demand_order().to_vec();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..ir.num_demands() as u32).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn compile_counter_increments() {
+        let before = compile_count();
+        let _ = CompiledInstance::compile(&fig1());
+        assert!(compile_count() > before);
+    }
+
+    #[test]
+    fn compiled_instance_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledInstance>();
+    }
+}

@@ -10,6 +10,8 @@
 //!
 //! - [`Problem`] / [`Solution`]: the instance and `ΔD` with both
 //!   objectives;
+//! - [`ir`] / [`CompiledInstance`]: the flat CSR incidence index every
+//!   solver consumes, compiled once per problem and cached;
 //! - [`reduction`]: the cost-preserving reductions to Red-Blue Set Cover
 //!   and Pos-Neg Partial Set Cover (Claim 1 / Lemma 1);
 //! - [`solvers`]: every algorithm of the paper (see its table);
@@ -38,6 +40,7 @@
 
 mod classify;
 mod error;
+pub mod ir;
 pub mod landscape;
 mod problem;
 pub mod reduction;
@@ -49,6 +52,7 @@ pub(crate) mod test_support;
 
 pub use classify::{classify, solve_auto, solve_auto_balanced, SolverKind, StructureReport};
 pub use error::CoreError;
+pub use ir::CompiledInstance;
 pub use problem::Problem;
 pub use runtime::{
     solve_portfolio, solve_portfolio_balanced, Budget, Guarantee, Portfolio, PortfolioOutcome,

@@ -6,10 +6,12 @@
 //! view tuple to be preserved has a weight representing user preference").
 
 use crate::error::CoreError;
+use crate::ir::CompiledInstance;
 use delprop_query::properties::max_arity;
 use delprop_query::{BoundQuery, ViewSet, ViewTuple, ViewTupleId};
 use delprop_relation::{Database, Tuple, TupleId};
 use std::collections::{BTreeSet, HashSet};
+use std::sync::{Arc, OnceLock};
 
 /// A deletion-propagation instance over key-preserving conjunctive queries.
 #[derive(Debug, Clone)]
@@ -20,6 +22,10 @@ pub struct Problem {
     deletions: BTreeSet<ViewTupleId>,
     /// weights[view][index], defaulting to 1.0.
     weights: Vec<Vec<f64>>,
+    /// Lazily compiled IR (see [`crate::ir`]), invalidated by every
+    /// mutation. `Arc` so clones of an already-compiled problem share the
+    /// compile.
+    compiled: OnceLock<Arc<CompiledInstance>>,
 }
 
 impl Problem {
@@ -43,6 +49,7 @@ impl Problem {
             views,
             deletions: BTreeSet::new(),
             weights,
+            compiled: OnceLock::new(),
         })
     }
 
@@ -98,6 +105,7 @@ impl Problem {
             views,
             deletions: BTreeSet::new(),
             weights,
+            compiled: OnceLock::new(),
         })
     }
 
@@ -131,6 +139,20 @@ impl Problem {
         self.deletions.len()
     }
 
+    /// The compiled IR of this instance (see [`crate::ir`]), built on
+    /// first use and cached until the next mutation. Every solver entry
+    /// point consumes this; the portfolio's whole fallback chain shares
+    /// one compile.
+    pub fn compiled(&self) -> &CompiledInstance {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledInstance::compile(self)))
+    }
+
+    /// Drop the cached IR after a mutation.
+    fn invalidate_compiled(&mut self) {
+        self.compiled.take();
+    }
+
     /// Mark a view tuple (by id) for deletion.
     pub fn mark_deleted_id(&mut self, id: ViewTupleId) -> Result<(), CoreError> {
         if id.view >= self.views.views.len() || id.index >= self.views.views[id.view].len() {
@@ -140,6 +162,7 @@ impl Problem {
             });
         }
         self.deletions.insert(id);
+        self.invalidate_compiled();
         Ok(())
     }
 
@@ -161,6 +184,7 @@ impl Problem {
             })?;
         let id = ViewTupleId::new(view, index);
         self.deletions.insert(id);
+        self.invalidate_compiled();
         Ok(id)
     }
 
@@ -177,7 +201,9 @@ impl Problem {
             .ok_or(CoreError::UnknownViewTuple {
                 view: id.view,
                 description: format!("index {}", id.index),
-            })
+            })?;
+        self.invalidate_compiled();
+        Ok(())
     }
 
     /// The weight of a view tuple.
@@ -413,6 +439,26 @@ mod tests {
             Problem::new_with_fds(db, vec![q3], &SchemaFds::new()),
             Err(CoreError::NotKeyPreserving { .. })
         ));
+    }
+
+    #[test]
+    fn compiled_cache_invalidated_on_mutation() {
+        let mut p = fig1_q4_problem();
+        assert_eq!(p.compiled().norm_delta(), 0);
+        let id = p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        assert_eq!(p.compiled().norm_delta(), 1, "mark_deleted rebuilds");
+        let vul = *p.compiled().vulnerable().first().unwrap();
+        p.set_weight(vul, 2.5).unwrap();
+        assert_eq!(
+            p.compiled().vulnerable_weight(0),
+            2.5,
+            "set_weight rebuilds"
+        );
+        p.mark_deleted_id(id).unwrap();
+        assert_eq!(p.compiled().norm_delta(), 1);
+        // Clones of a compiled problem share the cached IR (same Arc).
+        let q = p.clone();
+        assert_eq!(q.compiled().norm_delta(), 1);
     }
 
     #[test]

@@ -9,13 +9,17 @@
 //! the witness sets — and hence the reduction — well defined and unique.
 //! The mapping preserves feasibility and cost exactly in both directions,
 //! which is what lets the Red-Blue algorithms' guarantees transfer.
+//!
+//! The image is assembled directly from the [`CompiledInstance`] CSR rows
+//! — the blue row of set `t` is the IR's `hit_row(t)`, the red row its
+//! `incidence_row(t)`, both already sorted and deduplicated — so no tuple
+//! set is re-hashed ([`CoverSet::from_sorted`]).
 
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::solution::Solution;
 use delprop_query::ViewTupleId;
 use delprop_relation::TupleId;
 use delprop_setcover::{CoverSet, PnSet, PosNegInstance, RedBlueInstance};
-use std::collections::HashMap;
 
 /// A view-side-effect instance expressed as Red-Blue Set Cover.
 #[derive(Debug, Clone)]
@@ -39,44 +43,28 @@ impl VseAsRedBlue {
 
 /// Reduce a (standard, weighted) view-side-effect instance to Red-Blue Set
 /// Cover over the candidate tuples.
-pub fn to_redblue(problem: &Problem) -> VseAsRedBlue {
-    let tuples = problem.candidates();
-    let tuple_index: HashMap<TupleId, usize> =
-        tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-
-    let blue_ids: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
-    let blue_index: HashMap<ViewTupleId, usize> =
-        blue_ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-
-    let red_ids: Vec<ViewTupleId> = problem.vulnerable_preserved();
-    let red_index: HashMap<ViewTupleId, usize> =
-        red_ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-
-    let mut sets: Vec<CoverSet> = vec![CoverSet::default(); tuples.len()];
-    for (&vid, &bi) in &blue_index {
-        for t in problem.witnesses(vid) {
-            if let Some(&si) = tuple_index.get(t) {
-                sets[si].blue.push(bi);
-            }
-        }
-    }
-    for (&vid, &ri) in &red_index {
-        for t in problem.witnesses(vid) {
-            if let Some(&si) = tuple_index.get(t) {
-                sets[si].red.push(ri);
-            }
-        }
-    }
-    let sets = sets
-        .into_iter()
-        .map(|s| CoverSet::new(s.red, s.blue))
+pub fn to_redblue(ir: &CompiledInstance) -> VseAsRedBlue {
+    let sets: Vec<CoverSet> = (0..ir.num_bases() as u32)
+        .map(|b| {
+            CoverSet::from_sorted(
+                ir.incidence_row(b).iter().map(|&r| r as usize).collect(),
+                ir.hit_row(b).iter().map(|&d| d as usize).collect(),
+            )
+        })
         .collect();
-    let red_weights = red_ids.iter().map(|&id| problem.weight(id)).collect();
+    let red_weights: Vec<f64> = (0..ir.num_vulnerable() as u32)
+        .map(|r| ir.vulnerable_weight(r))
+        .collect();
     VseAsRedBlue {
-        instance: RedBlueInstance::with_weights(red_ids.len(), blue_ids.len(), red_weights, sets),
-        tuples,
-        blue_ids,
-        red_ids,
+        instance: RedBlueInstance::with_weights(
+            ir.num_vulnerable(),
+            ir.num_demands(),
+            red_weights,
+            sets,
+        ),
+        tuples: ir.bases().to_vec(),
+        blue_ids: ir.demands().to_vec(),
+        red_ids: ir.vulnerable().to_vec(),
     }
 }
 
@@ -101,27 +89,33 @@ impl BalancedAsPosNeg {
 }
 
 /// Reduce a (weighted) balanced instance to Pos-Neg Partial Set Cover.
-pub fn to_posneg(problem: &Problem) -> BalancedAsPosNeg {
-    let rb = to_redblue(problem);
-    let pos_weights: Vec<f64> = rb.blue_ids.iter().map(|&id| problem.weight(id)).collect();
-    let neg_weights: Vec<f64> = rb.red_ids.iter().map(|&id| problem.weight(id)).collect();
-    let sets = rb
-        .instance
-        .sets()
-        .iter()
-        .map(|s| PnSet::new(s.blue.clone(), s.red.clone()))
+pub fn to_posneg(ir: &CompiledInstance) -> BalancedAsPosNeg {
+    let sets: Vec<PnSet> = (0..ir.num_bases() as u32)
+        .map(|b| {
+            PnSet::from_sorted(
+                ir.hit_row(b).iter().map(|&d| d as usize).collect(),
+                ir.incidence_row(b).iter().map(|&r| r as usize).collect(),
+            )
+        })
+        .collect();
+    let pos_weights: Vec<f64> = (0..ir.num_demands() as u32)
+        .map(|d| ir.demand_weight(d))
+        .collect();
+    let neg_weights: Vec<f64> = (0..ir.num_vulnerable() as u32)
+        .map(|r| ir.vulnerable_weight(r))
         .collect();
     BalancedAsPosNeg {
         instance: PosNegInstance::with_weights(pos_weights, neg_weights, sets),
-        tuples: rb.tuples,
-        pos_ids: rb.blue_ids,
-        neg_ids: rb.red_ids,
+        tuples: ir.bases().to_vec(),
+        pos_ids: ir.demands().to_vec(),
+        neg_ids: ir.vulnerable().to_vec(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::problem::Problem;
     use delprop_query::parse_query;
     use delprop_relation::{tup, Database, RelationSchema, Schema};
 
@@ -159,7 +153,7 @@ mod tests {
     #[test]
     fn reduction_shape_matches_fig1() {
         let p = fig1_problem();
-        let rb = to_redblue(&p);
+        let rb = to_redblue(p.compiled());
         // Candidates: T1(John,TKDE), T2(TKDE,XML,30) -> 2 sets.
         assert_eq!(rb.tuples.len(), 2);
         assert_eq!(rb.instance.num_blue(), 1);
@@ -171,7 +165,7 @@ mod tests {
     #[test]
     fn costs_transfer_exactly() {
         let p = fig1_problem();
-        let rb = to_redblue(&p);
+        let rb = to_redblue(p.compiled());
         for si in 0..rb.tuples.len() {
             let selection = vec![si];
             let sol = rb.map_back(&selection);
@@ -186,7 +180,7 @@ mod tests {
     #[test]
     fn balanced_costs_transfer_exactly() {
         let p = fig1_problem();
-        let pn = to_posneg(&p);
+        let pn = to_posneg(p.compiled());
         // Empty selection: cost = weight of the single positive = 1.
         assert_eq!(pn.instance.cost(&[]), 1.0);
         assert_eq!(pn.map_back(&[]).balanced_cost(&p), 1.0);
@@ -208,7 +202,7 @@ mod tests {
         for id in ids {
             p.set_weight(id, 3.0).unwrap();
         }
-        let rb = to_redblue(&p);
+        let rb = to_redblue(p.compiled());
         for r in 0..rb.instance.num_red() {
             assert_eq!(rb.instance.red_weight(r), 3.0);
         }
@@ -225,7 +219,7 @@ mod tests {
             .bind(d.schema())
             .unwrap();
         let p = Problem::new(d, vec![q]).unwrap();
-        let rb = to_redblue(&p);
+        let rb = to_redblue(p.compiled());
         assert_eq!(rb.instance.num_blue(), 0);
         assert!(rb.instance.is_feasible(&[]));
     }

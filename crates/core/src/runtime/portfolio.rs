@@ -15,6 +15,7 @@ use crate::solution::Solution;
 use crate::solvers::local_search::Objective;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
 
 use super::budget::Budget;
 use super::solver::{
@@ -58,22 +59,34 @@ pub struct MemberReport {
     pub guarantee: Guarantee,
     /// What happened.
     pub status: MemberStatus,
+    /// Wall-clock spent running (and verifying) this member, in µs.
+    /// Zero for members that were skipped or not reached.
+    pub micros: u64,
+    /// Budget ticks this member consumed.
+    pub ticks: u64,
 }
 
 impl fmt::Display for MemberReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} ({}): ", self.name, self.guarantee)?;
         match &self.status {
-            MemberStatus::Skipped => f.write_str("skipped (does not apply)"),
-            MemberStatus::NotReached => f.write_str("not reached"),
-            MemberStatus::Verified { cost } => write!(f, "verified, cost {cost}"),
-            MemberStatus::RejectedInfeasible => f.write_str("rejected: infeasible output"),
+            MemberStatus::Skipped => f.write_str("skipped (does not apply)")?,
+            MemberStatus::NotReached => f.write_str("not reached")?,
+            MemberStatus::Verified { cost } => write!(f, "verified, cost {cost}")?,
+            MemberStatus::RejectedInfeasible => f.write_str("rejected: infeasible output")?,
             MemberStatus::RejectedVerification { message } => {
-                write!(f, "rejected: verification failed ({message})")
+                write!(f, "rejected: verification failed ({message})")?
             }
-            MemberStatus::Panicked { message } => write!(f, "panicked (contained): {message}"),
-            MemberStatus::Failed { error } => write!(f, "failed: {error}"),
+            MemberStatus::Panicked { message } => write!(f, "panicked (contained): {message}")?,
+            MemberStatus::Failed { error } => write!(f, "failed: {error}")?,
         }
+        if !matches!(
+            self.status,
+            MemberStatus::Skipped | MemberStatus::NotReached
+        ) {
+            write!(f, " [{} µs, {} ticks]", self.micros, self.ticks)?;
+        }
+        Ok(())
     }
 }
 
@@ -90,6 +103,11 @@ pub struct PortfolioOutcome {
     pub winner: &'static str,
     /// One entry per member, in chain order.
     pub report: Vec<MemberReport>,
+    /// Wall-clock spent obtaining the compiled instance IR, in µs. Near
+    /// zero when the `Problem` had already compiled (the cache hit).
+    pub compile_micros: u64,
+    /// Budget ticks charged for the IR compile.
+    pub compile_ticks: u64,
 }
 
 impl fmt::Display for PortfolioOutcome {
@@ -100,6 +118,11 @@ impl fmt::Display for PortfolioOutcome {
             self.winner,
             self.cost,
             self.solution.len()
+        )?;
+        writeln!(
+            f,
+            "  ir compile: {} µs, {} ticks (shared by all members)",
+            self.compile_micros, self.compile_ticks
         )?;
         for r in &self.report {
             writeln!(f, "  {r}")?;
@@ -194,11 +217,24 @@ impl Portfolio {
         budget: &Budget,
         stop_at_first: bool,
     ) -> Result<PortfolioOutcome, CoreError> {
+        // Compile the shared IR exactly once, up front: every member,
+        // applicability check, and verification below reads this one
+        // index. The compile is charged to the budget like any other
+        // work (`‖V‖ + ‖ΔV‖ + 1` ticks — one pass over the instance);
+        // exhaustion here surfaces through the members' own checks.
+        let compile_start = Instant::now();
+        let _ir = problem.compiled();
+        let compile_micros = compile_start.elapsed().as_micros() as u64;
+        let compile_ticks = (problem.norm_v() + problem.norm_delta()) as u64 + 1;
+        let _ = budget.charge(compile_ticks);
+
         let mut report: Vec<MemberReport> = Vec::with_capacity(self.members.len());
         let mut best: Option<(Solution, f64, &'static str)> = None;
 
         for member in &self.members {
             let guarantee = member.guarantee(problem);
+            let started = Instant::now();
+            let ticks_before = budget.used();
             let status = if stop_at_first && best.is_some() {
                 MemberStatus::NotReached
             } else if !member.applies(problem) {
@@ -212,10 +248,21 @@ impl Portfolio {
                 }
                 status
             };
+            let ran = !matches!(status, MemberStatus::Skipped | MemberStatus::NotReached);
             report.push(MemberReport {
                 name: member.name(),
                 guarantee,
                 status,
+                micros: if ran {
+                    started.elapsed().as_micros() as u64
+                } else {
+                    0
+                },
+                ticks: if ran {
+                    budget.used().saturating_sub(ticks_before)
+                } else {
+                    0
+                },
             });
         }
 
@@ -225,6 +272,8 @@ impl Portfolio {
                 cost,
                 winner,
                 report,
+                compile_micros,
+                compile_ticks,
             }),
             None => Err(self.failure_error(budget, &report)),
         }
@@ -373,7 +422,7 @@ mod tests {
         ] {
             let out = solve_portfolio(&p).unwrap();
             assert!(out.solution.is_feasible(&p));
-            let opt = exact::solve(&p, ExactConfig::default()).cost;
+            let opt = exact::solve(p.compiled(), ExactConfig::default()).cost;
             // The winner on these families is exact (single_query/dp_tree).
             assert!(
                 (out.cost - opt).abs() < 1e-9,
@@ -422,7 +471,7 @@ mod tests {
     fn balanced_portfolio_is_verified_and_bounded_below_by_opt() {
         for p in [fig1(), star_problem(4, &[0, 2])] {
             let out = solve_portfolio_balanced(&p).unwrap();
-            let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+            let opt = exact::solve_balanced(p.compiled(), ExactConfig::default()).cost;
             assert!(out.cost >= opt - 1e-9);
         }
     }

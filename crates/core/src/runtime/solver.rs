@@ -10,7 +10,6 @@
 //! front, which keeps tick accounting meaningful (a drained budget skips
 //! them) without instrumenting loops that cannot run away.
 
-use crate::classify;
 use crate::error::CoreError;
 use crate::problem::Problem;
 use crate::solution::Solution;
@@ -94,7 +93,7 @@ fn coarse_charge(problem: &Problem, budget: &Budget) -> Result<(), CoreError> {
 }
 
 fn forest_case(problem: &Problem) -> bool {
-    classify::classify(problem).forest_case
+    problem.compiled().forest_case()
 }
 
 /// §III single-query single-deletion exact algorithm (Cong et al.).
@@ -112,7 +111,7 @@ impl Solver for SingleQuerySolver {
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        single_query::solve_single_deletion(problem)
+        single_query::solve_single_deletion(problem.compiled())
     }
 }
 
@@ -124,14 +123,14 @@ impl Solver for DpTreeSolver {
         "dp_tree"
     }
     fn applies(&self, problem: &Problem) -> bool {
-        dp_tree::applies(problem)
+        dp_tree::applies(problem.compiled())
     }
     fn guarantee(&self, _problem: &Problem) -> Guarantee {
         Guarantee::Exact
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        dp_tree::solve(problem)
+        dp_tree::solve(problem.compiled())
     }
 }
 
@@ -146,11 +145,11 @@ impl Solver for LowDegTreeSolver {
         forest_case(problem)
     }
     fn guarantee(&self, problem: &Problem) -> Guarantee {
-        Guarantee::Ratio(lowdeg_tree::ratio_bound(problem))
+        Guarantee::Ratio(lowdeg_tree::ratio_bound(problem.compiled()))
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        lowdeg_tree::solve(problem)
+        lowdeg_tree::solve(problem.compiled())
     }
 }
 
@@ -169,7 +168,7 @@ impl Solver for PrimalDualSolver {
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        primal_dual::solve_default(problem)
+        primal_dual::solve_default(problem.compiled())
     }
 }
 
@@ -188,7 +187,7 @@ impl Solver for LpRoundSolver {
         Guarantee::Ratio(problem.l().max(1) as f64)
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
-        lp_round::solve_budgeted(problem, budget)
+        lp_round::solve_budgeted(problem.compiled(), budget)
     }
 }
 
@@ -203,11 +202,11 @@ impl Solver for GeneralSolver {
         true
     }
     fn guarantee(&self, problem: &Problem) -> Guarantee {
-        Guarantee::Ratio(general::ratio_bound(problem))
+        Guarantee::Ratio(general::ratio_bound(problem.compiled()))
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        general::solve(problem)
+        general::solve(problem.compiled())
     }
 }
 
@@ -226,7 +225,7 @@ impl Solver for GreedySolver {
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        general::solve_greedy(problem)
+        general::solve_greedy(problem.compiled())
     }
 }
 
@@ -250,7 +249,7 @@ impl Solver for ExactSolver {
         Guarantee::Exact
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
-        let out = exact::solve_budgeted(problem, self.config, budget);
+        let out = exact::solve_budgeted(problem.compiled(), self.config, budget);
         match out.solution {
             Some(sol) => Ok(sol),
             None if budget.is_exhausted() => Err(budget.error()),
@@ -277,9 +276,10 @@ impl Solver for LocalSearchSolver {
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        let start = general::solve_greedy(problem)?;
+        let ir = problem.compiled();
+        let start = general::solve_greedy(ir)?;
         Ok(local_search::improve_budgeted(
-            problem,
+            ir,
             &start,
             LocalSearchConfig::default(),
             budget,
@@ -304,7 +304,7 @@ impl Solver for SourceGreedySolver {
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        Ok(source::solve_greedy(problem))
+        Ok(source::solve_greedy(problem.compiled()))
     }
 }
 
@@ -330,7 +330,7 @@ impl Solver for ExactBalancedSolver {
         Guarantee::Exact
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
-        let out = exact::solve_balanced_budgeted(problem, self.config, budget);
+        let out = exact::solve_balanced_budgeted(problem.compiled(), self.config, budget);
         // The balanced reduction always yields a solution (the empty
         // selection is feasible); proven_optimal may be false under
         // truncation, which verification tolerates.
@@ -356,7 +356,8 @@ impl Solver for PrimalDualBalancedSolver {
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        primal_dual_balanced::solve_balanced(problem, &Default::default()).map(|o| o.solution)
+        primal_dual_balanced::solve_balanced(problem.compiled(), &Default::default())
+            .map(|o| o.solution)
     }
 }
 
@@ -378,7 +379,7 @@ impl Solver for GeneralBalancedSolver {
     }
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
         coarse_charge(problem, budget)?;
-        Ok(general::solve_balanced(problem))
+        Ok(general::solve_balanced(problem.compiled()))
     }
 }
 

@@ -1,12 +1,14 @@
 //! `DPTreeVSE` — Algorithm 4 of the paper: an **exact** polynomial dynamic
 //! program for the restricted forest case with pivot tuples (§IV.E).
 //!
-//! Precondition (certified by `delprop-hypergraph::find_pivot_structure`):
-//! the data dual graph is a forest and each component has a pivot tuple
-//! from which every view tuple's witness set is a root-prefix path. Under
-//! that structure, deleting a tuple `t` eliminates exactly the view tuples
-//! whose path endpoint lies in `t`'s subtree, deletions below a deleted
-//! tuple are redundant, and a two-option post-order recursion is exact:
+//! Precondition (certified once at IR compile time via
+//! `delprop-hypergraph::find_pivot_structure` and cached as
+//! [`CompiledInstance::pivot`]): the data dual graph is a forest and each
+//! component has a pivot tuple from which every view tuple's witness set
+//! is a root-prefix path. Under that structure, deleting a tuple `t`
+//! eliminates exactly the view tuples whose path endpoint lies in `t`'s
+//! subtree, deletions below a deleted tuple are redundant, and a
+//! two-option post-order recursion is exact:
 //!
 //! - **standard**: `DP(v) = redsub(v)` if a demand ends at `v`, else
 //!   `min(redsub(v), Σ_children DP(c))`, where `redsub(v)` is the
@@ -18,25 +20,23 @@
 //! paper's "poly size status transition array" sharpened to linear.
 
 use crate::error::CoreError;
-use crate::problem::Problem;
+use crate::ir::{CompiledInstance, PivotData};
 use crate::solution::Solution;
-use delprop_hypergraph::{find_pivot_structure, DataDualGraph, PivotStructure};
-use delprop_query::ViewTupleId;
 use delprop_relation::TupleId;
 
-/// Whether the pivot-forest precondition holds for `problem`.
-pub fn applies(problem: &Problem) -> bool {
-    structure(problem).is_ok()
+/// Whether the pivot-forest precondition holds for the instance.
+pub fn applies(ir: &CompiledInstance) -> bool {
+    ir.pivot().is_some()
 }
 
 /// Solve the standard view side-effect exactly.
-pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
-    run(problem, Mode::Standard)
+pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    run(ir, Mode::Standard)
 }
 
 /// Solve the balanced objective exactly.
-pub fn solve_balanced(problem: &Problem) -> Result<Solution, CoreError> {
-    run(problem, Mode::Balanced)
+pub fn solve_balanced(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    run(ir, Mode::Balanced)
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -45,51 +45,39 @@ enum Mode {
     Balanced,
 }
 
-/// Build the graph + pivot structure + per-path view ids.
-fn structure(
-    problem: &Problem,
-) -> Result<(DataDualGraph, PivotStructure, Vec<ViewTupleId>), CoreError> {
-    let mut path_ids: Vec<ViewTupleId> = Vec::new();
-    let mut paths: Vec<Vec<TupleId>> = Vec::new();
-    for (id, vt) in problem.views().iter() {
-        path_ids.push(id);
-        paths.push(vt.unique_witnesses().to_vec());
-    }
-    let graph = DataDualGraph::new(&paths);
-    let pivot = find_pivot_structure(&graph).ok_or_else(|| CoreError::StructureMismatch {
+fn pivot(ir: &CompiledInstance) -> Result<&PivotData, CoreError> {
+    ir.pivot().ok_or_else(|| CoreError::StructureMismatch {
         solver: "DPTreeVSE",
         reason: "data dual graph is not a pivot forest (no pivot tuple \
                  makes every witness set a root-prefix path)"
             .into(),
-    })?;
-    Ok((graph, pivot, path_ids))
+    })
 }
 
-fn run(problem: &Problem, mode: Mode) -> Result<Solution, CoreError> {
-    let (graph, pivot, path_ids) = structure(problem)?;
-    let n = graph.num_vertices();
-    let forest = &pivot.forest;
+fn run(ir: &CompiledInstance, mode: Mode) -> Result<Solution, CoreError> {
+    let pivot = pivot(ir)?;
+    let n = pivot.num_vertices();
 
     // Per-vertex endpoint weights.
     let mut red_at = vec![0.0f64; n]; // preserved weight ending here
     let mut blue_at = vec![0.0f64; n]; // demand weight ending here
     let mut blue_count_at = vec![0usize; n];
-    for (pi, &endpoint) in pivot.endpoints.iter().enumerate() {
-        let id = path_ids[pi];
-        if problem.is_deleted(id) {
-            blue_at[endpoint] += problem.weight(id);
+    for (i, &endpoint) in pivot.endpoints.iter().enumerate() {
+        let endpoint = endpoint as usize;
+        if ir.view_deleted(i) {
+            blue_at[endpoint] += ir.view_weight(i);
             blue_count_at[endpoint] += 1;
         } else {
-            red_at[endpoint] += problem.weight(id);
+            red_at[endpoint] += ir.view_weight(i);
         }
     }
 
     // Post-order: reverse BFS order visits children before parents.
-    let children = forest.children();
     let mut redsub = red_at.clone();
-    for &v in forest.bfs_order.iter().rev() {
-        for &c in &children[v] {
-            redsub[v] += redsub[c];
+    for &v in pivot.bfs_order.iter().rev() {
+        let v = v as usize;
+        for &c in pivot.children_of(v) {
+            redsub[v] += redsub[c as usize];
         }
     }
 
@@ -97,8 +85,9 @@ fn run(problem: &Problem, mode: Mode) -> Result<Solution, CoreError> {
     // deleted" context) is to delete v.
     let mut dp = vec![0.0f64; n];
     let mut delete_here = vec![false; n];
-    for &v in forest.bfs_order.iter().rev() {
-        let keep_children: f64 = children[v].iter().map(|&c| dp[c]).sum();
+    for &v in pivot.bfs_order.iter().rev() {
+        let v = v as usize;
+        let keep_children: f64 = pivot.children_of(v).iter().map(|&c| dp[c as usize]).sum();
         let (keep_allowed, keep_cost) = match mode {
             Mode::Standard => (blue_count_at[v] == 0, keep_children),
             Mode::Balanced => (true, blue_at[v] + keep_children),
@@ -115,12 +104,12 @@ fn run(problem: &Problem, mode: Mode) -> Result<Solution, CoreError> {
 
     // Reconstruct: walk down from each root, stopping at deletions.
     let mut deleted: Vec<TupleId> = Vec::new();
-    let mut stack: Vec<usize> = forest.roots.clone();
+    let mut stack: Vec<usize> = pivot.roots.iter().map(|&r| r as usize).collect();
     while let Some(v) = stack.pop() {
         if delete_here[v] {
-            deleted.push(graph.tuple(v));
+            deleted.push(pivot.vertex_tuple[v]);
         } else {
-            stack.extend(children[v].iter().copied());
+            stack.extend(pivot.children_of(v).iter().map(|&c| c as usize));
         }
     }
     Ok(Solution::from_tuples(deleted))
@@ -131,22 +120,23 @@ mod tests {
     use super::*;
     use crate::solvers::exact;
     use crate::test_support::{fig1_problem, star_problem};
+    use delprop_query::ViewTupleId;
     use delprop_relation::tup;
     use delprop_setcover::exact::ExactConfig;
 
     #[test]
     fn star_problem_has_pivot_structure() {
         let p = star_problem(6, &[1, 3]);
-        assert!(applies(&p));
+        assert!(applies(p.compiled()));
     }
 
     #[test]
     fn matches_exact_on_star_instances() {
         for blue in [&[0usize][..], &[1, 4], &[0, 2, 5], &[0, 1, 2, 3, 4, 5]] {
             let p = star_problem(6, blue);
-            let dp = solve(&p).unwrap();
+            let dp = solve(p.compiled()).unwrap();
             assert!(dp.is_feasible(&p));
-            let opt = exact::solve(&p, ExactConfig::default());
+            let opt = exact::solve(p.compiled(), ExactConfig::default());
             assert!(
                 (dp.side_effect(&p) - opt.cost).abs() < 1e-9,
                 "DP {} != OPT {} for blues {:?}",
@@ -161,8 +151,8 @@ mod tests {
     fn matches_exact_balanced_on_star_instances() {
         for blue in [&[0usize][..], &[1, 4], &[0, 2, 5]] {
             let p = star_problem(6, blue);
-            let dp = solve_balanced(&p).unwrap();
-            let opt = exact::solve_balanced(&p, ExactConfig::default());
+            let dp = solve_balanced(p.compiled()).unwrap();
+            let opt = exact::solve_balanced(p.compiled(), ExactConfig::default());
             assert!(
                 (dp.balanced_cost(&p) - opt.cost).abs() < 1e-9,
                 "DP balanced {} != OPT {} for blues {:?}",
@@ -183,10 +173,10 @@ mod tests {
         for id in ids {
             p.set_weight(id, 100.0).unwrap();
         }
-        let dp = solve(&p).unwrap();
+        let dp = solve(p.compiled()).unwrap();
         assert!(dp.is_feasible(&p));
         assert_eq!(dp.side_effect(&p), 100.0);
-        let opt = exact::solve(&p, ExactConfig::default());
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
         assert_eq!(dp.side_effect(&p), opt.cost);
     }
 
@@ -197,9 +187,9 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        assert!(!applies(&p));
+        assert!(!applies(p.compiled()));
         assert!(matches!(
-            solve(&p),
+            solve(p.compiled()),
             Err(CoreError::StructureMismatch { .. })
         ));
     }
@@ -212,10 +202,10 @@ mod tests {
         // it uncut and pays 0.1. The standard version must still cut.
         let blue_id = *p.deletions().iter().next().unwrap();
         p.set_weight(blue_id, 0.1).unwrap();
-        let bal = solve_balanced(&p).unwrap();
+        let bal = solve_balanced(p.compiled()).unwrap();
         assert!((bal.balanced_cost(&p) - 0.1).abs() < 1e-9);
         assert!(bal.is_empty(), "balanced optimum deletes nothing here");
-        let std = solve(&p).unwrap();
+        let std = solve(p.compiled()).unwrap();
         assert!(std.is_feasible(&p));
         assert_eq!(std.side_effect(&p), 1.0);
     }
@@ -223,9 +213,9 @@ mod tests {
     #[test]
     fn empty_demand_set_deletes_nothing() {
         let p = star_problem(3, &[]);
-        let sol = solve(&p).unwrap();
+        let sol = solve(p.compiled()).unwrap();
         assert!(sol.is_empty());
-        let sol = solve_balanced(&p).unwrap();
+        let sol = solve_balanced(p.compiled()).unwrap();
         assert_eq!(sol.balanced_cost(&p), 0.0);
     }
 }

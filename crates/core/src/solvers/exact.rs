@@ -2,7 +2,7 @@
 //! experiment. Standard version via the Red-Blue reduction + branch and
 //! bound; balanced version via the Pos-Neg reduction.
 
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::reduction;
 use crate::runtime::Budget;
 use crate::solution::Solution;
@@ -23,21 +23,21 @@ pub struct ExactOutcome {
 }
 
 /// Minimize the view side-effect exactly.
-pub fn solve(problem: &Problem, config: ExactConfig) -> ExactOutcome {
-    solve_budgeted(problem, config, &Budget::unlimited())
+pub fn solve(ir: &CompiledInstance, config: ExactConfig) -> ExactOutcome {
+    solve_budgeted(ir, config, &Budget::unlimited())
 }
 
 /// [`solve`] under a cooperative [`Budget`]: every branch-and-bound node
 /// expansion charges the budget (batched), and exhaustion truncates the
 /// search exactly like the node limit — the best incumbent so far comes
 /// back with `proven_optimal == false`.
-pub fn solve_budgeted(problem: &Problem, config: ExactConfig, budget: &Budget) -> ExactOutcome {
-    let rb = reduction::to_redblue(problem);
+pub fn solve_budgeted(ir: &CompiledInstance, config: ExactConfig, budget: &Budget) -> ExactOutcome {
+    let rb = reduction::to_redblue(ir);
     let res = exact::solve_with_ticker(&rb.instance, config, &mut budget.ticker());
     match res.selection {
         Some(sel) => {
             let solution = rb.map_back(&sel);
-            let cost = solution.side_effect(problem);
+            let cost = ir.side_effect_of(&solution);
             ExactOutcome {
                 solution: Some(solution),
                 cost,
@@ -53,23 +53,23 @@ pub fn solve_budgeted(problem: &Problem, config: ExactConfig, budget: &Budget) -
 }
 
 /// Minimize the balanced objective exactly.
-pub fn solve_balanced(problem: &Problem, config: ExactConfig) -> ExactOutcome {
-    solve_balanced_budgeted(problem, config, &Budget::unlimited())
+pub fn solve_balanced(ir: &CompiledInstance, config: ExactConfig) -> ExactOutcome {
+    solve_balanced_budgeted(ir, config, &Budget::unlimited())
 }
 
 /// [`solve_balanced`] under a cooperative [`Budget`] (see
 /// [`solve_budgeted`]). Truncation before any incumbent degrades to the
 /// empty selection, which is always feasible for the balanced objective.
 pub fn solve_balanced_budgeted(
-    problem: &Problem,
+    ir: &CompiledInstance,
     config: ExactConfig,
     budget: &Budget,
 ) -> ExactOutcome {
-    let pn = reduction::to_posneg(problem);
+    let pn = reduction::to_posneg(ir);
     let (sel, _, proven) =
         reduce::solve_posneg_exact_with_ticker(&pn.instance, config, &mut budget.ticker());
     let solution = pn.map_back(&sel);
-    let cost = solution.balanced_cost(problem);
+    let cost = ir.balanced_cost_of(&solution);
     ExactOutcome {
         solution: Some(solution),
         cost,
@@ -88,7 +88,7 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        let out = solve(&p, ExactConfig::default());
+        let out = solve(p.compiled(), ExactConfig::default());
         assert!(out.proven_optimal);
         assert_eq!(out.cost, 1.0);
         let sol = out.solution.unwrap();
@@ -104,7 +104,7 @@ mod tests {
         });
         // Deleting T1(John,TKDE): side-effect 1, bad removed -> cost 1.
         // Not deleting: cost 1 (bad stays). Both optimal at 1.
-        let out = solve_balanced(&p, ExactConfig::default());
+        let out = solve_balanced(p.compiled(), ExactConfig::default());
         assert!(out.proven_optimal);
         assert_eq!(out.cost, 1.0);
     }
@@ -112,10 +112,10 @@ mod tests {
     #[test]
     fn no_deletions_costs_zero() {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
-        let out = solve(&p, ExactConfig::default());
+        let out = solve(p.compiled(), ExactConfig::default());
         assert_eq!(out.cost, 0.0);
         assert!(out.solution.unwrap().is_empty());
-        let out = solve_balanced(&p, ExactConfig::default());
+        let out = solve_balanced(p.compiled(), ExactConfig::default());
         assert_eq!(out.cost, 0.0);
     }
 
@@ -132,7 +132,7 @@ mod tests {
                 p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
             },
         );
-        let out = solve(&p, ExactConfig::default());
+        let out = solve(p.compiled(), ExactConfig::default());
         // Deleting T2(TKDE,XML,30) would now also kill view tuple
         // Q5(TKDE, XML): side-effect 3. Deleting T1(John,TKDE) still 1.
         assert_eq!(out.cost, 1.0);

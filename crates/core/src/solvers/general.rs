@@ -11,7 +11,7 @@
 //! `2√(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)`.
 
 use crate::error::CoreError;
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::reduction;
 use crate::solution::Solution;
 use delprop_setcover::{lowdeg, reduce};
@@ -20,8 +20,8 @@ use delprop_setcover::{lowdeg, reduce};
 ///
 /// Returns an error only if some `ΔV` tuple cannot be eliminated, which
 /// key-preservation makes impossible for well-formed problems.
-pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
-    let rb = reduction::to_redblue(problem);
+pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    let rb = reduction::to_redblue(ir);
     let sel = lowdeg::solve(&rb.instance).ok_or_else(|| CoreError::Infeasible {
         reason: "a deleted view tuple has no candidate witness".into(),
     })?;
@@ -29,34 +29,34 @@ pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
 }
 
 /// Approximate the balanced objective (Lemma 1 route).
-pub fn solve_balanced(problem: &Problem) -> Solution {
-    let pn = reduction::to_posneg(problem);
+pub fn solve_balanced(ir: &CompiledInstance) -> Solution {
+    let pn = reduction::to_posneg(ir);
     let (sel, _) = reduce::solve_posneg_lowdeg(&pn.instance);
     pn.map_back(&sel)
 }
 
 /// The Claim 1 ratio bound `2√(l·‖V‖·log‖ΔV‖)` for this instance
 /// (logarithm clamped below at 1 so tiny instances keep a sane bound).
-pub fn ratio_bound(problem: &Problem) -> f64 {
-    let l = problem.l().max(1) as f64;
-    let v = problem.norm_v().max(1) as f64;
-    let logd = (problem.norm_delta().max(2) as f64).ln().max(1.0);
+pub fn ratio_bound(ir: &CompiledInstance) -> f64 {
+    let l = ir.l().max(1) as f64;
+    let v = ir.norm_v().max(1) as f64;
+    let logd = (ir.norm_delta().max(2) as f64).ln().max(1.0);
     2.0 * (l * v * logd).sqrt()
 }
 
 /// The Lemma 1 ratio bound `2√(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)`.
-pub fn balanced_ratio_bound(problem: &Problem) -> f64 {
-    let l = problem.l().max(1) as f64;
-    let v = (problem.norm_v() + problem.norm_delta()).max(1) as f64;
-    let logd = (problem.norm_delta().max(2) as f64).ln().max(1.0);
+pub fn balanced_ratio_bound(ir: &CompiledInstance) -> f64 {
+    let l = ir.l().max(1) as f64;
+    let v = (ir.norm_v() + ir.norm_delta()).max(1) as f64;
+    let logd = (ir.norm_delta().max(2) as f64).ln().max(1.0);
     2.0 * (l * v * logd).sqrt()
 }
 
 /// Cheap greedy baseline (reduce to Red-Blue, greedy weighted cover).
 /// No ratio guarantee beyond greedy's; used in experiments as the
 /// strawman Claim 1's algorithm is compared against.
-pub fn solve_greedy(problem: &Problem) -> Result<Solution, CoreError> {
-    let rb = reduction::to_redblue(problem);
+pub fn solve_greedy(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    let rb = reduction::to_redblue(ir);
     let sel =
         delprop_setcover::greedy::cover(&rb.instance).ok_or_else(|| CoreError::Infeasible {
             reason: "a deleted view tuple has no candidate witness".into(),
@@ -67,6 +67,7 @@ pub fn solve_greedy(problem: &Problem) -> Result<Solution, CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::problem::Problem;
     use crate::solvers::exact;
     use crate::test_support::fig1_problem;
     use delprop_relation::tup;
@@ -81,10 +82,10 @@ mod tests {
     #[test]
     fn feasible_and_within_bound() {
         let p = problem();
-        let sol = solve(&p).unwrap();
+        let sol = solve(p.compiled()).unwrap();
         assert!(sol.is_feasible(&p));
-        let opt = exact::solve(&p, ExactConfig::default()).cost;
-        let bound = ratio_bound(&p);
+        let opt = exact::solve(p.compiled(), ExactConfig::default()).cost;
+        let bound = ratio_bound(p.compiled());
         assert!(sol.side_effect(&p) <= bound * opt.max(1.0) + 1e-9);
     }
 
@@ -93,31 +94,31 @@ mod tests {
         // On this tiny instance the low-degree sweep hits τ=1 and finds
         // the side-effect-1 solution.
         let p = problem();
-        let sol = solve(&p).unwrap();
+        let sol = solve(p.compiled()).unwrap();
         assert_eq!(sol.side_effect(&p), 1.0);
     }
 
     #[test]
     fn balanced_feasible_and_sane() {
         let p = problem();
-        let sol = solve_balanced(&p);
+        let sol = solve_balanced(p.compiled());
         let cost = sol.balanced_cost(&p);
-        let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+        let opt = exact::solve_balanced(p.compiled(), ExactConfig::default()).cost;
         assert!(cost >= opt - 1e-9);
-        assert!(cost <= balanced_ratio_bound(&p) * opt.max(1.0) + 1e-9);
+        assert!(cost <= balanced_ratio_bound(p.compiled()) * opt.max(1.0) + 1e-9);
     }
 
     #[test]
     fn greedy_is_feasible() {
         let p = problem();
-        let sol = solve_greedy(&p).unwrap();
+        let sol = solve_greedy(p.compiled()).unwrap();
         assert!(sol.is_feasible(&p));
     }
 
     #[test]
     fn bounds_grow_with_instance_measures() {
         let p = problem();
-        assert!(ratio_bound(&p) >= 2.0);
-        assert!(balanced_ratio_bound(&p) >= ratio_bound(&p));
+        assert!(ratio_bound(p.compiled()) >= 2.0);
+        assert!(balanced_ratio_bound(p.compiled()) >= ratio_bound(p.compiled()));
     }
 }

@@ -7,11 +7,14 @@
 //! `2√(l·‖V‖·log‖ΔV‖)`), and a cheap descent often recovers most of the
 //! remaining gap. The ablation experiment EX-LS quantifies that on every
 //! workload family.
+//!
+//! The descent runs entirely on a dense deletion mask over the compiled
+//! candidate index: every trial move flips mask bits and re-prices via
+//! the CSR evaluation helpers instead of re-materializing views.
 
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::runtime::Budget;
 use crate::solution::Solution;
-use delprop_relation::TupleId;
 
 /// Which objective to descend on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,25 +43,34 @@ impl Default for LocalSearchConfig {
     }
 }
 
-fn cost(problem: &Problem, s: &Solution, objective: Objective) -> f64 {
+fn cost(ir: &CompiledInstance, mask: &[bool], objective: Objective) -> f64 {
     match objective {
-        Objective::Standard => s.side_effect(problem),
-        Objective::Balanced => s.balanced_cost(problem),
+        Objective::Standard => ir.side_effect_mask(mask),
+        Objective::Balanced => ir.balanced_cost_mask(mask),
     }
 }
 
-fn acceptable(problem: &Problem, s: &Solution, objective: Objective) -> bool {
+fn acceptable(ir: &CompiledInstance, mask: &[bool], objective: Objective) -> bool {
     match objective {
-        Objective::Standard => s.is_feasible(problem),
+        Objective::Standard => ir.is_feasible_mask(mask),
         Objective::Balanced => true,
     }
+}
+
+fn to_solution(ir: &CompiledInstance, mask: &[bool]) -> Solution {
+    Solution::from_tuples(
+        mask.iter()
+            .enumerate()
+            .filter(|&(_, &del)| del)
+            .map(|(b, _)| ir.base(b as u32)),
+    )
 }
 
 /// Descend from `start` until no single remove / swap / add improves the
 /// objective (or `max_rounds` is exhausted). The result is never worse
 /// than `start` and, for [`Objective::Standard`], stays feasible.
-pub fn improve(problem: &Problem, start: &Solution, config: LocalSearchConfig) -> Solution {
-    improve_budgeted(problem, start, config, &Budget::unlimited())
+pub fn improve(ir: &CompiledInstance, start: &Solution, config: LocalSearchConfig) -> Solution {
+    improve_budgeted(ir, start, config, &Budget::unlimited())
 }
 
 /// [`improve`] under a cooperative [`Budget`]: every trial move charges
@@ -66,35 +78,30 @@ pub fn improve(problem: &Problem, start: &Solution, config: LocalSearchConfig) -
 /// reached so far — local search degrades gracefully by construction
 /// (the current solution is never worse than `start`).
 pub fn improve_budgeted(
-    problem: &Problem,
+    ir: &CompiledInstance,
     start: &Solution,
     config: LocalSearchConfig,
     budget: &Budget,
 ) -> Solution {
-    let candidates: Vec<TupleId> = problem.candidates();
-    let mut current = start.restricted_to_candidates(problem);
-    // Restriction can only help both objectives, but keep the better of
-    // the two defensively (e.g. if `start` deleted non-candidates that
-    // somehow mattered — they cannot, but cheap to guard).
-    if cost(problem, &current, config.objective) > cost(problem, start, config.objective)
-        || !acceptable(problem, &current, config.objective)
-    {
-        current = start.clone();
-    }
-    let mut current_cost = cost(problem, &current, config.objective);
+    let nb = ir.num_bases();
+    // Restrict to candidates: non-candidate deletions never eliminate a
+    // demand and only add damage, so dropping them helps both objectives.
+    let mut current = ir.base_mask(start);
+    let mut current_cost = cost(ir, &current, config.objective);
 
     for _ in 0..config.max_rounds {
         let mut improved = false;
 
         // Move 1: remove a deletion.
-        for &t in current.deleted.clone().iter() {
+        let snapshot: Vec<usize> = (0..nb).filter(|&b| current[b]).collect();
+        for &b in &snapshot {
             if budget.checkpoint().is_err() {
-                return current;
+                return to_solution(ir, &current);
             }
             let mut trial = current.clone();
-            trial.deleted.remove(&t);
-            if acceptable(problem, &trial, config.objective) {
-                let c = cost(problem, &trial, config.objective);
+            trial[b] = false;
+            if acceptable(ir, &trial, config.objective) {
+                let c = cost(ir, &trial, config.objective);
                 if c < current_cost - 1e-12 {
                     current = trial;
                     current_cost = c;
@@ -104,19 +111,20 @@ pub fn improve_budgeted(
         }
 
         // Move 2: swap a deletion for a candidate not in the solution.
-        for &t in current.deleted.clone().iter() {
-            for &u in &candidates {
-                if current.deleted.contains(&u) {
+        let snapshot: Vec<usize> = (0..nb).filter(|&b| current[b]).collect();
+        for &b in &snapshot {
+            for u in 0..nb {
+                if current[u] {
                     continue;
                 }
                 if budget.checkpoint().is_err() {
-                    return current;
+                    return to_solution(ir, &current);
                 }
                 let mut trial = current.clone();
-                trial.deleted.remove(&t);
-                trial.deleted.insert(u);
-                if acceptable(problem, &trial, config.objective) {
-                    let c = cost(problem, &trial, config.objective);
+                trial[b] = false;
+                trial[u] = true;
+                if acceptable(ir, &trial, config.objective) {
+                    let c = cost(ir, &trial, config.objective);
                     if c < current_cost - 1e-12 {
                         current = trial;
                         current_cost = c;
@@ -129,16 +137,16 @@ pub fn improve_budgeted(
 
         // Move 3 (balanced only): add a deletion that pays for itself.
         if config.objective == Objective::Balanced {
-            for &u in &candidates {
-                if current.deleted.contains(&u) {
+            for u in 0..nb {
+                if current[u] {
                     continue;
                 }
                 if budget.checkpoint().is_err() {
-                    return current;
+                    return to_solution(ir, &current);
                 }
                 let mut trial = current.clone();
-                trial.deleted.insert(u);
-                let c = cost(problem, &trial, config.objective);
+                trial[u] = true;
+                let c = cost(ir, &trial, config.objective);
                 if c < current_cost - 1e-12 {
                     current = trial;
                     current_cost = c;
@@ -151,7 +159,7 @@ pub fn improve_budgeted(
             break;
         }
     }
-    current
+    to_solution(ir, &current)
 }
 
 #[cfg(test)]
@@ -171,8 +179,8 @@ mod tests {
                 p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
             }),
         ] {
-            let start = general::solve(&p).unwrap();
-            let polished = improve(&p, &start, LocalSearchConfig::default());
+            let start = general::solve(p.compiled()).unwrap();
+            let polished = improve(p.compiled(), &start, LocalSearchConfig::default());
             assert!(polished.is_feasible(&p));
             assert!(polished.side_effect(&p) <= start.side_effect(&p) + 1e-12);
         }
@@ -185,8 +193,8 @@ mod tests {
         });
         // Start from "delete every candidate" (cost 3).
         let start = Solution::from_tuples(p.candidates());
-        let polished = improve(&p, &start, LocalSearchConfig::default());
-        let opt = exact::solve(&p, ExactConfig::default()).cost;
+        let polished = improve(p.compiled(), &start, LocalSearchConfig::default());
+        let opt = exact::solve(p.compiled(), ExactConfig::default()).cost;
         assert_eq!(polished.side_effect(&p), opt);
     }
 
@@ -205,7 +213,7 @@ mod tests {
             .collect();
         let start = Solution::from_tuples(t2_side);
         assert_eq!(start.side_effect(&p), 2.0);
-        let polished = improve(&p, &start, LocalSearchConfig::default());
+        let polished = improve(p.compiled(), &start, LocalSearchConfig::default());
         assert_eq!(polished.side_effect(&p), 1.0);
     }
 
@@ -216,9 +224,9 @@ mod tests {
         p.set_weight(blue, 0.1).unwrap();
         // Start from the feasible standard solution (cost 1 balanced);
         // descent should drop the deletion and pay 0.1 instead.
-        let start = crate::solvers::dp_tree::solve(&p).unwrap();
+        let start = crate::solvers::dp_tree::solve(p.compiled()).unwrap();
         let polished = improve(
-            &p,
+            p.compiled(),
             &start,
             LocalSearchConfig {
                 objective: Objective::Balanced,
@@ -231,7 +239,11 @@ mod tests {
     #[test]
     fn empty_solution_is_a_fixed_point_when_nothing_to_do() {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
-        let polished = improve(&p, &Solution::empty(), LocalSearchConfig::default());
+        let polished = improve(
+            p.compiled(),
+            &Solution::empty(),
+            LocalSearchConfig::default(),
+        );
         assert!(polished.is_empty());
     }
 }

@@ -18,14 +18,18 @@
 //! attempt with the best *full* weighted side-effect, achieving ratio
 //! `2√‖V‖` (Theorem 4) — sometimes better than the factor-`l` of plain
 //! `PrimeDualVSE`, sometimes worse; experiment EX-T4 maps the crossover.
+//!
+//! Red-degrees and widths are read straight off the compiled incidence
+//! index: `red_degree(t)` is the length of `t`'s incidence row, and a
+//! vulnerable tuple's width is its full witness count `k_s`.
 
 use crate::error::CoreError;
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::solution::Solution;
 use crate::solvers::primal_dual::{self, PrimalDualConfig};
 use delprop_query::ViewTupleId;
 use delprop_relation::TupleId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// One τ-restricted attempt.
 #[derive(Debug, Clone)]
@@ -39,30 +43,21 @@ pub struct TreeAttempt {
 }
 
 /// Algorithm 2: one attempt at threshold `tau`.
-pub fn with_threshold(problem: &Problem, tau: usize) -> TreeAttempt {
+pub fn with_threshold(ir: &CompiledInstance, tau: usize) -> TreeAttempt {
     // Red-degree of each candidate tuple: number of preserved view tuples
-    // whose witness set contains it.
-    let mut degree: HashMap<TupleId, usize> = HashMap::new();
-    let candidates: HashSet<TupleId> = problem.candidates().into_iter().collect();
-    for (_, vt) in problem.preserved() {
-        for t in vt.unique_witnesses() {
-            if candidates.contains(t) {
-                *degree.entry(*t).or_insert(0) += 1;
-            }
-        }
-    }
-    let forbidden: HashSet<TupleId> = degree
-        .iter()
-        .filter(|&(_, &d)| d > tau)
-        .map(|(&t, _)| t)
+    // whose witness set contains it (= its incidence-row length).
+    let forbidden: HashSet<TupleId> = (0..ir.num_bases() as u32)
+        .filter(|&b| ir.red_degree(b) > tau)
+        .map(|b| ir.base(b))
         .collect();
 
-    // Prune wide preserved view tuples from the inner objective.
-    let width_cutoff = (problem.norm_v() as f64).sqrt();
-    let counted: HashSet<ViewTupleId> = problem
-        .preserved()
-        .filter(|(_, vt)| (vt.unique_witnesses().len() as f64) <= width_cutoff)
-        .map(|(id, _)| id)
+    // Prune wide preserved view tuples from the inner objective. Only
+    // vulnerable tuples can ever be damaged, so restricting `counted` to
+    // them loses nothing.
+    let width_cutoff = (ir.norm_v() as f64).sqrt();
+    let counted: HashSet<ViewTupleId> = (0..ir.num_vulnerable() as u32)
+        .filter(|&r| (ir.vulnerable_k(r) as f64) <= width_cutoff)
+        .map(|r| ir.vulnerable_id(r))
         .collect();
 
     let cfg = PrimalDualConfig {
@@ -70,9 +65,9 @@ pub fn with_threshold(problem: &Problem, tau: usize) -> TreeAttempt {
         counted: Some(counted),
         ..Default::default()
     };
-    match primal_dual::solve(problem, &cfg) {
+    match primal_dual::solve(ir, &cfg) {
         Ok(out) => {
-            let side_effect = out.solution.side_effect(problem);
+            let side_effect = ir.side_effect_of(&out.solution);
             TreeAttempt {
                 tau,
                 solution: Some(out.solution),
@@ -93,22 +88,14 @@ pub fn with_threshold(problem: &Problem, tau: usize) -> TreeAttempt {
 /// nothing more, so going to `|R|` as the paper writes would only repeat
 /// the last attempt). Errors only if *every* attempt is infeasible, which
 /// cannot happen: at τ = max degree nothing is forbidden.
-pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
-    let max_degree = {
-        let mut degree: HashMap<TupleId, usize> = HashMap::new();
-        let candidates: HashSet<TupleId> = problem.candidates().into_iter().collect();
-        for (_, vt) in problem.preserved() {
-            for t in vt.unique_witnesses() {
-                if candidates.contains(t) {
-                    *degree.entry(*t).or_insert(0) += 1;
-                }
-            }
-        }
-        degree.values().copied().max().unwrap_or(0)
-    };
+pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    let max_degree = (0..ir.num_bases() as u32)
+        .map(|b| ir.red_degree(b))
+        .max()
+        .unwrap_or(0);
     let mut best: Option<(f64, Solution)> = None;
     for tau in 0..=max_degree {
-        let attempt = with_threshold(problem, tau);
+        let attempt = with_threshold(ir, tau);
         if let Some(sol) = attempt.solution {
             if best.as_ref().is_none_or(|(c, _)| attempt.side_effect < *c) {
                 best = Some((attempt.side_effect, sol));
@@ -121,8 +108,8 @@ pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
 }
 
 /// The Theorem 4 ratio bound `2√‖V‖`.
-pub fn ratio_bound(problem: &Problem) -> f64 {
-    2.0 * (problem.norm_v().max(1) as f64).sqrt()
+pub fn ratio_bound(ir: &CompiledInstance) -> f64 {
+    2.0 * (ir.norm_v().max(1) as f64).sqrt()
 }
 
 #[cfg(test)]
@@ -138,7 +125,7 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        let sol = solve(&p).unwrap();
+        let sol = solve(p.compiled()).unwrap();
         assert!(sol.is_feasible(&p));
         assert_eq!(sol.side_effect(&p), 1.0);
     }
@@ -149,7 +136,7 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        let a = with_threshold(&p, 0);
+        let a = with_threshold(p.compiled(), 0);
         assert!(a.solution.is_none());
         assert!(a.side_effect.is_infinite());
     }
@@ -158,10 +145,10 @@ mod tests {
     fn within_2_sqrt_v_of_optimum_on_chains() {
         for blue in [&[0usize][..], &[1, 5], &[0, 3, 7]] {
             let p = chain_problem(8, 3, blue);
-            let sol = solve(&p).unwrap();
+            let sol = solve(p.compiled()).unwrap();
             assert!(sol.is_feasible(&p));
-            let opt = exact::solve(&p, ExactConfig::default()).cost;
-            let bound = ratio_bound(&p);
+            let opt = exact::solve(p.compiled(), ExactConfig::default()).cost;
+            let bound = ratio_bound(p.compiled());
             assert!(
                 sol.side_effect(&p) <= bound * opt.max(1.0) + 1e-9,
                 "side effect {} exceeds 2√‖V‖ bound {} × opt {}",
@@ -175,8 +162,8 @@ mod tests {
     #[test]
     fn tau_sweep_never_worse_than_unrestricted_primal_dual() {
         let p = chain_problem(12, 3, &[2, 6, 9]);
-        let sweep = solve(&p).unwrap();
-        let pd = primal_dual::solve_default(&p).unwrap();
+        let sweep = solve(p.compiled()).unwrap();
+        let pd = primal_dual::solve_default(p.compiled()).unwrap();
         // The τ = max-degree attempt differs from plain primal-dual only
         // in the wide-tuple pruning, and the sweep takes the min over τ;
         // it should never lose badly.
@@ -186,6 +173,6 @@ mod tests {
     #[test]
     fn ratio_bound_shape() {
         let p = chain_problem(9, 2, &[0]);
-        assert!((ratio_bound(&p) - 2.0 * (p.norm_v() as f64).sqrt()).abs() < 1e-12);
+        assert!((ratio_bound(p.compiled()) - 2.0 * (p.norm_v() as f64).sqrt()).abs() < 1e-12);
     }
 }

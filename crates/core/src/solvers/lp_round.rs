@@ -18,6 +18,10 @@
 //! [`lower_bound`] as its denominator when the exact solver would be too
 //! slow.
 //!
+//! The relaxation rows are emitted straight from the compiled CSR index:
+//! demand constraints from `demand_row`, damage links from
+//! `vulnerable_row` — no tuple-to-column hashing.
+//!
 //! **Rounding** (`solve`): delete `t` iff `y_t ≥ 1/l`. Each demand's
 //! witness set has at most `l` members summing to ≥ 1, so some member
 //! crosses the threshold — the rounding is always feasible — and each
@@ -26,60 +30,51 @@
 //! case, complementing the primal-dual algorithm's tree analysis.
 
 use crate::error::CoreError;
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::runtime::Budget;
 use crate::solution::Solution;
 use delprop_lp::{Cmp, LpOutcome, LpProblem, Sense};
-use delprop_relation::TupleId;
-use std::collections::HashMap;
 
-/// The built relaxation plus variable bookkeeping.
-struct Relaxation {
-    lp: LpProblem,
-    tuples: Vec<TupleId>,
-}
-
-fn build(problem: &Problem) -> Relaxation {
-    let tuples = problem.candidates();
-    let index: HashMap<TupleId, usize> = tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-    let vulnerable = problem.vulnerable_preserved();
-    let ny = tuples.len();
-    let nx = vulnerable.len();
+fn build(ir: &CompiledInstance) -> LpProblem {
+    let ny = ir.num_bases();
+    let nx = ir.num_vulnerable();
     let mut lp = LpProblem::new(ny + nx, Sense::Minimize);
-    for (xi, &sid) in vulnerable.iter().enumerate() {
-        lp.set_objective(ny + xi, problem.weight(sid));
+    for r in 0..nx as u32 {
+        lp.set_objective(ny + r as usize, ir.vulnerable_weight(r));
     }
     // Demand constraints.
-    for &rid in problem.deletions().iter() {
-        let terms: Vec<(usize, f64)> = problem
-            .witnesses(rid)
+    for d in 0..ir.num_demands() as u32 {
+        let terms: Vec<(usize, f64)> = ir
+            .demand_row(d)
             .iter()
-            .filter_map(|t| index.get(t).map(|&yi| (yi, 1.0)))
+            .map(|&yi| (yi as usize, 1.0))
             .collect();
         lp.add_constraint(terms, Cmp::Ge, 1.0);
     }
     // Damage-link constraints x_s - y_t >= 0.
-    for (xi, &sid) in vulnerable.iter().enumerate() {
-        for t in problem.witnesses(sid) {
-            if let Some(&yi) = index.get(t) {
-                lp.add_constraint(vec![(ny + xi, 1.0), (yi, -1.0)], Cmp::Ge, 0.0);
-            }
+    for r in 0..nx as u32 {
+        for &yi in ir.vulnerable_row(r) {
+            lp.add_constraint(
+                vec![(ny + r as usize, 1.0), (yi as usize, -1.0)],
+                Cmp::Ge,
+                0.0,
+            );
         }
     }
     // y_t <= 1 keeps the polytope bounded (rounding needs no more).
     for yi in 0..ny {
         lp.add_constraint(vec![(yi, 1.0)], Cmp::Le, 1.0);
     }
-    Relaxation { lp, tuples }
+    lp
 }
 
 /// The LP lower bound on the optimal (weighted) view side-effect.
-pub fn lower_bound(problem: &Problem) -> f64 {
-    if problem.deletions().is_empty() {
+pub fn lower_bound(ir: &CompiledInstance) -> f64 {
+    if ir.num_demands() == 0 {
         return 0.0;
     }
-    let relax = build(problem);
-    match delprop_lp::solve(&relax.lp) {
+    let lp = build(ir);
+    match delprop_lp::solve(&lp) {
         LpOutcome::Optimal { objective, .. } => objective.max(0.0),
         // Key-preservation guarantees a feasible integral point (delete
         // all candidates), so infeasible/unbounded cannot happen on valid
@@ -91,8 +86,8 @@ pub fn lower_bound(problem: &Problem) -> f64 {
 
 /// Deterministic LP rounding at threshold `1/l`: a certified
 /// `l`-approximation.
-pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
-    solve_budgeted(problem, &Budget::unlimited())
+pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    solve_budgeted(ir, &Budget::unlimited())
 }
 
 /// [`solve`] under a cooperative [`Budget`]: every simplex pivot charges
@@ -100,12 +95,12 @@ pub fn solve(problem: &Problem) -> Result<Solution, CoreError> {
 /// [`CoreError::BudgetExhausted`] (the portfolio's cheaper fallbacks take
 /// over); the simplex's own iteration cap still degrades to the greedy
 /// cover as before.
-pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Solution, CoreError> {
-    if problem.deletions().is_empty() {
+pub fn solve_budgeted(ir: &CompiledInstance, budget: &Budget) -> Result<Solution, CoreError> {
+    if ir.num_demands() == 0 {
         return Ok(Solution::empty());
     }
-    let relax = build(problem);
-    let outcome = delprop_lp::solve_with_ticker(&relax.lp, &mut budget.ticker());
+    let lp = build(ir);
+    let outcome = delprop_lp::solve_with_ticker(&lp, &mut budget.ticker());
     let LpOutcome::Optimal { x, .. } = outcome else {
         if budget.is_exhausted() {
             return Err(budget.error());
@@ -113,18 +108,15 @@ pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Solution, Co
         // The simplex iteration cap fired (degenerate relaxation): fall
         // back to the greedy cover. Feasibility is preserved; only the
         // l-certificate is lost for this instance.
-        return super::general::solve_greedy(problem);
+        return super::general::solve_greedy(ir);
     };
-    let l = problem.l().max(1) as f64;
+    let l = ir.l().max(1) as f64;
     let threshold = 1.0 / l - 1e-9;
-    let deleted = relax
-        .tuples
-        .iter()
-        .enumerate()
-        .filter(|&(yi, _)| x[yi] >= threshold)
-        .map(|(_, &t)| t);
+    let deleted = (0..ir.num_bases() as u32)
+        .filter(|&b| x[b as usize] >= threshold)
+        .map(|b| ir.base(b));
     let sol = Solution::from_tuples(deleted);
-    debug_assert!(sol.is_feasible(problem), "LP rounding must be feasible");
+    debug_assert!(ir.is_feasible_of(&sol), "LP rounding must be feasible");
     Ok(sol)
 }
 
@@ -136,38 +128,36 @@ pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Solution, Co
 /// min Σ_s w_s·x_s + Σ_r w_r·(1 − z_r)
 /// s.t. z_r ≤ Σ_{t∈witnesses(r)} y_t,  z_r ≤ 1,  x_s ≥ y_t,  all ≥ 0
 /// ```
-pub fn balanced_lower_bound(problem: &Problem) -> f64 {
-    if problem.deletions().is_empty() {
+pub fn balanced_lower_bound(ir: &CompiledInstance) -> f64 {
+    if ir.num_demands() == 0 {
         return 0.0;
     }
-    let tuples = problem.candidates();
-    let index: HashMap<TupleId, usize> = tuples.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-    let vulnerable = problem.vulnerable_preserved();
-    let demands: Vec<_> = problem.deletions().iter().copied().collect();
-    let (ny, nx, nz) = (tuples.len(), vulnerable.len(), demands.len());
+    let (ny, nx, nz) = (ir.num_bases(), ir.num_vulnerable(), ir.num_demands());
     let mut lp = LpProblem::new(ny + nx + nz, Sense::Minimize);
     let mut constant = 0.0;
-    for (xi, &sid) in vulnerable.iter().enumerate() {
-        lp.set_objective(ny + xi, problem.weight(sid));
+    for r in 0..nx as u32 {
+        lp.set_objective(ny + r as usize, ir.vulnerable_weight(r));
     }
-    for (zi, &rid) in demands.iter().enumerate() {
+    for d in 0..nz as u32 {
         // w_r(1 - z_r) = w_r - w_r z_r
-        constant += problem.weight(rid);
-        lp.set_objective(ny + nx + zi, -problem.weight(rid));
-        let mut terms: Vec<(usize, f64)> = problem
-            .witnesses(rid)
+        constant += ir.demand_weight(d);
+        lp.set_objective(ny + nx + d as usize, -ir.demand_weight(d));
+        let mut terms: Vec<(usize, f64)> = ir
+            .demand_row(d)
             .iter()
-            .filter_map(|t| index.get(t).map(|&yi| (yi, 1.0)))
+            .map(|&yi| (yi as usize, 1.0))
             .collect();
-        terms.push((ny + nx + zi, -1.0));
+        terms.push((ny + nx + d as usize, -1.0));
         lp.add_constraint(terms, Cmp::Ge, 0.0); // z_r <= Σ y_t
-        lp.add_constraint(vec![(ny + nx + zi, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(vec![(ny + nx + d as usize, 1.0)], Cmp::Le, 1.0);
     }
-    for (xi, &sid) in vulnerable.iter().enumerate() {
-        for t in problem.witnesses(sid) {
-            if let Some(&yi) = index.get(t) {
-                lp.add_constraint(vec![(ny + xi, 1.0), (yi, -1.0)], Cmp::Ge, 0.0);
-            }
+    for r in 0..nx as u32 {
+        for &yi in ir.vulnerable_row(r) {
+            lp.add_constraint(
+                vec![(ny + r as usize, 1.0), (yi as usize, -1.0)],
+                Cmp::Ge,
+                0.0,
+            );
         }
     }
     for yi in 0..ny {
@@ -196,10 +186,10 @@ mod tests {
             chain_problem(8, 3, &[1, 4, 6]),
             star_problem(5, &[0, 2]),
         ] {
-            let lb = lower_bound(&p);
-            let opt = exact::solve(&p, ExactConfig::default()).cost;
+            let lb = lower_bound(p.compiled());
+            let opt = exact::solve(p.compiled(), ExactConfig::default()).cost;
             assert!(lb <= opt + 1e-6, "LP bound {lb} exceeds OPT {opt}");
-            let sol = solve(&p).unwrap();
+            let sol = solve(p.compiled()).unwrap();
             assert!(sol.is_feasible(&p));
             let l = p.l() as f64;
             assert!(
@@ -218,15 +208,15 @@ mod tests {
         });
         // OPT = 1 and the LP already sees it (deleting the T1 witness
         // fully: x for (John,TKDE,CUBE) = 1).
-        assert!((lower_bound(&p) - 1.0).abs() < 1e-6);
+        assert!((lower_bound(p.compiled()) - 1.0).abs() < 1e-6);
     }
 
     #[test]
     fn empty_deletions_zero() {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
-        assert_eq!(lower_bound(&p), 0.0);
-        assert!(solve(&p).unwrap().is_empty());
-        assert_eq!(balanced_lower_bound(&p), 0.0);
+        assert_eq!(lower_bound(p.compiled()), 0.0);
+        assert!(solve(p.compiled()).unwrap().is_empty());
+        assert_eq!(balanced_lower_bound(p.compiled()), 0.0);
     }
 
     #[test]
@@ -237,8 +227,8 @@ mod tests {
             }),
             star_problem(4, &[1, 3]),
         ] {
-            let lb = balanced_lower_bound(&p);
-            let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+            let lb = balanced_lower_bound(p.compiled());
+            let opt = exact::solve_balanced(p.compiled(), ExactConfig::default()).cost;
             assert!(lb <= opt + 1e-6, "balanced LP bound {lb} exceeds OPT {opt}");
         }
     }
@@ -254,8 +244,8 @@ mod tests {
         }
         // Private tip deletion is free, so balanced opt is 0 here; tighten
         // by forbidding nothing — bound must still be ≤ opt.
-        let lb = balanced_lower_bound(&p);
-        let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+        let lb = balanced_lower_bound(p.compiled());
+        let opt = exact::solve_balanced(p.compiled(), ExactConfig::default()).cost;
         assert!(lb <= opt + 1e-6);
     }
 }

@@ -23,11 +23,15 @@
 //! The `l` guarantee comes from the `k_s ≤ l`-relaxed complementary
 //! slackness (Theorem 3); experiment EX-T3 verifies it empirically against
 //! exact optima and LP bounds.
+//!
+//! All state is dense over the compiled index: capacities and loads are
+//! flat `f64` arrays over candidate ids, the bottom-up order is the
+//! precomputed [`CompiledInstance::demand_order`], and reverse-delete
+//! walks `hit_row`s instead of re-building a tuple→demands map.
 
 use crate::error::CoreError;
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::solution::Solution;
-use delprop_hypergraph::DataDualGraph;
 use delprop_query::ViewTupleId;
 use delprop_relation::TupleId;
 use std::collections::{HashMap, HashSet};
@@ -77,154 +81,154 @@ pub struct PrimalDualOutcome {
 ///
 /// Errors with [`CoreError::Infeasible`] iff some demand's witnesses are
 /// all forbidden (possible only with a non-empty `forbidden` set).
-pub fn solve(problem: &Problem, config: &PrimalDualConfig) -> Result<PrimalDualOutcome, CoreError> {
-    let counted =
-        |id: ViewTupleId| -> bool { config.counted.as_ref().is_none_or(|c| c.contains(&id)) };
+pub fn solve(
+    ir: &CompiledInstance,
+    config: &PrimalDualConfig,
+) -> Result<PrimalDualOutcome, CoreError> {
+    let counted = |r: u32| -> bool {
+        config
+            .counted
+            .as_ref()
+            .is_none_or(|c| c.contains(&ir.vulnerable_id(r)))
+    };
 
     // Per-tuple capacity cap(t) = Σ_{counted preserved s ∋ t} w_s / k_s.
-    let mut cap: HashMap<TupleId, f64> = HashMap::new();
-    for t in problem.candidates() {
-        cap.insert(t, 0.0);
-    }
-    for (sid, vt) in problem.preserved() {
-        if !counted(sid) {
+    // Only vulnerable tuples intersect the candidate set, so iterating
+    // their candidate-restricted witness rows covers every contribution.
+    let nb = ir.num_bases();
+    let mut cap = vec![0.0f64; nb];
+    for r in 0..ir.num_vulnerable() as u32 {
+        if !counted(r) {
             continue;
         }
-        let ws = vt.unique_witnesses();
-        let k = ws.len().max(1) as f64;
-        let share = problem.weight(sid) / k;
-        for t in ws {
-            if let Some(c) = cap.get_mut(t) {
-                *c += share;
-            }
+        let k = ir.vulnerable_k(r) as f64;
+        let share = ir.vulnerable_weight(r) / k;
+        for &b in ir.vulnerable_row(r) {
+            cap[b as usize] += share;
         }
     }
 
-    // Order demands bottom-up by the depth of their witness path's
-    // shallowest vertex (its top / LCA) in the data-dual forest; ties and
-    // the non-forest fallback use the deterministic ViewTupleId order.
-    let all_paths: Vec<Vec<TupleId>> = problem
-        .views()
-        .iter()
-        .map(|(_, vt)| vt.unique_witnesses().to_vec())
-        .collect();
-    let graph = DataDualGraph::new(&all_paths);
-    let forest = graph.rooted(None);
-    let mut demands: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
-    if config.order == DemandOrder::BottomUp {
-        if let Some(forest) = &forest {
-            let top_depth = |id: ViewTupleId| -> usize {
-                problem
-                    .witnesses(id)
-                    .iter()
-                    .filter_map(|&t| graph.vertex(t))
-                    .map(|v| forest.depth[v])
-                    .min()
-                    .unwrap_or(0)
-            };
-            demands.sort_by_key(|&id| (std::cmp::Reverse(top_depth(id)), id));
+    let forbidden_mask: Vec<bool> = if config.forbidden.is_empty() {
+        vec![false; nb]
+    } else {
+        (0..nb as u32)
+            .map(|b| config.forbidden.contains(&ir.base(b)))
+            .collect()
+    };
+
+    // Demands bottom-up by the depth of their witness path's shallowest
+    // vertex (its top / LCA) in the data-dual forest; ties and the
+    // non-forest fallback use the deterministic ViewTupleId order. The
+    // permutation is precomputed at IR compile time.
+    let identity: Vec<u32>;
+    let order: &[u32] = match config.order {
+        DemandOrder::BottomUp => ir.demand_order(),
+        DemandOrder::Arbitrary => {
+            identity = (0..ir.num_demands() as u32).collect();
+            &identity
         }
-    }
+    };
 
     // Dual-raising phase.
-    // `load` is seeded with every capacitated tuple; each demand's
-    // witnesses are a subset of `cap`'s keys, so the `expect`s on
-    // `load.get_mut` below encode that seeding invariant, not an
-    // input-dependent condition.
-    let mut load: HashMap<TupleId, f64> = cap.keys().map(|&t| (t, 0.0)).collect();
-    let mut deleted: Vec<TupleId> = Vec::new(); // in saturation order
-    let mut deleted_set: HashSet<TupleId> = HashSet::new();
-    let mut duals: HashMap<ViewTupleId, f64> = HashMap::new();
+    let mut load = vec![0.0f64; nb];
+    let mut deleted: Vec<u32> = Vec::new(); // in saturation order
+    let mut deleted_mask = vec![false; nb];
+    let mut duals = vec![0.0f64; ir.num_demands()];
     const EPS: f64 = 1e-9;
 
-    for &r in &demands {
-        let witnesses = problem.witnesses(r);
-        if witnesses.iter().any(|t| deleted_set.contains(t)) {
+    for &d in order {
+        let witnesses = ir.demand_row(d);
+        if witnesses.iter().any(|&b| deleted_mask[b as usize]) {
             continue; // already cut
         }
-        let allowed: Vec<TupleId> = witnesses
+        let allowed: Vec<u32> = witnesses
             .iter()
             .copied()
-            .filter(|t| !config.forbidden.contains(t))
+            .filter(|&b| !forbidden_mask[b as usize])
             .collect();
         if allowed.is_empty() {
             return Err(CoreError::Infeasible {
-                reason: format!("every witness of demand {r} is forbidden"),
+                reason: format!("every witness of demand {} is forbidden", ir.demand(d)),
             });
         }
         let raise = allowed
             .iter()
-            .map(|t| (cap[t] - load[t]).max(0.0))
+            .map(|&b| (cap[b as usize] - load[b as usize]).max(0.0))
             .fold(f64::INFINITY, f64::min);
         if raise > 0.0 {
-            *duals.entry(r).or_insert(0.0) += raise;
-            for t in &allowed {
-                *load.get_mut(t).expect("candidate tuple") += raise;
+            duals[d as usize] += raise;
+            for &b in &allowed {
+                load[b as usize] += raise;
             }
         }
         // Take every newly saturated witness (constraint (8) tight).
-        for &t in &allowed {
-            if load[&t] >= cap[&t] - EPS && deleted_set.insert(t) {
-                deleted.push(t);
+        for &b in &allowed {
+            if load[b as usize] >= cap[b as usize] - EPS && !deleted_mask[b as usize] {
+                deleted_mask[b as usize] = true;
+                deleted.push(b);
             }
         }
         debug_assert!(
-            witnesses.iter().any(|t| deleted_set.contains(t)),
+            witnesses.iter().any(|&b| deleted_mask[b as usize]),
             "demand must be cut after its own iteration"
         );
     }
 
+    let dual_objective: f64 = duals.iter().sum();
+    let duals_map = || -> HashMap<ViewTupleId, f64> {
+        duals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0.0)
+            .map(|(d, &v)| (ir.demand(d as u32), v))
+            .collect()
+    };
+    let to_solution = |mask: &[bool]| -> Solution {
+        Solution::from_tuples(
+            mask.iter()
+                .enumerate()
+                .filter(|&(_, &del)| del)
+                .map(|(b, _)| ir.base(b as u32)),
+        )
+    };
+
     // Reverse-delete (the paper's pruning loop): drop deletions not needed
     // for feasibility, newest first.
     if config.skip_reverse_delete {
-        let dual_objective = duals.values().sum();
         return Ok(PrimalDualOutcome {
-            solution: Solution::from_tuples(deleted_set),
-            duals,
+            solution: to_solution(&deleted_mask),
+            duals: duals_map(),
             dual_objective,
         });
     }
-    let mut cut_count: HashMap<ViewTupleId, usize> = HashMap::new();
-    for &r in &demands {
-        let n = problem
-            .witnesses(r)
+    let mut cut_count = vec![0usize; ir.num_demands()];
+    for d in 0..ir.num_demands() as u32 {
+        cut_count[d as usize] = ir
+            .demand_row(d)
             .iter()
-            .filter(|t| deleted_set.contains(t))
+            .filter(|&&b| deleted_mask[b as usize])
             .count();
-        cut_count.insert(r, n);
     }
-    // Demands cut by each tuple.
-    let mut demands_of: HashMap<TupleId, Vec<ViewTupleId>> = HashMap::new();
-    for &r in &demands {
-        for &t in problem.witnesses(r) {
-            demands_of.entry(t).or_default().push(r);
-        }
-    }
-    for &t in deleted.iter().rev() {
-        let still_ok = demands_of
-            .get(&t)
-            .is_none_or(|rs| rs.iter().all(|r| cut_count[r] >= 2));
+    for &b in deleted.iter().rev() {
+        let still_ok = ir.hit_row(b).iter().all(|&d| cut_count[d as usize] >= 2);
         if still_ok {
-            deleted_set.remove(&t);
-            if let Some(rs) = demands_of.get(&t) {
-                for r in rs {
-                    *cut_count.get_mut(r).expect("seeded above") -= 1;
-                }
+            deleted_mask[b as usize] = false;
+            for &d in ir.hit_row(b) {
+                cut_count[d as usize] -= 1;
             }
         }
     }
 
-    let dual_objective = duals.values().sum();
     Ok(PrimalDualOutcome {
-        solution: Solution::from_tuples(deleted_set),
-        duals,
+        solution: to_solution(&deleted_mask),
+        duals: duals_map(),
         dual_objective,
     })
 }
 
 /// Convenience: run with the default configuration and return the solution.
-pub fn solve_default(problem: &Problem) -> Result<Solution, CoreError> {
-    solve(problem, &PrimalDualConfig::default()).map(|o| o.solution)
+pub fn solve_default(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    solve(ir, &PrimalDualConfig::default()).map(|o| o.solution)
 }
 
 #[cfg(test)]
@@ -240,7 +244,7 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        let out = solve(&p, &PrimalDualConfig::default()).unwrap();
+        let out = solve(p.compiled(), &PrimalDualConfig::default()).unwrap();
         assert!(out.solution.is_feasible(&p));
         assert_eq!(out.solution.side_effect(&p), 1.0);
         // Dual certificate is a valid lower bound.
@@ -250,9 +254,9 @@ mod tests {
     #[test]
     fn chain_problem_within_l_of_optimum() {
         let p = chain_problem(8, 3, &[1, 4, 6]);
-        let out = solve(&p, &PrimalDualConfig::default()).unwrap();
+        let out = solve(p.compiled(), &PrimalDualConfig::default()).unwrap();
         assert!(out.solution.is_feasible(&p));
-        let opt = exact::solve(&p, ExactConfig::default()).cost;
+        let opt = exact::solve(p.compiled(), ExactConfig::default()).cost;
         let l = p.l() as f64;
         assert!(out.solution.side_effect(&p) <= l * opt.max(out.dual_objective) + 1e-9);
         assert!(out.dual_objective <= opt + 1e-9, "weak duality");
@@ -271,7 +275,7 @@ mod tests {
             forbidden: forbidden.clone(),
             ..Default::default()
         };
-        let out = solve(&p, &cfg).unwrap();
+        let out = solve(p.compiled(), &cfg).unwrap();
         assert!(out.solution.is_feasible(&p));
         assert!(out
             .solution
@@ -289,13 +293,16 @@ mod tests {
             forbidden: p.candidates().into_iter().collect(),
             ..Default::default()
         };
-        assert!(matches!(solve(&p, &cfg), Err(CoreError::Infeasible { .. })));
+        assert!(matches!(
+            solve(p.compiled(), &cfg),
+            Err(CoreError::Infeasible { .. })
+        ));
     }
 
     #[test]
     fn empty_deletion_set_returns_empty_solution() {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
-        let out = solve(&p, &PrimalDualConfig::default()).unwrap();
+        let out = solve(p.compiled(), &PrimalDualConfig::default()).unwrap();
         assert!(out.solution.is_empty());
         assert_eq!(out.dual_objective, 0.0);
     }
@@ -305,7 +312,7 @@ mod tests {
         // Two demands sharing a zero-capacity tuple plus private ones:
         // the dual phase may take several tuples, the prune keeps few.
         let p = chain_problem(6, 2, &[0, 1, 2, 3]);
-        let out = solve(&p, &PrimalDualConfig::default()).unwrap();
+        let out = solve(p.compiled(), &PrimalDualConfig::default()).unwrap();
         assert!(out.solution.is_feasible(&p));
         // Every remaining deletion is necessary: removing any breaks
         // feasibility.
@@ -322,9 +329,9 @@ mod tests {
     #[test]
     fn ablation_knobs_stay_feasible_and_only_hurt() {
         let p = chain_problem(12, 3, &[1, 4, 6, 9]);
-        let base = solve(&p, &PrimalDualConfig::default()).unwrap();
+        let base = solve(p.compiled(), &PrimalDualConfig::default()).unwrap();
         let no_prune = solve(
-            &p,
+            p.compiled(),
             &PrimalDualConfig {
                 skip_reverse_delete: true,
                 ..Default::default()
@@ -332,7 +339,7 @@ mod tests {
         )
         .unwrap();
         let arbitrary = solve(
-            &p,
+            p.compiled(),
             &PrimalDualConfig {
                 order: DemandOrder::Arbitrary,
                 ..Default::default()
@@ -358,7 +365,7 @@ mod tests {
             p.set_weight(delprop_query::ViewTupleId::new(0, idx), 100.0)
                 .unwrap();
         });
-        let out = solve(&p, &PrimalDualConfig::default()).unwrap();
+        let out = solve(p.compiled(), &PrimalDualConfig::default()).unwrap();
         // Now deleting T2(TKDE,XML,30) (side-effect 2) beats T1 (100).
         assert!(out.solution.is_feasible(&p));
         assert_eq!(out.solution.side_effect(&p), 2.0);

@@ -14,14 +14,17 @@
 //! `Σ v_r` remains dual-feasible for the balanced LP, hence a certified
 //! lower bound on the balanced optimum; experiment EX-L1's sibling tests
 //! verify it against the exact solver.
+//!
+//! Capacities, loads, and the reverse pass all run over the compiled
+//! dense index; the reverse pass re-prices trial solutions with
+//! [`CompiledInstance::balanced_cost_mask`] instead of re-evaluating
+//! views.
 
 use crate::error::CoreError;
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::solution::Solution;
 use crate::solvers::primal_dual::PrimalDualConfig;
 use delprop_query::ViewTupleId;
-use delprop_relation::TupleId;
-use std::collections::{HashMap, HashSet};
 
 /// Outcome of the balanced primal-dual run.
 #[derive(Debug, Clone)]
@@ -36,103 +39,107 @@ pub struct BalancedOutcome {
 
 /// Run the prize-collecting primal-dual for the balanced objective.
 pub fn solve_balanced(
-    problem: &Problem,
+    ir: &CompiledInstance,
     config: &PrimalDualConfig,
 ) -> Result<BalancedOutcome, CoreError> {
-    let counted =
-        |id: ViewTupleId| -> bool { config.counted.as_ref().is_none_or(|c| c.contains(&id)) };
+    let counted = |r: u32| -> bool {
+        config
+            .counted
+            .as_ref()
+            .is_none_or(|c| c.contains(&ir.vulnerable_id(r)))
+    };
 
     // Capacities as in the standard algorithm.
-    let mut cap: HashMap<TupleId, f64> = HashMap::new();
-    for t in problem.candidates() {
-        cap.insert(t, 0.0);
-    }
-    for (sid, vt) in problem.preserved() {
-        if !counted(sid) {
+    let nb = ir.num_bases();
+    let mut cap = vec![0.0f64; nb];
+    for r in 0..ir.num_vulnerable() as u32 {
+        if !counted(r) {
             continue;
         }
-        let ws = vt.unique_witnesses();
-        let k = ws.len().max(1) as f64;
-        let share = problem.weight(sid) / k;
-        for t in ws {
-            if let Some(c) = cap.get_mut(t) {
-                *c += share;
-            }
+        let k = ir.vulnerable_k(r) as f64;
+        let share = ir.vulnerable_weight(r) / k;
+        for &b in ir.vulnerable_row(r) {
+            cap[b as usize] += share;
         }
     }
 
-    let demands: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
-    // `load` is seeded with every capacitated tuple; each demand's
-    // witnesses are a subset of `cap`'s keys, so the `expect`s on
-    // `load.get_mut` below encode that seeding invariant, not an
-    // input-dependent condition.
-    let mut load: HashMap<TupleId, f64> = cap.keys().map(|&t| (t, 0.0)).collect();
-    let mut deleted: Vec<TupleId> = Vec::new();
-    let mut deleted_set: HashSet<TupleId> = HashSet::new();
+    let forbidden_mask: Vec<bool> = if config.forbidden.is_empty() {
+        vec![false; nb]
+    } else {
+        (0..nb as u32)
+            .map(|b| config.forbidden.contains(&ir.base(b)))
+            .collect()
+    };
+
+    let mut load = vec![0.0f64; nb];
+    let mut deleted: Vec<u32> = Vec::new();
+    let mut deleted_mask = vec![false; nb];
     let mut dual_objective = 0.0;
     const EPS: f64 = 1e-9;
 
-    for &r in &demands {
-        let witnesses = problem.witnesses(r);
-        if witnesses.iter().any(|t| deleted_set.contains(t)) {
+    for d in 0..ir.num_demands() as u32 {
+        let witnesses = ir.demand_row(d);
+        if witnesses.iter().any(|&b| deleted_mask[b as usize]) {
             continue; // already cut for free
         }
-        let allowed: Vec<TupleId> = witnesses
+        let allowed: Vec<u32> = witnesses
             .iter()
             .copied()
-            .filter(|t| !config.forbidden.contains(t))
+            .filter(|&b| !forbidden_mask[b as usize])
             .collect();
-        let prize = problem.weight(r);
+        let prize = ir.demand_weight(d);
         let slack = allowed
             .iter()
-            .map(|t| (cap[t] - load[t]).max(0.0))
+            .map(|&b| (cap[b as usize] - load[b as usize]).max(0.0))
             .fold(f64::INFINITY, f64::min); // ∞ iff `allowed` is empty
                                             // The dual rises until the cheaper of the two events.
         let raise = slack.min(prize);
         dual_objective += raise;
+        for &b in &allowed {
+            load[b as usize] += raise;
+        }
         if slack <= prize {
             // Witness saturation wins: cut the demand.
-            for t in &allowed {
-                *load.get_mut(t).expect("candidate tuple") += raise;
-            }
-            for &t in &allowed {
-                if load[&t] >= cap[&t] - EPS && deleted_set.insert(t) {
-                    deleted.push(t);
+            for &b in &allowed {
+                if load[b as usize] >= cap[b as usize] - EPS && !deleted_mask[b as usize] {
+                    deleted_mask[b as usize] = true;
+                    deleted.push(b);
                 }
             }
-            debug_assert!(witnesses.iter().any(|t| deleted_set.contains(t)));
-        } else {
-            // Prize exhausted first (or no deletable witness): pay w_r.
-            for t in &allowed {
-                *load.get_mut(t).expect("candidate tuple") += raise;
-            }
+            debug_assert!(witnesses.iter().any(|&b| deleted_mask[b as usize]));
         }
+        // Otherwise the prize is exhausted first (or there is no
+        // deletable witness): pay w_r and leave the demand uncut.
     }
 
     // Reverse pass: drop any deletion whose removal does not increase the
     // balanced cost (covers both redundancy and bad trades).
-    let mut solution = Solution::from_tuples(deleted_set.iter().copied());
-    let mut current = solution.balanced_cost(problem);
-    for &t in deleted.iter().rev() {
-        if !solution.deleted.contains(&t) {
+    let mut current = ir.balanced_cost_mask(&deleted_mask);
+    for &b in deleted.iter().rev() {
+        if !deleted_mask[b as usize] {
             continue;
         }
-        let mut trial = solution.clone();
-        trial.deleted.remove(&t);
-        let c = trial.balanced_cost(problem);
+        deleted_mask[b as usize] = false;
+        let c = ir.balanced_cost_mask(&deleted_mask);
         if c <= current + EPS {
-            solution = trial;
             current = c;
+        } else {
+            deleted_mask[b as usize] = true;
         }
     }
     // The demands actually left uncut (after pruning).
-    let skipped = problem
-        .deletions()
-        .iter()
-        .copied()
-        .filter(|&r| !solution.eliminates(problem, r))
+    let skipped = (0..ir.num_demands() as u32)
+        .filter(|&d| !ir.eliminates(&deleted_mask, d))
+        .map(|d| ir.demand(d))
         .collect();
 
+    let solution = Solution::from_tuples(
+        deleted_mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &del)| del)
+            .map(|(b, _)| ir.base(b as u32)),
+    );
     Ok(BalancedOutcome {
         solution,
         skipped,
@@ -153,8 +160,8 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        let out = solve_balanced(&p, &Default::default()).unwrap();
-        let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+        let out = solve_balanced(p.compiled(), &Default::default()).unwrap();
+        let opt = exact::solve_balanced(p.compiled(), ExactConfig::default()).cost;
         assert!(out.dual_objective <= opt + 1e-9, "weak duality");
         assert_eq!(out.solution.balanced_cost(&p), opt);
     }
@@ -164,7 +171,7 @@ mod tests {
         let mut p = star_problem(4, &[0]);
         let blue = *p.deletions().iter().next().unwrap();
         p.set_weight(blue, 0.1).unwrap(); // cutting costs 1 (the twin)
-        let out = solve_balanced(&p, &Default::default()).unwrap();
+        let out = solve_balanced(p.compiled(), &Default::default()).unwrap();
         assert_eq!(out.skipped, vec![blue]);
         assert!((out.solution.balanced_cost(&p) - 0.1).abs() < 1e-9);
     }
@@ -174,7 +181,7 @@ mod tests {
         let mut p = star_problem(4, &[0]);
         let blue = *p.deletions().iter().next().unwrap();
         p.set_weight(blue, 50.0).unwrap();
-        let out = solve_balanced(&p, &Default::default()).unwrap();
+        let out = solve_balanced(p.compiled(), &Default::default()).unwrap();
         assert!(out.skipped.is_empty());
         assert!((out.solution.balanced_cost(&p) - 1.0).abs() < 1e-9);
     }
@@ -183,8 +190,8 @@ mod tests {
     fn dual_objective_lower_bounds_balanced_opt_on_chains() {
         for blue in [&[0usize, 1][..], &[2, 5, 7], &[0, 3, 4, 6]] {
             let p = chain_problem(8, 3, blue);
-            let out = solve_balanced(&p, &Default::default()).unwrap();
-            let opt = exact::solve_balanced(&p, ExactConfig::default()).cost;
+            let out = solve_balanced(p.compiled(), &Default::default()).unwrap();
+            let opt = exact::solve_balanced(p.compiled(), ExactConfig::default()).cost;
             assert!(
                 out.dual_objective <= opt + 1e-9,
                 "dual {} above balanced OPT {}",
@@ -206,7 +213,7 @@ mod tests {
         };
         // Unlike the standard version, the balanced one cannot fail: it
         // pays the prize instead.
-        let out = solve_balanced(&p, &cfg).unwrap();
+        let out = solve_balanced(p.compiled(), &cfg).unwrap();
         assert!(out.solution.is_empty());
         assert_eq!(out.skipped.len(), 1);
         assert_eq!(out.solution.balanced_cost(&p), 1.0);
@@ -215,7 +222,7 @@ mod tests {
     #[test]
     fn empty_demand_set_is_trivial() {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
-        let out = solve_balanced(&p, &Default::default()).unwrap();
+        let out = solve_balanced(p.compiled(), &Default::default()).unwrap();
         assert!(out.solution.is_empty());
         assert_eq!(out.dual_objective, 0.0);
     }

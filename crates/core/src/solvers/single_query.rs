@@ -5,8 +5,8 @@
 //! With a unique witness set `{t_1, …, t_k}` for the deleted view tuple,
 //! a minimal feasible solution deletes exactly one `t_i`, and the
 //! side-effect of each choice is the weight of the preserved view tuples
-//! whose witness sets contain `t_i` — directly readable off the
-//! occurrence index ("finding the occurrences of key values of the
+//! whose witness sets contain `t_i` — directly readable off the compiled
+//! incidence rows ("finding the occurrences of key values of the
 //! deleted relation tuples in the view", §II.C). Minimizing over the `k ≤
 //! l` choices is exact.
 //!
@@ -15,58 +15,48 @@
 //! such inputs instead of silently being heuristic.
 
 use crate::error::CoreError;
-use crate::problem::Problem;
+use crate::ir::CompiledInstance;
 use crate::solution::Solution;
-use delprop_relation::TupleId;
 
 /// Exact polynomial solver for |Q| = 1 and |ΔV| = 1.
-pub fn solve_single_deletion(problem: &Problem) -> Result<Solution, CoreError> {
-    if problem.queries().len() != 1 {
+pub fn solve_single_deletion(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    if ir.num_queries() != 1 {
         return Err(CoreError::StructureMismatch {
             solver: "single_query",
-            reason: format!(
-                "expected exactly one query, got {}",
-                problem.queries().len()
-            ),
+            reason: format!("expected exactly one query, got {}", ir.num_queries()),
         });
     }
-    if problem.norm_delta() != 1 {
+    if ir.norm_delta() != 1 {
         return Err(CoreError::StructureMismatch {
             solver: "single_query",
             reason: format!(
                 "expected exactly one deleted view tuple, got {}",
-                problem.norm_delta()
+                ir.norm_delta()
             ),
         });
     }
-    // `norm_delta() == 1` was checked above, but stay panic-free on the
-    // off chance a future refactor reorders the guards.
-    let Some(&rid) = problem.deletions().iter().next() else {
-        return Err(CoreError::StructureMismatch {
-            solver: "single_query",
-            reason: "deletion set is empty".into(),
-        });
-    };
-    let mut best: Option<(f64, TupleId)> = None;
-    for &t in problem.witnesses(rid) {
-        let damage: f64 = problem
-            .views()
-            .occurrences(t)
+    let mut best: Option<(f64, u32)> = None;
+    // The demand's witness row lists candidates in ascending TupleId
+    // order, matching the witness-set order of the uncompiled path; the
+    // incidence row of each candidate is exactly the preserved view
+    // tuples its deletion would damage.
+    for &b in ir.demand_row(0) {
+        let damage: f64 = ir
+            .incidence_row(b)
             .iter()
-            .filter(|&&vid| vid != rid && !problem.is_deleted(vid))
-            .map(|&vid| problem.weight(vid))
+            .map(|&r| ir.vulnerable_weight(r))
             .sum();
-        if best.is_none_or(|(b, _)| damage < b) {
-            best = Some((damage, t));
+        if best.is_none_or(|(d, _)| damage < d) {
+            best = Some((damage, b));
         }
     }
     // Key-preserving views (enforced by `Problem::new`) give every view
     // tuple a non-empty witness set; an empty one means the instance was
     // built by other means and the demand can never be eliminated.
-    let (_, t) = best.ok_or_else(|| CoreError::Infeasible {
-        reason: format!("deleted view tuple {rid:?} has no witnesses"),
+    let (_, b) = best.ok_or_else(|| CoreError::Infeasible {
+        reason: format!("deleted view tuple {:?} has no witnesses", ir.demand(0)),
     })?;
-    Ok(Solution::from_tuples([t]))
+    Ok(Solution::from_tuples([ir.base(b)]))
 }
 
 #[cfg(test)]
@@ -85,11 +75,11 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        let sol = solve_single_deletion(&p).unwrap();
+        let sol = solve_single_deletion(p.compiled()).unwrap();
         assert!(sol.is_feasible(&p));
         assert_eq!(sol.side_effect(&p), 1.0);
         assert_eq!(sol.len(), 1);
-        let opt = exact::solve(&p, ExactConfig::default());
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
         assert_eq!(sol.side_effect(&p), opt.cost);
     }
 
@@ -103,7 +93,7 @@ mod tests {
             p.set_weight(delprop_query::ViewTupleId::new(0, idx), 5.0)
                 .unwrap();
         });
-        let sol = solve_single_deletion(&p).unwrap();
+        let sol = solve_single_deletion(p.compiled()).unwrap();
         // T1 choice now costs 5, T2 choice costs 2.
         assert_eq!(sol.side_effect(&p), 2.0);
     }
@@ -119,13 +109,13 @@ mod tests {
                 p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
             },
         );
-        assert!(solve_single_deletion(&p).is_err());
+        assert!(solve_single_deletion(p.compiled()).is_err());
 
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
             p.mark_deleted(0, &tup!["John", "TODS", "XML"]).unwrap();
         });
-        assert!(solve_single_deletion(&p).is_err());
+        assert!(solve_single_deletion(p.compiled()).is_err());
     }
 
     #[test]
@@ -140,8 +130,8 @@ mod tests {
             let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
                 p.mark_deleted(0, &head).unwrap();
             });
-            let sol = solve_single_deletion(&p).unwrap();
-            let opt = exact::solve(&p, ExactConfig::default());
+            let sol = solve_single_deletion(p.compiled()).unwrap();
+            let opt = exact::solve(p.compiled(), ExactConfig::default());
             assert_eq!(
                 sol.side_effect(&p),
                 opt.cost,

@@ -15,12 +15,15 @@
 //!
 //! plus [`source_cost`] so experiments can report both measures of any
 //! solution side by side (EX-SRC).
+//!
+//! Both solvers branch over the compiled demand rows (dense candidate
+//! ids); greedy coverage updates walk `hit_row`s instead of scanning
+//! witness lists.
 
+use crate::ir::CompiledInstance;
 use crate::problem::Problem;
 use crate::solution::Solution;
 use delprop_query::ViewTupleId;
-use delprop_relation::TupleId;
-use std::collections::{BTreeMap, HashSet};
 
 /// The source side-effect of a solution: the number of deleted base
 /// tuples (all base tuples weigh 1; per-tuple weights would slot in here
@@ -30,13 +33,12 @@ pub fn source_cost(solution: &Solution) -> f64 {
 }
 
 /// Exact minimum-cardinality source deletion eliminating all of `ΔV`.
-pub fn solve(problem: &Problem) -> Solution {
-    // Demands as witness lists, deduplicated: two demands with the same
-    // witness set are one constraint.
-    let mut demands: Vec<Vec<TupleId>> = problem
-        .deletions()
-        .iter()
-        .map(|&id| problem.witnesses(id).to_vec())
+pub fn solve(ir: &CompiledInstance) -> Solution {
+    // Demands as witness rows, deduplicated: two demands with the same
+    // witness set are one constraint. Rows are sorted by candidate id,
+    // which follows TupleId order, so row comparison is well defined.
+    let mut demands: Vec<Vec<u32>> = (0..ir.num_demands() as u32)
+        .map(|d| ir.demand_row(d).to_vec())
         .collect();
     demands.sort();
     demands.dedup();
@@ -44,17 +46,19 @@ pub fn solve(problem: &Problem) -> Solution {
     // search tree.
     demands.sort_by_key(Vec::len);
 
-    let mut best: Option<HashSet<TupleId>> = None;
-    let mut chosen: HashSet<TupleId> = HashSet::new();
-    search(&demands, 0, &mut chosen, &mut best);
-    Solution::from_tuples(best.unwrap_or_default())
+    let mut best: Option<Vec<u32>> = None;
+    let mut chosen: Vec<u32> = Vec::new();
+    let mut chosen_mask = vec![false; ir.num_bases()];
+    search(&demands, 0, &mut chosen, &mut chosen_mask, &mut best);
+    Solution::from_tuples(best.unwrap_or_default().into_iter().map(|b| ir.base(b)))
 }
 
 fn search(
-    demands: &[Vec<TupleId>],
+    demands: &[Vec<u32>],
     idx: usize,
-    chosen: &mut HashSet<TupleId>,
-    best: &mut Option<HashSet<TupleId>>,
+    chosen: &mut Vec<u32>,
+    chosen_mask: &mut Vec<bool>,
+    best: &mut Option<Vec<u32>>,
 ) {
     if let Some(b) = best {
         if chosen.len() >= b.len() {
@@ -63,66 +67,77 @@ fn search(
     }
     // Skip demands already hit.
     let mut i = idx;
-    while i < demands.len() && demands[i].iter().any(|t| chosen.contains(t)) {
+    while i < demands.len() && demands[i].iter().any(|&b| chosen_mask[b as usize]) {
         i += 1;
     }
     if i == demands.len() {
         *best = Some(chosen.clone());
         return;
     }
-    for &t in &demands[i] {
-        chosen.insert(t);
-        search(demands, i + 1, chosen, best);
-        chosen.remove(&t);
+    for &b in &demands[i] {
+        chosen.push(b);
+        chosen_mask[b as usize] = true;
+        search(demands, i + 1, chosen, chosen_mask, best);
+        chosen.pop();
+        chosen_mask[b as usize] = false;
     }
 }
 
 /// Greedy hitting set: repeatedly delete the base tuple hitting the most
 /// not-yet-hit demands (ratio `H(‖ΔV‖)`).
-pub fn solve_greedy(problem: &Problem) -> Solution {
-    let demands: Vec<(ViewTupleId, Vec<TupleId>)> = problem
-        .deletions()
-        .iter()
-        .map(|&id| (id, problem.witnesses(id).to_vec()))
-        .collect();
-    let mut hit: HashSet<ViewTupleId> = HashSet::new();
-    let mut deleted: Vec<TupleId> = Vec::new();
-    while hit.len() < demands.len() {
+pub fn solve_greedy(ir: &CompiledInstance) -> Solution {
+    let nd = ir.num_demands();
+    let mut hit = vec![false; nd];
+    let mut hit_count = 0usize;
+    let mut deleted: Vec<u32> = Vec::new();
+    while hit_count < nd {
         // Count coverage of each candidate among un-hit demands.
-        let mut gain: BTreeMap<TupleId, usize> = BTreeMap::new();
-        for (id, ws) in &demands {
-            if hit.contains(id) {
+        let mut gain = vec![0usize; ir.num_bases()];
+        for d in 0..nd as u32 {
+            if hit[d as usize] {
                 continue;
             }
-            for &t in ws {
-                *gain.entry(t).or_insert(0) += 1;
+            for &b in ir.demand_row(d) {
+                gain[b as usize] += 1;
             }
         }
         // Key-preserving views (enforced by `Problem::new`) guarantee
-        // every demand a witness, so `gain` is non-empty here. If an
+        // every demand a witness, so some gain is positive here. If an
         // instance built by other means smuggles in a witness-less
         // demand, it is unhittable: stop with the partial cover instead
-        // of panicking — downstream verification rejects it.
-        let Some((&t, _)) = gain
-            .iter()
-            .max_by_key(|&(t, &g)| (g, std::cmp::Reverse(*t)))
-        else {
+        // of looping forever — downstream verification rejects it.
+        // Strict `>` keeps the smallest candidate (TupleId order) on ties.
+        let (b, g) =
+            gain.iter().enumerate().fold(
+                (0usize, 0usize),
+                |acc, (b, &g)| {
+                    if g > acc.1 {
+                        (b, g)
+                    } else {
+                        acc
+                    }
+                },
+            );
+        if g == 0 {
             break;
-        };
-        deleted.push(t);
-        for (id, ws) in &demands {
-            if ws.contains(&t) {
-                hit.insert(*id);
+        }
+        let b = b as u32;
+        deleted.push(b);
+        for &d in ir.hit_row(b) {
+            if !hit[d as usize] {
+                hit[d as usize] = true;
+                hit_count += 1;
             }
         }
     }
-    Solution::from_tuples(deleted)
+    Solution::from_tuples(deleted.into_iter().map(|b| ir.base(b)))
 }
 
 /// The **resilience** of one view (Freire et al., PVLDB 2015; rows of
 /// Tables II–III): the minimum number of base tuples whose deletion
 /// leaves `Q_view` with no answers at all. Computed by treating every
 /// view tuple of that view as a demand and minimizing |ΔD| exactly.
+/// Stays `Problem`-based: it builds and compiles a modified instance.
 pub fn resilience(problem: &Problem, view: usize) -> Solution {
     let mut all_marked = problem.clone();
     let ids: Vec<ViewTupleId> = all_marked
@@ -136,7 +151,7 @@ pub fn resilience(problem: &Problem, view: usize) -> Solution {
             .mark_deleted_id(id)
             .expect("enumerated ids are valid");
     }
-    solve(&all_marked)
+    solve(all_marked.compiled())
 }
 
 #[cfg(test)]
@@ -150,10 +165,10 @@ mod tests {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
-        let s = solve(&p);
+        let s = solve(p.compiled());
         assert!(s.is_feasible(&p));
         assert_eq!(s.len(), 1);
-        let g = solve_greedy(&p);
+        let g = solve_greedy(p.compiled());
         assert!(g.is_feasible(&p));
         assert_eq!(g.len(), 1);
     }
@@ -167,7 +182,7 @@ mod tests {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
             p.mark_deleted(0, &tup!["John", "TKDE", "CUBE"]).unwrap();
         });
-        let s = solve(&p);
+        let s = solve(p.compiled());
         assert!(s.is_feasible(&p));
         assert_eq!(s.len(), 1, "shared witness T1(John,TKDE) hits both");
     }
@@ -183,8 +198,8 @@ mod tests {
                 p.mark_deleted(0, &tup!["John", "TODS", "XML"]).unwrap();
             }),
         ] {
-            let e = solve(&p);
-            let g = solve_greedy(&p);
+            let e = solve(p.compiled());
+            let g = solve_greedy(p.compiled());
             assert!(e.is_feasible(&p) && g.is_feasible(&p));
             assert!(e.len() <= g.len());
         }
@@ -195,7 +210,7 @@ mod tests {
         // Chains 0 and 1 share their level-2+ suffix: both demands can be
         // hit by the single shared R2 tuple.
         let p = chain_problem(8, 3, &[0, 1]);
-        let s = solve(&p);
+        let s = solve(p.compiled());
         assert_eq!(s.len(), 1);
     }
 
@@ -205,11 +220,13 @@ mod tests {
         // tuple) wrecks many preserved views, while the view-optimal
         // solution deletes several private tuples.
         let p = chain_problem(8, 3, &[0, 1]);
-        let src = solve(&p);
-        let view =
-            crate::solvers::exact::solve(&p, delprop_setcover::exact::ExactConfig::default())
-                .solution
-                .unwrap();
+        let src = solve(p.compiled());
+        let view = crate::solvers::exact::solve(
+            p.compiled(),
+            delprop_setcover::exact::ExactConfig::default(),
+        )
+        .solution
+        .unwrap();
         assert!(source_cost(&src) <= source_cost(&view));
         assert!(view.side_effect(&p) <= src.side_effect(&p));
     }
@@ -239,7 +256,7 @@ mod tests {
     #[test]
     fn empty_deletions_delete_nothing() {
         let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {});
-        assert!(solve(&p).is_empty());
-        assert!(solve_greedy(&p).is_empty());
+        assert!(solve(p.compiled()).is_empty());
+        assert!(solve_greedy(p.compiled()).is_empty());
     }
 }

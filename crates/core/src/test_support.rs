@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn star_problem_opt_is_number_of_blues() {
         let p = star_problem(5, &[0, 3]);
-        let out = exact::solve(&p, ExactConfig::default());
+        let out = exact::solve(p.compiled(), ExactConfig::default());
         assert_eq!(out.cost, 2.0, "each blue Q3 tuple costs its Q3b twin");
     }
 

@@ -8,7 +8,7 @@
 //! **Hypertree (§IV.B, Fig. 3)**: the paper calls a dual hypergraph a
 //! hypertree when there is a *tree on its vertices* in which every
 //! hyperedge induces a subtree (the arboreal/Helly "hypertree" of the
-//! hypergraph literature, cited to Fagin [23]). A hypergraph has such a
+//! hypergraph literature, cited to Fagin \[23\]). A hypergraph has such a
 //! tree iff its **dual** is α-acyclic — which is exactly the test
 //! [`is_hypertree`] performs, and it reproduces Fig. 3: `{T1T2T3, T1T2,
 //! T1T3, T2T3}` is not a hypertree, while dropping either `T1T3` or `T2T3`

@@ -1,5 +1,5 @@
 //! Conjunctive-query containment and equivalence via the classical
-//! Chandra–Merlin homomorphism theorem (the paper's reference [9]).
+//! Chandra–Merlin homomorphism theorem (the paper's reference \[9\]).
 //!
 //! `Q1 ⊑ Q2` (every database gives `Q1(D) ⊆ Q2(D)`) iff there is a
 //! **containment mapping** `h : Var(Q2) → Var(Q1) ∪ Const` such that

@@ -51,7 +51,7 @@ pub fn solve(instance: &RedBlueInstance, config: ExactConfig) -> ExactResult {
     solve_with_ticker(instance, config, &mut |_| true)
 }
 
-/// Like [`solve`], but reports every [`TICK_BATCH`] explored nodes to
+/// Like [`solve`], but reports every `TICK_BATCH` (64) explored nodes to
 /// `tick` (a cooperative work-budget checkpoint). When `tick` returns
 /// `false` the search truncates exactly as if the node limit had fired:
 /// the best solution so far is returned with `proven_optimal == false`.

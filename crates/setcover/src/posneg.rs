@@ -26,6 +26,21 @@ impl PnSet {
         neg.dedup();
         PnSet { pos, neg }
     }
+
+    /// Build a set from member lists that are **already sorted and
+    /// deduplicated** (e.g. compiled-instance CSR rows), skipping the
+    /// normalization pass. Debug builds verify the invariant.
+    pub fn from_sorted(pos: Vec<usize>, neg: Vec<usize>) -> Self {
+        debug_assert!(
+            pos.windows(2).all(|w| w[0] < w[1]),
+            "pos not sorted/deduped"
+        );
+        debug_assert!(
+            neg.windows(2).all(|w| w[0] < w[1]),
+            "neg not sorted/deduped"
+        );
+        PnSet { pos, neg }
+    }
 }
 
 /// A Positive-Negative Partial Set Cover instance with element weights.

@@ -27,6 +27,22 @@ impl CoverSet {
         blue.dedup();
         CoverSet { red, blue }
     }
+
+    /// Build a set from member lists that are **already sorted and
+    /// deduplicated** — e.g. the CSR rows of a compiled deletion-propagation
+    /// instance — skipping the normalization pass. Debug builds verify the
+    /// invariant.
+    pub fn from_sorted(red: Vec<usize>, blue: Vec<usize>) -> Self {
+        debug_assert!(
+            red.windows(2).all(|w| w[0] < w[1]),
+            "red not sorted/deduped"
+        );
+        debug_assert!(
+            blue.windows(2).all(|w| w[0] < w[1]),
+            "blue not sorted/deduped"
+        );
+        CoverSet { red, blue }
+    }
 }
 
 /// A Red-Blue Set Cover instance with per-red-element weights.

@@ -218,7 +218,7 @@ mod tests {
     fn batch_never_loses_to_sequential() {
         for seed in 0..8 {
             let s = generate(CleaningParams::default(), seed);
-            let batch = exact::solve(&s.problem, ExactConfig::default());
+            let batch = exact::solve(s.problem.compiled(), ExactConfig::default());
             let seq = sequential_baseline(&s.problem, &[0, 1, 2]);
             assert!(seq.is_feasible(&s.problem));
             if let Some(b) = batch.solution {

@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn fig1_worked_example_optimum() {
         let p = fig1_problem();
-        let out = exact::solve(&p, ExactConfig::default());
+        let out = exact::solve(p.compiled(), ExactConfig::default());
         assert_eq!(out.cost, 1.0, "the paper's minimum view side-effect");
     }
 

@@ -158,10 +158,10 @@ mod tests {
     fn solvers_accept_generated_instances() {
         for seed in 0..5 {
             let p = generate(RandomDbParams::default(), seed);
-            let approx = general::solve(&p).unwrap();
+            let approx = general::solve(p.compiled()).unwrap();
             assert!(approx.is_feasible(&p));
             let ex = exact::solve(
-                &p,
+                p.compiled(),
                 ExactConfig {
                     node_limit: Some(200_000),
                 },

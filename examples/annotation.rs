@@ -21,7 +21,7 @@ use delprop::workload::figures;
 /// scale) for a problem.
 fn all_optima(problem: &Problem) -> Vec<Solution> {
     let candidates = problem.candidates();
-    let opt = exact::solve(problem, ExactConfig::default()).cost;
+    let opt = exact::solve(problem.compiled(), ExactConfig::default()).cost;
     let mut out = Vec::new();
     for mask in 0u32..(1 << candidates.len()) {
         let sol = Solution::from_tuples(

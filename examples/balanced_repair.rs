@@ -44,7 +44,7 @@ fn main() {
     println!("the dubious flag's twin answer has weight 10\n");
 
     // --- Standard version: every flag must go. ---
-    let standard = dp_tree::solve(&problem).unwrap();
+    let standard = dp_tree::solve(problem.compiled()).unwrap();
     assert!(standard.is_feasible(&problem));
     println!(
         "standard  : {} deletions, side-effect = {}",
@@ -53,7 +53,7 @@ fn main() {
     );
 
     // --- Balanced version: flags are priced, not mandated. ---
-    let balanced = dp_tree::solve_balanced(&problem).unwrap();
+    let balanced = dp_tree::solve_balanced(problem.compiled()).unwrap();
     println!(
         "balanced  : {} deletions, balanced cost = {} (missed flags + damage)",
         balanced.len(),
@@ -72,8 +72,8 @@ fn main() {
     assert_eq!(missed.len(), 1, "exactly the dubious flag survives");
 
     // Cross-check the DP against branch and bound on both objectives.
-    let opt_std = exact::solve(&problem, ExactConfig::default());
-    let opt_bal = exact::solve_balanced(&problem, ExactConfig::default());
+    let opt_std = exact::solve(problem.compiled(), ExactConfig::default());
+    let opt_bal = exact::solve_balanced(problem.compiled(), ExactConfig::default());
     assert_eq!(standard.side_effect(&problem), opt_std.cost);
     assert_eq!(balanced.balanced_cost(&problem), opt_bal.cost);
     println!("\nboth DP answers match the exact branch-and-bound optima.");

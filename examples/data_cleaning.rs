@@ -24,8 +24,8 @@ fn main() {
 
         // Batch: the multi-query optimum (exact on these sizes) and the
         // Claim 1 approximation.
-        let batch = exact::solve(p, ExactConfig::default());
-        let approx = general::solve(p).unwrap();
+        let batch = exact::solve(p.compiled(), ExactConfig::default());
+        let approx = general::solve(p.compiled()).unwrap();
 
         // Sequential: per-query feedback processing in two different
         // orders — the order dependence the paper warns about.

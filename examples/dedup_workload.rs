@@ -63,12 +63,12 @@ fn main() {
     println!(
         "full workload:  ‖V‖ = {:>2}, 2√‖V‖ bound = {:.1}",
         full.norm_v(),
-        lowdeg_tree::ratio_bound(&full)
+        lowdeg_tree::ratio_bound(full.compiled())
     );
     println!(
         "deduplicated:   ‖V‖ = {:>2}, 2√‖V‖ bound = {:.1}",
         dedup.norm_v(),
-        lowdeg_tree::ratio_bound(&dedup)
+        lowdeg_tree::ratio_bound(dedup.compiled())
     );
     assert!(dedup.norm_v() < full.norm_v());
 

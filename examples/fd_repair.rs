@@ -71,7 +71,7 @@ fn main() {
     }
 
     problem.mark_deleted(0, &tup!["Joe", "XML"]).unwrap();
-    let out = exact::solve(&problem, ExactConfig::default());
+    let out = exact::solve(problem.compiled(), ExactConfig::default());
     let sol = out.solution.unwrap();
     println!(
         "\ndeleting Q3(Joe, XML): ΔD = {:?}, side-effect = {}",

@@ -34,7 +34,7 @@ fn main() {
     }
 
     let rb_opt = rb_exact::solve(&rb, ExactConfig::default()).cost;
-    let vse_opt = vse_exact::solve(&g.problem, ExactConfig::default()).cost;
+    let vse_opt = vse_exact::solve(g.problem.compiled(), ExactConfig::default()).cost;
     println!("\nRed-Blue OPT = {rb_opt}, view-side-effect OPT = {vse_opt}");
     assert_eq!(rb_opt, vse_opt);
 
@@ -52,7 +52,7 @@ fn main() {
         let rb = redblue_gen::redblue(params, seed);
         let g = gadget::redblue_to_vse(&rb);
         let a = rb_exact::solve(&rb, ExactConfig::default()).cost;
-        let b = vse_exact::solve(&g.problem, ExactConfig::default()).cost;
+        let b = vse_exact::solve(g.problem.compiled(), ExactConfig::default()).cost;
         println!(
             "{seed:4} | {} {} {} | {a:6.1} | {b:7.1}",
             rb.num_red(),

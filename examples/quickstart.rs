@@ -98,7 +98,7 @@ fn main() {
     println!("view side-effect = {}", solution.side_effect(&problem));
 
     // Cross-check against the exact optimum and full re-evaluation.
-    let opt = exact::solve(&problem, ExactConfig::default());
+    let opt = exact::solve(problem.compiled(), ExactConfig::default());
     assert_eq!(solution.side_effect(&problem), opt.cost);
     let reevaluated = solution.verify_by_reevaluation(&problem);
     assert_eq!(reevaluated, solution.side_effect(&problem));

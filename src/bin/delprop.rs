@@ -118,9 +118,12 @@ fn report(problem: &Problem, solution: &Solution, objective: ObjectiveSpec, expl
             "source side-effect (|ΔD|): {}",
             source::source_cost(solution)
         );
-        println!("LP lower bound: {:.3}", lp_round::lower_bound(problem));
+        println!(
+            "LP lower bound: {:.3}",
+            lp_round::lower_bound(problem.compiled())
+        );
         let opt = exact::solve(
-            problem,
+            problem.compiled(),
             ExactConfig {
                 node_limit: Some(5_000_000),
             },

@@ -339,32 +339,31 @@ pub fn run_solver(
 ) -> Result<crate::core::Solution, CoreError> {
     use crate::core::solvers::*;
     use delprop_setcover::exact::ExactConfig;
+    let ir = problem.compiled();
     match (objective, solver) {
         (ObjectiveSpec::Standard, SolverSpec::Auto) => crate::core::solve_auto(problem),
-        (ObjectiveSpec::Standard, SolverSpec::Exact) => {
-            exact::solve(problem, ExactConfig::default())
-                .solution
-                .ok_or(CoreError::Infeasible {
-                    reason: "no feasible deletion".into(),
-                })
-        }
-        (ObjectiveSpec::Standard, SolverSpec::General) => general::solve(problem),
-        (ObjectiveSpec::Standard, SolverSpec::Greedy) => general::solve_greedy(problem),
-        (ObjectiveSpec::Standard, SolverSpec::PrimalDual) => primal_dual::solve_default(problem),
-        (ObjectiveSpec::Standard, SolverSpec::LowDegTree) => lowdeg_tree::solve(problem),
-        (ObjectiveSpec::Standard, SolverSpec::DpTree) => dp_tree::solve(problem),
-        (ObjectiveSpec::Standard, SolverSpec::LpRound) => lp_round::solve(problem),
-        (ObjectiveSpec::Standard, SolverSpec::Source) => Ok(source::solve(problem)),
-        (ObjectiveSpec::Balanced, SolverSpec::DpTree) => dp_tree::solve_balanced(problem),
+        (ObjectiveSpec::Standard, SolverSpec::Exact) => exact::solve(ir, ExactConfig::default())
+            .solution
+            .ok_or(CoreError::Infeasible {
+                reason: "no feasible deletion".into(),
+            }),
+        (ObjectiveSpec::Standard, SolverSpec::General) => general::solve(ir),
+        (ObjectiveSpec::Standard, SolverSpec::Greedy) => general::solve_greedy(ir),
+        (ObjectiveSpec::Standard, SolverSpec::PrimalDual) => primal_dual::solve_default(ir),
+        (ObjectiveSpec::Standard, SolverSpec::LowDegTree) => lowdeg_tree::solve(ir),
+        (ObjectiveSpec::Standard, SolverSpec::DpTree) => dp_tree::solve(ir),
+        (ObjectiveSpec::Standard, SolverSpec::LpRound) => lp_round::solve(ir),
+        (ObjectiveSpec::Standard, SolverSpec::Source) => Ok(source::solve(ir)),
+        (ObjectiveSpec::Balanced, SolverSpec::DpTree) => dp_tree::solve_balanced(ir),
         (ObjectiveSpec::Balanced, SolverSpec::Exact) => {
-            Ok(exact::solve_balanced(problem, ExactConfig::default())
+            Ok(exact::solve_balanced(ir, ExactConfig::default())
                 .solution
                 .expect("balanced is always feasible"))
         }
         (ObjectiveSpec::Balanced, SolverSpec::Auto) => crate::core::solve_auto_balanced(problem),
-        (ObjectiveSpec::Balanced, SolverSpec::General) => Ok(general::solve_balanced(problem)),
+        (ObjectiveSpec::Balanced, SolverSpec::General) => Ok(general::solve_balanced(ir)),
         (ObjectiveSpec::Balanced, SolverSpec::PrimalDual) => {
-            primal_dual_balanced::solve_balanced(problem, &Default::default()).map(|o| o.solution)
+            primal_dual_balanced::solve_balanced(ir, &Default::default()).map(|o| o.solution)
         }
         (ObjectiveSpec::Balanced, other) => Err(CoreError::StructureMismatch {
             solver: "script",

@@ -14,16 +14,19 @@ fn fig1_problem() -> Problem {
 #[test]
 fn every_solver_agrees_on_fig1() {
     let p = fig1_problem();
-    let opt = exact::solve(&p, ExactConfig::default());
+    let opt = exact::solve(p.compiled(), ExactConfig::default());
     assert_eq!(opt.cost, 1.0);
 
     let solutions = vec![
         ("auto", solve_auto(&p).unwrap()),
-        ("general", general::solve(&p).unwrap()),
-        ("greedy", general::solve_greedy(&p).unwrap()),
-        ("primal_dual", primal_dual::solve_default(&p).unwrap()),
-        ("lowdeg_tree", lowdeg_tree::solve(&p).unwrap()),
-        ("lp_round", lp_round::solve(&p).unwrap()),
+        ("general", general::solve(p.compiled()).unwrap()),
+        ("greedy", general::solve_greedy(p.compiled()).unwrap()),
+        (
+            "primal_dual",
+            primal_dual::solve_default(p.compiled()).unwrap(),
+        ),
+        ("lowdeg_tree", lowdeg_tree::solve(p.compiled()).unwrap()),
+        ("lp_round", lp_round::solve(p.compiled()).unwrap()),
     ];
     for (name, s) in solutions {
         assert!(s.is_feasible(&p), "{name} infeasible");
@@ -67,7 +70,7 @@ fn multi_view_narrowing_is_observable_end_to_end() {
         3.0,
         "with the catalog view, the journal-side repair also kills Q5(TKDE, XML)"
     );
-    let opt = exact::solve(&p, ExactConfig::default());
+    let opt = exact::solve(p.compiled(), ExactConfig::default());
     assert_eq!(opt.cost, 1.0);
     assert_eq!(opt.solution.unwrap().deleted, author_sol.deleted);
 }
@@ -75,14 +78,14 @@ fn multi_view_narrowing_is_observable_end_to_end() {
 #[test]
 fn pivot_broom_full_stack() {
     let p = forest::pivot_broom(5, 3, &[0, 2, 4]);
-    assert!(dp_tree::applies(&p));
-    let dp = dp_tree::solve(&p).unwrap();
-    let opt = exact::solve(&p, ExactConfig::default());
+    assert!(dp_tree::applies(p.compiled()));
+    let dp = dp_tree::solve(p.compiled()).unwrap();
+    let opt = exact::solve(p.compiled(), ExactConfig::default());
     assert_eq!(dp.side_effect(&p), opt.cost);
     assert_eq!(dp.verify_by_reevaluation(&p), opt.cost);
     // Balanced too.
-    let dpb = dp_tree::solve_balanced(&p).unwrap();
-    let optb = exact::solve_balanced(&p, ExactConfig::default());
+    let dpb = dp_tree::solve_balanced(p.compiled()).unwrap();
+    let optb = exact::solve_balanced(p.compiled(), ExactConfig::default());
     assert!((dpb.balanced_cost(&p) - optb.cost).abs() < 1e-9);
 }
 
@@ -137,12 +140,12 @@ fn weighted_problems_round_trip_through_all_solvers() {
     for (i, id) in ids.into_iter().enumerate() {
         p.set_weight(id, 1.0 + i as f64).unwrap();
     }
-    let opt = exact::solve(&p, ExactConfig::default());
+    let opt = exact::solve(p.compiled(), ExactConfig::default());
     for sol in [
-        general::solve(&p).unwrap(),
-        primal_dual::solve_default(&p).unwrap(),
-        lowdeg_tree::solve(&p).unwrap(),
-        lp_round::solve(&p).unwrap(),
+        general::solve(p.compiled()).unwrap(),
+        primal_dual::solve_default(p.compiled()).unwrap(),
+        lowdeg_tree::solve(p.compiled()).unwrap(),
+        lp_round::solve(p.compiled()).unwrap(),
     ] {
         assert!(sol.is_feasible(&p));
         assert!(sol.side_effect(&p) >= opt.cost - 1e-9);

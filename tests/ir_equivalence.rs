@@ -1,0 +1,292 @@
+//! Differential test of the compiled-instance IR: every cost and
+//! feasibility answer the CSR evaluation helpers give must agree with the
+//! ground-truth `Problem`-side evaluation (which re-walks the materialized
+//! views and witness sets), and every IR-based solver's output must
+//! survive ground-truth re-evaluation. Cases are drawn from the seeded
+//! `delprop-workload` generators plus hand-picked degenerate instances, so
+//! failures reproduce exactly from the seed.
+
+use delprop::core::runtime::{solve_portfolio, solve_portfolio_balanced};
+use delprop::core::solvers::local_search::{LocalSearchConfig, Objective};
+use delprop::core::solvers::{
+    dp_tree, exact, general, local_search, lowdeg_tree, lp_round, primal_dual,
+    primal_dual_balanced, single_query, source,
+};
+use delprop::core::{Problem, Solution};
+use delprop::query::parse_query;
+use delprop::relation::{tup, Database, RelationSchema, Schema};
+use delprop::setcover::exact::ExactConfig;
+use delprop::workload::{forest, random_db};
+
+// ---------------------------------------------------------------------
+// Case pool: random workloads + degenerate corners.
+// ---------------------------------------------------------------------
+
+fn random_cases() -> Vec<Problem> {
+    let mut cases = Vec::new();
+    for seed in 0..8u64 {
+        cases.push(random_db::generate(
+            random_db::RandomDbParams {
+                weighted: seed % 2 == 1,
+                ..Default::default()
+            },
+            seed,
+        ));
+        cases.push(forest::generate(
+            forest::ForestParams {
+                chains: 8,
+                weighted: seed % 2 == 0,
+                ..Default::default()
+            },
+            seed,
+        ));
+    }
+    cases
+}
+
+/// No deletions at all: the IR has demands = ∅ and every solver must
+/// return an empty, zero-cost solution.
+fn no_deletions() -> Problem {
+    forest::generate(
+        forest::ForestParams {
+            delete_fraction: 0.0,
+            ..Default::default()
+        },
+        3,
+    )
+}
+
+/// Everything deleted: demands = all view tuples, vulnerable = ∅.
+fn all_deleted() -> Problem {
+    forest::generate(
+        forest::ForestParams {
+            delete_fraction: 1.0,
+            chains: 4,
+            ..Default::default()
+        },
+        5,
+    )
+}
+
+/// A single-tuple database with its only view tuple deleted.
+fn singleton() -> Problem {
+    let schema = Schema::from_relations([RelationSchema::new("R", 1, vec![0]).unwrap()]).unwrap();
+    let mut db = Database::new(schema);
+    db.insert("R", tup![1]).unwrap();
+    let q = parse_query("Q(x) :- R(x)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap();
+    let mut p = Problem::new(db, vec![q]).unwrap();
+    p.mark_deleted(0, &tup![1]).unwrap();
+    p
+}
+
+fn degenerate_cases() -> Vec<Problem> {
+    vec![no_deletions(), all_deleted(), singleton()]
+}
+
+// ---------------------------------------------------------------------
+// IR evaluation ≡ ground-truth evaluation.
+// ---------------------------------------------------------------------
+
+/// Check one solution's IR-side answers against the `Problem`-side ground
+/// truth (which re-walks materialized views and witness sets).
+fn check_evaluation(p: &Problem, sol: &Solution) {
+    let ir = p.compiled();
+    assert_eq!(
+        ir.is_feasible_of(sol),
+        sol.is_feasible(p),
+        "IR feasibility disagrees with ground truth"
+    );
+    // Cost helpers are exact for candidate-restricted solutions; every
+    // solver output below is candidate-restricted except dp_tree's, which
+    // is excluded from this check (its paths may include non-candidates).
+    let ground = sol.side_effect(p);
+    assert!(
+        (ir.side_effect_of(sol) - ground).abs() < 1e-9,
+        "IR side-effect {} != ground truth {ground}",
+        ir.side_effect_of(sol)
+    );
+    let ground_bal = sol.balanced_cost(p);
+    assert!(
+        (ir.balanced_cost_of(sol) - ground_bal).abs() < 1e-9,
+        "IR balanced cost {} != ground truth {ground_bal}",
+        ir.balanced_cost_of(sol)
+    );
+}
+
+#[test]
+fn ir_costs_match_ground_truth_on_solver_outputs() {
+    for (i, p) in random_cases()
+        .iter()
+        .chain(degenerate_cases().iter())
+        .enumerate()
+    {
+        let ir = p.compiled();
+        let mut sols: Vec<Solution> = Vec::new();
+        sols.push(general::solve(ir).unwrap_or_else(|e| panic!("case {i}: general {e}")));
+        sols.push(general::solve_greedy(ir).unwrap());
+        sols.push(general::solve_balanced(ir));
+        sols.push(exact::solve(ir, ExactConfig::default()).solution.unwrap());
+        sols.push(
+            exact::solve_balanced(ir, ExactConfig::default())
+                .solution
+                .unwrap(),
+        );
+        sols.push(lp_round::solve(ir).unwrap());
+        sols.push(source::solve_greedy(ir));
+        sols.push(
+            primal_dual_balanced::solve_balanced(ir, &Default::default())
+                .unwrap()
+                .solution,
+        );
+        if ir.forest_case() {
+            sols.push(primal_dual::solve_default(ir).unwrap());
+            sols.push(lowdeg_tree::solve(ir).unwrap());
+        }
+        if ir.num_queries() == 1 && ir.norm_delta() == 1 {
+            sols.push(single_query::solve_single_deletion(ir).unwrap());
+        }
+        let start = general::solve_greedy(ir).unwrap();
+        sols.push(local_search::improve(
+            ir,
+            &start,
+            LocalSearchConfig::default(),
+        ));
+        sols.push(local_search::improve(
+            ir,
+            &start,
+            LocalSearchConfig {
+                objective: Objective::Balanced,
+                ..Default::default()
+            },
+        ));
+        sols.push(Solution::empty());
+        for sol in &sols {
+            check_evaluation(p, sol);
+        }
+    }
+}
+
+#[test]
+fn standard_solver_outputs_survive_ground_truth_reevaluation() {
+    for (i, p) in random_cases()
+        .iter()
+        .chain(degenerate_cases().iter())
+        .enumerate()
+    {
+        let ir = p.compiled();
+        let opt = exact::solve(ir, ExactConfig::default());
+        let optimum = opt.cost;
+        let mut outputs: Vec<(&str, Solution)> = vec![
+            ("general", general::solve(ir).unwrap()),
+            ("greedy", general::solve_greedy(ir).unwrap()),
+            ("exact", opt.solution.unwrap()),
+            ("lp_round", lp_round::solve(ir).unwrap()),
+        ];
+        if ir.forest_case() {
+            outputs.push(("primal_dual", primal_dual::solve_default(ir).unwrap()));
+            outputs.push(("lowdeg_tree", lowdeg_tree::solve(ir).unwrap()));
+        }
+        if dp_tree::applies(ir) {
+            outputs.push(("dp_tree", dp_tree::solve(ir).unwrap()));
+        }
+        for (name, sol) in outputs {
+            assert!(
+                sol.is_feasible(p),
+                "case {i}: {name} output infeasible under ground truth"
+            );
+            // Re-materializes the views against D \ ΔD and recomputes
+            // the damage from scratch; panics on any disagreement.
+            let cost = sol.verify_by_reevaluation(p);
+            assert!(
+                cost >= optimum - 1e-9,
+                "case {i}: {name} cost {cost} beats the optimum {optimum}"
+            );
+        }
+    }
+}
+
+#[test]
+fn balanced_solver_outputs_survive_ground_truth_reevaluation() {
+    for (i, p) in random_cases()
+        .iter()
+        .chain(degenerate_cases().iter())
+        .enumerate()
+    {
+        let ir = p.compiled();
+        let optimum = exact::solve_balanced(ir, ExactConfig::default()).cost;
+        let mut outputs: Vec<(&str, Solution)> = vec![
+            ("general_balanced", general::solve_balanced(ir)),
+            (
+                "primal_dual_balanced",
+                primal_dual_balanced::solve_balanced(ir, &Default::default())
+                    .unwrap()
+                    .solution,
+            ),
+        ];
+        if dp_tree::applies(ir) {
+            outputs.push(("dp_tree_balanced", dp_tree::solve_balanced(ir).unwrap()));
+        }
+        for (name, sol) in outputs {
+            sol.verify_by_reevaluation(p);
+            let cost = sol.balanced_cost(p);
+            assert!(
+                cost >= optimum - 1e-9,
+                "case {i}: {name} balanced cost {cost} beats the optimum {optimum}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lower_bounds_never_exceed_ground_truth_optimum() {
+    for (i, p) in random_cases()
+        .iter()
+        .chain(degenerate_cases().iter())
+        .enumerate()
+    {
+        let ir = p.compiled();
+        let opt = exact::solve(ir, ExactConfig::default()).cost;
+        let lb = lp_round::lower_bound(ir);
+        assert!(lb <= opt + 1e-6, "case {i}: LP bound {lb} above OPT {opt}");
+        let bal_opt = exact::solve_balanced(ir, ExactConfig::default()).cost;
+        let bal_lb = lp_round::balanced_lower_bound(ir);
+        assert!(
+            bal_lb <= bal_opt + 1e-6,
+            "case {i}: balanced LP bound {bal_lb} above OPT {bal_opt}"
+        );
+        let pd = primal_dual_balanced::solve_balanced(ir, &Default::default()).unwrap();
+        assert!(
+            pd.dual_objective <= bal_opt + 1e-6,
+            "case {i}: balanced dual {} above OPT {bal_opt}",
+            pd.dual_objective
+        );
+    }
+}
+
+#[test]
+fn portfolio_agrees_with_ground_truth_on_every_case() {
+    for (i, p) in random_cases()
+        .iter()
+        .chain(degenerate_cases().iter())
+        .enumerate()
+    {
+        let out = solve_portfolio(p).unwrap_or_else(|e| panic!("case {i}: {e}"));
+        assert!(out.solution.is_feasible(p), "case {i}");
+        assert!(
+            (out.cost - out.solution.side_effect(p)).abs() < 1e-9,
+            "case {i}: reported cost {} != ground truth {}",
+            out.cost,
+            out.solution.side_effect(p)
+        );
+        let bal = solve_portfolio_balanced(p).unwrap_or_else(|e| panic!("case {i}: {e}"));
+        assert!(
+            (bal.cost - bal.solution.balanced_cost(p)).abs() < 1e-9,
+            "case {i}: balanced reported cost {} != ground truth {}",
+            bal.cost,
+            bal.solution.balanced_cost(p)
+        );
+    }
+}

@@ -21,7 +21,7 @@ fn theorem1_reduction_preserves_optima() {
         );
         let g = gadget::redblue_to_vse(&rb);
         let a = delprop::setcover::exact::solve(&rb, ExactConfig::default());
-        let b = exact::solve(&g.problem, ExactConfig::default());
+        let b = exact::solve(g.problem.compiled(), ExactConfig::default());
         assert!(a.proven_optimal && b.proven_optimal);
         assert!(
             (a.cost - b.cost).abs() < 1e-9,
@@ -49,7 +49,7 @@ fn theorem2_reduction_preserves_optima() {
         let g = gadget::posneg_to_balanced(&pn);
         let (_, pn_opt, proven) =
             delprop::setcover::reduce::solve_posneg_exact(&pn, ExactConfig::default());
-        let bal_opt = exact::solve_balanced(&g.problem, ExactConfig::default());
+        let bal_opt = exact::solve_balanced(g.problem.compiled(), ExactConfig::default());
         assert!(proven && bal_opt.proven_optimal);
         assert!(
             (pn_opt - bal_opt.cost).abs() < 1e-9,
@@ -64,10 +64,10 @@ fn theorem2_reduction_preserves_optima() {
 fn claim1_general_approximation_within_bound() {
     for seed in 0..8 {
         let p = random_db::generate(random_db::RandomDbParams::default(), seed);
-        let sol = general::solve(&p).unwrap();
+        let sol = general::solve(p.compiled()).unwrap();
         assert!(sol.is_feasible(&p));
-        let lb = lp_round::lower_bound(&p);
-        let bound = general::ratio_bound(&p);
+        let lb = lp_round::lower_bound(p.compiled());
+        let bound = general::ratio_bound(p.compiled());
         if lb > 1e-9 {
             assert!(
                 sol.side_effect(&p) <= bound * lb + 1e-6,
@@ -94,9 +94,9 @@ fn lemma1_balanced_approximation_within_bound() {
             },
             seed,
         );
-        let sol = general::solve_balanced(&p);
+        let sol = general::solve_balanced(p.compiled());
         let opt = exact::solve_balanced(
-            &p,
+            p.compiled(),
             ExactConfig {
                 node_limit: Some(2_000_000),
             },
@@ -104,7 +104,7 @@ fn lemma1_balanced_approximation_within_bound() {
         if !opt.proven_optimal {
             continue;
         }
-        let bound = general::balanced_ratio_bound(&p);
+        let bound = general::balanced_ratio_bound(p.compiled());
         assert!(
             sol.balanced_cost(&p) <= bound * opt.cost.max(1e-9) + 1e-6,
             "seed {seed}: {} > {} × {}",
@@ -130,9 +130,9 @@ fn theorem3_primal_dual_l_approximation() {
             },
             seed,
         );
-        let out = primal_dual::solve(&p, &Default::default()).unwrap();
+        let out = primal_dual::solve(p.compiled(), &Default::default()).unwrap();
         assert!(out.solution.is_feasible(&p));
-        let opt = exact::solve(&p, ExactConfig::default());
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
         assert!(
             out.dual_objective <= opt.cost + 1e-6,
             "weak duality violated"
@@ -159,10 +159,10 @@ fn theorem4_lowdeg_tree_bound() {
             },
             seed,
         );
-        let sol = lowdeg_tree::solve(&p).unwrap();
+        let sol = lowdeg_tree::solve(p.compiled()).unwrap();
         assert!(sol.is_feasible(&p));
-        let opt = exact::solve(&p, ExactConfig::default());
-        let bound = lowdeg_tree::ratio_bound(&p);
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
+        let bound = lowdeg_tree::ratio_bound(p.compiled());
         assert!(
             sol.side_effect(&p) <= bound * opt.cost.max(1.0) + 1e-6,
             "seed {seed}: {} > {} × {}",
@@ -183,12 +183,12 @@ fn section4e_dp_exactness() {
         (3, 4, vec![0, 1, 2]),
     ] {
         let p = forest::pivot_broom(branches, depth, &blue);
-        assert!(dp_tree::applies(&p));
-        let dp = dp_tree::solve(&p).unwrap();
-        let opt = exact::solve(&p, ExactConfig::default());
+        assert!(dp_tree::applies(p.compiled()));
+        let dp = dp_tree::solve(p.compiled()).unwrap();
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
         assert!((dp.side_effect(&p) - opt.cost).abs() < 1e-9);
-        let dpb = dp_tree::solve_balanced(&p).unwrap();
-        let optb = exact::solve_balanced(&p, ExactConfig::default());
+        let dpb = dp_tree::solve_balanced(p.compiled()).unwrap();
+        let optb = exact::solve_balanced(p.compiled(), ExactConfig::default());
         assert!((dpb.balanced_cost(&p) - optb.cost).abs() < 1e-9);
     }
 }
@@ -213,10 +213,10 @@ fn lp_bounds_and_rounding_hold_across_families() {
         random_db::generate(random_db::RandomDbParams::default(), 3),
     ];
     for (i, p) in problems.iter().enumerate() {
-        let lb = lp_round::lower_bound(p);
-        let opt = exact::solve(p, ExactConfig::default());
+        let lb = lp_round::lower_bound(p.compiled());
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
         assert!(lb <= opt.cost + 1e-6, "family {i}: LP bound above OPT");
-        let sol = lp_round::solve(p).unwrap();
+        let sol = lp_round::solve(p.compiled()).unwrap();
         assert!(sol.is_feasible(p), "family {i}: rounding infeasible");
         let l = p.l() as f64;
         assert!(

@@ -255,9 +255,9 @@ fn source_solver_is_exact() {
     let mut rng = SplitMix64::seed_from_u64(0x501);
     for case in 0..32 {
         let p = random_chain(&mut rng);
-        let s = source::solve(&p);
+        let s = source::solve(p.compiled());
         assert!(s.is_feasible(&p), "case {case}");
-        let g = source::solve_greedy(&p);
+        let g = source::solve_greedy(p.compiled());
         assert!(g.is_feasible(&p), "case {case}");
         assert!(s.len() <= g.len(), "case {case}");
         // Brute force over candidate subsets (candidates are few here).
@@ -289,12 +289,12 @@ fn local_search_is_safe() {
     for case in 0..32 {
         let p = random_chain(&mut rng);
         let starts = vec![
-            general::solve(&p).unwrap(),
+            general::solve(p.compiled()).unwrap(),
             Solution::from_tuples(p.candidates()),
         ];
-        let opt = exact::solve(&p, ExactConfig::default()).cost;
+        let opt = exact::solve(p.compiled(), ExactConfig::default()).cost;
         for start in starts {
-            let polished = local_search::improve(&p, &start, Default::default());
+            let polished = local_search::improve(p.compiled(), &start, Default::default());
             assert!(polished.is_feasible(&p), "case {case}");
             assert!(
                 polished.side_effect(&p) <= start.side_effect(&p) + 1e-9,

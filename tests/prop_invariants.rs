@@ -204,17 +204,17 @@ fn solver_stack_invariants() {
     let mut rng = SplitMix64::seed_from_u64(0x50f71);
     for case in 0..32 {
         let p = random_chain_problem(&mut rng);
-        let opt = exact::solve(&p, ExactConfig::default());
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
         let opt_cost = opt.cost;
         assert!(opt.proven_optimal, "case {case}");
 
-        let lb = lp_round::lower_bound(&p);
+        let lb = lp_round::lower_bound(p.compiled());
         assert!(lb <= opt_cost + 1e-6, "case {case}: {lb} > {opt_cost}");
 
         for sol in [
-            general::solve(&p).unwrap(),
-            primal_dual::solve_default(&p).unwrap(),
-            lp_round::solve(&p).unwrap(),
+            general::solve(p.compiled()).unwrap(),
+            primal_dual::solve_default(p.compiled()).unwrap(),
+            lp_round::solve(p.compiled()).unwrap(),
         ] {
             assert!(sol.is_feasible(&p), "case {case}");
             assert!(sol.side_effect(&p) + 1e-9 >= opt_cost, "case {case}");
@@ -227,7 +227,7 @@ fn solver_stack_invariants() {
 
         // Balanced never exceeds the standard optimum (the standard
         // optimum is one feasible balanced solution).
-        let bal = exact::solve_balanced(&p, ExactConfig::default());
+        let bal = exact::solve_balanced(p.compiled(), ExactConfig::default());
         assert!(bal.cost <= opt_cost + 1e-9, "case {case}");
     }
 }
@@ -239,8 +239,8 @@ fn primal_dual_certificates() {
     let mut rng = SplitMix64::seed_from_u64(0x50f72);
     for case in 0..32 {
         let p = random_chain_problem(&mut rng);
-        let out = primal_dual::solve(&p, &Default::default()).unwrap();
-        let opt = exact::solve(&p, ExactConfig::default());
+        let out = primal_dual::solve(p.compiled(), &Default::default()).unwrap();
+        let opt = exact::solve(p.compiled(), ExactConfig::default());
         assert!(out.dual_objective <= opt.cost + 1e-6, "case {case}");
         for &t in &out.solution.deleted {
             let mut smaller = out.solution.clone();
