@@ -1137,6 +1137,109 @@ pub fn ex_port() -> String {
     )
 }
 
+/// EX-PAR — racing the portfolio: thread-parallel `solve_racing` vs the
+/// sequential `solve_best` on the EX-P1 forest sweep, where five
+/// standard members apply (lowdeg_tree, primal_dual, lp_round, general,
+/// greedy) and the sequential path pays the *sum* of their latencies —
+/// dominated by the lp_round simplex — while racing pays roughly the
+/// max until the first verifier cancels the field. Raw measurements
+/// land in `artifacts/BENCH_parallel.json`.
+pub fn ex_par() -> String {
+    use delprop_core::runtime::{Budget, MemberStatus, Portfolio};
+
+    const REPS: usize = 3;
+    let chain = Portfolio::standard();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut best_speedup = 0.0f64;
+    for chains in [64usize, 128, 256, 512] {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains,
+                delete_fraction: 0.2,
+                weighted: false,
+            },
+            7,
+        );
+        // Warm the IR cache so neither path pays the one-off compile.
+        let _ = p.compiled();
+
+        let mut seq_secs = f64::INFINITY;
+        let mut seq_cost = 0.0;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let out = chain.solve_best(&p, &Budget::unlimited()).unwrap();
+            seq_secs = seq_secs.min(t.elapsed().as_secs_f64());
+            assert!(out.solution.is_feasible(&p));
+            seq_cost = out.cost;
+        }
+
+        let mut par_secs = f64::INFINITY;
+        let mut par_cost = 0.0;
+        let mut cancelled = 0usize;
+        let mut winner = "";
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let out = chain.solve_racing(&p, &Budget::unlimited()).unwrap();
+            par_secs = par_secs.min(t.elapsed().as_secs_f64());
+            assert!(out.solution.is_feasible(&p));
+            par_cost = out.cost;
+            winner = out.winner;
+            cancelled = out
+                .report
+                .iter()
+                .filter(|m| m.status == MemberStatus::Cancelled)
+                .count();
+        }
+
+        let speedup = seq_secs / par_secs.max(1e-9);
+        best_speedup = best_speedup.max(speedup);
+        rows.push(vec![
+            chains.to_string(),
+            p.norm_v().to_string(),
+            format!("{:.3} ms", seq_secs * 1e3),
+            format!("{:.3} ms", par_secs * 1e3),
+            format!("{speedup:.2}x"),
+            winner.to_string(),
+            cancelled.to_string(),
+        ]);
+        json_rows.push(format!(
+            "  {{\"chains\": {chains}, \"norm_v\": {}, \"norm_delta\": {}, \"sequential_micros\": {:.1}, \"racing_micros\": {:.1}, \"speedup\": {speedup:.3}, \"sequential_cost\": {seq_cost}, \"racing_cost\": {par_cost}, \"winner\": \"{winner}\", \"members_cancelled\": {cancelled}, \"reps\": {REPS}}}",
+            p.norm_v(),
+            p.norm_delta(),
+            seq_secs * 1e6,
+            par_secs * 1e6,
+        ));
+    }
+    assert!(
+        best_speedup >= 1.5,
+        "racing must beat sequential solve_best by at least 1.5x somewhere \
+         on the sweep (best observed: {best_speedup:.2}x)"
+    );
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    let written = std::fs::create_dir_all("artifacts")
+        .and_then(|()| std::fs::write("artifacts/BENCH_parallel.json", &json))
+        .map(|()| "artifacts/BENCH_parallel.json".to_string())
+        .unwrap_or_else(|e| format!("(not written: {e})"));
+    format!(
+        "EX-PAR: racing portfolio — solve_racing vs sequential solve_best\n         (min of {REPS} reps each; both paths verified; raw JSON: {written})\n\n{}",
+        table(
+            &[
+                "chains",
+                "\u{2016}V\u{2016}",
+                "sequential",
+                "racing",
+                "speedup",
+                "winner",
+                "cancelled"
+            ],
+            &rows
+        )
+    )
+}
+
 /// All experiments in order, as `(id, runner)`.
 pub fn all() -> Vec<(&'static str, Runner)> {
     vec![
@@ -1162,6 +1265,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ex-yan", ex_yan),
         ("ex-bal", ex_bal),
         ("ex-port", ex_port),
+        ("ex-par", ex_par),
     ]
 }
 

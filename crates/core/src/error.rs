@@ -34,6 +34,11 @@ pub enum CoreError {
     /// deterministic work counter at exhaustion (0 when only the
     /// wall-clock deadline fired).
     BudgetExhausted { ticks: u64 },
+    /// A racing portfolio member was cancelled cooperatively because
+    /// another member with a stronger-or-equal guarantee already
+    /// verified. `ticks` is the shared pool counter when the member
+    /// observed the cancellation at a checkpoint.
+    Cancelled { ticks: u64 },
     /// A portfolio member panicked; the panic was contained by the
     /// runtime's isolation boundary and converted into this error.
     SolverPanicked { solver: String, message: String },
@@ -65,6 +70,13 @@ impl fmt::Display for CoreError {
             CoreError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
             CoreError::BudgetExhausted { ticks } => {
                 write!(f, "budget exhausted after {ticks} work ticks")
+            }
+            CoreError::Cancelled { ticks } => {
+                write!(
+                    f,
+                    "cancelled at {ticks} pool ticks: a stronger-or-equal \
+                     portfolio member already verified"
+                )
             }
             CoreError::SolverPanicked { solver, message } => {
                 write!(f, "solver {solver} panicked (contained): {message}")

@@ -9,94 +9,200 @@
 //! - an optional **wall-clock deadline**, checked only at checkpoint
 //!   granularity (cooperatively — nothing is interrupted mid-pivot).
 //!
-//! Budgets are shared by reference down a whole portfolio run: every
-//! member draws from the same pool, so a member that burns the pool
-//! leaves less for the fallbacks — which is exactly the semantics a
-//! latency-bound caller wants.
+//! Budgets are shared down a whole portfolio run: every member draws
+//! from the same pool, so a member that burns the pool leaves less for
+//! the fallbacks — which is exactly the semantics a latency-bound caller
+//! wants. Sharing is explicit: [`Budget::share`] hands out another
+//! handle on the **same** atomic pool (the handle carries its own local
+//! tick meter and its own cancellation flag). `Budget` deliberately does
+//! not implement `Clone` — a clone would be ambiguous between "same
+//! pool" and "forked pool", and a silently forked pool doubles the
+//! budget:
+//!
+//! ```compile_fail
+//! use delprop_core::runtime::Budget;
+//! let b = Budget::with_ticks(100);
+//! let _forked = b.clone(); // does not compile: use `b.share()`
+//! ```
+//!
+//! Handles are `Send + Sync`, so racing portfolio members on separate
+//! threads can each hold a share of one pool; a charge on any handle is
+//! visible to all of them. Each handle also carries a **cooperative
+//! cancellation token**: [`Budget::cancel`] makes every later checkpoint
+//! on that handle fail with [`CoreError::Cancelled`], which is how a
+//! racing run tells the losing members to unwind at their next
+//! checkpoint.
 
 use crate::error::CoreError;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many ticks may elapse between wall-clock checks. Checking
 /// `Instant::now()` at every tick would dominate tight checkpoint loops.
 const DEADLINE_CHECK_EVERY: u64 = 1024;
 
-/// A cooperative work budget (tick counter + optional deadline).
-#[derive(Debug, Clone)]
-pub struct Budget {
-    used: Cell<u64>,
+/// The shared pool behind one or more [`Budget`] handles.
+#[derive(Debug)]
+struct Pool {
+    used: AtomicU64,
     limit: Option<u64>,
     deadline: Option<Instant>,
-    next_deadline_check: Cell<u64>,
-    exhausted: Cell<bool>,
+    next_deadline_check: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+/// A cooperative work budget (tick counter + optional deadline).
+///
+/// One handle onto a shared atomic pool. [`Budget::share`] creates more
+/// handles on the same pool; there is intentionally no `Clone`.
+#[derive(Debug)]
+pub struct Budget {
+    pool: Arc<Pool>,
+    /// Ticks charged successfully *through this handle* — the
+    /// per-member meter the portfolio reports even when many handles
+    /// race on one pool.
+    local_used: AtomicU64,
+    /// Cooperative cancellation token, per handle: set by
+    /// [`Budget::cancel`], observed by every later [`Budget::charge`].
+    cancelled: AtomicBool,
 }
 
 impl Budget {
-    /// No limits: checkpoints never fail.
-    pub fn unlimited() -> Self {
+    fn from_pool(pool: Pool) -> Self {
         Budget {
-            used: Cell::new(0),
+            pool: Arc::new(pool),
+            local_used: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// No limits: checkpoints never fail (unless [`cancel`led](Budget::cancel)).
+    pub fn unlimited() -> Self {
+        Budget::from_pool(Pool {
+            used: AtomicU64::new(0),
             limit: None,
             deadline: None,
-            next_deadline_check: Cell::new(0),
-            exhausted: Cell::new(false),
-        }
+            next_deadline_check: AtomicU64::new(0),
+            exhausted: AtomicBool::new(false),
+        })
     }
 
     /// A deterministic tick limit and no deadline.
     pub fn with_ticks(limit: u64) -> Self {
-        Budget {
+        Budget::from_pool(Pool {
+            used: AtomicU64::new(0),
             limit: Some(limit),
-            ..Budget::unlimited()
-        }
+            deadline: None,
+            next_deadline_check: AtomicU64::new(0),
+            exhausted: AtomicBool::new(false),
+        })
     }
 
     /// Add a wall-clock deadline `timeout` from now. Combines with any
     /// tick limit: whichever fires first exhausts the budget.
+    ///
+    /// Call this before [`Budget::share`]: it requires sole ownership of
+    /// the pool and panics if other handles already exist.
     pub fn with_deadline(mut self, timeout: Duration) -> Self {
-        self.deadline = Some(Instant::now() + timeout);
+        let pool = Arc::get_mut(&mut self.pool)
+            .expect("Budget::with_deadline must be called before Budget::share");
+        pool.deadline = Some(Instant::now() + timeout);
         self
     }
 
-    /// Ticks charged so far.
+    /// Another handle on the **same** pool: charges through either
+    /// handle draw down one shared tick limit. The new handle starts
+    /// with a fresh local meter ([`Budget::own_used`] of 0) and its own,
+    /// un-set cancellation token.
+    pub fn share(&self) -> Budget {
+        Budget {
+            pool: Arc::clone(&self.pool),
+            local_used: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Ticks charged so far on the shared pool (across all handles).
     pub fn used(&self) -> u64 {
-        self.used.get()
+        self.pool.used.load(Ordering::Relaxed)
+    }
+
+    /// Ticks charged successfully through *this handle* only. Equal to
+    /// [`Budget::used`] when the pool has a single handle; under racing
+    /// this is the per-member share of the pool.
+    pub fn own_used(&self) -> u64 {
+        self.local_used.load(Ordering::Relaxed)
     }
 
     /// Remaining ticks under the tick limit (`u64::MAX` when unlimited).
     pub fn remaining(&self) -> u64 {
-        match self.limit {
-            Some(l) => l.saturating_sub(self.used.get()),
+        match self.pool.limit {
+            Some(l) => l.saturating_sub(self.used()),
             None => u64::MAX,
         }
     }
 
-    /// Whether a checkpoint has already failed on this budget.
+    /// Whether a checkpoint has already failed on this pool.
     pub fn is_exhausted(&self) -> bool {
-        self.exhausted.get()
+        self.pool.exhausted.load(Ordering::Acquire)
+    }
+
+    /// Cooperatively cancel **this handle**: every later charge on it
+    /// fails with [`CoreError::Cancelled`]. Other handles on the same
+    /// pool are unaffected — this is per-member, not pool-wide.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Budget::cancel`] has been called on this handle.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 
     /// Charge `n` work ticks. Fails with [`CoreError::BudgetExhausted`]
-    /// once the tick limit is crossed or the deadline has passed; once
-    /// failed, every later call fails too.
+    /// once the tick limit is crossed or the deadline has passed, and
+    /// with [`CoreError::Cancelled`] once this handle is cancelled; once
+    /// failed, every later call fails too. A refused charge does **not**
+    /// move the pool counter: `used()` never exceeds the tick limit.
     pub fn charge(&self, n: u64) -> Result<(), CoreError> {
-        let used = self.used.get().saturating_add(n);
-        self.used.set(used);
-        if self.exhausted.get() {
+        if self.is_cancelled() {
             return Err(self.error());
         }
-        if let Some(limit) = self.limit {
-            if used > limit {
-                self.exhausted.set(true);
+        if self.is_exhausted() {
+            return Err(self.error());
+        }
+        let pool = &*self.pool;
+        // CAS loop: admit the charge only if it fits under the limit, so
+        // a refusal leaves `used` clamped at (or below) the limit.
+        let admit = pool
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                let next = used.saturating_add(n);
+                match pool.limit {
+                    Some(limit) if next > limit => None,
+                    _ => Some(next),
+                }
+            });
+        let used = match admit {
+            Ok(prev) => prev.saturating_add(n),
+            Err(_) => {
+                pool.exhausted.store(true, Ordering::Release);
                 return Err(self.error());
             }
-        }
-        if let Some(deadline) = self.deadline {
-            if used >= self.next_deadline_check.get() {
-                self.next_deadline_check.set(used + DEADLINE_CHECK_EVERY);
+        };
+        self.local_used.fetch_add(n, Ordering::Relaxed);
+        if let Some(deadline) = pool.deadline {
+            if used >= pool.next_deadline_check.load(Ordering::Relaxed) {
+                pool.next_deadline_check
+                    .store(used + DEADLINE_CHECK_EVERY, Ordering::Relaxed);
                 if Instant::now() >= deadline {
-                    self.exhausted.set(true);
+                    // Roll the refused work back out of both meters so a
+                    // deadline-only exhaustion reports the ticks that
+                    // actually ran (0 at the first checkpoint).
+                    pool.used.fetch_sub(n, Ordering::Relaxed);
+                    self.local_used.fetch_sub(n, Ordering::Relaxed);
+                    pool.exhausted.store(true, Ordering::Release);
                     return Err(self.error());
                 }
             }
@@ -109,17 +215,22 @@ impl Budget {
         self.charge(1)
     }
 
-    /// The error a failing checkpoint returns.
+    /// The error a failing checkpoint returns: [`CoreError::Cancelled`]
+    /// when this handle was cancelled (and the pool still has budget),
+    /// otherwise [`CoreError::BudgetExhausted`].
     pub fn error(&self) -> CoreError {
-        CoreError::BudgetExhausted {
-            ticks: self.used.get(),
+        if self.is_cancelled() && !self.is_exhausted() {
+            CoreError::Cancelled { ticks: self.used() }
+        } else {
+            CoreError::BudgetExhausted { ticks: self.used() }
         }
     }
 
     /// A `FnMut(u64) -> bool` view of this budget for the lower-layer
     /// solvers (`delprop_setcover::exact::solve_with_ticker`,
     /// `delprop_lp::solve_with_ticker`) that take a plain callback:
-    /// returns `false` once the budget is exhausted.
+    /// returns `false` once the budget is exhausted or the handle is
+    /// cancelled.
     pub fn ticker(&self) -> impl FnMut(u64) -> bool + '_ {
         move |n| self.charge(n).is_ok()
     }
@@ -152,10 +263,26 @@ mod tests {
             b.checkpoint().unwrap();
         }
         let err = b.checkpoint().unwrap_err();
-        assert_eq!(err, CoreError::BudgetExhausted { ticks: 6 });
+        // The refused sixth tick is not recorded: `used` clamps at the
+        // limit, so the error reports the work that actually ran.
+        assert_eq!(err, CoreError::BudgetExhausted { ticks: 5 });
+        assert_eq!(b.used(), 5);
         assert!(b.is_exhausted());
         // Sticky: later calls keep failing.
         assert!(b.charge(0).is_err());
+    }
+
+    #[test]
+    fn refused_charge_does_not_inflate_used() {
+        let b = Budget::with_ticks(10);
+        b.charge(8).unwrap();
+        assert!(b.charge(5).is_err()); // 13 > 10: refused
+        assert_eq!(b.used(), 8, "refusal must not move the counter");
+        assert_eq!(b.remaining(), 2);
+        // Sticky exhaustion: even a fitting charge now fails, and still
+        // does not move the counter.
+        assert!(b.charge(1).is_err());
+        assert_eq!(b.used(), 8);
     }
 
     #[test]
@@ -170,7 +297,10 @@ mod tests {
     #[test]
     fn expired_deadline_fails_at_first_check() {
         let b = Budget::unlimited().with_deadline(Duration::from_secs(0));
-        assert!(b.checkpoint().is_err());
+        let err = b.checkpoint().unwrap_err();
+        // Deadline-only exhaustion reports 0 ticks: the rolled-back
+        // checkpoint never ran.
+        assert_eq!(err, CoreError::BudgetExhausted { ticks: 0 });
         assert!(b.is_exhausted());
     }
 
@@ -188,8 +318,76 @@ mod tests {
         {
             let mut tick = b.ticker();
             assert!(tick(64));
-            assert!(!tick(64)); // 128 > 100
+            assert!(!tick(64)); // 64 + 64 > 100: refused
         }
         assert!(b.is_exhausted());
+        assert_eq!(b.used(), 64, "the refused 64 must not be recorded");
+    }
+
+    #[test]
+    fn share_draws_from_the_same_pool() {
+        let a = Budget::with_ticks(10);
+        let b = a.share();
+        a.charge(4).unwrap();
+        b.charge(4).unwrap();
+        assert_eq!(a.used(), 8);
+        assert_eq!(b.used(), 8);
+        assert_eq!(a.remaining(), 2);
+        // The pool is shared, not forked: a third charge that fits the
+        // local view but not the pool fails on either handle.
+        assert!(b.charge(3).is_err());
+        assert!(a.is_exhausted() && b.is_exhausted());
+    }
+
+    #[test]
+    fn share_meters_locally() {
+        let a = Budget::with_ticks(100);
+        let b = a.share();
+        a.charge(30).unwrap();
+        b.charge(20).unwrap();
+        assert_eq!(a.own_used(), 30);
+        assert_eq!(b.own_used(), 20);
+        assert_eq!(a.used(), 50);
+    }
+
+    #[test]
+    fn cancel_stops_checkpoints_with_typed_error() {
+        let a = Budget::with_ticks(100);
+        let b = a.share();
+        b.charge(10).unwrap();
+        b.cancel();
+        let err = b.checkpoint().unwrap_err();
+        assert_eq!(err, CoreError::Cancelled { ticks: 10 });
+        // Cancellation is per handle: the sibling keeps running, and the
+        // cancelled handle charged nothing extra.
+        assert!(!a.is_cancelled());
+        a.charge(10).unwrap();
+        assert_eq!(a.used(), 20);
+    }
+
+    #[test]
+    fn exhaustion_wins_over_cancellation_in_error() {
+        let b = Budget::with_ticks(5);
+        assert!(b.charge(6).is_err());
+        b.cancel();
+        assert!(matches!(b.error(), CoreError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn shared_charges_are_atomic_across_threads() {
+        let a = Budget::with_ticks(1_000_000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = a.share();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        h.checkpoint().unwrap();
+                    }
+                    assert_eq!(h.own_used(), 10_000);
+                });
+            }
+        });
+        assert_eq!(a.used(), 40_000, "no tick lost or duplicated");
+        assert!(!a.is_exhausted());
     }
 }

@@ -87,8 +87,14 @@ impl<S: Solver> Solver for FaultySolver<S> {
                 budget.checkpoint()?;
             },
             FaultMode::ExhaustBudget => {
+                // Two charges: the first fills the pool exactly to its
+                // limit (a refused over-charge would not move the
+                // counter), the second trips sticky exhaustion.
                 let remaining = budget.remaining();
-                budget.charge(remaining.saturating_add(1))?;
+                if remaining < u64::MAX {
+                    budget.charge(remaining)?;
+                }
+                budget.charge(1)?;
                 // Only reachable under an unlimited budget (which cannot
                 // drain); still report exhaustion rather than pretending
                 // to have solved anything.

@@ -7,16 +7,21 @@
 //! all of them:
 //!
 //! - [`Budget`] — deterministic work-tick counter plus optional
-//!   wall-clock deadline, threaded cooperatively into every hot loop
-//!   (branch-and-bound nodes, simplex pivots, local-search moves);
-//! - [`Solver`] — one trait over the ten entry points in
+//!   wall-clock deadline on an atomic shared pool, threaded
+//!   cooperatively into every hot loop (branch-and-bound nodes, simplex
+//!   pivots, local-search moves); [`Budget::share`] hands out more
+//!   handles on the same pool, each with its own cancellation token;
+//! - [`Solver`] — one trait (`Send + Sync`) over the ten entry points in
 //!   [`crate::solvers`], with [`Guarantee`] metadata;
 //! - [`Portfolio`] — guarantee-ordered fallback chains with
 //!   `catch_unwind` isolation around each member and mandatory
 //!   verification (`is_feasible` + `verify_by_reevaluation`) before any
-//!   solution is reported;
+//!   solution is reported; [`Portfolio::solve_racing`] runs all
+//!   applicable members on scoped threads with
+//!   first-strongest-verified-wins cancellation;
 //! - [`FaultySolver`] — fault injection used by the test suite to prove
-//!   panics are contained and unverified answers never escape.
+//!   panics are contained and unverified answers never escape, on both
+//!   the sequential and the racing path.
 //!
 //! ```
 //! use delprop_core::runtime::{solve_portfolio, Budget, Portfolio};
@@ -44,6 +49,11 @@
 //! let budget = Budget::with_ticks(100_000);
 //! let outcome = Portfolio::standard().solve(&problem, &budget)?;
 //! println!("{}", outcome); // winner + per-member report
+//!
+//! // Or raced: every applicable member on its own thread, first
+//! // strongest verifier cancelling the rest.
+//! let raced = Portfolio::standard().solve_racing(&problem, &Budget::unlimited())?;
+//! assert!(raced.solution.is_feasible(&problem));
 //! # Ok::<(), delprop_core::CoreError>(())
 //! ```
 
@@ -55,7 +65,7 @@ pub mod solver;
 pub use budget::Budget;
 pub use fault::{FaultMode, FaultySolver};
 pub use portfolio::{
-    solve_portfolio, solve_portfolio_balanced, MemberReport, MemberStatus, Portfolio,
-    PortfolioOutcome,
+    solve_portfolio, solve_portfolio_balanced, solve_portfolio_racing, MemberReport, MemberStatus,
+    Portfolio, PortfolioOutcome,
 };
 pub use solver::{Guarantee, Solver};

@@ -8,6 +8,16 @@
 //! out, or returns garbage is recorded in the report and the chain moves
 //! on; the caller always gets either a verified [`Solution`] or a typed
 //! [`CoreError`].
+//!
+//! [`Portfolio::solve_racing`] is the thread-parallel sibling of
+//! [`Portfolio::solve_best`]: every applicable member runs on its own
+//! thread against the shared compiled IR, drawing from one atomic
+//! [`Budget`] pool through per-member [`Budget::share`] handles. As soon
+//! as a member verifies, it cancels every member with a
+//! weaker-or-equal guarantee (cooperatively — losers observe the token
+//! at their next budget checkpoint); the winner among the verified
+//! candidates is chosen exactly like the sequential path, by minimum
+//! cost with chain order breaking ties.
 
 use crate::error::CoreError;
 use crate::problem::Problem;
@@ -39,6 +49,9 @@ pub enum MemberStatus {
     RejectedVerification { message: String },
     /// The member panicked; the panic was contained.
     Panicked { message: String },
+    /// A racing run cancelled this member because another member with a
+    /// stronger-or-equal guarantee verified first.
+    Cancelled,
     /// The member returned a typed error (budget exhaustion included).
     Failed { error: CoreError },
 }
@@ -62,8 +75,15 @@ pub struct MemberReport {
     /// Wall-clock spent running (and verifying) this member, in µs.
     /// Zero for members that were skipped or not reached.
     pub micros: u64,
-    /// Budget ticks this member consumed.
+    /// Budget ticks this member itself charged (metered through its own
+    /// [`Budget::share`] handle).
     pub ticks: u64,
+    /// Ticks drained from the **shared pool** over this member's
+    /// wall-clock window, by every handle. Equal to `ticks` in a
+    /// sequential run; larger under racing contention, where the gap
+    /// measures how much the rest of the field burned while this member
+    /// ran.
+    pub pool_ticks: u64,
 }
 
 impl fmt::Display for MemberReport {
@@ -78,13 +98,20 @@ impl fmt::Display for MemberReport {
                 write!(f, "rejected: verification failed ({message})")?
             }
             MemberStatus::Panicked { message } => write!(f, "panicked (contained): {message}")?,
+            MemberStatus::Cancelled => {
+                f.write_str("cancelled (a stronger-or-equal member verified first)")?
+            }
             MemberStatus::Failed { error } => write!(f, "failed: {error}")?,
         }
         if !matches!(
             self.status,
             MemberStatus::Skipped | MemberStatus::NotReached
         ) {
-            write!(f, " [{} µs, {} ticks]", self.micros, self.ticks)?;
+            write!(f, " [{} µs, {} ticks", self.micros, self.ticks)?;
+            if self.pool_ticks != self.ticks {
+                write!(f, " ({} pool)", self.pool_ticks)?;
+            }
+            f.write_str("]")?;
         }
         Ok(())
     }
@@ -211,22 +238,32 @@ impl Portfolio {
         self.run(problem, budget, false)
     }
 
+    /// Compile the shared IR exactly once, up front: every member,
+    /// applicability check, and verification reads this one index. The
+    /// compile is charged to the budget like any other work
+    /// (`‖V‖ + ‖ΔV‖ + 1` ticks — one pass over the instance); a budget
+    /// too small for the compile fails the whole run immediately with
+    /// the typed exhaustion error, before any member is attempted.
+    fn compile_and_charge(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> Result<(u64, u64), CoreError> {
+        let compile_start = Instant::now();
+        let _ir = problem.compiled();
+        let compile_micros = compile_start.elapsed().as_micros() as u64;
+        let compile_ticks = (problem.norm_v() + problem.norm_delta()) as u64 + 1;
+        budget.charge(compile_ticks)?;
+        Ok((compile_micros, compile_ticks))
+    }
+
     fn run(
         &self,
         problem: &Problem,
         budget: &Budget,
         stop_at_first: bool,
     ) -> Result<PortfolioOutcome, CoreError> {
-        // Compile the shared IR exactly once, up front: every member,
-        // applicability check, and verification below reads this one
-        // index. The compile is charged to the budget like any other
-        // work (`‖V‖ + ‖ΔV‖ + 1` ticks — one pass over the instance);
-        // exhaustion here surfaces through the members' own checks.
-        let compile_start = Instant::now();
-        let _ir = problem.compiled();
-        let compile_micros = compile_start.elapsed().as_micros() as u64;
-        let compile_ticks = (problem.norm_v() + problem.norm_delta()) as u64 + 1;
-        let _ = budget.charge(compile_ticks);
+        let (compile_micros, compile_ticks) = self.compile_and_charge(problem, budget)?;
 
         let mut report: Vec<MemberReport> = Vec::with_capacity(self.members.len());
         let mut best: Option<(Solution, f64, &'static str)> = None;
@@ -234,13 +271,16 @@ impl Portfolio {
         for member in &self.members {
             let guarantee = member.guarantee(problem);
             let started = Instant::now();
-            let ticks_before = budget.used();
+            let pool_before = budget.used();
+            // A fresh share per member: `own_used` then meters exactly
+            // what this member charged, even if callers reuse the pool.
+            let handle = budget.share();
             let status = if stop_at_first && best.is_some() {
                 MemberStatus::NotReached
             } else if !member.applies(problem) {
                 MemberStatus::Skipped
             } else {
-                let (status, candidate) = self.run_member(member.as_ref(), problem, budget);
+                let (status, candidate) = self.run_member(member.as_ref(), problem, &handle);
                 if let Some((solution, cost)) = candidate {
                     if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
                         best = Some((solution, cost, member.name()));
@@ -252,18 +292,139 @@ impl Portfolio {
             report.push(MemberReport {
                 name: member.name(),
                 guarantee,
-                status,
+                status: finalize_status(status),
                 micros: if ran {
                     started.elapsed().as_micros() as u64
                 } else {
                     0
                 },
-                ticks: if ran {
-                    budget.used().saturating_sub(ticks_before)
+                ticks: if ran { handle.own_used() } else { 0 },
+                pool_ticks: if ran {
+                    budget.used().saturating_sub(pool_before)
                 } else {
                     0
                 },
             });
+        }
+
+        match best {
+            Some((solution, cost, winner)) => Ok(PortfolioOutcome {
+                solution,
+                cost,
+                winner,
+                report,
+                compile_micros,
+                compile_ticks,
+            }),
+            None => Err(self.failure_error(budget, &report)),
+        }
+    }
+
+    /// Race **every** applicable member on its own thread and return the
+    /// cheapest verified solution — the parallel sibling of
+    /// [`Portfolio::solve_best`].
+    ///
+    /// Every member draws from `budget`'s shared atomic pool through its
+    /// own [`Budget::share`] handle. When a member's output verifies
+    /// (and the pool is not exhausted), it cancels all members whose
+    /// guarantee is weaker or equal; the cancelled members observe the
+    /// token at their next checkpoint and unwind with
+    /// [`CoreError::Cancelled`], reported as
+    /// [`MemberStatus::Cancelled`]. Members with strictly stronger
+    /// guarantees keep running, so the final choice — minimum verified
+    /// cost, chain order breaking ties — matches the sequential
+    /// `solve_best` cost on instances where the strongest applicable
+    /// member completes (an exact member's verified run *is* the
+    /// optimum, and every other verified candidate costs at least that).
+    pub fn solve_racing(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> Result<PortfolioOutcome, CoreError> {
+        let (compile_micros, compile_ticks) = self.compile_and_charge(problem, budget)?;
+
+        struct RaceSlot {
+            status: MemberStatus,
+            candidate: Option<(Solution, f64)>,
+            micros: u64,
+            ticks: u64,
+            pool_ticks: u64,
+        }
+
+        let n = self.members.len();
+        let guarantees: Vec<Guarantee> =
+            self.members.iter().map(|m| m.guarantee(problem)).collect();
+        let applicable: Vec<bool> = self.members.iter().map(|m| m.applies(problem)).collect();
+        // One share per member. The caller's own handle is never
+        // cancelled, so `budget` stays usable after the race.
+        let handles: Vec<Budget> = (0..n).map(|_| budget.share()).collect();
+        let mut slots: Vec<Option<RaceSlot>> = Vec::new();
+        slots.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            for ((i, member), slot) in self.members.iter().enumerate().zip(slots.iter_mut()) {
+                if !applicable[i] {
+                    continue;
+                }
+                let (handles, guarantees, applicable) = (&handles, &guarantees, &applicable);
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let pool_before = handles[i].used();
+                    let (status, candidate) =
+                        self.run_member(member.as_ref(), problem, &handles[i]);
+                    if candidate.is_some() && !handles[i].is_exhausted() {
+                        // Dominance cancellation: a verified member
+                        // releases everyone it dominates. Strictly
+                        // stronger members race on.
+                        let mine = guarantees[i].strength();
+                        for (j, h) in handles.iter().enumerate() {
+                            if j != i && applicable[j] && guarantees[j].strength() >= mine {
+                                h.cancel();
+                            }
+                        }
+                    }
+                    *slot = Some(RaceSlot {
+                        status,
+                        candidate,
+                        micros: started.elapsed().as_micros() as u64,
+                        ticks: handles[i].own_used(),
+                        pool_ticks: handles[i].used().saturating_sub(pool_before),
+                    });
+                });
+            }
+        });
+
+        let mut report: Vec<MemberReport> = Vec::with_capacity(n);
+        let mut best: Option<(Solution, f64, &'static str)> = None;
+        for (i, slot) in slots.into_iter().enumerate() {
+            let name = self.members[i].name();
+            match slot {
+                None => report.push(MemberReport {
+                    name,
+                    guarantee: guarantees[i],
+                    status: MemberStatus::Skipped,
+                    micros: 0,
+                    ticks: 0,
+                    pool_ticks: 0,
+                }),
+                Some(s) => {
+                    // Same tie-break as the sequential chain: strict `<`
+                    // keeps the earliest member on equal cost.
+                    if let Some((solution, cost)) = s.candidate {
+                        if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
+                            best = Some((solution, cost, name));
+                        }
+                    }
+                    report.push(MemberReport {
+                        name,
+                        guarantee: guarantees[i],
+                        status: finalize_status(s.status),
+                        micros: s.micros,
+                        ticks: s.ticks,
+                        pool_ticks: s.pool_ticks,
+                    });
+                }
+            }
         }
 
         match best {
@@ -377,6 +538,18 @@ impl Portfolio {
     }
 }
 
+/// Collapse a typed cancellation into its dedicated status: a member
+/// that unwound with [`CoreError::Cancelled`] did not *fail*, it lost
+/// the race.
+fn finalize_status(status: MemberStatus) -> MemberStatus {
+    match status {
+        MemberStatus::Failed {
+            error: CoreError::Cancelled { .. },
+        } => MemberStatus::Cancelled,
+        other => other,
+    }
+}
+
 /// Best-effort extraction of a panic payload's message.
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -397,6 +570,12 @@ pub fn solve_portfolio(problem: &Problem) -> Result<PortfolioOutcome, CoreError>
 /// Solve with the balanced-objective portfolio under no budget.
 pub fn solve_portfolio_balanced(problem: &Problem) -> Result<PortfolioOutcome, CoreError> {
     Portfolio::balanced().solve(problem, &Budget::unlimited())
+}
+
+/// Race the standard-objective portfolio under no budget: the parallel
+/// `solve_best` entry point for callers with cores to spare.
+pub fn solve_portfolio_racing(problem: &Problem) -> Result<PortfolioOutcome, CoreError> {
+    Portfolio::standard().solve_racing(problem, &Budget::unlimited())
 }
 
 #[cfg(test)]
@@ -490,6 +669,86 @@ mod tests {
         let budget = Budget::with_ticks(0);
         let err = Portfolio::standard().solve(&p, &budget).unwrap_err();
         assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn compile_exhaustion_fails_immediately_with_typed_error() {
+        let p = chain_problem(6, 3, &[1, 3]);
+        // Enough for part of the compile charge but not all of it: the
+        // run must fail before any member is attempted, and the reported
+        // ticks must be clamped at the limit (no phantom inflation).
+        let budget = Budget::with_ticks(2);
+        let err = Portfolio::standard().solve(&p, &budget).unwrap_err();
+        assert_eq!(err, CoreError::BudgetExhausted { ticks: 0 });
+        assert!(budget.is_exhausted());
+        assert_eq!(budget.used(), 0, "the refused compile charge rolls off");
+    }
+
+    #[test]
+    fn post_exhaustion_members_report_zero_ticks() {
+        use crate::runtime::fault::{FaultMode, FaultySolver};
+        let p = chain_problem(6, 3, &[1, 3]);
+        let chain = Portfolio::new(Objective::Standard)
+            .with(GreedySolver)
+            .with(FaultySolver::new(GreedySolver, FaultMode::ExhaustBudget))
+            .with(GreedySolver);
+        let out = chain.solve_best(&p, &Budget::with_ticks(10_000)).unwrap();
+        assert!(out.report[0].status.is_verified());
+        assert!(out.report[1].ticks > 0, "the hog did charge");
+        // The member after the hog is refused at its first charge and
+        // must show no phantom tick delta.
+        assert!(matches!(
+            out.report[2].status,
+            MemberStatus::Failed {
+                error: CoreError::BudgetExhausted { .. }
+            }
+        ));
+        assert_eq!(out.report[2].ticks, 0);
+        assert_eq!(out.report[2].pool_ticks, 0);
+    }
+
+    #[test]
+    fn sequential_report_meters_per_member_ticks() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let out = Portfolio::standard()
+            .solve_best(&p, &Budget::unlimited())
+            .unwrap();
+        for r in &out.report {
+            // Single-handle sequential run: own meter == pool delta.
+            assert_eq!(r.ticks, r.pool_ticks, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn racing_matches_sequential_on_easy_cases() {
+        for p in [
+            fig1(),
+            chain_problem(8, 3, &[1, 4]),
+            star_problem(4, &[0, 2]),
+        ] {
+            let seq = Portfolio::standard()
+                .solve_best(&p, &Budget::unlimited())
+                .unwrap();
+            let raced = Portfolio::standard()
+                .solve_racing(&p, &Budget::unlimited())
+                .unwrap();
+            assert!(raced.solution.is_feasible(&p));
+            assert!(
+                (raced.cost - seq.cost).abs() < 1e-9,
+                "racing {} vs sequential {}",
+                raced.cost,
+                seq.cost
+            );
+        }
+    }
+
+    #[test]
+    fn racing_leaves_the_callers_handle_usable() {
+        let p = fig1();
+        let budget = Budget::unlimited();
+        let _ = Portfolio::standard().solve_racing(&p, &budget).unwrap();
+        assert!(!budget.is_cancelled());
+        assert!(budget.checkpoint().is_ok());
     }
 
     #[test]

@@ -59,7 +59,12 @@ impl fmt::Display for Guarantee {
 
 /// A portfolio member: a named algorithm with an applicability test, a
 /// guarantee, and a budgeted solve.
-pub trait Solver {
+///
+/// `Send + Sync` is part of the contract: the racing portfolio runs
+/// members concurrently against the shared compiled IR, so a member must
+/// be shareable across threads (all members here are stateless or hold
+/// only plain config).
+pub trait Solver: Send + Sync {
     /// Stable short name, used in reports and error messages.
     fn name(&self) -> &'static str;
 
@@ -81,7 +86,10 @@ pub trait Solver {
     /// checkpoints and return [`CoreError::BudgetExhausted`] (rather than
     /// running on) when it drains — unless a best-so-far feasible
     /// solution exists, in which case they may return it and let
-    /// verification decide.
+    /// verification decide. The same checkpoints observe cooperative
+    /// cancellation: a cancelled handle makes `charge` fail with
+    /// [`CoreError::Cancelled`], which implementations propagate the
+    /// same way.
     fn solve(&self, problem: &Problem, budget: &Budget) -> Result<Solution, CoreError>;
 }
 
@@ -252,7 +260,7 @@ impl Solver for ExactSolver {
         let out = exact::solve_budgeted(problem.compiled(), self.config, budget);
         match out.solution {
             Some(sol) => Ok(sol),
-            None if budget.is_exhausted() => Err(budget.error()),
+            None if budget.is_exhausted() || budget.is_cancelled() => Err(budget.error()),
             None => Err(CoreError::Infeasible {
                 reason: "a deleted view tuple has no witnesses (non-key-preserving input?)"
                     .to_string(),

@@ -28,9 +28,10 @@ pub fn solve(ir: &CompiledInstance, config: ExactConfig) -> ExactOutcome {
 }
 
 /// [`solve`] under a cooperative [`Budget`]: every branch-and-bound node
-/// expansion charges the budget (batched), and exhaustion truncates the
-/// search exactly like the node limit — the best incumbent so far comes
-/// back with `proven_optimal == false`.
+/// expansion charges the budget (batched), and exhaustion — or a racing
+/// cancellation on the handle — truncates the search exactly like the
+/// node limit: the best incumbent so far comes back with
+/// `proven_optimal == false`.
 pub fn solve_budgeted(ir: &CompiledInstance, config: ExactConfig, budget: &Budget) -> ExactOutcome {
     let rb = reduction::to_redblue(ir);
     let res = exact::solve_with_ticker(&rb.instance, config, &mut budget.ticker());

@@ -102,7 +102,9 @@ pub fn solve_budgeted(ir: &CompiledInstance, budget: &Budget) -> Result<Solution
     let lp = build(ir);
     let outcome = delprop_lp::solve_with_ticker(&lp, &mut budget.ticker());
     let LpOutcome::Optimal { x, .. } = outcome else {
-        if budget.is_exhausted() {
+        if budget.is_exhausted() || budget.is_cancelled() {
+            // Exhausted or cancelled mid-simplex: bail with the typed
+            // error rather than falling back to more (greedy) work.
             return Err(budget.error());
         }
         // The simplex iteration cap fired (degenerate relaxation): fall

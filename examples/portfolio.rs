@@ -2,8 +2,9 @@
 //!
 //! Solves a forest workload through the guarantee-ordered portfolio,
 //! then demonstrates the robustness features one by one: a tick budget
-//! that degrades gracefully, and an injected panic that is contained
-//! and reported instead of tearing down the process.
+//! that degrades gracefully, an injected panic that is contained and
+//! reported instead of tearing down the process, and the racing path
+//! that runs every applicable member on its own thread.
 //!
 //! Run with: `cargo run --example portfolio`
 
@@ -89,4 +90,18 @@ fn main() {
     std::panic::set_hook(hook);
     println!("with an injected panic:\n{out}");
     assert!(out.solution.is_feasible(&p));
+
+    // ------------------------------------------------------------------
+    // 4. Racing: every applicable member on its own thread, all drawing
+    //    from one atomic budget pool. The first member to verify cancels
+    //    everyone with a weaker-or-equal guarantee; cancelled members
+    //    show up as `cancelled` in the report, and the winner is chosen
+    //    exactly like sequential `solve_best` (min verified cost, chain
+    //    order on ties).
+    // ------------------------------------------------------------------
+    let raced = Portfolio::standard()
+        .solve_racing(&p, &Budget::unlimited())
+        .unwrap();
+    println!("racing the whole chain:\n{raced}");
+    assert!(raced.solution.is_feasible(&p));
 }

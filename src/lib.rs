@@ -68,8 +68,9 @@ pub mod script;
 pub mod prelude {
     pub use crate::core::runtime::{FaultMode, FaultySolver, MemberReport, MemberStatus};
     pub use crate::core::{
-        classify, solve_auto, solve_portfolio, solve_portfolio_balanced, Budget, CoreError,
-        Guarantee, Portfolio, PortfolioOutcome, Problem, Solution, Solver, SolverKind,
+        classify, solve_auto, solve_portfolio, solve_portfolio_balanced, solve_portfolio_racing,
+        Budget, CoreError, Guarantee, Portfolio, PortfolioOutcome, Problem, Solution, Solver,
+        SolverKind,
     };
     pub use crate::query::{
         parse_program, parse_query, ConjunctiveQuery, View, ViewSet, ViewTupleId,

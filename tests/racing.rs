@@ -1,0 +1,326 @@
+//! Racing-portfolio tests: the thread-parallel `solve_racing` path must
+//! (1) return the same verified cost as the sequential `solve_best` on
+//! every seeded workload, (2) contain per-member panics per thread, and
+//! (3) cancel losers cooperatively once a stronger-or-equal member
+//! verifies — a stalling member that would spin forever sequentially is
+//! released by the winner's cancellation token.
+//!
+//! The differential tests repeat each comparison several times: thread
+//! scheduling varies run to run, and the invariant must hold under every
+//! interleaving, not just a lucky one.
+
+use delprop::core::runtime::solver::GreedySolver;
+use delprop::core::solvers::local_search::Objective;
+use delprop::prelude::*;
+use delprop::query::parse_query;
+
+/// How often each race-sensitive scenario is repeated in-process. Raised
+/// further by the CI repeat loop that re-runs the whole binary.
+const REPS: usize = 3;
+
+// -------------------------------------------------------------------
+// Seeded workloads, replicated from the crate-private test_support
+// builders (integration tests cannot reach pub(crate) items).
+// -------------------------------------------------------------------
+
+/// The paper's Fig. 1 database under `Q4` with one deletion.
+fn fig1_problem() -> Problem {
+    let schema = Schema::from_relations([
+        RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+    ])
+    .unwrap();
+    let mut db = Database::new(schema);
+    for t in [
+        tup!["Joe", "TKDE"],
+        tup!["John", "TKDE"],
+        tup!["Tom", "TKDE"],
+        tup!["John", "TODS"],
+    ] {
+        db.insert("T1", t).unwrap();
+    }
+    for t in [
+        tup!["TKDE", "XML", 30],
+        tup!["TKDE", "CUBE", 30],
+        tup!["TODS", "XML", 30],
+    ] {
+        db.insert("T2", t).unwrap();
+    }
+    let q = parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)")
+        .unwrap()
+        .bind(db.schema())
+        .unwrap();
+    let mut p = Problem::new(db, vec![q]).unwrap();
+    p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+    p
+}
+
+/// The binary-merging chain workload (see test_support::chain_problem).
+fn chain_problem(n: usize, atoms: usize, blue: &[usize]) -> Problem {
+    let schema = Schema::from_relations(
+        (1..=atoms).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut db = Database::new(schema);
+    for i in 0..n {
+        for j in 1..=atoms {
+            let a = (i >> (j - 1)) as i64;
+            let b = (i >> j) as i64;
+            let name = format!("R{j}");
+            let rid = db.schema().relation_id(&name).unwrap();
+            if db
+                .find_by_key(rid, &[Value::int(a), Value::int(b)])
+                .is_none()
+            {
+                db.insert(&name, tup![a, b]).unwrap();
+            }
+        }
+    }
+    let head: Vec<String> = (0..=atoms).map(|j| format!("x{j}")).collect();
+    let body: Vec<String> = (1..=atoms)
+        .map(|j| format!("R{j}(x{}, x{j})", j - 1))
+        .collect();
+    let src = format!("Q({}) :- {}", head.join(", "), body.join(", "));
+    let q = parse_query(&src).unwrap().bind(db.schema()).unwrap();
+    let mut p = Problem::new(db, vec![q]).unwrap();
+    for &i in blue {
+        let h: Tuple = (0..=atoms).map(|j| (i >> j) as i64).collect();
+        p.mark_deleted(0, &h).unwrap();
+    }
+    p
+}
+
+/// The "broom" pivot workload (see test_support::star_problem).
+fn star_problem(branches: usize, blue: &[usize]) -> Problem {
+    let schema = Schema::from_relations([
+        RelationSchema::new("R0", 1, vec![0]).unwrap(),
+        RelationSchema::new("R1", 2, vec![0, 1]).unwrap(),
+        RelationSchema::new("R2", 2, vec![0, 1]).unwrap(),
+    ])
+    .unwrap();
+    let mut db = Database::new(schema);
+    db.insert("R0", tup![0]).unwrap();
+    for j in 0..branches {
+        db.insert("R1", tup![0, j as i64 + 1]).unwrap();
+        db.insert("R2", tup![j as i64 + 1, j as i64 + 1]).unwrap();
+    }
+    let sources = [
+        "Q1(x0) :- R0(x0)",
+        "Q2(x0, x1) :- R0(x0), R1(x0, x1)",
+        "Q3(x0, x1, x2) :- R0(x0), R1(x0, x1), R2(x1, x2)",
+        "Q3b(x0, x1, x2) :- R0(x0), R1(x0, x1), R2(x1, x2)",
+    ];
+    let bound = sources
+        .iter()
+        .map(|src| parse_query(src).unwrap().bind(db.schema()).unwrap())
+        .collect();
+    let mut p = Problem::new(db, bound).unwrap();
+    for &j in blue {
+        let b = j as i64 + 1;
+        p.mark_deleted(2, &tup![0, b, b]).unwrap();
+    }
+    p
+}
+
+fn seeded_workloads() -> Vec<(&'static str, Problem)> {
+    vec![
+        ("fig1", fig1_problem()),
+        ("chain", chain_problem(8, 3, &[1, 4, 6])),
+        ("star", star_problem(4, &[0, 2])),
+    ]
+}
+
+// -------------------------------------------------------------------
+// Differential: racing == sequential verified cost on every workload.
+// -------------------------------------------------------------------
+
+#[test]
+fn racing_matches_sequential_cost_on_every_seeded_workload() {
+    for (name, p) in seeded_workloads() {
+        let seq = Portfolio::standard()
+            .solve_best(&p, &Budget::unlimited())
+            .unwrap();
+        for rep in 0..REPS {
+            let raced = Portfolio::standard()
+                .solve_racing(&p, &Budget::unlimited())
+                .unwrap();
+            assert!(
+                raced.solution.is_feasible(&p),
+                "{name} rep {rep}: racing returned an infeasible solution"
+            );
+            assert!(
+                (raced.cost - seq.cost).abs() < 1e-9,
+                "{name} rep {rep}: racing cost {} != sequential cost {}",
+                raced.cost,
+                seq.cost
+            );
+            // The reported cost is the verified cost, recomputed here.
+            assert!((raced.cost - raced.solution.side_effect(&p)).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn racing_report_covers_every_member_in_chain_order() {
+    let p = chain_problem(8, 3, &[1, 4]);
+    let out = Portfolio::standard()
+        .solve_racing(&p, &Budget::unlimited())
+        .unwrap();
+    assert_eq!(
+        out.report.iter().map(|r| r.name).collect::<Vec<_>>(),
+        Portfolio::standard().member_names()
+    );
+    // single_query does not apply to a multi-deletion instance.
+    assert_eq!(out.report[0].status, MemberStatus::Skipped);
+}
+
+// -------------------------------------------------------------------
+// Fault injection under racing: each member misbehaves on its own
+// thread; the invariants must hold under every interleaving.
+// -------------------------------------------------------------------
+
+fn faulty_racing_chain(mode: FaultMode) -> Portfolio {
+    Portfolio::new(Objective::Standard)
+        .with(FaultySolver::new(GreedySolver, mode))
+        .with(GreedySolver)
+}
+
+#[test]
+fn racing_contains_panics_per_thread() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    for rep in 0..REPS {
+        let out = faulty_racing_chain(FaultMode::Panic)
+            .solve_racing(&p, &Budget::unlimited())
+            .expect("the healthy member must win");
+        assert_eq!(out.winner, "greedy", "rep {rep}");
+        assert!(out.solution.is_feasible(&p));
+        match &out.report[0].status {
+            MemberStatus::Panicked { message } => {
+                assert!(message.contains("injected panic"), "got: {message}")
+            }
+            other => panic!("rep {rep}: expected Panicked, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn racing_rejects_corrupt_output_and_recovers() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    for rep in 0..REPS {
+        let out = faulty_racing_chain(FaultMode::Corrupt)
+            .solve_racing(&p, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(
+            out.report[0].status,
+            MemberStatus::RejectedInfeasible,
+            "rep {rep}"
+        );
+        assert_eq!(out.winner, "greedy");
+        assert!(out.solution.is_feasible(&p));
+    }
+}
+
+#[test]
+fn racing_winner_cancels_a_stalling_member() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    for rep in 0..REPS {
+        // A huge finite pool bounds the test if cancellation ever broke
+        // (the stall would drain it in seconds); in a working run the
+        // greedy winner verifies in microseconds and cancels the stall
+        // long before the pool empties.
+        let budget = Budget::with_ticks(1_000_000_000);
+        let out = faulty_racing_chain(FaultMode::Stall)
+            .solve_racing(&p, &budget)
+            .expect("the winner must release the stalled member");
+        assert_eq!(out.winner, "greedy", "rep {rep}");
+        assert_eq!(
+            out.report[0].status,
+            MemberStatus::Cancelled,
+            "rep {rep}: the stall must end via cancellation, got {:?}",
+            out.report[0].status
+        );
+        assert!(
+            !budget.is_exhausted(),
+            "rep {rep}: cancellation, not exhaustion, must stop the stall"
+        );
+    }
+}
+
+#[test]
+fn racing_survives_a_budget_hog() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    for rep in 0..REPS {
+        // The hog may drain the pool before or after the greedy member
+        // charges — both interleavings are legal. The invariant: either
+        // a verified feasible solution or the typed exhaustion error.
+        let budget = Budget::with_ticks(100_000);
+        match faulty_racing_chain(FaultMode::ExhaustBudget).solve_racing(&p, &budget) {
+            Ok(out) => {
+                assert!(out.solution.is_feasible(&p), "rep {rep}");
+                assert!((out.cost - out.solution.side_effect(&p)).abs() < 1e-12);
+            }
+            Err(e) => assert!(
+                matches!(e, CoreError::BudgetExhausted { .. }),
+                "rep {rep}: unexpected error {e:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_fault_mode_is_survivable_under_racing() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    for mode in [
+        FaultMode::None,
+        FaultMode::Panic,
+        FaultMode::Stall,
+        FaultMode::ExhaustBudget,
+        FaultMode::Infeasible,
+        FaultMode::Corrupt,
+        FaultMode::TypedError,
+    ] {
+        let budget = Budget::with_ticks(100_000_000);
+        match faulty_racing_chain(mode).solve_racing(&p, &budget) {
+            Ok(out) => {
+                assert!(out.solution.is_feasible(&p), "{mode:?}");
+                assert!((out.cost - out.solution.side_effect(&p)).abs() < 1e-12);
+            }
+            Err(e) => assert!(
+                matches!(e, CoreError::BudgetExhausted { .. }),
+                "{mode:?} gave unexpected error {e:?}"
+            ),
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Accounting under contention.
+// -------------------------------------------------------------------
+
+#[test]
+fn racing_pool_ticks_account_for_the_whole_field() {
+    let p = chain_problem(8, 3, &[1, 4, 6]);
+    let budget = Budget::unlimited();
+    let out = Portfolio::standard().solve_racing(&p, &budget).unwrap();
+    let member_total: u64 = out.report.iter().map(|r| r.ticks).sum();
+    // Every pool tick is either the compile charge or some member's own
+    // metered work: nothing is double-counted or lost.
+    assert_eq!(out.compile_ticks + member_total, budget.used());
+    for r in &out.report {
+        assert!(
+            r.pool_ticks >= r.ticks || r.ticks == 0,
+            "{}: pool window {} cannot be smaller than own meter {}",
+            r.name,
+            r.pool_ticks,
+            r.ticks
+        );
+    }
+}
+
+#[test]
+fn racing_on_a_drained_budget_is_a_typed_error() {
+    let p = chain_problem(6, 3, &[1, 3]);
+    let budget = Budget::with_ticks(0);
+    let err = Portfolio::standard().solve_racing(&p, &budget).unwrap_err();
+    assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+}
