@@ -1,0 +1,269 @@
+//! The CI bench gate: compare fresh `artifacts/BENCH_*.json` against the
+//! committed `baselines/` copies and fail on regression.
+//!
+//! ```text
+//! cargo run -p delprop-bench --bin check                    # gate
+//! cargo run -p delprop-bench --bin check -- --write-baseline # re-baseline
+//! cargo run -p delprop-bench --bin check -- --tolerance-pct 50
+//! ```
+//!
+//! Per-field policy (documented in CONTRIBUTING.md):
+//!
+//! - **skipped** — racing outcomes that legitimately vary with thread
+//!   timing: `winner`, `members_cancelled`, `members_run`, `reps`;
+//! - **wall clock** (`*_micros`, `*_secs`) — regression-only relative
+//!   tolerance, default ±30% (`BENCH_GATE_TOLERANCE_PCT` or
+//!   `--tolerance-pct` override): fresh may be *slower* by at most that
+//!   much; getting faster never fails;
+//! - **`speedup`** — same tolerance, opposite direction (fresh may be
+//!   lower by at most 30%);
+//! - **`*_overhead_pct`** — absolute points, default +5
+//!   (`BENCH_GATE_PCT_POINTS`): fresh may exceed baseline by at most
+//!   that many percentage points;
+//! - **everything else** (costs, instance measures, compile counts,
+//!   `trace_events`) — hard equality; these are deterministic, and a
+//!   change means solver behavior changed.
+
+use delprop_bench::json::{self, Json};
+use std::path::{Path, PathBuf};
+
+/// The artifacts the gate diffs. `harness --smoke` regenerates exactly
+/// these (see `experiments::smoke_ids`).
+const GATED: &[&str] = &["BENCH_parallel.json", "BENCH_obs.json"];
+
+const SKIP: &[&str] = &["winner", "members_cancelled", "members_run", "reps"];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Class {
+    Skip,
+    /// Higher fresh value is a regression (wall clock).
+    SlowerIsWorse,
+    /// Lower fresh value is a regression (speedup).
+    LowerIsWorse,
+    /// Absolute percentage-point ceiling (overhead percentages).
+    PctPoints,
+    Exact,
+}
+
+fn classify(key: &str) -> Class {
+    if SKIP.contains(&key) {
+        Class::Skip
+    } else if key.ends_with("_overhead_pct") {
+        Class::PctPoints
+    } else if key.ends_with("_micros") || key.ends_with("_secs") {
+        Class::SlowerIsWorse
+    } else if key == "speedup" {
+        Class::LowerIsWorse
+    } else {
+        Class::Exact
+    }
+}
+
+struct Gate {
+    tolerance_pct: f64,
+    pct_points: f64,
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn fail(&mut self, file: &str, row: usize, key: &str, msg: String) {
+        self.failures.push(format!("{file} row {row} {key}: {msg}"));
+    }
+
+    fn compare_rows(&mut self, file: &str, row: usize, base: &Json, fresh: &Json) {
+        let base_keys = base.keys();
+        let fresh_keys = fresh.keys();
+        if base_keys != fresh_keys {
+            self.fail(
+                file,
+                row,
+                "(schema)",
+                format!("field sets differ: baseline {base_keys:?} vs fresh {fresh_keys:?}"),
+            );
+            return;
+        }
+        for key in base_keys {
+            let (b, f) = (base.get(key).unwrap(), fresh.get(key).unwrap());
+            match classify(key) {
+                Class::Skip => {}
+                Class::Exact => {
+                    if b != f {
+                        self.fail(
+                            file,
+                            row,
+                            key,
+                            format!(
+                                "expected {}, got {} (deterministic field: hard equality)",
+                                b.render().trim(),
+                                f.render().trim()
+                            ),
+                        );
+                    }
+                }
+                class => {
+                    let (Some(bv), Some(fv)) = (b.as_num(), f.as_num()) else {
+                        self.fail(file, row, key, format!("not numeric: {b:?} vs {f:?}"));
+                        continue;
+                    };
+                    let tol = self.tolerance_pct / 100.0;
+                    match class {
+                        Class::SlowerIsWorse if bv > 1e-9 && fv > bv * (1.0 + tol) => {
+                            self.fail(
+                                file,
+                                row,
+                                key,
+                                format!(
+                                    "{fv} is {:+.1}% vs baseline {bv} (allowed +{:.0}%)",
+                                    (fv / bv - 1.0) * 100.0,
+                                    self.tolerance_pct
+                                ),
+                            );
+                        }
+                        Class::LowerIsWorse if bv > 1e-9 && fv < bv * (1.0 - tol) => {
+                            self.fail(
+                                file,
+                                row,
+                                key,
+                                format!(
+                                    "{fv} is {:+.1}% vs baseline {bv} (allowed -{:.0}%)",
+                                    (fv / bv - 1.0) * 100.0,
+                                    self.tolerance_pct
+                                ),
+                            );
+                        }
+                        Class::PctPoints if fv > bv + self.pct_points => {
+                            self.fail(
+                                file,
+                                row,
+                                key,
+                                format!(
+                                    "{fv} exceeds baseline {bv} by more than {} points",
+                                    self.pct_points
+                                ),
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn compare_files(&mut self, name: &str, base_path: &Path, fresh_path: &Path) {
+        let load = |path: &Path| -> Result<Vec<Json>, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            match json::parse(&text)? {
+                Json::Arr(rows) => Ok(rows),
+                other => Err(format!(
+                    "{}: expected an array, got {other:?}",
+                    path.display()
+                )),
+            }
+        };
+        let base = match load(base_path) {
+            Ok(rows) => rows,
+            Err(e) => return self.failures.push(e),
+        };
+        let fresh = match load(fresh_path) {
+            Ok(rows) => rows,
+            Err(e) => return self.failures.push(e),
+        };
+        if base.len() != fresh.len() {
+            self.failures.push(format!(
+                "{name}: row count differs: baseline {} vs fresh {}",
+                base.len(),
+                fresh.len()
+            ));
+            return;
+        }
+        for (i, (b, f)) in base.iter().zip(&fresh).enumerate() {
+            self.compare_rows(name, i, b, f);
+        }
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifacts = PathBuf::from("artifacts");
+    let mut baselines = PathBuf::from("baselines");
+    let mut tolerance_pct = env_f64("BENCH_GATE_TOLERANCE_PCT", 30.0);
+    let pct_points = env_f64("BENCH_GATE_PCT_POINTS", 5.0);
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--artifacts" => artifacts = it.next().expect("--artifacts DIR").into(),
+            "--baselines" => baselines = it.next().expect("--baselines DIR").into(),
+            "--tolerance-pct" => {
+                tolerance_pct = it
+                    .next()
+                    .expect("--tolerance-pct N")
+                    .parse()
+                    .expect("tolerance must be a number")
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: check [--write-baseline] \
+                     [--artifacts DIR] [--baselines DIR] [--tolerance-pct N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if write_baseline {
+        std::fs::create_dir_all(&baselines).expect("create baselines dir");
+        for name in GATED {
+            let from = artifacts.join(name);
+            let to = baselines.join(name);
+            match std::fs::copy(&from, &to) {
+                Ok(_) => println!("baselined {} -> {}", from.display(), to.display()),
+                Err(e) => {
+                    eprintln!(
+                        "cannot baseline {}: {e} (run `harness --smoke` first)",
+                        from.display()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        return;
+    }
+
+    let mut gate = Gate {
+        tolerance_pct,
+        pct_points,
+        failures: Vec::new(),
+    };
+    for name in GATED {
+        gate.compare_files(name, &baselines.join(name), &artifacts.join(name));
+    }
+    if gate.failures.is_empty() {
+        println!(
+            "bench gate OK: {} files within ±{tolerance_pct}% wall clock, \
+             +{pct_points} overhead points, exact costs",
+            GATED.len()
+        );
+    } else {
+        eprintln!("bench gate FAILED ({} problem(s)):", gate.failures.len());
+        for f in &gate.failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "\nIf the change is intentional, regenerate baselines with\n  \
+             cargo run -p delprop-bench --bin harness --release -- --smoke\n  \
+             cargo run -p delprop-bench --bin check -- --write-baseline\n\
+             and commit the updated baselines/ files (see CONTRIBUTING.md)."
+        );
+        std::process::exit(1);
+    }
+}

@@ -4,19 +4,30 @@
 //! ```text
 //! cargo run -p delprop-bench --bin harness              # run everything
 //! cargo run -p delprop-bench --bin harness -- ex-t3     # one experiment
+//! cargo run -p delprop-bench --bin harness -- --smoke   # bench-gate set
 //! cargo run -p delprop-bench --bin harness -- --list    # list ids
 //! ```
 
 use delprop_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let all = experiments::all();
     if args.iter().any(|a| a == "--list") {
         for (id, _) in &all {
             println!("{id}");
         }
         return;
+    }
+    // --smoke: the baseline-gated experiments (plus any ids given
+    // explicitly alongside it).
+    if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        for id in experiments::smoke_ids() {
+            if !args.iter().any(|a| a == id) {
+                args.push(id.to_string());
+            }
+        }
     }
     let selected: Vec<&(&str, delprop_bench::experiments::Runner)> = if args.is_empty() {
         all.iter().collect()

@@ -1,6 +1,7 @@
 //! The experiment suite: one function per table/figure of
 //! `EXPERIMENTS.md`. Everything is seeded and deterministic.
 
+use crate::json::{self, Json};
 use crate::{ratio, table};
 use delprop_core::solvers::{dp_tree, exact, general, lowdeg_tree, lp_round, primal_dual};
 use delprop_core::{classify, landscape};
@@ -647,19 +648,18 @@ pub fn ex_ir() -> String {
             ran.to_string(),
             format!("{:.3} ms", rebuild * 1e3),
         ]);
-        json_rows.push(format!(
-            "  {{\"chains\": {chains}, \"norm_v\": {}, \"norm_delta\": {}, \"compile_micros\": {:.1}, \"portfolio_micros\": {:.1}, \"compiles_per_portfolio_solve\": {compiles}, \"members_run\": {ran}, \"rebuild_per_member_micros\": {:.1}}}",
-            fresh.norm_v(),
-            fresh.norm_delta(),
-            compile * 1e6,
-            solve * 1e6,
-            rebuild * 1e6,
-        ));
+        json_rows.push(Json::obj(vec![
+            ("chains", Json::uint(chains as u64)),
+            ("norm_v", Json::uint(fresh.norm_v() as u64)),
+            ("norm_delta", Json::uint(fresh.norm_delta() as u64)),
+            ("compile_micros", Json::rounded(compile * 1e6, 1)),
+            ("portfolio_micros", Json::rounded(solve * 1e6, 1)),
+            ("compiles_per_portfolio_solve", Json::uint(compiles)),
+            ("members_run", Json::uint(ran as u64)),
+            ("rebuild_per_member_micros", Json::rounded(rebuild * 1e6, 1)),
+        ]));
     }
-    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
-    let written = std::fs::create_dir_all("artifacts")
-        .and_then(|()| std::fs::write("artifacts/BENCH_ir.json", &json))
-        .map(|()| "artifacts/BENCH_ir.json".to_string())
+    let written = json::write_artifact("artifacts/BENCH_ir.json", &Json::Arr(json_rows))
         .unwrap_or_else(|e| format!("(not written: {e})"));
     format!(
         "EX-IR: compiled-instance IR — one compile per portfolio solve\n         (generation + compile measured on fresh instances each round;\n         raw JSON: {written})\n\n{}",
@@ -1205,23 +1205,26 @@ pub fn ex_par() -> String {
             winner.to_string(),
             cancelled.to_string(),
         ]);
-        json_rows.push(format!(
-            "  {{\"chains\": {chains}, \"norm_v\": {}, \"norm_delta\": {}, \"sequential_micros\": {:.1}, \"racing_micros\": {:.1}, \"speedup\": {speedup:.3}, \"sequential_cost\": {seq_cost}, \"racing_cost\": {par_cost}, \"winner\": \"{winner}\", \"members_cancelled\": {cancelled}, \"reps\": {REPS}}}",
-            p.norm_v(),
-            p.norm_delta(),
-            seq_secs * 1e6,
-            par_secs * 1e6,
-        ));
+        json_rows.push(Json::obj(vec![
+            ("chains", Json::uint(chains as u64)),
+            ("norm_v", Json::uint(p.norm_v() as u64)),
+            ("norm_delta", Json::uint(p.norm_delta() as u64)),
+            ("sequential_micros", Json::rounded(seq_secs * 1e6, 1)),
+            ("racing_micros", Json::rounded(par_secs * 1e6, 1)),
+            ("speedup", Json::rounded(speedup, 3)),
+            ("sequential_cost", Json::Num(seq_cost)),
+            ("racing_cost", Json::Num(par_cost)),
+            ("winner", Json::str(winner)),
+            ("members_cancelled", Json::uint(cancelled as u64)),
+            ("reps", Json::uint(REPS as u64)),
+        ]));
     }
     assert!(
         best_speedup >= 1.5,
         "racing must beat sequential solve_best by at least 1.5x somewhere \
          on the sweep (best observed: {best_speedup:.2}x)"
     );
-    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
-    let written = std::fs::create_dir_all("artifacts")
-        .and_then(|()| std::fs::write("artifacts/BENCH_parallel.json", &json))
-        .map(|()| "artifacts/BENCH_parallel.json".to_string())
+    let written = json::write_artifact("artifacts/BENCH_parallel.json", &Json::Arr(json_rows))
         .unwrap_or_else(|e| format!("(not written: {e})"));
     format!(
         "EX-PAR: racing portfolio — solve_racing vs sequential solve_best\n         (min of {REPS} reps each; both paths verified; raw JSON: {written})\n\n{}",
@@ -1234,6 +1237,137 @@ pub fn ex_par() -> String {
                 "speedup",
                 "winner",
                 "cancelled"
+            ],
+            &rows
+        )
+    )
+}
+
+/// EX-OBS — tracing overhead: the EX-P1 forest sweep solved with no
+/// sink, the no-op sink, and the ring-buffer sink. The <3% overhead
+/// claim of DESIGN.md §10 is asserted here; raw measurements land in
+/// `artifacts/BENCH_obs.json` and one full trace in
+/// `artifacts/TRACE_obs.jsonl`.
+pub fn ex_obs() -> String {
+    use delprop_core::runtime::{trace, Budget, NoopSink, Portfolio, RingBufferSink, TraceSink};
+    use std::sync::Arc;
+
+    const REPS: usize = 5;
+    // Overhead as a fraction of per-solve work is what matters, and on
+    // sub-millisecond solves scheduler noise dominates any signal, so the
+    // assertion only samples the largest instance of the sweep.
+    const ASSERT_CHAINS: usize = 256;
+    let chain = Portfolio::standard();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut trace_path = String::from("(no trace written)");
+    for chains in [64usize, 128, 256] {
+        let p = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains,
+                delete_fraction: 0.2,
+                weighted: false,
+            },
+            7,
+        );
+        // Warm the IR cache: compile time is EX-IR's subject, not ours.
+        let _ = p.compiled();
+
+        // Min-of-REPS wall clock for one sink mode; also returns the
+        // cost, which must not depend on the sink.
+        let time_mode = |mk: &dyn Fn() -> Budget| -> (f64, f64) {
+            let mut best = f64::INFINITY;
+            let mut cost = 0.0;
+            for _ in 0..REPS {
+                let b = mk();
+                let t = Instant::now();
+                let out = chain.solve_best(&p, &b).unwrap();
+                best = best.min(t.elapsed().as_secs_f64());
+                assert!(out.solution.is_feasible(&p));
+                cost = out.cost;
+            }
+            (best, cost)
+        };
+
+        let (base_secs, base_cost) = time_mode(&Budget::unlimited);
+        let noop: Arc<dyn TraceSink> = Arc::new(NoopSink);
+        let (noop_secs, noop_cost) =
+            time_mode(&|| Budget::unlimited().with_sink(Arc::clone(&noop)));
+        let ring = Arc::new(RingBufferSink::with_capacity(1 << 16));
+        let ring_sink: Arc<dyn TraceSink> = Arc::clone(&ring) as Arc<dyn TraceSink>;
+        let (ring_secs, ring_cost) =
+            time_mode(&|| Budget::unlimited().with_sink(Arc::clone(&ring_sink)));
+
+        assert_eq!(base_cost, noop_cost, "no-op sink changed the cost");
+        assert_eq!(base_cost, ring_cost, "ring sink changed the cost");
+
+        // One final traced run so the dumped trace covers exactly one
+        // solve_best (the timing loops above already lapped the ring).
+        let fresh_ring = Arc::new(RingBufferSink::with_capacity(1 << 16));
+        let b = Budget::unlimited().with_sink(Arc::clone(&fresh_ring) as Arc<dyn TraceSink>);
+        let _ = chain.solve_best(&p, &b).unwrap();
+        let events = fresh_ring.recorded();
+        if chains == ASSERT_CHAINS {
+            trace_path = trace::dump_jsonl("artifacts/TRACE_obs.jsonl", &fresh_ring.snapshot())
+                .map(|()| "artifacts/TRACE_obs.jsonl".to_string())
+                .unwrap_or_else(|e| format!("(not written: {e})"));
+        }
+
+        let noop_overhead = (noop_secs / base_secs - 1.0) * 100.0;
+        let ring_overhead = (ring_secs / base_secs - 1.0) * 100.0;
+        if chains == ASSERT_CHAINS {
+            assert!(
+                ring_overhead < 3.0,
+                "ring-buffer tracing overhead {ring_overhead:.2}% >= 3% \
+                 on the {chains}-chain instance (base {base_secs:.6}s, ring {ring_secs:.6}s)"
+            );
+            assert!(
+                noop_overhead < 3.0,
+                "no-op tracing overhead {noop_overhead:.2}% >= 3% \
+                 on the {chains}-chain instance (base {base_secs:.6}s, noop {noop_secs:.6}s)"
+            );
+        }
+
+        rows.push(vec![
+            chains.to_string(),
+            p.norm_v().to_string(),
+            format!("{:.3} ms", base_secs * 1e3),
+            format!("{:.3} ms", noop_secs * 1e3),
+            format!("{:.3} ms", ring_secs * 1e3),
+            format!("{noop_overhead:+.2}%"),
+            format!("{ring_overhead:+.2}%"),
+            events.to_string(),
+        ]);
+        json_rows.push(Json::obj(vec![
+            ("chains", Json::uint(chains as u64)),
+            ("norm_v", Json::uint(p.norm_v() as u64)),
+            ("norm_delta", Json::uint(p.norm_delta() as u64)),
+            ("cost", Json::Num(base_cost)),
+            ("base_micros", Json::rounded(base_secs * 1e6, 1)),
+            ("noop_micros", Json::rounded(noop_secs * 1e6, 1)),
+            ("ring_micros", Json::rounded(ring_secs * 1e6, 1)),
+            ("noop_overhead_pct", Json::rounded(noop_overhead, 2)),
+            ("ring_overhead_pct", Json::rounded(ring_overhead, 2)),
+            ("trace_events", Json::uint(events)),
+            ("reps", Json::uint(REPS as u64)),
+        ]));
+    }
+    let written = json::write_artifact("artifacts/BENCH_obs.json", &Json::Arr(json_rows))
+        .unwrap_or_else(|e| format!("(not written: {e})"));
+    format!(
+        "EX-OBS: tracing overhead — solve_best with no sink / NoopSink / RingBufferSink\n         (min of {REPS} reps each; costs must coincide across modes;\n         raw JSON: {written}; trace: {trace_path})\n\n{}",
+        table(
+            &[
+                "chains",
+                "\u{2016}V\u{2016}",
+                "no sink",
+                "noop",
+                "ring",
+                "noop ovh",
+                "ring ovh",
+                "events"
             ],
             &rows
         )
@@ -1266,7 +1400,14 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ex-bal", ex_bal),
         ("ex-port", ex_port),
         ("ex-par", ex_par),
+        ("ex-obs", ex_obs),
     ]
+}
+
+/// The experiments the CI bench gate runs (`harness --smoke`): the two
+/// whose artifacts are diffed against `baselines/`.
+pub fn smoke_ids() -> &'static [&'static str] {
+    &["ex-par", "ex-obs"]
 }
 
 #[cfg(test)]

@@ -1,0 +1,463 @@
+//! Minimal zero-dependency JSON: a value type with **sorted-key**
+//! rendering, a parser, and an artifact writer that refuses
+//! nondeterministic output.
+//!
+//! Bench artifacts (`artifacts/BENCH_*.json`) are diffed by the CI
+//! bench gate, so their byte layout must be a pure function of the
+//! measured values: object keys render in sorted order, numbers render
+//! in Rust's shortest-round-trip form (so parsing a rendered file
+//! recovers bit-identical values), and [`write_artifact`] rejects any
+//! object with duplicate keys — the one way a caller could smuggle
+//! order-dependence past the sort.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers included; i64 up to 2^53 round-trips).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as insertion-ordered pairs; **rendering sorts keys**.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An integer value.
+    pub fn int(v: i64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// An unsigned integer value.
+    pub fn uint(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// A float rounded to `decimals` places — keeps artifacts readable
+    /// without hurting determinism (rounding is itself deterministic).
+    pub fn rounded(v: f64, decimals: u32) -> Json {
+        let scale = 10f64.powi(decimals as i32);
+        Json::Num((v * scale).round() / scale)
+    }
+
+    /// A string value.
+    pub fn str<S: Into<String>>(v: S) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object keys in sorted order (empty for non-objects).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(pairs) => {
+                let mut keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                keys.sort_unstable();
+                keys
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Render with sorted object keys. Top-level arrays of objects get
+    /// one row per line (the layout the bench gate diffs); everything
+    /// else is compact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Json::Arr(rows) if rows.iter().all(|r| matches!(r, Json::Obj(_))) => {
+                out.push_str("[\n");
+                for (i, row) in rows.iter().enumerate() {
+                    out.push_str("  ");
+                    render_value(row, &mut out);
+                    if i + 1 < rows.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push(']');
+            }
+            other => render_value(other, &mut out),
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Depth-first check for duplicate keys inside any object. Returns
+    /// the first offending key.
+    fn find_duplicate_key(&self) -> Option<&str> {
+        match self {
+            Json::Obj(pairs) => {
+                let mut keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                keys.sort_unstable();
+                for w in keys.windows(2) {
+                    if w[0] == w[1] {
+                        return Some(w[0]);
+                    }
+                }
+                pairs.iter().find_map(|(_, v)| v.find_duplicate_key())
+            }
+            Json::Arr(items) => items.iter().find_map(|v| v.find_duplicate_key()),
+            _ => None,
+        }
+    }
+}
+
+fn render_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Num(n) => render_num(*n, out),
+        Json::Str(s) => render_str(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            let mut sorted: Vec<&(String, Json)> = pairs.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            out.push('{');
+            for (i, (k, val)) in sorted.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_str(k, out);
+                out.push_str(": ");
+                render_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; an artifact containing one is a bug we
+        // want visible, not silently nulled.
+        let _ = write!(out, "\"{n}\"");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Rust's shortest-round-trip float formatting: deterministic,
+        // and parsing the text recovers the identical f64.
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render `json` (sorted keys) and write it to `path`, creating parent
+/// directories. Refuses objects with duplicate keys — the only way the
+/// sorted rendering could become order-dependent.
+pub fn write_artifact<P: AsRef<Path>>(path: P, json: &Json) -> io::Result<String> {
+    if let Some(key) = json.find_duplicate_key() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("refusing nondeterministic artifact: duplicate key {key:?}"),
+        ));
+    }
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, json.render())?;
+    Ok(path.display().to_string())
+}
+
+/// Parse a JSON document. Accepts exactly what [`Json::render`] emits
+/// plus ordinary whitespace variations — enough for the bench gate to
+/// read baselines, not a general-purpose validator.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole char.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unexpected end in string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_keys_regardless_of_insertion_order() {
+        let a = Json::obj(vec![
+            ("zebra", Json::int(1)),
+            ("alpha", Json::int(2)),
+            ("mid", Json::str("x")),
+        ]);
+        let b = Json::obj(vec![
+            ("mid", Json::str("x")),
+            ("alpha", Json::int(2)),
+            ("zebra", Json::int(1)),
+        ]);
+        assert_eq!(a.render(), b.render(), "key order must not leak");
+        assert_eq!(a.render(), "{\"alpha\": 2, \"mid\": \"x\", \"zebra\": 1}\n");
+    }
+
+    #[test]
+    fn array_of_objects_renders_one_row_per_line() {
+        let doc = Json::Arr(vec![
+            Json::obj(vec![("b", Json::int(1)), ("a", Json::int(2))]),
+            Json::obj(vec![("a", Json::int(3)), ("b", Json::int(4))]),
+        ]);
+        assert_eq!(
+            doc.render(),
+            "[\n  {\"a\": 2, \"b\": 1},\n  {\"a\": 3, \"b\": 4}\n]\n"
+        );
+    }
+
+    #[test]
+    fn numbers_round_trip_through_render_and_parse() {
+        for v in [0.0, 1.0, -3.5, 123456.789, 0.1, 1e-9, 9.007e15] {
+            let rendered = Json::Num(v).render();
+            let parsed = parse(rendered.trim()).unwrap();
+            assert_eq!(parsed.as_num(), Some(v), "{rendered}");
+        }
+        assert_eq!(Json::int(42).render(), "42\n");
+        assert_eq!(Json::rounded(1.23456, 2).render(), "1.23\n");
+    }
+
+    #[test]
+    fn parse_handles_objects_arrays_strings() {
+        let doc =
+            parse("[\n  {\"a\": 1, \"s\": \"x\\\"y\"},\n  {\"a\": 2.5, \"s\": \"\"}\n]").unwrap();
+        let rows = doc.as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("a").unwrap().as_num(), Some(1.0));
+        assert_eq!(rows[0].get("s"), Some(&Json::Str("x\"y".into())));
+        assert_eq!(rows[1].get("a").unwrap().as_num(), Some(2.5));
+        assert!(parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_refused_by_write_artifact() {
+        let bad = Json::Arr(vec![Json::Obj(vec![
+            ("k".to_string(), Json::int(1)),
+            ("k".to_string(), Json::int(2)),
+        ])]);
+        let dir = std::env::temp_dir().join("delprop_json_test");
+        let err = write_artifact(dir.join("bad.json"), &bad).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn written_artifact_round_trips() {
+        let doc = Json::Arr(vec![Json::obj(vec![
+            ("chains", Json::int(64)),
+            ("speedup", Json::rounded(4.56789, 3)),
+            ("winner", Json::str("dp_tree")),
+        ])]);
+        let dir = std::env::temp_dir().join("delprop_json_test");
+        let path = dir.join("ok.json");
+        let written = write_artifact(&path, &doc).unwrap();
+        let text = std::fs::read_to_string(&written).unwrap();
+        let parsed = parse(&text).unwrap();
+        let row = &parsed.as_arr().unwrap()[0];
+        assert_eq!(row.get("chains").unwrap().as_num(), Some(64.0));
+        assert_eq!(row.get("speedup").unwrap().as_num(), Some(4.568));
+        assert_eq!(row.keys(), vec!["chains", "speedup", "winner"]);
+    }
+}

@@ -6,6 +6,7 @@
 //! microbenches (in `benches/`) cover the runtime claims.
 
 pub mod experiments;
+pub mod json;
 
 /// Format a ratio or sentinel when the denominator is ~0.
 pub fn ratio(num: f64, den: f64) -> String {

@@ -27,19 +27,17 @@
 //! sharding solves across threads later.
 
 use crate::problem::Problem;
+use crate::runtime::metrics;
 use crate::solution::Solution;
 use delprop_hypergraph::{find_pivot_structure, DataDualGraph, DualHypergraph};
 use delprop_query::ViewTupleId;
 use delprop_relation::TupleId;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Global count of IR compiles, for the `EX-IR` experiment's
+/// Number of [`CompiledInstance::compile`] calls so far in this process
+/// — the `ir.compiles` metric, kept for the `EX-IR` experiment's
 /// one-compile-per-portfolio-solve assertion. Monotone, process-wide.
-static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
-
-/// Number of [`CompiledInstance::compile`] calls so far in this process.
 pub fn compile_count() -> u64 {
-    COMPILE_COUNT.load(Ordering::Relaxed)
+    metrics::IR_COMPILES.get()
 }
 
 /// The pivot-forest structure (§IV.E), flattened from
@@ -159,7 +157,8 @@ impl CompiledInstance {
     /// one data-dual-graph construction (shared by the demand ordering and
     /// the pivot certification).
     pub fn compile(problem: &Problem) -> CompiledInstance {
-        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        metrics::IR_COMPILES.inc();
+        let compile_start = std::time::Instant::now();
 
         let bases = problem.candidates();
         let base_of =
@@ -260,6 +259,7 @@ impl CompiledInstance {
             (offsets, data)
         };
 
+        metrics::IR_COMPILE_MICROS.observe(compile_start.elapsed().as_micros() as u64);
         CompiledInstance {
             l: problem.l(),
             num_queries: problem.queries().len(),

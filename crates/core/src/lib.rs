@@ -55,7 +55,7 @@ pub use error::CoreError;
 pub use ir::CompiledInstance;
 pub use problem::Problem;
 pub use runtime::{
-    solve_portfolio, solve_portfolio_balanced, solve_portfolio_racing, Budget, Guarantee,
-    Portfolio, PortfolioOutcome, Solver,
+    solve_portfolio, solve_portfolio_balanced, solve_portfolio_racing, Budget, Guarantee, NoopSink,
+    Portfolio, PortfolioOutcome, RingBufferSink, Solver, TraceEvent, TraceSink,
 };
 pub use solution::Solution;

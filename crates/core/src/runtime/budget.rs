@@ -31,25 +31,51 @@
 //! cancellation token**: [`Budget::cancel`] makes every later checkpoint
 //! on that handle fail with [`CoreError::Cancelled`], which is how a
 //! racing run tells the losing members to unwind at their next
-//! checkpoint.
+//! checkpoint ([`Budget::cancel_with_cause`] additionally records *who*
+//! requested the cancellation, so traces can name the winner).
+//!
+//! The pool can also carry a [`TraceSink`] ([`Budget::with_sink`]):
+//! every handle then reports batched tick checkpoints, spans, and
+//! events into it — tracing rides the existing budget threading, with
+//! no global state, and costs a single `Option` check when off.
 
+use super::metrics;
+use super::trace::{self, Kind, Phase, Span, TraceEvent, TraceSink};
 use crate::error::CoreError;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How many ticks may elapse between wall-clock checks. Checking
 /// `Instant::now()` at every tick would dominate tight checkpoint loops.
 const DEADLINE_CHECK_EVERY: u64 = 1024;
 
+/// Granularity of per-handle tick trace events and of the
+/// `budget.ticks` metric: one batched record per this many local ticks.
+const TRACE_TICK_BATCH: u64 = 1024;
+
 /// The shared pool behind one or more [`Budget`] handles.
-#[derive(Debug)]
 struct Pool {
     used: AtomicU64,
     limit: Option<u64>,
     deadline: Option<Instant>,
     next_deadline_check: AtomicU64,
     exhausted: AtomicBool,
+    /// Optional trace sink shared by every handle on this pool.
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("used", &self.used.load(Ordering::Relaxed))
+            .field("limit", &self.limit)
+            .field("deadline", &self.deadline)
+            .field("exhausted", &self.exhausted.load(Ordering::Relaxed))
+            .field("traced", &self.sink.is_some())
+            .finish()
+    }
 }
 
 /// A cooperative work budget (tick counter + optional deadline).
@@ -66,6 +92,13 @@ pub struct Budget {
     /// Cooperative cancellation token, per handle: set by
     /// [`Budget::cancel`], observed by every later [`Budget::charge`].
     cancelled: AtomicBool,
+    /// Trace attribution for events recorded through this handle; set
+    /// by [`Budget::share_labeled`] (the racing portfolio labels each
+    /// member's handle with the member name).
+    label: &'static str,
+    /// Who asked for the cancellation (the winning member's name on the
+    /// racing path); set at most once by [`Budget::cancel_with_cause`].
+    cancel_cause: OnceLock<&'static str>,
 }
 
 impl Budget {
@@ -74,6 +107,8 @@ impl Budget {
             pool: Arc::new(pool),
             local_used: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
+            label: "",
+            cancel_cause: OnceLock::new(),
         }
     }
 
@@ -85,6 +120,7 @@ impl Budget {
             deadline: None,
             next_deadline_check: AtomicU64::new(0),
             exhausted: AtomicBool::new(false),
+            sink: None,
         })
     }
 
@@ -96,6 +132,7 @@ impl Budget {
             deadline: None,
             next_deadline_check: AtomicU64::new(0),
             exhausted: AtomicBool::new(false),
+            sink: None,
         })
     }
 
@@ -111,15 +148,38 @@ impl Budget {
         self
     }
 
+    /// Attach a [`TraceSink`] to the pool: every handle (this one and
+    /// all later [`Budget::share`]s) records batched tick checkpoints,
+    /// spans, and events into it.
+    ///
+    /// Call this before [`Budget::share`]: it requires sole ownership of
+    /// the pool and panics if other handles already exist.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        let pool = Arc::get_mut(&mut self.pool)
+            .expect("Budget::with_sink must be called before Budget::share");
+        pool.sink = Some(sink);
+        self
+    }
+
     /// Another handle on the **same** pool: charges through either
     /// handle draw down one shared tick limit. The new handle starts
-    /// with a fresh local meter ([`Budget::own_used`] of 0) and its own,
-    /// un-set cancellation token.
+    /// with a fresh local meter ([`Budget::own_used`] of 0), its own,
+    /// un-set cancellation token, and the parent's trace label.
     pub fn share(&self) -> Budget {
+        self.share_labeled(self.label)
+    }
+
+    /// [`Budget::share`] with a trace attribution label: events recorded
+    /// through the new handle carry `label` as their member name. The
+    /// racing portfolio labels each member's handle this way so span
+    /// trees separate cleanly per member.
+    pub fn share_labeled(&self, label: &'static str) -> Budget {
         Budget {
             pool: Arc::clone(&self.pool),
             local_used: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
+            label,
+            cancel_cause: OnceLock::new(),
         }
     }
 
@@ -152,12 +212,28 @@ impl Budget {
     /// fails with [`CoreError::Cancelled`]. Other handles on the same
     /// pool are unaffected — this is per-member, not pool-wide.
     pub fn cancel(&self) {
-        self.cancelled.store(true, Ordering::Release);
+        if !self.cancelled.swap(true, Ordering::AcqRel) {
+            metrics::CANCELLATIONS.inc();
+        }
+    }
+
+    /// [`Budget::cancel`] plus attribution: records `cause` (the
+    /// cancelling member's name, on the racing path) so the unwinding
+    /// side can report *why* it was stopped. The first cause sticks;
+    /// later calls only cancel.
+    pub fn cancel_with_cause(&self, cause: &'static str) {
+        let _ = self.cancel_cause.set(cause);
+        self.cancel();
     }
 
     /// Whether [`Budget::cancel`] has been called on this handle.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The cause recorded by [`Budget::cancel_with_cause`], if any.
+    pub fn cancel_cause(&self) -> Option<&'static str> {
+        self.cancel_cause.get().copied()
     }
 
     /// Charge `n` work ticks. Fails with [`CoreError::BudgetExhausted`]
@@ -187,11 +263,21 @@ impl Budget {
         let used = match admit {
             Ok(prev) => prev.saturating_add(n),
             Err(_) => {
-                pool.exhausted.store(true, Ordering::Release);
+                self.mark_exhausted();
                 return Err(self.error());
             }
         };
-        self.local_used.fetch_add(n, Ordering::Relaxed);
+        let local_prev = self.local_used.fetch_add(n, Ordering::Relaxed);
+        if pool.sink.is_some()
+            && local_prev / TRACE_TICK_BATCH != (local_prev + n) / TRACE_TICK_BATCH
+        {
+            // Batched checkpoint record: one event per TRACE_TICK_BATCH
+            // local ticks, carrying the cumulative local count — cheap
+            // enough for pivot/node-expansion loops, dense enough to see
+            // where a member's ticks went.
+            metrics::BUDGET_TICKS.add(TRACE_TICK_BATCH);
+            self.trace(Phase::Budget, Kind::Count, "", local_prev + n);
+        }
         if let Some(deadline) = pool.deadline {
             if used >= pool.next_deadline_check.load(Ordering::Relaxed) {
                 pool.next_deadline_check
@@ -202,12 +288,21 @@ impl Budget {
                     // actually ran (0 at the first checkpoint).
                     pool.used.fetch_sub(n, Ordering::Relaxed);
                     self.local_used.fetch_sub(n, Ordering::Relaxed);
-                    pool.exhausted.store(true, Ordering::Release);
+                    self.mark_exhausted();
                     return Err(self.error());
                 }
             }
         }
         Ok(())
+    }
+
+    /// Flip the sticky exhaustion flag, counting and tracing the first
+    /// transition only.
+    fn mark_exhausted(&self) {
+        if !self.pool.exhausted.swap(true, Ordering::AcqRel) {
+            metrics::BUDGET_EXHAUSTIONS.inc();
+            self.trace(Phase::Budget, Kind::Event, "exhausted", self.used());
+        }
     }
 
     /// Charge a single tick — the common checkpoint call.
@@ -233,6 +328,69 @@ impl Budget {
     /// cancelled.
     pub fn ticker(&self) -> impl FnMut(u64) -> bool + '_ {
         move |n| self.charge(n).is_ok()
+    }
+
+    // --- Tracing ---------------------------------------------------------
+
+    /// Whether a [`TraceSink`] is attached to this handle's pool.
+    pub fn has_sink(&self) -> bool {
+        self.pool.sink.is_some()
+    }
+
+    /// This handle's trace attribution label (empty unless created by
+    /// [`Budget::share_labeled`]).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Record one trace event attributed to this handle's label. A
+    /// single `Option` check — and nothing else — when no sink is
+    /// attached.
+    pub fn trace(&self, phase: Phase, kind: Kind, detail: &'static str, value: u64) {
+        self.trace_as(self.label, phase, kind, detail, value);
+    }
+
+    /// [`Budget::trace`] with an explicit member attribution (used by
+    /// spans that out-live or pre-date the labelled handle).
+    pub(crate) fn trace_as(
+        &self,
+        member: &'static str,
+        phase: Phase,
+        kind: Kind,
+        detail: &'static str,
+        value: u64,
+    ) {
+        if let Some(sink) = &self.pool.sink {
+            sink.record(TraceEvent {
+                seq: 0,
+                micros: 0,
+                thread: trace::thread_id(),
+                phase,
+                kind,
+                member: if member.is_empty() {
+                    self.label
+                } else {
+                    member
+                },
+                detail,
+                value,
+            });
+        }
+    }
+
+    /// Open a [`Span`] (start event now, end event with elapsed µs on
+    /// drop). `member` overrides the handle label when non-empty. Inert
+    /// when no sink is attached.
+    pub fn span(&self, phase: Phase, member: &'static str) -> Span<'_> {
+        Span::new(
+            self,
+            phase,
+            if member.is_empty() {
+                self.label
+            } else {
+                member
+            },
+        )
     }
 }
 
@@ -389,5 +547,78 @@ mod tests {
         });
         assert_eq!(a.used(), 40_000, "no tick lost or duplicated");
         assert!(!a.is_exhausted());
+    }
+
+    use super::super::trace::RingBufferSink;
+
+    #[test]
+    fn sink_records_batched_tick_events() {
+        let ring = Arc::new(RingBufferSink::with_capacity(64));
+        let b = Budget::with_ticks(10_000).with_sink(ring.clone());
+        for _ in 0..2_050 {
+            b.checkpoint().unwrap();
+        }
+        let ticks: Vec<_> = ring
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.phase == Phase::Budget && e.kind == Kind::Count)
+            .collect();
+        // One batched event per TRACE_TICK_BATCH crossing: at 1024, 2048.
+        assert_eq!(ticks.len(), 2);
+        assert_eq!(ticks[0].value, 1024);
+        assert_eq!(ticks[1].value, 2048);
+    }
+
+    #[test]
+    fn exhaustion_traces_once() {
+        let ring = Arc::new(RingBufferSink::with_capacity(64));
+        let b = Budget::with_ticks(5).with_sink(ring.clone());
+        assert!(b.charge(6).is_err());
+        assert!(b.charge(1).is_err());
+        let exhausted: Vec<_> = ring
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.detail == "exhausted")
+            .collect();
+        assert_eq!(exhausted.len(), 1, "sticky exhaustion traces once");
+        assert_eq!(exhausted[0].value, 0, "the refused charge never ran");
+    }
+
+    #[test]
+    fn labels_and_cancel_cause_propagate() {
+        let ring = Arc::new(RingBufferSink::with_capacity(64));
+        let root = Budget::unlimited().with_sink(ring.clone());
+        assert!(root.has_sink());
+        let h = root.share_labeled("member_a");
+        assert_eq!(h.label(), "member_a");
+        assert_eq!(h.share().label(), "member_a", "plain share inherits");
+        h.trace(Phase::Cancel, Kind::Event, "stopped", 7);
+        h.cancel_with_cause("member_b");
+        assert!(h.is_cancelled());
+        assert_eq!(h.cancel_cause(), Some("member_b"));
+        h.cancel_with_cause("member_c");
+        assert_eq!(h.cancel_cause(), Some("member_b"), "first cause sticks");
+        assert!(ring
+            .snapshot()
+            .iter()
+            .any(|e| e.member == "member_a" && e.detail == "stopped" && e.value == 7));
+    }
+
+    #[test]
+    fn spans_record_start_and_end() {
+        let ring = Arc::new(RingBufferSink::with_capacity(64));
+        let b = Budget::unlimited().with_sink(ring.clone());
+        let span = b.span(Phase::Simplex, "lp");
+        span.end_with("done");
+        // Without a sink a span is inert and must not record anywhere.
+        Budget::unlimited()
+            .span(Phase::Verify, "x")
+            .end_with("drop");
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, Kind::SpanStart);
+        assert_eq!(evs[0].member, "lp");
+        assert_eq!(evs[1].kind, Kind::SpanEnd);
+        assert_eq!(evs[1].detail, "done");
     }
 }

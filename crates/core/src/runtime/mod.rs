@@ -21,7 +21,13 @@
 //!   first-strongest-verified-wins cancellation;
 //! - [`FaultySolver`] — fault injection used by the test suite to prove
 //!   panics are contained and unverified answers never escape, on both
-//!   the sequential and the racing path.
+//!   the sequential and the racing path;
+//! - [`trace`] / [`metrics`] — zero-dependency observability
+//!   (`DESIGN.md` §10): attach a [`TraceSink`] to a budget with
+//!   [`Budget::with_sink`] and every phase (compile, member spans,
+//!   verification, budget exhaustion, racing cancellations) lands in a
+//!   lock-free ring buffer as structured events, exportable as JSONL;
+//!   process-wide counters and latency histograms are always on.
 //!
 //! ```
 //! use delprop_core::runtime::{solve_portfolio, Budget, Portfolio};
@@ -59,8 +65,10 @@
 
 mod budget;
 mod fault;
+pub mod metrics;
 mod portfolio;
 pub mod solver;
+pub mod trace;
 
 pub use budget::Budget;
 pub use fault::{FaultMode, FaultySolver};
@@ -69,3 +77,4 @@ pub use portfolio::{
     Portfolio, PortfolioOutcome,
 };
 pub use solver::{Guarantee, Solver};
+pub use trace::{NoopSink, Phase, RingBufferSink, Span, TraceEvent, TraceSink};

@@ -28,10 +28,12 @@ use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
 use super::budget::Budget;
+use super::metrics;
 use super::solver::{
     DpTreeSolver, GeneralBalancedSolver, GeneralSolver, GreedySolver, Guarantee, LowDegTreeSolver,
     LpRoundSolver, PrimalDualBalancedSolver, PrimalDualSolver, SingleQuerySolver, Solver,
 };
+use super::trace::{Kind, Phase};
 
 /// What happened to one member during a portfolio run.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,11 +251,18 @@ impl Portfolio {
         problem: &Problem,
         budget: &Budget,
     ) -> Result<(u64, u64), CoreError> {
+        let span = budget.span(Phase::Compile, "ir");
         let compile_start = Instant::now();
         let _ir = problem.compiled();
         let compile_micros = compile_start.elapsed().as_micros() as u64;
         let compile_ticks = (problem.norm_v() + problem.norm_delta()) as u64 + 1;
-        budget.charge(compile_ticks)?;
+        let charged = budget.charge(compile_ticks);
+        span.end_with(if charged.is_ok() {
+            "charged"
+        } else {
+            "budget_refused"
+        });
+        charged?;
         Ok((compile_micros, compile_ticks))
     }
 
@@ -274,13 +283,16 @@ impl Portfolio {
             let pool_before = budget.used();
             // A fresh share per member: `own_used` then meters exactly
             // what this member charged, even if callers reuse the pool.
-            let handle = budget.share();
+            let handle = budget.share_labeled(member.name());
             let status = if stop_at_first && best.is_some() {
                 MemberStatus::NotReached
             } else if !member.applies(problem) {
                 MemberStatus::Skipped
             } else {
+                metrics::MEMBERS_RUN.inc();
+                let span = handle.span(Phase::Member, member.name());
                 let (status, candidate) = self.run_member(member.as_ref(), problem, &handle);
+                span.end_with(status_label(&status));
                 if let Some((solution, cost)) = candidate {
                     if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
                         best = Some((solution, cost, member.name()));
@@ -289,15 +301,18 @@ impl Portfolio {
                 status
             };
             let ran = !matches!(status, MemberStatus::Skipped | MemberStatus::NotReached);
+            let micros = if ran {
+                let micros = started.elapsed().as_micros() as u64;
+                metrics::MEMBER_MICROS.observe(micros);
+                micros
+            } else {
+                0
+            };
             report.push(MemberReport {
                 name: member.name(),
                 guarantee,
                 status: finalize_status(status),
-                micros: if ran {
-                    started.elapsed().as_micros() as u64
-                } else {
-                    0
-                },
+                micros,
                 ticks: if ran { handle.own_used() } else { 0 },
                 pool_ticks: if ran {
                     budget.used().saturating_sub(pool_before)
@@ -341,6 +356,7 @@ impl Portfolio {
         problem: &Problem,
         budget: &Budget,
     ) -> Result<PortfolioOutcome, CoreError> {
+        metrics::RACES.inc();
         let (compile_micros, compile_ticks) = self.compile_and_charge(problem, budget)?;
 
         struct RaceSlot {
@@ -355,9 +371,15 @@ impl Portfolio {
         let guarantees: Vec<Guarantee> =
             self.members.iter().map(|m| m.guarantee(problem)).collect();
         let applicable: Vec<bool> = self.members.iter().map(|m| m.applies(problem)).collect();
-        // One share per member. The caller's own handle is never
-        // cancelled, so `budget` stays usable after the race.
-        let handles: Vec<Budget> = (0..n).map(|_| budget.share()).collect();
+        // One share per member, labelled with the member name so each
+        // thread's trace events separate into per-member span trees. The
+        // caller's own handle is never cancelled, so `budget` stays
+        // usable after the race.
+        let handles: Vec<Budget> = self
+            .members
+            .iter()
+            .map(|m| budget.share_labeled(m.name()))
+            .collect();
         let mut slots: Vec<Option<RaceSlot>> = Vec::new();
         slots.resize_with(n, || None);
 
@@ -368,20 +390,36 @@ impl Portfolio {
                 }
                 let (handles, guarantees, applicable) = (&handles, &guarantees, &applicable);
                 scope.spawn(move || {
+                    metrics::MEMBERS_RUN.inc();
                     let started = Instant::now();
                     let pool_before = handles[i].used();
+                    let span = handles[i].span(Phase::Member, member.name());
                     let (status, candidate) =
                         self.run_member(member.as_ref(), problem, &handles[i]);
+                    span.end_with(status_label(&status));
                     if candidate.is_some() && !handles[i].is_exhausted() {
                         // Dominance cancellation: a verified member
                         // releases everyone it dominates. Strictly
-                        // stronger members race on.
+                        // stronger members race on. The cause names this
+                        // member so the losers' traces can say who won.
+                        handles[i].trace(Phase::Race, Kind::Event, "verified_first", 0);
                         let mine = guarantees[i].strength();
                         for (j, h) in handles.iter().enumerate() {
                             if j != i && applicable[j] && guarantees[j].strength() >= mine {
-                                h.cancel();
+                                h.cancel_with_cause(member.name());
                             }
                         }
+                    }
+                    if matches!(
+                        status,
+                        MemberStatus::Failed {
+                            error: CoreError::Cancelled { .. }
+                        }
+                    ) {
+                        // Close this member's span tree with a Cancel
+                        // event naming the member that requested it.
+                        let cause = handles[i].cancel_cause().unwrap_or("unknown");
+                        handles[i].trace(Phase::Cancel, Kind::Event, cause, 0);
                     }
                     *slot = Some(RaceSlot {
                         status,
@@ -462,7 +500,7 @@ impl Portfolio {
             Ok(Err(error)) => return (MemberStatus::Failed { error }, None),
             Ok(Ok(solution)) => solution,
         };
-        self.verify(problem, solution)
+        self.verify(problem, solution, budget, member.name())
     }
 
     /// The verification contract: nothing is accepted on a member's word.
@@ -480,7 +518,12 @@ impl Portfolio {
         &self,
         problem: &Problem,
         solution: Solution,
+        budget: &Budget,
+        member: &'static str,
     ) -> (MemberStatus, Option<(Solution, f64)>) {
+        metrics::VERIFICATIONS.inc();
+        let span = budget.span(Phase::Verify, member);
+        let verify_start = Instant::now();
         let objective = self.objective;
         let verified = panic::catch_unwind(AssertUnwindSafe(|| {
             let feasible = match objective {
@@ -496,7 +539,8 @@ impl Portfolio {
                 Objective::Balanced => solution.balanced_cost(problem),
             })
         }));
-        match verified {
+        metrics::VERIFY_MICROS.observe(verify_start.elapsed().as_micros() as u64);
+        let result = match verified {
             Err(payload) => (
                 MemberStatus::RejectedVerification {
                     message: panic_message(payload),
@@ -511,7 +555,9 @@ impl Portfolio {
                 None,
             ),
             Ok(Some(cost)) => (MemberStatus::Verified { cost }, Some((solution, cost))),
-        }
+        };
+        span.end_with(status_label(&result.0));
+        result
     }
 
     /// No member produced a verified solution: prefer the budget error
@@ -535,6 +581,26 @@ impl Portfolio {
                     .count()
             ),
         }
+    }
+}
+
+/// Stable lowercase label for a status, used as span-end trace detail.
+fn status_label(status: &MemberStatus) -> &'static str {
+    match status {
+        MemberStatus::Skipped => "skipped",
+        MemberStatus::NotReached => "not_reached",
+        MemberStatus::Verified { .. } => "verified",
+        MemberStatus::RejectedInfeasible => "rejected_infeasible",
+        MemberStatus::RejectedVerification { .. } => "rejected_verification",
+        MemberStatus::Panicked { .. } => "panicked",
+        MemberStatus::Cancelled => "cancelled",
+        MemberStatus::Failed {
+            error: CoreError::Cancelled { .. },
+        } => "cancelled",
+        MemberStatus::Failed {
+            error: CoreError::BudgetExhausted { .. },
+        } => "budget_exhausted",
+        MemberStatus::Failed { .. } => "failed",
     }
 }
 

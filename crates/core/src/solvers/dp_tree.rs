@@ -31,11 +31,13 @@ pub fn applies(ir: &CompiledInstance) -> bool {
 
 /// Solve the standard view side-effect exactly.
 pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    crate::runtime::metrics::SOLVE_DP_TREE.inc();
     run(ir, Mode::Standard)
 }
 
 /// Solve the balanced objective exactly.
 pub fn solve_balanced(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    crate::runtime::metrics::SOLVE_DP_TREE.inc();
     run(ir, Mode::Balanced)
 }
 

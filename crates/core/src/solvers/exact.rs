@@ -4,7 +4,8 @@
 
 use crate::ir::CompiledInstance;
 use crate::reduction;
-use crate::runtime::Budget;
+use crate::runtime::trace::Phase;
+use crate::runtime::{metrics, Budget};
 use crate::solution::Solution;
 use delprop_setcover::exact::{self, ExactConfig};
 use delprop_setcover::reduce;
@@ -33,8 +34,17 @@ pub fn solve(ir: &CompiledInstance, config: ExactConfig) -> ExactOutcome {
 /// node limit: the best incumbent so far comes back with
 /// `proven_optimal == false`.
 pub fn solve_budgeted(ir: &CompiledInstance, config: ExactConfig, budget: &Budget) -> ExactOutcome {
+    metrics::SOLVE_EXACT.inc();
+    let span = budget.span(Phase::BranchBound, "exact");
+    let ticks_before = budget.own_used();
     let rb = reduction::to_redblue(ir);
     let res = exact::solve_with_ticker(&rb.instance, config, &mut budget.ticker());
+    metrics::BNB_NODE_TICKS.add(budget.own_used().saturating_sub(ticks_before));
+    span.end_with(if res.proven_optimal {
+        "proven_optimal"
+    } else {
+        "truncated"
+    });
     match res.selection {
         Some(sel) => {
             let solution = rb.map_back(&sel);
@@ -66,9 +76,18 @@ pub fn solve_balanced_budgeted(
     config: ExactConfig,
     budget: &Budget,
 ) -> ExactOutcome {
+    metrics::SOLVE_EXACT.inc();
+    let span = budget.span(Phase::BranchBound, "exact_balanced");
+    let ticks_before = budget.own_used();
     let pn = reduction::to_posneg(ir);
     let (sel, _, proven) =
         reduce::solve_posneg_exact_with_ticker(&pn.instance, config, &mut budget.ticker());
+    metrics::BNB_NODE_TICKS.add(budget.own_used().saturating_sub(ticks_before));
+    span.end_with(if proven {
+        "proven_optimal"
+    } else {
+        "truncated"
+    });
     let solution = pn.map_back(&sel);
     let cost = ir.balanced_cost_of(&solution);
     ExactOutcome {

@@ -21,6 +21,7 @@ use delprop_setcover::{lowdeg, reduce};
 /// Returns an error only if some `ΔV` tuple cannot be eliminated, which
 /// key-preservation makes impossible for well-formed problems.
 pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    crate::runtime::metrics::SOLVE_GENERAL.inc();
     let rb = reduction::to_redblue(ir);
     let sel = lowdeg::solve(&rb.instance).ok_or_else(|| CoreError::Infeasible {
         reason: "a deleted view tuple has no candidate witness".into(),
@@ -30,6 +31,7 @@ pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
 
 /// Approximate the balanced objective (Lemma 1 route).
 pub fn solve_balanced(ir: &CompiledInstance) -> Solution {
+    crate::runtime::metrics::SOLVE_GENERAL.inc();
     let pn = reduction::to_posneg(ir);
     let (sel, _) = reduce::solve_posneg_lowdeg(&pn.instance);
     pn.map_back(&sel)
@@ -56,6 +58,7 @@ pub fn balanced_ratio_bound(ir: &CompiledInstance) -> f64 {
 /// No ratio guarantee beyond greedy's; used in experiments as the
 /// strawman Claim 1's algorithm is compared against.
 pub fn solve_greedy(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    crate::runtime::metrics::SOLVE_GENERAL.inc();
     let rb = reduction::to_redblue(ir);
     let sel =
         delprop_setcover::greedy::cover(&rb.instance).ok_or_else(|| CoreError::Infeasible {

@@ -13,7 +13,8 @@
 //! the CSR evaluation helpers instead of re-materializing views.
 
 use crate::ir::CompiledInstance;
-use crate::runtime::Budget;
+use crate::runtime::trace::Phase;
+use crate::runtime::{metrics, Budget};
 use crate::solution::Solution;
 
 /// Which objective to descend on.
@@ -78,6 +79,21 @@ pub fn improve(ir: &CompiledInstance, start: &Solution, config: LocalSearchConfi
 /// reached so far — local search degrades gracefully by construction
 /// (the current solution is never worse than `start`).
 pub fn improve_budgeted(
+    ir: &CompiledInstance,
+    start: &Solution,
+    config: LocalSearchConfig,
+    budget: &Budget,
+) -> Solution {
+    metrics::SOLVE_LOCAL_SEARCH.inc();
+    let span = budget.span(Phase::LocalSearch, "local_search");
+    let ticks_before = budget.own_used();
+    let out = descend(ir, start, config, budget);
+    metrics::LOCAL_SEARCH_MOVE_TICKS.add(budget.own_used().saturating_sub(ticks_before));
+    span.end_with("done");
+    out
+}
+
+fn descend(
     ir: &CompiledInstance,
     start: &Solution,
     config: LocalSearchConfig,

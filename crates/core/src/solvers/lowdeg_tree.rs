@@ -89,6 +89,7 @@ pub fn with_threshold(ir: &CompiledInstance, tau: usize) -> TreeAttempt {
 /// the last attempt). Errors only if *every* attempt is infeasible, which
 /// cannot happen: at τ = max degree nothing is forbidden.
 pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    crate::runtime::metrics::SOLVE_LOWDEG_TREE.inc();
     let max_degree = (0..ir.num_bases() as u32)
         .map(|b| ir.red_degree(b))
         .max()

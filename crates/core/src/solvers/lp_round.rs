@@ -31,7 +31,8 @@
 
 use crate::error::CoreError;
 use crate::ir::CompiledInstance;
-use crate::runtime::Budget;
+use crate::runtime::trace::Phase;
+use crate::runtime::{metrics, Budget};
 use crate::solution::Solution;
 use delprop_lp::{Cmp, LpOutcome, LpProblem, Sense};
 
@@ -96,22 +97,29 @@ pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
 /// over); the simplex's own iteration cap still degrades to the greedy
 /// cover as before.
 pub fn solve_budgeted(ir: &CompiledInstance, budget: &Budget) -> Result<Solution, CoreError> {
+    metrics::SOLVE_LP_ROUND.inc();
     if ir.num_demands() == 0 {
         return Ok(Solution::empty());
     }
+    let span = budget.span(Phase::Simplex, "lp_round");
+    let ticks_before = budget.own_used();
     let lp = build(ir);
     let outcome = delprop_lp::solve_with_ticker(&lp, &mut budget.ticker());
+    metrics::SIMPLEX_PIVOT_TICKS.add(budget.own_used().saturating_sub(ticks_before));
     let LpOutcome::Optimal { x, .. } = outcome else {
         if budget.is_exhausted() || budget.is_cancelled() {
             // Exhausted or cancelled mid-simplex: bail with the typed
             // error rather than falling back to more (greedy) work.
+            span.end_with("budget_stopped");
             return Err(budget.error());
         }
         // The simplex iteration cap fired (degenerate relaxation): fall
         // back to the greedy cover. Feasibility is preserved; only the
         // l-certificate is lost for this instance.
+        span.end_with("iteration_cap_greedy_fallback");
         return super::general::solve_greedy(ir);
     };
+    span.end_with("optimal");
     let l = ir.l().max(1) as f64;
     let threshold = 1.0 / l - 1e-9;
     let deleted = (0..ir.num_bases() as u32)

@@ -85,6 +85,7 @@ pub fn solve(
     ir: &CompiledInstance,
     config: &PrimalDualConfig,
 ) -> Result<PrimalDualOutcome, CoreError> {
+    crate::runtime::metrics::SOLVE_PRIMAL_DUAL.inc();
     let counted = |r: u32| -> bool {
         config
             .counted

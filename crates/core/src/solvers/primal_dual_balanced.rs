@@ -42,6 +42,7 @@ pub fn solve_balanced(
     ir: &CompiledInstance,
     config: &PrimalDualConfig,
 ) -> Result<BalancedOutcome, CoreError> {
+    crate::runtime::metrics::SOLVE_PRIMAL_DUAL_BALANCED.inc();
     let counted = |r: u32| -> bool {
         config
             .counted

@@ -20,6 +20,7 @@ use crate::solution::Solution;
 
 /// Exact polynomial solver for |Q| = 1 and |ΔV| = 1.
 pub fn solve_single_deletion(ir: &CompiledInstance) -> Result<Solution, CoreError> {
+    crate::runtime::metrics::SOLVE_SINGLE_QUERY.inc();
     if ir.num_queries() != 1 {
         return Err(CoreError::StructureMismatch {
             solver: "single_query",

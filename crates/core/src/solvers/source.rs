@@ -34,6 +34,7 @@ pub fn source_cost(solution: &Solution) -> f64 {
 
 /// Exact minimum-cardinality source deletion eliminating all of `ΔV`.
 pub fn solve(ir: &CompiledInstance) -> Solution {
+    crate::runtime::metrics::SOLVE_SOURCE.inc();
     // Demands as witness rows, deduplicated: two demands with the same
     // witness set are one constraint. Rows are sorted by candidate id,
     // which follows TupleId order, so row comparison is well defined.
@@ -86,6 +87,7 @@ fn search(
 /// Greedy hitting set: repeatedly delete the base tuple hitting the most
 /// not-yet-hit demands (ratio `H(‖ΔV‖)`).
 pub fn solve_greedy(ir: &CompiledInstance) -> Solution {
+    crate::runtime::metrics::SOLVE_SOURCE.inc();
     let nd = ir.num_demands();
     let mut hit = vec![false; nd];
     let mut hit_count = 0usize;

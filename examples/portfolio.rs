@@ -9,10 +9,13 @@
 //! Run with: `cargo run --example portfolio`
 
 use delprop::core::runtime::solver::{ExactSolver, GreedySolver};
+use delprop::core::runtime::{metrics, trace};
 use delprop::core::solvers::local_search::Objective;
+use delprop::core::{RingBufferSink, TraceSink};
 use delprop::prelude::*;
 use delprop::workload::forest::{self, ForestParams};
 use delprop::workload::random_db::{self, RandomDbParams};
+use std::sync::Arc;
 
 fn main() {
     let p = forest::generate(
@@ -104,4 +107,30 @@ fn main() {
         .unwrap();
     println!("racing the whole chain:\n{raced}");
     assert!(raced.solution.is_feasible(&p));
+
+    // ------------------------------------------------------------------
+    // 5. Tracing: attach a ring-buffer sink to the budget before sharing
+    //    and every phase — compile, member spans, verification, racing
+    //    cancellations — lands in the ring as structured events, which
+    //    dump to JSONL for offline inspection.
+    // ------------------------------------------------------------------
+    let ring = Arc::new(RingBufferSink::with_capacity(1 << 14));
+    let budget = Budget::unlimited().with_sink(Arc::clone(&ring) as Arc<dyn TraceSink>);
+    let traced = Portfolio::standard().solve_racing(&p, &budget).unwrap();
+    let events = ring.snapshot();
+    println!(
+        "traced racing run: winner {}, {} events captured ({} recorded, {} dropped)",
+        traced.winner,
+        events.len(),
+        ring.recorded(),
+        ring.dropped()
+    );
+    match trace::dump_jsonl("artifacts/TRACE_portfolio.jsonl", &events) {
+        Ok(()) => println!("trace dumped to artifacts/TRACE_portfolio.jsonl"),
+        Err(e) => println!("trace not written: {e}"),
+    }
+    println!(
+        "\nprocess-wide metrics after all of the above:\n{}",
+        metrics::render()
+    );
 }

@@ -1,0 +1,164 @@
+//! Tracing-layer integration tests: attaching a sink must never change
+//! solver behavior, and the racing span trees must tell a truthful
+//! story — in particular, every cancelled member's event stream ends
+//! with a `Cancel` event naming the member whose verification killed it.
+
+use delprop::core::runtime::solver::GreedySolver;
+use delprop::core::runtime::trace::{Kind, Phase};
+use delprop::core::solvers::local_search::Objective;
+use delprop::core::{NoopSink, RingBufferSink, TraceSink};
+use delprop::prelude::*;
+use delprop::workload::forest;
+use std::sync::Arc;
+
+fn forest_problem(chains: usize) -> Problem {
+    forest::generate(
+        forest::ForestParams {
+            levels: 4,
+            window: 2,
+            chains,
+            delete_fraction: 0.2,
+            weighted: false,
+        },
+        7,
+    )
+}
+
+// -------------------------------------------------------------------
+// Determinism: the sink is an observer, not a participant.
+// -------------------------------------------------------------------
+
+#[test]
+fn noop_sink_runs_are_identical_to_each_other_and_to_untraced() {
+    let p = forest_problem(64);
+    let solve = |budget: &Budget| {
+        Portfolio::standard()
+            .solve_best(&p, budget)
+            .expect("forest instances are feasible")
+    };
+    let bare = solve(&Budget::unlimited());
+    let a = solve(&Budget::unlimited().with_sink(Arc::new(NoopSink)));
+    let b = solve(&Budget::unlimited().with_sink(Arc::new(NoopSink)));
+    assert_eq!(a.cost, b.cost, "two no-op-sink runs disagree on cost");
+    assert_eq!(
+        a.solution.deleted, b.solution.deleted,
+        "two no-op-sink runs disagree on the deletion set"
+    );
+    assert_eq!(bare.cost, a.cost, "attaching a no-op sink changed the cost");
+    assert_eq!(
+        bare.solution.deleted, a.solution.deleted,
+        "attaching a no-op sink changed the deletion set"
+    );
+}
+
+#[test]
+fn ring_sink_observes_without_changing_results() {
+    let p = forest_problem(64);
+    let bare = Portfolio::standard()
+        .solve_best(&p, &Budget::unlimited())
+        .unwrap();
+    let ring = Arc::new(RingBufferSink::with_capacity(1 << 14));
+    let traced = Portfolio::standard()
+        .solve_best(
+            &p,
+            &Budget::unlimited().with_sink(Arc::clone(&ring) as Arc<dyn TraceSink>),
+        )
+        .unwrap();
+    assert_eq!(bare.cost, traced.cost);
+    assert_eq!(bare.solution.deleted, traced.solution.deleted);
+
+    // The trace must cover the pipeline: one compile span plus a span
+    // pair per member that ran, all consistently bracketed.
+    let events = ring.snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.phase == Phase::Compile && e.kind == Kind::SpanStart),
+        "missing compile span"
+    );
+    for member in traced
+        .report
+        .iter()
+        .filter(|m| !matches!(m.status, MemberStatus::Skipped | MemberStatus::NotReached))
+    {
+        let starts = events
+            .iter()
+            .filter(|e| {
+                e.member == member.name && e.phase == Phase::Member && e.kind == Kind::SpanStart
+            })
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| {
+                e.member == member.name && e.phase == Phase::Member && e.kind == Kind::SpanEnd
+            })
+            .count();
+        assert_eq!(starts, 1, "{}: expected one member span start", member.name);
+        assert_eq!(ends, 1, "{}: expected one member span end", member.name);
+    }
+}
+
+// -------------------------------------------------------------------
+// Racing: cancelled members must end their event stream with a Cancel
+// event naming the member whose verification cancelled them.
+// -------------------------------------------------------------------
+
+#[test]
+fn cancelled_racing_members_trace_who_cancelled_them() {
+    let p = forest_problem(32);
+    // A stalling member makes cancellation deterministic: it can only
+    // ever stop because the healthy greedy member verified and pulled
+    // the cooperative token.
+    let chain = Portfolio::new(Objective::Standard)
+        .with(FaultySolver::new(GreedySolver, FaultMode::Stall))
+        .with(GreedySolver);
+    for rep in 0..3 {
+        let ring = Arc::new(RingBufferSink::with_capacity(1 << 14));
+        let budget = Budget::unlimited().with_sink(Arc::clone(&ring) as Arc<dyn TraceSink>);
+        let out = chain
+            .solve_racing(&p, &budget)
+            .expect("the healthy member must win");
+        assert_eq!(out.winner, "greedy", "rep {rep}");
+        let events = ring.snapshot();
+
+        let cancelled: Vec<&str> = out
+            .report
+            .iter()
+            .filter(|m| m.status == MemberStatus::Cancelled)
+            .map(|m| m.name)
+            .collect();
+        assert!(
+            cancelled.contains(&"faulty_stall"),
+            "rep {rep}: the stalling member must be cancelled, report: {:?}",
+            out.report
+                .iter()
+                .map(|m| (m.name, format!("{:?}", m.status)))
+                .collect::<Vec<_>>()
+        );
+        for name in cancelled {
+            let last = events
+                .iter()
+                .rfind(|e| e.member == name)
+                .unwrap_or_else(|| panic!("rep {rep}: no events for cancelled member {name}"));
+            assert_eq!(
+                last.phase,
+                Phase::Cancel,
+                "rep {rep}: {name}'s stream must end with a Cancel event, got {last:?}"
+            );
+            assert_eq!(last.kind, Kind::Event, "rep {rep}");
+            assert_eq!(
+                last.detail, out.winner,
+                "rep {rep}: the Cancel event must name the winning member"
+            );
+        }
+
+        // The winner's own stream records the verification that started
+        // the cancellations.
+        assert!(
+            events.iter().any(|e| e.member == out.winner
+                && e.phase == Phase::Race
+                && e.detail == "verified_first"),
+            "rep {rep}: the winner must record verified_first"
+        );
+    }
+}
