@@ -158,7 +158,7 @@ impl CompiledInstance {
     /// the pivot certification).
     pub fn compile(problem: &Problem) -> CompiledInstance {
         metrics::IR_COMPILES.inc();
-        let compile_start = std::time::Instant::now();
+        let compile_start = crate::runtime::now();
 
         let bases = problem.candidates();
         let base_of =

@@ -38,6 +38,10 @@
 //! assert!(solution.is_feasible(&problem));
 //! ```
 
+// Every unsafe operation must sit in its own `unsafe { .. }` block with
+// a `// SAFETY:` comment (enforced by `cargo run -p xtask -- lint`).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod classify;
 mod error;
 pub mod ir;

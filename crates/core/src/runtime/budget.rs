@@ -40,12 +40,24 @@
 //! no global state, and costs a single `Option` check when off.
 
 use super::metrics;
+use super::sync::{AtomicBool, AtomicU64, Ordering};
 use super::trace::{self, Kind, Phase, Span, TraceEvent, TraceSink};
 use crate::error::CoreError;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The runtime's only wall-clock read. Everything in `delprop-core`
+/// that needs "now" — deadlines here, span and member timings in
+/// `trace.rs`/`portfolio.rs`, the IR compile histogram — goes through
+/// this one choke point, and `cargo run -p xtask -- lint` forbids
+/// `Instant::now` anywhere else in the crate. One sanctioned call site
+/// keeps wall-clock out of solver logic (work ticks stay the only
+/// determinism-relevant meter) and gives a future virtual clock a
+/// single seam.
+pub(crate) fn now() -> Instant {
+    Instant::now()
+}
 
 /// How many ticks may elapse between wall-clock checks. Checking
 /// `Instant::now()` at every tick would dominate tight checkpoint loops.
@@ -144,7 +156,7 @@ impl Budget {
     pub fn with_deadline(mut self, timeout: Duration) -> Self {
         let pool = Arc::get_mut(&mut self.pool)
             .expect("Budget::with_deadline must be called before Budget::share");
-        pool.deadline = Some(Instant::now() + timeout);
+        pool.deadline = Some(now() + timeout);
         self
     }
 
@@ -185,6 +197,9 @@ impl Budget {
 
     /// Ticks charged so far on the shared pool (across all handles).
     pub fn used(&self) -> u64 {
+        // Ordering: Relaxed. `used` is a plain counter — no other memory
+        // is published through it, and the clamp-at-limit invariant
+        // comes from CAS atomicity in `charge`, not from ordering.
         self.pool.used.load(Ordering::Relaxed)
     }
 
@@ -192,6 +207,8 @@ impl Budget {
     /// [`Budget::used`] when the pool has a single handle; under racing
     /// this is the per-member share of the pool.
     pub fn own_used(&self) -> u64 {
+        // Ordering: Relaxed — same plain-counter reasoning as `used`,
+        // and `local_used` is only ever written through this handle.
         self.local_used.load(Ordering::Relaxed)
     }
 
@@ -205,6 +222,11 @@ impl Budget {
 
     /// Whether a checkpoint has already failed on this pool.
     pub fn is_exhausted(&self) -> bool {
+        // Ordering: Acquire, pairing with the Release swap in
+        // `mark_exhausted` — a thread that observes `true` also
+        // observes the deadline rollback `fetch_sub`s that preceded the
+        // flag flip, so `used()` never transiently includes rolled-back
+        // ticks on the observer's side.
         self.pool.exhausted.load(Ordering::Acquire)
     }
 
@@ -212,7 +234,13 @@ impl Budget {
     /// fails with [`CoreError::Cancelled`]. Other handles on the same
     /// pool are unaffected — this is per-member, not pool-wide.
     pub fn cancel(&self) {
-        if !self.cancelled.swap(true, Ordering::AcqRel) {
+        // Ordering: Release (downgraded from a gratuitous AcqRel during
+        // the model-checker port; this side publishes, it reads nothing
+        // through the flag). Pairs with the Acquire load in
+        // `is_cancelled` so the `cancel_cause` recorded just before
+        // this swap in `cancel_with_cause` is visible to any thread
+        // that observed the cancellation.
+        if !self.cancelled.swap(true, Ordering::Release) {
             metrics::CANCELLATIONS.inc();
         }
     }
@@ -228,6 +256,10 @@ impl Budget {
 
     /// Whether [`Budget::cancel`] has been called on this handle.
     pub fn is_cancelled(&self) -> bool {
+        // Ordering: Acquire, pairing with the Release swap in `cancel`
+        // (see there); makes the cancel cause visible once `true` is
+        // observed. Monotone: `true` is sticky, so a stale `false` only
+        // delays the next checkpoint's refusal, never un-cancels.
         self.cancelled.load(Ordering::Acquire)
     }
 
@@ -251,6 +283,15 @@ impl Budget {
         let pool = &*self.pool;
         // CAS loop: admit the charge only if it fits under the limit, so
         // a refusal leaves `used` clamped at (or below) the limit.
+        //
+        // Ordering: Relaxed on both the RMW and the reload leg. The
+        // admit decision needs only the atomicity of the CAS itself
+        // (read-modify-write on one location); no other memory is
+        // published through `used`, so stronger orderings would buy
+        // nothing. The model suite (`crates/core/tests/model.rs`)
+        // checks the clamp and no-lost-tick invariants under every
+        // bounded interleaving.
+        #[cfg(not(delprop_model_bug))]
         let admit = pool
             .used
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
@@ -260,6 +301,25 @@ impl Budget {
                     _ => Some(next),
                 }
             });
+        // The pre-PR 3 over-accounting bug, re-injected for the model
+        // checker's regression test (`model_bug.rs`): the admit check
+        // and the counter update are separate atomic operations, so two
+        // racing handles can both pass the check against the same stale
+        // `used` and one increment overwrites the other — ticks vanish
+        // from the pool meter and the limit can be oversubscribed. Only
+        // compiled under `--cfg delprop_model_bug`; never in real builds.
+        #[cfg(delprop_model_bug)]
+        let admit: Result<u64, u64> = {
+            let used = pool.used.load(Ordering::Relaxed);
+            let next = used.saturating_add(n);
+            match pool.limit {
+                Some(limit) if next > limit => Err(used),
+                _ => {
+                    pool.used.store(next, Ordering::Relaxed);
+                    Ok(used)
+                }
+            }
+        };
         let used = match admit {
             Ok(prev) => prev.saturating_add(n),
             Err(_) => {
@@ -267,6 +327,8 @@ impl Budget {
                 return Err(self.error());
             }
         };
+        // Ordering: Relaxed — single-writer counter (this handle), read
+        // back only for reporting.
         let local_prev = self.local_used.fetch_add(n, Ordering::Relaxed);
         if pool.sink.is_some()
             && local_prev / TRACE_TICK_BATCH != (local_prev + n) / TRACE_TICK_BATCH
@@ -279,13 +341,23 @@ impl Budget {
             self.trace(Phase::Budget, Kind::Count, "", local_prev + n);
         }
         if let Some(deadline) = pool.deadline {
+            // Ordering: Relaxed on both the throttle load and store.
+            // `next_deadline_check` is a heuristic rate limiter — racing
+            // handles may each schedule their own next check, which only
+            // means the clock is read a little more or less often than
+            // every DEADLINE_CHECK_EVERY ticks; exhaustion correctness
+            // never depends on it.
             if used >= pool.next_deadline_check.load(Ordering::Relaxed) {
                 pool.next_deadline_check
                     .store(used + DEADLINE_CHECK_EVERY, Ordering::Relaxed);
-                if Instant::now() >= deadline {
+                if now() >= deadline {
                     // Roll the refused work back out of both meters so a
                     // deadline-only exhaustion reports the ticks that
                     // actually ran (0 at the first checkpoint).
+                    //
+                    // Ordering: Relaxed — the rollback is made visible
+                    // to exhaustion observers by the Release swap in
+                    // `mark_exhausted` below, sequenced after it.
                     pool.used.fetch_sub(n, Ordering::Relaxed);
                     self.local_used.fetch_sub(n, Ordering::Relaxed);
                     self.mark_exhausted();
@@ -299,7 +371,13 @@ impl Budget {
     /// Flip the sticky exhaustion flag, counting and tracing the first
     /// transition only.
     fn mark_exhausted(&self) {
-        if !self.pool.exhausted.swap(true, Ordering::AcqRel) {
+        // Ordering: Release (downgraded from a gratuitous AcqRel during
+        // the model-checker port; nothing is read through the flag on
+        // this side). Pairs with the Acquire load in `is_exhausted`, so
+        // observers of `true` also see the deadline rollback performed
+        // just before this swap. The swap's atomicity alone guarantees
+        // the once-only metrics/trace transition.
+        if !self.pool.exhausted.swap(true, Ordering::Release) {
             metrics::BUDGET_EXHAUSTIONS.inc();
             self.trace(Phase::Budget, Kind::Event, "exhausted", self.used());
         }
@@ -533,19 +611,24 @@ mod tests {
 
     #[test]
     fn shared_charges_are_atomic_across_threads() {
+        // Miri runs every interleaving step interpreted; shrink the
+        // stress volume so the job finishes while still crossing the
+        // TRACE_TICK_BATCH boundary logic.
+        const THREADS: u64 = if cfg!(miri) { 2 } else { 4 };
+        const PER_THREAD: u64 = if cfg!(miri) { 256 } else { 10_000 };
         let a = Budget::with_ticks(1_000_000);
         std::thread::scope(|s| {
-            for _ in 0..4 {
+            for _ in 0..THREADS {
                 let h = a.share();
                 s.spawn(move || {
-                    for _ in 0..10_000 {
+                    for _ in 0..PER_THREAD {
                         h.checkpoint().unwrap();
                     }
-                    assert_eq!(h.own_used(), 10_000);
+                    assert_eq!(h.own_used(), PER_THREAD);
                 });
             }
         });
-        assert_eq!(a.used(), 40_000, "no tick lost or duplicated");
+        assert_eq!(a.used(), THREADS * PER_THREAD, "no tick lost or duplicated");
         assert!(!a.is_exhausted());
     }
 

@@ -68,8 +68,10 @@ mod fault;
 pub mod metrics;
 mod portfolio;
 pub mod solver;
+pub mod sync;
 pub mod trace;
 
+pub(crate) use budget::now;
 pub use budget::Budget;
 pub use fault::{FaultMode, FaultySolver};
 pub use portfolio::{

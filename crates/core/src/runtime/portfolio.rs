@@ -25,14 +25,14 @@ use crate::solution::Solution;
 use crate::solvers::local_search::Objective;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::time::Instant;
 
-use super::budget::Budget;
+use super::budget::{now, Budget};
 use super::metrics;
 use super::solver::{
     DpTreeSolver, GeneralBalancedSolver, GeneralSolver, GreedySolver, Guarantee, LowDegTreeSolver,
     LpRoundSolver, PrimalDualBalancedSolver, PrimalDualSolver, SingleQuerySolver, Solver,
 };
+use super::sync;
 use super::trace::{Kind, Phase};
 
 /// What happened to one member during a portfolio run.
@@ -252,7 +252,7 @@ impl Portfolio {
         budget: &Budget,
     ) -> Result<(u64, u64), CoreError> {
         let span = budget.span(Phase::Compile, "ir");
-        let compile_start = Instant::now();
+        let compile_start = now();
         let _ir = problem.compiled();
         let compile_micros = compile_start.elapsed().as_micros() as u64;
         let compile_ticks = (problem.norm_v() + problem.norm_delta()) as u64 + 1;
@@ -279,7 +279,7 @@ impl Portfolio {
 
         for member in &self.members {
             let guarantee = member.guarantee(problem);
-            let started = Instant::now();
+            let started = now();
             let pool_before = budget.used();
             // A fresh share per member: `own_used` then meters exactly
             // what this member charged, even if callers reuse the pool.
@@ -383,7 +383,7 @@ impl Portfolio {
         let mut slots: Vec<Option<RaceSlot>> = Vec::new();
         slots.resize_with(n, || None);
 
-        std::thread::scope(|scope| {
+        sync::thread::scope(|scope| {
             for ((i, member), slot) in self.members.iter().enumerate().zip(slots.iter_mut()) {
                 if !applicable[i] {
                     continue;
@@ -391,7 +391,7 @@ impl Portfolio {
                 let (handles, guarantees, applicable) = (&handles, &guarantees, &applicable);
                 scope.spawn(move || {
                     metrics::MEMBERS_RUN.inc();
-                    let started = Instant::now();
+                    let started = now();
                     let pool_before = handles[i].used();
                     let span = handles[i].span(Phase::Member, member.name());
                     let (status, candidate) =
@@ -523,7 +523,7 @@ impl Portfolio {
     ) -> (MemberStatus, Option<(Solution, f64)>) {
         metrics::VERIFICATIONS.inc();
         let span = budget.span(Phase::Verify, member);
-        let verify_start = Instant::now();
+        let verify_start = now();
         let objective = self.objective;
         let verified = panic::catch_unwind(AssertUnwindSafe(|| {
             let feasible = match objective {

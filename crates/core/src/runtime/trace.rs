@@ -12,7 +12,8 @@
 //! Design constraints, in order:
 //!
 //! 1. **No dependencies.** The workspace builds `--offline` with an
-//!    empty registry; everything here is `std` atomics.
+//!    empty registry; everything here is facade atomics
+//!    (`runtime::sync`) over `std`.
 //! 2. **Off means off.** A budget without a sink never constructs an
 //!    event: every trace call starts with one `Option` check on the
 //!    shared pool. The EX-OBS experiment holds the ring-buffer sink to
@@ -29,13 +30,11 @@
 //! rounds, verification, cancellation), and a monotone per-sink `seq`
 //! that makes the interleaving reconstructible after the fact.
 
-use super::budget::Budget;
-use std::cell::UnsafeCell;
+use super::budget::{self, Budget};
+use super::sync::{self, fence, AtomicU64, Ordering};
 use std::fmt;
 use std::io::{self, Write};
 use std::path::Path;
-use std::ptr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Which runtime phase an event belongs to.
@@ -84,6 +83,24 @@ impl Phase {
             Phase::Race => "race",
         }
     }
+
+    /// Inverse of `self as u8` for the ring's word encoding. Total on
+    /// the encoder's output; an out-of-range byte (impossible on a
+    /// seqlock-validated slot) maps to `Budget` rather than panicking
+    /// inside a trace reader.
+    fn from_u8(byte: u8) -> Phase {
+        match byte {
+            x if x == Phase::Compile as u8 => Phase::Compile,
+            x if x == Phase::Member as u8 => Phase::Member,
+            x if x == Phase::Simplex as u8 => Phase::Simplex,
+            x if x == Phase::BranchBound as u8 => Phase::BranchBound,
+            x if x == Phase::LocalSearch as u8 => Phase::LocalSearch,
+            x if x == Phase::Verify as u8 => Phase::Verify,
+            x if x == Phase::Cancel as u8 => Phase::Cancel,
+            x if x == Phase::Race as u8 => Phase::Race,
+            _ => Phase::Budget,
+        }
+    }
 }
 
 /// What kind of record an event is.
@@ -110,10 +127,21 @@ impl Kind {
             Kind::Count => "count",
         }
     }
+
+    /// Inverse of `self as u8` (see [`Phase::from_u8`]).
+    fn from_u8(byte: u8) -> Kind {
+        match byte {
+            x if x == Kind::SpanStart as u8 => Kind::SpanStart,
+            x if x == Kind::SpanEnd as u8 => Kind::SpanEnd,
+            x if x == Kind::Count as u8 => Kind::Count,
+            _ => Kind::Event,
+        }
+    }
 }
 
-/// One trace record. `Copy` and pointer-free payload (`&'static str`
-/// labels only) so the ring buffer can move it with a volatile write.
+/// One trace record. `Copy`, with `&'static str` labels as the only
+/// pointer payload, so the ring buffer can encode it losslessly into a
+/// fixed array of `u64` words (see the private `TraceEvent::encode`).
 #[derive(Debug, Clone, Copy)]
 pub struct TraceEvent {
     /// Monotone per-sink sequence number (stamped by the sink).
@@ -134,18 +162,69 @@ pub struct TraceEvent {
     pub value: u64,
 }
 
+/// Number of `u64` words one encoded [`TraceEvent`] occupies in a ring
+/// slot.
+const EVENT_WORDS: usize = 9;
+
 impl TraceEvent {
-    const fn empty() -> Self {
+    /// Encode into the ring's word representation. The two `&'static
+    /// str` labels are stored as exposed-provenance address + length
+    /// word pairs; everything else is a plain integer word. Lossless:
+    /// [`TraceEvent::decode`] reconstructs an identical event.
+    fn encode(&self) -> [u64; EVENT_WORDS] {
+        [
+            self.seq,
+            self.micros,
+            self.thread,
+            ((self.phase as u64) << 8) | self.kind as u64,
+            self.member.as_ptr().expose_provenance() as u64,
+            self.member.len() as u64,
+            self.detail.as_ptr().expose_provenance() as u64,
+            self.detail.len() as u64,
+            self.value,
+        ]
+    }
+
+    /// Decode the ring's word representation.
+    ///
+    /// Must only be called on words validated by the slot seqlock (state
+    /// unchanged across the read), i.e. on a consistent snapshot of one
+    /// complete [`TraceEvent::encode`] — a torn mix of two events could
+    /// pair one event's label address with the other's length.
+    fn decode(words: [u64; EVENT_WORDS]) -> TraceEvent {
         TraceEvent {
-            seq: 0,
-            micros: 0,
-            thread: 0,
-            phase: Phase::Budget,
-            kind: Kind::Event,
-            member: "",
-            detail: "",
-            value: 0,
+            seq: words[0],
+            micros: words[1],
+            thread: words[2],
+            phase: Phase::from_u8((words[3] >> 8) as u8),
+            kind: Kind::from_u8(words[3] as u8),
+            member: decode_static_str(words[4], words[5]),
+            detail: decode_static_str(words[6], words[7]),
+            value: words[8],
         }
+    }
+}
+
+/// Reconstruct a `&'static str` from the exposed-provenance address and
+/// length words written by [`TraceEvent::encode`].
+fn decode_static_str(addr: u64, len: u64) -> &'static str {
+    if len == 0 {
+        // Empty labels round-trip without touching the address word, so
+        // no provenance reasoning is needed for the common "" case.
+        return "";
+    }
+    // SAFETY: the caller (TraceEvent::decode) only passes seqlock-
+    // validated word pairs, so (addr, len) came from one complete
+    // `encode` of a real `&'static str`: `addr` is that string's
+    // address, whose provenance `encode` exposed via
+    // `expose_provenance`, `len` is its exact byte length, and the
+    // pointee is immutable UTF-8 that lives for the rest of the program
+    // (`'static`). Reconstructing through `with_exposed_provenance` is
+    // therefore reading initialized, live, correctly-typed memory.
+    unsafe {
+        let ptr = std::ptr::with_exposed_provenance::<u8>(addr as usize);
+        let bytes = std::slice::from_raw_parts(ptr, len as usize);
+        std::str::from_utf8_unchecked(bytes)
     }
 }
 
@@ -188,15 +267,19 @@ impl TraceSink for NoopSink {
 /// writer holding ticket `t` is mid-write; `2t + 2` = ticket `t`'s
 /// event is complete. States are monotone per slot, so a reader can
 /// validate a snapshot by re-checking `state` after the read.
+///
+/// The payload is the event's word encoding in plain relaxed atomics
+/// (not `UnsafeCell` + volatile, as in the first version of this ring):
+/// a concurrent read/write pair on a word is then an ordinary atomic
+/// race with a well-defined (possibly stale) value, never UB — which is
+/// what lets Miri, ThreadSanitizer, and the `delprop_model` scheduler
+/// all run this protocol as-is. Torn *events* (a mix of two writes
+/// across words) are still possible mid-race and are discarded by the
+/// seqlock validation; decoding happens only after validation.
 struct Slot {
     state: AtomicU64,
-    data: UnsafeCell<TraceEvent>,
+    words: [AtomicU64; EVENT_WORDS],
 }
-
-// SAFETY: `data` is only written by the thread that CAS-claimed `state`
-// into the odd (writing) value for its ticket, and readers validate
-// `state` before and after the volatile read, discarding torn values.
-unsafe impl Sync for Slot {}
 
 /// Lock-free multi-producer ring buffer that keeps the most recent
 /// `capacity` events, overwriting the oldest on wrap-around.
@@ -246,12 +329,12 @@ impl RingBufferSink {
         let slots = (0..cap)
             .map(|_| Slot {
                 state: AtomicU64::new(0),
-                data: UnsafeCell::new(TraceEvent::empty()),
+                words: [const { AtomicU64::new(0) }; EVENT_WORDS],
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         RingBufferSink {
-            epoch: Instant::now(),
+            epoch: budget::now(),
             mask: (cap - 1) as u64,
             head: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -285,22 +368,40 @@ impl RingBufferSink {
         let mut out = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
             for _ in 0..64 {
+                // Ordering: Acquire, pairing with the writer's Release
+                // publish — once a published state is observed, the
+                // word values of that publication are visible below.
                 let before = slot.state.load(Ordering::Acquire);
                 if before == 0 {
                     break; // never written
                 }
                 if before & 1 == 1 {
-                    std::hint::spin_loop();
+                    sync::spin_loop();
                     continue; // mid-write; retry
                 }
-                // SAFETY: seqlock read — the volatile copy may race a
-                // concurrent writer, but any torn value is discarded
-                // because the writer must first bump `state` to odd,
-                // which the re-check below observes.
-                let ev = unsafe { ptr::read_volatile(slot.data.get()) };
-                let after = slot.state.load(Ordering::Acquire);
+                // Seqlock read: the word loads may race a concurrent
+                // writer, which is fine — each word is individually
+                // atomic (Relaxed; no ordering is needed per word), and
+                // a torn combination is discarded by the validation
+                // below, before anything is decoded.
+                let mut words = [0u64; EVENT_WORDS];
+                for (out_word, word) in words.iter_mut().zip(slot.words.iter()) {
+                    *out_word = word.load(Ordering::Relaxed);
+                }
+                // Ordering: the Acquire fence keeps the word loads
+                // above from being reordered past the validation load
+                // below. The original volatile version of this ring
+                // lacked the fence — two Acquire loads do not order the
+                // data reads *between* them — which the facade port's
+                // ordering audit surfaced; the model and TSan suites
+                // now pin the fixed protocol down.
+                fence(Ordering::Acquire);
+                // Ordering: Relaxed — the fence above already orders
+                // this load after the word reads, and its only job is
+                // equality validation against `before`.
+                let after = slot.state.load(Ordering::Relaxed);
                 if before == after {
-                    out.push(ev);
+                    out.push(TraceEvent::decode(words));
                     break;
                 }
             }
@@ -312,6 +413,8 @@ impl RingBufferSink {
 
 impl TraceSink for RingBufferSink {
     fn record(&self, mut ev: TraceEvent) {
+        // Ordering: Relaxed — the ticket counter is a pure allocator;
+        // slot handoff is synchronized through `state`, not `head`.
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         ev.seq = ticket;
         ev.micros = self.epoch.elapsed().as_micros() as u64;
@@ -320,6 +423,9 @@ impl TraceSink for RingBufferSink {
         let done = 2 * ticket + 2;
         let mut spins = 0u32;
         loop {
+            // Ordering: Acquire — pairs with the previous owner's
+            // Release publish, so the monotone state progression is
+            // observed in order while we wait our turn.
             let state = slot.state.load(Ordering::Acquire);
             if state >= done {
                 // A newer ticket already owns this slot: our event was
@@ -332,12 +438,15 @@ impl TraceSink for RingBufferSink {
                 // it to publish, yielding if it takes long.
                 spins += 1;
                 if spins < 128 {
-                    std::hint::spin_loop();
+                    sync::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    sync::thread::yield_now();
                 }
                 continue;
             }
+            // Ordering: Acquire on success so this writer's word stores
+            // are ordered after the previous publication it overwrites;
+            // Relaxed on failure (the retry re-loads with Acquire).
             if slot
                 .state
                 .compare_exchange_weak(state, writing, Ordering::Acquire, Ordering::Relaxed)
@@ -346,9 +455,16 @@ impl TraceSink for RingBufferSink {
                 break;
             }
         }
-        // SAFETY: we hold the slot's seqlock (state is odd with our
-        // ticket), so no other writer touches `data` until we publish.
-        unsafe { ptr::write_volatile(slot.data.get(), ev) };
+        // We hold the slot's seqlock (`state` is odd with our ticket),
+        // so no other *writer* races these stores; readers may load
+        // concurrently but discard mismatched-state snapshots.
+        // Ordering: Relaxed per word — publication ordering is provided
+        // wholesale by the Release store of `done` below.
+        for (word, value) in slot.words.iter().zip(ev.encode()) {
+            word.store(value, Ordering::Relaxed);
+        }
+        // Ordering: Release — publishes every word store above to any
+        // reader whose Acquire load observes `done`.
         slot.state.store(done, Ordering::Release);
     }
 }
@@ -374,7 +490,7 @@ impl<'a> Span<'a> {
                 budget: Some(budget),
                 phase,
                 member,
-                start: Some(Instant::now()),
+                start: Some(budget::now()),
                 ended: false,
             }
         } else {
@@ -554,8 +670,9 @@ mod tests {
 
     #[test]
     fn concurrent_record_loses_nothing_when_capacity_suffices() {
-        const THREADS: u64 = 8;
-        const PER_THREAD: u64 = 512;
+        // Shrunk under Miri (interpreted execution) so the job finishes.
+        const THREADS: u64 = if cfg!(miri) { 4 } else { 8 };
+        const PER_THREAD: u64 = if cfg!(miri) { 64 } else { 512 };
         let ring = Arc::new(RingBufferSink::with_capacity(
             (THREADS * PER_THREAD) as usize,
         ));
@@ -590,23 +707,27 @@ mod tests {
         // thread writes a distinct (member, value) pair, so a torn read
         // would surface as a mismatched pair.
         const MEMBERS: [&str; 4] = ["t0", "t1", "t2", "t3"];
+        // Shrunk under Miri (interpreted execution) so the job finishes
+        // while still wrapping the ring many times over.
+        const PER_THREAD: u64 = if cfg!(miri) { 200 } else { 5_000 };
+        const SNAPSHOTS: u32 = if cfg!(miri) { 5 } else { 50 };
         let ring = Arc::new(RingBufferSink::with_capacity(32));
         std::thread::scope(|scope| {
             for (t, name) in MEMBERS.iter().enumerate() {
                 let ring = Arc::clone(&ring);
                 scope.spawn(move || {
-                    for _ in 0..5_000 {
+                    for _ in 0..PER_THREAD {
                         ring.record(ev(name, t as u64));
                     }
                 });
             }
-            for _ in 0..50 {
+            for _ in 0..SNAPSHOTS {
                 for e in ring.snapshot() {
                     assert_eq!(MEMBERS[e.value as usize], e.member, "torn event");
                 }
             }
         });
-        assert_eq!(ring.recorded(), 20_000);
+        assert_eq!(ring.recorded(), 4 * PER_THREAD);
         for e in ring.snapshot() {
             assert_eq!(MEMBERS[e.value as usize], e.member);
         }

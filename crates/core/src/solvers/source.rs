@@ -149,6 +149,7 @@ pub fn resilience(problem: &Problem, view: usize) -> Solution {
         .map(|(id, _)| id)
         .collect();
     for id in ids {
+        // lint:allow(unwrap): ids come from `views()` on this same clone, so `mark_deleted_id` cannot fail
         all_marked
             .mark_deleted_id(id)
             .expect("enumerated ids are valid");

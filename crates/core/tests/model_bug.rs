@@ -1,0 +1,100 @@
+//! Regression: the model checker must *find* the PR 3 over-accounting
+//! bug when it is re-injected.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg delprop_model --cfg
+//! delprop_model_bug"`. The second cfg swaps `Budget::charge`'s CAS
+//! admit loop for the original check-then-act sequence (separate load,
+//! limit check, and store — see the `delprop_model_bug` block in
+//! `runtime/budget.rs`), and this test asserts the checker catches the
+//! resulting lost update in a small bounded search and hands back a
+//! seed that deterministically replays it.
+//!
+//! This is the demonstration that the tentpole pays for itself: the
+//! historical bug needed a many-thread stress loop and luck to surface
+//! natively; under the scheduler it falls out of an exhaustive search
+//! over two threads and one preemption, with a printed reproduction.
+#![cfg(all(delprop_model, delprop_model_bug))]
+
+use delprop_core::runtime::Budget;
+use delprop_modelcheck::{explore, replay, thread, Config, Seed};
+
+/// The smallest workload that exposes the bug: two handles of one
+/// 4-tick pool each charge 2 ticks once. With an atomic admit the pool
+/// meter always reads 4; under the re-injected check-then-act both
+/// threads can read `used = 0`, both pass the limit check, and one
+/// store overwrites the other — the meter reads 2 and two admitted
+/// ticks have vanished.
+fn lost_tick_model() {
+    let pool = Budget::with_ticks(4);
+    let (a, b) = (pool.share(), pool.share());
+    let (oka, okb) = thread::scope(|s| {
+        let ha = s.spawn(|| a.charge(2).is_ok() as u64);
+        let hb = s.spawn(|| b.charge(2).is_ok() as u64);
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(
+        pool.used(),
+        2 * (oka + okb),
+        "pool meter lost admitted ticks"
+    );
+}
+
+#[test]
+fn model_checker_finds_the_reinjected_overaccounting_bug() {
+    // One preemption suffices (interrupt thread A between its load and
+    // its store); the budget far exceeds what the search needs.
+    let config = Config::exhaustive(1, 10_000);
+    let report = explore(&config, lost_tick_model);
+    let failure = report
+        .failure
+        .expect("the exhaustive search must find the lost update");
+    assert!(
+        report.schedules < 10_000,
+        "the bug must surface in a small search, not at the budget \
+         ceiling: {} schedules",
+        report.schedules
+    );
+    assert!(
+        failure.message.contains("lost admitted ticks"),
+        "unexpected failure message: {}",
+        failure.message
+    );
+
+    // The printed seed is the deliverable: log it the way `check` would,
+    // prove it replays to the same failure, and prove it survives a
+    // text round-trip (what a developer pastes from a CI log).
+    println!(
+        "over-accounting bug found in schedule {} — replay seed: {}",
+        failure.schedule_index, failure.seed
+    );
+    let err = replay(&failure.seed, lost_tick_model).expect_err("seed must reproduce the bug");
+    assert!(err.contains("lost admitted ticks"), "replayed: {err}");
+
+    let reparsed: Seed = failure
+        .seed
+        .to_string()
+        .parse()
+        .expect("seed text round-trips");
+    assert_eq!(reparsed, failure.seed);
+    assert!(replay(&reparsed, lost_tick_model).is_err());
+
+    // Shrinking only ever removes or zeroes choices.
+    assert!(failure.seed.choices.len() <= failure.original_seed.choices.len());
+}
+
+/// The same workload must be clean when the bug cfg is the *only*
+/// difference — guard against the test passing for an unrelated reason
+/// (e.g. an over-strict assertion that would also fire on the fixed
+/// CAS path). `charge(2)` twice against limit 4 admits both charges in
+/// every schedule, so any failure here is the injected lost update.
+#[test]
+fn sanity_single_thread_is_clean_even_with_bug_injected() {
+    // Without a preemption the check-then-act pair runs atomically per
+    // thread, so the bug cannot fire: the search must come up clean.
+    let report = explore(&Config::exhaustive(0, 10_000), lost_tick_model);
+    assert!(
+        report.failure.is_none(),
+        "the lost update needs a mid-charge preemption"
+    );
+    assert!(report.complete);
+}

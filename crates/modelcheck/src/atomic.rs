@@ -1,0 +1,147 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` types.
+//!
+//! Each operation is a scheduling point: under an active exploration
+//! ([`crate::explore`]) the engine may hand the baton to another
+//! registered thread *before* the operation executes, which is exactly
+//! the granularity needed to interleave lock-free protocols. Outside an
+//! exploration every call is a plain passthrough to the underlying std
+//! atomic (one thread-local read of overhead).
+//!
+//! The memory-`Ordering` argument is accepted and forwarded to the real
+//! atomic, but exploration itself is sequentially consistent: the
+//! engine explores *orderings of operations*, not weak-memory
+//! *reorderings*. `compare_exchange_weak` is modeled as the strong
+//! variant (no spurious failures are injected). Weak-memory and
+//! data-race coverage is delegated to Miri and ThreadSanitizer in CI.
+
+use crate::exec::yield_op;
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+macro_rules! instrumented_atomic {
+    ($name:ident, $inner:path, $ty:ty) => {
+        /// Instrumented counterpart of the std atomic of the same name;
+        /// see the module docs.
+        pub struct $name {
+            inner: $inner,
+        }
+
+        impl $name {
+            /// Const-constructible, so `static` registries (metrics)
+            /// work identically in model builds.
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: <$inner>::new(v),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                yield_op();
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, val: $ty, order: Ordering) {
+                yield_op();
+                self.inner.store(val, order)
+            }
+
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                yield_op();
+                self.inner.swap(val, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                yield_op();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Modeled as the strong variant: the scheduler does not
+            /// inject spurious failures, it only interleaves.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Decomposed into an instrumented load + CAS loop so the
+            /// scheduler can preempt between the read and the update —
+            /// the interleaving a `fetch_update`-based protocol must
+            /// survive.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$ty, $ty>
+            where
+                F: FnMut($ty) -> Option<$ty>,
+            {
+                let mut prev = self.load(fetch_order);
+                loop {
+                    let next = match f(prev) {
+                        Some(next) => next,
+                        None => return Err(prev),
+                    };
+                    match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                        Ok(old) => return Ok(old),
+                        Err(now) => prev = now,
+                    }
+                }
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // No yield: Debug formatting is diagnostic, not protocol.
+                fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+macro_rules! instrumented_arith {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                yield_op();
+                self.inner.fetch_add(val, order)
+            }
+
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                yield_op();
+                self.inner.fetch_sub(val, order)
+            }
+        }
+    };
+}
+
+instrumented_arith!(AtomicU64, u64);
+instrumented_arith!(AtomicUsize, usize);
+
+/// Instrumented `std::sync::atomic::fence`: a scheduling point followed
+/// by the real fence (orderings matter to Miri/TSan runs of the same
+/// code, not to the sequentially consistent model).
+pub fn fence(order: Ordering) {
+    yield_op();
+    std::sync::atomic::fence(order)
+}

@@ -1,0 +1,392 @@
+//! The serialized execution engine behind one explored schedule.
+//!
+//! One [`Execution`] drives one run of the closure under test. Every
+//! registered thread (the driver that called the closure, plus every
+//! thread spawned through [`crate::thread`]) shares a single *baton*:
+//! exactly one registered thread runs at a time, and the baton changes
+//! hands only at **yield points** — before each instrumented atomic
+//! operation ([`crate::atomic`]), at voluntary yields
+//! ([`crate::spin_loop`], [`crate::thread::yield_now`]), at spawns, at
+//! joins, and at thread exit. Between two yield points a thread runs
+//! *atomically* with respect to the model, so the set of schedules the
+//! engine can express is exactly the set of interleavings of
+//! instrumented operations under sequential consistency.
+//!
+//! That is deliberately weaker than a C11 memory-model simulator (loom):
+//! the engine explores *orderings*, not *reorderings*. Weak-memory and
+//! data-race coverage comes from the Miri and ThreadSanitizer CI jobs
+//! instead; the division of labor is documented in DESIGN.md §11.
+//!
+//! Scheduling decisions with more than one candidate are recorded as
+//! indices into a deterministically ordered candidate list (current
+//! thread first, then ascending thread id), which is what makes a
+//! recorded schedule replayable as a [`crate::Seed`].
+
+use crate::rng::SplitMix64;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Why a thread reached the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum YieldKind {
+    /// An instrumented operation is about to run; the current thread is
+    /// a candidate and switching away from it counts as a preemption.
+    Op,
+    /// A voluntary yield (spin loop, `yield_now`): the current thread
+    /// *asks* to be descheduled, so it is excluded from the candidates
+    /// whenever any other thread can run (this is what breaks
+    /// spin-wait livelocks under exhaustive exploration) and switching
+    /// is never counted as a preemption.
+    Yield,
+    /// The current thread blocked on a join; it is not a candidate.
+    Block,
+    /// The current thread finished; it is not a candidate.
+    Finish,
+}
+
+/// Lifecycle of one registered thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TStatus {
+    Runnable,
+    /// Blocked joining the given thread; becomes schedulable again as
+    /// soon as the target finishes (checked dynamically in `decide`).
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+/// One recorded multi-candidate scheduling decision.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    /// Schedulable thread ids at this point: the current thread first
+    /// (when it is a candidate), then the rest in ascending id order.
+    pub candidates: Vec<usize>,
+    /// Index into `candidates` that was taken.
+    pub chosen: u32,
+    /// The thread that reached the scheduler.
+    pub me: usize,
+    /// Whether choosing a thread other than `me` counts as a
+    /// preemption (true only for [`YieldKind::Op`]).
+    pub preemptible: bool,
+}
+
+impl Decision {
+    /// Whether the taken choice preempted the running thread.
+    pub fn is_preemption(&self) -> bool {
+        self.preemptible && self.candidates[self.chosen as usize] != self.me
+    }
+}
+
+/// How the engine picks among candidates.
+#[derive(Debug, Clone)]
+pub(crate) enum Driver {
+    /// Follow `choices` for the first recorded decisions, then fall
+    /// back to the default policy (continue the current thread when it
+    /// is a candidate, else the lowest id). Used for DFS prefixes and
+    /// for seed replay.
+    Prescribed { choices: Vec<u32> },
+    /// Seeded random walk: continue the current thread by default,
+    /// preempting with probability 1/4 while under the preemption
+    /// bound; at non-`Op` points pick uniformly.
+    Random {
+        rng: SplitMix64,
+        preemption_bound: u32,
+        preemptions: u32,
+    },
+}
+
+#[derive(Debug)]
+struct ExecState {
+    threads: Vec<TStatus>,
+    /// Which registered thread holds the baton.
+    current: usize,
+    /// Once set, serialization is off: every yield point returns
+    /// immediately and every wait is released. Entered on panic (so
+    /// sibling threads can drain and scoped joins complete), on step
+    /// overflow, and at teardown.
+    free_run: bool,
+    steps: u64,
+    max_steps: u64,
+    driver: Driver,
+    decisions: Vec<Decision>,
+}
+
+/// One schedule's worth of serialized execution. See the module docs.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// The execution this OS thread is registered with, if any. `None`
+    /// outside `explore`/`replay`, which makes every instrumented
+    /// operation a plain passthrough.
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution and thread id the calling OS thread is registered
+/// under, if any.
+pub(crate) fn active() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is running under an active exploration.
+pub fn is_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+pub(crate) fn set_tls(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn clear_tls() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Scheduling point before an instrumented operation. No-op when the
+/// calling thread is not registered with an execution.
+pub fn yield_op() {
+    if let Some((exec, me)) = active() {
+        exec.yield_point(me, YieldKind::Op);
+    }
+}
+
+/// Voluntary deschedule (spin loops, `yield_now`).
+pub fn yield_voluntary() {
+    if let Some((exec, me)) = active() {
+        exec.yield_point(me, YieldKind::Yield);
+    }
+}
+
+/// Abandon serialization for the rest of this run (panic unwinding a
+/// scope, teardown): all registered threads run natively to completion.
+pub(crate) fn mark_free_run() {
+    if let Some((exec, _)) = active() {
+        exec.enter_free_run();
+    }
+}
+
+impl Execution {
+    /// A fresh execution whose driver thread (the one about to run the
+    /// closure) is thread 0 and already holds the baton.
+    pub fn new(driver: Driver, max_steps: u64) -> Arc<Self> {
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![TStatus::Runnable],
+                current: 0,
+                free_run: false,
+                steps: 0,
+                max_steps,
+                driver,
+                decisions: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Lock that shrugs off poisoning: a panicking schedule is a
+    /// *result* here, not a corruption, and sibling threads must still
+    /// be able to drain through the scheduler afterwards.
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn enter_free_run(&self) {
+        let mut st = self.lock();
+        st.free_run = true;
+        self.cv.notify_all();
+    }
+
+    /// Register a newly spawned thread as schedulable and return its id.
+    pub fn register_child(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(TStatus::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Block the calling (fresh) thread until the scheduler hands it
+    /// the baton for the first time.
+    pub fn wait_first_schedule(&self, me: usize) {
+        let mut st = self.lock();
+        while st.current != me && !st.free_run {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The generic scheduling point: consult the driver, hand the baton
+    /// over if another thread was chosen, and wait for it back.
+    pub fn yield_point(&self, me: usize, kind: YieldKind) {
+        let mut st = self.lock();
+        if st.free_run {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.free_run = true;
+            self.cv.notify_all();
+            drop(st);
+            panic!(
+                "modelcheck: step limit exceeded (livelock under this schedule, \
+                 or raise Config::max_steps)"
+            );
+        }
+        let next = st.decide(me, kind);
+        if next != me {
+            st.current = next;
+            self.cv.notify_all();
+            while st.current != me && !st.free_run {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Mark the calling thread finished and hand the baton on. Entered
+    /// on both normal return and unwind; a panicking thread flips the
+    /// execution into free-run so every sibling can drain and the
+    /// enclosing scope's joins complete.
+    pub fn finish_thread(&self, me: usize, panicked: bool) {
+        let mut st = self.lock();
+        st.threads[me] = TStatus::Finished;
+        if panicked {
+            st.free_run = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.current == me && !st.free_run {
+            if let Some(next) = st.decide_opt(me, YieldKind::Finish) {
+                st.current = next;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Scheduler-aware join: block until `target` finishes, letting the
+    /// driver decide who runs in the meantime.
+    pub fn join(&self, me: usize, target: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.threads[target] == TStatus::Finished {
+                return;
+            }
+            if st.free_run {
+                drop(st);
+                std::thread::yield_now();
+                continue;
+            }
+            st.threads[me] = TStatus::BlockedOnJoin(target);
+            match st.decide_opt(me, YieldKind::Block) {
+                Some(next) => {
+                    st.current = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    // Nobody can run and the join target is unfinished:
+                    // a genuine deadlock in the modeled program.
+                    st.free_run = true;
+                    self.cv.notify_all();
+                    drop(st);
+                    panic!("modelcheck: deadlock — all threads blocked under this schedule");
+                }
+            }
+            while st.current != me && !st.free_run {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.threads[me] = TStatus::Runnable;
+        }
+    }
+
+    /// Drain the recorded decision trace and release any straggling
+    /// registered threads (teardown).
+    pub fn take_trace(&self) -> (Vec<Decision>, bool) {
+        let mut st = self.lock();
+        st.free_run = true;
+        self.cv.notify_all();
+        let leaked = st.threads.iter().skip(1).any(|t| *t != TStatus::Finished);
+        (std::mem::take(&mut st.decisions), leaked)
+    }
+}
+
+impl ExecState {
+    /// Threads schedulable right now: `Runnable`, or blocked on a join
+    /// whose target has finished.
+    fn enabled(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| match self.threads[t] {
+                TStatus::Runnable => true,
+                TStatus::BlockedOnJoin(target) => self.threads[target] == TStatus::Finished,
+                TStatus::Finished => false,
+            })
+            .collect()
+    }
+
+    fn decide(&mut self, me: usize, kind: YieldKind) -> usize {
+        self.decide_opt(me, kind)
+            .expect("modelcheck: no schedulable thread at an Op/Yield point")
+    }
+
+    /// Pick the next thread to run, recording the decision when there
+    /// was a real choice. Returns `None` when nothing is schedulable
+    /// (only legal at `Finish`/`Block` points).
+    fn decide_opt(&mut self, me: usize, kind: YieldKind) -> Option<usize> {
+        let enabled = self.enabled();
+        // Candidate order is the replay contract: current thread first
+        // (when eligible), then ascending id. Choice index 0 therefore
+        // always means "do not preempt" at an Op point.
+        let mut candidates: Vec<usize> = Vec::with_capacity(enabled.len());
+        let me_eligible = match kind {
+            YieldKind::Op => enabled.contains(&me),
+            // A voluntary yield keeps `me` only when nobody else can
+            // run — otherwise a spin loop could be rescheduled forever
+            // under DFS.
+            YieldKind::Yield => enabled.contains(&me) && enabled.len() == 1,
+            YieldKind::Block | YieldKind::Finish => false,
+        };
+        if me_eligible {
+            candidates.push(me);
+        }
+        candidates.extend(enabled.iter().copied().filter(|&t| t != me));
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates.len() == 1 {
+            return Some(candidates[0]);
+        }
+        let preemptible = kind == YieldKind::Op;
+        let k = self.decisions.len();
+        let chosen: u32 = match &mut self.driver {
+            Driver::Prescribed { choices } => {
+                if k < choices.len() {
+                    choices[k].min(candidates.len() as u32 - 1)
+                } else {
+                    0
+                }
+            }
+            Driver::Random {
+                rng,
+                preemption_bound,
+                preemptions,
+            } => {
+                if preemptible {
+                    // candidates[0] is `me`: continue by default,
+                    // preempt with probability 1/4 under the bound.
+                    if *preemptions < *preemption_bound && rng.next_u64() % 4 == 0 {
+                        *preemptions += 1;
+                        1 + (rng.next_u64() % (candidates.len() as u64 - 1)) as u32
+                    } else {
+                        0
+                    }
+                } else {
+                    (rng.next_u64() % candidates.len() as u64) as u32
+                }
+            }
+        };
+        let next = candidates[chosen as usize];
+        self.decisions.push(Decision {
+            candidates,
+            chosen,
+            me,
+            preemptible,
+        });
+        Some(next)
+    }
+}

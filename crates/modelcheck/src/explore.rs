@@ -1,0 +1,342 @@
+//! Schedule exploration: bounded-exhaustive DFS and seeded random
+//! walks over the scheduling decisions of `crate::exec`, failing
+//! schedules reported as replayable, shrunk [`Seed`]s.
+
+use crate::exec::{self, Decision, Driver, Execution};
+use crate::rng;
+use crate::seed::Seed;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// How schedules are enumerated.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Depth-first enumeration of every schedule reachable with at most
+    /// [`Config::max_preemptions`] preemptions — sound and complete for
+    /// small models (the classic delay-bounding result: most
+    /// interleaving bugs need very few preemptions to trigger).
+    Exhaustive,
+    /// `iterations` independent seeded random walks, each preempting at
+    /// most [`Config::max_preemptions`] times. The per-walk RNG stream
+    /// is derived from `seed`, so a failing *walk* is re-found by the
+    /// same config — but failures are reported as explicit choice-list
+    /// seeds, which replay exactly regardless of strategy.
+    Random { seed: u64, iterations: u64 },
+}
+
+/// Exploration bounds and strategy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stop (reporting `complete: false`) after this many schedules.
+    pub max_schedules: u64,
+    /// Preemption bound: forced context switches per schedule at
+    /// instrumented-operation points (voluntary yields are free).
+    pub max_preemptions: u32,
+    /// Per-schedule step limit; exceeding it fails the schedule
+    /// (livelock under that interleaving).
+    pub max_steps: u64,
+    /// Extra runs the shrinker may spend minimizing a failing seed.
+    pub shrink_runs: u32,
+    /// Enumeration strategy.
+    pub strategy: Strategy,
+}
+
+impl Config {
+    /// Bounded-exhaustive DFS with the given preemption bound.
+    pub fn exhaustive(max_preemptions: u32, max_schedules: u64) -> Self {
+        Config {
+            max_schedules,
+            max_preemptions,
+            max_steps: 1_000_000,
+            shrink_runs: 256,
+            strategy: Strategy::Exhaustive,
+        }
+    }
+
+    /// Seeded random walks with the given preemption bound.
+    pub fn random(seed: u64, iterations: u64, max_preemptions: u32) -> Self {
+        Config {
+            max_schedules: iterations,
+            max_preemptions,
+            max_steps: 1_000_000,
+            shrink_runs: 256,
+            strategy: Strategy::Random { seed, iterations },
+        }
+    }
+}
+
+/// One failing schedule.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Replayable (and shrunk) schedule seed; feed to [`replay`].
+    pub seed: Seed,
+    /// The seed as originally recorded, before shrinking.
+    pub original_seed: Seed,
+    /// The panic message the failing schedule produced.
+    pub message: String,
+    /// 1-based index of the schedule that first failed.
+    pub schedule_index: u64,
+}
+
+/// The outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules executed (shrinking runs not included).
+    pub schedules: u64,
+    /// Whether the strategy ran to completion: every bounded schedule
+    /// for `Exhaustive`, every iteration for `Random`. `false` when
+    /// `max_schedules` cut enumeration short or a failure stopped it.
+    pub complete: bool,
+    /// The first failing schedule found, if any.
+    pub failure: Option<Failure>,
+}
+
+struct RunResult {
+    decisions: Vec<Decision>,
+    panic_msg: Option<String>,
+}
+
+/// Run the closure once under the given driver, catching an assertion
+/// failure as a schedule result rather than a test abort.
+fn run_once<F: Fn()>(driver: Driver, max_steps: u64, f: &F) -> RunResult {
+    let exec = Execution::new(driver, max_steps);
+    exec::set_tls(Arc::clone(&exec), 0);
+    let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+    exec::clear_tls();
+    let (decisions, leaked) = exec.take_trace();
+    let panic_msg = match outcome {
+        Ok(()) if leaked => Some(
+            "modelcheck: closure returned with registered threads still running \
+             (join every spawned thread before returning)"
+                .to_string(),
+        ),
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(payload)),
+    };
+    RunResult {
+        decisions,
+        panic_msg,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Explore schedules of `f` under `config`. The closure runs once per
+/// schedule and must be deterministic apart from thread interleaving;
+/// it must join every thread it spawns (scopes do this implicitly).
+pub fn explore<F: Fn()>(config: &Config, f: F) -> Report {
+    match &config.strategy {
+        Strategy::Exhaustive => explore_exhaustive(config, &f),
+        Strategy::Random { seed, iterations } => explore_random(config, *seed, *iterations, &f),
+    }
+}
+
+/// Replay one recorded schedule. `Ok` when the closure completes,
+/// `Err(panic message)` when it fails again.
+pub fn replay<F: Fn()>(seed: &Seed, f: F) -> Result<(), String> {
+    let run = run_once(
+        Driver::Prescribed {
+            choices: seed.choices.clone(),
+        },
+        1_000_000,
+        &f,
+    );
+    match run.panic_msg {
+        None => Ok(()),
+        Some(msg) => Err(msg),
+    }
+}
+
+/// [`explore`], panicking with a replay-ready seed when a failing
+/// schedule is found — the assert-style entry point for model tests.
+pub fn check<F: Fn()>(config: &Config, f: F) {
+    let report = explore(config, f);
+    if let Some(failure) = report.failure {
+        panic!(
+            "model check failed on schedule {} of {}: {}\n  replay seed: {}\n  \
+             (original seed before shrinking: {})",
+            failure.schedule_index,
+            report.schedules,
+            failure.message,
+            failure.seed,
+            failure.original_seed,
+        );
+    }
+}
+
+fn failure_from(config: &Config, f: &impl Fn(), run: RunResult, schedule_index: u64) -> Failure {
+    let message = run.panic_msg.expect("failure_from called on a passing run");
+    let original = Seed {
+        choices: run.decisions.iter().map(|d| d.chosen).collect(),
+    };
+    let seed = shrink(config, f, &original);
+    Failure {
+        seed,
+        original_seed: original,
+        message,
+        schedule_index,
+    }
+}
+
+fn explore_exhaustive(config: &Config, f: &impl Fn()) -> Report {
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut schedules = 0u64;
+    loop {
+        schedules += 1;
+        let run = run_once(
+            Driver::Prescribed {
+                choices: prefix.clone(),
+            },
+            config.max_steps,
+            f,
+        );
+        if run.panic_msg.is_some() {
+            let failure = failure_from(config, f, run, schedules);
+            return Report {
+                schedules,
+                complete: false,
+                failure: Some(failure),
+            };
+        }
+        match next_prefix(&run.decisions, config.max_preemptions) {
+            Some(p) => prefix = p,
+            None => {
+                return Report {
+                    schedules,
+                    complete: true,
+                    failure: None,
+                }
+            }
+        }
+        if schedules >= config.max_schedules {
+            return Report {
+                schedules,
+                complete: false,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// DFS backtracking: given the full decision trace of the schedule just
+/// run, produce the prescription prefix of the next unexplored schedule
+/// within the preemption bound, or `None` when the bounded space is
+/// exhausted.
+///
+/// Works backwards from the deepest decision, advancing its choice to
+/// the next candidate; alternatives that would blow the preemption
+/// budget accumulated by the (unchanged) prefix before them are
+/// skipped. Because candidate lists put the running thread first,
+/// choice 0 is never a preemption and deeper default execution is
+/// always budget-neutral.
+fn next_prefix(decisions: &[Decision], max_preemptions: u32) -> Option<Vec<u32>> {
+    // Preemptions taken by decisions[..i] as recorded.
+    let mut used_before = vec![0u32; decisions.len() + 1];
+    for (i, d) in decisions.iter().enumerate() {
+        used_before[i + 1] = used_before[i] + u32::from(d.is_preemption());
+    }
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        let mut c = d.chosen + 1;
+        while (c as usize) < d.candidates.len() {
+            let would_preempt = d.preemptible && d.candidates[c as usize] != d.me;
+            if !would_preempt || used_before[i] < max_preemptions {
+                let mut prefix: Vec<u32> = decisions[..i].iter().map(|p| p.chosen).collect();
+                prefix.push(c);
+                return Some(prefix);
+            }
+            c += 1;
+        }
+    }
+    None
+}
+
+fn explore_random(config: &Config, seed: u64, iterations: u64, f: &impl Fn()) -> Report {
+    let budget = iterations.min(config.max_schedules);
+    for i in 0..budget {
+        let run = run_once(
+            Driver::Random {
+                rng: crate::rng::SplitMix64(rng::mix(seed, i)),
+                preemption_bound: config.max_preemptions,
+                preemptions: 0,
+            },
+            config.max_steps,
+            f,
+        );
+        if run.panic_msg.is_some() {
+            let failure = failure_from(config, f, run, i + 1);
+            return Report {
+                schedules: i + 1,
+                complete: false,
+                failure: Some(failure),
+            };
+        }
+    }
+    Report {
+        schedules: budget,
+        complete: budget == iterations,
+        failure: None,
+    }
+}
+
+/// Minimize a failing seed: find the shortest failing prescription
+/// prefix, then zero out (un-force) individual choices that the
+/// failure does not depend on. Every trial replays the closure, so the
+/// whole pass is capped at `config.shrink_runs` runs. Returns the full
+/// choice list of the smallest failing run found (replay-exact).
+fn shrink(config: &Config, f: &impl Fn(), original: &Seed) -> Seed {
+    let mut budget = config.shrink_runs;
+    let fails = |choices: &[u32], budget: &mut u32| -> Option<Vec<u32>> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let run = run_once(
+            Driver::Prescribed {
+                choices: choices.to_vec(),
+            },
+            config.max_steps,
+            f,
+        );
+        run.panic_msg
+            .is_some()
+            .then(|| run.decisions.iter().map(|d| d.chosen).collect())
+    };
+
+    let mut best: Vec<u32> = original.choices.clone();
+    // Phase 1: binary-search the shortest failing prefix. Failure is
+    // not strictly monotone in prefix length, so this is a heuristic —
+    // but every accepted candidate is re-verified to fail.
+    let (mut lo, mut hi) = (0usize, best.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match fails(&best[..mid], &mut budget) {
+            Some(full) => {
+                best = full;
+                hi = mid.min(best.len());
+            }
+            None => lo = mid + 1,
+        }
+    }
+    // Phase 2: un-force choices one at a time (0 = "continue current
+    // thread", the default), keeping any change that still fails.
+    for i in (0..best.len()).rev() {
+        if best[i] == 0 {
+            continue;
+        }
+        let mut trial = best.clone();
+        trial[i] = 0;
+        if let Some(full) = fails(&trial, &mut budget) {
+            best = full;
+        }
+    }
+    Seed { choices: best }
+}

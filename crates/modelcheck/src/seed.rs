@@ -1,0 +1,116 @@
+//! Replayable schedule seeds.
+//!
+//! A [`Seed`] is the full list of multi-candidate scheduling choices a
+//! failing run took, each an index into that decision's
+//! deterministically ordered candidate list (see
+//! `crate::exec`). Replaying a seed re-runs the closure under exactly
+//! that schedule, provided the closure itself is deterministic apart
+//! from thread interleaving (no wall-clock branching, no hash-seed
+//! dependent iteration in the modeled protocol).
+//!
+//! The text form is `mc1:` followed by dot-separated decimal choices
+//! (`mc1:` alone is the default, choice-free schedule), so a failing
+//! seed printed by [`crate::check`] can be pasted straight back into
+//! [`crate::replay`] or an `DELPROP_MODEL_SEED`-style env var.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Version prefix of the text form; bump if the decision-recording
+/// contract (candidate ordering, which points record) ever changes.
+const PREFIX: &str = "mc1:";
+
+/// A replayable schedule: the recorded choice at every multi-candidate
+/// scheduling decision of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Seed {
+    /// Per recorded decision, the index into its candidate list.
+    pub choices: Vec<u32>,
+}
+
+impl Seed {
+    /// The schedule with no forced choices (default policy throughout).
+    pub fn empty() -> Self {
+        Seed {
+            choices: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Seed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(PREFIX)?;
+        for (i, c) in self.choices.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a seed string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSeedError(String);
+
+impl fmt::Display for ParseSeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid modelcheck seed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSeedError {}
+
+impl FromStr for Seed {
+    type Err = ParseSeedError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix(PREFIX)
+            .ok_or_else(|| ParseSeedError(format!("missing `{PREFIX}` prefix in {s:?}")))?;
+        if rest.is_empty() {
+            return Ok(Seed::empty());
+        }
+        let choices = rest
+            .split('.')
+            .map(|part| {
+                part.parse::<u32>()
+                    .map_err(|e| ParseSeedError(format!("bad choice {part:?}: {e}")))
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        Ok(Seed { choices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        for choices in [vec![], vec![0], vec![3, 0, 1, 2], vec![u32::MAX, 7]] {
+            let seed = Seed {
+                choices: choices.clone(),
+            };
+            let text = seed.to_string();
+            let back: Seed = text.parse().expect("round trip");
+            assert_eq!(back, seed, "via {text}");
+        }
+    }
+
+    #[test]
+    fn empty_seed_is_bare_prefix() {
+        assert_eq!(Seed::empty().to_string(), "mc1:");
+        assert_eq!("mc1:".parse::<Seed>(), Ok(Seed::empty()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<Seed>().is_err());
+        assert!("mc2:1.2".parse::<Seed>().is_err());
+        assert!("mc1:1..2".parse::<Seed>().is_err());
+        assert!("mc1:x".parse::<Seed>().is_err());
+        assert!("mc1:-1".parse::<Seed>().is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Scheduler-aware thread spawning: drop-in `scope`/`spawn`/`yield_now`
+//! that register spawned threads with the active exploration (when one
+//! is running on the calling thread) and pass straight through to
+//! `std::thread` otherwise.
+//!
+//! Registered threads participate in the serialized baton protocol of
+//! `crate::exec`: a spawned thread does not run until the scheduler
+//! picks it, joins are scheduling points, and a scope's implicit joins
+//! go through the scheduler before `std`'s own join (which then returns
+//! immediately).
+
+use crate::exec::{self, Execution};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Registration ticket a spawning thread passes into the spawned one.
+type Registration = Option<(Arc<Execution>, usize)>;
+
+/// Register a child thread with the calling thread's active execution,
+/// if any.
+fn register_child() -> Registration {
+    exec::active().map(|(e, _)| {
+        let tid = e.register_child();
+        (e, tid)
+    })
+}
+
+/// Body wrapper for registered threads: install TLS, wait to be
+/// scheduled, run, and hand the baton on — releasing it on unwind too,
+/// so a panicking schedule cannot wedge its siblings.
+fn run_registered<T>(reg: Registration, f: impl FnOnce() -> T) -> T {
+    match reg {
+        None => f(),
+        Some((exec, tid)) => {
+            exec::set_tls(Arc::clone(&exec), tid);
+            exec.wait_first_schedule(tid);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+            exec.finish_thread(tid, outcome.is_err());
+            exec::clear_tls();
+            match outcome {
+                Ok(v) => v,
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    }
+}
+
+/// Scheduler-aware counterpart of [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    children: Mutex<Vec<usize>>,
+}
+
+/// Scheduler-aware counterpart of [`std::thread::ScopedJoinHandle`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    tid: Option<usize>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Join through the scheduler (a blocking scheduling point), then
+    /// through std.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(tid), Some((exec, me))) = (self.tid, exec::active()) {
+            exec.join(me, tid);
+        }
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread, registered with the active exploration
+    /// when there is one.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let reg = register_child();
+        let tid = reg.as_ref().map(|(_, t)| *t);
+        if let Some(t) = tid {
+            self.children
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(t);
+        }
+        let handle = self.inner.spawn(move || run_registered(reg, f));
+        // Let the scheduler consider running the child right away:
+        // child-first interleavings are schedules too.
+        exec::yield_op();
+        ScopedJoinHandle { inner: handle, tid }
+    }
+}
+
+/// Scheduler-aware counterpart of [`std::thread::scope`].
+///
+/// On normal exit, every child spawned through the wrapper is joined
+/// *through the scheduler* before std's implicit joins run. If the
+/// closure unwinds, the execution switches to free-run so the scoped
+/// children can drain natively and std's joins complete — the panic
+/// then propagates as usual and the explorer records the schedule as
+/// failing.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            children: Mutex::new(Vec::new()),
+        };
+        match panic::catch_unwind(AssertUnwindSafe(|| f(&wrapper))) {
+            Ok(value) => {
+                if let Some((exec, me)) = exec::active() {
+                    let tids: Vec<usize> = std::mem::take(
+                        &mut *wrapper.children.lock().unwrap_or_else(|e| e.into_inner()),
+                    );
+                    for tid in tids {
+                        exec.join(me, tid);
+                    }
+                }
+                value
+            }
+            Err(payload) => {
+                exec::mark_free_run();
+                panic::resume_unwind(payload)
+            }
+        }
+    })
+}
+
+/// Scheduler-aware counterpart of [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Join through the scheduler (a blocking scheduling point), then
+    /// through std.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(tid), Some((exec, me))) = (self.tid, exec::active()) {
+            exec.join(me, tid);
+        }
+        self.inner.join()
+    }
+}
+
+/// Scheduler-aware counterpart of [`std::thread::spawn`]. Under an
+/// exploration the spawned thread MUST be joined before the explored
+/// closure returns (the explorer reports a leaked registered thread as
+/// a failing schedule).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let reg = register_child();
+    let tid = reg.as_ref().map(|(_, t)| *t);
+    let handle = std::thread::spawn(move || run_registered(reg, f));
+    exec::yield_op();
+    JoinHandle { inner: handle, tid }
+}
+
+/// Voluntary deschedule: a scheduling point under an exploration,
+/// [`std::thread::yield_now`] otherwise.
+pub fn yield_now() {
+    if exec::is_active() {
+        exec::yield_voluntary();
+    } else {
+        std::thread::yield_now();
+    }
+}
