@@ -14,7 +14,9 @@
 //! - **wall clock** (`*_micros`, `*_secs`) — regression-only relative
 //!   tolerance, default ±30% (`BENCH_GATE_TOLERANCE_PCT` or
 //!   `--tolerance-pct` override): fresh may be *slower* by at most that
-//!   much; getting faster never fails;
+//!   much; getting faster never fails; `BENCH_serve.json` gets 2x the
+//!   tolerance (socket tails are noisier than pure-CPU loops — see
+//!   [`tolerance_scale`]);
 //! - **`speedup`** — same tolerance, opposite direction (fresh may be
 //!   lower by at most 30%);
 //! - **`*_overhead_pct`** — absolute points, default +5
@@ -29,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 /// The artifacts the gate diffs. `harness --smoke` regenerates exactly
 /// these (see `experiments::smoke_ids`).
-const GATED: &[&str] = &["BENCH_parallel.json", "BENCH_obs.json"];
+const GATED: &[&str] = &["BENCH_parallel.json", "BENCH_obs.json", "BENCH_serve.json"];
 
 const SKIP: &[&str] = &["winner", "members_cancelled", "members_run", "reps"];
 
@@ -43,6 +45,21 @@ enum Class {
     /// Absolute percentage-point ceiling (overhead percentages).
     PctPoints,
     Exact,
+}
+
+/// Per-file widening of the wall-clock tolerance. The serving
+/// percentiles (`BENCH_serve.json`) cross a real socket, so their tails
+/// carry scheduler and loopback noise the pure-CPU benches don't; the
+/// gate doubles the relative tolerance there. Still plenty tight: the
+/// regressions this gate exists to catch — an accidental blocking
+/// sleep, a lost wakeup, an admission convoy — show up as 10x on p99,
+/// not +60%.
+fn tolerance_scale(file: &str) -> f64 {
+    if file == "BENCH_serve.json" {
+        2.0
+    } else {
+        1.0
+    }
 }
 
 fn classify(key: &str) -> Class {
@@ -105,7 +122,8 @@ impl Gate {
                         self.fail(file, row, key, format!("not numeric: {b:?} vs {f:?}"));
                         continue;
                     };
-                    let tol = self.tolerance_pct / 100.0;
+                    let pct = self.tolerance_pct * tolerance_scale(file);
+                    let tol = pct / 100.0;
                     match class {
                         Class::SlowerIsWorse if bv > 1e-9 && fv > bv * (1.0 + tol) => {
                             self.fail(
@@ -115,7 +133,7 @@ impl Gate {
                                 format!(
                                     "{fv} is {:+.1}% vs baseline {bv} (allowed +{:.0}%)",
                                     (fv / bv - 1.0) * 100.0,
-                                    self.tolerance_pct
+                                    pct
                                 ),
                             );
                         }
@@ -127,7 +145,7 @@ impl Gate {
                                 format!(
                                     "{fv} is {:+.1}% vs baseline {bv} (allowed -{:.0}%)",
                                     (fv / bv - 1.0) * 100.0,
-                                    self.tolerance_pct
+                                    pct
                                 ),
                             );
                         }

@@ -6,7 +6,10 @@
 //! microbenches (in `benches/`) cover the runtime claims.
 
 pub mod experiments;
-pub mod json;
+// The JSON value type moved to its own crate (the serving daemon's
+// wire protocol shares it); re-exported here so `delprop_bench::json`
+// paths keep working.
+pub use delprop_json as json;
 
 /// Format a ratio or sentinel when the denominator is ~0.
 pub fn ratio(num: f64, den: f64) -> String {

@@ -54,8 +54,11 @@ use std::time::{Duration, Instant};
 /// `Instant::now` anywhere else in the crate. One sanctioned call site
 /// keeps wall-clock out of solver logic (work ticks stay the only
 /// determinism-relevant meter) and gives a future virtual clock a
-/// single seam.
-pub(crate) fn now() -> Instant {
+/// single seam. Public (re-exported as `runtime::now`) so downstream
+/// crates with legitimate wall-clock needs — the serving daemon's
+/// deadline arithmetic, request latency metering — ride the same seam
+/// instead of growing their own `Instant::now` call sites.
+pub fn now() -> Instant {
     Instant::now()
 }
 
@@ -67,6 +70,11 @@ const DEADLINE_CHECK_EVERY: u64 = 1024;
 /// `budget.ticks` metric: one batched record per this many local ticks.
 const TRACE_TICK_BATCH: u64 = 1024;
 
+/// How many charge-free [`Budget::poll`]s may elapse between wall-clock
+/// checks on a deadline pool. Polls are cheaper than charges (no CAS on
+/// the shared counter), so they can afford a tighter clock cadence.
+const POLL_DEADLINE_CHECK_EVERY: u64 = 64;
+
 /// The shared pool behind one or more [`Budget`] handles.
 struct Pool {
     used: AtomicU64,
@@ -74,6 +82,14 @@ struct Pool {
     deadline: Option<Instant>,
     next_deadline_check: AtomicU64,
     exhausted: AtomicBool,
+    /// Pool-wide cooperative cancellation: set by [`Budget::cancel_all`]
+    /// on any handle, observed by every handle's checkpoints. This is
+    /// the request-scoped kill switch the serving layer pulls on client
+    /// disconnect or daemon shutdown — per-handle [`Budget::cancel`]
+    /// only stops one member.
+    cancelled: AtomicBool,
+    /// Who asked for the pool-wide cancellation; set at most once.
+    cancel_cause: OnceLock<&'static str>,
     /// Optional trace sink shared by every handle on this pool.
     sink: Option<Arc<dyn TraceSink>>,
 }
@@ -111,6 +127,9 @@ pub struct Budget {
     /// Who asked for the cancellation (the winning member's name on the
     /// racing path); set at most once by [`Budget::cancel_with_cause`].
     cancel_cause: OnceLock<&'static str>,
+    /// Charge-free [`Budget::poll`] calls through this handle — a
+    /// per-handle rate limiter for the poll-path clock reads.
+    polls: AtomicU64,
 }
 
 impl Budget {
@@ -121,6 +140,7 @@ impl Budget {
             cancelled: AtomicBool::new(false),
             label: "",
             cancel_cause: OnceLock::new(),
+            polls: AtomicU64::new(0),
         }
     }
 
@@ -132,6 +152,8 @@ impl Budget {
             deadline: None,
             next_deadline_check: AtomicU64::new(0),
             exhausted: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            cancel_cause: OnceLock::new(),
             sink: None,
         })
     }
@@ -144,6 +166,8 @@ impl Budget {
             deadline: None,
             next_deadline_check: AtomicU64::new(0),
             exhausted: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            cancel_cause: OnceLock::new(),
             sink: None,
         })
     }
@@ -192,6 +216,7 @@ impl Budget {
             cancelled: AtomicBool::new(false),
             label,
             cancel_cause: OnceLock::new(),
+            polls: AtomicU64::new(0),
         }
     }
 
@@ -254,18 +279,49 @@ impl Budget {
         self.cancel();
     }
 
-    /// Whether [`Budget::cancel`] has been called on this handle.
-    pub fn is_cancelled(&self) -> bool {
-        // Ordering: Acquire, pairing with the Release swap in `cancel`
-        // (see there); makes the cancel cause visible once `true` is
-        // observed. Monotone: `true` is sticky, so a stale `false` only
-        // delays the next checkpoint's refusal, never un-cancels.
-        self.cancelled.load(Ordering::Acquire)
+    /// Cooperatively cancel **every handle on this pool**: all later
+    /// checkpoints — through this handle, its siblings, and any future
+    /// [`Budget::share`] — fail with [`CoreError::Cancelled`]. This is
+    /// the request-scoped kill switch: the serving daemon pulls it when
+    /// a client disconnects or the process shuts down, stopping a whole
+    /// racing portfolio at once where [`Budget::cancel`] would stop only
+    /// one member's handle.
+    pub fn cancel_all(&self) {
+        // Ordering: Release, pairing with the Acquire load in
+        // `is_cancelled` — same monotone sticky-flag protocol as the
+        // per-handle token, and the same publish-only reasoning.
+        if !self.pool.cancelled.swap(true, Ordering::Release) {
+            metrics::CANCELLATIONS.inc();
+            self.trace(Phase::Cancel, Kind::Event, "cancel_all", self.used());
+        }
     }
 
-    /// The cause recorded by [`Budget::cancel_with_cause`], if any.
+    /// [`Budget::cancel_all`] plus attribution (see
+    /// [`Budget::cancel_with_cause`]); the first cause sticks.
+    pub fn cancel_all_with_cause(&self, cause: &'static str) {
+        let _ = self.pool.cancel_cause.set(cause);
+        self.cancel_all();
+    }
+
+    /// Whether [`Budget::cancel`] has been called on this handle, or
+    /// [`Budget::cancel_all`] on any handle of the pool.
+    pub fn is_cancelled(&self) -> bool {
+        // Ordering: Acquire, pairing with the Release swaps in `cancel`
+        // and `cancel_all` (see there); makes the cancel cause visible
+        // once `true` is observed. Monotone: `true` is sticky, so a
+        // stale `false` only delays the next checkpoint's refusal,
+        // never un-cancels.
+        self.cancelled.load(Ordering::Acquire) || self.pool.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The cause recorded by [`Budget::cancel_with_cause`] on this
+    /// handle, falling back to the pool-wide cause recorded by
+    /// [`Budget::cancel_all_with_cause`], if any.
     pub fn cancel_cause(&self) -> Option<&'static str> {
-        self.cancel_cause.get().copied()
+        self.cancel_cause
+            .get()
+            .or_else(|| self.pool.cancel_cause.get())
+            .copied()
     }
 
     /// Charge `n` work ticks. Fails with [`CoreError::BudgetExhausted`]
@@ -386,6 +442,34 @@ impl Budget {
     /// Charge a single tick — the common checkpoint call.
     pub fn checkpoint(&self) -> Result<(), CoreError> {
         self.charge(1)
+    }
+
+    /// A **charge-free** checkpoint: observe cancellation (handle and
+    /// pool-wide), sticky exhaustion, and the wall-clock deadline
+    /// without drawing down the tick pool. For wait loops that do no
+    /// work — a stalled member spinning, the daemon parking a request —
+    /// where charging would either drain the shared pool at CPU speed
+    /// or (under an unlimited pool) never observe the deadline at all.
+    ///
+    /// The clock is read only every `POLL_DEADLINE_CHECK_EVERY` calls
+    /// per handle, so polling stays cheap in tight loops.
+    pub fn poll(&self) -> Result<(), CoreError> {
+        if self.is_cancelled() || self.is_exhausted() {
+            return Err(self.error());
+        }
+        if let Some(deadline) = self.pool.deadline {
+            // Ordering: Relaxed — `polls` is a per-handle rate limiter
+            // with no cross-location invariants; a racing reader at
+            // worst checks the clock one call early or late.
+            let n = self.polls.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(POLL_DEADLINE_CHECK_EVERY) && now() >= deadline {
+                // Nothing was charged, so there is nothing to roll
+                // back; just trip the sticky flag.
+                self.mark_exhausted();
+                return Err(self.error());
+            }
+        }
+        Ok(())
     }
 
     /// The error a failing checkpoint returns: [`CoreError::Cancelled`]
@@ -599,6 +683,69 @@ mod tests {
         assert!(!a.is_cancelled());
         a.charge(10).unwrap();
         assert_eq!(a.used(), 20);
+    }
+
+    #[test]
+    fn cancel_all_stops_every_handle_on_the_pool() {
+        let a = Budget::with_ticks(100);
+        let b = a.share_labeled("member_b");
+        let c = a.share_labeled("member_c");
+        b.charge(5).unwrap();
+        // Pool-wide cancel through one sibling reaches them all — and
+        // handles shared *after* the cancel, too.
+        c.cancel_all_with_cause("deadline");
+        assert!(a.is_cancelled() && b.is_cancelled() && c.is_cancelled());
+        assert!(a.share().is_cancelled());
+        let err = b.checkpoint().unwrap_err();
+        assert_eq!(err, CoreError::Cancelled { ticks: 5 });
+        assert_eq!(a.cancel_cause(), Some("deadline"));
+        // A later per-handle cause still wins for that handle.
+        b.cancel_with_cause("winner");
+        assert_eq!(b.cancel_cause(), Some("winner"));
+        assert_eq!(c.cancel_cause(), Some("deadline"));
+    }
+
+    #[test]
+    fn per_handle_cancel_still_spares_siblings() {
+        let a = Budget::with_ticks(100);
+        let b = a.share();
+        b.cancel();
+        assert!(!a.is_cancelled(), "handle cancel must stay per-handle");
+        a.charge(10).unwrap();
+    }
+
+    #[test]
+    fn poll_is_charge_free_and_observes_cancellation() {
+        let a = Budget::with_ticks(10);
+        let b = a.share();
+        for _ in 0..1_000 {
+            b.poll().unwrap();
+        }
+        assert_eq!(a.used(), 0, "poll must never draw down the pool");
+        a.cancel_all();
+        let err = b.poll().unwrap_err();
+        assert_eq!(err, CoreError::Cancelled { ticks: 0 });
+    }
+
+    #[test]
+    fn poll_observes_an_expired_deadline() {
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(0));
+        // The very first poll reads the clock (poll count 0 hits the
+        // rate-limiter's check phase) and trips sticky exhaustion.
+        let err = b.poll().unwrap_err();
+        assert_eq!(err, CoreError::BudgetExhausted { ticks: 0 });
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn poll_observes_sticky_exhaustion() {
+        let b = Budget::with_ticks(1);
+        b.poll().unwrap();
+        assert!(b.charge(2).is_err());
+        assert!(matches!(
+            b.poll().unwrap_err(),
+            CoreError::BudgetExhausted { .. }
+        ));
     }
 
     #[test]

@@ -64,6 +64,7 @@
 //! ```
 
 mod budget;
+pub mod epoch;
 mod fault;
 pub mod metrics;
 mod portfolio;
@@ -71,8 +72,8 @@ pub mod solver;
 pub mod sync;
 pub mod trace;
 
-pub(crate) use budget::now;
-pub use budget::Budget;
+pub use budget::{now, Budget};
+pub use epoch::{EpochCell, EpochSnapshot};
 pub use fault::{FaultMode, FaultySolver};
 pub use portfolio::{
     solve_portfolio, solve_portfolio_balanced, solve_portfolio_racing, MemberReport, MemberStatus,

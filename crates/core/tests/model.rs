@@ -21,7 +21,7 @@
 #![cfg(all(delprop_model, not(delprop_model_bug)))]
 
 use delprop_core::runtime::trace::{Kind, Phase, TraceEvent, TraceSink};
-use delprop_core::runtime::{Budget, MemberStatus, Portfolio, RingBufferSink};
+use delprop_core::runtime::{Budget, EpochCell, MemberStatus, Portfolio, RingBufferSink};
 use delprop_core::{CoreError, Problem};
 use delprop_modelcheck::{explore, thread, Config, Report};
 use delprop_query::parse_query;
@@ -228,6 +228,138 @@ fn model_cancel_is_monotone_and_per_handle() {
         assert_eq!(pool.used(), victim.own_used() + sibling.own_used());
     });
     assert_clean_exhaustive(&report);
+}
+
+/// Pool-wide cancellation ([`Budget::cancel_all`]) is sticky and
+/// reaches **every** handle of the pool — including one shared after
+/// the cancel — under every bounded interleaving; the recorded cause
+/// survives to each observer. This is the request-scoped kill switch
+/// the serving daemon relies on to reap stalled members ([`FaultMode::
+/// Stall`] polls it charge-free), so its monotonicity is
+/// deadline-critical.
+#[test]
+fn model_cancel_all_is_sticky_across_all_handles() {
+    let report = explore(&Config::exhaustive(2, 200_000), || {
+        let pool = Budget::with_ticks(100);
+        let member = pool.share_labeled("member");
+        thread::scope(|s| {
+            s.spawn(|| {
+                // A charge-free poll racing the cancel: monotone — once
+                // an Err is observed, every later poll fails too.
+                let first = member.poll();
+                let second = member.poll();
+                if first.is_err() {
+                    assert!(second.is_err(), "pool cancellation must be sticky");
+                }
+                if let Err(e) = second {
+                    assert!(
+                        matches!(e, CoreError::Cancelled { .. }),
+                        "pool cancel is the typed cause: {e}"
+                    );
+                }
+            });
+            s.spawn(|| {
+                pool.cancel_all_with_cause("deadline");
+                // The canceller observes its own kill switch at once.
+                assert!(pool.is_cancelled());
+            });
+        });
+        // Post-race: every handle — old, new, and the parent — refuses.
+        assert!(member.is_cancelled() && pool.is_cancelled());
+        assert!(pool.share().is_cancelled(), "later shares observe it too");
+        assert!(member.poll().is_err() && member.charge(1).is_err());
+        assert_eq!(member.cancel_cause(), Some("deadline"));
+        assert!(!pool.is_exhausted(), "cancelled, not drained");
+    });
+    assert_clean_exhaustive(&report);
+}
+
+// -------------------------------------------------------------------
+// Epoch snapshot cell
+// -------------------------------------------------------------------
+
+/// The epoch publication protocol in its smallest nontrivial
+/// configuration, exhaustively: one writer publishing one new epoch
+/// against one reader snapshotting twice. In every bounded
+/// interleaving each snapshot guard holds an untorn pair whose payload
+/// matches its epoch number, and the epoch never runs backwards across
+/// the reader's consecutive guards.
+#[test]
+fn model_epoch_snapshot_never_torn_exhaustive() {
+    let report = explore(&Config::exhaustive(2, 500_000), || {
+        let cell = Arc::new(EpochCell::new((1u64, 1u64)));
+        thread::scope(|s| {
+            {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    cell.publish((2, 2));
+                });
+            }
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                let first = cell.snapshot();
+                let second = cell.snapshot();
+                for snap in [&first, &second] {
+                    let (a, b) = **snap;
+                    assert_eq!(a, b, "torn epoch payload");
+                    assert_eq!(
+                        snap.epoch(),
+                        a,
+                        "guard's epoch must match its payload's epoch"
+                    );
+                }
+                assert!(second.epoch() >= first.epoch(), "epoch ran backwards");
+            });
+        });
+        assert_eq!(cell.epoch(), 2);
+        assert_eq!(*cell.snapshot(), (2, 2));
+    });
+    assert_clean_exhaustive(&report);
+}
+
+/// The same invariant under deeper schedules: a writer lapping both
+/// slots (three publishes) while two readers hold, re-take, and compare
+/// guards. A guard taken earlier is *retired* by later publishes — its
+/// payload must stay intact (no reclaim-while-referenced) even after
+/// the writer has recycled the slot it originally lived in. Random
+/// walks with preemptions: a publish is ~10 scheduling points, too deep
+/// for exhaustive DFS at this thread count.
+#[test]
+fn model_epoch_retired_guard_stays_intact() {
+    let report = explore(&Config::random(0xE90C_4A11, iters(40), 2), || {
+        let cell = Arc::new(EpochCell::new((1u64, 1u64)));
+        thread::scope(|s| {
+            {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for k in 2..=4u64 {
+                        cell.publish((k, k));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    // Hold a guard across the writer's slot recycling…
+                    let held = cell.snapshot();
+                    let held_pair = *held;
+                    // …take a fresh one (epoch monotone)…
+                    let fresh = cell.snapshot();
+                    assert!(fresh.epoch() >= held.epoch());
+                    let (a, b) = *fresh;
+                    assert_eq!(a, b, "torn epoch payload");
+                    assert_eq!(fresh.epoch(), a);
+                    // …and the retired guard still reads exactly what
+                    // it pinned, bit for bit.
+                    assert_eq!(*held, held_pair);
+                    assert_eq!(held.epoch(), held_pair.0);
+                });
+            }
+        });
+        assert_eq!(cell.epoch(), 4);
+        assert_eq!(*cell.snapshot(), (4, 4));
+    });
+    assert_clean_random(&report);
 }
 
 // -------------------------------------------------------------------

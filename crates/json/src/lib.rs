@@ -2,6 +2,10 @@
 //! rendering, a parser, and an artifact writer that refuses
 //! nondeterministic output.
 //!
+//! Extracted from the bench harness (which re-exports it as
+//! `delprop_bench::json`) so the serving daemon's wire protocol can
+//! share the same value type without depending on the harness.
+//!
 //! Bench artifacts (`artifacts/BENCH_*.json`) are diffed by the CI
 //! bench gate, so their byte layout must be a pure function of the
 //! measured values: object keys render in sorted order, numbers render

@@ -1,0 +1,328 @@
+//! Admission control: bounded queueing and typed load shedding.
+//!
+//! The [`Gate`] bounds three things a misbehaving client population
+//! could otherwise grow without limit: concurrent solves (globally and
+//! per tenant) and the number of requests *waiting* for a slot. A
+//! request that cannot be admitted within those bounds gets a typed
+//! [`AdmissionError`] — rendered as an `overloaded` response — rather
+//! than an unbounded queue slot, so the daemon's memory and tail
+//! latency stay bounded under any offered load.
+//!
+//! The gate is a classic `Mutex` + `Condvar` monitor, deliberately
+//! *not* a lock-free structure: admission is off the solve hot path
+//! (one lock per request, held for a few loads and stores), and the
+//! blocking-with-timeout semantics of [`Condvar::wait_timeout`] are
+//! exactly what a bounded wait queue needs. The model-checked
+//! lock-free code in this PR is the epoch cell, where readers *are*
+//! on the hot path.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use delprop_core::runtime::now;
+
+/// Gate limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Solves admitted concurrently, across all tenants.
+    pub max_inflight: usize,
+    /// Solves admitted concurrently for any one tenant.
+    pub max_per_tenant: usize,
+    /// Requests allowed to wait for a slot; beyond this, shed
+    /// immediately.
+    pub max_queued: usize,
+    /// Longest a request waits for a slot before it is shed.
+    pub max_wait: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 8,
+            max_per_tenant: 4,
+            max_queued: 16,
+            max_wait: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The daemon is shutting down.
+    Closed,
+    /// The tenant is already at its concurrency limit.
+    TenantSaturated {
+        /// The saturated tenant.
+        tenant: String,
+        /// Its limit.
+        limit: usize,
+    },
+    /// The wait queue is full.
+    QueueFull {
+        /// The queue bound.
+        limit: usize,
+    },
+    /// No slot freed up within the admission wait.
+    Timeout {
+        /// How long the request waited.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Closed => f.write_str("shutting down"),
+            AdmissionError::TenantSaturated { tenant, limit } => {
+                write!(f, "tenant `{tenant}` saturated ({limit} inflight)")
+            }
+            AdmissionError::QueueFull { limit } => write!(f, "queue full ({limit} waiting)"),
+            AdmissionError::Timeout { waited } => {
+                write!(f, "no slot within {} ms", waited.as_millis())
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct GateState {
+    inflight: usize,
+    queued: usize,
+    per_tenant: HashMap<String, usize>,
+    closed: bool,
+}
+
+/// The admission monitor.
+pub struct Gate {
+    cfg: AdmissionConfig,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+impl Gate {
+    /// A gate with the given limits.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Gate {
+            cfg,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Lock the state, recovering from poisoning: a panic in some
+    /// other conn thread must not take admission (and with it the
+    /// whole daemon) down.
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tenant_count(st: &GateState, tenant: &str) -> usize {
+        st.per_tenant.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Try to admit `tenant`, waiting at most
+    /// `min(max_wait, cfg.max_wait)` for a slot. On success the
+    /// returned [`Permit`] holds the slot until dropped.
+    pub fn acquire(&self, tenant: &str, max_wait: Duration) -> Result<Permit<'_>, AdmissionError> {
+        let max_wait = max_wait.min(self.cfg.max_wait);
+        let mut st = self.lock();
+        if st.closed {
+            return Err(AdmissionError::Closed);
+        }
+        // Per-tenant saturation sheds immediately: queueing more work
+        // from a tenant that already holds its full share would only
+        // let one tenant crowd the bounded queue.
+        if Self::tenant_count(&st, tenant) >= self.cfg.max_per_tenant {
+            crate::stats::SHED_TENANT.inc();
+            return Err(AdmissionError::TenantSaturated {
+                tenant: tenant.to_string(),
+                limit: self.cfg.max_per_tenant,
+            });
+        }
+        if st.inflight >= self.cfg.max_inflight {
+            if st.queued >= self.cfg.max_queued {
+                crate::stats::SHED_QUEUE.inc();
+                return Err(AdmissionError::QueueFull {
+                    limit: self.cfg.max_queued,
+                });
+            }
+            st.queued += 1;
+            let start = now();
+            let deadline = start + max_wait;
+            loop {
+                let remaining = deadline.saturating_duration_since(now());
+                if remaining.is_zero() {
+                    st.queued -= 1;
+                    crate::stats::SHED_TIMEOUT.inc();
+                    return Err(AdmissionError::Timeout {
+                        waited: start.elapsed(),
+                    });
+                }
+                st = self
+                    .freed
+                    .wait_timeout(st, remaining)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+                if st.closed {
+                    st.queued -= 1;
+                    return Err(AdmissionError::Closed);
+                }
+                if st.inflight < self.cfg.max_inflight
+                    && Self::tenant_count(&st, tenant) < self.cfg.max_per_tenant
+                {
+                    break;
+                }
+            }
+            st.queued -= 1;
+            crate::stats::QUEUE_WAIT_MICROS.observe(start.elapsed().as_micros() as u64);
+        }
+        st.inflight += 1;
+        *st.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+        Ok(Permit {
+            gate: self,
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Stop admitting: current holders finish, waiters and future
+    /// requests get [`AdmissionError::Closed`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.freed.notify_all();
+    }
+
+    /// Solves currently admitted.
+    pub fn inflight(&self) -> usize {
+        self.lock().inflight
+    }
+
+    /// Requests currently waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.lock().queued
+    }
+}
+
+/// An admitted slot; dropping it releases the slot and wakes waiters.
+pub struct Permit<'a> {
+    gate: &'a Gate,
+    tenant: String,
+}
+
+impl fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Permit")
+            .field("tenant", &self.tenant)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.lock();
+        st.inflight -= 1;
+        if let Some(n) = st.per_tenant.get_mut(&self.tenant) {
+            *n -= 1;
+            if *n == 0 {
+                st.per_tenant.remove(&self.tenant);
+            }
+        }
+        drop(st);
+        self.gate.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(max_inflight: usize, max_per_tenant: usize, max_queued: usize) -> Gate {
+        Gate::new(AdmissionConfig {
+            max_inflight,
+            max_per_tenant,
+            max_queued,
+            max_wait: Duration::from_millis(50),
+        })
+    }
+
+    #[test]
+    fn admits_up_to_the_global_limit_then_times_out() {
+        let g = gate(2, 2, 4);
+        let p1 = g.acquire("a", Duration::from_millis(5)).unwrap();
+        let _p2 = g.acquire("b", Duration::from_millis(5)).unwrap();
+        assert_eq!(g.inflight(), 2);
+        match g.acquire("c", Duration::from_millis(5)) {
+            Err(AdmissionError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        drop(p1);
+        let _p3 = g.acquire("c", Duration::from_millis(50)).unwrap();
+        assert_eq!(g.inflight(), 2);
+    }
+
+    #[test]
+    fn tenant_saturation_sheds_immediately() {
+        let g = gate(8, 1, 4);
+        let _p = g.acquire("a", Duration::from_millis(5)).unwrap();
+        let start = now();
+        match g.acquire("a", Duration::from_millis(5)) {
+            Err(AdmissionError::TenantSaturated { tenant, limit }) => {
+                assert_eq!((tenant.as_str(), limit), ("a", 1));
+            }
+            other => panic!("expected tenant saturation, got {other:?}"),
+        }
+        // Immediate: no queue wait was spent on a hopeless request.
+        assert!(start.elapsed() < Duration::from_millis(5));
+        let _p2 = g.acquire("b", Duration::from_millis(5)).unwrap();
+    }
+
+    #[test]
+    fn queue_bound_sheds_excess_waiters() {
+        let g = gate(1, 1, 0);
+        let _p = g.acquire("a", Duration::from_millis(5)).unwrap();
+        match g.acquire("b", Duration::from_millis(5)) {
+            Err(AdmissionError::QueueFull { limit: 0 }) => {}
+            other => panic!("expected queue full, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn close_rejects_waiters_and_newcomers() {
+        let g = gate(1, 1, 4);
+        let p = g.acquire("a", Duration::from_millis(5)).unwrap();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| g.acquire("b", Duration::from_millis(500)));
+            // Give the waiter a moment to enter the queue, then close.
+            while g.queued() == 0 {
+                std::thread::yield_now();
+            }
+            g.close();
+            assert!(matches!(
+                waiter.join().unwrap(),
+                Err(AdmissionError::Closed)
+            ));
+        });
+        drop(p);
+        assert!(matches!(
+            g.acquire("c", Duration::from_millis(5)),
+            Err(AdmissionError::Closed)
+        ));
+    }
+
+    #[test]
+    fn permits_release_on_drop_and_wake_waiters() {
+        let g = gate(1, 1, 4);
+        let p = g.acquire("a", Duration::from_millis(5)).unwrap();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| g.acquire("b", Duration::from_millis(2_000)).map(|_| ()));
+            while g.queued() == 0 {
+                std::thread::yield_now();
+            }
+            drop(p);
+            waiter.join().unwrap().unwrap();
+        });
+        assert_eq!(g.inflight(), 0);
+    }
+}

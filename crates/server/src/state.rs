@@ -1,0 +1,282 @@
+//! Declarative instance specifications and the epoch payload.
+//!
+//! A published epoch carries a [`ServingInstance`]: a label plus a
+//! fully built, **pre-compiled** [`Problem`]. Compiling at publish
+//! time means every request against the epoch hits the shared
+//! `CompiledInstance` cache through its `Arc` snapshot — the expensive
+//! materialized-view index is built once per epoch, not once per
+//! request (requests that add their own `ΔV` clone the problem and pay
+//! their own compile, which the budget meters).
+
+use delprop_core::{CoreError, Problem};
+use delprop_json::Json;
+use delprop_workload::figures;
+use delprop_workload::forest::{self, ForestParams};
+use delprop_workload::random_db::{self, RandomDbParams};
+
+/// How to build a problem instance, as it travels over the wire in
+/// `publish` requests and CLI flags.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceSpec {
+    /// The pivot-forest workload generator.
+    Forest {
+        /// Chain relations (levels).
+        levels: usize,
+        /// Window width in atoms.
+        window: usize,
+        /// Parallel chains merging like a binary tree.
+        chains: usize,
+        /// Fraction of view tuples marked deleted.
+        delete_fraction: f64,
+        /// Weighted preserved views?
+        weighted: bool,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The random-database workload generator.
+    Random {
+        /// Binary relations in the pool.
+        num_relations: usize,
+        /// Queries (chains over distinct relations).
+        num_queries: usize,
+        /// Atoms per query.
+        atoms_per_query: usize,
+        /// Join-value domain size.
+        domain: usize,
+        /// Tuples per relation.
+        tuples_per_relation: usize,
+        /// Fraction of view tuples marked deleted.
+        delete_fraction: f64,
+        /// Weighted preserved views?
+        weighted: bool,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The paper's running example (Figure 1).
+    Fig1,
+}
+
+impl Default for InstanceSpec {
+    fn default() -> Self {
+        let p = ForestParams::default();
+        InstanceSpec::Forest {
+            levels: p.levels,
+            window: p.window,
+            chains: p.chains,
+            delete_fraction: p.delete_fraction,
+            weighted: p.weighted,
+            seed: 1,
+        }
+    }
+}
+
+impl InstanceSpec {
+    /// Build the problem and warm its compiled IR.
+    pub fn build(&self) -> Result<Problem, CoreError> {
+        let problem = match *self {
+            InstanceSpec::Forest {
+                levels,
+                window,
+                chains,
+                delete_fraction,
+                weighted,
+                seed,
+            } => forest::generate(
+                ForestParams {
+                    levels,
+                    window,
+                    chains,
+                    delete_fraction,
+                    weighted,
+                },
+                seed,
+            ),
+            InstanceSpec::Random {
+                num_relations,
+                num_queries,
+                atoms_per_query,
+                domain,
+                tuples_per_relation,
+                delete_fraction,
+                weighted,
+                seed,
+            } => random_db::generate(
+                RandomDbParams {
+                    num_relations,
+                    num_queries,
+                    atoms_per_query,
+                    domain,
+                    tuples_per_relation,
+                    delete_fraction,
+                    weighted,
+                },
+                seed,
+            ),
+            InstanceSpec::Fig1 => figures::fig1_problem(),
+        };
+        // Publish-time compile: every epoch reader shares this index.
+        let _ = problem.compiled();
+        Ok(problem)
+    }
+
+    /// Render to the wire JSON document.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            InstanceSpec::Forest {
+                levels,
+                window,
+                chains,
+                delete_fraction,
+                weighted,
+                seed,
+            } => Json::obj(vec![
+                ("kind", Json::str("forest")),
+                ("levels", Json::uint(levels as u64)),
+                ("window", Json::uint(window as u64)),
+                ("chains", Json::uint(chains as u64)),
+                ("delete_fraction", Json::Num(delete_fraction)),
+                ("weighted", Json::Bool(weighted)),
+                ("seed", Json::uint(seed)),
+            ]),
+            InstanceSpec::Random {
+                num_relations,
+                num_queries,
+                atoms_per_query,
+                domain,
+                tuples_per_relation,
+                delete_fraction,
+                weighted,
+                seed,
+            } => Json::obj(vec![
+                ("kind", Json::str("random")),
+                ("num_relations", Json::uint(num_relations as u64)),
+                ("num_queries", Json::uint(num_queries as u64)),
+                ("atoms_per_query", Json::uint(atoms_per_query as u64)),
+                ("domain", Json::uint(domain as u64)),
+                (
+                    "tuples_per_relation",
+                    Json::uint(tuples_per_relation as u64),
+                ),
+                ("delete_fraction", Json::Num(delete_fraction)),
+                ("weighted", Json::Bool(weighted)),
+                ("seed", Json::uint(seed)),
+            ]),
+            InstanceSpec::Fig1 => Json::obj(vec![("kind", Json::str("fig1"))]),
+        }
+    }
+
+    /// Parse a wire JSON document, filling absent fields from the
+    /// generator defaults.
+    pub fn from_json(j: &Json) -> Result<InstanceSpec, String> {
+        let kind = match j.get("kind") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return Err("spec requires a string `kind`".to_string()),
+        };
+        let num = |key: &str| j.get(key).and_then(Json::as_num);
+        let usize_or = |key: &str, d: usize| num(key).map_or(d, |n| n as usize);
+        let f64_or = |key: &str, d: f64| num(key).unwrap_or(d);
+        let bool_or = |key: &str, d: bool| match j.get(key) {
+            Some(Json::Bool(b)) => *b,
+            _ => d,
+        };
+        let seed = num("seed").map_or(1, |n| n as u64);
+        match kind {
+            "forest" => {
+                let d = ForestParams::default();
+                Ok(InstanceSpec::Forest {
+                    levels: usize_or("levels", d.levels),
+                    window: usize_or("window", d.window),
+                    chains: usize_or("chains", d.chains),
+                    delete_fraction: f64_or("delete_fraction", d.delete_fraction),
+                    weighted: bool_or("weighted", d.weighted),
+                    seed,
+                })
+            }
+            "random" => {
+                let d = RandomDbParams::default();
+                Ok(InstanceSpec::Random {
+                    num_relations: usize_or("num_relations", d.num_relations),
+                    num_queries: usize_or("num_queries", d.num_queries),
+                    atoms_per_query: usize_or("atoms_per_query", d.atoms_per_query),
+                    domain: usize_or("domain", d.domain),
+                    tuples_per_relation: usize_or("tuples_per_relation", d.tuples_per_relation),
+                    delete_fraction: f64_or("delete_fraction", d.delete_fraction),
+                    weighted: bool_or("weighted", d.weighted),
+                    seed,
+                })
+            }
+            "fig1" => Ok(InstanceSpec::Fig1),
+            other => Err(format!("unknown instance kind `{other}`")),
+        }
+    }
+}
+
+/// One epoch's payload: a label plus the pre-compiled problem, shared
+/// by every request that snapshots the epoch.
+#[derive(Debug)]
+pub struct ServingInstance {
+    /// Human-readable label reported by `health`/`epoch`.
+    pub label: String,
+    /// The instance, compiled at publish time.
+    pub problem: Problem,
+}
+
+impl ServingInstance {
+    /// Build from a spec.
+    pub fn build(label: impl Into<String>, spec: &InstanceSpec) -> Result<Self, CoreError> {
+        Ok(ServingInstance {
+            label: label.into(),
+            problem: spec.build()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_roundtrip_and_build() {
+        let specs = vec![
+            InstanceSpec::default(),
+            InstanceSpec::Random {
+                num_relations: 3,
+                num_queries: 2,
+                atoms_per_query: 2,
+                domain: 6,
+                tuples_per_relation: 12,
+                delete_fraction: 0.3,
+                weighted: true,
+                seed: 7,
+            },
+            InstanceSpec::Fig1,
+        ];
+        for spec in specs {
+            let j = spec.to_json();
+            assert_eq!(InstanceSpec::from_json(&j).unwrap(), spec, "{spec:?}");
+            let p = spec.build().unwrap();
+            assert!(p.norm_delta() > 0, "{spec:?} generated no deletions");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_fills_defaults() {
+        let j = delprop_json::parse(r#"{"kind":"forest","seed":9}"#).unwrap();
+        let d = ForestParams::default();
+        match InstanceSpec::from_json(&j).unwrap() {
+            InstanceSpec::Forest {
+                levels,
+                window,
+                chains,
+                seed,
+                ..
+            } => {
+                assert_eq!(
+                    (levels, window, chains, seed),
+                    (d.levels, d.window, d.chains, 9)
+                );
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+    }
+}

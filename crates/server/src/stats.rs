@@ -1,0 +1,110 @@
+//! Serving metrics, merged with the core runtime registry.
+//!
+//! Same zero-dependency [`Counter`]/[`Histogram`] primitives as
+//! `delprop_core::runtime::metrics` (DESIGN.md §10), with a serving
+//! namespace (`serve.*`). [`render_all`] merges both registries into
+//! one sorted `name value` dump — the payload of the wire protocol's
+//! `stats` request, which bypasses admission so the numbers stay
+//! readable exactly when they matter: under overload.
+
+use delprop_core::runtime::metrics::{self, Counter, Histogram};
+
+/// Connections accepted.
+pub static CONNECTIONS: Counter = Counter::new("serve.connections");
+/// Requests received (all ops, malformed included).
+pub static REQUESTS: Counter = Counter::new("serve.requests");
+/// Solves answered with a verified solution.
+pub static REQUESTS_OK: Counter = Counter::new("serve.ok");
+/// Solves shed by admission.
+pub static REQUESTS_OVERLOADED: Counter = Counter::new("serve.overloaded");
+/// Solves that exceeded their deadline with no verified answer.
+pub static REQUESTS_DEADLINE: Counter = Counter::new("serve.deadline_exceeded");
+/// Typed failures (bad requests, permanent errors, shutdown).
+pub static REQUESTS_ERROR: Counter = Counter::new("serve.errors");
+/// Retry attempts made after transient failures.
+pub static RETRIES: Counter = Counter::new("serve.retries");
+/// Verified answers that were degraded (budget/deadline cut).
+pub static DEGRADED: Counter = Counter::new("serve.degraded");
+/// Degraded answers that came from the grace fallback solver.
+pub static FALLBACKS: Counter = Counter::new("serve.fallbacks");
+/// Epochs published.
+pub static PUBLISHES: Counter = Counter::new("serve.publishes");
+/// Requests shed because a tenant hit its concurrency limit.
+pub static SHED_TENANT: Counter = Counter::new("serve.shed.tenant");
+/// Requests shed because the wait queue was full.
+pub static SHED_QUEUE: Counter = Counter::new("serve.shed.queue");
+/// Requests shed after waiting the full admission timeout.
+pub static SHED_TIMEOUT: Counter = Counter::new("serve.shed.timeout");
+
+/// End-to-end request latency (receipt to response), µs.
+pub static REQUEST_MICROS: Histogram = Histogram::new("serve.request_micros");
+/// Time admitted requests spent waiting in the queue, µs.
+pub static QUEUE_WAIT_MICROS: Histogram = Histogram::new("serve.queue_wait_micros");
+
+/// The serving counters.
+pub fn counters() -> &'static [&'static Counter] {
+    static REGISTRY: [&Counter; 13] = [
+        &CONNECTIONS,
+        &REQUESTS,
+        &REQUESTS_OK,
+        &REQUESTS_OVERLOADED,
+        &REQUESTS_DEADLINE,
+        &REQUESTS_ERROR,
+        &RETRIES,
+        &DEGRADED,
+        &FALLBACKS,
+        &PUBLISHES,
+        &SHED_TENANT,
+        &SHED_QUEUE,
+        &SHED_TIMEOUT,
+    ];
+    &REGISTRY
+}
+
+/// The serving histograms.
+pub fn histograms() -> &'static [&'static Histogram] {
+    static REGISTRY: [&Histogram; 2] = [&REQUEST_MICROS, &QUEUE_WAIT_MICROS];
+    &REGISTRY
+}
+
+/// Core + serving registries rendered as one sorted dump.
+pub fn render_all() -> String {
+    let mut lines: Vec<String> = metrics::render().lines().map(str::to_string).collect();
+    for c in counters() {
+        lines.push(format!("{} {}", c.name(), c.get()));
+    }
+    for h in histograms() {
+        let s = h.snapshot();
+        lines.push(format!(
+            "{} count={} sum={} mean={:.1}",
+            s.name,
+            s.count,
+            s.sum,
+            s.mean()
+        ));
+    }
+    lines.sort();
+    let mut out = String::new();
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_all_merges_both_registries_sorted() {
+        REQUESTS.inc();
+        let dump = render_all();
+        assert!(dump.contains("serve.requests "), "{dump}");
+        assert!(dump.contains("budget.ticks "), "{dump}");
+        let lines: Vec<&str> = dump.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "dump must be sorted");
+    }
+}

@@ -1,0 +1,211 @@
+//! Chaos harness for the serving daemon (the ISSUE 6 acceptance bar).
+//!
+//! A daemon whose portfolio mixes panicking, stalling, transiently
+//! failing, and corrupt members with one healthy solver is hammered by
+//! 32 open-loop clients across 8 tenants. The invariants under that
+//! load:
+//!
+//! 1. **Zero protocol corruption** — every frame parses, and every
+//!    response is one of the three well-formed outcomes: `ok` with a
+//!    labeled guarantee and a non-empty verified solution,
+//!    `overloaded`, or `deadline_exceeded`. Never `error`, never a
+//!    torn frame.
+//! 2. **No stuck requests** — every fired request gets its response
+//!    within the socket read timeout, and inflight drains back to
+//!    zero once the load stops.
+//! 3. **Health liveness** — a concurrent prober's health requests keep
+//!    answering throughout the storm (health bypasses admission).
+//! 4. **Prompt shutdown** — the daemon tears down within a bounded
+//!    wall clock afterwards.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use delprop_core::runtime::solver::GreedySolver;
+use delprop_core::runtime::{now, FaultMode, FaultySolver, Portfolio};
+use delprop_core::solvers::local_search::Objective;
+use delprop_server::{
+    AdmissionConfig, Client, Daemon, InstanceSpec, Request, Response, ServerConfig, SolveRequest,
+};
+
+const CLIENTS: usize = 32;
+const TENANTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 6;
+
+/// Panic + stall + transient + corrupt racing against one healthy
+/// greedy member. The healthy member should win most races; the
+/// faulty ones exercise panic containment, cancellation at deadline,
+/// the retry path, and verification rejecting corrupt output.
+fn chaos_portfolio(objective: Objective) -> Portfolio {
+    match objective {
+        Objective::Standard => Portfolio::new(Objective::Standard)
+            .with(FaultySolver::new(GreedySolver, FaultMode::Panic))
+            .with(FaultySolver::new(GreedySolver, FaultMode::Stall))
+            .with(FaultySolver::new(
+                GreedySolver,
+                FaultMode::Transient { fail_count: 2 },
+            ))
+            .with(FaultySolver::new(GreedySolver, FaultMode::Corrupt))
+            .with(GreedySolver),
+        Objective::Balanced => Portfolio::balanced(),
+    }
+}
+
+fn chaos_config() -> ServerConfig {
+    let mut cfg = ServerConfig {
+        initial: InstanceSpec::Fig1,
+        initial_label: "fig1".to_string(),
+        ..ServerConfig::default()
+    };
+    cfg.admission = AdmissionConfig {
+        max_inflight: 4,
+        max_per_tenant: 2,
+        max_queued: 8,
+        max_wait: Duration::from_millis(100),
+    };
+    cfg.engine.default_deadline_ms = 400;
+    cfg.engine.max_retries = 3;
+    cfg.portfolio = Arc::new(chaos_portfolio);
+    cfg
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    overloaded: usize,
+    deadline: usize,
+}
+
+#[test]
+fn chaos_storm_yields_only_well_formed_responses() {
+    let mut daemon = Daemon::spawn(chaos_config()).expect("spawn");
+    let addr = daemon.tcp_addr().expect("tcp daemon");
+
+    let tally = Mutex::new(Tally::default());
+    let storm_over = Mutex::new(false);
+
+    std::thread::scope(|s| {
+        // Health prober: health must answer throughout the storm.
+        let prober = s.spawn(|| {
+            let mut client = Client::connect_tcp(addr).expect("prober connect");
+            client
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let mut probes = 0usize;
+            loop {
+                match client.request(&Request::Health) {
+                    Ok(Response::Health { epoch: 1, .. }) => probes += 1,
+                    Ok(other) => panic!("prober: unexpected {other:?}"),
+                    Err(e) => panic!("health went dark mid-storm: {e}"),
+                }
+                if *storm_over.lock().unwrap() {
+                    return probes;
+                }
+                std::thread::yield_now();
+            }
+        });
+
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let tally = &tally;
+                s.spawn(move || {
+                    let mut client = Client::connect_tcp(addr)
+                        .unwrap_or_else(|e| panic!("client {c} connect: {e}"));
+                    // A response that never arrives is a harness
+                    // failure, not a hang.
+                    client
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let tenant = format!("tenant-{}", c % TENANTS);
+                    // Open loop: fire the whole burst, then drain.
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        client
+                            .send(&Request::Solve(SolveRequest {
+                                tenant: tenant.clone(),
+                                ..SolveRequest::default()
+                            }))
+                            .unwrap_or_else(|e| panic!("client {c} send: {e}"));
+                    }
+                    for k in 0..REQUESTS_PER_CLIENT {
+                        let resp = client
+                            .recv()
+                            .unwrap_or_else(|e| panic!("client {c} response {k}: {e}"));
+                        let mut t = tally.lock().unwrap();
+                        match resp {
+                            Response::Ok(ok) => {
+                                assert!(
+                                    ok.guarantee == "exact"
+                                        || ok.guarantee == "heuristic"
+                                        || ok.guarantee.starts_with("ratio"),
+                                    "unlabeled guarantee {:?}",
+                                    ok.guarantee
+                                );
+                                assert!(!ok.deleted.is_empty(), "ok with empty solution");
+                                assert!(ok.cost.is_finite());
+                                assert_eq!(ok.epoch, 1);
+                                t.ok += 1;
+                            }
+                            Response::Overloaded { reason } => {
+                                assert!(!reason.is_empty());
+                                t.overloaded += 1;
+                            }
+                            Response::DeadlineExceeded { .. } => t.deadline += 1,
+                            other => panic!("client {c} response {k}: ill-formed {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        *storm_over.lock().unwrap() = true;
+        let probes = prober.join().expect("prober thread");
+        assert!(probes > 0, "prober never got a health response");
+    });
+
+    let t = tally.into_inner().unwrap();
+    assert_eq!(
+        t.ok + t.overloaded + t.deadline,
+        CLIENTS * REQUESTS_PER_CLIENT,
+        "every fired request must be answered"
+    );
+    // The healthy member wins races even with chaos around it.
+    assert!(t.ok > 0, "not a single request succeeded: {:?}", t.ok);
+
+    // Inflight drains to zero once the storm stops.
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let drain_deadline = now() + Duration::from_secs(10);
+    loop {
+        match client.request(&Request::Health).expect("health") {
+            Response::Health { inflight: 0, .. } => break,
+            Response::Health { .. } => {
+                assert!(now() < drain_deadline, "inflight never drained to zero");
+                std::thread::yield_now();
+            }
+            other => panic!("expected health, got {other:?}"),
+        }
+    }
+
+    // Stats stayed coherent: the counters saw the storm.
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats { metrics } => {
+            assert!(metrics.contains("serve.requests "), "{metrics}");
+            assert!(metrics.contains("serve.ok "), "{metrics}");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // Prompt shutdown after the chaos.
+    let start = now();
+    daemon.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?}",
+        start.elapsed()
+    );
+}

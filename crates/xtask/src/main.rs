@@ -27,18 +27,27 @@
 //!    `SAFETY:` comment on the same line or in the contiguous comment
 //!    block directly above it, and `crates/core/src/lib.rs` must keep
 //!    `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! 5. **no-sleep** — `thread::sleep` is forbidden in product code
+//!    outside `crates/server/src/backoff.rs` (the daemon's sanctioned,
+//!    deadline-clamped retry sleep) and
+//!    `crates/core/src/runtime/fault.rs` (fault injection). A bare
+//!    sleep on a serving path blocks a conn thread without observing
+//!    cancellation or deadlines; poll a budget instead.
+//!    Integration-test files (under any `tests/` directory) and
+//!    `#[cfg(test)]` items are exempt — tests stage timing scenarios.
 //!
 //! **Allow markers.** A violating line is accepted when it, or one of
 //! the four lines above it, carries a justification marker for its
 //! rule: `// lint:allow(unwrap): <why this cannot fail>` (likewise
-//! `lint:allow(atomics)`, `lint:allow(clock)`). The justification text
-//! is mandatory — a bare marker is itself a violation.
+//! `lint:allow(atomics)`, `lint:allow(clock)`, `lint:allow(sleep)`).
+//! The justification text is mandatory — a bare marker is itself a
+//! violation.
 //!
 //! The scanner is intentionally line-based and dependency-free: it
 //! strips line/block comments and string literals with a small state
 //! machine (enough to avoid false positives from prose and patterns in
 //! strings), tracks `#[cfg(test)]` item bodies by brace depth, and
-//! never needs a full Rust parser for these four textual invariants.
+//! never needs a full Rust parser for these five textual invariants.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -168,6 +177,12 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
         !rel.starts_with("crates/modelcheck/") && rel != "crates/core/src/runtime/sync.rs";
     let clock_scope =
         !rel.starts_with("crates/bench/") && rel != "crates/core/src/runtime/budget.rs";
+    // Integration-test files (`tests/` at the repo root or inside a
+    // crate) may sleep to stage timing scenarios; product code may not.
+    let sleep_scope = rel != "crates/server/src/backoff.rs"
+        && rel != "crates/core/src/runtime/fault.rs"
+        && !rel.starts_with("tests/")
+        && !rel.contains("/tests/");
 
     let mut out = Vec::new();
     for (i, stripped) in code.iter().enumerate() {
@@ -206,6 +221,23 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
                 rule: "no-raw-clock",
                 message: "`Instant::now` outside `runtime/budget.rs`: go through the \
                           `budget::now()` choke point"
+                    .to_string(),
+            });
+        }
+
+        if sleep_scope
+            && !in_test[i]
+            && stripped.contains("thread::sleep")
+            && !allowed(&raw, i, "sleep")
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "no-sleep",
+                message: "`thread::sleep` outside `crates/server/src/backoff.rs`: blocking \
+                          sleeps belong to the jittered-backoff choke point (deadline-clamped, \
+                          seeded) — poll a budget/cancel token instead, or justify with \
+                          `// lint:allow(sleep): <reason>`"
                     .to_string(),
             });
         }
@@ -481,6 +513,33 @@ mod tests {
         );
         let justified = "// lint:allow(unwrap): constructed two lines up\nx.unwrap();\n";
         assert!(scan("crates/core/src/solvers/foo.rs", justified).is_empty());
+    }
+
+    #[test]
+    fn sleep_flagged_outside_backoff_fault_and_tests() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(scan("crates/server/src/daemon.rs", src), ["1:no-sleep"]);
+        assert_eq!(
+            scan("crates/core/src/runtime/budget.rs", src),
+            ["1:no-sleep"]
+        );
+        // The two sanctioned modules and test files are exempt.
+        assert!(scan("crates/server/src/backoff.rs", src).is_empty());
+        assert!(scan("crates/core/src/runtime/fault.rs", src).is_empty());
+        assert!(scan("tests/fault_injection.rs", src).is_empty());
+        assert!(scan("crates/server/tests/chaos.rs", src).is_empty());
+        // `#[cfg(test)]` items inside product files are exempt too.
+        let in_test = "#[cfg(test)]\n\
+                       mod tests {\n\
+                           fn g() { std::thread::sleep(d); }\n\
+                       }\n";
+        assert!(scan("crates/server/src/daemon.rs", in_test).is_empty());
+        // An allow marker with a reason is honored; prose is not code.
+        let justified = "// lint:allow(sleep): startup settle, not on a request path\n\
+                         std::thread::sleep(d);\n";
+        assert!(scan("crates/server/src/state.rs", justified).is_empty());
+        let comment = "// never call thread::sleep here\n";
+        assert!(scan("crates/server/src/daemon.rs", comment).is_empty());
     }
 
     #[test]

@@ -53,12 +53,14 @@
 //! | [`lp`] | `delprop-lp` | dense two-phase simplex (LP bounds & rounding) |
 //! | [`core`] | `delprop-core` | the problem, objectives, and the paper's solver suite |
 //! | [`workload`] | `delprop-workload` | generators: figures, gadgets, random/forest/pivot/cleaning workloads |
+//! | [`server`] | `delprop-server` | the `delpropd` serving daemon: wire protocol, admission, deadlines, degradation |
 
 pub use delprop_core as core;
 pub use delprop_hypergraph as hypergraph;
 pub use delprop_lp as lp;
 pub use delprop_query as query;
 pub use delprop_relation as relation;
+pub use delprop_server as server;
 pub use delprop_setcover as setcover;
 pub use delprop_workload as workload;
 

@@ -197,6 +197,116 @@ fn typed_error_member_is_reported_and_skipped_over() {
 }
 
 // -------------------------------------------------------------------
+// Scenario 4: transient outages and slow starts — the failure shapes
+// the serving daemon's retry/backoff ladder rides out. The wrapper's
+// attempt counter persists across solve calls, so one chain reused
+// across attempts recovers deterministically.
+// -------------------------------------------------------------------
+
+#[test]
+fn transient_member_fails_typed_then_recovers_across_attempts() {
+    let p = chain_problem(8, 3, &[1, 4]);
+    let chain = faulty_chain(FaultMode::Transient { fail_count: 2 });
+    // Attempts 1 and 2: the transient member fails with a typed error
+    // and the healthy fallback wins the chain.
+    for attempt in 1..=2 {
+        let out = chain.solve(&p, &Budget::unlimited()).unwrap();
+        assert_eq!(out.winner, "greedy", "attempt {attempt}");
+        assert!(
+            matches!(
+                out.report[0].status,
+                MemberStatus::Failed {
+                    error: CoreError::StructureMismatch { .. }
+                }
+            ),
+            "attempt {attempt}: {:?}",
+            out.report[0].status
+        );
+    }
+    // Attempt 3: the outage is over and the recovered member wins.
+    let out = chain
+        .solve(&p, &Budget::unlimited())
+        .expect("recovered member must solve");
+    assert_eq!(out.winner, "faulty_transient");
+    assert!(out.solution.is_feasible(&p));
+}
+
+#[test]
+fn slow_start_member_succeeds_once_its_warmup_fits_the_budget() {
+    let p = chain_problem(6, 3, &[1, 3]);
+    // No healthy fallback here: the retry loop itself must ride the
+    // cold start down. 40k warm-up against a 15k budget: attempts 1
+    // and 2 exhaust on the warm-up charge (40k, then 20k), attempt 3
+    // charges 10k and has budget left to actually solve.
+    let chain = Portfolio::new(Objective::Standard).with(FaultySolver::new(
+        GreedySolver,
+        FaultMode::SlowStart {
+            warmup_ticks: 40_000,
+        },
+    ));
+    let mut succeeded_on = None;
+    for attempt in 0..4 {
+        let budget = Budget::with_ticks(15_000);
+        match chain.solve(&p, &budget) {
+            Ok(out) => {
+                assert!(out.solution.is_feasible(&p));
+                succeeded_on = Some(attempt);
+                break;
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, CoreError::BudgetExhausted { .. }),
+                    "attempt {attempt}: {e:?}"
+                );
+                assert!(budget.is_exhausted(), "attempt {attempt}");
+            }
+        }
+    }
+    assert_eq!(
+        succeeded_on,
+        Some(2),
+        "the 40k warm-up halves to 10k by the third attempt"
+    );
+}
+
+// -------------------------------------------------------------------
+// Scenario 5 (regression): a stalled member on an *unlimited* budget —
+// no tick limit, no deadline to drain against — must still be reapable
+// from outside via pool-wide cancellation, because the stall loop polls
+// its cancel token without charging.
+// -------------------------------------------------------------------
+
+#[test]
+fn stalled_chain_on_an_unlimited_budget_is_reaped_by_pool_cancellation() {
+    let p = chain_problem(6, 3, &[1, 3]);
+    let chain = faulty_chain(FaultMode::Stall);
+    let budget = Budget::unlimited();
+    let result = std::thread::scope(|s| {
+        let solver = s.spawn(|| chain.solve(&p, &budget));
+        // Wait until the stall is demonstrably spinning (its checkpoint
+        // charges tick the pool meter), then pull the kill switch.
+        while budget.used() < 100 {
+            std::thread::yield_now();
+        }
+        budget.cancel_all_with_cause("request cancelled");
+        solver.join().expect("stalled chain must terminate")
+    });
+    let err = result.expect_err("a fully cancelled chain cannot produce a solution");
+    // The chain lost to cancellation, not to the budget, and every
+    // member that ran was cancelled — none panicked, none hung.
+    assert!(!budget.is_exhausted());
+    assert!(budget.is_cancelled());
+    assert_eq!(budget.cancel_cause(), Some("request cancelled"));
+    assert!(
+        matches!(
+            err,
+            CoreError::Cancelled { .. } | CoreError::Infeasible { .. }
+        ),
+        "got {err:?}"
+    );
+}
+
+// -------------------------------------------------------------------
 // The invariant, stated as a sweep: under every fault mode the portfolio
 // returns a verified solution or a typed error — never panics.
 // -------------------------------------------------------------------
@@ -209,6 +319,10 @@ fn every_fault_mode_is_survivable() {
         FaultMode::Panic,
         FaultMode::Stall,
         FaultMode::ExhaustBudget,
+        FaultMode::Transient { fail_count: 1 },
+        FaultMode::SlowStart {
+            warmup_ticks: 1_000,
+        },
         FaultMode::Infeasible,
         FaultMode::Corrupt,
         FaultMode::TypedError,
