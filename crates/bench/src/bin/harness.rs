@@ -6,12 +6,26 @@
 //! cargo run -p delprop-bench --bin harness -- ex-t3     # one experiment
 //! cargo run -p delprop-bench --bin harness -- --smoke   # bench-gate set
 //! cargo run -p delprop-bench --bin harness -- --list    # list ids
+//! cargo run -p delprop-bench --bin harness -- --scale 10 ex-kern
+//! #   ^ multiply workload sizes in the scaling experiments (ungated)
 //! ```
 
 use delprop_bench::experiments;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        args.remove(i);
+        let factor = args
+            .get(i)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--scale requires a positive integer factor");
+                std::process::exit(2);
+            });
+        args.remove(i);
+        experiments::set_scale(factor);
+    }
     let all = experiments::all();
     if args.iter().any(|a| a == "--list") {
         for (id, _) in &all {

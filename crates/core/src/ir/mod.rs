@@ -32,6 +32,8 @@ use crate::solution::Solution;
 use delprop_hypergraph::{find_pivot_structure, DataDualGraph, DualHypergraph};
 use delprop_query::ViewTupleId;
 use delprop_relation::TupleId;
+use delprop_setcover::kernel::words;
+use delprop_setcover::{BitMatrix, BitSet};
 
 /// Number of [`CompiledInstance::compile`] calls so far in this process
 /// — the `ir.compiles` metric, kept for the `EX-IR` experiment's
@@ -104,6 +106,16 @@ pub struct CompiledInstance {
     /// vulnerable → candidate witnesses (`ws(s) ∩ 𝒞`).
     vulnerable_offsets: Vec<u32>,
     vulnerable_witnesses: Vec<u32>,
+
+    // ---- packed bitset rows (kernel layer) ----
+    /// demand → witness-base membership, one packed row per demand over
+    /// the base universe. `witness_mask_row(d)` ∩ deletion mask ≠ ∅ is the
+    /// branch-free form of "`mask` eliminates `d`".
+    witness_masks: BitMatrix,
+    /// vulnerable → candidate-witness membership, one packed row per red
+    /// element over the base universe — the word-parallel side of
+    /// coverage counting and side-effect evaluation.
+    vulnerable_masks: BitMatrix,
 
     /// `k_s = |ws(s)|` per vulnerable tuple — the **full** witness count,
     /// including non-candidate witnesses (the dual capacities of
@@ -244,6 +256,23 @@ impl CompiledInstance {
         );
         let forest_case = dual.is_forest_case();
 
+        // Packed bitset rows share the dense base universe with the CSR
+        // rows; solvers intersect them against deletion masks word by word.
+        let witness_masks = BitMatrix::from_rows(
+            demands.len(),
+            bases.len(),
+            demand_rows
+                .iter()
+                .map(|row| row.iter().map(|&b| b as usize)),
+        );
+        let vulnerable_masks = BitMatrix::from_rows(
+            vulnerable.len(),
+            bases.len(),
+            vulnerable_rows
+                .iter()
+                .map(|row| row.iter().map(|&b| b as usize)),
+        );
+
         let (demand_offsets, demand_witnesses) = to_csr(demand_rows);
         let (hit_offsets, hit_demands) = to_csr(hit_rows);
         let (vulnerable_offsets, vulnerable_witnesses) = to_csr(vulnerable_rows);
@@ -278,6 +307,8 @@ impl CompiledInstance {
             hit_demands,
             vulnerable_offsets,
             vulnerable_witnesses,
+            witness_masks,
+            vulnerable_masks,
             vulnerable_k,
             view_tuples,
             all_weights,
@@ -512,20 +543,97 @@ impl CompiledInstance {
         missed + self.side_effect_mask(mask)
     }
 
-    /// [`Solution`]-level wrappers over the mask evaluators.
+    // ---- packed evaluation (kernel layer) ----
+
+    /// Packed witness row of demand `d` over the base universe — the
+    /// bitset twin of [`demand_row`](Self::demand_row).
+    pub fn witness_mask_row(&self, d: u32) -> &[u64] {
+        self.witness_masks.row(d as usize)
+    }
+
+    /// Packed candidate-witness row of vulnerable tuple `r` — the bitset
+    /// twin of [`vulnerable_row`](Self::vulnerable_row).
+    pub fn vulnerable_mask_row(&self, r: u32) -> &[u64] {
+        self.vulnerable_masks.row(r as usize)
+    }
+
+    /// Words per packed base row (`num_bases.div_ceil(64)`); every
+    /// deletion [`BitSet`] over the base universe has this many words.
+    pub fn base_words(&self) -> usize {
+        self.witness_masks.words_per_row()
+    }
+
+    /// Packed deletion mask over the candidate bases for `sol` (the bitset
+    /// twin of [`base_mask`](Self::base_mask); non-candidate deletions
+    /// have no bit).
+    pub fn base_bits(&self, sol: &Solution) -> BitSet {
+        let mut bits = BitSet::new(self.bases.len());
+        for &t in &sol.deleted {
+            if let Some(b) = self.base_index(t) {
+                bits.insert(b as usize);
+            }
+        }
+        bits
+    }
+
+    /// Packed base-index set for the given tuples (non-candidates are
+    /// ignored, exactly as in [`base_bits`](Self::base_bits)).
+    pub fn tuple_bits(&self, tuples: impl IntoIterator<Item = TupleId>) -> BitSet {
+        let mut bits = BitSet::new(self.bases.len());
+        for t in tuples {
+            if let Some(b) = self.base_index(t) {
+                bits.insert(b as usize);
+            }
+        }
+        bits
+    }
+
+    /// Whether the packed deletion mask eliminates demand `d` — one
+    /// branch-free AND sweep over the packed witness row.
+    pub fn eliminates_bits(&self, deleted: &BitSet, d: u32) -> bool {
+        words::intersects(self.witness_mask_row(d), deleted.words())
+    }
+
+    /// Whether the packed deletion mask eliminates every demand.
+    pub fn is_feasible_bits(&self, deleted: &BitSet) -> bool {
+        (0..self.demands.len() as u32).all(|d| self.eliminates_bits(deleted, d))
+    }
+
+    /// Side-effect of a packed deletion mask. Identical sum order (and
+    /// therefore bit-identical result) to
+    /// [`side_effect_mask`](Self::side_effect_mask): vulnerable indices
+    /// ascending.
+    pub fn side_effect_bits(&self, deleted: &BitSet) -> f64 {
+        (0..self.vulnerable.len() as u32)
+            .filter(|&r| words::intersects(self.vulnerable_mask_row(r), deleted.words()))
+            .map(|r| self.vulnerable_weight(r))
+            .sum()
+    }
+
+    /// Balanced cost of a packed deletion mask — bit-identical to
+    /// [`balanced_cost_mask`](Self::balanced_cost_mask) on the same mask.
+    pub fn balanced_cost_bits(&self, deleted: &BitSet) -> f64 {
+        let missed: f64 = (0..self.demands.len() as u32)
+            .filter(|&d| !self.eliminates_bits(deleted, d))
+            .map(|d| self.demand_weight(d))
+            .sum();
+        missed + self.side_effect_bits(deleted)
+    }
+
+    /// [`Solution`]-level wrappers over the packed evaluators.
     pub fn side_effect_of(&self, sol: &Solution) -> f64 {
-        self.side_effect_mask(&self.base_mask(sol))
+        self.side_effect_bits(&self.base_bits(sol))
     }
 
     /// Balanced cost of a candidate-restricted solution.
     pub fn balanced_cost_of(&self, sol: &Solution) -> f64 {
-        self.balanced_cost_mask(&self.base_mask(sol))
+        self.balanced_cost_bits(&self.base_bits(sol))
     }
 
     /// Whether `sol` eliminates every demand (exact for any solution:
     /// demand witnesses are candidates by definition).
     pub fn is_feasible_of(&self, sol: &Solution) -> bool {
-        self.is_feasible_mask(&self.base_mask(sol))
+        self.is_feasible_bits(&self.base_bits(sol))
     }
 }
 
@@ -616,6 +724,64 @@ mod tests {
         let all = Solution::from_tuples(ir.bases().iter().copied());
         assert!(ir.is_feasible_of(&all));
         assert!((ir.side_effect_of(&all) - all.side_effect(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_rows_agree_with_csr() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let ir = CompiledInstance::compile(&p);
+        assert_eq!(ir.base_words(), ir.num_bases().div_ceil(64));
+        for d in 0..ir.num_demands() as u32 {
+            let from_bits: Vec<u32> = words::iter_ones(ir.witness_mask_row(d))
+                .map(|b| b as u32)
+                .collect();
+            assert_eq!(from_bits, ir.demand_row(d), "demand {d} packed row");
+        }
+        for r in 0..ir.num_vulnerable() as u32 {
+            let from_bits: Vec<u32> = words::iter_ones(ir.vulnerable_mask_row(r))
+                .map(|b| b as u32)
+                .collect();
+            assert_eq!(from_bits, ir.vulnerable_row(r), "vulnerable {r} packed row");
+        }
+    }
+
+    #[test]
+    fn packed_evaluators_match_mask_evaluators() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let ir = CompiledInstance::compile(&p);
+        // Pseudo-random subsets of the candidate bases, evaluated both ways.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..32 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mask: Vec<bool> = (0..ir.num_bases())
+                .map(|b| seed >> (b % 64) & 1 == 1)
+                .collect();
+            let bits = BitSet::from_indices(
+                ir.num_bases(),
+                mask.iter().enumerate().filter(|(_, &m)| m).map(|(b, _)| b),
+            );
+            assert_eq!(ir.is_feasible_bits(&bits), ir.is_feasible_mask(&mask));
+            assert_eq!(ir.side_effect_bits(&bits), ir.side_effect_mask(&mask));
+            assert_eq!(ir.balanced_cost_bits(&bits), ir.balanced_cost_mask(&mask));
+            for d in 0..ir.num_demands() as u32 {
+                assert_eq!(ir.eliminates_bits(&bits, d), ir.eliminates(&mask, d));
+            }
+        }
+    }
+
+    #[test]
+    fn base_bits_matches_base_mask() {
+        let p = fig1();
+        let ir = CompiledInstance::compile(&p);
+        let sol = Solution::from_tuples([ir.base(0)]);
+        let mask = ir.base_mask(&sol);
+        let bits = ir.base_bits(&sol);
+        for (b, &m) in mask.iter().enumerate() {
+            assert_eq!(bits.contains(b), m);
+        }
+        assert_eq!(bits.capacity(), ir.num_bases());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::problem::Problem;
 use delprop_query::{ViewSet, ViewTupleId};
 use delprop_relation::TupleId;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 /// A source-deletion solution `ΔD ⊆ D`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -120,14 +120,17 @@ impl Solution {
 
     /// Restrict to the candidate tuples of `problem` (dropping deletions
     /// that cannot cut anything never increases either objective).
+    ///
+    /// Membership comes from the cached IR's sorted base table — no
+    /// per-call candidate set is materialized.
     pub fn restricted_to_candidates(&self, problem: &Problem) -> Solution {
-        let candidates: HashSet<TupleId> = problem.candidates().into_iter().collect();
+        let ir = problem.compiled();
         Solution {
             deleted: self
                 .deleted
                 .iter()
                 .copied()
-                .filter(|t| candidates.contains(t))
+                .filter(|&t| ir.base_index(t).is_some())
                 .collect(),
         }
     }

@@ -21,15 +21,17 @@
 //!
 //! Red-degrees and widths are read straight off the compiled incidence
 //! index: `red_degree(t)` is the length of `t`'s incidence row, and a
-//! vulnerable tuple's width is its full witness count `k_s`.
+//! vulnerable tuple's width is its full witness count `k_s`. Restriction
+//! sets are packed [`BitSet`]s over the dense indices, and the τ-sweep is
+//! monotone: candidates sit in a degree-keyed [`BucketQueue`] and are
+//! un-forbidden exactly once as τ passes their red-degree, while the
+//! (τ-independent) `counted` pruning is computed once and shared.
 
 use crate::error::CoreError;
 use crate::ir::CompiledInstance;
 use crate::solution::Solution;
 use crate::solvers::primal_dual::{self, PrimalDualConfig};
-use delprop_query::ViewTupleId;
-use delprop_relation::TupleId;
-use std::collections::HashSet;
+use delprop_setcover::{BitSet, BucketQueue};
 
 /// One τ-restricted attempt.
 #[derive(Debug, Clone)]
@@ -42,24 +44,27 @@ pub struct TreeAttempt {
     pub side_effect: f64,
 }
 
-/// Algorithm 2: one attempt at threshold `tau`.
-pub fn with_threshold(ir: &CompiledInstance, tau: usize) -> TreeAttempt {
-    // Red-degree of each candidate tuple: number of preserved view tuples
-    // whose witness set contains it (= its incidence-row length).
-    let forbidden: HashSet<TupleId> = (0..ir.num_bases() as u32)
-        .filter(|&b| ir.red_degree(b) > tau)
-        .map(|b| ir.base(b))
-        .collect();
-
-    // Prune wide preserved view tuples from the inner objective. Only
-    // vulnerable tuples can ever be damaged, so restricting `counted` to
-    // them loses nothing.
+/// The (τ-independent) `counted` pruning: wide preserved view tuples
+/// (width > √‖V‖) drop out of the inner objective. Only vulnerable tuples
+/// can ever be damaged, so restricting `counted` to them loses nothing.
+fn counted_bits(ir: &CompiledInstance) -> BitSet {
     let width_cutoff = (ir.norm_v() as f64).sqrt();
-    let counted: HashSet<ViewTupleId> = (0..ir.num_vulnerable() as u32)
-        .filter(|&r| (ir.vulnerable_k(r) as f64) <= width_cutoff)
-        .map(|r| ir.vulnerable_id(r))
-        .collect();
+    BitSet::from_indices(
+        ir.num_vulnerable(),
+        (0..ir.num_vulnerable() as u32)
+            .filter(|&r| (ir.vulnerable_k(r) as f64) <= width_cutoff)
+            .map(|r| r as usize),
+    )
+}
 
+/// One attempt with an explicit forbidden mask (the sweep reuses its
+/// incrementally maintained mask; `with_threshold` builds one from τ).
+fn attempt_with(
+    ir: &CompiledInstance,
+    tau: usize,
+    forbidden: BitSet,
+    counted: BitSet,
+) -> TreeAttempt {
     let cfg = PrimalDualConfig {
         forbidden,
         counted: Some(counted),
@@ -82,21 +87,52 @@ pub fn with_threshold(ir: &CompiledInstance, tau: usize) -> TreeAttempt {
     }
 }
 
+/// Algorithm 2: one attempt at threshold `tau`.
+pub fn with_threshold(ir: &CompiledInstance, tau: usize) -> TreeAttempt {
+    // Red-degree of each candidate tuple: number of preserved view tuples
+    // whose witness set contains it (= its incidence-row length).
+    let forbidden = BitSet::from_indices(
+        ir.num_bases(),
+        (0..ir.num_bases() as u32)
+            .filter(|&b| ir.red_degree(b) > tau)
+            .map(|b| b as usize),
+    );
+    attempt_with(ir, tau, forbidden, counted_bits(ir))
+}
+
 /// Algorithm 3: sweep τ and keep the best attempt.
 ///
 /// Sweeps `τ = 0..=max red-degree` (τ beyond the max degree forbids
 /// nothing more, so going to `|R|` as the paper writes would only repeat
 /// the last attempt). Errors only if *every* attempt is infeasible, which
 /// cannot happen: at τ = max degree nothing is forbidden.
+///
+/// The forbidden mask is maintained monotonically: every candidate is
+/// pushed into a [`BucketQueue`] keyed by red-degree once, and popped
+/// (un-forbidden) exactly when τ reaches its degree — O(‖candidates‖)
+/// total restriction work across the whole sweep.
 pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
     crate::runtime::metrics::SOLVE_LOWDEG_TREE.inc();
-    let max_degree = (0..ir.num_bases() as u32)
-        .map(|b| ir.red_degree(b))
-        .max()
-        .unwrap_or(0);
+    let nb = ir.num_bases();
+    let max_degree = (0..nb as u32).map(|b| ir.red_degree(b)).max().unwrap_or(0);
+    let mut by_degree = BucketQueue::new(nb, max_degree);
+    for b in 0..nb {
+        by_degree.push(b, ir.red_degree(b as u32));
+    }
+    let counted = counted_bits(ir);
+
+    let mut forbidden = BitSet::all_set(nb);
+    let mut pending = by_degree.pop_min();
     let mut best: Option<(f64, Solution)> = None;
     for tau in 0..=max_degree {
-        let attempt = with_threshold(ir, tau);
+        while let Some((b, degree)) = pending {
+            if degree > tau {
+                break;
+            }
+            forbidden.remove(b);
+            pending = by_degree.pop_min();
+        }
+        let attempt = attempt_with(ir, tau, forbidden.clone(), counted.clone());
         if let Some(sol) = attempt.solution {
             if best.as_ref().is_none_or(|(c, _)| attempt.side_effect < *c) {
                 best = Some((attempt.side_effect, sol));

@@ -25,16 +25,18 @@
 //! exact optima and LP bounds.
 //!
 //! All state is dense over the compiled index: capacities and loads are
-//! flat `f64` arrays over candidate ids, the bottom-up order is the
+//! flat `f64` arrays over candidate ids, restriction sets are packed
+//! [`BitSet`]s, the deletion set is a packed mask intersected
+//! word-parallel against the IR's witness rows, the bottom-up order is the
 //! precomputed [`CompiledInstance::demand_order`], and reverse-delete
-//! walks `hit_row`s instead of re-building a tuple→demands map.
+//! counts cuts with packed-row popcounts instead of re-building a
+//! tuple→demands map.
 
 use crate::error::CoreError;
 use crate::ir::CompiledInstance;
 use crate::solution::Solution;
-use delprop_query::ViewTupleId;
-use delprop_relation::TupleId;
-use std::collections::{HashMap, HashSet};
+use delprop_setcover::kernel::words;
+use delprop_setcover::BitSet;
 
 /// Demand processing order (ablation EX-ABL measures the difference).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,13 +54,15 @@ pub enum DemandOrder {
 /// (Algorithm 2).
 #[derive(Debug, Clone, Default)]
 pub struct PrimalDualConfig {
-    /// Base tuples that must NOT be deleted (Algorithm 2 forbids tuples of
-    /// red-degree > τ). Empty by default.
-    pub forbidden: HashSet<TupleId>,
-    /// If set, only these preserved view tuples contribute to capacities
-    /// (Algorithm 2 prunes "wide" view tuples out of the objective).
-    /// `None` counts all preserved view tuples.
-    pub counted: Option<HashSet<ViewTupleId>>,
+    /// Packed dense base indices that must NOT be deleted (Algorithm 2
+    /// forbids tuples of red-degree > τ). The default zero-capacity bitset
+    /// forbids nothing; build from raw tuples with
+    /// [`CompiledInstance::tuple_bits`].
+    pub forbidden: BitSet,
+    /// If set, only these vulnerable tuples (packed dense vulnerable
+    /// indices) contribute to capacities (Algorithm 2 prunes "wide" view
+    /// tuples out of the objective). `None` counts all of them.
+    pub counted: Option<BitSet>,
     /// Demand processing order.
     pub order: DemandOrder,
     /// Skip the reverse-delete pruning (lines 7–10 of Algorithm 1).
@@ -71,8 +75,9 @@ pub struct PrimalDualConfig {
 pub struct PrimalDualOutcome {
     /// The feasible deletion set after reverse-delete.
     pub solution: Solution,
-    /// Final demand duals `v_r`.
-    pub duals: HashMap<ViewTupleId, f64>,
+    /// Final demand duals `v_r`, dense by demand index (pair with
+    /// [`CompiledInstance::demand`] to recover view-tuple ids).
+    pub duals: Vec<f64>,
     /// `Σ v_r`: a lower bound on the optimal counted side-effect.
     pub dual_objective: f64,
 }
@@ -90,7 +95,7 @@ pub fn solve(
         config
             .counted
             .as_ref()
-            .is_none_or(|c| c.contains(&ir.vulnerable_id(r)))
+            .is_none_or(|c| c.contains(r as usize))
     };
 
     // Per-tuple capacity cap(t) = Σ_{counted preserved s ∋ t} w_s / k_s.
@@ -109,13 +114,9 @@ pub fn solve(
         }
     }
 
-    let forbidden_mask: Vec<bool> = if config.forbidden.is_empty() {
-        vec![false; nb]
-    } else {
-        (0..nb as u32)
-            .map(|b| config.forbidden.contains(&ir.base(b)))
-            .collect()
-    };
+    // `BitSet::contains` is false past capacity, so the default
+    // zero-capacity `forbidden` needs no resizing.
+    let forbidden = &config.forbidden;
 
     // Demands bottom-up by the depth of their witness path's shallowest
     // vertex (its top / LCA) in the data-dual forest; ties and the
@@ -130,90 +131,78 @@ pub fn solve(
         }
     };
 
-    // Dual-raising phase.
+    // Dual-raising phase. The deletion set is a packed mask so the
+    // "already cut" test is one word-parallel AND sweep per demand.
     let mut load = vec![0.0f64; nb];
     let mut deleted: Vec<u32> = Vec::new(); // in saturation order
-    let mut deleted_mask = vec![false; nb];
+    let mut deleted_bits = BitSet::new(nb);
     let mut duals = vec![0.0f64; ir.num_demands()];
     const EPS: f64 = 1e-9;
 
     for &d in order {
-        let witnesses = ir.demand_row(d);
-        if witnesses.iter().any(|&b| deleted_mask[b as usize]) {
+        if words::intersects(ir.witness_mask_row(d), deleted_bits.words()) {
             continue; // already cut
         }
-        let allowed: Vec<u32> = witnesses
-            .iter()
-            .copied()
-            .filter(|&b| !forbidden_mask[b as usize])
-            .collect();
-        if allowed.is_empty() {
+        let witnesses = ir.demand_row(d);
+        let mut raise = f64::INFINITY;
+        let mut any_allowed = false;
+        for &b in witnesses {
+            if forbidden.contains(b as usize) {
+                continue;
+            }
+            any_allowed = true;
+            raise = raise.min((cap[b as usize] - load[b as usize]).max(0.0));
+        }
+        if !any_allowed {
             return Err(CoreError::Infeasible {
                 reason: format!("every witness of demand {} is forbidden", ir.demand(d)),
             });
         }
-        let raise = allowed
-            .iter()
-            .map(|&b| (cap[b as usize] - load[b as usize]).max(0.0))
-            .fold(f64::INFINITY, f64::min);
         if raise > 0.0 {
             duals[d as usize] += raise;
-            for &b in &allowed {
-                load[b as usize] += raise;
+            for &b in witnesses {
+                if !forbidden.contains(b as usize) {
+                    load[b as usize] += raise;
+                }
             }
         }
         // Take every newly saturated witness (constraint (8) tight).
-        for &b in &allowed {
-            if load[b as usize] >= cap[b as usize] - EPS && !deleted_mask[b as usize] {
-                deleted_mask[b as usize] = true;
+        for &b in witnesses {
+            if !forbidden.contains(b as usize)
+                && load[b as usize] >= cap[b as usize] - EPS
+                && deleted_bits.insert(b as usize)
+            {
                 deleted.push(b);
             }
         }
         debug_assert!(
-            witnesses.iter().any(|&b| deleted_mask[b as usize]),
+            words::intersects(ir.witness_mask_row(d), deleted_bits.words()),
             "demand must be cut after its own iteration"
         );
     }
 
     let dual_objective: f64 = duals.iter().sum();
-    let duals_map = || -> HashMap<ViewTupleId, f64> {
-        duals
-            .iter()
-            .enumerate()
-            .filter(|&(_, &v)| v > 0.0)
-            .map(|(d, &v)| (ir.demand(d as u32), v))
-            .collect()
-    };
-    let to_solution = |mask: &[bool]| -> Solution {
-        Solution::from_tuples(
-            mask.iter()
-                .enumerate()
-                .filter(|&(_, &del)| del)
-                .map(|(b, _)| ir.base(b as u32)),
-        )
+    let to_solution = |bits: &BitSet| -> Solution {
+        Solution::from_tuples(bits.iter().map(|b| ir.base(b as u32)))
     };
 
     // Reverse-delete (the paper's pruning loop): drop deletions not needed
-    // for feasibility, newest first.
+    // for feasibility, newest first. Cut multiplicities come from packed
+    // popcounts of witness row ∩ deletion mask.
     if config.skip_reverse_delete {
         return Ok(PrimalDualOutcome {
-            solution: to_solution(&deleted_mask),
-            duals: duals_map(),
+            solution: to_solution(&deleted_bits),
+            duals,
             dual_objective,
         });
     }
-    let mut cut_count = vec![0usize; ir.num_demands()];
-    for d in 0..ir.num_demands() as u32 {
-        cut_count[d as usize] = ir
-            .demand_row(d)
-            .iter()
-            .filter(|&&b| deleted_mask[b as usize])
-            .count();
-    }
+    let mut cut_count: Vec<usize> = (0..ir.num_demands() as u32)
+        .map(|d| words::intersection_count(ir.witness_mask_row(d), deleted_bits.words()))
+        .collect();
     for &b in deleted.iter().rev() {
         let still_ok = ir.hit_row(b).iter().all(|&d| cut_count[d as usize] >= 2);
         if still_ok {
-            deleted_mask[b as usize] = false;
+            deleted_bits.remove(b as usize);
             for &d in ir.hit_row(b) {
                 cut_count[d as usize] -= 1;
             }
@@ -221,8 +210,8 @@ pub fn solve(
     }
 
     Ok(PrimalDualOutcome {
-        solution: to_solution(&deleted_mask),
-        duals: duals_map(),
+        solution: to_solution(&deleted_bits),
+        duals,
         dual_objective,
     })
 }
@@ -271,17 +260,14 @@ mod tests {
         let cheap = p.candidates();
         // Forbid the T1 witness; the solver must use the T2 one.
         let t1 = p.db().schema().relation_id("T1").unwrap();
-        let forbidden: HashSet<_> = cheap.iter().copied().filter(|t| t.relation == t1).collect();
+        let forbidden: Vec<_> = cheap.iter().copied().filter(|t| t.relation == t1).collect();
         let cfg = PrimalDualConfig {
-            forbidden: forbidden.clone(),
+            forbidden: p.compiled().tuple_bits(forbidden.iter().copied()),
             ..Default::default()
         };
         let out = solve(p.compiled(), &cfg).unwrap();
         assert!(out.solution.is_feasible(&p));
-        assert!(out
-            .solution
-            .deleted
-            .is_disjoint(&forbidden.into_iter().collect()));
+        assert!(forbidden.iter().all(|t| !out.solution.deleted.contains(t)));
         assert_eq!(out.solution.side_effect(&p), 2.0);
     }
 
@@ -291,7 +277,7 @@ mod tests {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
         let cfg = PrimalDualConfig {
-            forbidden: p.candidates().into_iter().collect(),
+            forbidden: p.compiled().tuple_bits(p.candidates()),
             ..Default::default()
         };
         assert!(matches!(

@@ -16,15 +16,20 @@
 //! verify it against the exact solver.
 //!
 //! Capacities, loads, and the reverse pass all run over the compiled
-//! dense index; the reverse pass re-prices trial solutions with
-//! [`CompiledInstance::balanced_cost_mask`] instead of re-evaluating
-//! views.
+//! dense index; the reverse pass maintains integer cut/damage counters
+//! per demand and per vulnerable tuple, so re-pricing a trial removal is
+//! two CSR-row walks plus one flat counter scan (in the exact summation
+//! order of [`CompiledInstance::balanced_cost_mask`], so trial costs are
+//! bit-identical to a from-scratch evaluation) instead of re-walking
+//! every witness row of the instance.
 
 use crate::error::CoreError;
 use crate::ir::CompiledInstance;
 use crate::solution::Solution;
 use crate::solvers::primal_dual::PrimalDualConfig;
 use delprop_query::ViewTupleId;
+use delprop_setcover::kernel::words;
+use delprop_setcover::BitSet;
 
 /// Outcome of the balanced primal-dual run.
 #[derive(Debug, Clone)]
@@ -47,7 +52,7 @@ pub fn solve_balanced(
         config
             .counted
             .as_ref()
-            .is_none_or(|c| c.contains(&ir.vulnerable_id(r)))
+            .is_none_or(|c| c.contains(r as usize))
     };
 
     // Capacities as in the standard algorithm.
@@ -64,83 +69,113 @@ pub fn solve_balanced(
         }
     }
 
-    let forbidden_mask: Vec<bool> = if config.forbidden.is_empty() {
-        vec![false; nb]
-    } else {
-        (0..nb as u32)
-            .map(|b| config.forbidden.contains(&ir.base(b)))
-            .collect()
-    };
+    // `BitSet::contains` is false past capacity, so the default
+    // zero-capacity `forbidden` needs no resizing.
+    let forbidden = &config.forbidden;
 
     let mut load = vec![0.0f64; nb];
     let mut deleted: Vec<u32> = Vec::new();
-    let mut deleted_mask = vec![false; nb];
+    let mut deleted_bits = BitSet::new(nb);
     let mut dual_objective = 0.0;
     const EPS: f64 = 1e-9;
 
     for d in 0..ir.num_demands() as u32 {
-        let witnesses = ir.demand_row(d);
-        if witnesses.iter().any(|&b| deleted_mask[b as usize]) {
+        if words::intersects(ir.witness_mask_row(d), deleted_bits.words()) {
             continue; // already cut for free
         }
-        let allowed: Vec<u32> = witnesses
-            .iter()
-            .copied()
-            .filter(|&b| !forbidden_mask[b as usize])
-            .collect();
+        let witnesses = ir.demand_row(d);
         let prize = ir.demand_weight(d);
-        let slack = allowed
+        let slack = witnesses
             .iter()
+            .filter(|&&b| !forbidden.contains(b as usize))
             .map(|&b| (cap[b as usize] - load[b as usize]).max(0.0))
-            .fold(f64::INFINITY, f64::min); // ∞ iff `allowed` is empty
+            .fold(f64::INFINITY, f64::min); // ∞ iff nothing is deletable
                                             // The dual rises until the cheaper of the two events.
         let raise = slack.min(prize);
         dual_objective += raise;
-        for &b in &allowed {
-            load[b as usize] += raise;
+        for &b in witnesses {
+            if !forbidden.contains(b as usize) {
+                load[b as usize] += raise;
+            }
         }
         if slack <= prize {
             // Witness saturation wins: cut the demand.
-            for &b in &allowed {
-                if load[b as usize] >= cap[b as usize] - EPS && !deleted_mask[b as usize] {
-                    deleted_mask[b as usize] = true;
+            for &b in witnesses {
+                if !forbidden.contains(b as usize)
+                    && load[b as usize] >= cap[b as usize] - EPS
+                    && deleted_bits.insert(b as usize)
+                {
                     deleted.push(b);
                 }
             }
-            debug_assert!(witnesses.iter().any(|&b| deleted_mask[b as usize]));
+            debug_assert!(words::intersects(
+                ir.witness_mask_row(d),
+                deleted_bits.words()
+            ));
         }
         // Otherwise the prize is exhausted first (or there is no
         // deletable witness): pay w_r and leave the demand uncut.
     }
 
     // Reverse pass: drop any deletion whose removal does not increase the
-    // balanced cost (covers both redundancy and bad trades).
-    let mut current = ir.balanced_cost_mask(&deleted_mask);
+    // balanced cost (covers both redundancy and bad trades). Cut/damage
+    // multiplicities are maintained incrementally; the trial cost is
+    // re-summed from the flat counters in the same ascending order as
+    // `balanced_cost_mask`, so accept/reject decisions are bit-identical
+    // to from-scratch re-pricing.
+    let nd = ir.num_demands();
+    let nr = ir.num_vulnerable();
+    let mut cut_count: Vec<u32> = (0..nd as u32)
+        .map(|d| words::intersection_count(ir.witness_mask_row(d), deleted_bits.words()) as u32)
+        .collect();
+    let mut damage_count: Vec<u32> = (0..nr as u32)
+        .map(|r| words::intersection_count(ir.vulnerable_mask_row(r), deleted_bits.words()) as u32)
+        .collect();
+    let cost_of = |cut_count: &[u32], damage_count: &[u32]| -> f64 {
+        let missed: f64 = cut_count
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == 0)
+            .map(|(d, _)| ir.demand_weight(d as u32))
+            .sum();
+        let damage: f64 = damage_count
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(r, _)| ir.vulnerable_weight(r as u32))
+            .sum();
+        missed + damage
+    };
+    let mut current = cost_of(&cut_count, &damage_count);
     for &b in deleted.iter().rev() {
-        if !deleted_mask[b as usize] {
-            continue;
+        for &d in ir.hit_row(b) {
+            cut_count[d as usize] -= 1;
         }
-        deleted_mask[b as usize] = false;
-        let c = ir.balanced_cost_mask(&deleted_mask);
+        for &r in ir.incidence_row(b) {
+            damage_count[r as usize] -= 1;
+        }
+        let c = cost_of(&cut_count, &damage_count);
         if c <= current + EPS {
             current = c;
+            deleted_bits.remove(b as usize);
         } else {
-            deleted_mask[b as usize] = true;
+            for &d in ir.hit_row(b) {
+                cut_count[d as usize] += 1;
+            }
+            for &r in ir.incidence_row(b) {
+                damage_count[r as usize] += 1;
+            }
         }
     }
     // The demands actually left uncut (after pruning).
-    let skipped = (0..ir.num_demands() as u32)
-        .filter(|&d| !ir.eliminates(&deleted_mask, d))
-        .map(|d| ir.demand(d))
+    let skipped = cut_count
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == 0)
+        .map(|(d, _)| ir.demand(d as u32))
         .collect();
 
-    let solution = Solution::from_tuples(
-        deleted_mask
-            .iter()
-            .enumerate()
-            .filter(|&(_, &del)| del)
-            .map(|(b, _)| ir.base(b as u32)),
-    );
+    let solution = Solution::from_tuples(deleted_bits.iter().map(|b| ir.base(b as u32)));
     Ok(BalancedOutcome {
         solution,
         skipped,
@@ -209,7 +244,7 @@ mod tests {
             p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
         });
         let cfg = PrimalDualConfig {
-            forbidden: p.candidates().into_iter().collect(),
+            forbidden: p.compiled().tuple_bits(p.candidates()),
             ..Default::default()
         };
         // Unlike the standard version, the balanced one cannot fail: it

@@ -6,10 +6,55 @@
 //! nonzeros, where a dense tableau is simple and fast enough. Bland's rule
 //! guarantees termination (no cycling) at the cost of some extra pivots —
 //! the right trade for a correctness-critical baseline.
+//!
+//! The tableau is one flat row-major `f64` buffer ([`Tableau`]), and
+//! pricing computes every column's reduced cost in a single row-ordered
+//! sweep (`reduced[j] = cost[j] - Σ_i cost[basis[i]]·a[i][j]`, accumulated
+//! row by row) instead of walking each column through strided memory. The
+//! accumulation order per column is unchanged, so reduced costs — and
+//! therefore every pivot choice and the final vertex — are bit-identical
+//! to the column-walk formulation.
 
 use crate::model::{Cmp, LpOutcome, LpProblem, Sense};
 
 const EPS: f64 = 1e-9;
+
+/// Flat row-major simplex tableau: row `i` is the contiguous slice
+/// `a[i*w .. (i+1)*w]`.
+struct Tableau {
+    a: Vec<f64>,
+    /// Row width (number of columns).
+    w: usize,
+}
+
+impl Tableau {
+    fn new(rows: usize, cols: usize) -> Self {
+        Tableau {
+            a: vec![0.0; rows * cols],
+            w: cols,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.a.len().checked_div(self.w).unwrap_or(0)
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        &self.a[i * self.w..(i + 1) * self.w]
+    }
+
+    fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.a[i * self.w..(i + 1) * self.w]
+    }
+
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.w + j]
+    }
+
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i * self.w + j] = v;
+    }
+}
 
 /// Solve `problem` to optimality (or detect infeasibility/unboundedness).
 pub fn solve(problem: &LpProblem) -> LpOutcome {
@@ -25,23 +70,35 @@ pub fn solve_with_ticker(problem: &LpProblem, tick: &mut dyn FnMut(u64) -> bool)
     let m = problem.constraints().len();
 
     // --- Build the standard form: min c·x, Ax = b, x ≥ 0, b ≥ 0. ---
-    // Column layout: [structural 0..n | slack/surplus | artificial].
+    // Column layout: [structural 0..n | slack/surplus | artificial]. A
+    // pre-pass sizes both extra column groups exactly (a slack starts
+    // basic iff its coefficient is +1 after the b ≥ 0 normalization, i.e.
+    // `Le` with non-negative rhs or `Ge` with negative rhs; every other
+    // row needs an artificial), so the flat tableau is allocated at its
+    // final width — no truncation pass.
     let mut num_slack = 0;
-    for c in problem.constraints() {
-        if matches!(c.cmp, Cmp::Le | Cmp::Ge) {
-            num_slack += 1;
+    let mut num_art = 0;
+    for con in problem.constraints() {
+        let negated = con.rhs < 0.0;
+        match con.cmp {
+            Cmp::Le | Cmp::Ge => num_slack += 1,
+            Cmp::Eq => {}
+        }
+        let slack_basic = matches!(con.cmp, Cmp::Le) != negated && !matches!(con.cmp, Cmp::Eq);
+        if !slack_basic {
+            num_art += 1;
         }
     }
-    let total = n + num_slack + m; // reserve one artificial slot per row
-    let mut a = vec![vec![0.0; total]; m];
+    let num_cols = n + num_slack + num_art;
+    let mut a = Tableau::new(m, num_cols);
     let mut b = vec![0.0; m];
     let mut basis = vec![usize::MAX; m];
-    let mut num_art = 0;
     let mut slack_col = n;
+    let mut art_col = n + num_slack;
 
     for (i, con) in problem.constraints().iter().enumerate() {
         for &(v, coeff) in &con.terms {
-            a[i][v] += coeff;
+            a.set(i, v, a.at(i, v) + coeff);
         }
         b[i] = con.rhs;
         let mut slack_sign = 0.0;
@@ -51,7 +108,7 @@ pub fn solve_with_ticker(problem: &LpProblem, tick: &mut dyn FnMut(u64) -> bool)
             Cmp::Eq => {}
         }
         let this_slack = if slack_sign != 0.0 {
-            a[i][slack_col] = slack_sign;
+            a.set(i, slack_col, slack_sign);
             let col = slack_col;
             slack_col += 1;
             Some(col)
@@ -60,26 +117,22 @@ pub fn solve_with_ticker(problem: &LpProblem, tick: &mut dyn FnMut(u64) -> bool)
         };
         // Normalize to b ≥ 0.
         if b[i] < 0.0 {
-            for x in a[i].iter_mut() {
+            for x in a.row_mut(i) {
                 *x = -*x;
             }
             b[i] = -b[i];
         }
         // A slack column with coefficient +1 can start in the basis.
         match this_slack {
-            Some(col) if a[i][col] > 0.5 => basis[i] = col,
+            Some(col) if a.at(i, col) > 0.5 => basis[i] = col,
             _ => {
-                let art = n + num_slack + num_art;
-                num_art += 1;
-                a[i][art] = 1.0;
-                basis[i] = art;
+                a.set(i, art_col, 1.0);
+                basis[i] = art_col;
+                art_col += 1;
             }
         }
     }
-    let num_cols = n + num_slack + num_art;
-    for row in a.iter_mut() {
-        row.truncate(num_cols);
-    }
+    debug_assert_eq!(art_col, num_cols, "artificial pre-count must be exact");
 
     // Objective in minimization form.
     let sign = match problem.sense() {
@@ -110,7 +163,7 @@ pub fn solve_with_ticker(problem: &LpProblem, tick: &mut dyn FnMut(u64) -> bool)
         for i in 0..m {
             if basis[i] >= n + num_slack {
                 // Pivot on any non-artificial column with nonzero entry.
-                if let Some(j) = (0..n + num_slack).find(|&j| a[i][j].abs() > EPS) {
+                if let Some(j) = (0..n + num_slack).find(|&j| a.at(i, j).abs() > EPS) {
                     pivot(&mut a, &mut b, &mut basis, i, j);
                 }
                 // If none exists the row is all-zero (redundant); the
@@ -118,8 +171,8 @@ pub fn solve_with_ticker(problem: &LpProblem, tick: &mut dyn FnMut(u64) -> bool)
             }
         }
         // Freeze artificials at zero for phase 2 by zeroing their columns.
-        for row in a.iter_mut() {
-            for x in row.iter_mut().skip(n + num_slack) {
+        for i in 0..m {
+            for x in a.row_mut(i).iter_mut().skip(n + num_slack) {
                 *x = 0.0;
             }
         }
@@ -158,14 +211,14 @@ enum SimplexEnd {
 /// termination stays guaranteed on degenerate instances. Returns the
 /// optimal objective value `Σ cost[basis[i]]·b[i]` on success.
 fn run_simplex(
-    a: &mut [Vec<f64>],
+    a: &mut Tableau,
     b: &mut [f64],
     basis: &mut [usize],
     cost: &[f64],
     enter_limit: usize,
     tick: &mut dyn FnMut(u64) -> bool,
 ) -> SimplexEnd {
-    let m = a.len();
+    let m = a.rows();
     // Three pricing phases: Dantzig (fast), then randomized (breaks the
     // degenerate treadmills Dantzig can enter), then Bland (guaranteed
     // progress), with a hard cap as the final backstop.
@@ -188,22 +241,26 @@ fn run_simplex(
         }
         let bland = iterations > random_until;
         let randomized = !bland && iterations > dantzig_until;
-        // Reduced cost of column j: cost[j] - Σ_i cost[basis[i]]·a[i][j]
-        // (the tableau is kept in canonical form). Precompute the basic
-        // cost vector once per iteration.
-        let basic_costs: Vec<f64> = basis.iter().map(|&bv| cost[bv]).collect();
+        // Reduced costs of every candidate column in one row-ordered
+        // sweep: start from cost[..enter_limit] and subtract each basic
+        // row's contribution across all columns at once (the tableau is
+        // kept in canonical form). Per column this accumulates in the
+        // same ascending-row order as a column walk — identical floats —
+        // but streams the flat buffer instead of striding it.
+        let mut reduced_costs = cost[..enter_limit].to_vec();
+        for (i, &bv) in basis.iter().enumerate() {
+            let c = cost[bv];
+            if c != 0.0 {
+                for (rj, &aij) in reduced_costs.iter_mut().zip(a.row(i)) {
+                    *rj -= c * aij;
+                }
+            }
+        }
         let mut entering: Option<(usize, f64)> = None;
         let mut improving_seen: u64 = 0;
-        for j in 0..enter_limit {
+        for (j, &reduced) in reduced_costs.iter().enumerate() {
             if j < in_basis.len() && in_basis[j] {
                 continue;
-            }
-            let mut reduced = cost[j];
-            for i in 0..m {
-                let c = basic_costs[i];
-                if c != 0.0 {
-                    reduced -= c * a[i][j];
-                }
             }
             if reduced < -EPS {
                 if bland {
@@ -232,8 +289,8 @@ fn run_simplex(
         // Ratio test (Bland ties: smallest basis variable index).
         let mut leave: Option<(usize, f64)> = None;
         for i in 0..m {
-            if a[i][j] > EPS {
-                let ratio = b[i] / a[i][j];
+            if a.at(i, j) > EPS {
+                let ratio = b[i] / a.at(i, j);
                 let better = match leave {
                     None => true,
                     Some((li, lr)) => {
@@ -260,25 +317,34 @@ fn run_simplex(
 }
 
 /// Pivot the tableau: make column `j` basic in row `i`.
-fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], i: usize, j: usize) {
-    let m = a.len();
-    let p = a[i][j];
+fn pivot(a: &mut Tableau, b: &mut [f64], basis: &mut [usize], i: usize, j: usize) {
+    let p = a.at(i, j);
     debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
-    for x in a[i].iter_mut() {
+    for x in a.row_mut(i) {
         *x /= p;
     }
     b[i] /= p;
-    // Clone the (normalized) pivot row once; eliminating column j from
-    // every other row is the hot loop of the whole solver.
-    let pivot_row: Vec<f64> = a[i].clone();
-    for r in 0..m {
-        if r != i && a[r][j].abs() > EPS {
-            let factor = a[r][j];
-            for (x, pv) in a[r].iter_mut().zip(&pivot_row) {
+    let bi = b[i];
+    // Eliminate column j from every other row — the hot loop of the whole
+    // solver. The flat buffer splits around the pivot row, so both halves
+    // stream against it with no clone.
+    let w = a.w;
+    let (head, rest) = a.a.split_at_mut(i * w);
+    let (pivot_row, tail) = rest.split_at_mut(w);
+    let eliminate = |row: &mut [f64], b_r: &mut f64| {
+        let factor = row[j];
+        if factor.abs() > EPS {
+            for (x, pv) in row.iter_mut().zip(&*pivot_row) {
                 *x -= factor * pv;
             }
-            b[r] -= factor * b[i];
+            *b_r -= factor * bi;
         }
+    };
+    for (r, row) in head.chunks_exact_mut(w).enumerate() {
+        eliminate(row, &mut b[r]);
+    }
+    for (k, row) in tail.chunks_exact_mut(w).enumerate() {
+        eliminate(row, &mut b[i + 1 + k]);
     }
     basis[i] = j;
 }

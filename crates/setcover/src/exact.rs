@@ -7,7 +7,7 @@
 //! the lowest-indexed uncovered blue element and prunes with the
 //! monotonically non-decreasing red cost.
 
-use crate::bitset::BitSet;
+use crate::kernel::BitSet;
 use crate::redblue::{RedBlueInstance, SetSelection};
 
 /// Configuration for the branch-and-bound search.
@@ -69,30 +69,8 @@ pub fn solve_with_ticker(
         };
     }
 
-    // Precompute per-set bitsets once.
-    let set_blue: Vec<BitSet> = instance
-        .sets()
-        .iter()
-        .map(|s| {
-            let mut b = BitSet::new(instance.num_blue());
-            for &x in &s.blue {
-                b.insert(x);
-            }
-            b
-        })
-        .collect();
-    let set_red: Vec<BitSet> = instance
-        .sets()
-        .iter()
-        .map(|s| {
-            let mut b = BitSet::new(instance.num_red());
-            for &x in &s.red {
-                b.insert(x);
-            }
-            b
-        })
-        .collect();
-    // For each blue element, the sets covering it.
+    // For each blue element, the sets covering it. Set membership itself
+    // comes from the instance's packed rows — nothing to precompute.
     let mut coverers: Vec<Vec<usize>> = vec![Vec::new(); instance.num_blue()];
     for (si, s) in instance.sets().iter().enumerate() {
         for &b in &s.blue {
@@ -102,8 +80,6 @@ pub fn solve_with_ticker(
 
     let mut search = Search {
         instance,
-        set_blue: &set_blue,
-        set_red: &set_red,
         coverers: &coverers,
         best: None,
         best_cost: f64::INFINITY,
@@ -131,8 +107,6 @@ pub fn solve_with_ticker(
 
 struct Search<'a> {
     instance: &'a RedBlueInstance,
-    set_blue: &'a [BitSet],
-    set_red: &'a [BitSet],
     coverers: &'a [Vec<usize>],
     best: Option<SetSelection>,
     best_cost: f64,
@@ -173,15 +147,26 @@ impl Search<'_> {
             // Skip sets already chosen (they'd have covered next_blue).
             debug_assert!(!chosen.contains(&si));
             let mut nb = covered_blue.clone();
-            nb.union_with(&self.set_blue[si]);
+            nb.union_with_words(self.instance.blue_row(si));
             let mut nr = covered_red.clone();
             let mut ncost = cost;
-            for r in self.set_red[si].iter() {
-                if !covered_red.contains(r) {
-                    nr.insert(r);
+            // Newly covered reds, word-parallel: the set's row minus what
+            // is already covered, weights summed in ascending red order.
+            for (wi, (&row, &cov)) in self
+                .instance
+                .red_row(si)
+                .iter()
+                .zip(covered_red.words())
+                .enumerate()
+            {
+                let mut w = row & !cov;
+                while w != 0 {
+                    let r = wi * 64 + w.trailing_zeros() as usize;
                     ncost += self.instance.red_weight(r);
+                    w &= w - 1;
                 }
             }
+            nr.union_with_words(self.instance.red_row(si));
             chosen.push(si);
             self.recurse(&nb, &nr, ncost, chosen);
             chosen.pop();

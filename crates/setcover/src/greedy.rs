@@ -6,10 +6,17 @@
 //! price / newly-covered-blues), giving an `H(β)` factor w.r.t. the
 //! *disjoint-cost* relaxation in which shared reds are paid per set.
 //!
+//! The selection loop is dense: per-set newly-covered-blue counts live in a
+//! monotone [`BucketQueue`] (O(1) decrease-key as blues get covered, sets
+//! retired the moment they cover nothing new), and prices are word-parallel
+//! popcount-and-sum sweeps over the instance's packed red rows. Both the
+//! pick sequence and every price are bit-identical to the classic
+//! scan-everything formulation — only the work per iteration changed.
+//!
 //! Also usable stand-alone as the cheap baseline the experiments compare
 //! against.
 
-use crate::bitset::BitSet;
+use crate::kernel::{words, BitSet, BucketQueue};
 use crate::redblue::{RedBlueInstance, SetSelection};
 
 /// Greedily cover all blue elements. Returns `None` if the instance is not
@@ -20,49 +27,126 @@ use crate::redblue::{RedBlueInstance, SetSelection};
 /// sets are free, which slightly sharpens the textbook variant without
 /// affecting its guarantee).
 pub fn cover(instance: &RedBlueInstance) -> Option<SetSelection> {
-    if !instance.is_coverable() {
+    cover_restricted(instance, &BitSet::all_set(instance.sets().len()))
+}
+
+/// [`cover`], restricted to the sets whose bit is set in `active`. Sets
+/// outside the mask are invisible: the result equals running [`cover`] on
+/// the subinstance keeping only active sets (in original index order), but
+/// with original set indices and **no instance clone** — the τ-sweep in
+/// [`crate::lowdeg`] calls this once per threshold.
+pub fn cover_restricted(instance: &RedBlueInstance, active: &BitSet) -> Option<SetSelection> {
+    let num_blue = instance.num_blue();
+    let num_sets = instance.sets().len();
+    assert_eq!(active.capacity(), num_sets, "one activity bit per set");
+
+    // Coverability under the mask: union of active blue rows.
+    let mut reachable = BitSet::new(num_blue);
+    for si in active.iter() {
+        reachable.union_with_words(instance.blue_row(si));
+    }
+    if reachable.count() != num_blue {
         return None;
     }
-    let num_blue = instance.num_blue();
+
+    // Inverted index blue -> containing active sets, CSR layout.
+    let mut blue_offsets = vec![0u32; num_blue + 1];
+    for si in active.iter() {
+        for b in words::iter_ones(instance.blue_row(si)) {
+            blue_offsets[b + 1] += 1;
+        }
+    }
+    for b in 0..num_blue {
+        blue_offsets[b + 1] += blue_offsets[b];
+    }
+    let mut blue_sets = vec![0u32; blue_offsets[num_blue] as usize];
+    let mut cursor: Vec<u32> = blue_offsets[..num_blue].to_vec();
+    for si in active.iter() {
+        for b in words::iter_ones(instance.blue_row(si)) {
+            blue_sets[cursor[b] as usize] = si as u32;
+            cursor[b] += 1;
+        }
+    }
+
+    // Live sets keyed by how many uncovered blues they still reach; a set
+    // whose key hits zero can never be picked again and leaves the queue.
+    let mut queue = BucketQueue::new(num_sets, num_blue);
+    let mut new_blue = vec![0u32; num_sets];
+    for si in active.iter() {
+        let n = words::count(instance.blue_row(si));
+        if n > 0 {
+            new_blue[si] = n as u32;
+            queue.push(si, n);
+        }
+    }
+
     let mut covered_blue = BitSet::new(num_blue);
     let mut covered_red = BitSet::new(instance.num_red());
+    let mut covered_blue_count = 0usize;
     let mut selection = Vec::new();
-    let mut used = vec![false; instance.sets().len()];
 
-    while covered_blue.count() < num_blue {
-        let mut best: Option<(usize, f64)> = None; // (set, price per new blue)
-        for (si, s) in instance.sets().iter().enumerate() {
-            if used[si] {
-                continue;
-            }
-            let new_blue = s
-                .blue
+    while covered_blue_count < num_blue {
+        // Pick argmin price / new_blue. Ties go to the smallest set index,
+        // exactly like a first-strict-min scan in index order; the queue
+        // only prunes sets that cover nothing new.
+        let mut best: Option<(f64, usize)> = None;
+        queue.for_each_live(|si, key| {
+            // Price = weight of the set's reds not yet covered, summed in
+            // ascending red order (bit-identical to a sorted member scan).
+            let mut price = 0.0;
+            for (wi, (&row, &cov)) in instance
+                .red_row(si)
                 .iter()
-                .filter(|&&b| !covered_blue.contains(b))
-                .count();
-            if new_blue == 0 {
-                continue;
+                .zip(covered_red.words())
+                .enumerate()
+            {
+                let mut w = row & !cov;
+                while w != 0 {
+                    let r = wi * 64 + w.trailing_zeros() as usize;
+                    price += instance.red_weight(r);
+                    w &= w - 1;
+                }
             }
-            let price: f64 = s
-                .red
-                .iter()
-                .filter(|&&r| !covered_red.contains(r))
-                .map(|&r| instance.red_weight(r))
-                .sum();
-            let ratio = price / new_blue as f64;
-            if best.is_none_or(|(_, b)| ratio < b) {
-                best = Some((si, ratio));
+            let ratio = price / key as f64;
+            let better = match best {
+                None => true,
+                Some((br, bi)) => ratio < br || (ratio == br && si < bi),
+            };
+            if better {
+                best = Some((ratio, si));
             }
-        }
-        let (si, _) = best.expect("coverable instance always has a set with new blues");
-        used[si] = true;
+        });
+        let (_, si) = best.expect("coverable instance always has a set with new blues");
+        queue.remove(si);
+        new_blue[si] = 0;
         selection.push(si);
-        for &b in &instance.sets()[si].blue {
-            covered_blue.insert(b);
+        // Newly covered blues shrink the keys of every set that shares one.
+        for (wi, (&row, &cov)) in instance
+            .blue_row(si)
+            .iter()
+            .zip(covered_blue.words())
+            .enumerate()
+        {
+            let mut w = row & !cov;
+            while w != 0 {
+                let b = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                covered_blue_count += 1;
+                for &other in &blue_sets[blue_offsets[b] as usize..blue_offsets[b + 1] as usize] {
+                    let other = other as usize;
+                    if new_blue[other] > 0 {
+                        new_blue[other] -= 1;
+                        if new_blue[other] == 0 {
+                            queue.remove(other);
+                        } else {
+                            queue.decrease(other, new_blue[other] as usize);
+                        }
+                    }
+                }
+            }
         }
-        for &r in &instance.sets()[si].red {
-            covered_red.insert(r);
-        }
+        covered_blue.union_with_words(instance.blue_row(si));
+        covered_red.union_with_words(instance.red_row(si));
     }
     Some(selection)
 }
@@ -131,6 +215,24 @@ mod tests {
     }
 
     #[test]
+    fn restricted_mask_hides_sets() {
+        let i = inst(
+            2,
+            2,
+            vec![(vec![], vec![0, 1]), (vec![0], vec![0]), (vec![1], vec![1])],
+        );
+        // Full cover takes the free set 0.
+        assert_eq!(i.cost(&cover(&i).unwrap()), 0.0);
+        // Masking it out forces the two paid sets, in index order.
+        let mask = BitSet::from_indices(3, [1, 2]);
+        let sel = cover_restricted(&i, &mask).unwrap();
+        assert_eq!(sel, vec![1, 2]);
+        assert_eq!(i.cost(&sel), 2.0);
+        // A mask that cannot reach blue 1 is infeasible.
+        assert!(cover_restricted(&i, &BitSet::from_indices(3, [1])).is_none());
+    }
+
+    #[test]
     fn greedy_is_feasible_on_random_instances_and_bounded_by_exact() {
         // Deterministic pseudo-random family; greedy cost must be >= OPT
         // and both must be feasible.
@@ -162,6 +264,39 @@ mod tests {
                 (None, None) => {}
                 (g, e) => panic!("feasibility disagreement: greedy={g:?} exact={e:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn restricted_matches_subinstance_clone() {
+        // cover_restricted must equal greedy on the physically restricted
+        // instance, modulo the index mapping — the exact invariant the
+        // low-degree sweep relies on.
+        let mut seed = 777u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..10 {
+            let (nr, nb) = (5, 5);
+            let sets: Vec<(Vec<usize>, Vec<usize>)> = (0..7)
+                .map(|_| {
+                    (
+                        (0..nr).filter(|_| next() % 3 == 0).collect(),
+                        (0..nb).filter(|_| next() % 2 == 0).collect(),
+                    )
+                })
+                .collect();
+            let i = inst(nr, nb, sets.clone());
+            let kept: Vec<usize> = (0..7).filter(|_| next() % 4 != 0).collect();
+            let mask = BitSet::from_indices(7, kept.iter().copied());
+            let sub = inst(nr, nb, kept.iter().map(|&k| sets[k].clone()).collect());
+            let via_mask = cover_restricted(&i, &mask);
+            let via_clone =
+                cover(&sub).map(|sel| sel.into_iter().map(|s| kept[s]).collect::<Vec<_>>());
+            assert_eq!(via_mask, via_clone);
         }
     }
 }

@@ -1,0 +1,129 @@
+//! A dense rows × columns bit matrix stored as one flat `u64` buffer.
+//!
+//! Each row occupies `cols.div_ceil(64)` consecutive words, so a row is a
+//! contiguous `&[u64]` slice suitable for the sweeps in
+//! [`crate::kernel::words`] and for intersection with a
+//! [`crate::kernel::BitSet`] over the same column universe. Rows are packed
+//! back to back — iterating rows walks the buffer forward, which is what
+//! keeps coverage counting and pivot-selection sweeps cache-resident.
+
+/// Flat packed bit matrix with fixed dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    words_per_row: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// All-zero matrix with `rows` rows of `cols` bits each.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            words: vec![0; rows * words_per_row],
+            words_per_row,
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from an iterator of rows, each an iterator of set column
+    /// indices. `rows` must match the iterator length exactly.
+    pub fn from_rows<R, I>(rows: usize, cols: usize, row_iter: R) -> Self
+    where
+        R: IntoIterator<Item = I>,
+        I: IntoIterator<Item = usize>,
+    {
+        let mut m = BitMatrix::new(rows, cols);
+        let mut seen = 0usize;
+        for (r, cols_of_row) in row_iter.into_iter().enumerate() {
+            seen += 1;
+            for c in cols_of_row {
+                m.set(r, c);
+            }
+        }
+        assert_eq!(seen, rows, "row iterator length must equal `rows`");
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Words per row (shared with any `BitSet` over the column universe).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Set bit `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize) {
+        assert!(r < self.rows && c < self.cols, "({r}, {c}) out of range");
+        self.words[r * self.words_per_row + c / 64] |= 1u64 << (c % 64);
+    }
+
+    /// Whether bit `(r, c)` is set (false when out of range).
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        r < self.rows
+            && c < self.cols
+            && self.words[r * self.words_per_row + c / 64] & (1u64 << (c % 64)) != 0
+    }
+
+    /// Row `r` as a packed word slice.
+    pub fn row(&self, r: usize) -> &[u64] {
+        let start = r * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::words;
+
+    #[test]
+    fn set_contains_row() {
+        let mut m = BitMatrix::new(3, 70);
+        m.set(0, 0);
+        m.set(1, 69);
+        m.set(2, 64);
+        assert!(m.contains(0, 0) && m.contains(1, 69) && m.contains(2, 64));
+        assert!(!m.contains(0, 1) && !m.contains(3, 0) && !m.contains(0, 70));
+        assert_eq!(m.words_per_row(), 2);
+        assert_eq!(words::iter_ones(m.row(1)).collect::<Vec<_>>(), vec![69]);
+    }
+
+    #[test]
+    fn from_rows_packs_every_row() {
+        let m = BitMatrix::from_rows(2, 130, [vec![0, 129], vec![64]]);
+        assert_eq!(words::count(m.row(0)), 2);
+        assert_eq!(words::iter_ones(m.row(1)).collect::<Vec<_>>(), vec![64]);
+        let single = BitMatrix::from_rows(1, 130, [vec![129]]);
+        assert!(words::intersects(m.row(0), single.row(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "row iterator length")]
+    fn from_rows_checks_length() {
+        BitMatrix::from_rows(3, 8, [vec![0usize]]);
+    }
+
+    #[test]
+    fn zero_sized_edges() {
+        let m = BitMatrix::new(0, 10);
+        assert_eq!(m.rows(), 0);
+        let n = BitMatrix::new(4, 0);
+        assert_eq!(n.words_per_row(), 0);
+        assert_eq!(n.row(3), &[] as &[u64]);
+        assert!(!n.contains(0, 0));
+    }
+}

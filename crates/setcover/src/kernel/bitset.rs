@@ -1,7 +1,12 @@
-//! A small fixed-capacity bitset used by the exact branch-and-bound solver.
+//! A small fixed-capacity bitset shared by every dense solver hot path.
 //!
 //! `std` has no bitset and the offline crate list has no `fixedbitset`, so
-//! we carry a minimal one: enough for coverage bookkeeping, nothing more.
+//! we carry a minimal one. Packed `u64` words are exposed read-only via
+//! [`BitSet::words`] so callers can run the branch-free sweeps in
+//! [`crate::kernel::words`] against other packed rows (e.g. the rows of a
+//! [`crate::kernel::BitMatrix`]). Invariant: bits at positions `>= capacity`
+//! in the last word are always zero, so word-parallel popcounts never see
+//! ghost bits.
 
 /// Fixed-capacity bitset over `0..capacity`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,9 +24,43 @@ impl BitSet {
         }
     }
 
+    /// All-one bitset over `0..capacity` (tail bits stay zero).
+    pub fn all_set(capacity: usize) -> Self {
+        let mut s = BitSet {
+            blocks: vec![u64::MAX; capacity.div_ceil(64)],
+            capacity,
+        };
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = s.blocks.last_mut() {
+                *last &= (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Bitset over `0..capacity` with the given (in-range) indices set.
+    pub fn from_indices(capacity: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(capacity);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
     /// Capacity in bits.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The packed `u64` words, little-endian within each word. Tail bits
+    /// beyond `capacity` are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Clear every bit, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
     }
 
     /// Set bit `i`. Returns whether it was previously unset.
@@ -73,6 +112,35 @@ impl BitSet {
         }
     }
 
+    /// OR a packed row over the same universe into this bitset. The row
+    /// must come from a matrix/bitset with this capacity, so its tail bits
+    /// are zero and the invariant holds.
+    pub fn union_with_words(&mut self, row: &[u64]) {
+        debug_assert_eq!(row.len(), self.blocks.len(), "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(row) {
+            *a |= b;
+        }
+    }
+
+    /// Whether the two bitsets share any set bit (capacities must match).
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of bits set in both (capacities must match).
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// Whether every set bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity);
@@ -110,6 +178,14 @@ impl BitSet {
             }
         }
         None
+    }
+}
+
+impl Default for BitSet {
+    /// The empty zero-capacity bitset: `contains` is `false` everywhere,
+    /// so it is the natural "no restrictions" value for config fields.
+    fn default() -> Self {
+        BitSet::new(0)
     }
 }
 
@@ -185,5 +261,35 @@ mod tests {
     #[should_panic(expected = "out of capacity")]
     fn out_of_range_insert_panics() {
         BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn all_set_masks_the_tail() {
+        let s = BitSet::all_set(70);
+        assert_eq!(s.count(), 70);
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.words()[1], (1u64 << 6) - 1, "tail bits stay zero");
+        assert_eq!(BitSet::all_set(64).words(), &[u64::MAX]);
+        assert!(BitSet::all_set(0).is_empty());
+    }
+
+    #[test]
+    fn intersects_and_intersection_count() {
+        let a = BitSet::from_indices(130, [0, 63, 64, 129]);
+        let b = BitSet::from_indices(130, [63, 64, 100]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), 2);
+        let c = BitSet::from_indices(130, [1, 65]);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection_count(&c), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = BitSet::from_indices(90, [0, 89]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 90);
+        assert!(s.insert(89));
     }
 }

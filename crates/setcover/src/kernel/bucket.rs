@@ -1,0 +1,231 @@
+//! A monotone bucket queue over small integer keys (Dial's structure).
+//!
+//! Items are dense indices `0..num_items`; keys are bounded integers.
+//! Buckets are intrusive doubly-linked lists over three flat arrays, so
+//! `push`, `decrease`, and `remove` are all O(1) with no per-operation
+//! allocation and no re-sorting. Two consumption patterns are supported:
+//!
+//! * **Ascending sweep** (`pop_min`): a cursor walks the buckets upward.
+//!   The cursor is a lower bound, not a high-water mark — `decrease` pulls
+//!   it back down, so interleaving decreases with pops stays correct; the
+//!   classic monotone case (static keys consumed in order, as in the
+//!   low-degree τ-sweep) never moves it backwards and pays O(max_key)
+//!   total cursor work.
+//! * **Live scan** (`for_each_live`): visit every queued item grouped by
+//!   bucket, cheapest bucket first — the greedy selection loop uses this to
+//!   skip retired sets (key hits zero ⇒ `remove`) without touching them.
+
+const NONE: u32 = u32::MAX;
+
+/// Bucket queue over items `0..num_items` with keys `0..=max_key`.
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    head: Vec<u32>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    key: Vec<u32>,
+    cursor: usize,
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Empty queue able to hold `num_items` items with keys up to `max_key`.
+    pub fn new(num_items: usize, max_key: usize) -> Self {
+        assert!(num_items < NONE as usize, "item universe too large");
+        assert!(max_key < NONE as usize, "key universe too large");
+        BucketQueue {
+            head: vec![NONE; max_key + 1],
+            next: vec![NONE; num_items],
+            prev: vec![NONE; num_items],
+            key: vec![NONE; num_items],
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no item is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current key of `item`, if queued.
+    pub fn key_of(&self, item: usize) -> Option<usize> {
+        match self.key[item] {
+            NONE => None,
+            k => Some(k as usize),
+        }
+    }
+
+    /// Queue `item` with `key`.
+    ///
+    /// # Panics
+    /// Panics if `item` is already queued or `key` exceeds `max_key`.
+    pub fn push(&mut self, item: usize, key: usize) {
+        assert_eq!(self.key[item], NONE, "item {item} already queued");
+        self.link(item, key);
+        self.len += 1;
+        self.cursor = self.cursor.min(key);
+    }
+
+    /// Lower the key of a queued `item` to `new_key` in O(1).
+    ///
+    /// # Panics
+    /// Panics if `item` is not queued or `new_key` exceeds its current key.
+    pub fn decrease(&mut self, item: usize, new_key: usize) {
+        let cur = self.key[item];
+        assert_ne!(cur, NONE, "item {item} not queued");
+        assert!(new_key <= cur as usize, "decrease-key must not increase");
+        if new_key == cur as usize {
+            return;
+        }
+        self.unlink(item);
+        self.link(item, new_key);
+        self.cursor = self.cursor.min(new_key);
+    }
+
+    /// Remove a queued `item` in O(1).
+    ///
+    /// # Panics
+    /// Panics if `item` is not queued.
+    pub fn remove(&mut self, item: usize) {
+        assert_ne!(self.key[item], NONE, "item {item} not queued");
+        self.unlink(item);
+        self.key[item] = NONE;
+        self.len -= 1;
+    }
+
+    /// Pop an item with the minimum key (arbitrary order within a bucket).
+    pub fn pop_min(&mut self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.head[self.cursor] == NONE {
+            self.cursor += 1;
+        }
+        let item = self.head[self.cursor] as usize;
+        let key = self.cursor;
+        self.remove(item);
+        Some((item, key))
+    }
+
+    /// Visit every queued item as `(item, key)`, cheapest bucket first.
+    pub fn for_each_live(&self, mut f: impl FnMut(usize, usize)) {
+        let mut remaining = self.len;
+        for key in self.cursor..self.head.len() {
+            if remaining == 0 {
+                break;
+            }
+            let mut it = self.head[key];
+            while it != NONE {
+                f(it as usize, key);
+                remaining -= 1;
+                it = self.next[it as usize];
+            }
+        }
+    }
+
+    fn link(&mut self, item: usize, key: usize) {
+        let old_head = self.head[key];
+        self.next[item] = old_head;
+        self.prev[item] = NONE;
+        if old_head != NONE {
+            self.prev[old_head as usize] = item as u32;
+        }
+        self.head[key] = item as u32;
+        self.key[item] = key as u32;
+    }
+
+    fn unlink(&mut self, item: usize) {
+        let (p, n) = (self.prev[item], self.next[item]);
+        if p == NONE {
+            self.head[self.key[item] as usize] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n != NONE {
+            self.prev[n as usize] = p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_ascending() {
+        let mut q = BucketQueue::new(5, 10);
+        for (i, k) in [(0, 7), (1, 2), (2, 7), (3, 0), (4, 10)] {
+            q.push(i, k);
+        }
+        assert_eq!(q.len(), 5);
+        let mut keys = Vec::new();
+        while let Some((_, k)) = q.pop_min() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![0, 2, 7, 7, 10]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn decrease_key_moves_buckets() {
+        let mut q = BucketQueue::new(3, 8);
+        q.push(0, 8);
+        q.push(1, 5);
+        q.push(2, 8);
+        assert_eq!(q.pop_min(), Some((1, 5)));
+        q.decrease(2, 1);
+        assert_eq!(q.key_of(2), Some(1));
+        assert_eq!(q.pop_min(), Some((2, 1)), "cursor rewinds after decrease");
+        assert_eq!(q.pop_min(), Some((0, 8)));
+        assert_eq!(q.pop_min(), None);
+    }
+
+    #[test]
+    fn remove_from_middle_of_bucket() {
+        let mut q = BucketQueue::new(4, 3);
+        q.push(0, 2);
+        q.push(1, 2);
+        q.push(2, 2);
+        q.remove(1);
+        assert_eq!(q.key_of(1), None);
+        let mut seen = Vec::new();
+        q.for_each_live(|i, k| seen.push((i, k)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 2), (2, 2)]);
+        q.push(3, 0);
+        let mut order = Vec::new();
+        q.for_each_live(|_, k| order.push(k));
+        assert_eq!(order, vec![0, 2, 2], "cheapest bucket first");
+    }
+
+    #[test]
+    fn equal_key_decrease_is_noop() {
+        let mut q = BucketQueue::new(2, 4);
+        q.push(0, 3);
+        q.decrease(0, 3);
+        assert_eq!(q.key_of(0), Some(3));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already queued")]
+    fn double_push_panics() {
+        let mut q = BucketQueue::new(2, 2);
+        q.push(1, 1);
+        q.push(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not increase")]
+    fn increase_key_panics() {
+        let mut q = BucketQueue::new(2, 5);
+        q.push(0, 2);
+        q.decrease(0, 4);
+    }
+}

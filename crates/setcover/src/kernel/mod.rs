@@ -1,0 +1,26 @@
+//! Shared dense-kernel primitives for every solver hot path.
+//!
+//! The compiled IR hands solvers dense `u32` ids; this module is where
+//! those ids meet packed data. Three building blocks, one contract:
+//!
+//! * [`BitSet`] — a single packed row over a dense universe (a deletion
+//!   mask over base tuples, a coverage mask over blue elements, …).
+//! * [`BitMatrix`] — many rows over the same universe in one flat buffer
+//!   (witness sets per demand, set membership per cover set, …).
+//! * [`BucketQueue`] — O(1) push/decrease-key/remove selection over small
+//!   integer keys, replacing per-iteration re-scans and re-sorts.
+//!
+//! The contract: a `BitSet` and the rows of a `BitMatrix` over the same
+//! universe have identical word layout, so the free functions in
+//! [`words`] (intersect / popcount / union sweeps) apply to either side
+//! without conversion. Everything is `u64`-word-parallel and branch-free
+//! in the inner loop; nothing allocates after construction.
+
+mod bitmatrix;
+mod bitset;
+mod bucket;
+pub mod words;
+
+pub use bitmatrix::BitMatrix;
+pub use bitset::BitSet;
+pub use bucket::BucketQueue;

@@ -1,0 +1,106 @@
+//! Branch-free sweeps over packed `u64` word slices.
+//!
+//! These are the inner loops of every dense solver kernel: witness-set
+//! membership tests, coverage popcounts, and row unions all reduce to a
+//! zip over two word slices with no per-bit branching. All functions
+//! tolerate length mismatches by treating the shorter slice as
+//! zero-extended — rows produced by [`crate::kernel::BitMatrix`] and masks
+//! produced by [`crate::kernel::BitSet`] over the same universe always have
+//! equal length, but the zero-extension keeps degenerate empty universes
+//! (no words at all) safe without a special case.
+
+/// Whether the two packed rows share any set bit.
+pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+/// Number of bits set in both rows.
+pub fn intersection_count(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Number of bits set in `a` but not in `b`.
+pub fn difference_count(a: &[u64], b: &[u64]) -> usize {
+    let shared = a.len().min(b.len());
+    let head: usize = a[..shared]
+        .iter()
+        .zip(&b[..shared])
+        .map(|(x, y)| (x & !y).count_ones() as usize)
+        .sum();
+    head + count(&a[shared..])
+}
+
+/// Total set bits in a row.
+pub fn count(a: &[u64]) -> usize {
+    a.iter().map(|x| x.count_ones() as usize).sum()
+}
+
+/// OR `src` into `dst` (`src` must not be longer than `dst`).
+pub fn union_into(dst: &mut [u64], src: &[u64]) {
+    debug_assert!(src.len() <= dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// Iterate the set bit indices of a packed row in increasing order.
+pub fn iter_ones(a: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    a.iter().enumerate().flat_map(|(wi, &word)| {
+        let mut w = word;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let t = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + t)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bits: &[usize], words: usize) -> Vec<u64> {
+        let mut r = vec![0u64; words];
+        for &b in bits {
+            r[b / 64] |= 1 << (b % 64);
+        }
+        r
+    }
+
+    #[test]
+    fn intersects_and_counts() {
+        let a = row(&[0, 63, 64, 127], 2);
+        let b = row(&[63, 100], 2);
+        assert!(intersects(&a, &b));
+        assert_eq!(intersection_count(&a, &b), 1);
+        assert_eq!(difference_count(&a, &b), 3);
+        assert_eq!(count(&a), 4);
+        assert!(!intersects(&a, &row(&[1, 2], 2)));
+    }
+
+    #[test]
+    fn mismatched_lengths_zero_extend() {
+        let long = row(&[0, 64], 2);
+        let short = row(&[0], 1);
+        assert!(intersects(&long, &short));
+        assert_eq!(intersection_count(&long, &short), 1);
+        assert_eq!(difference_count(&long, &short), 1, "bit 64 survives");
+        assert_eq!(difference_count(&short, &long), 0);
+        assert!(!intersects(&long, &[]));
+    }
+
+    #[test]
+    fn union_and_iteration() {
+        let mut dst = row(&[1], 2);
+        union_into(&mut dst, &row(&[64], 2));
+        assert_eq!(iter_ones(&dst).collect::<Vec<_>>(), vec![1, 64]);
+        assert_eq!(iter_ones(&[]).count(), 0);
+    }
+}

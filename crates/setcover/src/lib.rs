@@ -13,16 +13,19 @@
 //! - [`lowdeg`]: the low-degree ("LowDegTwo") algorithm with the
 //!   `2√(|𝒞|·log β)` guarantee;
 //! - [`reduce`]: Miettinen's cost-preserving reductions between the two
-//!   problems, and the Pos-Neg solvers they induce.
+//!   problems, and the Pos-Neg solvers they induce;
+//! - [`kernel`]: the shared dense primitives (packed bitsets, bit
+//!   matrices, bucket queues, word sweeps) every hot path above — and the
+//!   compiled IR in `delprop-core` — is built on.
 
-mod bitset;
 pub mod exact;
 pub mod greedy;
+pub mod kernel;
 pub mod lowdeg;
 mod posneg;
 mod redblue;
 pub mod reduce;
 
-pub use bitset::BitSet;
+pub use kernel::{BitMatrix, BitSet, BucketQueue};
 pub use posneg::{PnSet, PosNegInstance};
 pub use redblue::{CoverSet, RedBlueInstance, SetSelection};

@@ -9,7 +9,8 @@
 //! propagation ("LowDegTwo").
 
 use crate::greedy;
-use crate::redblue::{CoverSet, RedBlueInstance, SetSelection};
+use crate::kernel::{BitSet, BucketQueue};
+use crate::redblue::{RedBlueInstance, SetSelection};
 
 /// Outcome of one `τ`-restricted attempt.
 #[derive(Debug, Clone)]
@@ -22,33 +23,30 @@ pub struct LowDegAttempt {
     pub cost: f64,
 }
 
-/// Run the `τ`-restricted subroutine: drop sets with more than `tau` red
-/// elements, then greedily cover the blues with what remains.
+/// Run the `τ`-restricted subroutine: mask out sets with more than `tau`
+/// red elements, then greedily cover the blues with what remains. The
+/// restriction is an activity bitset handed to
+/// [`greedy::cover_restricted`] — no subinstance is materialized.
 pub fn with_threshold(instance: &RedBlueInstance, tau: usize) -> LowDegAttempt {
-    // Restrict the collection, remembering original indices.
-    let mut kept_idx = Vec::new();
-    let mut kept_sets: Vec<CoverSet> = Vec::new();
-    for (si, s) in instance.sets().iter().enumerate() {
-        if s.red.len() <= tau {
-            kept_idx.push(si);
-            kept_sets.push(s.clone());
-        }
-    }
-    let restricted = RedBlueInstance::with_weights(
-        instance.num_red(),
-        instance.num_blue(),
-        (0..instance.num_red())
-            .map(|r| instance.red_weight(r))
-            .collect(),
-        kept_sets,
+    let active = BitSet::from_indices(
+        instance.sets().len(),
+        instance
+            .sets()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.red.len() <= tau)
+            .map(|(si, _)| si),
     );
-    match greedy::cover(&restricted) {
+    attempt_with_mask(instance, tau, &active)
+}
+
+fn attempt_with_mask(instance: &RedBlueInstance, tau: usize, active: &BitSet) -> LowDegAttempt {
+    match greedy::cover_restricted(instance, active) {
         Some(sel) => {
-            let original: SetSelection = sel.into_iter().map(|i| kept_idx[i]).collect();
-            let cost = instance.cost(&original);
+            let cost = instance.cost(&sel);
             LowDegAttempt {
                 tau,
-                selection: Some(original),
+                selection: Some(sel),
                 cost,
             }
         }
@@ -62,10 +60,29 @@ pub fn with_threshold(instance: &RedBlueInstance, tau: usize) -> LowDegAttempt {
 
 /// The full low-degree algorithm: sweep `τ = 0..=max_red_degree`, keep the
 /// cheapest feasible cover. Returns `None` iff the instance is infeasible.
+///
+/// Sets sit in a monotone bucket queue keyed by red degree; each τ-step
+/// drains exactly the bucket of sets becoming active, so the sweep's
+/// activation work is O(|𝒞|) total instead of O(|𝒞|·max_degree).
 pub fn solve(instance: &RedBlueInstance) -> Option<SetSelection> {
+    let num_sets = instance.sets().len();
+    let max_degree = instance.max_red_degree();
+    let mut by_degree = BucketQueue::new(num_sets, max_degree);
+    for (si, s) in instance.sets().iter().enumerate() {
+        by_degree.push(si, s.red.len());
+    }
+    let mut active = BitSet::new(num_sets);
+    let mut pending = by_degree.pop_min();
     let mut best: Option<(f64, SetSelection)> = None;
-    for tau in 0..=instance.max_red_degree() {
-        let attempt = with_threshold(instance, tau);
+    for tau in 0..=max_degree {
+        while let Some((si, degree)) = pending {
+            if degree > tau {
+                break;
+            }
+            active.insert(si);
+            pending = by_degree.pop_min();
+        }
+        let attempt = attempt_with_mask(instance, tau, &active);
         if let Some(sel) = attempt.selection {
             let better = best.as_ref().is_none_or(|(c, _)| attempt.cost < *c);
             if better {
@@ -89,6 +106,7 @@ pub fn ratio_bound(num_sets: usize, num_blue: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::exact::{self, ExactConfig};
+    use crate::redblue::CoverSet;
 
     fn inst(nr: usize, nb: usize, sets: Vec<(Vec<usize>, Vec<usize>)>) -> RedBlueInstance {
         RedBlueInstance::new(

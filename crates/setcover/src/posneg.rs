@@ -6,6 +6,7 @@
 //! positives* against *covered negatives*:
 //! `cost(𝒞′) = w(P \ ∪𝒞′) + w(N ∩ ∪𝒞′)`.
 
+use crate::kernel::{BitMatrix, BitSet};
 use std::fmt;
 
 /// One set of the collection: its positive and negative members.
@@ -44,11 +45,17 @@ impl PnSet {
 }
 
 /// A Positive-Negative Partial Set Cover instance with element weights.
+///
+/// Construction packs each set's membership into dense bit rows so the
+/// cost evaluation — the inner loop of the reduction-based balanced
+/// solvers — is a word-parallel union instead of per-element stores.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PosNegInstance {
     pos_weights: Vec<f64>,
     neg_weights: Vec<f64>,
     sets: Vec<PnSet>,
+    pos_rows: BitMatrix,
+    neg_rows: BitMatrix,
 }
 
 impl PosNegInstance {
@@ -79,10 +86,22 @@ impl PosNegInstance {
                 "set {i} references negative element out of range"
             );
         }
+        let pos_rows = BitMatrix::from_rows(
+            sets.len(),
+            pos_weights.len(),
+            sets.iter().map(|s| s.pos.iter().copied()),
+        );
+        let neg_rows = BitMatrix::from_rows(
+            sets.len(),
+            neg_weights.len(),
+            sets.iter().map(|s| s.neg.iter().copied()),
+        );
         PosNegInstance {
             pos_weights,
             neg_weights,
             sets,
+            pos_rows,
+            neg_rows,
         }
     }
 
@@ -111,31 +130,32 @@ impl PosNegInstance {
         self.neg_weights[n]
     }
 
+    /// Positive membership of set `si` as a packed word row.
+    pub fn pos_row(&self, si: usize) -> &[u64] {
+        self.pos_rows.row(si)
+    }
+
+    /// Negative membership of set `si` as a packed word row.
+    pub fn neg_row(&self, si: usize) -> &[u64] {
+        self.neg_rows.row(si)
+    }
+
     /// Cost of a selection: uncovered-positive weight + covered-negative
     /// weight. Every selection (including the empty one) is feasible.
     pub fn cost(&self, selection: &[usize]) -> f64 {
-        let mut pos_covered = vec![false; self.num_pos()];
-        let mut neg_covered = vec![false; self.num_neg()];
+        let mut pos_covered = BitSet::new(self.num_pos());
+        let mut neg_covered = BitSet::new(self.num_neg());
         for &si in selection {
-            for &p in &self.sets[si].pos {
-                pos_covered[p] = true;
-            }
-            for &n in &self.sets[si].neg {
-                neg_covered[n] = true;
-            }
+            pos_covered.union_with_words(self.pos_rows.row(si));
+            neg_covered.union_with_words(self.neg_rows.row(si));
         }
-        let uncovered_pos: f64 = pos_covered
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| !c)
-            .map(|(p, _)| self.pos_weights[p])
+        // Both sums walk element indices ascending, matching a plain
+        // coverage-array scan bit for bit.
+        let uncovered_pos: f64 = (0..self.num_pos())
+            .filter(|&p| !pos_covered.contains(p))
+            .map(|p| self.pos_weights[p])
             .sum();
-        let covered_neg: f64 = neg_covered
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c)
-            .map(|(n, _)| self.neg_weights[n])
-            .sum();
+        let covered_neg: f64 = neg_covered.iter().map(|n| self.neg_weights[n]).sum();
         uncovered_pos + covered_neg
     }
 }

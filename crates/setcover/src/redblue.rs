@@ -6,7 +6,7 @@
 //! `𝒞 ⊆ 2^(R∪B)`, pick a subcollection covering **all** blue elements while
 //! minimizing the (weighted) number of red elements covered.
 
-use crate::bitset::BitSet;
+use crate::kernel::{BitMatrix, BitSet};
 use std::fmt;
 
 /// One set of the collection `𝒞`: its red and blue members.
@@ -46,12 +46,20 @@ impl CoverSet {
 }
 
 /// A Red-Blue Set Cover instance with per-red-element weights.
+///
+/// Alongside the sorted member lists, construction packs every set's
+/// membership into dense bit rows ([`RedBlueInstance::blue_row`] /
+/// [`RedBlueInstance::red_row`]), so coverage queries and the greedy /
+/// low-degree / exact solvers run word-parallel sweeps instead of
+/// per-element bit tests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RedBlueInstance {
     num_red: usize,
     num_blue: usize,
     red_weights: Vec<f64>,
     sets: Vec<CoverSet>,
+    blue_rows: BitMatrix,
+    red_rows: BitMatrix,
 }
 
 /// A solution: indices into the instance's set collection.
@@ -89,11 +97,23 @@ impl RedBlueInstance {
                 "set {i} references blue element out of range"
             );
         }
+        let blue_rows = BitMatrix::from_rows(
+            sets.len(),
+            num_blue,
+            sets.iter().map(|s| s.blue.iter().copied()),
+        );
+        let red_rows = BitMatrix::from_rows(
+            sets.len(),
+            num_red,
+            sets.iter().map(|s| s.red.iter().copied()),
+        );
         RedBlueInstance {
             num_red,
             num_blue,
             red_weights,
             sets,
+            blue_rows,
+            red_rows,
         }
     }
 
@@ -117,14 +137,22 @@ impl RedBlueInstance {
         self.red_weights[r]
     }
 
+    /// Blue membership of set `si` as a packed word row over `0..num_blue`.
+    pub fn blue_row(&self, si: usize) -> &[u64] {
+        self.blue_rows.row(si)
+    }
+
+    /// Red membership of set `si` as a packed word row over `0..num_red`.
+    pub fn red_row(&self, si: usize) -> &[u64] {
+        self.red_rows.row(si)
+    }
+
     /// Whether every blue element is covered by some set (a feasible
     /// solution exists iff this holds).
     pub fn is_coverable(&self) -> bool {
         let mut covered = BitSet::new(self.num_blue);
-        for s in &self.sets {
-            for &b in &s.blue {
-                covered.insert(b);
-            }
+        for si in 0..self.sets.len() {
+            covered.union_with_words(self.blue_rows.row(si));
         }
         covered.count() == self.num_blue
     }
@@ -133,9 +161,7 @@ impl RedBlueInstance {
     pub fn covered_blue(&self, selection: &[usize]) -> BitSet {
         let mut covered = BitSet::new(self.num_blue);
         for &si in selection {
-            for &b in &self.sets[si].blue {
-                covered.insert(b);
-            }
+            covered.union_with_words(self.blue_rows.row(si));
         }
         covered
     }
@@ -144,9 +170,7 @@ impl RedBlueInstance {
     pub fn covered_red(&self, selection: &[usize]) -> BitSet {
         let mut covered = BitSet::new(self.num_red);
         for &si in selection {
-            for &r in &self.sets[si].red {
-                covered.insert(r);
-            }
+            covered.union_with_words(self.red_rows.row(si));
         }
         covered
     }

@@ -38,13 +38,15 @@ pub fn posneg_to_redblue(pn: &PosNegInstance) -> PosNegAsRedBlue {
     let mut red_weights: Vec<f64> = (0..num_neg).map(|n| pn.neg_weight(n)).collect();
     red_weights.extend((0..num_pos).map(|p| pn.pos_weight(p)));
 
+    // Member lists of a `PnSet` are already sorted and deduplicated, so
+    // the Red-Blue sets take the dense rows as-is — no renormalization.
     let mut sets: Vec<CoverSet> = pn
         .sets()
         .iter()
-        .map(|s| CoverSet::new(s.neg.clone(), s.pos.clone()))
+        .map(|s| CoverSet::from_sorted(s.neg.clone(), s.pos.clone()))
         .collect();
     for p in 0..num_pos {
-        sets.push(CoverSet::new(vec![num_neg + p], vec![p]));
+        sets.push(CoverSet::from_sorted(vec![num_neg + p], vec![p]));
     }
     PosNegAsRedBlue {
         redblue: RedBlueInstance::with_weights(num_neg + num_pos, num_pos, red_weights, sets),
@@ -77,7 +79,7 @@ pub fn redblue_to_posneg(rb: &RedBlueInstance) -> PosNegInstance {
         (0..rb.num_red()).map(|r| rb.red_weight(r)).collect(),
         rb.sets()
             .iter()
-            .map(|s| crate::posneg::PnSet::new(s.blue.clone(), s.red.clone()))
+            .map(|s| crate::posneg::PnSet::from_sorted(s.blue.clone(), s.red.clone()))
             .collect(),
     )
 }

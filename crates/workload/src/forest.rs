@@ -39,6 +39,19 @@ impl Default for ForestParams {
     }
 }
 
+impl ForestParams {
+    /// Scale the workload by `factor` (the harness's `--scale` knob):
+    /// multiplies the chain count, which grows `‖V‖` near-linearly while
+    /// keeping the window structure (and hence `l` and the forest-case
+    /// classification) unchanged. `factor = 1` is the identity, so the
+    /// gated benchmark sweeps are exactly the unscaled ones.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "scale factor must be at least 1");
+        self.chains *= factor;
+        self
+    }
+}
+
 /// Generate a forest-case workload: one query per window position
 /// `[j, j+window)` for `j = 1..=levels-window+1`.
 pub fn generate(params: ForestParams, seed: u64) -> Problem {
@@ -175,6 +188,24 @@ mod tests {
         let r = classify(&p);
         assert!(r.forest_case);
         assert_eq!(r.l, 3);
+    }
+
+    #[test]
+    fn scaled_multiplies_chains_and_norm_v() {
+        let base = ForestParams::default();
+        let p1 = generate(base, 7);
+        let p10 = generate(base.scaled(10), 7);
+        assert_eq!(base.scaled(10).chains, base.chains * 10);
+        // ‖V‖ grows near-linearly in the chain count (chains merge like a
+        // binary tree, so growth is slightly sublinear but well above 5x).
+        assert!(
+            p10.norm_v() >= 5 * p1.norm_v(),
+            "{} vs {}",
+            p10.norm_v(),
+            p1.norm_v()
+        );
+        let r = delprop_core::classify(&p10);
+        assert!(r.forest_case, "scaling must preserve the forest case");
     }
 
     #[test]

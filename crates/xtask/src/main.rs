@@ -35,13 +35,23 @@
 //!    cancellation or deadlines; poll a budget instead.
 //!    Integration-test files (under any `tests/` directory) and
 //!    `#[cfg(test)]` items are exempt — tests stage timing scenarios.
+//! 6. **no-hash-in-hot-paths** — `HashSet`/`HashMap` are forbidden in
+//!    the dense solver hot paths (`crates/core/src/solvers/`,
+//!    `crates/core/src/ir/`, `crates/core/src/classify.rs`,
+//!    `crates/core/src/solution.rs`, `crates/setcover/src/`, and
+//!    `crates/lp/src/`). Those layers work over the compiled dense-id
+//!    universe, where a packed `BitSet`/`BitMatrix` row or a flat
+//!    counter array is both faster and allocation-free; a hash
+//!    container on such a path is almost always an accidental
+//!    regression to the pre-kernel design. Justify real needs with
+//!    `// lint:allow(hash): <reason>`.
 //!
 //! **Allow markers.** A violating line is accepted when it, or one of
 //! the four lines above it, carries a justification marker for its
 //! rule: `// lint:allow(unwrap): <why this cannot fail>` (likewise
-//! `lint:allow(atomics)`, `lint:allow(clock)`, `lint:allow(sleep)`).
-//! The justification text is mandatory — a bare marker is itself a
-//! violation.
+//! `lint:allow(atomics)`, `lint:allow(clock)`, `lint:allow(sleep)`,
+//! `lint:allow(hash)`). The justification text is mandatory — a bare
+//! marker is itself a violation.
 //!
 //! The scanner is intentionally line-based and dependency-free: it
 //! strips line/block comments and string literals with a small state
@@ -183,6 +193,12 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
         && rel != "crates/core/src/runtime/fault.rs"
         && !rel.starts_with("tests/")
         && !rel.contains("/tests/");
+    let hash_scope = rel.starts_with("crates/core/src/solvers/")
+        || rel.starts_with("crates/core/src/ir/")
+        || rel == "crates/core/src/classify.rs"
+        || rel == "crates/core/src/solution.rs"
+        || rel.starts_with("crates/setcover/src/")
+        || rel.starts_with("crates/lp/src/");
 
     let mut out = Vec::new();
     for (i, stripped) in code.iter().enumerate() {
@@ -238,6 +254,22 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
                           sleeps belong to the jittered-backoff choke point (deadline-clamped, \
                           seeded) — poll a budget/cancel token instead, or justify with \
                           `// lint:allow(sleep): <reason>`"
+                    .to_string(),
+            });
+        }
+
+        if hash_scope
+            && !in_test[i]
+            && (contains_word(stripped, "HashSet") || contains_word(stripped, "HashMap"))
+            && !allowed(&raw, i, "hash")
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "no-hash-in-hot-paths",
+                message: "`HashSet`/`HashMap` in a dense solver hot path: use a packed \
+                          `BitSet`/`BitMatrix` row or flat counters over the compiled ids, \
+                          or justify with `// lint:allow(hash): <reason>`"
                     .to_string(),
             });
         }
@@ -565,6 +597,37 @@ mod tests {
         assert!(scan("crates/bench/src/main.rs", src).is_empty());
         let in_string = "let s = \"Instant::now\";\n";
         assert!(scan("crates/core/src/ir/mod.rs", in_string).is_empty());
+    }
+
+    #[test]
+    fn hash_containers_flagged_in_hot_paths_only() {
+        let import = "use std::collections::HashSet;\n";
+        for hot in [
+            "crates/core/src/solvers/primal_dual.rs",
+            "crates/core/src/ir/mod.rs",
+            "crates/core/src/classify.rs",
+            "crates/core/src/solution.rs",
+            "crates/setcover/src/greedy.rs",
+            "crates/lp/src/simplex.rs",
+        ] {
+            assert_eq!(scan(hot, import), ["1:no-hash-in-hot-paths"], "{hot}");
+        }
+        // Cold layers, test files, and `#[cfg(test)]` items are exempt.
+        assert!(scan("crates/core/src/problem.rs", import).is_empty());
+        assert!(scan("crates/server/src/daemon.rs", import).is_empty());
+        let in_test = "#[cfg(test)]\n\
+                       mod tests {\n\
+                           use std::collections::HashMap;\n\
+                       }\n";
+        assert!(scan("crates/core/src/solvers/foo.rs", in_test).is_empty());
+        // A justified marker is honored; prose and identifiers are not.
+        let justified = "// lint:allow(hash): interning table keyed by tuple value, not dense id\n\
+                         let m: HashMap<Value, u32> = HashMap::new();\n";
+        assert!(scan("crates/core/src/ir/mod.rs", justified).is_empty());
+        let comment = "// HashMap would be wrong here\n";
+        assert!(scan("crates/core/src/ir/mod.rs", comment).is_empty());
+        let ident = "fn not_a_HashMapLike() {}\n";
+        assert!(scan("crates/core/src/ir/mod.rs", ident).is_empty());
     }
 
     #[test]

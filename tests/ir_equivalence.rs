@@ -16,6 +16,8 @@ use delprop::core::{Problem, Solution};
 use delprop::query::parse_query;
 use delprop::relation::{tup, Database, RelationSchema, Schema};
 use delprop::setcover::exact::ExactConfig;
+use delprop::setcover::BitSet;
+use delprop::workload::rng::SplitMix64;
 use delprop::workload::{forest, random_db};
 
 // ---------------------------------------------------------------------
@@ -114,6 +116,165 @@ fn check_evaluation(p: &Problem, sol: &Solution) {
         "IR balanced cost {} != ground truth {ground_bal}",
         ir.balanced_cost_of(sol)
     );
+}
+
+/// Randomized differential suite for the packed kernel layer: on
+/// pseudo-random deletion subsets of the candidate pool, the bitset
+/// evaluators, the `Vec<bool>` mask evaluators, and the `Problem`-side
+/// oracle must all agree — the first two **bit-identically** (exact `f64`
+/// equality; the word-parallel sweeps visit elements in the same ascending
+/// order as the mask walks), the oracle within the usual 1e-9.
+#[test]
+fn packed_evaluators_agree_with_mask_and_oracle_on_random_subsets() {
+    let mut rng = SplitMix64::seed_from_u64(0xb175e7);
+    for (i, p) in random_cases()
+        .iter()
+        .chain(degenerate_cases().iter())
+        .enumerate()
+    {
+        let ir = p.compiled();
+        let nb = ir.num_bases();
+        for trial in 0..16usize {
+            // Subset density varies by trial: ~1/2, ~1/3, ~1/4, ~1/5.
+            let denom = 2 + (trial % 4);
+            let chosen: Vec<u32> = (0..nb as u32).filter(|_| rng.below(denom) == 0).collect();
+            let sol = Solution::from_tuples(chosen.iter().map(|&b| ir.base(b)));
+            let bits = ir.base_bits(&sol);
+            let mut mask = vec![false; nb];
+            for &b in &chosen {
+                mask[b as usize] = true;
+            }
+            // Round-trip: the bitset is exactly the chosen subset.
+            assert_eq!(
+                bits.iter().collect::<Vec<_>>(),
+                chosen.iter().map(|&b| b as usize).collect::<Vec<_>>(),
+                "case {i} trial {trial}: base_bits round-trip"
+            );
+
+            // Packed vs mask: bit-identical.
+            assert_eq!(
+                ir.is_feasible_bits(&bits),
+                ir.is_feasible_mask(&mask),
+                "case {i} trial {trial}: feasibility bits vs mask"
+            );
+            let (se_bits, se_mask) = (ir.side_effect_bits(&bits), ir.side_effect_mask(&mask));
+            assert!(
+                se_bits == se_mask,
+                "case {i} trial {trial}: side-effect bits {se_bits} != mask {se_mask}"
+            );
+            let (bc_bits, bc_mask) = (ir.balanced_cost_bits(&bits), ir.balanced_cost_mask(&mask));
+            assert!(
+                bc_bits == bc_mask,
+                "case {i} trial {trial}: balanced bits {bc_bits} != mask {bc_mask}"
+            );
+            for d in 0..ir.num_demands() as u32 {
+                assert_eq!(
+                    ir.eliminates_bits(&bits, d),
+                    ir.eliminates(&mask, d),
+                    "case {i} trial {trial}: eliminates({d}) bits vs mask"
+                );
+                assert_eq!(
+                    ir.eliminates_bits(&bits, d),
+                    sol.eliminates(p, ir.demand(d)),
+                    "case {i} trial {trial}: eliminates({d}) bits vs oracle"
+                );
+            }
+
+            // Packed vs ground-truth oracle (subsets of bases are
+            // candidate-restricted, so the cost helpers are exact).
+            assert_eq!(
+                ir.is_feasible_bits(&bits),
+                sol.is_feasible(p),
+                "case {i} trial {trial}: feasibility bits vs oracle"
+            );
+            assert!(
+                (se_bits - sol.side_effect(p)).abs() < 1e-9,
+                "case {i} trial {trial}: side-effect bits {se_bits} vs oracle {}",
+                sol.side_effect(p)
+            );
+            assert!(
+                (bc_bits - sol.balanced_cost(p)).abs() < 1e-9,
+                "case {i} trial {trial}: balanced bits {bc_bits} vs oracle {}",
+                sol.balanced_cost(p)
+            );
+        }
+    }
+}
+
+/// `tuple_bits` must ignore non-candidate tuples and agree with
+/// `base_bits ∘ restricted_to_candidates` on arbitrary tuple sets.
+#[test]
+fn tuple_bits_ignores_non_candidates() {
+    let mut rng = SplitMix64::seed_from_u64(0x70f1e5);
+    for (i, p) in random_cases().iter().enumerate() {
+        let ir = p.compiled();
+        let all: Vec<_> = p.db().live_ids().collect();
+        for trial in 0..8usize {
+            let picked: Vec<_> = all.iter().copied().filter(|_| rng.below(3) == 0).collect();
+            let sol = Solution::from_tuples(picked.iter().copied());
+            let restricted = sol.restricted_to_candidates(p);
+            let via_tuples = ir.tuple_bits(picked.iter().copied());
+            let via_restricted = ir.base_bits(&restricted);
+            assert_eq!(
+                via_tuples.iter().collect::<Vec<_>>(),
+                via_restricted.iter().collect::<Vec<_>>(),
+                "case {i} trial {trial}"
+            );
+        }
+    }
+}
+
+/// Feeding a solver output through the dense path and the oracle path
+/// must yield the same cost: `side_effect_of`/`balanced_cost_of` route
+/// through `base_bits` + the packed evaluators, so this pins the dense
+/// rewrite to the ground truth for every solver in the pool.
+#[test]
+fn dense_and_oracle_costs_agree_on_solver_outputs() {
+    for (i, p) in random_cases()
+        .iter()
+        .chain(degenerate_cases().iter())
+        .enumerate()
+    {
+        let ir = p.compiled();
+        let mut outs: Vec<(&str, Solution)> = vec![
+            ("general", general::solve(ir).unwrap()),
+            ("greedy", general::solve_greedy(ir).unwrap()),
+            ("lp_round", lp_round::solve(ir).unwrap()),
+            (
+                "pd_balanced",
+                primal_dual_balanced::solve_balanced(ir, &Default::default())
+                    .unwrap()
+                    .solution,
+            ),
+        ];
+        if ir.forest_case() {
+            outs.push(("primal_dual", primal_dual::solve_default(ir).unwrap()));
+            outs.push(("lowdeg_tree", lowdeg_tree::solve(ir).unwrap()));
+        }
+        for (name, sol) in outs {
+            let bits = ir.base_bits(&sol);
+            assert_eq!(bits.count(), sol.len(), "case {i}: {name} lost tuples");
+            assert!(
+                (ir.side_effect_bits(&bits) - sol.side_effect(p)).abs() < 1e-9,
+                "case {i}: {name} dense side-effect diverges from oracle"
+            );
+            assert!(
+                (ir.balanced_cost_bits(&bits) - sol.balanced_cost(p)).abs() < 1e-9,
+                "case {i}: {name} dense balanced cost diverges from oracle"
+            );
+        }
+    }
+}
+
+/// The default (zero-capacity) `BitSet` used as the "no restrictions"
+/// config value never reports membership, at any probe index.
+#[test]
+fn default_bitset_is_no_restrictions() {
+    let empty = BitSet::default();
+    for probe in [0usize, 1, 63, 64, 65, 1 << 20] {
+        assert!(!empty.contains(probe));
+    }
+    assert_eq!(empty.count(), 0);
 }
 
 #[test]

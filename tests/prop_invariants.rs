@@ -10,7 +10,7 @@ use delprop::query::eval::{hashjoin, naive, sort_matches, CompiledQuery};
 use delprop::query::parse_query;
 use delprop::relation::{tup, Database, RelationSchema, Schema};
 use delprop::setcover::exact::ExactConfig;
-use delprop::setcover::{greedy, lowdeg, CoverSet, RedBlueInstance};
+use delprop::setcover::{greedy, lowdeg, BitSet, BucketQueue, CoverSet, RedBlueInstance};
 use delprop::workload::rng::SplitMix64;
 
 // ---------------------------------------------------------------------
@@ -229,6 +229,138 @@ fn solver_stack_invariants() {
         // optimum is one feasible balanced solution).
         let bal = exact::solve_balanced(p.compiled(), ExactConfig::default());
         assert!(bal.cost <= opt_cost + 1e-9, "case {case}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel-layer invariants: packed structures vs std-collection oracles.
+// ---------------------------------------------------------------------
+
+/// A `BitSet` driven by a random op sequence stays in lockstep with a
+/// `BTreeSet<usize>` oracle — membership, count, iteration order, and the
+/// word-parallel set operations all agree.
+#[test]
+fn bitset_matches_btreeset_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0xb17b17);
+    for case in 0..32 {
+        let cap = 1 + rng.below(200); // crosses the 64/128/192 word seams
+        let mut bits = BitSet::new(cap);
+        let mut oracle: std::collections::BTreeSet<usize> = Default::default();
+        for _ in 0..200 {
+            let i = rng.below(cap);
+            match rng.below(3) {
+                0 => assert_eq!(bits.insert(i), oracle.insert(i), "case {case}"),
+                1 => {
+                    bits.remove(i);
+                    oracle.remove(&i);
+                }
+                _ => assert_eq!(bits.contains(i), oracle.contains(&i), "case {case}"),
+            }
+        }
+        assert_eq!(bits.count(), oracle.len(), "case {case}");
+        assert_eq!(
+            bits.iter().collect::<Vec<_>>(),
+            oracle.iter().copied().collect::<Vec<_>>(),
+            "case {case}: iteration order"
+        );
+        // Word-parallel binary ops against a second random set.
+        let other: Vec<usize> = (0..cap).filter(|_| rng.below(3) == 0).collect();
+        let other_bits = BitSet::from_indices(cap, other.iter().copied());
+        let other_oracle: std::collections::BTreeSet<usize> = other.into_iter().collect();
+        assert_eq!(
+            bits.intersects(&other_bits),
+            oracle.intersection(&other_oracle).next().is_some(),
+            "case {case}: intersects"
+        );
+        assert_eq!(
+            bits.intersection_count(&other_bits),
+            oracle.intersection(&other_oracle).count(),
+            "case {case}: intersection_count"
+        );
+        assert_eq!(
+            bits.is_subset_of(&other_bits),
+            oracle.is_subset(&other_oracle),
+            "case {case}: is_subset_of"
+        );
+        let mut unioned = bits.clone();
+        unioned.union_with(&other_bits);
+        assert_eq!(
+            unioned.iter().collect::<Vec<_>>(),
+            oracle.union(&other_oracle).copied().collect::<Vec<_>>(),
+            "case {case}: union_with"
+        );
+    }
+}
+
+/// `BucketQueue::pop_min` drains random loads in exactly the order a
+/// sort by (key, newest-push-first) would: buckets ascend, and within a
+/// bucket items come back LIFO (head insertion, head removal).
+#[test]
+fn bucket_queue_matches_sort_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0xb0c4e7);
+    for case in 0..32 {
+        let n = 1 + rng.below(150);
+        let max_key = rng.below(20);
+        let keys: Vec<usize> = (0..n).map(|_| rng.below(max_key + 1)).collect();
+        let mut q = BucketQueue::new(n, max_key);
+        for (item, &k) in keys.iter().enumerate() {
+            q.push(item, k);
+        }
+        assert_eq!(q.len(), n, "case {case}");
+        let mut expected: Vec<(usize, usize)> = keys
+            .iter()
+            .enumerate()
+            .map(|(item, &k)| (item, k))
+            .collect();
+        expected.sort_by_key(|&(item, k)| (k, std::cmp::Reverse(item)));
+        let mut drained = Vec::new();
+        while let Some(pop) = q.pop_min() {
+            drained.push(pop);
+        }
+        assert_eq!(drained, expected, "case {case}");
+        assert!(q.is_empty(), "case {case}: drained queue is empty");
+    }
+}
+
+/// Dense forbidden sets are respected: with a random subset of candidates
+/// forbidden, primal-dual either reports infeasibility or returns a
+/// feasible solution disjoint from the forbidden set, with its dense dual
+/// vector sized by the demand count.
+#[test]
+fn primal_dual_respects_random_forbidden_bitsets() {
+    use delprop::core::solvers::primal_dual::PrimalDualConfig;
+    let mut rng = SplitMix64::seed_from_u64(0x50f73);
+    for case in 0..32 {
+        let p = random_chain_problem(&mut rng);
+        let ir = p.compiled();
+        let nb = ir.num_bases();
+        let forbidden_ix: Vec<usize> = (0..nb).filter(|_| rng.below(4) == 0).collect();
+        let cfg = PrimalDualConfig {
+            forbidden: BitSet::from_indices(nb, forbidden_ix.iter().copied()),
+            ..Default::default()
+        };
+        match primal_dual::solve(ir, &cfg) {
+            Ok(out) => {
+                assert!(out.solution.is_feasible(&p), "case {case}");
+                assert_eq!(out.duals.len(), ir.num_demands(), "case {case}");
+                for &b in &forbidden_ix {
+                    assert!(
+                        !out.solution.deleted.contains(&ir.base(b as u32)),
+                        "case {case}: deleted a forbidden tuple"
+                    );
+                }
+            }
+            Err(_) => {
+                // Infeasibility must be real: some demand has every
+                // witness forbidden.
+                let all_blocked = (0..ir.num_demands() as u32).any(|d| {
+                    ir.demand_row(d)
+                        .iter()
+                        .all(|&b| cfg.forbidden.contains(b as usize))
+                });
+                assert!(all_blocked, "case {case}: spurious infeasibility");
+            }
+        }
     }
 }
 
