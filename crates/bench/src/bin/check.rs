@@ -47,6 +47,7 @@ const GATED: &[&str] = &[
     "BENCH_obs.json",
     "BENCH_serve.json",
     "BENCH_kernels.json",
+    "BENCH_incr.json",
 ];
 
 const SKIP: &[&str] = &[

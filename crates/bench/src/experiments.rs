@@ -706,6 +706,172 @@ pub fn ex_kern() -> String {
     )
 }
 
+/// EX-INC — the incremental engine on the EX-P1 forest sweep: warm
+/// ΔV-stream servicing (engine patch + solve per batch) vs cold
+/// recompute (full `compiled()` + solve per batch) over the same
+/// deterministic delete/restore stream. Equivalence is asserted in-run
+/// — every warm projection must carry the same `shape_digest` as its
+/// cold twin, and the final solver costs must match bit-for-bit — so
+/// the speedup column compares identical answers, not approximations.
+/// Raw rows land in `artifacts/BENCH_incr.json`; the CI gate holds
+/// `warm_speedup` per row (LowerIsWorse) plus the hard `>= 5x` geomean
+/// assert below. With `--scale N > 1` the sweep runs N× larger and the
+/// speedup gate is skipped (exploratory, not baselined).
+pub fn ex_incr() -> String {
+    use delprop_core::{DeltaBatch, Engine};
+    use delprop_workload::rng::SplitMix64;
+
+    const REPS: usize = 7;
+    const STREAM: usize = 12;
+    const CHAINS: [usize; 5] = [64, 128, 256, 512, 1024];
+
+    let k = scale();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut log_speedups = Vec::new();
+    for &chains in &CHAINS {
+        // The EX-P1 forest shapes, started pristine: the serving regime
+        // the engine exists for is a large stable instance taking small
+        // ΔV batches, so the stream itself carries the whole ΔV. (With
+        // EX-P1's 20% pre-seeded ΔV the per-batch solve — identical in
+        // both arms — would drown the compile-vs-patch signal.)
+        let base = forest::generate(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains,
+                delete_fraction: 0.0,
+                weighted: false,
+            }
+            .scaled(k),
+            7,
+        );
+        // A fixed, replayable batch stream: deletes drawn from the
+        // tuples still preserved, restores from the accumulated ΔV.
+        let mut rng = SplitMix64::seed_from_u64(0x696e_6372 + chains as u64); // "incr"
+        let mut mirror: Vec<_> = base.deletions().iter().copied().collect();
+        let mut preserved: Vec<_> = base.preserved().map(|(id, _)| id).collect();
+        let mut stream = Vec::with_capacity(STREAM);
+        for _ in 0..STREAM {
+            let mut batch = DeltaBatch::default();
+            for _ in 0..2 {
+                if preserved.is_empty() {
+                    break;
+                }
+                let id = preserved.swap_remove(rng.below(preserved.len()));
+                batch.delete.push(id);
+                mirror.push(id);
+            }
+            if !mirror.is_empty() && rng.chance(0.5) {
+                let id = mirror.swap_remove(rng.below(mirror.len()));
+                batch.restore.push(id);
+                preserved.push(id);
+            }
+            stream.push(batch);
+        }
+
+        // Untimed correctness pass: the warm projection must be
+        // byte-identical to a cold compile at every step.
+        let prototype = Engine::new(base.clone()).unwrap();
+        let mut engine = prototype.clone();
+        let mut cold = base.clone();
+        for batch in &stream {
+            engine.apply(batch).unwrap();
+            for &id in &batch.delete {
+                cold.mark_deleted_id(id).unwrap();
+            }
+            for &id in &batch.restore {
+                cold.unmark_deleted_id(id).unwrap();
+            }
+            assert_eq!(
+                engine.compiled().shape_digest(),
+                cold.compiled().shape_digest(),
+                "warm projection diverged from cold compile ({chains} chains)"
+            );
+        }
+        let warm_out = primal_dual::solve(&engine.compiled(), &Default::default()).unwrap();
+        let cold_out = primal_dual::solve(cold.compiled(), &Default::default()).unwrap();
+        let final_cost = cold.compiled().side_effect_of(&cold_out.solution);
+        assert_eq!(
+            engine.compiled().side_effect_of(&warm_out.solution).to_bits(),
+            final_cost.to_bits(),
+            "warm/cold solver costs diverged ({chains} chains)"
+        );
+
+        // Warm arm: one long-lived engine services the whole stream.
+        let mut warm_micros = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut engine = prototype.clone();
+            let t = Instant::now();
+            for batch in &stream {
+                engine.apply(batch).unwrap();
+                let out = primal_dual::solve(&engine.compiled(), &Default::default()).unwrap();
+                std::hint::black_box(out.solution.len());
+            }
+            warm_micros = warm_micros.min(t.elapsed().as_secs_f64() * 1e6 / STREAM as f64);
+        }
+        // Cold arm: every batch pays a full compile before the solve.
+        let mut cold_micros = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut cold = base.clone();
+            let t = Instant::now();
+            for batch in &stream {
+                for &id in &batch.delete {
+                    cold.mark_deleted_id(id).unwrap();
+                }
+                for &id in &batch.restore {
+                    cold.unmark_deleted_id(id).unwrap();
+                }
+                let out = primal_dual::solve(cold.compiled(), &Default::default()).unwrap();
+                std::hint::black_box(out.solution.len());
+            }
+            cold_micros = cold_micros.min(t.elapsed().as_secs_f64() * 1e6 / STREAM as f64);
+        }
+        let speedup = cold_micros / warm_micros;
+        log_speedups.push(speedup.ln());
+        json_rows.push(Json::obj(vec![
+            ("chains", Json::uint((chains * k) as u64)),
+            ("norm_v", Json::uint(base.norm_v() as u64)),
+            ("stream_batches", Json::uint(STREAM as u64)),
+            ("final_cost", Json::rounded(final_cost, 6)),
+            ("warm_micros", Json::rounded(warm_micros, 1)),
+            ("cold_micros", Json::rounded(cold_micros, 1)),
+            ("warm_speedup", Json::rounded(speedup, 2)),
+        ]));
+        rows.push(vec![
+            (chains * k).to_string(),
+            base.norm_v().to_string(),
+            format!("{:.3} ms", warm_micros / 1e3),
+            format!("{:.3} ms", cold_micros / 1e3),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    let geomean = (log_speedups.iter().sum::<f64>() / log_speedups.len() as f64).exp();
+    let gate_note = if k == 1 {
+        assert!(
+            geomean >= 5.0,
+            "warm ΔV-stream servicing must hold a >=5x geomean win over \
+             cold recompute (measured {geomean:.2}x)"
+        );
+        format!("geomean warm speedup: {geomean:.1}x (gate: >=5x)")
+    } else {
+        format!("scale factor {k}: exploratory sweep, geomean {geomean:.1}x ungated")
+    };
+    let written = json::write_artifact("artifacts/BENCH_incr.json", &Json::Arr(json_rows))
+        .unwrap_or_else(|e| format!("(not written: {e})"));
+    format!(
+        "EX-INC: incremental engine — warm ΔV-stream servicing vs cold recompute\n         \
+         ({STREAM}-batch delete/restore streams on the EX-P1 sweep, min of {REPS} replays,\n         \
+         per-batch patch+solve vs compile+solve; digests asserted identical in-run)\n         \
+         {gate_note}\n         \
+         (raw JSON: {written})\n\n{}",
+        table(
+            &["chains", "‖V‖", "warm/batch", "cold/batch", "speedup"],
+            &rows
+        )
+    )
+}
+
 /// EX-T4 — Theorem 4: LowDegTreeVSETwo ≤ 2√‖V‖, and the crossover
 /// against factor-l PrimeDualVSE.
 pub fn ex_t4() -> String {
@@ -1813,6 +1979,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ex-t3", ex_t3),
         ("ex-p1", ex_p1),
         ("ex-kern", ex_kern),
+        ("ex-incr", ex_incr),
         ("ex-t4", ex_t4),
         ("ex-dp", ex_dp),
         ("ex-ir", ex_ir),
@@ -1830,10 +1997,10 @@ pub fn all() -> Vec<(&'static str, Runner)> {
     ]
 }
 
-/// The experiments the CI bench gate runs (`harness --smoke`): the four
+/// The experiments the CI bench gate runs (`harness --smoke`): the five
 /// whose artifacts are diffed against `baselines/`.
 pub fn smoke_ids() -> &'static [&'static str] {
-    &["ex-par", "ex-obs", "ex-serve", "ex-kern"]
+    &["ex-par", "ex-obs", "ex-serve", "ex-kern", "ex-incr"]
 }
 
 #[cfg(test)]

@@ -1,0 +1,698 @@
+//! The incremental deletion-propagation engine: overdelete → rederive
+//! on a delta-patchable IR.
+//!
+//! A cold [`Problem::compiled`] pays `O(‖V‖)` plus a data-dual-graph
+//! construction on **every** mutation, even though the paper's
+//! key-preserving structure makes maintenance local: a view deletion
+//! only touches the base tuples on its witness path and, through the
+//! provenance incidence, the view tuples sharing those bases. [`Engine`]
+//! exploits that. It materializes the views, the witness provenance
+//! ([`ProvenanceIndex`]) and the ΔV-independent IR layer
+//! ([`crate::ir::StaticLayer`]) **once**, then services a stream of ΔV
+//! batches ([`DeltaBatch`]) DRed-style:
+//!
+//! 1. **Overdeletion closure** — deleting view tuple `v` reference-counts
+//!    every base tuple on `path(v)` into the candidate set; each base
+//!    tuple newly becoming a candidate walks its provenance row and
+//!    marks the preserved view tuples sharing it as vulnerable
+//!    (over-deleted: they *may* lose a witness).
+//! 2. **Rederivation** — restoring `v` (withdrawing its deletion)
+//!    decrements the same counters; candidates and vulnerable marks
+//!    whose support drops to zero retract, and `v` itself rejoins the
+//!    vulnerable set exactly when an alternative deletion still pins one
+//!    of its witnesses (its support was *re-derived* from the remaining
+//!    ΔV rather than restored wholesale).
+//!
+//! The counters are exact — a tuple is a candidate iff its refcount is
+//! positive — so after any batch the active sets equal what a cold
+//! compile would derive, and the engine projects them through the *same*
+//! [`crate::ir::CompiledInstance::assemble`] path a cold compile uses,
+//! onto the shared static layer. Warm projections are therefore
+//! byte-identical to cold compiles by construction (the differential
+//! suite `tests/incremental_equivalence.rs` checks
+//! [`crate::ir::CompiledInstance::shape_digest`] equality per step).
+//!
+//! Membership is stored as generation-stamped tombstone overlays
+//! ([`overlay::DynSortedSet`]): batch updates touch `O(batch)` overlay
+//! state, enumeration merges in `O(active)`, and once fragmentation
+//! crosses [`CompactionPolicy::max_fragmentation`] the overlay folds
+//! back into clean sorted arrays. The projected IR is installed into the
+//! shadow problem's cache stamped with its mutation generation, so every
+//! existing solver / portfolio / verification entry point works
+//! unchanged — and [`Problem::verify_compiled`] rejects any stale IR a
+//! racing reader may still hold.
+//!
+//! ```
+//! use delprop_core::{DeltaBatch, Engine, Problem};
+//! use delprop_query::parse_query;
+//! use delprop_relation::{tup, Database, RelationSchema, Schema};
+//!
+//! let schema = Schema::from_relations([
+//!     RelationSchema::new("T1", 2, vec![0, 1]).unwrap(),
+//!     RelationSchema::new("T2", 3, vec![0, 1]).unwrap(),
+//! ]).unwrap();
+//! let mut db = Database::new(schema);
+//! db.insert("T1", tup!["John", "TKDE"]).unwrap();
+//! db.insert("T2", tup!["TKDE", "XML", 30]).unwrap();
+//! let q = parse_query("Q(x, y, z) :- T1(x, y), T2(y, z, w)")
+//!     .unwrap().bind(db.schema()).unwrap();
+//! let problem = Problem::new(db, vec![q]).unwrap();
+//!
+//! let mut engine = Engine::new(problem).unwrap();
+//! let id = engine.problem().views().iter().next().unwrap().0;
+//! engine.apply(&DeltaBatch::deletes([id])).unwrap();
+//! let sol = delprop_core::solve_auto(engine.problem()).unwrap();
+//! assert!(sol.is_feasible(engine.problem()));
+//! engine.apply(&DeltaBatch::restores([id])).unwrap();
+//! assert_eq!(engine.problem().norm_delta(), 0);
+//! ```
+
+mod overlay;
+mod provenance;
+
+use crate::error::CoreError;
+use crate::ir::{ActiveParts, CompiledInstance, StaticLayer};
+use crate::problem::Problem;
+use crate::runtime::metrics;
+use delprop_query::ViewTupleId;
+use delprop_setcover::BitSet;
+use overlay::DynSortedSet;
+use provenance::ProvenanceIndex;
+use std::sync::Arc;
+
+/// One ΔV maintenance step: view tuples to delete and deletions to
+/// withdraw (restore). Within a batch, deletes apply before restores;
+/// entries already in (respectively absent from) ΔV are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    /// View tuples entering ΔV.
+    pub delete: Vec<ViewTupleId>,
+    /// View tuples leaving ΔV.
+    pub restore: Vec<ViewTupleId>,
+}
+
+impl DeltaBatch {
+    /// A pure-deletion batch.
+    pub fn deletes(ids: impl IntoIterator<Item = ViewTupleId>) -> DeltaBatch {
+        DeltaBatch {
+            delete: ids.into_iter().collect(),
+            restore: Vec::new(),
+        }
+    }
+
+    /// A pure-restore batch.
+    pub fn restores(ids: impl IntoIterator<Item = ViewTupleId>) -> DeltaBatch {
+        DeltaBatch {
+            delete: Vec::new(),
+            restore: ids.into_iter().collect(),
+        }
+    }
+
+    /// Whether the batch carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.delete.is_empty() && self.restore.is_empty()
+    }
+}
+
+/// When the engine folds its tombstone overlays back into clean arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// Compact when any overlay's (tombstones + pending) / active ratio
+    /// exceeds this. `0.0` compacts after every batch; `f64::INFINITY`
+    /// never compacts automatically ([`Engine::compact`] still works).
+    pub max_fragmentation: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy {
+            max_fragmentation: 0.25,
+        }
+    }
+}
+
+/// What one [`Engine::apply`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Problem mutation generation after the batch.
+    pub generation: u64,
+    /// Deletions actually applied (requested minus no-ops).
+    pub deleted: usize,
+    /// Restores actually applied (requested minus no-ops).
+    pub restored: usize,
+    /// Preserved view tuples that entered the vulnerable set through the
+    /// overdeletion closure of this batch.
+    pub overdeleted: usize,
+    /// View tuples whose vulnerable status was rederived (restored
+    /// tuples re-entering the vulnerable set, or survivors kept by an
+    /// alternative witness after retractions).
+    pub rederived: usize,
+    /// Whether the overlays were compacted after this batch.
+    pub compacted: bool,
+}
+
+/// Cumulative engine counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// ΔV batches applied.
+    pub batches: u64,
+    /// Overlay compactions performed.
+    pub compactions: u64,
+    /// Incremental projections installed (one per non-empty batch).
+    pub projections: u64,
+}
+
+/// A long-lived incremental deletion-propagation service over one
+/// instance. See the module docs for the maintenance model.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// The shadow problem: deletion set kept in lock-step with the
+    /// overlay, compiled-IR cache holding the latest projection. Exposed
+    /// read-only — all mutation goes through [`Engine::apply`].
+    problem: Problem,
+    statics: Arc<StaticLayer>,
+    prov: Arc<ProvenanceIndex>,
+    /// ΔV membership over the dense view layout.
+    deleted: BitSet,
+    /// Per-uid: number of ΔV members whose witness path contains it.
+    /// Positive ⇔ candidate.
+    cand_refs: Vec<u32>,
+    /// Per view tuple: number of active candidate uids on its witness
+    /// path. Positive ∧ preserved ⇔ vulnerable.
+    vuln_refs: Vec<u32>,
+    /// Active candidate uids.
+    cands: DynSortedSet,
+    /// Dense view indices in ΔV.
+    demands: DynSortedSet,
+    /// Active vulnerable dense view indices.
+    vuln: DynSortedSet,
+    policy: CompactionPolicy,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Build an engine over `problem` with the default compaction
+    /// policy. Any deletions already marked on the problem become the
+    /// initial ΔV (applied through the same incremental machinery), and
+    /// the initial projection is installed, so `problem().compiled()` is
+    /// warm from the start.
+    pub fn new(problem: Problem) -> Result<Engine, CoreError> {
+        Engine::with_policy(problem, CompactionPolicy::default())
+    }
+
+    /// Build an engine with an explicit compaction policy.
+    pub fn with_policy(problem: Problem, policy: CompactionPolicy) -> Result<Engine, CoreError> {
+        let statics = Arc::new(StaticLayer::build(&problem));
+        let prov = Arc::new(ProvenanceIndex::build(&statics));
+        let norm_v = statics.norm_v();
+        let universe = prov.universe_len();
+        let mut engine = Engine {
+            problem,
+            deleted: BitSet::new(norm_v),
+            cand_refs: vec![0; universe],
+            vuln_refs: vec![0; norm_v],
+            cands: DynSortedSet::new(universe),
+            demands: DynSortedSet::new(norm_v),
+            vuln: DynSortedSet::new(norm_v),
+            statics,
+            prov,
+            policy,
+            stats: EngineStats::default(),
+        };
+        let initial: Vec<ViewTupleId> = engine.problem.deletions().iter().copied().collect();
+        let mut report = DeltaReport::default();
+        for id in initial {
+            engine.raw_delete(engine.statics.dense(id), &mut report);
+        }
+        engine.compact();
+        engine.project();
+        Ok(engine)
+    }
+
+    /// The shadow problem: current ΔV, weights, and a warm compiled IR.
+    /// Hand `problem()` to any solver or portfolio exactly as before.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The latest projection as a shareable `Arc` (generation-stamped).
+    pub fn compiled(&self) -> Arc<CompiledInstance> {
+        self.problem.compiled_arc()
+    }
+
+    /// Current problem mutation generation.
+    pub fn generation(&self) -> u64 {
+        self.problem.generation()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Apply one ΔV batch: validate, overdelete, rederive, maybe
+    /// compact, and install the refreshed projection. All ids are
+    /// validated **before** any state changes, so an `Err` leaves the
+    /// engine exactly as it was.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<DeltaReport, CoreError> {
+        for &id in batch.delete.iter().chain(&batch.restore) {
+            self.validate(id)?;
+        }
+        let mut report = DeltaReport::default();
+        for &id in &batch.delete {
+            if !self.problem.is_deleted(id) {
+                self.problem
+                    .mark_deleted_id(id)
+                    .expect("validated before mutation");
+                self.raw_delete(self.statics.dense(id), &mut report);
+                report.deleted += 1;
+            }
+        }
+        for &id in &batch.restore {
+            if self
+                .problem
+                .unmark_deleted_id(id)
+                .expect("validated before mutation")
+            {
+                self.raw_restore(self.statics.dense(id), &mut report);
+                report.restored += 1;
+            }
+        }
+        report.compacted = self.maybe_compact();
+        self.project();
+        self.stats.batches += 1;
+        report.generation = self.problem.generation();
+        Ok(report)
+    }
+
+    /// Fork a per-request problem: the engine's instance plus `extra`
+    /// deletions, without mutating the engine. The clone shares the
+    /// database, views, static layer and — when `extra` adds nothing new
+    /// — the installed IR; otherwise an incremental projection for the
+    /// combined ΔV is assembled in `O(active)` and installed on the
+    /// clone. This is the serving daemon's delta path: one engine per
+    /// epoch, one `with_delta` per request.
+    pub fn with_delta(&self, extra: &[ViewTupleId]) -> Result<Problem, CoreError> {
+        for &id in extra {
+            self.validate(id)?;
+        }
+        let mut p = self.problem.clone();
+        // Dense indices of the genuinely new deletions, sorted.
+        let mut fresh: Vec<u32> = extra
+            .iter()
+            .filter(|&&id| !self.problem.is_deleted(id))
+            .map(|&id| self.statics.dense(id) as u32)
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        if fresh.is_empty() {
+            return Ok(p);
+        }
+        for &id in extra {
+            p.mark_deleted_id(id).expect("validated above");
+        }
+
+        // Candidate uids the fresh deletions add beyond the engine's.
+        let mut new_uids: Vec<u32> = fresh
+            .iter()
+            .flat_map(|&i| self.prov.path_uids(i as usize).iter().copied())
+            .filter(|&uid| self.cand_refs[uid as usize] == 0)
+            .collect();
+        new_uids.sort_unstable();
+        new_uids.dedup();
+
+        // Vulnerable additions: preserved view tuples with no existing
+        // candidate on their path that gain one through a new uid.
+        let mut vuln_add: Vec<u32> = new_uids
+            .iter()
+            .flat_map(|&uid| self.prov.occ_row(uid).iter().copied())
+            .filter(|&j| {
+                self.vuln_refs[j as usize] == 0
+                    && !self.deleted.contains(j as usize)
+                    && fresh.binary_search(&j).is_err()
+            })
+            .collect();
+        vuln_add.sort_unstable();
+        vuln_add.dedup();
+
+        let bases: Vec<_> = merge_sorted(&self.cands.merged(), &new_uids)
+            .into_iter()
+            .map(|uid| self.prov.tuple(uid))
+            .collect();
+        let demands: Vec<ViewTupleId> = merge_sorted(&self.demands.merged(), &fresh)
+            .into_iter()
+            .map(|i| self.statics.view_tuples[i as usize])
+            .collect();
+        // Existing vulnerable minus the freshly deleted, plus additions.
+        let kept: Vec<u32> = self
+            .vuln
+            .merged()
+            .into_iter()
+            .filter(|j| fresh.binary_search(j).is_err())
+            .collect();
+        let vulnerable: Vec<ViewTupleId> = merge_sorted(&kept, &vuln_add)
+            .into_iter()
+            .map(|i| self.statics.view_tuples[i as usize])
+            .collect();
+        let mut deleted_vec = self.deleted_vec();
+        for &i in &fresh {
+            deleted_vec[i as usize] = true;
+        }
+
+        let ir = CompiledInstance::assemble(
+            self.statics.clone(),
+            ActiveParts {
+                bases,
+                demands,
+                vulnerable,
+                deleted: deleted_vec,
+            },
+            p.generation(),
+        );
+        metrics::IR_PATCHES.inc();
+        p.install_compiled(Arc::new(ir));
+        Ok(p)
+    }
+
+    /// Force-fold all overlays into clean arrays. The installed IR is
+    /// untouched: compaction changes the overlay representation, never
+    /// the active sets.
+    pub fn compact(&mut self) {
+        self.cands.compact();
+        self.demands.compact();
+        self.vuln.compact();
+        self.stats.compactions += 1;
+        metrics::ENGINE_COMPACTIONS.inc();
+    }
+
+    // ---- internals ----
+
+    fn validate(&self, id: ViewTupleId) -> Result<(), CoreError> {
+        if self.statics.view_tuples.binary_search(&id).is_err() {
+            return Err(CoreError::UnknownViewTuple {
+                view: id.view,
+                description: format!("index {}", id.index),
+            });
+        }
+        Ok(())
+    }
+
+    /// Overdeletion closure for one new ΔV member (dense index `i`).
+    fn raw_delete(&mut self, i: usize, report: &mut DeltaReport) {
+        debug_assert!(!self.deleted.contains(i));
+        self.deleted.insert(i);
+        self.demands.activate(i as u32);
+        // A vulnerable tuple entering ΔV leaves the preserved side.
+        if self.vuln_refs[i] > 0 {
+            self.vuln.deactivate(i as u32);
+        }
+        let prov = Arc::clone(&self.prov);
+        for &uid in prov.path_uids(i) {
+            self.cand_refs[uid as usize] += 1;
+            if self.cand_refs[uid as usize] == 1 {
+                self.cands.activate(uid);
+                for &j in prov.occ_row(uid) {
+                    let j = j as usize;
+                    self.vuln_refs[j] += 1;
+                    if self.vuln_refs[j] == 1 && !self.deleted.contains(j) {
+                        self.vuln.activate(j as u32);
+                        report.overdeleted += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rederivation for one withdrawn ΔV member (dense index `i`).
+    fn raw_restore(&mut self, i: usize, report: &mut DeltaReport) {
+        debug_assert!(self.deleted.contains(i));
+        // Retract the refcounts first, while `i` still counts as
+        // deleted, so its own vulnerable status is not touched by the
+        // inner loop.
+        let prov = Arc::clone(&self.prov);
+        for &uid in prov.path_uids(i) {
+            self.cand_refs[uid as usize] -= 1;
+            if self.cand_refs[uid as usize] == 0 {
+                self.cands.deactivate(uid);
+                for &j in prov.occ_row(uid) {
+                    let j = j as usize;
+                    self.vuln_refs[j] -= 1;
+                    if self.vuln_refs[j] == 0 && !self.deleted.contains(j) {
+                        self.vuln.deactivate(j as u32);
+                    }
+                }
+            }
+        }
+        self.deleted.remove(i);
+        self.demands.deactivate(i as u32);
+        // The restored tuple rejoins the vulnerable set exactly when an
+        // alternative deletion still pins one of its witnesses.
+        if self.vuln_refs[i] > 0 {
+            self.vuln.activate(i as u32);
+            report.rederived += 1;
+        }
+    }
+
+    fn maybe_compact(&mut self) -> bool {
+        let frag = self
+            .cands
+            .fragmentation()
+            .max(self.demands.fragmentation())
+            .max(self.vuln.fragmentation());
+        if frag > self.policy.max_fragmentation {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn deleted_vec(&self) -> Vec<bool> {
+        let mut v = vec![false; self.statics.norm_v()];
+        for i in self.deleted.iter() {
+            v[i] = true;
+        }
+        v
+    }
+
+    /// Assemble the canonical projection of the current active sets and
+    /// install it into the shadow problem's IR cache.
+    fn project(&mut self) {
+        let parts = ActiveParts {
+            bases: self
+                .cands
+                .merged()
+                .into_iter()
+                .map(|uid| self.prov.tuple(uid))
+                .collect(),
+            demands: self
+                .demands
+                .merged()
+                .into_iter()
+                .map(|i| self.statics.view_tuples[i as usize])
+                .collect(),
+            vulnerable: self
+                .vuln
+                .merged()
+                .into_iter()
+                .map(|i| self.statics.view_tuples[i as usize])
+                .collect(),
+            deleted: self.deleted_vec(),
+        };
+        let ir = CompiledInstance::assemble(self.statics.clone(), parts, self.problem.generation());
+        metrics::IR_PATCHES.inc();
+        self.stats.projections += 1;
+        self.problem.install_compiled(Arc::new(ir));
+    }
+}
+
+/// Merge two sorted, mutually disjoint `u32` lists.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut x, mut y) = (0, 0);
+    while x < a.len() && y < b.len() {
+        if a[x] < b[y] {
+            out.push(a[x]);
+            x += 1;
+        } else {
+            out.push(b[y]);
+            y += 1;
+        }
+    }
+    out.extend_from_slice(&a[x..]);
+    out.extend_from_slice(&b[y..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{chain_problem, fig1_problem};
+    use delprop_relation::tup;
+
+    fn fig1() -> Problem {
+        fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |_| {})
+    }
+
+    #[test]
+    fn engine_matches_cold_compile_per_step() {
+        let base = fig1();
+        let mut engine = Engine::new(base.clone()).unwrap();
+        let ids: Vec<ViewTupleId> = base.views().iter().map(|(id, _)| id).collect();
+        // Delete three tuples one by one, then restore the middle one.
+        for &id in &ids[..3] {
+            engine.apply(&DeltaBatch::deletes([id])).unwrap();
+            let mut cold = base.clone();
+            let dels: Vec<ViewTupleId> = engine.problem().deletions().iter().copied().collect();
+            for d in dels {
+                cold.mark_deleted_id(d).unwrap();
+            }
+            assert_eq!(
+                engine.compiled().shape_digest(),
+                CompiledInstance::compile(&cold).shape_digest(),
+                "after deleting {id}"
+            );
+        }
+        engine.apply(&DeltaBatch::restores([ids[1]])).unwrap();
+        let mut cold = base.clone();
+        cold.mark_deleted_id(ids[0]).unwrap();
+        cold.mark_deleted_id(ids[2]).unwrap();
+        assert_eq!(
+            engine.compiled().shape_digest(),
+            CompiledInstance::compile(&cold).shape_digest(),
+            "after rederive"
+        );
+    }
+
+    #[test]
+    fn restore_everything_returns_to_empty_delta() {
+        let mut engine = Engine::new(fig1()).unwrap();
+        let ids: Vec<ViewTupleId> = engine.problem().views().iter().map(|(id, _)| id).collect();
+        engine
+            .apply(&DeltaBatch::deletes(ids.iter().copied()))
+            .unwrap();
+        assert_eq!(engine.problem().norm_delta(), ids.len());
+        engine
+            .apply(&DeltaBatch::restores(ids.iter().copied()))
+            .unwrap();
+        assert_eq!(engine.problem().norm_delta(), 0);
+        let ir = engine.compiled();
+        assert_eq!(ir.num_demands(), 0);
+        assert_eq!(ir.num_bases(), 0);
+        assert_eq!(ir.num_vulnerable(), 0);
+        // And it matches a cold compile of the pristine instance.
+        assert_eq!(
+            ir.shape_digest(),
+            CompiledInstance::compile(&fig1()).shape_digest()
+        );
+    }
+
+    #[test]
+    fn with_delta_matches_cold_and_leaves_engine_untouched() {
+        let p = chain_problem(10, 3, &[1, 5]);
+        // Engine seeded with the problem's own deletions.
+        let engine = Engine::new(p.clone()).unwrap();
+        let gen_before = engine.generation();
+        let digest_before = engine.compiled().shape_digest();
+
+        let extra: Vec<ViewTupleId> = engine
+            .problem()
+            .preserved()
+            .map(|(id, _)| id)
+            .take(2)
+            .collect();
+        let forked = engine.with_delta(&extra).unwrap();
+        let mut cold = p.clone();
+        for &id in &extra {
+            cold.mark_deleted_id(id).unwrap();
+        }
+        assert_eq!(
+            forked.compiled().shape_digest(),
+            CompiledInstance::compile(&cold).shape_digest()
+        );
+        assert!(forked.verify_compiled(forked.compiled()).is_ok());
+        // Engine state is untouched.
+        assert_eq!(engine.generation(), gen_before);
+        assert_eq!(engine.compiled().shape_digest(), digest_before);
+
+        // No-op delta shares the installed IR.
+        let same = engine.with_delta(&[]).unwrap();
+        assert_eq!(same.compiled().shape_digest(), digest_before);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected_before_any_mutation() {
+        let mut engine = Engine::new(fig1()).unwrap();
+        let ok = engine.problem().views().iter().next().unwrap().0;
+        let bogus = ViewTupleId::new(7, 7);
+        let digest = engine.compiled().shape_digest();
+        let err = engine.apply(&DeltaBatch {
+            delete: vec![ok, bogus],
+            restore: vec![],
+        });
+        assert!(matches!(err, Err(CoreError::UnknownViewTuple { .. })));
+        assert_eq!(engine.problem().norm_delta(), 0, "no partial application");
+        assert_eq!(engine.compiled().shape_digest(), digest);
+        assert!(matches!(
+            engine.with_delta(&[bogus]),
+            Err(CoreError::UnknownViewTuple { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_then_restore_rederives_vulnerable_status() {
+        // Fig 1: deleting (John,TKDE,XML) makes (Joe,TKDE,XML) vulnerable
+        // (shared T2 witness). Deleting (Joe,TKDE,XML) too moves it from
+        // vulnerable to demand; restoring it must *rederive* it as
+        // vulnerable, because (John,TKDE,XML) is still deleted.
+        let p = fig1_problem(&[("Q4", "Q4(x, y, z) :- T1(x, y), T2(y, z, w)")], |p| {
+            p.mark_deleted(0, &tup!["John", "TKDE", "XML"]).unwrap();
+        });
+        let joe = p.views().views[0]
+            .position_of(&tup!["Joe", "TKDE", "XML"])
+            .map(|i| ViewTupleId::new(0, i))
+            .unwrap();
+        let mut engine = Engine::new(p).unwrap();
+        assert!(engine.compiled().vulnerable().contains(&joe));
+
+        engine.apply(&DeltaBatch::deletes([joe])).unwrap();
+        assert!(engine.compiled().demands().contains(&joe));
+        assert!(!engine.compiled().vulnerable().contains(&joe));
+
+        let report = engine.apply(&DeltaBatch::restores([joe])).unwrap();
+        assert_eq!(report.rederived, 1, "Joe re-enters the vulnerable set");
+        assert!(engine.compiled().vulnerable().contains(&joe));
+    }
+
+    #[test]
+    fn compaction_never_changes_the_projection() {
+        let p = chain_problem(12, 3, &[]);
+        let ids: Vec<ViewTupleId> = p.views().iter().map(|(id, _)| id).collect();
+        let mut engine =
+            Engine::with_policy(p, CompactionPolicy { max_fragmentation: f64::INFINITY }).unwrap();
+        for chunk in ids.chunks(3) {
+            engine
+                .apply(&DeltaBatch::deletes(chunk.iter().copied()))
+                .unwrap();
+        }
+        engine
+            .apply(&DeltaBatch::restores(ids.iter().step_by(2).copied()))
+            .unwrap();
+        let digest = engine.compiled().shape_digest();
+        engine.compact();
+        engine.apply(&DeltaBatch::default()).unwrap();
+        assert_eq!(engine.compiled().shape_digest(), digest);
+    }
+
+    #[test]
+    fn projection_counts_as_patch_not_compile() {
+        let mut engine = Engine::new(fig1()).unwrap();
+        let id = engine.problem().views().iter().next().unwrap().0;
+        let compiles = crate::ir::compile_count();
+        let patches = crate::ir::patch_count();
+        engine.apply(&DeltaBatch::deletes([id])).unwrap();
+        let _ = engine.problem().compiled();
+        assert_eq!(crate::ir::compile_count(), compiles, "no cold compile");
+        assert!(crate::ir::patch_count() > patches);
+    }
+}

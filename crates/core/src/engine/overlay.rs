@@ -1,0 +1,205 @@
+//! Delta-patchable sorted sets: the engine's tombstone overlay.
+//!
+//! Each active set of the IR (candidate bases, demands, vulnerable view
+//! tuples) is kept as a **clean** sorted array plus a small overlay — a
+//! sorted `pending` insertion list and a `dead` tombstone bitset over the
+//! clean array's members. ΔV batches touch only the overlay (`O(batch)`
+//! amortized), enumeration merges the three in one sorted pass
+//! (`O(active)`), and periodic [`DynSortedSet::compact`] folds the
+//! overlay back into a clean array so fragmentation — and with it the
+//! merge constant — stays bounded.
+//!
+//! The domain is a dense `u32` index space fixed at construction (base
+//! universe uids or view layout indices); membership transitions are
+//! driven externally by the engine's reference counters, so `activate` /
+//! `deactivate` are only called on genuine 0↔1 transitions.
+
+use delprop_setcover::BitSet;
+
+/// A sorted dynamic set over a fixed dense domain, optimized for
+/// batch-mutate / full-enumerate cycles with periodic compaction.
+#[derive(Debug, Clone)]
+pub(crate) struct DynSortedSet {
+    /// Sorted members as of the last compaction.
+    clean: Vec<u32>,
+    /// Sorted members added since the last compaction (disjoint from the
+    /// live part of `clean`).
+    pending: Vec<u32>,
+    /// Tombstones over `clean` members (by value, not position).
+    dead: BitSet,
+    dead_count: usize,
+}
+
+impl DynSortedSet {
+    /// Empty set over `0..domain`.
+    pub(crate) fn new(domain: usize) -> DynSortedSet {
+        DynSortedSet {
+            clean: Vec::new(),
+            pending: Vec::new(),
+            dead: BitSet::new(domain),
+            dead_count: 0,
+        }
+    }
+
+    /// Number of active members.
+    pub(crate) fn len(&self) -> usize {
+        self.clean.len() - self.dead_count + self.pending.len()
+    }
+
+    /// Add `x` to the set (must not currently be a member).
+    pub(crate) fn activate(&mut self, x: u32) {
+        if self.dead.contains(x as usize) {
+            // Re-animate a tombstoned clean member in place.
+            self.dead.remove(x as usize);
+            self.dead_count -= 1;
+            return;
+        }
+        debug_assert!(
+            self.clean.binary_search(&x).is_err(),
+            "activate on a live clean member"
+        );
+        match self.pending.binary_search(&x) {
+            Ok(_) => debug_assert!(false, "activate on a live pending member"),
+            Err(pos) => self.pending.insert(pos, x),
+        }
+    }
+
+    /// Remove `x` from the set (must currently be a member).
+    pub(crate) fn deactivate(&mut self, x: u32) {
+        if let Ok(pos) = self.pending.binary_search(&x) {
+            self.pending.remove(pos);
+            return;
+        }
+        debug_assert!(
+            self.clean.binary_search(&x).is_ok() && !self.dead.contains(x as usize),
+            "deactivate on a non-member"
+        );
+        if self.dead.insert(x as usize) {
+            self.dead_count += 1;
+        }
+    }
+
+    /// The active members, sorted ascending: one merge of the clean array
+    /// (skipping tombstones) with the pending list.
+    pub(crate) fn merged(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut p = self.pending.iter().copied().peekable();
+        for &x in &self.clean {
+            if self.dead.contains(x as usize) {
+                continue;
+            }
+            while let Some(&y) = p.peek() {
+                if y < x {
+                    out.push(y);
+                    p.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(x);
+        }
+        out.extend(p);
+        out
+    }
+
+    /// Overlay size relative to the active set — the compaction trigger.
+    pub(crate) fn fragmentation(&self) -> f64 {
+        (self.dead_count + self.pending.len()) as f64 / self.len().max(1) as f64
+    }
+
+    /// Fold the overlay back into a clean sorted array.
+    pub(crate) fn compact(&mut self) {
+        if self.dead_count == 0 && self.pending.is_empty() {
+            return;
+        }
+        self.clean = self.merged();
+        self.pending.clear();
+        self.dead.clear();
+        self.dead_count = 0;
+    }
+
+    /// Whether any overlay state exists (used by tests).
+    #[cfg(test)]
+    pub(crate) fn is_fragmented(&self) -> bool {
+        self.dead_count > 0 || !self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(ops: &[(bool, u32)], domain: usize) -> Vec<u32> {
+        let mut set = std::collections::BTreeSet::new();
+        let _ = domain;
+        for &(add, x) in ops {
+            if add {
+                set.insert(x);
+            } else {
+                set.remove(&x);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn activate_deactivate_matches_btreeset() {
+        // Deterministic pseudo-random op stream over a small domain,
+        // with interleaved compactions.
+        let mut s = DynSortedSet::new(64);
+        let mut member = [false; 64];
+        let mut ops: Vec<(bool, u32)> = Vec::new();
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        for step in 0..500 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (seed >> 33) as u32 % 64;
+            let add = !member[x as usize];
+            if add {
+                s.activate(x);
+            } else {
+                s.deactivate(x);
+            }
+            member[x as usize] = add;
+            ops.push((add, x));
+            if step % 97 == 0 {
+                s.compact();
+                assert!(!s.is_fragmented());
+            }
+            assert_eq!(s.merged(), naive(&ops, 64), "after step {step}");
+            assert_eq!(s.len(), s.merged().len());
+        }
+    }
+
+    #[test]
+    fn compact_preserves_members_and_resets_fragmentation() {
+        let mut s = DynSortedSet::new(16);
+        for x in [3u32, 7, 11] {
+            s.activate(x);
+        }
+        s.compact();
+        s.deactivate(7);
+        s.activate(5);
+        assert!(s.fragmentation() > 0.0);
+        let before = s.merged();
+        s.compact();
+        assert_eq!(s.merged(), before);
+        assert_eq!(s.fragmentation(), 0.0);
+        // Tombstoned member can be re-activated after compaction too.
+        s.activate(7);
+        assert_eq!(s.merged(), vec![3, 5, 7, 11]);
+    }
+
+    #[test]
+    fn reanimation_of_tombstoned_member_is_in_place() {
+        let mut s = DynSortedSet::new(8);
+        s.activate(2);
+        s.compact();
+        s.deactivate(2);
+        assert_eq!(s.len(), 0);
+        s.activate(2);
+        assert_eq!(s.merged(), vec![2]);
+        assert!(!s.is_fragmented(), "re-animation leaves no overlay");
+    }
+}

@@ -1,0 +1,98 @@
+//! The full-universe witness-provenance index the engine maintains its
+//! overdeletion closure over.
+//!
+//! Where [`crate::ir::CompiledInstance`] interns only the *candidate*
+//! bases of the current ΔV, this index interns **every** base tuple
+//! appearing in any witness path — the provenance universe — once per
+//! engine lifetime, in sorted `TupleId` order (so dense uid order equals
+//! tuple order, and any uid subset maps back to a canonically sorted
+//! candidate array for the projection). Both incidence directions are
+//! CSR:
+//!
+//! - `path_uids(i)`: the witness path of the `i`-th view tuple as uids
+//!   (rows sorted, because witness paths are sorted at materialization);
+//! - `occ_row(uid)`: the view tuples whose path contains `uid` (rows
+//!   ascending by construction) — the DRed overdeletion frontier: when a
+//!   base tuple enters the candidate set, exactly these view tuples can
+//!   become vulnerable.
+
+use crate::ir::StaticLayer;
+use delprop_relation::TupleId;
+
+/// Bidirectional base-tuple ⇄ view-tuple provenance over the whole view
+/// layout, built once per [`crate::engine::Engine`].
+#[derive(Debug)]
+pub(crate) struct ProvenanceIndex {
+    /// Every base tuple in any witness path, sorted ascending.
+    universe: Vec<TupleId>,
+    /// CSR: view layout index → uids of its witness path.
+    uid_offsets: Vec<u32>,
+    uid_paths: Vec<u32>,
+    /// CSR: uid → view layout indices whose path contains it.
+    occ_offsets: Vec<u32>,
+    occ: Vec<u32>,
+}
+
+impl ProvenanceIndex {
+    /// Build both CSR directions from a static layer's witness paths.
+    pub(crate) fn build(statics: &StaticLayer) -> ProvenanceIndex {
+        let norm_v = statics.norm_v();
+        let mut universe: Vec<TupleId> = Vec::new();
+        for i in 0..norm_v {
+            universe.extend_from_slice(statics.path_of(i));
+        }
+        universe.sort_unstable();
+        universe.dedup();
+
+        let mut uid_offsets = Vec::with_capacity(norm_v + 1);
+        uid_offsets.push(0u32);
+        let mut uid_paths: Vec<u32> = Vec::new();
+        let mut occ_rows: Vec<Vec<u32>> = vec![Vec::new(); universe.len()];
+        for i in 0..norm_v {
+            for &t in statics.path_of(i) {
+                let uid = universe
+                    .binary_search(&t)
+                    .expect("path tuples define the universe") as u32;
+                uid_paths.push(uid);
+                occ_rows[uid as usize].push(i as u32);
+            }
+            uid_offsets.push(uid_paths.len() as u32);
+        }
+
+        let mut occ_offsets = Vec::with_capacity(universe.len() + 1);
+        occ_offsets.push(0u32);
+        let mut occ: Vec<u32> = Vec::with_capacity(uid_paths.len());
+        for row in occ_rows {
+            occ.extend(row);
+            occ_offsets.push(occ.len() as u32);
+        }
+
+        ProvenanceIndex {
+            universe,
+            uid_offsets,
+            uid_paths,
+            occ_offsets,
+            occ,
+        }
+    }
+
+    /// Size of the provenance universe.
+    pub(crate) fn universe_len(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// The base tuple behind a uid.
+    pub(crate) fn tuple(&self, uid: u32) -> TupleId {
+        self.universe[uid as usize]
+    }
+
+    /// Witness path of the `i`-th view tuple, as sorted uids.
+    pub(crate) fn path_uids(&self, i: usize) -> &[u32] {
+        &self.uid_paths[self.uid_offsets[i] as usize..self.uid_offsets[i + 1] as usize]
+    }
+
+    /// View layout indices whose witness path contains `uid`, ascending.
+    pub(crate) fn occ_row(&self, uid: u32) -> &[u32] {
+        &self.occ[self.occ_offsets[uid as usize] as usize..self.occ_offsets[uid as usize + 1] as usize]
+    }
+}

@@ -42,6 +42,12 @@ pub enum CoreError {
     /// A portfolio member panicked; the panic was contained by the
     /// runtime's isolation boundary and converted into this error.
     SolverPanicked { solver: String, message: String },
+    /// A [`crate::ir::CompiledInstance`] was checked against a problem
+    /// whose mutation generation has moved on since the IR was built:
+    /// the holder (a racing portfolio member, an epoch reader) kept the
+    /// old `Arc` across a mutation and must recompile before trusting
+    /// any verification result.
+    StaleCompiled { compiled: u64, current: u64 },
 }
 
 impl fmt::Display for CoreError {
@@ -81,6 +87,12 @@ impl fmt::Display for CoreError {
             CoreError::SolverPanicked { solver, message } => {
                 write!(f, "solver {solver} panicked (contained): {message}")
             }
+            CoreError::StaleCompiled { compiled, current } => write!(
+                f,
+                "stale compiled instance: IR generation {compiled} but the \
+                 problem is at generation {current}; recompile before \
+                 verifying"
+            ),
         }
     }
 }

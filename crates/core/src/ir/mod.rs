@@ -34,12 +34,21 @@ use delprop_query::ViewTupleId;
 use delprop_relation::TupleId;
 use delprop_setcover::kernel::words;
 use delprop_setcover::{BitMatrix, BitSet};
+use std::sync::Arc;
 
 /// Number of [`CompiledInstance::compile`] calls so far in this process
 /// — the `ir.compiles` metric, kept for the `EX-IR` experiment's
 /// one-compile-per-portfolio-solve assertion. Monotone, process-wide.
 pub fn compile_count() -> u64 {
     metrics::IR_COMPILES.get()
+}
+
+/// Number of incremental IR assemblies (engine projections) so far in
+/// this process — the `ir.patches` metric. An assembly reuses a
+/// [`StaticLayer`] and costs `O(active)`, a compile costs `O(‖V‖)` plus
+/// a data-dual-graph construction.
+pub fn patch_count() -> u64 {
+    metrics::IR_PATCHES.get()
 }
 
 /// The pivot-forest structure (§IV.E), flattened from
@@ -72,6 +81,154 @@ impl PivotData {
     pub fn num_vertices(&self) -> usize {
         self.vertex_tuple.len()
     }
+}
+
+/// The ΔV-independent layer of the IR: everything derivable from the
+/// database, the queries, and the materialized views alone — witness
+/// paths, weights, the data-dual forest depths, the pivot certification,
+/// and the query-dual forest flag. None of it mentions the deletion set,
+/// so a long-lived [`crate::engine::Engine`] builds it **once** and every
+/// incremental projection shares it by `Arc`; only the `O(active)` parts
+/// ([`ActiveParts`]) are rebuilt per ΔV batch.
+#[derive(Debug)]
+pub struct StaticLayer {
+    /// Every view tuple id, ascending (view-major materialization order).
+    pub(crate) view_tuples: Vec<ViewTupleId>,
+    /// Weight of every view tuple, parallel to `view_tuples`. Captured at
+    /// build time: weight mutations invalidate the layer.
+    pub(crate) all_weights: Vec<f64>,
+    /// CSR witness paths of every view tuple (layout order).
+    pub(crate) path_offsets: Vec<u32>,
+    pub(crate) paths: Vec<TupleId>,
+    /// Depth of each view tuple's witness-path top (its shallowest
+    /// vertex) in the rooted data-dual forest, parallel to
+    /// `view_tuples`; `None` when the data dual graph is not a forest
+    /// (the demand order then falls back to ascending id order).
+    pub(crate) top_depth: Option<Vec<u32>>,
+    /// Pivot-forest certification (§IV.E), when the structure exists.
+    pub(crate) pivot: Option<PivotData>,
+    /// Whether the query dual hypergraph's components are hypertrees.
+    pub(crate) forest_case: bool,
+    pub(crate) l: usize,
+    pub(crate) num_queries: usize,
+    pub(crate) norm_v: usize,
+}
+
+impl StaticLayer {
+    /// Build the layer: one pass over the views plus one data-dual-graph
+    /// construction (shared by the forest depths and the pivot
+    /// certification).
+    pub(crate) fn build(problem: &Problem) -> StaticLayer {
+        let norm_v = problem.norm_v();
+        let mut view_tuples: Vec<ViewTupleId> = Vec::with_capacity(norm_v);
+        let mut all_weights: Vec<f64> = Vec::with_capacity(norm_v);
+        let mut all_paths: Vec<Vec<TupleId>> = Vec::with_capacity(norm_v);
+        for (id, vt) in problem.views().iter() {
+            view_tuples.push(id);
+            all_weights.push(problem.weight(id));
+            all_paths.push(vt.unique_witnesses().to_vec());
+        }
+
+        // One data-dual graph serves both the bottom-up demand order
+        // (Algorithm 1) and the pivot certification (Algorithm 4).
+        let graph = DataDualGraph::new(&all_paths);
+        let top_depth = graph.rooted(None).map(|forest| {
+            all_paths
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .filter_map(|&t| graph.vertex(t))
+                        .map(|v| forest.depth[v])
+                        .min()
+                        .unwrap_or(0) as u32
+                })
+                .collect()
+        });
+        let pivot = find_pivot_structure(&graph).map(|p| {
+            let children = p.forest.children();
+            let (children_offsets, children) = to_csr(
+                children
+                    .into_iter()
+                    .map(|row| row.into_iter().map(|v| v as u32).collect())
+                    .collect(),
+            );
+            PivotData {
+                endpoints: p.endpoints.iter().map(|&e| e as u32).collect(),
+                vertex_tuple: (0..graph.num_vertices()).map(|v| graph.tuple(v)).collect(),
+                children_offsets,
+                children,
+                bfs_order: p.forest.bfs_order.iter().map(|&v| v as u32).collect(),
+                roots: p.forest.roots.iter().map(|&v| v as u32).collect(),
+            }
+        });
+
+        let dual = DualHypergraph::new(
+            &problem
+                .queries()
+                .iter()
+                .map(|q| q.atoms.iter().map(|a| a.relation).collect())
+                .collect::<Vec<_>>(),
+        );
+        let forest_case = dual.is_forest_case();
+
+        let (path_offsets, paths) = {
+            let mut offsets = Vec::with_capacity(all_paths.len() + 1);
+            offsets.push(0u32);
+            let mut data = Vec::new();
+            for p in &all_paths {
+                data.extend_from_slice(p);
+                offsets.push(data.len() as u32);
+            }
+            (offsets, data)
+        };
+
+        StaticLayer {
+            view_tuples,
+            all_weights,
+            path_offsets,
+            paths,
+            top_depth,
+            pivot,
+            forest_case,
+            l: problem.l(),
+            num_queries: problem.queries().len(),
+            norm_v,
+        }
+    }
+
+    /// Dense layout index of a view tuple id (`view_tuples` is sorted:
+    /// `ViewTupleId`'s lexicographic order equals materialization order).
+    pub(crate) fn dense(&self, id: ViewTupleId) -> usize {
+        self.view_tuples
+            .binary_search(&id)
+            .expect("view tuple id within the materialized layout")
+    }
+
+    /// Witness path of the `i`-th view tuple (layout order).
+    pub(crate) fn path_of(&self, i: usize) -> &[TupleId] {
+        &self.paths[self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize]
+    }
+
+    /// `‖V‖`.
+    pub(crate) fn norm_v(&self) -> usize {
+        self.norm_v
+    }
+}
+
+/// The ΔV-dependent inputs of an IR assembly: the active subproblem a
+/// [`StaticLayer`] is projected onto. All four members are canonical —
+/// sorted ascending, exactly what a cold [`CompiledInstance::compile`]
+/// of the same problem state would derive — so cold and incremental
+/// assemblies are byte-identical by construction.
+pub(crate) struct ActiveParts {
+    /// Candidate base tuples `𝒞`, sorted ascending.
+    pub(crate) bases: Vec<TupleId>,
+    /// `ΔV` in ascending `ViewTupleId` order.
+    pub(crate) demands: Vec<ViewTupleId>,
+    /// Vulnerable preserved view tuples, ascending.
+    pub(crate) vulnerable: Vec<ViewTupleId>,
+    /// Per-view-tuple ΔV membership, parallel to the layout.
+    pub(crate) deleted: Vec<bool>,
 }
 
 /// A deletion-propagation instance compiled to flat dense-index form.
@@ -123,32 +280,26 @@ pub struct CompiledInstance {
     vulnerable_k: Vec<u32>,
 
     // ---- the whole-`V` layer (DP, demand ordering, evaluation) ----
-    /// Every view tuple id, ascending (view-major materialization order).
-    view_tuples: Vec<ViewTupleId>,
-    /// Weight of every view tuple, parallel to `view_tuples`.
-    all_weights: Vec<f64>,
-    /// Whether each view tuple is in `ΔV`, parallel to `view_tuples`.
+    /// The ΔV-independent layer: view-tuple layout, weights, witness
+    /// paths, forest depths, pivot certification, scalars. Shared by
+    /// `Arc` between an engine's successive projections; owned (fresh)
+    /// for a cold compile.
+    statics: Arc<StaticLayer>,
+    /// Whether each view tuple is in `ΔV`, parallel to the layout.
     deleted: Vec<bool>,
-    /// CSR witness paths of every view tuple (layout order).
-    path_offsets: Vec<u32>,
-    paths: Vec<TupleId>,
 
     /// Demand indices in bottom-up processing order (decreasing witness-path
     /// top depth in the data-dual forest; identity when not a forest) —
     /// Algorithm 1's GVY-style order, precomputed.
     demand_order: Vec<u32>,
 
-    /// Pivot-forest certification (§IV.E), when the structure exists.
-    pivot: Option<PivotData>,
-    /// Whether the query dual hypergraph's components are hypertrees
-    /// (§IV.B forest case).
-    forest_case: bool,
-
     // ---- scalars (Table I) ----
-    l: usize,
-    num_queries: usize,
-    norm_v: usize,
     norm_delta: usize,
+
+    /// The mutation generation of the [`Problem`] this IR was built
+    /// against (see [`Problem::generation`]); checked by
+    /// [`Problem::verify_compiled`] to reject stale IR/problem pairings.
+    generation: u64,
 }
 
 /// Flatten row lists into CSR (offsets, data).
@@ -165,30 +316,68 @@ fn to_csr(rows: Vec<Vec<u32>>) -> (Vec<u32>, Vec<u32>) {
 }
 
 impl CompiledInstance {
-    /// Compile `problem` into the flat IR. One pass over the views plus
-    /// one data-dual-graph construction (shared by the demand ordering and
-    /// the pivot certification).
+    /// Compile `problem` into the flat IR: build a fresh [`StaticLayer`]
+    /// (one pass over the views plus one data-dual-graph construction)
+    /// and assemble the active subproblem onto it. The incremental
+    /// engine takes the same [`CompiledInstance::assemble`] path with a
+    /// *shared* layer, so warm projections are byte-identical to cold
+    /// compiles of the same problem state by construction.
     pub fn compile(problem: &Problem) -> CompiledInstance {
         metrics::IR_COMPILES.inc();
         let compile_start = crate::runtime::now();
 
-        let bases = problem.candidates();
+        let statics = Arc::new(StaticLayer::build(problem));
+        let demands: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
+        let mut deleted = vec![false; statics.norm_v()];
+        for &id in &demands {
+            deleted[statics.dense(id)] = true;
+        }
+        let parts = ActiveParts {
+            bases: problem.candidates(),
+            demands,
+            vulnerable: problem.vulnerable_preserved(),
+            deleted,
+        };
+        let ir = Self::assemble(statics, parts, problem.generation());
+
+        metrics::IR_COMPILE_MICROS.observe(compile_start.elapsed().as_micros() as u64);
+        ir
+    }
+
+    /// Assemble the `O(active)` half of the IR onto a static layer: CSR
+    /// adjacency in both directions, packed bitset rows, weights, and
+    /// the bottom-up demand order. This is the single construction path
+    /// for both cold compiles and the engine's incremental projections.
+    pub(crate) fn assemble(
+        statics: Arc<StaticLayer>,
+        parts: ActiveParts,
+        generation: u64,
+    ) -> CompiledInstance {
+        let ActiveParts {
+            bases,
+            demands,
+            vulnerable,
+            deleted,
+        } = parts;
+        debug_assert_eq!(deleted.len(), statics.norm_v());
         let base_of =
             |t: TupleId| -> Option<u32> { bases.binary_search(&t).ok().map(|b| b as u32) };
 
-        let demands: Vec<ViewTupleId> = problem.deletions().iter().copied().collect();
-        let vulnerable: Vec<ViewTupleId> = problem.vulnerable_preserved();
-
-        let demand_weights: Vec<f64> = demands.iter().map(|&id| problem.weight(id)).collect();
-        let vulnerable_weights: Vec<f64> =
-            vulnerable.iter().map(|&id| problem.weight(id)).collect();
+        let demand_weights: Vec<f64> = demands
+            .iter()
+            .map(|&id| statics.all_weights[statics.dense(id)])
+            .collect();
+        let vulnerable_weights: Vec<f64> = vulnerable
+            .iter()
+            .map(|&id| statics.all_weights[statics.dense(id)])
+            .collect();
 
         // demand → bases, and its transpose base → demands.
         let mut demand_rows: Vec<Vec<u32>> = Vec::with_capacity(demands.len());
         let mut hit_rows: Vec<Vec<u32>> = vec![Vec::new(); bases.len()];
         for (di, &id) in demands.iter().enumerate() {
-            let row: Vec<u32> = problem
-                .witnesses(id)
+            let row: Vec<u32> = statics
+                .path_of(statics.dense(id))
                 .iter()
                 .map(|&t| base_of(t).expect("demand witnesses are candidates by definition"))
                 .collect();
@@ -204,7 +393,7 @@ impl CompiledInstance {
         let mut incidence_rows: Vec<Vec<u32>> = vec![Vec::new(); bases.len()];
         let mut vulnerable_k: Vec<u32> = Vec::with_capacity(vulnerable.len());
         for (ri, &id) in vulnerable.iter().enumerate() {
-            let ws = problem.witnesses(id);
+            let ws = statics.path_of(statics.dense(id));
             vulnerable_k.push(ws.len() as u32);
             let row: Vec<u32> = ws.iter().filter_map(|&t| base_of(t)).collect();
             for &b in &row {
@@ -213,48 +402,16 @@ impl CompiledInstance {
             vulnerable_rows.push(row);
         }
 
-        // Whole-V layer: ids, weights, membership, witness paths.
-        let mut view_tuples: Vec<ViewTupleId> = Vec::with_capacity(problem.norm_v());
-        let mut all_weights: Vec<f64> = Vec::with_capacity(problem.norm_v());
-        let mut deleted: Vec<bool> = Vec::with_capacity(problem.norm_v());
-        let mut all_paths: Vec<Vec<TupleId>> = Vec::with_capacity(problem.norm_v());
-        for (id, vt) in problem.views().iter() {
-            view_tuples.push(id);
-            all_weights.push(problem.weight(id));
-            deleted.push(problem.is_deleted(id));
-            all_paths.push(vt.unique_witnesses().to_vec());
+        // Bottom-up demand order: decreasing depth of each witness path's
+        // shallowest vertex (its top / LCA) in the data-dual forest, ties
+        // and the non-forest fallback in ascending `ViewTupleId` order.
+        let mut demand_order: Vec<u32> = (0..demands.len() as u32).collect();
+        if let Some(depths) = &statics.top_depth {
+            demand_order.sort_by_key(|&di| {
+                let id = demands[di as usize];
+                (std::cmp::Reverse(depths[statics.dense(id)]), id)
+            });
         }
-
-        // One data-dual graph serves both the bottom-up demand order
-        // (Algorithm 1) and the pivot certification (Algorithm 4).
-        let graph = DataDualGraph::new(&all_paths);
-        let demand_order = bottom_up_order(&graph, problem, &demands);
-        let pivot = find_pivot_structure(&graph).map(|p| {
-            let children = p.forest.children();
-            let (children_offsets, children) = to_csr(
-                children
-                    .into_iter()
-                    .map(|row| row.into_iter().map(|v| v as u32).collect())
-                    .collect(),
-            );
-            PivotData {
-                endpoints: p.endpoints.iter().map(|&e| e as u32).collect(),
-                vertex_tuple: (0..graph.num_vertices()).map(|v| graph.tuple(v)).collect(),
-                children_offsets,
-                children,
-                bfs_order: p.forest.bfs_order.iter().map(|&v| v as u32).collect(),
-                roots: p.forest.roots.iter().map(|&v| v as u32).collect(),
-            }
-        });
-
-        let dual = DualHypergraph::new(
-            &problem
-                .queries()
-                .iter()
-                .map(|q| q.atoms.iter().map(|a| a.relation).collect())
-                .collect::<Vec<_>>(),
-        );
-        let forest_case = dual.is_forest_case();
 
         // Packed bitset rows share the dense base universe with the CSR
         // rows; solvers intersect them against deletion masks word by word.
@@ -277,23 +434,9 @@ impl CompiledInstance {
         let (hit_offsets, hit_demands) = to_csr(hit_rows);
         let (vulnerable_offsets, vulnerable_witnesses) = to_csr(vulnerable_rows);
         let (incidence_offsets, incidence) = to_csr(incidence_rows);
-        let (path_offsets, paths) = {
-            let mut offsets = Vec::with_capacity(all_paths.len() + 1);
-            offsets.push(0u32);
-            let mut data = Vec::new();
-            for p in &all_paths {
-                data.extend_from_slice(p);
-                offsets.push(data.len() as u32);
-            }
-            (offsets, data)
-        };
 
-        metrics::IR_COMPILE_MICROS.observe(compile_start.elapsed().as_micros() as u64);
         CompiledInstance {
-            l: problem.l(),
-            num_queries: problem.queries().len(),
-            norm_v: problem.norm_v(),
-            norm_delta: problem.norm_delta(),
+            norm_delta: demands.len(),
             bases,
             demands,
             vulnerable,
@@ -310,14 +453,10 @@ impl CompiledInstance {
             witness_masks,
             vulnerable_masks,
             vulnerable_k,
-            view_tuples,
-            all_weights,
+            statics,
             deleted,
-            path_offsets,
-            paths,
             demand_order,
-            pivot,
-            forest_case,
+            generation,
         }
     }
 
@@ -442,12 +581,12 @@ impl CompiledInstance {
 
     /// All view tuple ids, ascending.
     pub fn view_tuples(&self) -> &[ViewTupleId] {
-        &self.view_tuples
+        &self.statics.view_tuples
     }
 
     /// Weight of the `i`-th view tuple.
     pub fn view_weight(&self, i: usize) -> f64 {
-        self.all_weights[i]
+        self.statics.all_weights[i]
     }
 
     /// Whether the `i`-th view tuple is in `ΔV`.
@@ -457,7 +596,7 @@ impl CompiledInstance {
 
     /// Witness path of the `i`-th view tuple (layout order).
     pub fn path(&self, i: usize) -> &[TupleId] {
-        &self.paths[self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize]
+        self.statics.path_of(i)
     }
 
     /// Demand indices in bottom-up (decreasing top-depth) order.
@@ -467,34 +606,127 @@ impl CompiledInstance {
 
     /// The pivot-forest structure, when certified (§IV.E).
     pub fn pivot(&self) -> Option<&PivotData> {
-        self.pivot.as_ref()
+        self.statics.pivot.as_ref()
     }
 
     /// Whether the instance is a §IV.B forest case.
     pub fn forest_case(&self) -> bool {
-        self.forest_case
+        self.statics.forest_case
     }
 
     // ---- scalars ----
 
     /// `l = max arity(Q)`.
     pub fn l(&self) -> usize {
-        self.l
+        self.statics.l
     }
 
     /// Number of queries `|Q|`.
     pub fn num_queries(&self) -> usize {
-        self.num_queries
+        self.statics.num_queries
     }
 
     /// `‖V‖`.
     pub fn norm_v(&self) -> usize {
-        self.norm_v
+        self.statics.norm_v
     }
 
     /// `‖ΔV‖`.
     pub fn norm_delta(&self) -> usize {
         self.norm_delta
+    }
+
+    /// The problem mutation generation this IR was built against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// A structural digest (FNV-1a over every solver-visible field
+    /// except the generation stamp). Two instances with equal digests
+    /// present identical data to every solver; the differential suites
+    /// use this as a strong cold-vs-incremental equality check.
+    pub fn shape_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for &t in &self.bases {
+            h.write_u64(t.relation.0 as u64);
+            h.write_u64(t.index as u64);
+        }
+        for set in [&self.demands, &self.vulnerable, &self.statics.view_tuples] {
+            h.write_u64(set.len() as u64);
+            for id in set.iter() {
+                h.write_u64(id.view as u64);
+                h.write_u64(id.index as u64);
+            }
+        }
+        for ws in [
+            &self.demand_weights,
+            &self.vulnerable_weights,
+            &self.statics.all_weights,
+        ] {
+            h.write_u64(ws.len() as u64);
+            for &w in ws.iter() {
+                h.write_u64(w.to_bits());
+            }
+        }
+        for csr in [
+            &self.demand_offsets,
+            &self.demand_witnesses,
+            &self.incidence_offsets,
+            &self.incidence,
+            &self.hit_offsets,
+            &self.hit_demands,
+            &self.vulnerable_offsets,
+            &self.vulnerable_witnesses,
+            &self.vulnerable_k,
+            &self.demand_order,
+            &self.statics.path_offsets,
+        ] {
+            h.write_u64(csr.len() as u64);
+            for &x in csr.iter() {
+                h.write_u64(x as u64);
+            }
+        }
+        for &t in &self.statics.paths {
+            h.write_u64(t.relation.0 as u64);
+            h.write_u64(t.index as u64);
+        }
+        for mat in [&self.witness_masks, &self.vulnerable_masks] {
+            h.write_u64(mat.words_per_row() as u64);
+            for r in 0..mat.rows() {
+                for &w in mat.row(r) {
+                    h.write_u64(w);
+                }
+            }
+        }
+        for &d in &self.deleted {
+            h.write_u64(d as u64);
+        }
+        if let Some(depths) = &self.statics.top_depth {
+            for &d in depths.iter() {
+                h.write_u64(d as u64);
+            }
+        }
+        if let Some(p) = &self.statics.pivot {
+            h.write_u64(p.endpoints.len() as u64);
+            for &e in &p.endpoints {
+                h.write_u64(e as u64);
+            }
+            for &v in p
+                .children_offsets
+                .iter()
+                .chain(&p.children)
+                .chain(&p.bfs_order)
+                .chain(&p.roots)
+            {
+                h.write_u64(v as u64);
+            }
+        }
+        h.write_u64(self.statics.forest_case as u64);
+        h.write_u64(self.statics.l as u64);
+        h.write_u64(self.statics.num_queries as u64);
+        h.write_u64(self.statics.norm_v as u64);
+        h.write_u64(self.norm_delta as u64);
+        h.finish()
     }
 
     // ---- evaluation ----
@@ -637,27 +869,24 @@ impl CompiledInstance {
     }
 }
 
-/// Demand indices sorted bottom-up: decreasing depth of each witness
-/// path's shallowest vertex (its top / LCA) in the data-dual forest, ties
-/// and the non-forest fallback in ascending `ViewTupleId` order.
-fn bottom_up_order(graph: &DataDualGraph, problem: &Problem, demands: &[ViewTupleId]) -> Vec<u32> {
-    let mut order: Vec<u32> = (0..demands.len() as u32).collect();
-    if let Some(forest) = graph.rooted(None) {
-        let top_depth = |id: ViewTupleId| -> usize {
-            problem
-                .witnesses(id)
-                .iter()
-                .filter_map(|&t| graph.vertex(t))
-                .map(|v| forest.depth[v])
-                .min()
-                .unwrap_or(0)
-        };
-        order.sort_by_key(|&di| {
-            let id = demands[di as usize];
-            (std::cmp::Reverse(top_depth(id)), id)
-        });
+/// FNV-1a 64-bit, fed with little-endian `u64`s — the zero-dependency
+/// structural hash behind [`CompiledInstance::shape_digest`].
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    order
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]

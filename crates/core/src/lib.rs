@@ -43,6 +43,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod classify;
+pub mod engine;
 mod error;
 pub mod ir;
 pub mod landscape;
@@ -55,6 +56,7 @@ pub mod solvers;
 pub(crate) mod test_support;
 
 pub use classify::{classify, solve_auto, solve_auto_balanced, SolverKind, StructureReport};
+pub use engine::{CompactionPolicy, DeltaBatch, DeltaReport, Engine, EngineStats};
 pub use error::CoreError;
 pub use ir::CompiledInstance;
 pub use problem::Problem;

@@ -14,14 +14,24 @@ use std::collections::{BTreeSet, HashSet};
 use std::sync::{Arc, OnceLock};
 
 /// A deletion-propagation instance over key-preserving conjunctive queries.
+///
+/// The immutable parts (database, queries, materialized views) live
+/// behind `Arc`s, so cloning a problem to apply a per-request ΔV delta
+/// (see [`crate::engine::Engine::with_delta`]) costs only the deletion
+/// set and weight table — no view rematerialization, no database copy.
 #[derive(Debug, Clone)]
 pub struct Problem {
-    db: Database,
-    queries: Vec<BoundQuery>,
-    views: ViewSet,
+    db: Arc<Database>,
+    queries: Arc<Vec<BoundQuery>>,
+    views: Arc<ViewSet>,
     deletions: BTreeSet<ViewTupleId>,
     /// weights[view][index], defaulting to 1.0.
     weights: Vec<Vec<f64>>,
+    /// Mutation generation: bumped by every IR-invalidating mutation
+    /// (`mark_deleted*`, `unmark_deleted_id`, `set_weight`). A
+    /// [`CompiledInstance`] is stamped with the generation it was built
+    /// against; [`Problem::verify_compiled`] rejects stale pairings.
+    generation: u64,
     /// Lazily compiled IR (see [`crate::ir`]), invalidated by every
     /// mutation. `Arc` so clones of an already-compiled problem share the
     /// compile.
@@ -44,11 +54,12 @@ impl Problem {
         let views = ViewSet::materialize(&db, &queries)?;
         let weights = views.views.iter().map(|v| vec![1.0; v.len()]).collect();
         Ok(Problem {
-            db,
-            queries,
-            views,
+            db: Arc::new(db),
+            queries: Arc::new(queries),
+            views: Arc::new(views),
             deletions: BTreeSet::new(),
             weights,
+            generation: 0,
             compiled: OnceLock::new(),
         })
     }
@@ -100,11 +111,12 @@ impl Problem {
         }
         let weights = views.views.iter().map(|v| vec![1.0; v.len()]).collect();
         Ok(Problem {
-            db,
-            queries,
-            views,
+            db: Arc::new(db),
+            queries: Arc::new(queries),
+            views: Arc::new(views),
             deletions: BTreeSet::new(),
             weights,
+            generation: 0,
             compiled: OnceLock::new(),
         })
     }
@@ -148,8 +160,58 @@ impl Problem {
             .get_or_init(|| Arc::new(CompiledInstance::compile(self)))
     }
 
-    /// Drop the cached IR after a mutation.
+    /// The compiled IR as a shareable `Arc` — what epoch publishers and
+    /// the engine hand across threads. Same cache as
+    /// [`Problem::compiled`].
+    pub fn compiled_arc(&self) -> Arc<CompiledInstance> {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledInstance::compile(self)))
+            .clone()
+    }
+
+    /// The mutation generation (see the field docs). Clones inherit the
+    /// generation of their source, so generations order mutations within
+    /// one lineage, not across independently mutated clones.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Check that a compiled instance still describes this problem.
+    ///
+    /// Racing portfolio members and epoch readers hold `Arc`s to the IR
+    /// across arbitrary code; if the problem was mutated since the IR
+    /// was built, verifying a solution against that IR would silently
+    /// answer for the *old* instance. This is the guard: call it before
+    /// trusting any IR-based verification or before publishing an IR.
+    pub fn verify_compiled(&self, ir: &CompiledInstance) -> Result<(), CoreError> {
+        if ir.generation() != self.generation {
+            return Err(CoreError::StaleCompiled {
+                compiled: ir.generation(),
+                current: self.generation,
+            });
+        }
+        Ok(())
+    }
+
+    /// Install an externally assembled IR (the engine's incremental
+    /// projection) into the cache, so `compiled()` serves it without a
+    /// cold compile. The IR's generation must match the problem's —
+    /// enforced, because installing a stale projection would defeat the
+    /// very staleness guard [`Problem::verify_compiled`] provides.
+    pub(crate) fn install_compiled(&mut self, ir: Arc<CompiledInstance>) {
+        assert_eq!(
+            ir.generation(),
+            self.generation,
+            "install_compiled: IR generation must match the problem's"
+        );
+        let lock = OnceLock::new();
+        let _ = lock.set(ir);
+        self.compiled = lock;
+    }
+
+    /// Drop the cached IR after a mutation and advance the generation.
     fn invalidate_compiled(&mut self) {
+        self.generation += 1;
         self.compiled.take();
     }
 
@@ -161,8 +223,9 @@ impl Problem {
                 description: format!("index {}", id.index),
             });
         }
-        self.deletions.insert(id);
-        self.invalidate_compiled();
+        if self.deletions.insert(id) {
+            self.invalidate_compiled();
+        }
         Ok(())
     }
 
@@ -183,9 +246,29 @@ impl Problem {
                 description: head.to_string(),
             })?;
         let id = ViewTupleId::new(view, index);
-        self.deletions.insert(id);
-        self.invalidate_compiled();
+        if self.deletions.insert(id) {
+            self.invalidate_compiled();
+        }
         Ok(id)
+    }
+
+    /// Remove a view tuple from the deletion set (the rederivation half
+    /// of the engine's DRed step: a previously requested deletion is
+    /// withdrawn and the tuple re-joins the preserved side). Returns
+    /// whether it was actually marked; unmarking an unmarked tuple is a
+    /// no-op that leaves the generation untouched.
+    pub fn unmark_deleted_id(&mut self, id: ViewTupleId) -> Result<bool, CoreError> {
+        if id.view >= self.views.views.len() || id.index >= self.views.views[id.view].len() {
+            return Err(CoreError::UnknownViewTuple {
+                view: id.view,
+                description: format!("index {}", id.index),
+            });
+        }
+        let removed = self.deletions.remove(&id);
+        if removed {
+            self.invalidate_compiled();
+        }
+        Ok(removed)
     }
 
     /// Set the preservation weight of a view tuple (default 1.0). Weights

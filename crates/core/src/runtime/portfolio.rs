@@ -523,6 +523,15 @@ impl Portfolio {
     ) -> (MemberStatus, Option<(Solution, f64)>) {
         metrics::VERIFICATIONS.inc();
         let span = budget.span(Phase::Verify, member);
+        // Stale-IR guard: the index the member solved against must
+        // carry the problem's current mutation generation. A mismatch
+        // means some caller installed or cached an IR across a
+        // mutation; accepting a verification performed against it
+        // would certify a solution for a different ΔV.
+        if let Err(error) = problem.verify_compiled(problem.compiled()) {
+            span.end_with("stale_compiled");
+            return (MemberStatus::Failed { error }, None);
+        }
         let verify_start = now();
         let objective = self.objective;
         let verified = panic::catch_unwind(AssertUnwindSafe(|| {

@@ -149,34 +149,35 @@ impl Gate {
                     limit: self.cfg.max_queued,
                 });
             }
-            st.queued += 1;
+            // From here to admission there are three distinct exits
+            // (timeout, close, slot won); the queued counter must be
+            // decremented on exactly one of them. `QueuedSlot` owns the
+            // slot and the guard, so every exit — including a panic
+            // unwinding through the wait loop — releases it exactly
+            // once, under the still-held lock.
+            let mut slot = QueuedSlot::claim(st);
             let start = now();
             let deadline = start + max_wait;
             loop {
                 let remaining = deadline.saturating_duration_since(now());
                 if remaining.is_zero() {
-                    st.queued -= 1;
                     crate::stats::SHED_TIMEOUT.inc();
                     return Err(AdmissionError::Timeout {
                         waited: start.elapsed(),
                     });
                 }
-                st = self
-                    .freed
-                    .wait_timeout(st, remaining)
-                    .unwrap_or_else(|e| e.into_inner())
-                    .0;
-                if st.closed {
-                    st.queued -= 1;
+                slot.wait(&self.freed, remaining);
+                let state = slot.state();
+                if state.closed {
                     return Err(AdmissionError::Closed);
                 }
-                if st.inflight < self.cfg.max_inflight
-                    && Self::tenant_count(&st, tenant) < self.cfg.max_per_tenant
+                if state.inflight < self.cfg.max_inflight
+                    && Self::tenant_count(state, tenant) < self.cfg.max_per_tenant
                 {
                     break;
                 }
             }
-            st.queued -= 1;
+            st = slot.admit();
             crate::stats::QUEUE_WAIT_MICROS.observe(start.elapsed().as_micros() as u64);
         }
         st.inflight += 1;
@@ -205,6 +206,64 @@ impl Gate {
     }
 }
 
+/// A claimed wait-queue slot. Holds the gate's mutex guard across the
+/// wait loop and owns the `queued` increment it performed at claim
+/// time: the matching decrement happens exactly once, either in
+/// [`QueuedSlot::admit`] on the success path or in `Drop` on any early
+/// exit (timeout, close, panic) — always under the still-held lock, so
+/// the counter can neither leak nor underflow.
+struct QueuedSlot<'a> {
+    /// `None` only transiently inside [`QueuedSlot::wait`] (the condvar
+    /// consumes the guard) and permanently after [`QueuedSlot::admit`].
+    guard: Option<MutexGuard<'a, GateState>>,
+}
+
+impl<'a> QueuedSlot<'a> {
+    /// Enter the wait queue (caller has checked the queue bound).
+    fn claim(mut guard: MutexGuard<'a, GateState>) -> QueuedSlot<'a> {
+        guard.queued += 1;
+        QueuedSlot { guard: Some(guard) }
+    }
+
+    /// The locked gate state.
+    fn state(&mut self) -> &mut GateState {
+        self.guard.as_mut().expect("queued slot already released")
+    }
+
+    /// Block on `freed` for at most `dur`, reacquiring the lock (and
+    /// with it the guard) before returning.
+    fn wait(&mut self, freed: &Condvar, dur: Duration) {
+        let guard = self.guard.take().expect("queued slot already released");
+        let guard = freed
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(|e| e.into_inner())
+            .0;
+        self.guard = Some(guard);
+    }
+
+    /// Leave the queue for admission: decrement `queued` and hand the
+    /// guard back so the caller can take an inflight slot atomically.
+    fn admit(mut self) -> MutexGuard<'a, GateState> {
+        let mut guard = self.guard.take().expect("queued slot already released");
+        guard.queued = guard
+            .queued
+            .checked_sub(1)
+            .expect("admission queued counter underflow");
+        guard
+    }
+}
+
+impl Drop for QueuedSlot<'_> {
+    fn drop(&mut self) {
+        if let Some(mut guard) = self.guard.take() {
+            guard.queued = guard
+                .queued
+                .checked_sub(1)
+                .expect("admission queued counter underflow");
+        }
+    }
+}
+
 /// An admitted slot; dropping it releases the slot and wakes waiters.
 pub struct Permit<'a> {
     gate: &'a Gate,
@@ -222,9 +281,14 @@ impl fmt::Debug for Permit<'_> {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         let mut st = self.gate.lock();
-        st.inflight -= 1;
+        st.inflight = st
+            .inflight
+            .checked_sub(1)
+            .expect("admission inflight counter underflow");
         if let Some(n) = st.per_tenant.get_mut(&self.tenant) {
-            *n -= 1;
+            *n = n
+                .checked_sub(1)
+                .expect("admission per-tenant counter underflow");
             if *n == 0 {
                 st.per_tenant.remove(&self.tenant);
             }
@@ -309,6 +373,66 @@ mod tests {
             g.acquire("c", Duration::from_millis(5)),
             Err(AdmissionError::Closed)
         ));
+    }
+
+    #[test]
+    fn counters_never_underflow_and_drain_to_zero_under_contention() {
+        // Deterministically-shaped multithreaded stress over a small
+        // gate: eight threads across three tenants, with per-iteration
+        // waits chosen to force every exit path (admitted, timeout,
+        // tenant-saturated, queue-full). The `checked_sub` invariants
+        // inside `QueuedSlot` and `Permit` panic on any underflow —
+        // which `scope` propagates — and afterwards every counter must
+        // drain to exactly zero.
+        let g = gate(3, 2, 2);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let g = &g;
+                s.spawn(move || {
+                    let tenant = ["a", "b", "c"][t % 3];
+                    for i in 0..50usize {
+                        let wait = Duration::from_micros(((t * 31 + i * 7) % 500) as u64);
+                        if let Ok(_permit) = g.acquire(tenant, wait) {
+                            if (t + i) % 3 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(g.inflight(), 0, "inflight must drain to 0");
+        assert_eq!(g.queued(), 0, "queued must drain to 0");
+        assert!(
+            g.lock().per_tenant.is_empty(),
+            "per-tenant counts must drain with their permits"
+        );
+    }
+
+    #[test]
+    fn close_mid_stress_releases_every_queued_slot() {
+        // Waiters evicted by `close` take the QueuedSlot drop path; the
+        // queue counter must still drain to zero.
+        let g = gate(1, 1, 8);
+        let p = g.acquire("holder", Duration::from_millis(5)).unwrap();
+        std::thread::scope(|s| {
+            let waiters: Vec<_> = (0..4)
+                .map(|i| {
+                    let g = &g;
+                    s.spawn(move || g.acquire(&format!("w{i}"), Duration::from_millis(500)))
+                })
+                .collect();
+            while g.queued() < 4 {
+                std::thread::yield_now();
+            }
+            g.close();
+            for w in waiters {
+                assert!(matches!(w.join().unwrap(), Err(AdmissionError::Closed)));
+            }
+        });
+        drop(p);
+        assert_eq!(g.queued(), 0, "closed waiters must release their slots");
+        assert_eq!(g.inflight(), 0);
     }
 
     #[test]

@@ -66,7 +66,14 @@ impl Backoff {
             .saturating_mul(u64::from(self.policy.factor).saturating_pow(self.attempt))
             .min(self.policy.max_micros);
         self.attempt = self.attempt.saturating_add(1);
-        let jittered = self.rng.below(window as usize + 1) as u64;
+        // `below` takes a usize: clamp the window before casting (a
+        // `window as usize` would silently wrap on 32-bit targets) and
+        // saturate the +1 so a `max_micros` of `usize::MAX` cannot
+        // overflow the bound to 0.
+        let bound = usize::try_from(window)
+            .unwrap_or(usize::MAX)
+            .saturating_add(1);
+        let jittered = self.rng.below(bound) as u64;
         Duration::from_micros(jittered)
     }
 
@@ -113,6 +120,44 @@ mod tests {
                 "delay {i} = {d:?} exceeds window {window}µs"
             );
         }
+    }
+
+    #[test]
+    fn extreme_windows_do_not_overflow_the_jitter_bound() {
+        // `max_micros = u64::MAX` saturates the exponential window; the
+        // sampling bound must clamp to the usize range and saturate the
+        // +1 instead of wrapping to 0 (which would panic in `below`).
+        let mut b = Backoff::new(
+            BackoffPolicy {
+                base_micros: u64::MAX,
+                factor: u32::MAX,
+                max_micros: u64::MAX,
+            },
+            3,
+        );
+        for _ in 0..4 {
+            let _ = b.next_delay(); // must not panic
+        }
+        // Exactly usize::MAX as a window exercises the saturating +1.
+        let mut b = Backoff::new(
+            BackoffPolicy {
+                base_micros: usize::MAX as u64,
+                factor: 1,
+                max_micros: usize::MAX as u64,
+            },
+            3,
+        );
+        let _ = b.next_delay();
+        // A zero window must stay a guaranteed-zero delay.
+        let mut b = Backoff::new(
+            BackoffPolicy {
+                base_micros: 0,
+                factor: 2,
+                max_micros: 0,
+            },
+            9,
+        );
+        assert_eq!(b.next_delay(), Duration::ZERO);
     }
 
     #[test]

@@ -25,6 +25,8 @@ use std::time::Duration;
 use delprop_core::runtime::sync::{AtomicBool, AtomicU64, Ordering};
 use delprop_core::runtime::{now, EpochCell, Portfolio};
 use delprop_core::solvers::local_search::Objective;
+use delprop_core::DeltaBatch;
+use delprop_query::ViewTupleId;
 
 use crate::admission::{AdmissionConfig, Gate};
 use crate::engine::{self, ActiveRequests, EngineConfig, Served};
@@ -133,6 +135,10 @@ struct Shared {
     shutdown: AtomicBool,
     request_seq: AtomicU64,
     seed: u64,
+    /// Serializes snapshot→patch→publish sequences: two concurrent
+    /// `publish_delta` requests must not both fork the same epoch, or
+    /// the slower one would silently drop the faster one's ΔV.
+    publish_lock: Mutex<()>,
 }
 
 impl Shared {
@@ -178,6 +184,7 @@ impl Daemon {
             shutdown: AtomicBool::new(false),
             request_seq: AtomicU64::new(0),
             seed: cfg.seed,
+            publish_lock: Mutex::new(()),
         });
         let listener = Arc::new(listener);
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -229,6 +236,11 @@ impl Daemon {
     pub fn publish(&self, label: impl Into<String>, spec: &InstanceSpec) -> io::Result<u64> {
         let instance = ServingInstance::build(label, spec)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let _publish = self
+            .shared
+            .publish_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         stats::PUBLISHES.inc();
         Ok(self.shared.cell.publish(instance))
     }
@@ -308,6 +320,14 @@ fn handle_conn(shared: &Shared, mut stream: Box<dyn ConnStream>) {
     }
 }
 
+/// Wire `(view, index)` pairs as view-tuple ids.
+fn to_ids(pairs: &[(usize, usize)]) -> Vec<ViewTupleId> {
+    pairs
+        .iter()
+        .map(|&(view, index)| ViewTupleId::new(view, index))
+        .collect()
+}
+
 /// Dispatch one framed request.
 fn handle_request(shared: &Shared, payload: &[u8]) -> Response {
     stats::REQUESTS.inc();
@@ -341,6 +361,7 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Response {
         Ok(Request::Publish { label, spec }) => {
             match ServingInstance::build(label.clone(), &spec) {
                 Ok(instance) => {
+                    let _publish = shared.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
                     stats::PUBLISHES.inc();
                     let epoch = shared.cell.publish(instance);
                     Response::Published { epoch, label }
@@ -349,6 +370,46 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Response {
                     stats::REQUESTS_ERROR.inc();
                     Response::Error {
                         message: format!("publish failed: {e}"),
+                    }
+                }
+            }
+        }
+        Ok(Request::PublishDelta {
+            deletions,
+            restores,
+        }) => {
+            // Hold the publish lock across snapshot→patch→publish so
+            // concurrent delta publishes compose instead of forking
+            // the same epoch and losing one batch.
+            let _publish = shared.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let snap = shared.cell.snapshot();
+            let mut engine = snap.engine.clone();
+            let batch = DeltaBatch {
+                delete: to_ids(&deletions),
+                restore: to_ids(&restores),
+            };
+            match engine.apply(&batch) {
+                Ok(report) => {
+                    stats::PUBLISHES.inc();
+                    stats::DELTA_PUBLISHES.inc();
+                    let label = snap.label.clone();
+                    let epoch = shared.cell.publish(ServingInstance {
+                        label: label.clone(),
+                        engine,
+                    });
+                    Response::DeltaPublished {
+                        epoch,
+                        label,
+                        deleted: report.deleted as u64,
+                        restored: report.restored as u64,
+                        overdeleted: report.overdeleted as u64,
+                        rederived: report.rederived as u64,
+                    }
+                }
+                Err(e) => {
+                    stats::REQUESTS_ERROR.inc();
+                    Response::Error {
+                        message: format!("delta publish failed: {e}"),
                     }
                 }
             }

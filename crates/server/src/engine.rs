@@ -168,9 +168,13 @@ fn classify(e: &CoreError) -> ErrorClass {
         // Contained panics, structural/transient member errors, and
         // "nothing verified before the budget drained" are the shapes
         // injected faults take; all may clear on retry.
+        // A stale compiled instance means a mutation (or a racing
+        // publish) invalidated the IR a reader still held; the next
+        // attempt reads the fresh projection.
         CoreError::SolverPanicked { .. }
         | CoreError::StructureMismatch { .. }
         | CoreError::Infeasible { .. }
+        | CoreError::StaleCompiled { .. }
         | CoreError::BudgetExhausted { .. } => ErrorClass::Transient,
         // Cancellation means shutdown reached in; bad input stays bad.
         CoreError::Cancelled { .. }
@@ -219,22 +223,30 @@ pub fn serve_solve(
     let deadline = start + std::time::Duration::from_millis(deadline_ms);
 
     // Requests without extra ΔV solve the published instance directly
-    // and share its publish-time compiled IR; requests with extra ΔV
-    // clone and pay their own (budget-metered) compile.
+    // and share its publish-time projection; requests with extra ΔV
+    // fork a per-request problem through the epoch engine's delta
+    // path — an O(active) incremental projection over the shared
+    // static layer, never a full recompile.
     let owned: Problem;
     let problem: &Problem = if req.deletions.is_empty() {
-        &snapshot.problem
+        snapshot.engine.problem()
     } else {
-        let mut p = snapshot.problem.clone();
-        for &(view, index) in &req.deletions {
-            if let Err(e) = p.mark_deleted_id(ViewTupleId::new(view, index)) {
+        let extra: Vec<ViewTupleId> = req
+            .deletions
+            .iter()
+            .map(|&(view, index)| ViewTupleId::new(view, index))
+            .collect();
+        match snapshot.engine.with_delta(&extra) {
+            Ok(p) => {
+                owned = p;
+                &owned
+            }
+            Err(e) => {
                 return Served::Failed {
-                    message: format!("bad deletion ({view}, {index}): {e}"),
-                };
+                    message: format!("bad deletion: {e}"),
+                }
             }
         }
-        owned = p;
-        &owned
     };
 
     let objective = portfolio.objective();

@@ -1,14 +1,18 @@
 //! Declarative instance specifications and the epoch payload.
 //!
 //! A published epoch carries a [`ServingInstance`]: a label plus a
-//! fully built, **pre-compiled** [`Problem`]. Compiling at publish
-//! time means every request against the epoch hits the shared
-//! `CompiledInstance` cache through its `Arc` snapshot — the expensive
-//! materialized-view index is built once per epoch, not once per
-//! request (requests that add their own `ΔV` clone the problem and pay
-//! their own compile, which the budget meters).
+//! warm incremental [`Engine`]. Building the engine at publish time
+//! materializes the views, the witness-provenance index, and the
+//! ΔV-independent IR layer once per instance lineage; every request
+//! against the epoch reads the engine's installed projection through
+//! its `Arc` snapshot, and requests that add their own ΔV fork a
+//! per-request problem via [`Engine::with_delta`] — an `O(active)`
+//! projection over the shared static layer instead of a full
+//! recompile. Delta publishes (`publish_delta`) clone the engine,
+//! apply the batch incrementally, and publish the result as the next
+//! epoch, so an epoch step costs ΔV-proportional work, not a rebuild.
 
-use delprop_core::{CoreError, Problem};
+use delprop_core::{CoreError, Engine, Problem};
 use delprop_json::Json;
 use delprop_workload::figures;
 use delprop_workload::forest::{self, ForestParams};
@@ -71,9 +75,9 @@ impl Default for InstanceSpec {
 }
 
 impl InstanceSpec {
-    /// Build the problem and warm its compiled IR.
+    /// Build the problem (the IR warms when the engine is built).
     pub fn build(&self) -> Result<Problem, CoreError> {
-        let problem = match *self {
+        Ok(match *self {
             InstanceSpec::Forest {
                 levels,
                 window,
@@ -113,10 +117,7 @@ impl InstanceSpec {
                 seed,
             ),
             InstanceSpec::Fig1 => figures::fig1_problem(),
-        };
-        // Publish-time compile: every epoch reader shares this index.
-        let _ = problem.compiled();
-        Ok(problem)
+        })
     }
 
     /// Render to the wire JSON document.
@@ -211,23 +212,29 @@ impl InstanceSpec {
     }
 }
 
-/// One epoch's payload: a label plus the pre-compiled problem, shared
+/// One epoch's payload: a label plus a warm incremental engine, shared
 /// by every request that snapshots the epoch.
 #[derive(Debug)]
 pub struct ServingInstance {
     /// Human-readable label reported by `health`/`epoch`.
     pub label: String,
-    /// The instance, compiled at publish time.
-    pub problem: Problem,
+    /// The incremental engine: instance, provenance index, and the
+    /// installed projection, warm at publish time.
+    pub engine: Engine,
 }
 
 impl ServingInstance {
-    /// Build from a spec.
+    /// Build from a spec, warming the engine's projection.
     pub fn build(label: impl Into<String>, spec: &InstanceSpec) -> Result<Self, CoreError> {
         Ok(ServingInstance {
             label: label.into(),
-            problem: spec.build()?,
+            engine: Engine::new(spec.build()?)?,
         })
+    }
+
+    /// The served problem (current ΔV, warm compiled IR).
+    pub fn problem(&self) -> &Problem {
+        self.engine.problem()
     }
 }
 

@@ -29,6 +29,8 @@ pub static DEGRADED: Counter = Counter::new("serve.degraded");
 pub static FALLBACKS: Counter = Counter::new("serve.fallbacks");
 /// Epochs published.
 pub static PUBLISHES: Counter = Counter::new("serve.publishes");
+/// Epochs published through the incremental delta path.
+pub static DELTA_PUBLISHES: Counter = Counter::new("serve.delta_publishes");
 /// Requests shed because a tenant hit its concurrency limit.
 pub static SHED_TENANT: Counter = Counter::new("serve.shed.tenant");
 /// Requests shed because the wait queue was full.
@@ -43,7 +45,7 @@ pub static QUEUE_WAIT_MICROS: Histogram = Histogram::new("serve.queue_wait_micro
 
 /// The serving counters.
 pub fn counters() -> &'static [&'static Counter] {
-    static REGISTRY: [&Counter; 13] = [
+    static REGISTRY: [&Counter; 14] = [
         &CONNECTIONS,
         &REQUESTS,
         &REQUESTS_OK,
@@ -54,6 +56,7 @@ pub fn counters() -> &'static [&'static Counter] {
         &DEGRADED,
         &FALLBACKS,
         &PUBLISHES,
+        &DELTA_PUBLISHES,
         &SHED_TENANT,
         &SHED_QUEUE,
         &SHED_TIMEOUT,

@@ -164,6 +164,17 @@ pub enum Request {
         /// How to build the instance.
         spec: InstanceSpec,
     },
+    /// Patch the current epoch's ΔV incrementally and publish the
+    /// result as the next epoch: the daemon forks the epoch's engine,
+    /// applies the batch (overdelete → rederive), and publishes —
+    /// ΔV-proportional work instead of an instance rebuild. In-flight
+    /// solves keep their snapshot.
+    PublishDelta {
+        /// View tuples entering ΔV, as `(view, index)` pairs.
+        deletions: Vec<(usize, usize)>,
+        /// View tuples leaving ΔV, as `(view, index)` pairs.
+        restores: Vec<(usize, usize)>,
+    },
     /// Liveness + epoch + inflight gauge. Bypasses admission.
     Health,
     /// Merged metrics registry dump. Bypasses admission.
@@ -214,6 +225,14 @@ impl Request {
                 ("label", Json::str(label.clone())),
                 ("spec", spec.to_json()),
             ]),
+            Request::PublishDelta {
+                deletions,
+                restores,
+            } => Json::obj(vec![
+                ("op", Json::str("publish_delta")),
+                ("deletions", pairs_json(deletions)),
+                ("restores", pairs_json(restores)),
+            ]),
             Request::Health => Json::obj(vec![("op", Json::str("health"))]),
             Request::Stats => Json::obj(vec![("op", Json::str("stats"))]),
             Request::Epoch => Json::obj(vec![("op", Json::str("epoch"))]),
@@ -229,19 +248,7 @@ impl Request {
                     tenant: get_str(j, "tenant").unwrap_or("default").to_string(),
                     ..SolveRequest::default()
                 };
-                if let Some(arr) = j.get("deletions").and_then(Json::as_arr) {
-                    for d in arr {
-                        let pair = d
-                            .as_arr()
-                            .ok_or("`deletions` entries must be [view, index]")?;
-                        if pair.len() != 2 {
-                            return Err("`deletions` entries must be [view, index]".to_string());
-                        }
-                        let v = pair[0].as_num().ok_or("non-numeric view in `deletions`")?;
-                        let i = pair[1].as_num().ok_or("non-numeric index in `deletions`")?;
-                        req.deletions.push((v as usize, i as usize));
-                    }
-                }
+                req.deletions = parse_pairs(j, "deletions")?;
                 if let Some(o) = get_str(j, "objective") {
                     req.objective = parse_objective(o)?;
                 }
@@ -258,6 +265,10 @@ impl Request {
                     spec: InstanceSpec::from_json(spec)?,
                 })
             }
+            "publish_delta" => Ok(Request::PublishDelta {
+                deletions: parse_pairs(j, "deletions")?,
+                restores: parse_pairs(j, "restores")?,
+            }),
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "epoch" => Ok(Request::Epoch),
@@ -361,6 +372,22 @@ pub enum Response {
         /// Its label.
         label: String,
     },
+    /// A delta publish landed, with its maintenance accounting.
+    DeltaPublished {
+        /// The new epoch.
+        epoch: u64,
+        /// Its label (inherited from the patched epoch).
+        label: String,
+        /// Deletions applied (requested minus no-ops).
+        deleted: u64,
+        /// Restores applied (requested minus no-ops).
+        restored: u64,
+        /// Preserved view tuples that became vulnerable through the
+        /// overdeletion closure.
+        overdeleted: u64,
+        /// View tuples whose vulnerable status was rederived.
+        rederived: u64,
+    },
 }
 
 impl Response {
@@ -428,6 +455,22 @@ impl Response {
                 ("epoch", Json::uint(*epoch)),
                 ("label", Json::str(label.clone())),
             ]),
+            Response::DeltaPublished {
+                epoch,
+                label,
+                deleted,
+                restored,
+                overdeleted,
+                rederived,
+            } => Json::obj(vec![
+                ("status", Json::str("delta_published")),
+                ("epoch", Json::uint(*epoch)),
+                ("label", Json::str(label.clone())),
+                ("deleted", Json::uint(*deleted)),
+                ("restored", Json::uint(*restored)),
+                ("overdeleted", Json::uint(*overdeleted)),
+                ("rederived", Json::uint(*rederived)),
+            ]),
         }
     }
 
@@ -494,6 +537,14 @@ impl Response {
                 epoch: need_u64(j, "epoch")?,
                 label: get_str(j, "label").unwrap_or_default().to_string(),
             }),
+            "delta_published" => Ok(Response::DeltaPublished {
+                epoch: need_u64(j, "epoch")?,
+                label: get_str(j, "label").unwrap_or_default().to_string(),
+                deleted: need_u64(j, "deleted")?,
+                restored: need_u64(j, "restored")?,
+                overdeleted: need_u64(j, "overdeleted")?,
+                rederived: need_u64(j, "rederived")?,
+            }),
             other => Err(format!("unknown status `{other}`")),
         }
     }
@@ -546,6 +597,37 @@ impl ConnStream for std::os::unix::net::UnixStream {
 // -------------------------------------------------------------------
 // JSON field helpers
 // -------------------------------------------------------------------
+
+/// Render `(a, b)` pairs as the wire's `[[a, b], ...]` array.
+fn pairs_json(pairs: &[(usize, usize)]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|&(a, b)| Json::Arr(vec![Json::uint(a as u64), Json::uint(b as u64)]))
+            .collect(),
+    )
+}
+
+/// Parse an optional `[[a, b], ...]` array field (absent ⇒ empty).
+fn parse_pairs(j: &Json, key: &str) -> Result<Vec<(usize, usize)>, String> {
+    let mut out = Vec::new();
+    if let Some(arr) = j.get(key).and_then(Json::as_arr) {
+        for d in arr {
+            let pair = d
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("`{key}` entries must be [view, index]"))?;
+            let v = pair[0]
+                .as_num()
+                .ok_or_else(|| format!("non-numeric view in `{key}`"))?;
+            let i = pair[1]
+                .as_num()
+                .ok_or_else(|| format!("non-numeric index in `{key}`"))?;
+            out.push((v as usize, i as usize));
+        }
+    }
+    Ok(out)
+}
 
 fn get_str<'a>(j: &'a Json, key: &str) -> Option<&'a str> {
     match j.get(key) {
@@ -654,6 +736,14 @@ mod tests {
                 label: "fig1".to_string(),
                 spec: InstanceSpec::Fig1,
             },
+            Request::PublishDelta {
+                deletions: vec![(0, 2), (1, 5)],
+                restores: vec![(0, 9)],
+            },
+            Request::PublishDelta {
+                deletions: Vec::new(),
+                restores: Vec::new(),
+            },
             Request::Health,
             Request::Stats,
             Request::Epoch,
@@ -705,6 +795,14 @@ mod tests {
                 epoch: 8,
                 label: "random-3".to_string(),
             },
+            Response::DeltaPublished {
+                epoch: 9,
+                label: "random-3".to_string(),
+                deleted: 4,
+                restored: 1,
+                overdeleted: 11,
+                rederived: 2,
+            },
         ];
         for resp in resps {
             let bytes = resp.to_bytes();
@@ -718,6 +816,7 @@ mod tests {
         assert!(Request::from_bytes(br#"{"op":"launch_missiles"}"#).is_err());
         assert!(Request::from_bytes(br#"{"noop":true}"#).is_err());
         assert!(Request::from_bytes(br#"{"op":"solve","deletions":[[1]]}"#).is_err());
+        assert!(Request::from_bytes(br#"{"op":"publish_delta","restores":[[1,"x"]]}"#).is_err());
         assert!(Request::from_bytes(&[0xff, 0xfe]).is_err());
     }
 }

@@ -193,6 +193,12 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
         && rel != "crates/core/src/runtime/fault.rs"
         && !rel.starts_with("tests/")
         && !rel.contains("/tests/");
+    // The serving daemon must read compiled IRs through the epoch
+    // engine's installed projections (`Engine::problem()` /
+    // `Engine::with_delta`), never trigger its own compiles: a direct
+    // `Problem::compiled()` on a cloned problem silently rebuilds the
+    // whole index per request, defeating incremental maintenance.
+    let compiled_scope = rel.starts_with("crates/server/src/");
     let hash_scope = rel.starts_with("crates/core/src/solvers/")
         || rel.starts_with("crates/core/src/ir/")
         || rel == "crates/core/src/classify.rs"
@@ -270,6 +276,23 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
                 message: "`HashSet`/`HashMap` in a dense solver hot path: use a packed \
                           `BitSet`/`BitMatrix` row or flat counters over the compiled ids, \
                           or justify with `// lint:allow(hash): <reason>`"
+                    .to_string(),
+            });
+        }
+
+        if compiled_scope
+            && !in_test[i]
+            && (stripped.contains(".compiled()") || stripped.contains(".compiled_arc("))
+            && !allowed(&raw, i, "compiled")
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "no-direct-compile-in-server",
+                message: "direct `Problem::compiled()` in the serving daemon: read the IR \
+                          through the epoch engine (`Engine::problem()` / `with_delta`) so \
+                          requests share incremental projections, or justify with \
+                          `// lint:allow(compiled): <reason>`"
                     .to_string(),
             });
         }
@@ -597,6 +620,32 @@ mod tests {
         assert!(scan("crates/bench/src/main.rs", src).is_empty());
         let in_string = "let s = \"Instant::now\";\n";
         assert!(scan("crates/core/src/ir/mod.rs", in_string).is_empty());
+    }
+
+    #[test]
+    fn direct_compiles_flagged_in_server_product_code_only() {
+        let call = "let ir = problem.compiled();\n";
+        assert_eq!(
+            scan("crates/server/src/state.rs", call),
+            ["1:no-direct-compile-in-server"]
+        );
+        let arc = "let ir = problem.compiled_arc();\n";
+        assert_eq!(
+            scan("crates/server/src/engine.rs", arc),
+            ["1:no-direct-compile-in-server"]
+        );
+        // Core, tests, and `#[cfg(test)]` items are exempt.
+        assert!(scan("crates/core/src/problem.rs", call).is_empty());
+        assert!(scan("crates/server/tests/serve.rs", call).is_empty());
+        let in_test = "#[cfg(test)]\n\
+                       mod tests {\n\
+                           fn g() { let _ = p.compiled(); }\n\
+                       }\n";
+        assert!(scan("crates/server/src/state.rs", in_test).is_empty());
+        // A justified allow marker is honored.
+        let justified = "// lint:allow(compiled): warm-up outside any request path\n\
+                         let _ = problem.compiled();\n";
+        assert!(scan("crates/server/src/state.rs", justified).is_empty());
     }
 
     #[test]
