@@ -48,6 +48,7 @@ const GATED: &[&str] = &[
     "BENCH_serve.json",
     "BENCH_kernels.json",
     "BENCH_incr.json",
+    "BENCH_shard.json",
 ];
 
 const SKIP: &[&str] = &[

@@ -1,0 +1,197 @@
+//! Out-of-core scale proof (`CI scale-1M`): stream a DPF1 flat instance
+//! with ≥ 10⁶ incidence rows to disk, map it back, union-find the
+//! components, and solve every component through the same deterministic
+//! chain the sharded portfolio runs — all without ever materializing
+//! the whole instance in resident memory. The peak RSS (VmHWM from
+//! `/proc/self/status`) is asserted against a ceiling, so a regression
+//! that buffers the instance (or leaks per-component IRs) fails the
+//! nightly job even when wall clock looks fine.
+//!
+//! Knobs (env):
+//! - `SCALE_TUPLES`   — total incidence rows to generate (default 1 000 000)
+//! - `SCALE_RSS_MB`   — VmHWM ceiling in MiB (default 1536)
+//! - `SCALE_KEEP`     — set to keep the generated flat file
+
+use delprop_core::ir::CompiledInstance;
+use delprop_core::runtime::Budget;
+use delprop_core::shard::{solve_component, UnionFind};
+use delprop_core::solvers::local_search::Objective;
+use delprop_relation::{RelationId, TupleId};
+use delprop_workload::flat::{self, FlatReader};
+use std::time::Instant;
+
+/// Read a `VmRSS`/`VmHWM`-style line of `/proc/self/status`, in KiB.
+/// Returns 0 when the field (or the file) is unavailable, so the
+/// assertion degrades to a no-op off Linux instead of a false failure.
+fn proc_status_kib(field: &str) -> u64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            if let Some(kib) = rest.split_whitespace().next() {
+                return kib.parse().unwrap_or(0);
+            }
+        }
+    }
+    0
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let total_rows = env_usize("SCALE_TUPLES", 1_000_000);
+    let rss_ceiling_mib = env_usize("SCALE_RSS_MB", 1536) as u64;
+
+    // Component sizing: fixed-size components so the total solve time
+    // scales linearly with the row count (the per-component chain is
+    // superlinear in component size — the scale axis here is *how many*
+    // independent subproblems stream through, not how hard each one
+    // is). Every row references `ROW_LEN` bases from its own component.
+    const ROW_LEN: usize = 3;
+    const ROWS_PER_COMPONENT: usize = 128;
+    let components = total_rows.div_ceil(ROWS_PER_COMPONENT);
+    let rows_per = ROWS_PER_COMPONENT;
+    let demands_per = rows_per / 4;
+    let vulnerable_per = rows_per - demands_per;
+    let bases_per = rows_per.max(ROW_LEN + 1);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("delprop-scale1m-{}.dpf1", std::process::id()));
+
+    let t = Instant::now();
+    let num_bases = flat::write_disjoint(
+        &path,
+        components,
+        bases_per,
+        demands_per,
+        vulnerable_per,
+        ROW_LEN,
+        7,
+    )
+    .expect("streaming the flat instance must succeed");
+    let write_secs = t.elapsed().as_secs_f64();
+    let file_mib =
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) as f64 / (1024.0 * 1024.0);
+
+    let t = Instant::now();
+    let reader = FlatReader::open(&path).expect("flat instance must map back");
+    let rows = reader.num_demands() + reader.num_vulnerable();
+    assert_eq!(reader.num_bases() as u64, num_bases);
+    assert!(
+        rows >= total_rows,
+        "generated {rows} rows, wanted >= {total_rows}"
+    );
+
+    // Pass 1: union-find the base ids row by row, remembering each
+    // row's byte offset so pass 2 can jump straight back to it.
+    let mut uf = UnionFind::new(reader.num_bases());
+    let mut offsets: Vec<u64> = Vec::with_capacity(rows);
+    for row in reader.rows() {
+        offsets.push(row.offset as u64);
+        let first = row.id(0) as u32;
+        for id in row.iter().skip(1) {
+            uf.union(first, id as u32);
+        }
+    }
+    // Dense component ids keyed by each row's first base.
+    let mut comp_of_root: Vec<u32> = vec![u32::MAX; reader.num_bases()];
+    let mut row_comp: Vec<u32> = Vec::with_capacity(rows);
+    let mut num_components = 0u32;
+    for &off in &offsets {
+        let root = uf.find(reader.row_at(off as usize).id(0) as u32) as usize;
+        if comp_of_root[root] == u32::MAX {
+            comp_of_root[root] = num_components;
+            num_components += 1;
+        }
+        row_comp.push(comp_of_root[root]);
+    }
+    let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); num_components as usize];
+    for (i, &c) in row_comp.iter().enumerate() {
+        rows_of[c as usize].push(i as u32);
+    }
+    let partition_secs = t.elapsed().as_secs_f64();
+
+    // Pass 2: synthesize + solve one component at a time. Peak RSS is
+    // bounded by the largest single component, not the instance.
+    let t = Instant::now();
+    let budget = Budget::unlimited();
+    let mut total_cost = 0.0;
+    let mut degraded = 0usize;
+    let mut solved = 0usize;
+    for rows in &rows_of {
+        let mut demands: Vec<(f64, Vec<TupleId>)> = Vec::new();
+        let mut vulnerable: Vec<(f64, Vec<TupleId>)> = Vec::new();
+        for &i in rows {
+            let row = reader.row_at(offsets[i as usize] as usize);
+            let ids: Vec<TupleId> = row
+                .iter()
+                .map(|id| TupleId::new(RelationId(0), id as usize))
+                .collect();
+            if row.vulnerable {
+                vulnerable.push((row.weight, ids));
+            } else {
+                demands.push((1.0, ids));
+            }
+        }
+        let ir = CompiledInstance::synthesize(&demands, &vulnerable);
+        let out = solve_component(&ir, Objective::Standard, &budget)
+            .expect("component chain must not fail under an unlimited budget");
+        assert!(
+            ir.is_feasible_bits(&ir.base_bits(&out.solution)),
+            "per-component solution must eliminate every demand"
+        );
+        total_cost += out.cost;
+        degraded += out.degraded as usize;
+        solved += 1;
+    }
+    let solve_secs = t.elapsed().as_secs_f64();
+
+    let rss_kib = proc_status_kib("VmRSS");
+    let hwm_kib = proc_status_kib("VmHWM");
+    if std::env::var("SCALE_KEEP").is_err() {
+        let _ = std::fs::remove_file(&path);
+    }
+
+    println!("scale-1M: out-of-core component solve over a DPF1 flat instance");
+    println!(
+        "  rows          : {rows} ({} demands)",
+        reader.num_demands()
+    );
+    println!("  bases         : {num_bases}");
+    println!("  file          : {file_mib:.1} MiB (write {write_secs:.2}s)");
+    println!("  components    : {num_components} (partition {partition_secs:.2}s)");
+    println!(
+        "  solved        : {solved} ({degraded} degraded), cost {total_cost:.1}, {solve_secs:.2}s"
+    );
+    println!(
+        "  VmRSS / VmHWM : {:.1} / {:.1} MiB (ceiling {rss_ceiling_mib} MiB)",
+        rss_kib as f64 / 1024.0,
+        hwm_kib as f64 / 1024.0,
+    );
+
+    assert_eq!(
+        num_components as usize, components,
+        "value-disjoint generation must union-find back into its components"
+    );
+    assert_eq!(solved, components);
+    assert_eq!(
+        degraded, 0,
+        "unlimited budget must not degrade any component"
+    );
+    if hwm_kib > 0 {
+        assert!(
+            hwm_kib <= rss_ceiling_mib * 1024,
+            "peak RSS {:.1} MiB exceeds the {} MiB ceiling",
+            hwm_kib as f64 / 1024.0,
+            rss_ceiling_mib
+        );
+    }
+    println!("scale-1M OK");
+}

@@ -793,7 +793,10 @@ pub fn ex_incr() -> String {
         let cold_out = primal_dual::solve(cold.compiled(), &Default::default()).unwrap();
         let final_cost = cold.compiled().side_effect_of(&cold_out.solution);
         assert_eq!(
-            engine.compiled().side_effect_of(&warm_out.solution).to_bits(),
+            engine
+                .compiled()
+                .side_effect_of(&warm_out.solution)
+                .to_bits(),
             final_cost.to_bits(),
             "warm/cold solver costs diverged ({chains} chains)"
         );
@@ -1660,6 +1663,151 @@ pub fn ex_par() -> String {
     )
 }
 
+/// EX-SHARD — the sharded portfolio vs whole-instance racing on
+/// value-disjoint multi-component forest instances (DESIGN.md §15).
+/// `solve_sharded` partitions the compiled incidence index into
+/// connected components and solves each component's deterministic chain
+/// through the work-stealing scheduler; on a `k`-copy instance the
+/// packed witness masks shrink from `‖ΔV‖×‖𝒞‖/64` words to
+/// `Σ_c ‖ΔV_c‖×‖𝒞_c‖/64 ≈ 1/k` of that, so the win is algorithmic and
+/// survives single-core CI boxes. Gate (scale 1 only): per-copy-count
+/// speedup ≥ max(2, k/2), and the merged certified cost must match the
+/// unsharded deterministic chain on the full instance to 1e-9. Raw rows
+/// land in `artifacts/BENCH_shard.json` (`shard_speedup` is
+/// LowerIsWorse-gated against `baselines/`; racing columns stay
+/// display-only — the racing portfolio is a scheduler lottery).
+pub fn ex_shard() -> String {
+    use delprop_core::runtime::{Budget, Portfolio};
+    use delprop_core::shard;
+    use delprop_core::solvers::local_search::Objective;
+
+    const REPS: usize = 9;
+    let chain = Portfolio::standard();
+    let k_scale = scale();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut log_speedups = Vec::new();
+    let mut gate_fail: Option<String> = None;
+    for copies in [2usize, 4, 8] {
+        let p = forest::generate_disjoint(
+            forest::ForestParams {
+                levels: 4,
+                window: 2,
+                chains: 96 * k_scale,
+                delete_fraction: 0.2,
+                weighted: false,
+            },
+            copies,
+            7,
+        );
+        // Warm the IR cache so neither path pays the one-off compile.
+        let ir = p.compiled_arc();
+        // The unsharded deterministic chain on the full instance is the
+        // cost reference: same member order as each shard runs, so the
+        // merged sharded cost must reproduce it exactly (the racing
+        // winner may legitimately differ — any certified member can win
+        // the race).
+        let reference = shard::solve_component(&ir, Objective::Standard, &Budget::unlimited())
+            .expect("reference chain must solve the full instance");
+        let components = shard::partition(&ir).shards.len();
+        assert!(components >= copies, "copies must stay value-disjoint");
+
+        let mut sharded_secs = f64::INFINITY;
+        let mut sharded_cost = 0.0;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let out = chain.solve_sharded(&p, &Budget::unlimited()).unwrap();
+            sharded_secs = sharded_secs.min(t.elapsed().as_secs_f64());
+            assert!(out.solution.is_feasible(&p));
+            sharded_cost = out.cost;
+        }
+        assert!(
+            (sharded_cost - reference.cost).abs() <= 1e-9 * (1.0 + reference.cost.abs()),
+            "sharded cost {sharded_cost} must match the unsharded chain {}",
+            reference.cost
+        );
+
+        let mut racing_secs = f64::INFINITY;
+        let mut racing_cost = 0.0;
+        let mut winner = "";
+        for _ in 0..REPS {
+            let t = Instant::now();
+            let out = chain.solve_racing(&p, &Budget::unlimited()).unwrap();
+            racing_secs = racing_secs.min(t.elapsed().as_secs_f64());
+            assert!(out.solution.is_feasible(&p));
+            racing_cost = out.cost;
+            winner = out.winner;
+        }
+        assert!(
+            sharded_cost <= racing_cost + 1e-9,
+            "sharding must never certify a worse cost than racing \
+             ({sharded_cost} vs {racing_cost})"
+        );
+
+        let speedup = racing_secs / sharded_secs.max(1e-9);
+        log_speedups.push(speedup.max(1e-9).ln());
+        let floor = (copies as f64 / 2.0).max(2.0);
+        if k_scale == 1 && speedup < floor && gate_fail.is_none() {
+            gate_fail = Some(format!(
+                "sharded solve must beat racing by >= {floor:.1}x on the \
+                 {copies}-copy instance (measured {speedup:.2}x)"
+            ));
+        }
+        rows.push(vec![
+            copies.to_string(),
+            components.to_string(),
+            p.norm_v().to_string(),
+            format!("{:.3} ms", racing_secs * 1e3),
+            format!("{:.3} ms", sharded_secs * 1e3),
+            format!("{speedup:.2}x"),
+            format!(">={floor:.0}x"),
+            format!("{sharded_cost:.1}"),
+        ]);
+        json_rows.push(Json::obj(vec![
+            ("copies", Json::uint(copies as u64)),
+            ("components", Json::uint(components as u64)),
+            ("norm_v", Json::uint(p.norm_v() as u64)),
+            ("norm_delta", Json::uint(p.norm_delta() as u64)),
+            ("sharded_micros", Json::rounded(sharded_secs * 1e6, 1)),
+            ("racing_micros", Json::rounded(racing_secs * 1e6, 1)),
+            ("shard_speedup", Json::rounded(speedup, 3)),
+            ("sharded_cost", Json::Num(sharded_cost)),
+            ("racing_cost", Json::Num(racing_cost)),
+            ("winner", Json::str(winner)),
+            ("reps", Json::uint(REPS as u64)),
+        ]));
+    }
+    if let Some(fail) = gate_fail {
+        panic!("{fail}");
+    }
+    let geomean = (log_speedups.iter().sum::<f64>() / log_speedups.len() as f64).exp();
+    let geomean_note = if k_scale == 1 {
+        format!("geomean speedup vs racing: {geomean:.1}x (per-row gate: >= max(2, k/2))")
+    } else {
+        format!("scale factor {k_scale}: exploratory sweep, geomean {geomean:.1}x ungated")
+    };
+    let written = json::write_artifact("artifacts/BENCH_shard.json", &Json::Arr(json_rows))
+        .unwrap_or_else(|e| format!("(not written: {e})"));
+    format!(
+        "EX-SHARD: component-sharded portfolio vs whole-instance racing\n         \
+         (min of {REPS} reps each; merged cost checked against the unsharded\n         \
+         deterministic chain; {geomean_note}; raw JSON: {written})\n\n{}",
+        table(
+            &[
+                "copies",
+                "shards",
+                "\u{2016}V\u{2016}",
+                "racing",
+                "sharded",
+                "speedup",
+                "gate",
+                "cost"
+            ],
+            &rows
+        )
+    )
+}
+
 /// EX-OBS — tracing overhead: the EX-P1 forest sweep solved with no
 /// sink, the no-op sink, and the ring-buffer sink. The <3% overhead
 /// claim of DESIGN.md §10 is asserted here; raw measurements land in
@@ -1992,15 +2140,18 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ex-bal", ex_bal),
         ("ex-port", ex_port),
         ("ex-par", ex_par),
+        ("ex-shard", ex_shard),
         ("ex-obs", ex_obs),
         ("ex-serve", ex_serve),
     ]
 }
 
-/// The experiments the CI bench gate runs (`harness --smoke`): the five
+/// The experiments the CI bench gate runs (`harness --smoke`): the six
 /// whose artifacts are diffed against `baselines/`.
 pub fn smoke_ids() -> &'static [&'static str] {
-    &["ex-par", "ex-obs", "ex-serve", "ex-kern", "ex-incr"]
+    &[
+        "ex-par", "ex-obs", "ex-serve", "ex-kern", "ex-incr", "ex-shard",
+    ]
 }
 
 #[cfg(test)]

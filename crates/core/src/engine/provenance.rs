@@ -93,6 +93,7 @@ impl ProvenanceIndex {
 
     /// View layout indices whose witness path contains `uid`, ascending.
     pub(crate) fn occ_row(&self, uid: u32) -> &[u32] {
-        &self.occ[self.occ_offsets[uid as usize] as usize..self.occ_offsets[uid as usize + 1] as usize]
+        &self.occ
+            [self.occ_offsets[uid as usize] as usize..self.occ_offsets[uid as usize + 1] as usize]
     }
 }

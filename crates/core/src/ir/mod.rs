@@ -89,7 +89,7 @@ impl PivotData {
 /// and the query-dual forest flag. None of it mentions the deletion set,
 /// so a long-lived [`crate::engine::Engine`] builds it **once** and every
 /// incremental projection shares it by `Arc`; only the `O(active)` parts
-/// ([`ActiveParts`]) are rebuilt per ΔV batch.
+/// (`ActiveParts`) are rebuilt per ΔV batch.
 #[derive(Debug)]
 pub struct StaticLayer {
     /// Every view tuple id, ascending (view-major materialization order).
@@ -319,7 +319,7 @@ impl CompiledInstance {
     /// Compile `problem` into the flat IR: build a fresh [`StaticLayer`]
     /// (one pass over the views plus one data-dual-graph construction)
     /// and assemble the active subproblem onto it. The incremental
-    /// engine takes the same [`CompiledInstance::assemble`] path with a
+    /// engine takes the same `CompiledInstance::assemble` path with a
     /// *shared* layer, so warm projections are byte-identical to cold
     /// compiles of the same problem state by construction.
     pub fn compile(problem: &Problem) -> CompiledInstance {
@@ -458,6 +458,83 @@ impl CompiledInstance {
             demand_order,
             generation,
         }
+    }
+
+    /// The shared ΔV-independent layer, for re-projection onto a
+    /// component subset (the shard partitioner assembles per-component
+    /// instances over the *same* layer: no tuple copying).
+    pub(crate) fn statics_arc(&self) -> Arc<StaticLayer> {
+        Arc::clone(&self.statics)
+    }
+
+    /// Assemble a standalone instance from raw witness structure — no
+    /// `Problem`, no database. The out-of-core path uses this to lift
+    /// per-component slices of a flat on-disk instance into small,
+    /// solver-ready IRs without ever materializing the full instance
+    /// (whose dense packed rows would be quadratic in the component
+    /// count).
+    ///
+    /// `demands` / `vulnerable` are `(weight, witness set)` pairs; view
+    /// tuples are laid out demands-first in a single synthetic view.
+    /// Candidates are the demand witnesses, exactly as in a real
+    /// compile; vulnerable witness sets may contain non-candidates
+    /// (they count toward `k_s` but not toward the packed rows). Every
+    /// demand must have at least one witness.
+    pub fn synthesize(
+        demands: &[(f64, Vec<TupleId>)],
+        vulnerable: &[(f64, Vec<TupleId>)],
+    ) -> CompiledInstance {
+        let nd = demands.len();
+        let n = nd + vulnerable.len();
+        let view_tuples: Vec<ViewTupleId> = (0..n).map(|i| ViewTupleId::new(0, i)).collect();
+        let mut all_weights: Vec<f64> = Vec::with_capacity(n);
+        let mut paths: Vec<TupleId> = Vec::new();
+        let mut path_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        path_offsets.push(0);
+        let mut max_path = 1usize;
+        for (w, ws) in demands.iter().chain(vulnerable.iter()) {
+            let mut ws = ws.clone();
+            ws.sort_unstable();
+            ws.dedup();
+            max_path = max_path.max(ws.len());
+            all_weights.push(*w);
+            paths.extend_from_slice(&ws);
+            path_offsets.push(paths.len() as u32);
+        }
+        let mut bases: Vec<TupleId> = Vec::new();
+        for (i, (_, ws)) in demands.iter().enumerate() {
+            assert!(
+                !ws.is_empty(),
+                "synthesize: demand {i} has an empty witness set"
+            );
+            bases.extend_from_slice(ws);
+        }
+        bases.sort_unstable();
+        bases.dedup();
+
+        let statics = StaticLayer {
+            view_tuples,
+            all_weights,
+            path_offsets,
+            paths,
+            top_depth: None,
+            pivot: None,
+            forest_case: false,
+            l: max_path,
+            num_queries: 1,
+            norm_v: n,
+        };
+        let mut deleted = vec![false; n];
+        for d in deleted.iter_mut().take(nd) {
+            *d = true;
+        }
+        let parts = ActiveParts {
+            bases,
+            demands: (0..nd).map(|i| ViewTupleId::new(0, i)).collect(),
+            vulnerable: (nd..n).map(|i| ViewTupleId::new(0, i)).collect(),
+            deleted,
+        };
+        Self::assemble(Arc::new(statics), parts, 0)
     }
 
     // ---- interning ----
@@ -870,21 +947,22 @@ impl CompiledInstance {
 }
 
 /// FNV-1a 64-bit, fed with little-endian `u64`s — the zero-dependency
-/// structural hash behind [`CompiledInstance::shape_digest`].
-struct Fnv1a(u64);
+/// structural hash behind [`CompiledInstance::shape_digest`] and the
+/// shard partitioner's per-component digests.
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Fnv1a {
+    pub(crate) fn new() -> Fnv1a {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write_u64(&mut self, x: u64) {
+    pub(crate) fn write_u64(&mut self, x: u64) {
         for b in x.to_le_bytes() {
             self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -50,6 +50,7 @@ pub mod landscape;
 mod problem;
 pub mod reduction;
 pub mod runtime;
+pub mod shard;
 mod solution;
 pub mod solvers;
 #[cfg(test)]
@@ -64,4 +65,5 @@ pub use runtime::{
     solve_portfolio, solve_portfolio_balanced, solve_portfolio_racing, Budget, Guarantee, NoopSink,
     Portfolio, PortfolioOutcome, RingBufferSink, Solver, TraceEvent, TraceSink,
 };
+pub use shard::{solve_sharded_ir, ShardSolve, ShardedOutcome};
 pub use solution::Solution;

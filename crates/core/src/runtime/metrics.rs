@@ -208,6 +208,15 @@ pub static SOLVE_LOCAL_SEARCH: Counter = Counter::new("solve.local_search");
 /// See [`SOLVE_SINGLE_QUERY`].
 pub static SOLVE_SOURCE: Counter = Counter::new("solve.source");
 
+/// Component partitions computed over compiled instances.
+pub static SHARD_PARTITIONS: Counter = Counter::new("shard.partitions");
+/// Per-shard solves actually executed (cache misses included).
+pub static SHARD_SOLVES: Counter = Counter::new("shard.solves");
+/// Successful steals in the work-stealing scheduler.
+pub static SHARD_STEALS: Counter = Counter::new("shard.steals");
+/// Engine shard-cache hits (unchanged component reused across batches).
+pub static SHARD_CACHE_HITS: Counter = Counter::new("shard.cache_hits");
+
 /// Wall-clock of each IR compilation, in microseconds.
 pub static IR_COMPILE_MICROS: Histogram = Histogram::new("ir.compile_micros");
 /// Wall-clock of each portfolio member run, in microseconds.
@@ -219,7 +228,7 @@ pub static VERIFY_MICROS: Histogram = Histogram::new("portfolio.verify_micros");
 /// wanting stable output should sort by [`Counter::name`] (as
 /// [`render`] does).
 pub fn counters() -> &'static [&'static Counter] {
-    static REGISTRY: [&Counter; 22] = [
+    static REGISTRY: [&Counter; 26] = [
         &BUDGET_TICKS,
         &BUDGET_EXHAUSTIONS,
         &CANCELLATIONS,
@@ -242,6 +251,10 @@ pub fn counters() -> &'static [&'static Counter] {
         &SOLVE_EXACT,
         &SOLVE_LOCAL_SEARCH,
         &SOLVE_SOURCE,
+        &SHARD_PARTITIONS,
+        &SHARD_SOLVES,
+        &SHARD_STEALS,
+        &SHARD_CACHE_HITS,
     ];
     &REGISTRY
 }

@@ -478,6 +478,52 @@ impl Portfolio {
         }
     }
 
+    /// Solve by connected-component decomposition: partition the
+    /// compiled instance into independent shards, run the deterministic
+    /// per-shard chain on the work-stealing scheduler (every shard task
+    /// drawing from `budget`'s shared pool), and merge the certified
+    /// per-shard solutions (`crate::shard`, DESIGN.md §15).
+    ///
+    /// Unlike [`Portfolio::solve_racing`], verification composes from
+    /// the per-shard checks (each shard's output is feasibility-checked
+    /// and cost-evaluated on its own IR, then the merge re-checks
+    /// feasibility and re-evaluates cost on the full IR); the merged
+    /// guarantee is the weakest per-shard guarantee. A drained budget
+    /// degrades the affected shards to their always-feasible incumbents
+    /// instead of failing the run — inspect the report's guarantee (it
+    /// weakens to `Heuristic`) to detect degradation.
+    pub fn solve_sharded(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+    ) -> Result<PortfolioOutcome, CoreError> {
+        let (compile_micros, compile_ticks) = self.compile_and_charge(problem, budget)?;
+        let ir = problem.compiled_arc();
+        let started = now();
+        let pool_before = budget.used();
+        let handle = budget.share_labeled("sharded");
+        let span = handle.span(Phase::Member, "sharded");
+        let out = crate::shard::solve_sharded_ir(&ir, self.objective, &handle);
+        span.end_with(if out.is_ok() { "verified" } else { "failed" });
+        let out = out?;
+        let report = vec![MemberReport {
+            name: "sharded",
+            guarantee: out.guarantee,
+            status: MemberStatus::Verified { cost: out.cost },
+            micros: started.elapsed().as_micros() as u64,
+            ticks: handle.own_used(),
+            pool_ticks: budget.used().saturating_sub(pool_before),
+        }];
+        Ok(PortfolioOutcome {
+            solution: out.solution,
+            cost: out.cost,
+            winner: "sharded",
+            report,
+            compile_micros,
+            compile_ticks,
+        })
+    }
+
     /// Run one member inside its own panic boundary, then verify its
     /// output inside another. Returns the status plus the verified
     /// candidate (solution, cost) when there is one.

@@ -50,6 +50,23 @@ pub fn spin_loop() {
     delprop_modelcheck::spin_loop();
 }
 
+/// Available hardware parallelism, for sizing worker pools built on the
+/// facade (the shard scheduler). Normal builds ask the OS; under the
+/// model it is a fixed 2 so bounded-exhaustive exploration stays finite
+/// and deterministic regardless of the host machine.
+pub fn available_parallelism() -> usize {
+    #[cfg(not(delprop_model))]
+    {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+    #[cfg(delprop_model)]
+    {
+        2
+    }
+}
+
 /// Thread spawn/yield points, same two personalities as the atomics.
 pub mod thread {
     #[cfg(not(delprop_model))]

@@ -1,0 +1,457 @@
+//! Shard-parallel solving: connected-component decomposition of a
+//! compiled instance, a work-stealing scheduler over the shards, and a
+//! merger that sums certified per-shard optima (DESIGN.md §15).
+//!
+//! The soundness argument is the partition invariant from
+//! [`partition()`]: demands, vulnerable tuples, and candidate bases split
+//! cleanly across components, so (a) any union of per-shard-feasible
+//! solutions is feasible on the whole instance, (b) the side-effect of
+//! the union is exactly the sum of the per-shard side-effects (no
+//! vulnerable tuple can be damaged by two shards), and (c) optima sum:
+//! `OPT = Σ_c OPT_c`. A per-shard `α_c`-approximation therefore merges
+//! into a `max_c α_c`-approximation — the merged [`Guarantee`] is the
+//! *weakest* per-shard guarantee, by [`Guarantee::strength`].
+//!
+//! The per-shard chain ([`solve_component`]) is the standard
+//! portfolio's fallback chain restricted to members that read only the
+//! shard's *active parts* — `dp_tree` walks the shared whole-`V`
+//! static layer and would silently solve the full instance per shard,
+//! so it is excluded. The chain is run sequentially per shard in
+//! strength order (parallelism comes from racing *shards*, not members
+//! within a shard), which also makes the sharded path deterministic:
+//! `tests/shard_equivalence.rs` asserts byte-equality against the same
+//! chain applied to the whole instance as one shard.
+//!
+//! On budget exhaustion or cancellation mid-shard, the shard degrades
+//! to an always-feasible incumbent (delete every candidate of the
+//! shard; the empty solution for the balanced objective) labeled
+//! [`Guarantee::Heuristic`] with `degraded` set, instead of failing
+//! the merge — mirroring how `delpropd` sheds load under deadline.
+
+pub mod deque;
+pub mod partition;
+pub mod scheduler;
+
+pub use deque::{Steal, StealDeque};
+pub use partition::{partition, Partition, Shard, UnionFind};
+pub use scheduler::run_tasks;
+
+use crate::error::CoreError;
+use crate::ir::CompiledInstance;
+use crate::runtime::metrics;
+use crate::runtime::sync;
+use crate::runtime::{Budget, Guarantee};
+use crate::solution::Solution;
+use crate::solvers::local_search::Objective;
+use crate::solvers::{
+    general, lowdeg_tree, lp_round, primal_dual, primal_dual_balanced, single_query,
+};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// A certified (or degraded) outcome for one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSolve {
+    /// The shard's verified solution (deletes only shard candidates).
+    pub solution: Solution,
+    /// Its cost on the shard, under the chain's objective.
+    pub cost: f64,
+    /// The producing member's guarantee ([`Guarantee::Heuristic`] when
+    /// degraded).
+    pub guarantee: Guarantee,
+    /// Which chain member produced it.
+    pub member: &'static str,
+    /// Whether the budget drained mid-shard and the incumbent fallback
+    /// was used instead of a chain member's output.
+    pub degraded: bool,
+}
+
+/// The merged result of a sharded solve.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// Union of the per-shard solutions.
+    pub solution: Solution,
+    /// Cost of the merged solution evaluated on the **full** instance
+    /// (canonical ascending-vulnerable summation — byte-equal to what
+    /// any unsharded evaluator reports for the same solution).
+    pub cost: f64,
+    /// Weakest per-shard guarantee; `Exact` when there were no shards.
+    pub guarantee: Guarantee,
+    /// Number of component shards solved.
+    pub shards: usize,
+    /// Whether any shard degraded on budget exhaustion.
+    pub degraded: bool,
+    /// Per-shard outcomes, in partition order.
+    pub per_shard: Vec<ShardSolve>,
+}
+
+/// Run one chain member under containment: coarse budget charge, panic
+/// boundary, feasibility + finite-cost verification against the shard
+/// IR. `Ok(None)` means "try the next member"; `Err` carries a budget
+/// refusal (exhaustion/cancellation) that the caller turns into the
+/// degraded incumbent.
+fn attempt(
+    ir: &CompiledInstance,
+    budget: &Budget,
+    objective: Objective,
+    name: &'static str,
+    guarantee: Guarantee,
+    solve: &dyn Fn() -> Result<Solution, CoreError>,
+) -> Result<Option<ShardSolve>, CoreError> {
+    budget.checkpoint()?;
+    budget.charge((ir.num_bases() + ir.num_demands()) as u64 + 1)?;
+    let outcome = panic::catch_unwind(AssertUnwindSafe(solve));
+    let solution = match outcome {
+        Ok(Ok(solution)) => solution,
+        Ok(Err(e @ (CoreError::BudgetExhausted { .. } | CoreError::Cancelled { .. }))) => {
+            return Err(e)
+        }
+        // Typed failure or contained panic: fall through the chain.
+        Ok(Err(_)) | Err(_) => return Ok(None),
+    };
+    let verified = panic::catch_unwind(AssertUnwindSafe(|| {
+        let feasible = match objective {
+            Objective::Standard => ir.is_feasible_of(&solution),
+            Objective::Balanced => true,
+        };
+        if !feasible {
+            return None;
+        }
+        let cost = match objective {
+            Objective::Standard => ir.side_effect_of(&solution),
+            Objective::Balanced => ir.balanced_cost_of(&solution),
+        };
+        cost.is_finite().then_some(cost)
+    }));
+    Ok(match verified {
+        Ok(Some(cost)) => Some(ShardSolve {
+            solution,
+            cost,
+            guarantee,
+            member: name,
+            degraded: false,
+        }),
+        _ => None,
+    })
+}
+
+/// Always-feasible fallback when the budget drains mid-shard: delete
+/// every candidate (standard — every demand has a candidate witness,
+/// so this cuts them all) or delete nothing (balanced — every `ΔD` is
+/// balanced-feasible).
+fn degraded_incumbent(ir: &CompiledInstance, objective: Objective) -> ShardSolve {
+    let (solution, cost, member) = match objective {
+        Objective::Standard => {
+            let solution = Solution::from_tuples(ir.bases().iter().copied());
+            let cost = ir.side_effect_of(&solution);
+            (solution, cost, "degraded_delete_all")
+        }
+        Objective::Balanced => {
+            let solution = Solution::empty();
+            let cost = ir.balanced_cost_of(&solution);
+            (solution, cost, "degraded_empty")
+        }
+    };
+    ShardSolve {
+        solution,
+        cost,
+        guarantee: Guarantee::Heuristic,
+        member,
+        degraded: true,
+    }
+}
+
+/// Solve one component shard with the deterministic fallback chain (the
+/// standard portfolio restricted to active-parts-only members, in
+/// strength order). Public so the out-of-core path and the differential
+/// suite can run the exact same chain on IRs they built themselves.
+pub fn solve_component(
+    ir: &CompiledInstance,
+    objective: Objective,
+    budget: &Budget,
+) -> Result<ShardSolve, CoreError> {
+    metrics::SHARD_SOLVES.inc();
+    if ir.num_demands() == 0 {
+        // Nothing to eliminate; both objectives are optimized by ∅.
+        return Ok(ShardSolve {
+            solution: Solution::empty(),
+            cost: 0.0,
+            guarantee: Guarantee::Exact,
+            member: "empty",
+            degraded: false,
+        });
+    }
+    let chain = |ir: &CompiledInstance| -> Result<Option<ShardSolve>, CoreError> {
+        let l = ir.l().max(1) as f64;
+        match objective {
+            Objective::Standard => {
+                if ir.num_demands() == 1 && ir.num_queries() == 1 {
+                    if let Some(s) = attempt(
+                        ir,
+                        budget,
+                        objective,
+                        "single_query",
+                        Guarantee::Exact,
+                        &|| single_query::solve_single_deletion(ir),
+                    )? {
+                        return Ok(Some(s));
+                    }
+                }
+                if ir.forest_case() {
+                    if let Some(s) = attempt(
+                        ir,
+                        budget,
+                        objective,
+                        "primal_dual",
+                        Guarantee::Ratio(l),
+                        &|| primal_dual::solve_default(ir),
+                    )? {
+                        return Ok(Some(s));
+                    }
+                }
+                if let Some(s) = attempt(
+                    ir,
+                    budget,
+                    objective,
+                    "lp_round",
+                    Guarantee::Ratio(l),
+                    &|| lp_round::solve_budgeted(ir, budget),
+                )? {
+                    return Ok(Some(s));
+                }
+                if ir.forest_case() {
+                    let bound = Guarantee::Ratio(lowdeg_tree::ratio_bound(ir));
+                    if let Some(s) = attempt(ir, budget, objective, "lowdeg_tree", bound, &|| {
+                        lowdeg_tree::solve(ir)
+                    })? {
+                        return Ok(Some(s));
+                    }
+                }
+                let bound = Guarantee::Ratio(general::ratio_bound(ir));
+                if let Some(s) = attempt(ir, budget, objective, "general", bound, &|| {
+                    general::solve(ir)
+                })? {
+                    return Ok(Some(s));
+                }
+                if let Some(s) = attempt(
+                    ir,
+                    budget,
+                    objective,
+                    "greedy",
+                    Guarantee::Heuristic,
+                    &|| general::solve_greedy(ir),
+                )? {
+                    return Ok(Some(s));
+                }
+            }
+            Objective::Balanced => {
+                if ir.forest_case() {
+                    if let Some(s) = attempt(
+                        ir,
+                        budget,
+                        objective,
+                        "primal_dual_balanced",
+                        Guarantee::Heuristic,
+                        &|| {
+                            primal_dual_balanced::solve_balanced(ir, &Default::default())
+                                .map(|o| o.solution)
+                        },
+                    )? {
+                        return Ok(Some(s));
+                    }
+                }
+                if let Some(s) = attempt(
+                    ir,
+                    budget,
+                    objective,
+                    "general_balanced",
+                    Guarantee::Heuristic,
+                    &|| Ok(general::solve_balanced(ir)),
+                )? {
+                    return Ok(Some(s));
+                }
+            }
+        }
+        Ok(None)
+    };
+    match chain(ir) {
+        Ok(Some(s)) => Ok(s),
+        Ok(None) => Err(CoreError::Infeasible {
+            reason: "no shard chain member produced a verifiable solution".to_string(),
+        }),
+        // Budget drained or cancelled mid-shard: degrade, don't fail.
+        Err(_) => Ok(degraded_incumbent(ir, objective)),
+    }
+}
+
+/// Partition `ir` into component shards, solve them on the
+/// work-stealing scheduler (each task drawing from `budget`'s shared
+/// pool through its own handle), and merge.
+///
+/// The merged cost is re-evaluated on the **full** instance in its
+/// canonical vulnerable order, so it is byte-equal to any unsharded
+/// evaluator's report for the same solution regardless of shard
+/// scheduling; a `debug_assert` cross-checks it against the per-shard
+/// sum. Feasibility of the merged solution is re-checked on the full
+/// instance as a cheap final guard on the partition invariant.
+pub fn solve_sharded_ir(
+    ir: &Arc<CompiledInstance>,
+    objective: Objective,
+    budget: &Budget,
+) -> Result<ShardedOutcome, CoreError> {
+    let part = partition::partition(ir);
+    let k = part.shards.len();
+    if k == 0 {
+        return Ok(ShardedOutcome {
+            solution: Solution::empty(),
+            cost: 0.0,
+            guarantee: Guarantee::Exact,
+            shards: 0,
+            degraded: false,
+            per_shard: Vec::new(),
+        });
+    }
+
+    let slots: Vec<Mutex<Option<Result<ShardSolve, CoreError>>>> =
+        (0..k).map(|_| Mutex::new(None)).collect();
+    let workers = sync::available_parallelism().min(k);
+    scheduler::run_tasks(k, workers, |t| {
+        let handle = budget.share_labeled("shard");
+        let result = solve_component(&part.shards[t].ir, objective, &handle);
+        *slots[t].lock().unwrap() = Some(result);
+    });
+
+    let mut per_shard: Vec<ShardSolve> = Vec::with_capacity(k);
+    for slot in slots {
+        let result = slot
+            .into_inner()
+            .unwrap()
+            .expect("the scheduler runs every shard task exactly once");
+        per_shard.push(result?);
+    }
+    merge_shards(ir, per_shard, objective)
+}
+
+/// Merge certified per-shard outcomes into one [`ShardedOutcome`]:
+/// union the solutions, re-evaluate cost and feasibility on the full
+/// instance, and label the weakest per-shard guarantee. Public so the
+/// engine can merge a mix of freshly solved and digest-cached shards.
+pub fn merge_shards(
+    ir: &CompiledInstance,
+    per_shard: Vec<ShardSolve>,
+    objective: Objective,
+) -> Result<ShardedOutcome, CoreError> {
+    let k = per_shard.len();
+    let mut merged = Solution::empty();
+    for s in &per_shard {
+        merged.deleted.extend(s.solution.deleted.iter().copied());
+    }
+
+    let bits = ir.base_bits(&merged);
+    let cost = match objective {
+        Objective::Standard => ir.side_effect_bits(&bits),
+        Objective::Balanced => ir.balanced_cost_bits(&bits),
+    };
+    if matches!(objective, Objective::Standard) && !ir.is_feasible_bits(&bits) {
+        return Err(CoreError::StructureMismatch {
+            solver: "sharded",
+            reason: "merged per-shard solutions do not eliminate every demand \
+                     (partition invariant violated)"
+                .to_string(),
+        });
+    }
+    if matches!(objective, Objective::Standard) {
+        let sum: f64 = per_shard.iter().map(|s| s.cost).sum();
+        debug_assert!(
+            (sum - cost).abs() <= 1e-6 * (1.0 + cost.abs()),
+            "per-shard side-effects ({sum}) disagree with the merged evaluation ({cost})"
+        );
+    }
+    let guarantee = per_shard
+        .iter()
+        .map(|s| s.guarantee)
+        .max_by(|a, b| {
+            a.strength()
+                .partial_cmp(&b.strength())
+                .expect("guarantee strengths are finite")
+        })
+        .unwrap_or(Guarantee::Exact);
+
+    Ok(ShardedOutcome {
+        solution: merged,
+        cost,
+        guarantee,
+        shards: k,
+        degraded: per_shard.iter().any(|s| s.degraded),
+        per_shard,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::chain_problem;
+
+    #[test]
+    fn single_shard_matches_component_chain() {
+        // Overlapping witness sets: a single-component instance.
+        let p = chain_problem(8, 3, &[1, 2]);
+        let ir = p.compiled_arc();
+        let budget = Budget::unlimited();
+        let sharded = solve_sharded_ir(&ir, Objective::Standard, &budget).unwrap();
+        let whole = solve_component(&ir, Objective::Standard, &budget).unwrap();
+        assert_eq!(sharded.shards, 1);
+        assert_eq!(sharded.solution, whole.solution);
+        assert_eq!(sharded.cost, whole.cost);
+        assert!(!sharded.degraded);
+        assert!(sharded.solution.is_feasible(&p));
+    }
+
+    #[test]
+    fn two_shards_merge_to_the_whole_instance_chain() {
+        // Two independent components; the sharded result must byte-equal
+        // the same deterministic chain run on the full IR as one shard.
+        let p = chain_problem(8, 3, &[1, 4]);
+        let ir = p.compiled_arc();
+        let budget = Budget::unlimited();
+        let sharded = solve_sharded_ir(&ir, Objective::Standard, &budget).unwrap();
+        assert_eq!(sharded.shards, 2);
+        let reference = solve_component(&ir, Objective::Standard, &budget).unwrap();
+        assert_eq!(sharded.solution, reference.solution);
+        assert_eq!(sharded.cost.to_bits(), reference.cost.to_bits());
+        let sum: f64 = sharded.per_shard.iter().map(|s| s.cost).sum();
+        assert!((sum - sharded.cost).abs() < 1e-9);
+        assert!(sharded.solution.is_feasible(&p));
+        assert!((sharded.solution.verify_by_reevaluation(&p) - sharded.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_demands_is_exact_empty() {
+        let p = chain_problem(6, 2, &[]);
+        let out =
+            solve_sharded_ir(&p.compiled_arc(), Objective::Standard, &Budget::unlimited()).unwrap();
+        assert_eq!(out.shards, 0);
+        assert_eq!(out.cost, 0.0);
+        assert!(matches!(out.guarantee, Guarantee::Exact));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_instead_of_failing() {
+        let p = chain_problem(8, 3, &[1, 4, 6]);
+        let ir = p.compiled_arc();
+        let out = solve_sharded_ir(&ir, Objective::Standard, &Budget::with_ticks(1)).unwrap();
+        assert!(out.degraded);
+        assert!(matches!(out.guarantee, Guarantee::Heuristic));
+        assert!(out.solution.is_feasible(&p));
+    }
+
+    #[test]
+    fn balanced_objective_solves_and_merges() {
+        let p = chain_problem(8, 3, &[1, 4]);
+        let out =
+            solve_sharded_ir(&p.compiled_arc(), Objective::Balanced, &Budget::unlimited()).unwrap();
+        assert!(out.cost.is_finite());
+        assert!(!out.degraded);
+    }
+}

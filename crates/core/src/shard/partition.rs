@@ -1,0 +1,304 @@
+//! Connected-component partitioner over the compiled incidence index.
+//!
+//! Two base tuples interact iff some demand's witness set or some
+//! vulnerable tuple's candidate-witness set contains both: deleting one
+//! then influences which deletions the other can render redundant
+//! (through a shared demand) or whether damage is double-counted
+//! (through a shared vulnerable tuple). Union-finding every CSR row of
+//! the [`CompiledInstance`] therefore splits the instance into
+//! components that are *fully independent subproblems*: demands,
+//! vulnerable tuples, and candidate bases partition cleanly, any
+//! solution's cost is the sum of its per-component costs, and the
+//! global optimum is the sum of the per-component optima.
+//!
+//! Each shard re-projects its slice of `ActiveParts` onto the parent
+//! instance's **shared** `StaticLayer` (an `Arc` bump — no tuple,
+//! weight, or path copying) through the same
+//! `CompiledInstance::assemble` path the engine uses, so a shard IR
+//! is byte-identical to what a cold compile of the component alone
+//! would produce, modulo the shared whole-`V` layer. The packed bitset
+//! rows shrink quadratically: a full instance carries
+//! `‖ΔV‖ × ‖𝒞‖/64` words of witness masks, the shards together only
+//! `Σ_c ‖ΔV_c‖ × ‖𝒞_c‖/64`.
+//!
+//! Single-component instances short-circuit: the partition hands back
+//! the parent `Arc` itself (asserted by `tests/shard_equivalence.rs`),
+//! so the sharded path degenerates to the unsharded one at zero cost.
+
+use crate::ir::{ActiveParts, CompiledInstance, Fnv1a};
+use delprop_query::ViewTupleId;
+use delprop_relation::TupleId;
+use std::sync::Arc;
+
+/// Union-find over dense indices with path halving + union by rank.
+/// Public because the out-of-core path runs the same component
+/// discovery over flat on-disk rows without a compiled instance.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        hi
+    }
+
+    /// Merge every index in `row` into one set (no-op on empty rows).
+    pub fn union_row(&mut self, row: &[u32]) {
+        let mut it = row.iter();
+        if let Some(&first) = it.next() {
+            for &b in it {
+                self.union(first, b);
+            }
+        }
+    }
+}
+
+/// One connected component, ready to solve.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// The component's own compiled instance. For a single-component
+    /// parent this is the parent `Arc` itself.
+    pub ir: Arc<CompiledInstance>,
+    /// FNV-1a digest of the component's id sets (bases, demands,
+    /// vulnerable). Two shards with equal digests describe the same
+    /// subproblem over the same static layer, so certified per-shard
+    /// outcomes can be memoized across `DeltaBatch`es keyed on this.
+    pub digest: u64,
+}
+
+/// A compiled instance split into independent component shards.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The component shards, ordered by their smallest base tuple.
+    /// Empty iff the parent has no demands.
+    pub shards: Vec<Shard>,
+    /// Vulnerable view tuples whose candidate-witness set is empty: no
+    /// deletion can ever damage them, so they belong to no shard and
+    /// contribute zero cost on every path.
+    pub orphan_vulnerable: usize,
+}
+
+fn digest_ids(bases: &[TupleId], demands: &[ViewTupleId], vulnerable: &[ViewTupleId]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(bases.len() as u64);
+    for t in bases {
+        h.write_u64(t.relation.0 as u64);
+        h.write_u64(t.index as u64);
+    }
+    for set in [demands, vulnerable] {
+        h.write_u64(set.len() as u64);
+        for id in set {
+            h.write_u64(id.view as u64);
+            h.write_u64(id.index as u64);
+        }
+    }
+    h.finish()
+}
+
+/// Split `ir` into connected-component shards. `O(‖rows‖ α)` discovery
+/// plus one `assemble` per component; single-component instances return
+/// the parent `Arc` unchanged.
+pub fn partition(ir: &Arc<CompiledInstance>) -> Partition {
+    crate::runtime::metrics::SHARD_PARTITIONS.inc();
+    let nb = ir.num_bases();
+    let nd = ir.num_demands();
+    let nv = ir.num_vulnerable();
+    if nd == 0 {
+        // Nothing to delete: the optimum is empty everywhere.
+        return Partition {
+            shards: Vec::new(),
+            orphan_vulnerable: nv,
+        };
+    }
+
+    let mut uf = UnionFind::new(nb);
+    for d in 0..nd as u32 {
+        uf.union_row(ir.demand_row(d));
+    }
+    let mut orphan_vulnerable = 0usize;
+    for r in 0..nv as u32 {
+        let row = ir.vulnerable_row(r);
+        if row.is_empty() {
+            orphan_vulnerable += 1;
+        } else {
+            uf.union_row(row);
+        }
+    }
+
+    // Dense component ids in order of smallest member base. Every base
+    // is a witness of some demand, so every base lands in a component
+    // that contains at least one demand.
+    let mut comp_of_root: Vec<u32> = vec![u32::MAX; nb];
+    let mut comp_count = 0u32;
+    let mut comp_of_base: Vec<u32> = Vec::with_capacity(nb);
+    for b in 0..nb as u32 {
+        let root = uf.find(b) as usize;
+        if comp_of_root[root] == u32::MAX {
+            comp_of_root[root] = comp_count;
+            comp_count += 1;
+        }
+        comp_of_base.push(comp_of_root[root]);
+    }
+
+    if comp_count <= 1 {
+        let digest = digest_ids(ir.bases(), ir.demands(), ir.vulnerable());
+        return Partition {
+            shards: vec![Shard {
+                ir: Arc::clone(ir),
+                digest,
+            }],
+            orphan_vulnerable,
+        };
+    }
+
+    let k = comp_count as usize;
+    let mut bases: Vec<Vec<TupleId>> = vec![Vec::new(); k];
+    let mut demands: Vec<Vec<ViewTupleId>> = vec![Vec::new(); k];
+    let mut vulnerable: Vec<Vec<ViewTupleId>> = vec![Vec::new(); k];
+    for b in 0..nb as u32 {
+        bases[comp_of_base[b as usize] as usize].push(ir.base(b));
+    }
+    for d in 0..nd as u32 {
+        let c = comp_of_base[ir.demand_row(d)[0] as usize] as usize;
+        demands[c].push(ir.demand(d));
+    }
+    for r in 0..nv as u32 {
+        if let Some(&b) = ir.vulnerable_row(r).first() {
+            vulnerable[comp_of_base[b as usize] as usize].push(ir.vulnerable_id(r));
+        }
+    }
+
+    let statics = ir.statics_arc();
+    let generation = ir.generation();
+    let shards = bases
+        .into_iter()
+        .zip(demands)
+        .zip(vulnerable)
+        .map(|((bases, demands), vulnerable)| {
+            let digest = digest_ids(&bases, &demands, &vulnerable);
+            // The shard's ΔV flags mark only its own demands: the shard
+            // IR describes the component as a self-contained instance.
+            let mut deleted = vec![false; statics.norm_v()];
+            for &id in &demands {
+                deleted[statics.dense(id)] = true;
+            }
+            let parts = ActiveParts {
+                bases,
+                demands,
+                vulnerable,
+                deleted,
+            };
+            let ir = CompiledInstance::assemble(Arc::clone(&statics), parts, generation);
+            Shard {
+                ir: Arc::new(ir),
+                digest,
+            }
+        })
+        .collect();
+
+    Partition {
+        shards,
+        orphan_vulnerable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::chain_problem;
+
+    #[test]
+    fn union_find_merges_rows() {
+        let mut uf = UnionFind::new(6);
+        uf.union_row(&[0, 1, 2]);
+        uf.union_row(&[4, 5]);
+        uf.union_row(&[]);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_eq!(uf.find(4), uf.find(5));
+        assert_ne!(uf.find(1), uf.find(4));
+        assert_ne!(uf.find(3), uf.find(0));
+        uf.union_row(&[2, 4]);
+        assert_eq!(uf.find(0), uf.find(5));
+    }
+
+    #[test]
+    fn single_component_returns_parent_arc() {
+        // Overlapping witness sets ({1,2,3} and {2,3,4}) force one component.
+        let p = chain_problem(8, 3, &[1, 2]);
+        let ir = p.compiled_arc();
+        let part = partition(&ir);
+        assert_eq!(part.shards.len(), 1);
+        assert!(Arc::ptr_eq(&part.shards[0].ir, &ir));
+    }
+
+    #[test]
+    fn disjoint_demands_split_into_two_shards() {
+        // Witness sets {1,2,3} and {4,5,6} share no base: two components.
+        let p = chain_problem(8, 3, &[1, 4]);
+        let ir = p.compiled_arc();
+        let part = partition(&ir);
+        assert_eq!(part.shards.len(), 2);
+        // Bases, demands, and vulnerable tuples partition exactly.
+        let nb: usize = part.shards.iter().map(|s| s.ir.num_bases()).sum();
+        let nd: usize = part.shards.iter().map(|s| s.ir.num_demands()).sum();
+        let nv: usize = part.shards.iter().map(|s| s.ir.num_vulnerable()).sum();
+        assert_eq!(nb, ir.num_bases());
+        assert_eq!(nd, ir.num_demands());
+        assert_eq!(nv + part.orphan_vulnerable, ir.num_vulnerable());
+        assert_ne!(part.shards[0].digest, part.shards[1].digest);
+        // Shards share the parent's static layer (no copying).
+        for s in &part.shards {
+            assert_eq!(s.ir.norm_v(), ir.norm_v());
+        }
+    }
+
+    #[test]
+    fn no_demands_partitions_to_nothing() {
+        let p = chain_problem(6, 2, &[]);
+        let part = partition(&p.compiled_arc());
+        assert!(part.shards.is_empty());
+    }
+
+    #[test]
+    fn digest_distinguishes_different_components() {
+        let p = chain_problem(8, 3, &[1, 4]);
+        let ir = p.compiled_arc();
+        let d1 = digest_ids(ir.bases(), ir.demands(), ir.vulnerable());
+        let d2 = digest_ids(ir.bases(), ir.demands(), &[]);
+        assert_ne!(d1, d2);
+    }
+}

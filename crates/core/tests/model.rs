@@ -586,3 +586,108 @@ fn model_dominance_cancellation_protocol() {
     });
     assert_clean_exhaustive(&report);
 }
+
+// -------------------------------------------------------------------
+// Work-stealing deque invariants (shard scheduler, DESIGN.md §15)
+// -------------------------------------------------------------------
+
+/// Owner pops racing one thief's steals over a Chase-Lev deque: under
+/// **every** bounded interleaving each pushed task is handed out exactly
+/// once — no lost task, no double execution — counting whatever is left
+/// in the deque after both sides quiesce.
+#[test]
+fn model_deque_no_lost_and_no_duplicated_task() {
+    use delprop_core::shard::{Steal, StealDeque};
+    let report = explore(&Config::exhaustive(2, 10_000), || {
+        let dq = StealDeque::new(4);
+        dq.push(0).unwrap();
+        dq.push(1).unwrap();
+        let (owner_got, thief_got) = thread::scope(|s| {
+            let dq = &dq;
+            let thief = s.spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    if let Steal::Taken(v) = dq.steal() {
+                        got.push(v);
+                    }
+                }
+                got
+            });
+            // The owner pushes one more mid-race, then drains its side.
+            let mut got = Vec::new();
+            dq.push(2).unwrap();
+            while let Some(v) = dq.pop() {
+                got.push(v);
+            }
+            (got, thief.join().unwrap())
+        });
+        let mut all = owner_got;
+        all.extend(thief_got);
+        // Whatever neither side claimed must still be in the deque.
+        while let Some(v) = dq.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "each task exactly once");
+        assert!(dq.is_empty());
+    });
+    assert_clean_exhaustive(&report);
+}
+
+/// Two thieves racing each other (steal linearizability): the last-
+/// element CAS must serialize them, so a task is never handed to both
+/// and a task the owner never reclaims goes to exactly one thief.
+#[test]
+fn model_deque_steals_linearize() {
+    use delprop_core::shard::{Steal, StealDeque};
+    let report = explore(&Config::exhaustive(2, 10_000), || {
+        let dq = StealDeque::new(4);
+        dq.push(7).unwrap();
+        dq.push(8).unwrap();
+        let grabs = thread::scope(|s| {
+            let dq = &dq;
+            let a = s.spawn(move || match dq.steal() {
+                Steal::Taken(v) => Some(v),
+                _ => None,
+            });
+            let b = s.spawn(move || match dq.steal() {
+                Steal::Taken(v) => Some(v),
+                _ => None,
+            });
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        let mut all: Vec<usize> = [grabs.0, grabs.1].into_iter().flatten().collect();
+        while let Some(v) = dq.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            vec![7, 8],
+            "no task duplicated or lost by racing thieves"
+        );
+    });
+    assert_clean_exhaustive(&report);
+}
+
+/// The whole scheduler end to end under the model scheduler: every task
+/// runs exactly once and `run_tasks` returns only after all of them
+/// (the quiet-scan termination protocol cannot drop a straggler).
+/// Random-walk: the two model workers × injector × steals make the
+/// exhaustive space too wide, but every walked schedule must hold.
+#[test]
+fn model_run_tasks_executes_each_task_exactly_once() {
+    use delprop_core::runtime::sync::{AtomicUsize, Ordering};
+    use delprop_core::shard::run_tasks;
+    const TASKS: usize = 3;
+    let report = explore(&Config::random(0x5EED_DE9E, iters(8), 2), || {
+        let runs: Vec<AtomicUsize> = (0..TASKS).map(|_| AtomicUsize::new(0)).collect();
+        run_tasks(TASKS, 2, |t| {
+            runs[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for (t, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "task {t} run count");
+        }
+    });
+    assert_clean_random(&report);
+}

@@ -361,7 +361,10 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Response {
         Ok(Request::Publish { label, spec }) => {
             match ServingInstance::build(label.clone(), &spec) {
                 Ok(instance) => {
-                    let _publish = shared.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    let _publish = shared
+                        .publish_lock
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
                     stats::PUBLISHES.inc();
                     let epoch = shared.cell.publish(instance);
                     Response::Published { epoch, label }
@@ -381,7 +384,10 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Response {
             // Hold the publish lock across snapshot→patch→publish so
             // concurrent delta publishes compose instead of forking
             // the same epoch and losing one batch.
-            let _publish = shared.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let _publish = shared
+                .publish_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             let snap = shared.cell.snapshot();
             let mut engine = snap.engine.clone();
             let batch = DeltaBatch {

@@ -53,6 +53,12 @@ pub struct EngineConfig {
     pub default_ticks: u64,
     /// Race the portfolio unless the request says otherwise.
     pub racing: bool,
+    /// Partition into component shards and solve through the
+    /// work-stealing scheduler unless the request says otherwise.
+    /// Takes precedence over `racing` when both apply: sharding already
+    /// parallelizes across components, so racing members on top would
+    /// only oversubscribe the box.
+    pub sharded: bool,
     /// Retries after the first attempt.
     pub max_retries: u32,
     /// Retry jitter schedule.
@@ -69,6 +75,7 @@ impl Default for EngineConfig {
             max_deadline_ms: 30_000,
             default_ticks: u64::MAX,
             racing: true,
+            sharded: false,
             max_retries: 3,
             backoff: BackoffPolicy::default(),
             grace_ticks: 2_000_000,
@@ -267,7 +274,10 @@ pub fn serve_solve(
         .with_deadline(remaining);
         let id = active.register(&budget);
         let racing = req.racing.unwrap_or(cfg.racing);
-        let result = if racing {
+        let sharded = req.sharded.unwrap_or(cfg.sharded);
+        let result = if sharded {
+            portfolio.solve_sharded(problem, &budget)
+        } else if racing {
             portfolio.solve_racing(problem, &budget)
         } else {
             portfolio.solve(problem, &budget)
@@ -418,6 +428,41 @@ mod tests {
                 assert!(!ok.deleted.is_empty());
                 assert_eq!(ok.epoch, snap.epoch());
             }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        assert!(active.is_empty(), "attempt budgets must deregister");
+    }
+
+    #[test]
+    fn sharded_flag_routes_to_the_sharded_portfolio() {
+        let (cell, mut cfg) = snapshot();
+        cfg.sharded = true;
+        let snap = cell.snapshot();
+        let portfolio = Portfolio::standard();
+        let active = ActiveRequests::new();
+        match serve_solve(
+            &snap,
+            &req_with_deadline(5_000),
+            &portfolio,
+            &cfg,
+            &active,
+            7,
+        ) {
+            Served::Ok(ok) => {
+                assert_eq!(ok.winner, "sharded");
+                assert!(!ok.degraded);
+                assert!(!ok.deleted.is_empty());
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        // The request-level flag must override the config default.
+        let req = SolveRequest {
+            deadline_ms: Some(5_000),
+            sharded: Some(false),
+            ..SolveRequest::default()
+        };
+        match serve_solve(&snap, &req, &portfolio, &cfg, &active, 8) {
+            Served::Ok(ok) => assert_ne!(ok.winner, "sharded"),
             other => panic!("expected Ok, got {other:?}"),
         }
         assert!(active.is_empty(), "attempt budgets must deregister");

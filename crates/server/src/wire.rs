@@ -136,6 +136,10 @@ pub struct SolveRequest {
     pub ticks: Option<u64>,
     /// Race the portfolio (default: the server's configured mode).
     pub racing: Option<bool>,
+    /// Partition into component shards and solve each through the
+    /// work-stealing scheduler (default: the server's configured mode;
+    /// wins over `racing` when both are set).
+    pub sharded: Option<bool>,
 }
 
 impl Default for SolveRequest {
@@ -147,6 +151,7 @@ impl Default for SolveRequest {
             deadline_ms: None,
             ticks: None,
             racing: None,
+            sharded: None,
         }
     }
 }
@@ -218,6 +223,9 @@ impl Request {
                 if let Some(r) = s.racing {
                     pairs.push(("racing".to_string(), Json::Bool(r)));
                 }
+                if let Some(sh) = s.sharded {
+                    pairs.push(("sharded".to_string(), Json::Bool(sh)));
+                }
                 Json::Obj(pairs)
             }
             Request::Publish { label, spec } => Json::obj(vec![
@@ -255,6 +263,7 @@ impl Request {
                 req.deadline_ms = get_u64(j, "deadline_ms");
                 req.ticks = get_u64(j, "ticks");
                 req.racing = get_bool(j, "racing");
+                req.sharded = get_bool(j, "sharded");
                 Ok(Request::Solve(req))
             }
             "publish" => {
@@ -730,6 +739,7 @@ mod tests {
                 deadline_ms: Some(250),
                 ticks: Some(100_000),
                 racing: Some(false),
+                sharded: Some(true),
             }),
             Request::Solve(SolveRequest::default()),
             Request::Publish {

@@ -1,0 +1,489 @@
+//! Out-of-core flat instance format ("DPF1").
+//!
+//! EX-SHARD's 10⁶–10⁷-tuple instances do not fit the normal
+//! `Database → Problem → CompiledInstance` path comfortably: the
+//! relational layer materializes every tuple, every view tuple, and
+//! every witness pointer in resident memory before the solver sees the
+//! first row. The flat format sidesteps that pipeline for synthetic
+//! scale runs: a [`FlatWriter`] streams incidence rows to disk in O(1)
+//! resident memory per record, and a [`FlatReader`] maps the file back
+//! read-only (via `mmap(2)` on unix, a plain read elsewhere) so the
+//! out-of-core driver can union-find components and
+//! [`CompiledInstance::synthesize`] one component at a time without
+//! ever holding the whole instance in RAM.
+//!
+//! [`CompiledInstance::synthesize`]: delprop_core::ir::CompiledInstance::synthesize
+//!
+//! ## Layout
+//!
+//! Everything is little-endian `u64` words, so every field of a
+//! page-aligned mapping is naturally aligned:
+//!
+//! ```text
+//! header  : magic "DPF1\0\0\0\0" | num_bases | num_demands
+//!           | num_vulnerable | num_entries | reserved(=0)
+//! records : kind (0 = demand, 1 = vulnerable) | weight (f64 bits)
+//!           | len | len × base id
+//! ```
+//!
+//! Records may interleave demands and vulnerable rows freely — the
+//! generator emits them component by component — and the header counts
+//! are back-patched by [`FlatWriter::finish`] with a single seek.
+
+use crate::rng::SplitMix64;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// `"DPF1"` followed by four zero bytes, as a little-endian word.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"DPF1\0\0\0\0");
+
+/// Header size in bytes (6 words).
+pub const HEADER_BYTES: usize = 48;
+
+const KIND_DEMAND: u64 = 0;
+const KIND_VULNERABLE: u64 = 1;
+
+/// Streaming writer: emits one record at a time through a buffered
+/// file handle, so resident memory stays O(longest single row) no
+/// matter how many rows the instance has.
+pub struct FlatWriter {
+    out: BufWriter<File>,
+    num_bases: u64,
+    num_demands: u64,
+    num_vulnerable: u64,
+    num_entries: u64,
+}
+
+impl FlatWriter {
+    /// Create `path` (truncating) and reserve the header.
+    pub fn create(path: &Path) -> io::Result<FlatWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        // Placeholder header; `finish` patches the real counts in.
+        out.write_all(&[0u8; HEADER_BYTES])?;
+        Ok(FlatWriter {
+            out,
+            num_bases: 0,
+            num_demands: 0,
+            num_vulnerable: 0,
+            num_entries: 0,
+        })
+    }
+
+    fn record(&mut self, kind: u64, weight: f64, ids: &[u64]) -> io::Result<()> {
+        self.out.write_all(&kind.to_le_bytes())?;
+        self.out.write_all(&weight.to_bits().to_le_bytes())?;
+        self.out.write_all(&(ids.len() as u64).to_le_bytes())?;
+        for &id in ids {
+            self.num_bases = self.num_bases.max(id + 1);
+            self.out.write_all(&id.to_le_bytes())?;
+        }
+        self.num_entries += ids.len() as u64;
+        Ok(())
+    }
+
+    /// Append a demand row (witness base ids; weight is informational).
+    pub fn demand(&mut self, weight: f64, ids: &[u64]) -> io::Result<()> {
+        self.num_demands += 1;
+        self.record(KIND_DEMAND, weight, ids)
+    }
+
+    /// Append a vulnerable row (candidate-witness base ids + weight).
+    pub fn vulnerable(&mut self, weight: f64, ids: &[u64]) -> io::Result<()> {
+        self.num_vulnerable += 1;
+        self.record(KIND_VULNERABLE, weight, ids)
+    }
+
+    /// Flush, back-patch the header, and sync the counts to disk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(0))?;
+        let header = [
+            MAGIC,
+            self.num_bases,
+            self.num_demands,
+            self.num_vulnerable,
+            self.num_entries,
+            0,
+        ];
+        for word in header {
+            file.write_all(&word.to_le_bytes())?;
+        }
+        file.flush()
+    }
+}
+
+/// The bytes backing a [`FlatReader`]: a read-only `mmap(2)` on unix,
+/// an owned buffer otherwise (and for empty files, which `mmap` rejects).
+enum Backing {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::os::raw::c_void,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapped variant is a private read-only mapping (PROT_READ,
+// MAP_PRIVATE) that no other part of the process writes through; the
+// owned variant is a plain Vec. Either way the bytes are immutable for
+// the lifetime of the value, so sharing across threads is sound.
+unsafe impl Send for Backing {}
+// SAFETY: same argument — all access is through `&self` reads of
+// immutable bytes.
+unsafe impl Sync for Backing {}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            // SAFETY: `ptr` came from a successful mmap of exactly `len`
+            // bytes and stays mapped until `Drop` calls munmap, so the
+            // slice is valid for the borrow's lifetime.
+            Backing::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Backing::Owned(v) => v,
+        }
+    }
+}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = *self {
+            // SAFETY: `ptr`/`len` describe a live mapping created by
+            // mmap in `map_file`; unmapping it exactly once here is the
+            // required cleanup.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(unix)]
+fn map_file(file: &File, len: usize) -> Option<Backing> {
+    use std::os::unix::io::AsRawFd;
+    if len == 0 {
+        return None;
+    }
+    // SAFETY: a fresh read-only private mapping of `len` bytes over an
+    // open fd; the result is checked against MAP_FAILED before use, and
+    // the kernel keeps the mapping alive even after the fd closes.
+    let ptr = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr == sys::MAP_FAILED {
+        return None;
+    }
+    Some(Backing::Mapped { ptr, len })
+}
+
+/// One incidence row of a flat instance.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatRow<'a> {
+    /// `false` for a demand row, `true` for a vulnerable row.
+    pub vulnerable: bool,
+    /// Row weight (only meaningful for vulnerable rows).
+    pub weight: f64,
+    /// Byte offset of this record's `kind` word within the file —
+    /// stable across scans, so a first pass can remember rows and a
+    /// second pass can jump straight back to them via [`FlatReader::row_at`].
+    pub offset: usize,
+    ids: &'a [u8],
+}
+
+impl<'a> FlatRow<'a> {
+    /// Number of base ids in the row.
+    pub fn len(&self) -> usize {
+        self.ids.len() / 8
+    }
+
+    /// True iff the row references no bases.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `i`-th base id.
+    pub fn id(&self, i: usize) -> u64 {
+        let at = i * 8;
+        u64::from_le_bytes(self.ids[at..at + 8].try_into().unwrap())
+    }
+
+    /// All base ids, decoded in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + 'a {
+        let bytes = self.ids;
+        (0..bytes.len() / 8)
+            .map(move |i| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap()))
+    }
+}
+
+/// Read-only view of a flat instance file.
+pub struct FlatReader {
+    backing: Backing,
+    num_bases: u64,
+    num_demands: u64,
+    num_vulnerable: u64,
+}
+
+fn word(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+impl FlatReader {
+    /// Open `path`, preferring an `mmap` so scans stream pages through
+    /// the OS cache instead of resident heap.
+    pub fn open(path: &Path) -> io::Result<FlatReader> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        let backing = match map_file(&file, len) {
+            Some(b) => b,
+            None => {
+                let mut buf = Vec::with_capacity(len);
+                file.read_to_end(&mut buf)?;
+                Backing::Owned(buf)
+            }
+        };
+        #[cfg(not(unix))]
+        let backing = {
+            let mut buf = Vec::with_capacity(len);
+            file.read_to_end(&mut buf)?;
+            Backing::Owned(buf)
+        };
+        let bytes = backing.bytes();
+        if bytes.len() < HEADER_BYTES || word(bytes, 0) != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a DPF1 flat instance",
+            ));
+        }
+        let reader = FlatReader {
+            num_bases: word(bytes, 8),
+            num_demands: word(bytes, 16),
+            num_vulnerable: word(bytes, 24),
+            backing,
+        };
+        let entries = word(reader.backing.bytes(), 32);
+        let rows = reader.num_demands + reader.num_vulnerable;
+        let expect = HEADER_BYTES as u64 + rows * 24 + entries * 8;
+        if reader.backing.bytes().len() as u64 != expect {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "DPF1 length does not match header counts",
+            ));
+        }
+        Ok(reader)
+    }
+
+    /// One more than the largest base id referenced by any row.
+    pub fn num_bases(&self) -> usize {
+        self.num_bases as usize
+    }
+
+    /// Number of demand rows.
+    pub fn num_demands(&self) -> usize {
+        self.num_demands as usize
+    }
+
+    /// Number of vulnerable rows.
+    pub fn num_vulnerable(&self) -> usize {
+        self.num_vulnerable as usize
+    }
+
+    /// Decode the record starting at byte `offset`.
+    pub fn row_at(&self, offset: usize) -> FlatRow<'_> {
+        let bytes = self.backing.bytes();
+        let kind = word(bytes, offset);
+        let weight = f64::from_bits(word(bytes, offset + 8));
+        let len = word(bytes, offset + 16) as usize;
+        FlatRow {
+            vulnerable: kind == KIND_VULNERABLE,
+            weight,
+            offset,
+            ids: &bytes[offset + 24..offset + 24 + len * 8],
+        }
+    }
+
+    /// Sequential scan over every row. Cheap to call repeatedly: each
+    /// scan walks the mapping front to back.
+    pub fn rows(&self) -> impl Iterator<Item = FlatRow<'_>> {
+        let bytes = self.backing.bytes();
+        let total = (self.num_demands + self.num_vulnerable) as usize;
+        let mut offset = HEADER_BYTES;
+        (0..total).map(move |_| {
+            let row = self.row_at(offset);
+            offset = row.offset + 24 + row.len() * 8;
+            let _ = bytes;
+            row
+        })
+    }
+}
+
+/// Stream a `components`-component synthetic instance to `path`:
+/// component `c` owns the contiguous base-id range
+/// `[c·bases_per, (c+1)·bases_per)`, and every row draws its ids from
+/// its own component's range only, so the file union-finds into exactly
+/// the generated component structure (each component's rows share a
+/// hub base so the component cannot fragment). Resident memory is
+/// O(row length) — nothing is buffered beyond the `BufWriter`.
+///
+/// Returns the total number of base tuples (`components × bases_per`).
+pub fn write_disjoint(
+    path: &Path,
+    components: usize,
+    bases_per: usize,
+    demands_per: usize,
+    vulnerable_per: usize,
+    row_len: usize,
+    seed: u64,
+) -> io::Result<u64> {
+    assert!(bases_per >= row_len && row_len >= 1);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut writer = FlatWriter::create(path)?;
+    let mut ids = vec![0u64; row_len];
+    for c in 0..components {
+        let lo = (c * bases_per) as u64;
+        let draw = |rng: &mut SplitMix64, ids: &mut [u64]| {
+            // A shared hub (the component's first base) keeps every row
+            // of the component in one union-find class.
+            ids[0] = lo;
+            for slot in ids.iter_mut().skip(1) {
+                *slot = lo + 1 + rng.below(bases_per - 1) as u64;
+            }
+            ids.sort_unstable();
+        };
+        for _ in 0..demands_per {
+            draw(&mut rng, &mut ids);
+            writer.demand(1.0, &ids)?;
+        }
+        for _ in 0..vulnerable_per {
+            draw(&mut rng, &mut ids);
+            let weight = rng.range_inclusive(1, 4) as f64;
+            writer.vulnerable(weight, &ids)?;
+        }
+    }
+    writer.finish()?;
+    Ok((components * bases_per) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("delprop-flat-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let path = tmp("roundtrip");
+        let mut w = FlatWriter::create(&path).unwrap();
+        w.demand(1.0, &[0, 2, 5]).unwrap();
+        w.vulnerable(3.5, &[2, 7]).unwrap();
+        w.demand(1.0, &[1]).unwrap();
+        w.finish().unwrap();
+
+        let r = FlatReader::open(&path).unwrap();
+        assert_eq!(r.num_bases(), 8);
+        assert_eq!(r.num_demands(), 2);
+        assert_eq!(r.num_vulnerable(), 1);
+        let rows: Vec<_> = r.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(!rows[0].vulnerable);
+        assert_eq!(rows[0].iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert!(rows[1].vulnerable);
+        assert_eq!(rows[1].weight, 3.5);
+        assert_eq!(rows[1].iter().collect::<Vec<_>>(), vec![2, 7]);
+        assert_eq!(rows[2].id(0), 1);
+        // Offsets allow random re-access after a scan.
+        let again = r.row_at(rows[1].offset);
+        assert!(again.vulnerable);
+        assert_eq!(again.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a flat instance at all....................").unwrap();
+        assert!(FlatReader::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let path = tmp("truncated");
+        let mut w = FlatWriter::create(&path).unwrap();
+        w.demand(1.0, &[0, 1, 2]).unwrap();
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(FlatReader::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disjoint_generator_is_component_separable() {
+        let path = tmp("disjoint");
+        let n = write_disjoint(&path, 3, 16, 4, 6, 3, 9).unwrap();
+        assert_eq!(n, 48);
+        let r = FlatReader::open(&path).unwrap();
+        assert_eq!(r.num_demands(), 12);
+        assert_eq!(r.num_vulnerable(), 18);
+        assert!(r.num_bases() <= 48);
+        // Every row stays inside its component's id range and rows
+        // cover all three ranges.
+        let mut seen = [false; 3];
+        for row in r.rows() {
+            let comp = (row.id(0) / 16) as usize;
+            seen[comp] = true;
+            assert!(row.iter().all(|id| id / 16 == comp as u64));
+            assert!(row.len() == 3);
+        }
+        assert_eq!(seen, [true; 3]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_writes() {
+        let (a, b) = (tmp("det-a"), tmp("det-b"));
+        write_disjoint(&a, 2, 32, 5, 5, 4, 123).unwrap();
+        write_disjoint(&b, 2, 32, 5, 5, 4, 123).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&b).unwrap();
+    }
+}

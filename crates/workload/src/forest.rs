@@ -116,6 +116,104 @@ pub fn generate(params: ForestParams, seed: u64) -> Problem {
     problem
 }
 
+/// Generate a forest workload of `components` value-disjoint copies of
+/// the [`generate`] structure: copy `c`'s chain values are offset by
+/// `c × chains`, so no tuple (and hence no witness) is shared across
+/// copies and the compiled incidence index union-finds into **at
+/// least** `components` shards (EX-SHARD's instance family) — shard
+/// counts are additive across copies, and a copy may fragment further
+/// depending on which view tuples its deletion draw touches. Each copy
+/// draws deletions from its own seed stream and is guaranteed at least
+/// one demand, so no copy collapses away.
+pub fn generate_disjoint(params: ForestParams, components: usize, seed: u64) -> Problem {
+    assert!(components >= 1);
+    assert!(params.window >= 1 && params.window <= params.levels);
+    let stride = params.chains.max(1) as i64;
+    let schema = Schema::from_relations(
+        (1..=params.levels).map(|j| RelationSchema::new(format!("R{j}"), 2, vec![0, 1]).unwrap()),
+    )
+    .unwrap();
+    let mut db = Database::new(schema);
+    for c in 0..components {
+        let off = c as i64 * stride;
+        for i in 0..params.chains {
+            for j in 1..=params.levels {
+                let a = (i >> (j - 1)) as i64 + off;
+                let b = (i >> j) as i64 + off;
+                let name = format!("R{j}");
+                let rid = db.schema().relation_id(&name).unwrap();
+                if db
+                    .find_by_key(rid, &[Value::int(a), Value::int(b)])
+                    .is_none()
+                {
+                    db.insert(&name, tup![a, b]).unwrap();
+                }
+            }
+        }
+    }
+    let queries: Vec<String> = (1..=params.levels - params.window + 1)
+        .map(|start| {
+            let head: Vec<String> = (0..=params.window).map(|k| format!("x{k}")).collect();
+            let body: Vec<String> = (0..params.window)
+                .map(|k| format!("R{}(x{k}, x{})", start + k, k + 1))
+                .collect();
+            format!("W{start}({}) :- {}", head.join(", "), body.join(", "))
+        })
+        .collect();
+    let bound = queries
+        .iter()
+        .map(|src| parse_query(src).unwrap().bind(db.schema()).unwrap())
+        .collect();
+    let mut problem = Problem::new(db, bound).unwrap();
+
+    // Every value of component `c` lies in [c·stride, (c+1)·stride), so a
+    // view tuple's component is its first head value divided by the
+    // stride. One independent rng stream per component keeps each
+    // component's ΔV draw self-contained.
+    let mut rngs: Vec<SplitMix64> = (0..components)
+        .map(|c| {
+            SplitMix64::seed_from_u64(
+                seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64)),
+            )
+        })
+        .collect();
+    let mut first_of: Vec<Option<ViewTupleId>> = vec![None; components];
+    let mut any: Vec<bool> = vec![false; components];
+    let tagged: Vec<(ViewTupleId, usize)> = problem
+        .views()
+        .iter()
+        .map(|(id, vt)| {
+            let v = vt.head.get(0).and_then(|v| v.as_int()).unwrap_or(0);
+            (id, (v / stride) as usize)
+        })
+        .collect();
+    for &(id, c) in &tagged {
+        if first_of[c].is_none() {
+            first_of[c] = Some(id);
+        }
+        if rngs[c].chance(params.delete_fraction) {
+            problem.mark_deleted_id(id).unwrap();
+            any[c] = true;
+        }
+    }
+    for c in 0..components {
+        if !any[c] {
+            let id = first_of[c].expect("every component materializes view tuples");
+            problem.mark_deleted_id(id).unwrap();
+        }
+    }
+    if params.weighted {
+        for &(id, c) in &tagged {
+            if !problem.is_deleted(id) {
+                problem
+                    .set_weight(id, rngs[c].range_inclusive(1, 5) as f64)
+                    .unwrap();
+            }
+        }
+    }
+    problem
+}
+
 /// A deterministic "broom" pivot-forest workload (§IV.E): hub `R0`,
 /// `branches` arms of depth `depth`, and one prefix query per depth plus a
 /// duplicated deepest query so cutting deep demands has nonzero cost.
@@ -206,6 +304,29 @@ mod tests {
         );
         let r = delprop_core::classify(&p10);
         assert!(r.forest_case, "scaling must preserve the forest case");
+    }
+
+    #[test]
+    fn disjoint_components_partition_into_k_shards() {
+        let params = ForestParams {
+            levels: 4,
+            window: 2,
+            chains: 8,
+            delete_fraction: 0.25,
+            weighted: false,
+        };
+        let mut prev = 0usize;
+        for k in [1, 2, 4] {
+            let p = generate_disjoint(params, k, 11);
+            assert!(classify(&p).forest_case);
+            let part = delprop_core::shard::partition(&p.compiled_arc());
+            // Copies are value-disjoint, so shard counts are additive
+            // across copies: at least one shard per copy, and adding
+            // copies never merges existing ones.
+            assert!(part.shards.len() >= k, "k = {k}: {}", part.shards.len());
+            assert!(part.shards.len() > prev, "k = {k}: {}", part.shards.len());
+            prev = part.shards.len();
+        }
     }
 
     #[test]

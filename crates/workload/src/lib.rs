@@ -10,12 +10,16 @@
 //! - [`random_db`]: random multi-query chain workloads (general case,
 //!   EX-C1 / EX-L1);
 //! - [`forest`]: window-query forest cases and pivot "brooms"
-//!   (EX-T3 / EX-T4 / EX-DP);
+//!   (EX-T3 / EX-T4 / EX-DP), plus value-disjoint multi-component
+//!   copies for the sharded portfolio (EX-SHARD);
+//! - [`flat`]: the out-of-core "DPF1" flat instance format (streaming
+//!   writer + mmap reader) behind the 10⁶-tuple scale runs;
 //! - [`cleaning`]: the QOCO-style batch-vs-sequential cleaning scenario
 //!   (§V, EX-APP).
 
 pub mod cleaning;
 pub mod figures;
+pub mod flat;
 pub mod forest;
 pub mod gadget;
 pub mod random_db;

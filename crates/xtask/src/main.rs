@@ -45,6 +45,13 @@
 //!    container on such a path is almost always an accidental
 //!    regression to the pre-kernel design. Justify real needs with
 //!    `// lint:allow(hash): <reason>`.
+//! 7. **no-std-thread-in-shard** — `std::thread` must not be named
+//!    anywhere in `crates/core/src/shard/` (tests included): the
+//!    work-stealing deque and scheduler are model-checked, so every
+//!    spawn, scope, and yield must go through the `runtime::sync`
+//!    facade (`sync::thread::…`) or the `delprop_model` scheduler is
+//!    blind to it. Justify exceptions with
+//!    `// lint:allow(thread): <reason>`.
 //!
 //! **Allow markers.** A violating line is accepted when it, or one of
 //! the four lines above it, carries a justification marker for its
@@ -199,6 +206,10 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
     // `Problem::compiled()` on a cloned problem silently rebuilds the
     // whole index per request, defeating incremental maintenance.
     let compiled_scope = rel.starts_with("crates/server/src/");
+    // The shard module's concurrency must stay model-checkable: even
+    // its tests run under the `delprop_model` scheduler, so a raw
+    // `std::thread` anywhere in the module escapes the explored space.
+    let shard_thread_scope = rel.starts_with("crates/core/src/shard/");
     let hash_scope = rel.starts_with("crates/core/src/solvers/")
         || rel.starts_with("crates/core/src/ir/")
         || rel == "crates/core/src/classify.rs"
@@ -293,6 +304,19 @@ fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
                           through the epoch engine (`Engine::problem()` / `with_delta`) so \
                           requests share incremental projections, or justify with \
                           `// lint:allow(compiled): <reason>`"
+                    .to_string(),
+            });
+        }
+
+        if shard_thread_scope && stripped.contains("std::thread") && !allowed(&raw, i, "thread") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "no-std-thread-in-shard",
+                message: "raw `std::thread` in the shard module: spawn through the \
+                          `runtime::sync` facade (`sync::thread::scope`) so the \
+                          `delprop_model` scheduler can interleave it, or justify with \
+                          `// lint:allow(thread): <reason>`"
                     .to_string(),
             });
         }
@@ -595,6 +619,33 @@ mod tests {
         assert!(scan("crates/server/src/state.rs", justified).is_empty());
         let comment = "// never call thread::sleep here\n";
         assert!(scan("crates/server/src/daemon.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn std_thread_flagged_in_shard_module_even_in_tests() {
+        let src = "fn f() { std::thread::scope(|s| {}); }\n";
+        assert_eq!(
+            scan("crates/core/src/shard/scheduler.rs", src),
+            ["1:no-std-thread-in-shard"]
+        );
+        // Tests in the module are NOT exempt: they must also run under
+        // the model scheduler.
+        let in_test = "#[cfg(test)]\n\
+                       mod tests {\n\
+                           fn g() { std::thread::spawn(|| {}); }\n\
+                       }\n";
+        assert_eq!(
+            scan("crates/core/src/shard/deque.rs", in_test),
+            ["3:no-std-thread-in-shard"]
+        );
+        // The facade path and other modules are fine.
+        let facade = "fn f() { sync::thread::scope(|s| {}); }\n";
+        assert!(scan("crates/core/src/shard/scheduler.rs", facade).is_empty());
+        assert!(scan("crates/core/src/runtime/portfolio.rs", src).is_empty());
+        // A justified exception is honored.
+        let justified = "// lint:allow(thread): std fallback when the facade is compiled out\n\
+                         fn f() { std::thread::scope(|s| {}); }\n";
+        assert!(scan("crates/core/src/shard/mod.rs", justified).is_empty());
     }
 
     #[test]

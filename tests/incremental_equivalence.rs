@@ -138,7 +138,12 @@ fn forest_streams_match_cold_compiles() {
     // Pristine start and pre-seeded ΔV, default and never-compact
     // policies, so both overlay regimes (frequent folds, unbounded
     // fragmentation) are exercised.
-    check_stream(forest_case(32, 0.0, 11), 101, CompactionPolicy::default(), 30);
+    check_stream(
+        forest_case(32, 0.0, 11),
+        101,
+        CompactionPolicy::default(),
+        30,
+    );
     check_stream(
         forest_case(32, 0.25, 12),
         102,
@@ -160,7 +165,12 @@ fn forest_streams_match_cold_compiles() {
 
 #[test]
 fn weighted_random_streams_match_cold_compiles() {
-    check_stream(weighted_random_case(21), 201, CompactionPolicy::default(), 25);
+    check_stream(
+        weighted_random_case(21),
+        201,
+        CompactionPolicy::default(),
+        25,
+    );
     check_stream(
         weighted_random_case(22),
         202,
@@ -188,7 +198,9 @@ fn with_delta_forks_match_cold_compiles_mid_stream() {
             break;
         }
         engine
-            .apply(&DeltaBatch::deletes([preserved[rng.below(preserved.len())]]))
+            .apply(&DeltaBatch::deletes(
+                [preserved[rng.below(preserved.len())]],
+            ))
             .unwrap();
 
         let extra: Vec<ViewTupleId> = (0..2 + rng.below(3))
