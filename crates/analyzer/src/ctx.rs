@@ -1,0 +1,370 @@
+//! Per-file analysis context: the shared token stream plus the derived
+//! facts every rule needs (test masks, comment adjacency, allow
+//! markers, function spans). Built once per file; the N rules all read
+//! from it — this is what replaces the old scanner's per-rule
+//! re-stripping.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Everything a rule may ask about one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with `/` separators.
+    pub rel: &'a str,
+    /// The file contents.
+    pub src: &'a str,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Raw lines (no trailing `\n`), for snippet extraction.
+    pub lines: Vec<&'a str>,
+    /// Per-line: comment text appearing on that line (concatenated), so
+    /// adjacency checks look at comments only — `Ordering::Acquire` in
+    /// *code* can never satisfy an `ordering:` tag.
+    comment_on_line: Vec<String>,
+    /// Per-line: whether the line holds any non-comment token.
+    code_on_line: Vec<bool>,
+    /// Per-line: whether the line belongs to a `#[cfg(test)]` item
+    /// (attribute line and body included).
+    test_mask: Vec<bool>,
+}
+
+/// How many lines above a violation a `lint:allow(...)` marker may sit.
+pub const MARKER_LOOKBACK: usize = 4;
+
+impl<'a> FileCtx<'a> {
+    /// Lex `src` and derive the per-line facts.
+    pub fn new(rel: &'a str, src: &'a str) -> FileCtx<'a> {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let lines: Vec<&str> = src.lines().collect();
+        let nlines = lines.len();
+        let mut comment_on_line = vec![String::new(); nlines];
+        let mut code_on_line = vec![false; nlines];
+        for t in &tokens {
+            let first = t.line as usize - 1;
+            if t.is_comment() {
+                // A block comment may span lines; credit its text to
+                // every line it covers so "comment directly above"
+                // checks see multi-line blocks.
+                for (off, part) in t.text(src).split('\n').enumerate() {
+                    if let Some(slot) = comment_on_line.get_mut(first + off) {
+                        slot.push_str(part);
+                        slot.push(' ');
+                    }
+                }
+            } else {
+                let last = first + t.text(src).matches('\n').count();
+                for line in code_on_line
+                    .iter_mut()
+                    .take(nlines.min(last + 1))
+                    .skip(first)
+                {
+                    *line = true;
+                }
+            }
+        }
+        let test_mask = test_mask(&tokens, src, nlines);
+        FileCtx {
+            rel,
+            src,
+            tokens,
+            code,
+            lines,
+            comment_on_line,
+            code_on_line,
+            test_mask,
+        }
+    }
+
+    /// The code token at code-index `ci` (panics on out of range; rules
+    /// index via iteration so the bound holds).
+    pub fn code_tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Whether the code token at code-index `ci` matches `pat`: an
+    /// exact text match against identifiers and punctuation.
+    pub fn code_is(&self, ci: usize, pat: &str) -> bool {
+        self.code.get(ci).is_some_and(|&ti| {
+            let t = &self.tokens[ti];
+            matches!(t.kind, TokenKind::Ident | TokenKind::Punct) && t.text(self.src) == pat
+        })
+    }
+
+    /// Whether the code tokens starting at `ci` match `pats` exactly.
+    pub fn code_seq(&self, ci: usize, pats: &[&str]) -> bool {
+        pats.iter()
+            .enumerate()
+            .all(|(k, pat)| self.code_is(ci + k, pat))
+    }
+
+    /// Whether 0-based line `i` sits inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source line for a 0-based line index.
+    pub fn snippet(&self, i: usize) -> &str {
+        self.lines.get(i).map_or("", |l| l.trim())
+    }
+
+    /// Whether 0-based line `i` carries — on itself or within
+    /// [`MARKER_LOOKBACK`] comment-bearing lines above — a
+    /// `lint:allow(<rule>): <reason>` marker with a non-empty reason.
+    /// Markers live in comments only: a string literal spelling one
+    /// does not count.
+    pub fn allowed(&self, i: usize, rule: &str) -> bool {
+        let marker = format!("lint:allow({rule})");
+        let lo = i.saturating_sub(MARKER_LOOKBACK);
+        (lo..=i).any(|li| {
+            let text = self.comment_on_line.get(li).map_or("", String::as_str);
+            text.find(&marker).is_some_and(|at| {
+                let rest = &text[at + marker.len()..];
+                rest.strip_prefix(':').is_some_and(|reason| {
+                    // A block comment's closing `*/` is not a reason.
+                    let r = reason.trim();
+                    let r = r.strip_suffix("*/").map_or(r, str::trim_end);
+                    !r.is_empty()
+                })
+            })
+        })
+    }
+
+    /// Whether 0-based line `i` carries `tag` in a comment on the line
+    /// itself, or in the contiguous run of comment/attribute/blank
+    /// lines directly above it (a code line breaks the run). Matching
+    /// is ASCII-case-insensitive on the tag's first letter, so both
+    /// `// ordering: …` and `// Ordering: …` justify; the character
+    /// after the tag must not be `:`, so the *code* path separator in
+    /// a prose mention (`Ordering::Acquire`) never satisfies it.
+    pub fn tagged_above(&self, i: usize, tag: &str) -> bool {
+        if self.comment_has_tag(i, tag) {
+            return true;
+        }
+        for li in (0..i).rev() {
+            let has_code = self.code_on_line.get(li).copied().unwrap_or(false);
+            if has_code && !self.is_attr_line(li) {
+                return false;
+            }
+            if self.comment_has_tag(li, tag) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn comment_has_tag(&self, i: usize, tag: &str) -> bool {
+        let text = self.comment_on_line.get(i).map_or("", String::as_str);
+        let lower = text.to_ascii_lowercase();
+        let needle = format!("{tag}:");
+        let mut from = 0;
+        while let Some(at) = lower[from..].find(&needle) {
+            let end = from + at + needle.len();
+            // `ordering:` yes, `ordering::` (a path in prose) no.
+            if lower.as_bytes().get(end) != Some(&b':') {
+                return true;
+            }
+            from = end;
+        }
+        false
+    }
+
+    /// Whether the code on 0-based line `i` is (part of) an attribute —
+    /// attributes may sit between a comment block and the item it
+    /// annotates without breaking adjacency.
+    fn is_attr_line(&self, i: usize) -> bool {
+        let t = self.lines.get(i).map_or("", |l| l.trim_start());
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+
+    /// Code-index spans `(signature_line, body_range)` of every `fn`
+    /// with a body, innermost-last. `body_range` is a code-index range
+    /// covering the body's braces.
+    pub fn fn_spans(&self) -> Vec<FnSpan> {
+        let mut spans = Vec::new();
+        let n = self.code.len();
+        for ci in 0..n {
+            if !self.code_is(ci, "fn") {
+                continue;
+            }
+            // Scan the signature for the body `{` (or `;`: no body) at
+            // bracket depth 0.
+            let mut depth = 0i64;
+            let mut k = ci + 1;
+            while k < n {
+                let t = self.code_tok(k);
+                match t.text(self.src) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "{" if depth == 0 => {
+                        if let Some(close) = self.matching_brace(k) {
+                            spans.push(FnSpan {
+                                sig_line: self.code_tok(ci).line as usize - 1,
+                                body: (k, close),
+                            });
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        spans
+    }
+
+    /// The code index of the `}` matching the `{` at code index `open`.
+    pub fn matching_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for k in open..self.code.len() {
+            match self.code_tok(k).text(self.src) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// A function's signature line and body span (code-index range of the
+/// braces, inclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct FnSpan {
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// `(open_brace, close_brace)` code indices, inclusive.
+    pub body: (usize, usize),
+}
+
+/// Per-line mask of `#[cfg(test)]` items: the attribute line, any
+/// attribute/doc lines down to the opening brace, and the braced body.
+fn test_mask(tokens: &[Token], src: &str, nlines: usize) -> Vec<bool> {
+    let mut mask = vec![false; nlines];
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let text = |k: usize| code.get(k).map_or("", |t| t.text(src));
+    let mut k = 0usize;
+    while k < code.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = text(k) == "#"
+            && text(k + 1) == "["
+            && text(k + 2) == "cfg"
+            && text(k + 3) == "("
+            && text(k + 4) == "test"
+            && text(k + 5) == ")"
+            && text(k + 6) == "]";
+        if !is_cfg_test {
+            k += 1;
+            continue;
+        }
+        let attr_line = code[k].line as usize - 1;
+        // Find the item's opening brace (skipping further attributes
+        // and the signature), then its matching close.
+        let mut j = k + 7;
+        let mut depth = 0i64;
+        let mut end_line = attr_line;
+        while let Some(t) = code.get(j) {
+            match t.text(src) {
+                "{" => {
+                    depth += 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        end_line = t.line as usize - 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    // Item without a body (e.g. `#[cfg(test)] use …;`).
+                    end_line = t.line as usize - 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = t.line as usize - 1;
+            j += 1;
+        }
+        for line in mask
+            .iter_mut()
+            .take(nlines.min(end_line + 1))
+            .skip(attr_line)
+        {
+            *line = true;
+        }
+        k = j + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_nested_braces_and_returns_to_code() {
+        let src = "fn a() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() { if x { y() } }\n\
+                   }\n\
+                   fn c() { z.unwrap(); }\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        let mask: Vec<bool> = (0..6).map(|i| ctx.in_test(i)).collect();
+        assert_eq!(mask, [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn allow_markers_live_in_comments_not_strings() {
+        let src = "let s = \"lint:allow(sleep): nope\";\nwork();\n\
+                   // lint:allow(sleep): staged timing scenario\nmore();\n";
+        let ctx = FileCtx::new("crates/x.rs", src);
+        assert!(!ctx.allowed(1, "sleep"), "string literal is not a marker");
+        assert!(ctx.allowed(3, "sleep"));
+    }
+
+    #[test]
+    fn ordering_tag_rejects_code_and_path_mentions() {
+        let src = "x.load(Ordering::Acquire);\n\
+                   // see Ordering::Release for the pair\n\
+                   y.load(Ordering::Acquire);\n\
+                   // ordering: Acquire pairs with the Release in push\n\
+                   z.load(Ordering::Acquire);\n";
+        let ctx = FileCtx::new("crates/x.rs", src);
+        assert!(!ctx.tagged_above(0, "ordering"), "code is not a tag");
+        assert!(
+            !ctx.tagged_above(2, "ordering"),
+            "`Ordering::` in prose is a path, not a tag"
+        );
+        assert!(ctx.tagged_above(4, "ordering"));
+    }
+
+    #[test]
+    fn tag_block_above_is_broken_by_code_lines() {
+        let src = "// ordering: stale\nh();\nx.load(Ordering::Acquire);\n";
+        let ctx = FileCtx::new("crates/x.rs", src);
+        assert!(!ctx.tagged_above(2, "ordering"));
+    }
+
+    #[test]
+    fn fn_spans_find_bodies() {
+        let src = "fn a(x: [u8; 4]) -> usize { x.len() }\nfn no_body();\nfn b() { loop {} }\n";
+        let ctx = FileCtx::new("crates/x.rs", src);
+        let spans = ctx.fn_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].sig_line, 0);
+        assert_eq!(spans[1].sig_line, 2);
+    }
+}

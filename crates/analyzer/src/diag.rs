@@ -1,0 +1,33 @@
+//! Structured diagnostics: every finding carries a file, a 1-based
+//! line/column, a stable rule id, a message, and the offending source
+//! snippet — rendered as `file:line:col: [rule] message` for humans and
+//! serialized into `artifacts/ANALYZE.json` for machines.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Stable rule id (e.g. `no-unwrap`, `ordering-justified`).
+    pub rule: &'static str,
+    /// Human-readable explanation, including the sanctioned fix.
+    pub message: String,
+    /// The trimmed source line the finding points at.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}

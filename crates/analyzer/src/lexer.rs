@@ -1,0 +1,594 @@
+//! A hand-rolled Rust lexer producing a full token stream with
+//! byte/line/column spans.
+//!
+//! This is the single place where the repo's lint rules learn what is
+//! *code* and what is not: raw strings (`r#"…"#`), byte strings,
+//! `'a'`-char vs `'a`-lifetime disambiguation, nested block comments
+//! (`/* /* */ */`), doc comments, and CRLF line endings are all handled
+//! here, once — rules downstream pattern-match over [`Token`]s and can
+//! never be fooled by prose in a comment or a pattern inside a string
+//! literal (the false-positive classes the old per-rule string-stripping
+//! scanner in `crates/xtask` had to re-defend against in every rule).
+//!
+//! The lexer is total: any byte sequence lexes to a token stream (an
+//! unterminated string or block comment swallows the rest of the file
+//! as that token). It does not validate Rust — `rustc` does that — it
+//! only needs to agree with `rustc` on token *boundaries* for code that
+//! compiles, which everything it scans does (CI lints run after the
+//! build).
+
+/// What a token is. Rules mostly care about `Ident`, `Punct`, and
+/// whether a token is a comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, …). Raw
+    /// identifiers (`r#type`) lex as `Ident` with the `r#` included in
+    /// the span.
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `'\n'`, `b'\0'`).
+    CharLit,
+    /// A string literal of any flavor: `"…"`, `r"…"`, `r#"…"#`,
+    /// `b"…"`, `br#"…"#`.
+    StrLit,
+    /// A numeric literal (including suffixes: `1_000u64`, `0xfe`,
+    /// `1e-9`).
+    NumLit,
+    /// A `//` comment (plain, `///` doc, or `//!` inner doc).
+    LineComment,
+    /// A `/* … */` comment, nesting handled; doc variants included.
+    BlockComment,
+    /// Punctuation. One byte per token, except `::` which lexes as a
+    /// single token (rules match paths constantly).
+    Punct,
+}
+
+/// One token with its span.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a line or block comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lex `src` into a full token stream, comments included.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        // `col` is computed from the *current* line bookkeeping; tokens
+        // never start mid-newline, so `start >= line_start` holds.
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line: self.line,
+            col: (start - self.line_start) as u32 + 1,
+        });
+    }
+
+    /// Advance over `n` bytes that are known to contain no newline.
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    /// Advance one byte, maintaining line bookkeeping — used inside
+    /// multi-line tokens (strings, block comments). The token's span
+    /// keeps the line/col of its first byte, recorded by the caller.
+    fn bump_multiline(&mut self) -> (u32, usize) {
+        let saved = (self.line, self.line_start);
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+        saved
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, (start - self.line_start) as u32 + 1);
+        self.bump(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump(2);
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump(2);
+            } else {
+                self.bump_multiline();
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::BlockComment,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    /// A plain or byte string starting at the `"` currently under the
+    /// cursor; `start` is where the token began (before any `b` prefix).
+    fn string(&mut self, start: usize) {
+        let (line, col) = (self.line, (start - self.line_start) as u32 + 1);
+        self.bump(1); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump(1);
+                    if self.pos < self.bytes.len() {
+                        self.bump_multiline(); // escaped char may be a newline
+                    }
+                }
+                b'"' => {
+                    self.bump(1);
+                    break;
+                }
+                _ => {
+                    self.bump_multiline();
+                }
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::StrLit,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    /// A raw string: cursor on the first `#` or `"` after the `r`/`br`
+    /// prefix; `start` is the prefix start. Closes at `"` followed by
+    /// `hashes` `#`s.
+    fn raw_string(&mut self, start: usize) {
+        let (line, col) = (self.line, (start - self.line_start) as u32 + 1);
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump(1);
+        }
+        self.bump(1); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"'
+                && self.bytes[self.pos + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes
+            {
+                self.bump(1 + hashes);
+                break;
+            }
+            self.bump_multiline();
+        }
+        self.out.push(Token {
+            kind: TokenKind::StrLit,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'c'`, `br"…"`,
+    /// `br#"…"#` when the cursor sits on `r`/`b`. Returns `true` when a
+    /// token was consumed; `false` leaves the cursor untouched so the
+    /// generic identifier path runs.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let b0 = self.bytes[self.pos];
+        let b1 = self.peek(1);
+        match (b0, b1) {
+            (b'r', Some(b'"')) => {
+                self.bump(1);
+                self.raw_string(start);
+                true
+            }
+            (b'r', Some(b'#')) => {
+                // Raw string `r#"` (any number of #s) or raw identifier
+                // `r#type`. Look past the run of #s: a quote means a
+                // string.
+                let mut ahead = 1;
+                while self.bytes.get(self.pos + ahead) == Some(&b'#') {
+                    ahead += 1;
+                }
+                if self.bytes.get(self.pos + ahead) == Some(&b'"') {
+                    self.bump(1);
+                    self.raw_string(start);
+                } else {
+                    // Raw identifier: `r#` + ident chars.
+                    self.bump(2);
+                    while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                        self.bump(1);
+                    }
+                    self.push(TokenKind::Ident, start);
+                }
+                true
+            }
+            (b'b', Some(b'"')) => {
+                self.bump(1);
+                self.string(start);
+                true
+            }
+            (b'b', Some(b'\'')) => {
+                self.bump(1);
+                self.char_lit(start);
+                true
+            }
+            (b'b', Some(b'r')) if matches!(self.peek(2), Some(b'"') | Some(b'#')) => {
+                self.bump(2);
+                self.raw_string(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Cursor on a `'`: a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`, `'"'`, `'\''`). Rust's rule: `'` + ident with no
+    /// closing quote is a lifetime; everything else is a char.
+    fn quote(&mut self) {
+        let start = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => self.char_lit(start),
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char, `'a` / `'abc` a lifetime: scan the
+                // ident run and check for a closing quote.
+                let mut ahead = 2;
+                while self
+                    .bytes
+                    .get(self.pos + ahead)
+                    .is_some_and(|&b| is_ident_continue(b))
+                {
+                    ahead += 1;
+                }
+                if self.bytes.get(self.pos + ahead) == Some(&b'\'') && ahead == 2 {
+                    self.char_lit(start);
+                } else {
+                    self.bump(ahead);
+                    self.push(TokenKind::Lifetime, start);
+                }
+            }
+            // Multi-byte UTF-8 scalar, punctuation (`'('`), or a stray
+            // quote at EOF: treat as a char literal (total lexing).
+            _ => self.char_lit(start),
+        }
+    }
+
+    /// Char literal with the cursor on its opening `'` (or on `b` for
+    /// `b'…'` — `start` marks the true beginning either way).
+    fn char_lit(&mut self, start: usize) {
+        self.bump(1); // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.bump(2); // backslash + escaped byte (enough for \', \n, \x.., \u{..})
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.bump(1);
+            }
+            self.bump(1);
+        } else {
+            // One scalar value, then the closing quote.
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.bump(1);
+            }
+            self.bump(1);
+        }
+        self.pos = self.pos.min(self.bytes.len());
+        self.push(TokenKind::CharLit, start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.bump(1);
+        }
+        self.push(TokenKind::Ident, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        self.bump(1);
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // Covers hex/oct/bin digits, `e` exponents, and type
+                // suffixes (`u64`).
+                let at_exp = (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && !self.src[start..self.pos].starts_with("0x");
+                self.bump(1);
+                if at_exp {
+                    self.bump(1); // the sign
+                }
+            } else if b == b'.' && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` does not.
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::NumLit, start);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        if self.bytes[self.pos] == b':' && self.peek(1) == Some(b':') {
+            self.bump(2); // `::` as one token: rules match paths constantly
+        } else {
+            // One byte — multi-byte UTF-8 punctuation does not occur in
+            // this codebase's code (only in comments/strings), but stay
+            // on a char boundary anyway.
+            let ch_len = self.src[self.pos..]
+                .chars()
+                .next()
+                .map_or(1, |c| c.len_utf8());
+            self.bump(ch_len);
+        }
+        self.push(TokenKind::Punct, start);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_and_texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_path_sep() {
+        let toks = kinds_and_texts("std::sync::atomic::Ordering");
+        assert_eq!(
+            toks,
+            [
+                (TokenKind::Ident, "std".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "sync".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "atomic".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "Ordering".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds_and_texts("fn f<'a>(x: &'a str, c: char) { let y = 'b'; let z = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(chars[0].1, "'b'");
+        assert_eq!(chars[1].1, "'\\''");
+    }
+
+    #[test]
+    fn static_lifetime_and_quote_punct_char() {
+        let toks = kinds_and_texts("&'static str; let q = '\"';");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".into())));
+        assert!(toks.contains(&(TokenKind::CharLit, "'\"'".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = "let a = r#\"has \"quotes\" and .unwrap()\"#; let r#type = 1; r\"plain\";";
+        let toks = kinds_and_texts(src);
+        assert!(toks.contains(&(
+            TokenKind::StrLit,
+            "r#\"has \"quotes\" and .unwrap()\"#".into()
+        )));
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+        assert!(toks.contains(&(TokenKind::StrLit, "r\"plain\"".into())));
+        // The `.unwrap()` inside the raw string must NOT appear as code.
+        assert!(!toks.contains(&(TokenKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn multi_hash_raw_string_ignores_single_hash_close() {
+        let src = "r##\"inner \"# still open\"##end";
+        let toks = kinds_and_texts(src);
+        assert_eq!(
+            toks[0],
+            (TokenKind::StrLit, "r##\"inner \"# still open\"##".into())
+        );
+        assert_eq!(toks[1], (TokenKind::Ident, "end".into()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds_and_texts("b\"bytes\" b'x' br#\"raw\"#");
+        assert_eq!(
+            toks,
+            [
+                (TokenKind::StrLit, "b\"bytes\"".into()),
+                (TokenKind::CharLit, "b'x'".into()),
+                (TokenKind::StrLit, "br#\"raw\"#".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds_and_texts("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            toks,
+            [
+                (TokenKind::Ident, "a".into()),
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still outer */".into()
+                ),
+                (TokenKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline_and_crlf() {
+        let src = "x // trailing .unwrap()\r\ny";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].text(src), "x");
+        assert_eq!(toks[1].text(src), "// trailing .unwrap()\r");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[2].text(src), "y");
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[2].col, 1);
+    }
+
+    #[test]
+    fn spans_lines_and_cols_are_exact() {
+        let src = "let a = 1;\n  foo.unwrap();\n";
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.text(src) == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 2);
+        assert_eq!(unwrap.col, 7);
+        assert_eq!(&src[unwrap.start..unwrap.end], "unwrap");
+    }
+
+    #[test]
+    fn strings_with_escapes_hide_their_contents() {
+        let src = r#"let s = "esc \" quote .expect("; rest"#;
+        let toks = kinds_and_texts(src);
+        assert!(toks.contains(&(TokenKind::StrLit, r#""esc \" quote .expect(""#.into())));
+        assert!(toks.contains(&(TokenKind::Ident, "rest".into())));
+        assert!(!toks.contains(&(TokenKind::Ident, "expect".into())));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count_right() {
+        let src = "let s = \"line one\nline two\";\nafter";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.text(src) == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn numbers_including_ranges_floats_exponents() {
+        let toks = kinds_and_texts("0..10 1.5 1e-9 0xfe_u32 9.007e15");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5", "1e-9", "0xfe_u32", "9.007e15"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds_and_texts("/// outer doc .unwrap()\n//! inner doc\nfn f() {}");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+        assert!(!toks.contains(&(TokenKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn unterminated_tokens_swallow_to_eof_without_panicking() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            assert_eq!(toks.last().unwrap().end, src.len(), "{src:?}");
+        }
+    }
+}

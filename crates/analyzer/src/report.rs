@@ -1,0 +1,155 @@
+//! The machine-readable analysis report (`artifacts/ANALYZE.json`),
+//! rendered byte-stably through `delprop_json` (sorted keys, one
+//! finding object per line) so CI artifacts diff cleanly run-to-run.
+
+use delprop_json::Json;
+
+use crate::baseline::Baseline;
+use crate::diag::Diagnostic;
+use crate::rules::RULE_IDS;
+
+/// The complete result of a repo scan.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, suppressed or not, sorted by (file, line).
+    pub findings: Vec<Diagnostic>,
+    /// Which of `findings` the baseline suppresses (parallel bitmask).
+    pub suppressed: Vec<bool>,
+    /// Stale baseline entries: `(rule, file)` pairs with no finding.
+    pub stale: Vec<(String, String)>,
+    /// Number of baseline entries.
+    pub baseline_entries: usize,
+}
+
+impl Report {
+    /// Build from a finished scan plus the parsed baseline.
+    pub fn new(files_scanned: usize, findings: Vec<Diagnostic>, baseline: &Baseline) -> Report {
+        let suppressed = findings.iter().map(|d| baseline.suppresses(d)).collect();
+        let stale = baseline
+            .stale(&findings)
+            .into_iter()
+            .map(|e| (e.rule.clone(), e.file.clone()))
+            .collect();
+        Report {
+            files_scanned,
+            findings,
+            suppressed,
+            stale,
+            baseline_entries: baseline.entries.len(),
+        }
+    }
+
+    /// Findings the baseline does not cover — the ones that fail the
+    /// lint.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.findings
+            .iter()
+            .zip(&self.suppressed)
+            .filter(|(_, &s)| !s)
+            .map(|(d, _)| d)
+    }
+
+    /// Number of suppressed findings.
+    pub fn suppressed_count(&self) -> usize {
+        self.suppressed.iter().filter(|&&s| s).count()
+    }
+
+    /// The JSON document written to `artifacts/ANALYZE.json`.
+    pub fn to_json(&self) -> Json {
+        let findings: Vec<Json> = self
+            .findings
+            .iter()
+            .zip(&self.suppressed)
+            .map(|(d, &s)| {
+                Json::obj(vec![
+                    ("file", Json::str(d.file.as_str())),
+                    ("line", Json::int(d.line as i64)),
+                    ("col", Json::int(d.col as i64)),
+                    ("rule", Json::str(d.rule)),
+                    ("message", Json::str(d.message.as_str())),
+                    ("snippet", Json::str(d.snippet.as_str())),
+                    ("suppressed", Json::Bool(s)),
+                ])
+            })
+            .collect();
+        let stale: Vec<Json> = self
+            .stale
+            .iter()
+            .map(|(rule, file)| {
+                Json::obj(vec![
+                    ("rule", Json::str(rule.as_str())),
+                    ("file", Json::str(file.as_str())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("files_scanned", Json::int(self.files_scanned as i64)),
+            (
+                "rules",
+                Json::Arr(RULE_IDS.iter().map(|r| Json::str(*r)).collect()),
+            ),
+            ("findings", Json::Arr(findings)),
+            (
+                "counts",
+                Json::obj(vec![
+                    ("total", Json::int(self.findings.len() as i64)),
+                    ("suppressed", Json::int(self.suppressed_count() as i64)),
+                    (
+                        "active",
+                        Json::int((self.findings.len() - self.suppressed_count()) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "baseline",
+                Json::obj(vec![
+                    ("entries", Json::int(self.baseline_entries as i64)),
+                    ("stale", Json::Arr(stale)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_counts_and_suppression() {
+        let findings = vec![
+            Diagnostic {
+                file: "crates/a.rs".into(),
+                line: 3,
+                col: 5,
+                rule: "panic-path",
+                message: "m".into(),
+                snippet: "x.unwrap();".into(),
+            },
+            Diagnostic {
+                file: "crates/b.rs".into(),
+                line: 1,
+                col: 1,
+                rule: "no-sleep",
+                message: "m".into(),
+                snippet: "thread::sleep(d);".into(),
+            },
+        ];
+        let baseline = Baseline::parse("panic-path crates/a.rs\n").unwrap();
+        let report = Report::new(2, findings, &baseline);
+        assert_eq!(report.suppressed_count(), 1);
+        assert_eq!(report.active().count(), 1);
+        assert!(report.stale.is_empty());
+        let json = report.to_json();
+        assert_eq!(
+            json.get("counts")
+                .and_then(|c| c.get("active"))
+                .and_then(Json::as_num),
+            Some(1.0)
+        );
+        // Byte-stable: rendering twice is identical.
+        assert_eq!(json.render(), report.to_json().render());
+    }
+}

@@ -1,0 +1,116 @@
+//! Golden-file corpus: every `fixtures/*.rs` file declares the
+//! repo-relative path it pretends to live at (`//@path:` on line 1)
+//! and carries a sibling `.expected` file listing the diagnostics the
+//! analyzer must produce, one `line:col rule` per line.
+//!
+//! Regenerate goldens after an intentional rule change with
+//! `ANALYZER_BLESS=1 cargo test -p delprop-analyzer --test fixtures`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use delprop_analyzer::analyze_file;
+use delprop_analyzer::rules::RULE_IDS;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn corpus() -> Vec<(PathBuf, String)> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "fixture corpus must not be empty");
+    files
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("fixture readable");
+            (p, text)
+        })
+        .collect()
+}
+
+/// The `//@path: <rel>` directive on line 1.
+fn declared_path(fixture: &Path, text: &str) -> String {
+    let first = text.lines().next().unwrap_or("");
+    first
+        .strip_prefix("//@path:")
+        .unwrap_or_else(|| {
+            panic!(
+                "{}: missing //@path: directive on line 1",
+                fixture.display()
+            )
+        })
+        .trim()
+        .to_string()
+}
+
+fn render_findings(rel: &str, text: &str) -> String {
+    let mut out = String::new();
+    for d in analyze_file(rel, text) {
+        writeln!(out, "{}:{} {}", d.line, d.col, d.rule).unwrap();
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let bless = std::env::var_os("ANALYZER_BLESS").is_some();
+    let mut failures = Vec::new();
+    for (path, text) in corpus() {
+        let rel = declared_path(&path, &text);
+        let actual = render_findings(&rel, &text);
+        let golden_path = path.with_extension("expected");
+        if bless {
+            std::fs::write(&golden_path, &actual).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{}: missing golden — run with ANALYZER_BLESS=1 to create it",
+                golden_path.display()
+            )
+        });
+        if actual != golden {
+            failures.push(format!(
+                "{}:\n--- expected ---\n{golden}--- actual ---\n{actual}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Live-fire proof: every rule in the catalog is exercised by at least
+/// one fixture that triggers it. A rule nothing can fire is dead code.
+#[test]
+fn every_rule_fires_on_some_fixture() {
+    let mut fired: Vec<&str> = Vec::new();
+    for (path, text) in corpus() {
+        let rel = declared_path(&path, &text);
+        for d in analyze_file(&rel, &text) {
+            fired.push(d.rule);
+        }
+    }
+    for rule in RULE_IDS {
+        assert!(fired.contains(&rule), "no fixture fires rule `{rule}`");
+    }
+}
+
+/// The lexer stress fixture must stay silent: raw strings, nested
+/// block comments, and char-vs-lifetime noise never leak into rules.
+#[test]
+fn clean_edges_fixture_is_clean() {
+    let path = fixtures_dir().join("clean_edges.rs");
+    let text = std::fs::read_to_string(&path).expect("clean_edges.rs exists");
+    let rel = declared_path(&path, &text);
+    assert_eq!(render_findings(&rel, &text), "");
+}

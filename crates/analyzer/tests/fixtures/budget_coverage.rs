@@ -1,0 +1,42 @@
+//@path: crates/setcover/src/fixture_budget.rs
+// Seeded violations for the budget-coverage audit.
+
+fn violating(xs: &[u32]) -> u32 {
+    let mut s = 0;
+    for x in xs {
+        s += x;
+    }
+    s
+}
+
+fn covered(xs: &[u32], tick: &mut dyn FnMut(u64) -> bool) {
+    for x in xs {
+        if !tick(1) {
+            return;
+        }
+        work(*x);
+    }
+}
+
+fn outer_covered_by_inner(grid: &[Vec<u32>], tick: &mut dyn FnMut(u64) -> bool) {
+    for row in grid {
+        for x in row {
+            tick(1);
+            work(*x);
+        }
+    }
+}
+
+// lint:allow(budget): O(arity) setup loop, charged once by the caller
+fn marker_on_fn(xs: &[u32]) {
+    for x in xs {
+        seed(*x);
+    }
+}
+
+fn marker_on_loop(xs: &[u32]) {
+    // lint:allow(budget): bounded by MAX_KEYS, a compile-time constant
+    for x in xs {
+        seed(*x);
+    }
+}

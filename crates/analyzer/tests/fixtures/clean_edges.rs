@@ -1,0 +1,34 @@
+//@path: crates/core/src/solvers/fixture_clean.rs
+// Lexer stress file: every construct here hides a rule trigger inside
+// a string or comment, or shapes the token stream in a way a line
+// scanner would misread. Expected diagnostics: none.
+
+/* nested /* block comment with x.unwrap() inside */ still comment */
+
+fn raw_strings() -> &'static str {
+    r#"thread::sleep(d); Instant::now(); y.unwrap()"#
+}
+
+fn multi_hash() -> &'static str {
+    r##"contains "# and Ordering::SeqCst without firing"##
+}
+
+fn char_vs_lifetime<'a>(x: &'a u8) -> char {
+    let c: char = 'x';
+    let _escaped = '\'';
+    let _ref: &'a u8 = x;
+    c
+}
+
+fn byte_literals() -> (&'static [u8], u8) {
+    (b"panic! in bytes", b'[')
+}
+
+// A budgeted loop: proves the fixture path is in solver scope and the
+// audit sees through the noise above.
+fn looping(xs: &[u32], tick: &mut dyn FnMut(u64) -> bool) {
+    for x in xs {
+        tick(1);
+        work(*x);
+    }
+}

@@ -1,0 +1,7 @@
+//@path: crates/server/src/fixture_compile.rs
+// Seeded violation for no-direct-compile-in-server: product code must
+// go through the epoch-snapshot cache, never compile directly.
+
+fn violating(problem: &Problem) -> CompiledIr {
+    problem.compiled()
+}

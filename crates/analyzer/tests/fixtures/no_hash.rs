@@ -1,0 +1,9 @@
+//@path: crates/core/src/solution.rs
+// Seeded violation for no-hash-in-hot-paths.
+
+use std::collections::HashMap;
+
+fn justified() {
+    // lint:allow(hash): keyed by externally-supplied opaque ids
+    let _m: HashSet<u64> = HashSet::new();
+}

@@ -1,0 +1,8 @@
+//@path: crates/core/src/ir/fixture.rs
+// Seeded violation for no-raw-atomics outside the sync facade.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::Relaxed;
+
+// The Ordering import above is allowed; the AtomicU64 one is not.
+fn touch(_x: &AtomicU64) {}

@@ -1,0 +1,11 @@
+//@path: crates/core/src/classify.rs
+// Seeded violation for no-raw-clock outside budget.rs and bench.
+
+fn violating() -> Instant {
+    Instant::now()
+}
+
+fn fine() {
+    // Mentions in strings and comments never fire: Instant::now().
+    let _s = "Instant::now()";
+}

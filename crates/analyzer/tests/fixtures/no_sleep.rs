@@ -1,0 +1,6 @@
+//@path: crates/core/src/runtime/portfolio_fixture.rs
+// Seeded violation for no-sleep outside backoff.rs / fault.rs.
+
+fn violating(d: Duration) {
+    std::thread::sleep(d);
+}

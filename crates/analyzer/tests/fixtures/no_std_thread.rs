@@ -1,0 +1,15 @@
+//@path: crates/core/src/shard/fixture_thread.rs
+// Seeded violation for no-std-thread-in-shard. Note even the
+// #[cfg(test)] item fires: shard code must run under the model
+// scheduler everywhere.
+
+fn violating() {
+    std::thread::scope(|_s| {});
+}
+
+#[cfg(test)]
+mod tests {
+    fn also_violating() {
+        std::thread::spawn(|| {});
+    }
+}

@@ -1,0 +1,18 @@
+//@path: crates/core/src/solvers/fixture.rs
+// Seeded violations for the no-unwrap rule in solver scope.
+
+fn violating(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn justified(x: Option<u32>) -> u32 {
+    // lint:allow(unwrap): x was inserted unconditionally above
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn fine(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

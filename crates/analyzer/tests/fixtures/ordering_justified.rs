@@ -1,0 +1,24 @@
+//@path: crates/core/src/shard/fixture_ordering.rs
+// Seeded violations for the ordering-justified audit.
+
+use std::sync::atomic::Ordering;
+
+fn violating(top: &AtomicU64) -> u64 {
+    top.load(Ordering::Acquire)
+}
+
+fn stale_comment(top: &AtomicU64) -> u64 {
+    // ordering: this comment is detached from the load below.
+    let noise = 1;
+    top.load(Ordering::Relaxed) + noise
+}
+
+fn justified_same_line(top: &AtomicU64) -> u64 {
+    top.load(Ordering::Acquire) // ordering: pairs with the Release in push
+}
+
+fn justified_block_above(top: &AtomicU64, val: u64) {
+    // ordering: Release publishes the slot write; a thief that
+    // acquires top afterwards must observe the full slot contents.
+    top.store(val, Ordering::Release);
+}

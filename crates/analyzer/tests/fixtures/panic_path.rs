@@ -1,0 +1,35 @@
+//@path: crates/json/src/fixture_panic.rs
+// Seeded violations for the panic-path audit: every way to panic in
+// wire-facing code, plus the shapes that must stay silent.
+
+fn unwrap_violation(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expect_violation(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn macro_violation(kind: u8) {
+    match kind {
+        0 => {}
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn index_violation(frame: &[u8]) -> u8 {
+    frame[4]
+}
+
+fn fine(frame: &[u8]) -> Option<u8> {
+    // .get() is the non-panicking spelling; array literals and vec!
+    // brackets are not index expressions.
+    let _lit = [0u8; 4];
+    let _v = vec![1, 2];
+    frame.get(4).copied()
+}
+
+fn justified(frame: &[u8]) -> u8 {
+    // lint:allow(panic): length validated by the frame header check
+    frame[4]
+}

@@ -1,0 +1,12 @@
+//@path: crates/core/src/shard/fixture_unsafe.rs
+// Seeded violation for safety-comments: bare `unsafe` without an
+// adjacent SAFETY: comment.
+
+fn violating(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+fn fine(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees p is valid and aligned for reads.
+    unsafe { *p }
+}

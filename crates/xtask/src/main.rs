@@ -1,129 +1,82 @@
 //! Repo automation tasks. The only task today is `lint`:
 //!
 //! ```text
-//! cargo run -p xtask -- lint
+//! cargo run -p xtask -- lint [--stale-only] [--json PATH | --no-json] [--baseline PATH]
 //! ```
 //!
-//! A zero-dependency scanner enforcing the repository's
-//! concurrency-hygiene invariants (DESIGN.md §11), run in CI alongside
-//! clippy and rustfmt:
+//! A thin CLI over `delprop-analyzer` (DESIGN.md §16): one shared
+//! token-stream lex per file, eleven rules — the eight legacy
+//! concurrency-hygiene invariants this binary used to enforce with a
+//! line scanner, plus the ordering-justification, budget-coverage, and
+//! panic-path audits — a committed `analyzer.baseline` burn-down file
+//! with stale-suppression checking, and a machine-readable report at
+//! `artifacts/ANALYZE.json`.
 //!
-//! 1. **no-unwrap** — `.unwrap()` / `.expect(` are forbidden in
-//!    `crates/core/src/solvers/` outside `#[cfg(test)]` items. Solver
-//!    code runs inside the portfolio's `catch_unwind` isolation, but a
-//!    panic still costs the member its run; fallible paths must thread
-//!    `Result` (or justify themselves, see *allow markers* below).
-//! 2. **no-raw-atomics** — `std::sync::atomic` types must not be named
-//!    outside `crates/core/src/runtime/sync.rs`: all runtime code goes
-//!    through the `runtime::sync` facade so the `delprop_model`
-//!    scheduler sees every operation. `std::sync::atomic::Ordering`
-//!    itself is allowed everywhere (it is pure data, re-exported
-//!    unchanged in both facade modes), and `crates/modelcheck` — the
-//!    layer that *implements* the facade — is exempt.
-//! 3. **no-raw-clock** — `Instant::now` is forbidden outside
-//!    `crates/core/src/runtime/budget.rs` (the runtime's single
-//!    sanctioned clock read, `budget::now`) and `crates/bench`.
-//! 4. **safety-comments** — every `unsafe` keyword in code must carry a
-//!    `SAFETY:` comment on the same line or in the contiguous comment
-//!    block directly above it, and `crates/core/src/lib.rs` must keep
-//!    `#![deny(unsafe_op_in_unsafe_fn)]`.
-//! 5. **no-sleep** — `thread::sleep` is forbidden in product code
-//!    outside `crates/server/src/backoff.rs` (the daemon's sanctioned,
-//!    deadline-clamped retry sleep) and
-//!    `crates/core/src/runtime/fault.rs` (fault injection). A bare
-//!    sleep on a serving path blocks a conn thread without observing
-//!    cancellation or deadlines; poll a budget instead.
-//!    Integration-test files (under any `tests/` directory) and
-//!    `#[cfg(test)]` items are exempt — tests stage timing scenarios.
-//! 6. **no-hash-in-hot-paths** — `HashSet`/`HashMap` are forbidden in
-//!    the dense solver hot paths (`crates/core/src/solvers/`,
-//!    `crates/core/src/ir/`, `crates/core/src/classify.rs`,
-//!    `crates/core/src/solution.rs`, `crates/setcover/src/`, and
-//!    `crates/lp/src/`). Those layers work over the compiled dense-id
-//!    universe, where a packed `BitSet`/`BitMatrix` row or a flat
-//!    counter array is both faster and allocation-free; a hash
-//!    container on such a path is almost always an accidental
-//!    regression to the pre-kernel design. Justify real needs with
-//!    `// lint:allow(hash): <reason>`.
-//! 7. **no-std-thread-in-shard** — `std::thread` must not be named
-//!    anywhere in `crates/core/src/shard/` (tests included): the
-//!    work-stealing deque and scheduler are model-checked, so every
-//!    spawn, scope, and yield must go through the `runtime::sync`
-//!    facade (`sync::thread::…`) or the `delprop_model` scheduler is
-//!    blind to it. Justify exceptions with
-//!    `// lint:allow(thread): <reason>`.
-//!
-//! **Allow markers.** A violating line is accepted when it, or one of
-//! the four lines above it, carries a justification marker for its
-//! rule: `// lint:allow(unwrap): <why this cannot fail>` (likewise
-//! `lint:allow(atomics)`, `lint:allow(clock)`, `lint:allow(sleep)`,
-//! `lint:allow(hash)`). The justification text is mandatory — a bare
-//! marker is itself a violation.
-//!
-//! The scanner is intentionally line-based and dependency-free: it
-//! strips line/block comments and string literals with a small state
-//! machine (enough to avoid false positives from prose and patterns in
-//! strings), tracks `#[cfg(test)]` item bodies by brace depth, and
-//! never needs a full Rust parser for these five textual invariants.
+//! Exit codes: `0` clean; `1` active findings or stale baseline
+//! entries; `2` scan errors (unreadable file, malformed baseline,
+//! unknown flag).
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use delprop_analyzer::{run, Options, Outcome};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint [--stale-only] [--json PATH | --no-json] [--baseline PATH]");
             eprintln!();
             eprintln!("tasks:");
-            eprintln!("  lint    enforce the repo invariants (see crates/xtask/src/main.rs)");
+            eprintln!("  lint    enforce the repo invariants (analyzer-backed; see DESIGN.md §16)");
+            eprintln!();
+            eprintln!("lint flags:");
+            eprintln!("  --stale-only      only fail on stale analyzer.baseline entries");
+            eprintln!(
+                "  --json PATH       write the JSON report there (default artifacts/ANALYZE.json)"
+            );
+            eprintln!("  --no-json         skip writing the JSON report");
+            eprintln!(
+                "  --baseline PATH   read suppressions from PATH (default analyzer.baseline)"
+            );
             ExitCode::SUCCESS
         }
         Some(other) => {
             eprintln!("xtask: unknown task `{other}` (try `lint`)");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
-fn run_lint() -> ExitCode {
-    let root = repo_root();
-    let mut files = Vec::new();
-    for top in ["crates", "src", "tests", "benches"] {
-        collect_rs_files(&root.join(top), &mut files);
-    }
-    files.sort();
-
-    let mut violations = Vec::new();
-    for path in &files {
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("xtask lint: cannot read {rel}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        violations.extend(scan_file(&rel, &text));
-    }
-    violations.extend(check_core_denies_unsafe_ops(&root));
-
-    if violations.is_empty() {
-        println!("xtask lint: OK ({} files)", files.len());
-        ExitCode::SUCCESS
-    } else {
-        for v in &violations {
-            println!("{v}");
+fn run_lint(flags: &[String]) -> ExitCode {
+    let mut opts = Options::default();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--stale-only" => opts.stale_only = true,
+            "--no-json" => opts.json_out = Some(PathBuf::new()),
+            "--json" => match it.next() {
+                Some(p) => opts.json_out = Some(PathBuf::from(p)),
+                None => return usage_error("--json needs a path"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => opts.baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline needs a path"),
+            },
+            other => return usage_error(&format!("unknown lint flag `{other}`")),
         }
-        println!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
     }
+    match run(&repo_root(), &opts) {
+        Outcome::Clean => ExitCode::SUCCESS,
+        Outcome::Dirty => ExitCode::FAILURE,
+        Outcome::Error => ExitCode::from(2),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("xtask lint: {msg}");
+    ExitCode::from(2)
 }
 
 /// `crates/xtask` -> repository root.
@@ -134,656 +87,4 @@ fn repo_root() -> PathBuf {
         .and_then(Path::parent)
         .expect("crates/xtask sits two levels under the repo root")
         .to_path_buf()
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return; // missing top-level dirs (e.g. no benches/) are fine
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-// -------------------------------------------------------------------
-// Violations
-// -------------------------------------------------------------------
-
-struct Violation {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
-// -------------------------------------------------------------------
-// Per-file scan
-// -------------------------------------------------------------------
-
-/// How many lines above a violation an allow marker / SAFETY comment
-/// may sit.
-const MARKER_LOOKBACK: usize = 4;
-
-fn scan_file(rel: &str, text: &str) -> Vec<Violation> {
-    let raw: Vec<&str> = text.lines().collect();
-    let code = strip_file(&raw);
-    let in_test = test_block_mask(&code);
-
-    let unwrap_scope = rel.starts_with("crates/core/src/solvers/");
-    let atomics_scope =
-        !rel.starts_with("crates/modelcheck/") && rel != "crates/core/src/runtime/sync.rs";
-    let clock_scope =
-        !rel.starts_with("crates/bench/") && rel != "crates/core/src/runtime/budget.rs";
-    // Integration-test files (`tests/` at the repo root or inside a
-    // crate) may sleep to stage timing scenarios; product code may not.
-    let sleep_scope = rel != "crates/server/src/backoff.rs"
-        && rel != "crates/core/src/runtime/fault.rs"
-        && !rel.starts_with("tests/")
-        && !rel.contains("/tests/");
-    // The serving daemon must read compiled IRs through the epoch
-    // engine's installed projections (`Engine::problem()` /
-    // `Engine::with_delta`), never trigger its own compiles: a direct
-    // `Problem::compiled()` on a cloned problem silently rebuilds the
-    // whole index per request, defeating incremental maintenance.
-    let compiled_scope = rel.starts_with("crates/server/src/");
-    // The shard module's concurrency must stay model-checkable: even
-    // its tests run under the `delprop_model` scheduler, so a raw
-    // `std::thread` anywhere in the module escapes the explored space.
-    let shard_thread_scope = rel.starts_with("crates/core/src/shard/");
-    let hash_scope = rel.starts_with("crates/core/src/solvers/")
-        || rel.starts_with("crates/core/src/ir/")
-        || rel == "crates/core/src/classify.rs"
-        || rel == "crates/core/src/solution.rs"
-        || rel.starts_with("crates/setcover/src/")
-        || rel.starts_with("crates/lp/src/");
-
-    let mut out = Vec::new();
-    for (i, stripped) in code.iter().enumerate() {
-        let lineno = i + 1;
-
-        if unwrap_scope
-            && !in_test[i]
-            && (stripped.contains(".unwrap()") || stripped.contains(".expect("))
-            && !allowed(&raw, i, "unwrap")
-        {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "no-unwrap",
-                message: "`.unwrap()`/`.expect(` in solver code: return a typed error, or \
-                          justify with `// lint:allow(unwrap): <reason>`"
-                    .to_string(),
-            });
-        }
-
-        if atomics_scope && names_raw_atomic(stripped) && !allowed(&raw, i, "atomics") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "no-raw-atomics",
-                message: "raw `std::sync::atomic` outside the `runtime::sync` facade: the \
-                          `delprop_model` scheduler cannot see this operation"
-                    .to_string(),
-            });
-        }
-
-        if clock_scope && stripped.contains("Instant::now") && !allowed(&raw, i, "clock") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "no-raw-clock",
-                message: "`Instant::now` outside `runtime/budget.rs`: go through the \
-                          `budget::now()` choke point"
-                    .to_string(),
-            });
-        }
-
-        if sleep_scope
-            && !in_test[i]
-            && stripped.contains("thread::sleep")
-            && !allowed(&raw, i, "sleep")
-        {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "no-sleep",
-                message: "`thread::sleep` outside `crates/server/src/backoff.rs`: blocking \
-                          sleeps belong to the jittered-backoff choke point (deadline-clamped, \
-                          seeded) — poll a budget/cancel token instead, or justify with \
-                          `// lint:allow(sleep): <reason>`"
-                    .to_string(),
-            });
-        }
-
-        if hash_scope
-            && !in_test[i]
-            && (contains_word(stripped, "HashSet") || contains_word(stripped, "HashMap"))
-            && !allowed(&raw, i, "hash")
-        {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "no-hash-in-hot-paths",
-                message: "`HashSet`/`HashMap` in a dense solver hot path: use a packed \
-                          `BitSet`/`BitMatrix` row or flat counters over the compiled ids, \
-                          or justify with `// lint:allow(hash): <reason>`"
-                    .to_string(),
-            });
-        }
-
-        if compiled_scope
-            && !in_test[i]
-            && (stripped.contains(".compiled()") || stripped.contains(".compiled_arc("))
-            && !allowed(&raw, i, "compiled")
-        {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "no-direct-compile-in-server",
-                message: "direct `Problem::compiled()` in the serving daemon: read the IR \
-                          through the epoch engine (`Engine::problem()` / `with_delta`) so \
-                          requests share incremental projections, or justify with \
-                          `// lint:allow(compiled): <reason>`"
-                    .to_string(),
-            });
-        }
-
-        if shard_thread_scope && stripped.contains("std::thread") && !allowed(&raw, i, "thread") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "no-std-thread-in-shard",
-                message: "raw `std::thread` in the shard module: spawn through the \
-                          `runtime::sync` facade (`sync::thread::scope`) so the \
-                          `delprop_model` scheduler can interleave it, or justify with \
-                          `// lint:allow(thread): <reason>`"
-                    .to_string(),
-            });
-        }
-
-        if contains_word(stripped, "unsafe") && !has_safety_comment(&raw, i) {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "safety-comments",
-                message: "`unsafe` without a `// SAFETY:` comment on the line or in the \
-                          comment block directly above"
-                    .to_string(),
-            });
-        }
-    }
-    out
-}
-
-/// `crates/core/src/lib.rs` must keep its crate-level unsafe hygiene
-/// attribute — the rule every `SAFETY:` comment in that crate leans on.
-fn check_core_denies_unsafe_ops(root: &Path) -> Vec<Violation> {
-    let path = root.join("crates/core/src/lib.rs");
-    let text = std::fs::read_to_string(&path).unwrap_or_default();
-    if text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
-        Vec::new()
-    } else {
-        vec![Violation {
-            file: "crates/core/src/lib.rs".to_string(),
-            line: 1,
-            rule: "safety-comments",
-            message: "missing `#![deny(unsafe_op_in_unsafe_fn)]` at the crate root".to_string(),
-        }]
-    }
-}
-
-// -------------------------------------------------------------------
-// Marker + pattern helpers
-// -------------------------------------------------------------------
-
-/// Whether line `i` (0-based) carries — on itself or within
-/// `MARKER_LOOKBACK` lines above — a `lint:allow(<rule>): <reason>`
-/// marker with a non-empty reason.
-fn allowed(raw: &[&str], i: usize, rule: &str) -> bool {
-    let marker = format!("lint:allow({rule})");
-    let lo = i.saturating_sub(MARKER_LOOKBACK);
-    raw[lo..=i].iter().any(|line| {
-        line.find(&marker).is_some_and(|at| {
-            let rest = &line[at + marker.len()..];
-            // Demand `: <non-empty justification>` after the marker.
-            rest.strip_prefix(':')
-                .is_some_and(|reason| !reason.trim().is_empty())
-        })
-    })
-}
-
-/// `std::sync::atomic` uses that are not the (allowed) `Ordering` path.
-fn names_raw_atomic(stripped: &str) -> bool {
-    let mut rest = stripped;
-    while let Some(at) = rest.find("std::sync::atomic") {
-        let after = &rest[at + "std::sync::atomic".len()..];
-        if !after.starts_with("::Ordering") {
-            return true;
-        }
-        rest = after;
-    }
-    false
-}
-
-/// Whether `needle` occurs in `haystack` as a whole word (not as part
-/// of a longer identifier).
-fn contains_word(haystack: &str, needle: &str) -> bool {
-    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let bytes = haystack.as_bytes();
-    let mut from = 0;
-    while let Some(at) = haystack[from..].find(needle) {
-        let start = from + at;
-        let end = start + needle.len();
-        let ok_left = start == 0 || !is_ident(bytes[start - 1]);
-        let ok_right = end == bytes.len() || !is_ident(bytes[end]);
-        if ok_left && ok_right {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// A `SAFETY:` comment counts when it is on the violating line itself
-/// or anywhere in the contiguous run of comment/attribute/blank lines
-/// directly above it (long safety arguments span many comment lines).
-fn has_safety_comment(raw: &[&str], i: usize) -> bool {
-    if raw[i].contains("SAFETY:") {
-        return true;
-    }
-    for line in raw[..i].iter().rev() {
-        let t = line.trim();
-        let is_annotation = t.is_empty()
-            || t.starts_with("//")
-            || t.starts_with("/*")
-            || t.starts_with('*')
-            || t.starts_with("#[")
-            || t.starts_with("#![");
-        if !is_annotation {
-            return false;
-        }
-        if t.contains("SAFETY:") {
-            return true;
-        }
-    }
-    false
-}
-
-// -------------------------------------------------------------------
-// Comment/string stripping + cfg(test) tracking
-// -------------------------------------------------------------------
-
-/// Strip comments and string-literal *contents* from every line, so
-/// pattern matching only ever sees code. Handles `//` line comments,
-/// multi-line `/* */` block comments, `"…"` strings with escapes, and
-/// char literals (including `'"'` and `'\''`); lifetimes (`'a`) pass
-/// through. Raw strings are treated as plain strings — good enough for
-/// a linter over this codebase, where `r#"…"#` does not appear outside
-/// test data.
-fn strip_file(raw: &[&str]) -> Vec<String> {
-    let mut out = Vec::with_capacity(raw.len());
-    let mut in_block_comment = false;
-    for line in raw {
-        out.push(strip_line(line, &mut in_block_comment));
-    }
-    out
-}
-
-fn strip_line(line: &str, in_block_comment: &mut bool) -> String {
-    let b = line.as_bytes();
-    let mut out = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < b.len() {
-        if *in_block_comment {
-            if b[i..].starts_with(b"*/") {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match b[i] {
-            b'/' if b[i..].starts_with(b"//") => break, // rest is comment
-            b'/' if b[i..].starts_with(b"/*") => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            b'"' => {
-                // Skip the string body, honouring escapes.
-                i += 1;
-                while i < b.len() {
-                    match b[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                out.push_str("\"\"");
-            }
-            b'\'' => {
-                // Char literal or lifetime. A char literal closes with
-                // a quote one or two (escaped) positions later.
-                if i + 2 < b.len() && b[i + 1] == b'\\' {
-                    out.push_str("' '");
-                    i += 3; // '\x
-                    while i < b.len() && b[i] != b'\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    out.push_str("' '");
-                    i += 3; // 'c'
-                } else {
-                    out.push('\''); // lifetime
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c as char);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// For each line, whether it belongs to the body of a `#[cfg(test)]`
-/// item (module or function), tracked by brace depth on the stripped
-/// lines. The attribute line itself and any attributes/doc lines
-/// between it and the opening brace are included.
-fn test_block_mask(code: &[String]) -> Vec<bool> {
-    let mut mask = vec![false; code.len()];
-    let mut in_test = false;
-    let mut pending = false;
-    let mut depth: i64 = 0;
-    for (i, line) in code.iter().enumerate() {
-        if in_test {
-            mask[i] = true;
-            depth += brace_delta(line);
-            if depth <= 0 {
-                in_test = false;
-            }
-            continue;
-        }
-        if pending {
-            mask[i] = true;
-            if line.contains('{') {
-                pending = false;
-                in_test = true;
-                depth = brace_delta(line);
-                if depth <= 0 {
-                    in_test = false; // single-line item
-                }
-            }
-            continue;
-        }
-        if line.contains("#[cfg(test)]") {
-            mask[i] = true;
-            pending = true;
-        }
-    }
-    mask
-}
-
-fn brace_delta(line: &str) -> i64 {
-    let opens = line.bytes().filter(|&b| b == b'{').count() as i64;
-    let closes = line.bytes().filter(|&b| b == b'}').count() as i64;
-    opens - closes
-}
-
-// -------------------------------------------------------------------
-// Tests
-// -------------------------------------------------------------------
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scan(rel: &str, text: &str) -> Vec<String> {
-        scan_file(rel, text)
-            .into_iter()
-            .map(|v| format!("{}:{} {}", v.line, v.rule, ""))
-            .map(|s| s.trim().to_string())
-            .collect()
-    }
-
-    #[test]
-    fn unwrap_flagged_only_in_solver_scope_outside_tests() {
-        let src = "fn f() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn g() { y.unwrap(); }\n\
-                   }\n";
-        let v = scan("crates/core/src/solvers/foo.rs", src);
-        assert_eq!(v, ["1:no-unwrap"]);
-        assert!(scan("crates/core/src/runtime/foo.rs", src).is_empty());
-    }
-
-    #[test]
-    fn allow_marker_needs_a_justification() {
-        let bare = "// lint:allow(unwrap):\nx.unwrap();\n";
-        assert_eq!(
-            scan("crates/core/src/solvers/foo.rs", bare),
-            ["2:no-unwrap"]
-        );
-        let justified = "// lint:allow(unwrap): constructed two lines up\nx.unwrap();\n";
-        assert!(scan("crates/core/src/solvers/foo.rs", justified).is_empty());
-    }
-
-    #[test]
-    fn sleep_flagged_outside_backoff_fault_and_tests() {
-        let src = "fn f() { std::thread::sleep(d); }\n";
-        assert_eq!(scan("crates/server/src/daemon.rs", src), ["1:no-sleep"]);
-        assert_eq!(
-            scan("crates/core/src/runtime/budget.rs", src),
-            ["1:no-sleep"]
-        );
-        // The two sanctioned modules and test files are exempt.
-        assert!(scan("crates/server/src/backoff.rs", src).is_empty());
-        assert!(scan("crates/core/src/runtime/fault.rs", src).is_empty());
-        assert!(scan("tests/fault_injection.rs", src).is_empty());
-        assert!(scan("crates/server/tests/chaos.rs", src).is_empty());
-        // `#[cfg(test)]` items inside product files are exempt too.
-        let in_test = "#[cfg(test)]\n\
-                       mod tests {\n\
-                           fn g() { std::thread::sleep(d); }\n\
-                       }\n";
-        assert!(scan("crates/server/src/daemon.rs", in_test).is_empty());
-        // An allow marker with a reason is honored; prose is not code.
-        let justified = "// lint:allow(sleep): startup settle, not on a request path\n\
-                         std::thread::sleep(d);\n";
-        assert!(scan("crates/server/src/state.rs", justified).is_empty());
-        let comment = "// never call thread::sleep here\n";
-        assert!(scan("crates/server/src/daemon.rs", comment).is_empty());
-    }
-
-    #[test]
-    fn std_thread_flagged_in_shard_module_even_in_tests() {
-        let src = "fn f() { std::thread::scope(|s| {}); }\n";
-        assert_eq!(
-            scan("crates/core/src/shard/scheduler.rs", src),
-            ["1:no-std-thread-in-shard"]
-        );
-        // Tests in the module are NOT exempt: they must also run under
-        // the model scheduler.
-        let in_test = "#[cfg(test)]\n\
-                       mod tests {\n\
-                           fn g() { std::thread::spawn(|| {}); }\n\
-                       }\n";
-        assert_eq!(
-            scan("crates/core/src/shard/deque.rs", in_test),
-            ["3:no-std-thread-in-shard"]
-        );
-        // The facade path and other modules are fine.
-        let facade = "fn f() { sync::thread::scope(|s| {}); }\n";
-        assert!(scan("crates/core/src/shard/scheduler.rs", facade).is_empty());
-        assert!(scan("crates/core/src/runtime/portfolio.rs", src).is_empty());
-        // A justified exception is honored.
-        let justified = "// lint:allow(thread): std fallback when the facade is compiled out\n\
-                         fn f() { std::thread::scope(|s| {}); }\n";
-        assert!(scan("crates/core/src/shard/mod.rs", justified).is_empty());
-    }
-
-    #[test]
-    fn raw_atomics_flagged_but_ordering_and_facade_allowed() {
-        let import = "use std::sync::atomic::AtomicU64;\n";
-        assert_eq!(
-            scan("crates/core/src/ir/mod.rs", import),
-            ["1:no-raw-atomics"]
-        );
-        assert!(scan("crates/core/src/runtime/sync.rs", import).is_empty());
-        assert!(scan("crates/modelcheck/src/atomic.rs", import).is_empty());
-        let ordering = "use std::sync::atomic::Ordering::Relaxed;\n";
-        assert!(scan("crates/core/src/ir/mod.rs", ordering).is_empty());
-        let comment = "// std::sync::atomic is forbidden here\n";
-        assert!(scan("crates/core/src/ir/mod.rs", comment).is_empty());
-    }
-
-    #[test]
-    fn clock_flagged_outside_budget_and_bench() {
-        let src = "let t = Instant::now();\n";
-        assert_eq!(scan("crates/core/src/ir/mod.rs", src), ["1:no-raw-clock"]);
-        assert!(scan("crates/core/src/runtime/budget.rs", src).is_empty());
-        assert!(scan("crates/bench/src/main.rs", src).is_empty());
-        let in_string = "let s = \"Instant::now\";\n";
-        assert!(scan("crates/core/src/ir/mod.rs", in_string).is_empty());
-    }
-
-    #[test]
-    fn direct_compiles_flagged_in_server_product_code_only() {
-        let call = "let ir = problem.compiled();\n";
-        assert_eq!(
-            scan("crates/server/src/state.rs", call),
-            ["1:no-direct-compile-in-server"]
-        );
-        let arc = "let ir = problem.compiled_arc();\n";
-        assert_eq!(
-            scan("crates/server/src/engine.rs", arc),
-            ["1:no-direct-compile-in-server"]
-        );
-        // Core, tests, and `#[cfg(test)]` items are exempt.
-        assert!(scan("crates/core/src/problem.rs", call).is_empty());
-        assert!(scan("crates/server/tests/serve.rs", call).is_empty());
-        let in_test = "#[cfg(test)]\n\
-                       mod tests {\n\
-                           fn g() { let _ = p.compiled(); }\n\
-                       }\n";
-        assert!(scan("crates/server/src/state.rs", in_test).is_empty());
-        // A justified allow marker is honored.
-        let justified = "// lint:allow(compiled): warm-up outside any request path\n\
-                         let _ = problem.compiled();\n";
-        assert!(scan("crates/server/src/state.rs", justified).is_empty());
-    }
-
-    #[test]
-    fn hash_containers_flagged_in_hot_paths_only() {
-        let import = "use std::collections::HashSet;\n";
-        for hot in [
-            "crates/core/src/solvers/primal_dual.rs",
-            "crates/core/src/ir/mod.rs",
-            "crates/core/src/classify.rs",
-            "crates/core/src/solution.rs",
-            "crates/setcover/src/greedy.rs",
-            "crates/lp/src/simplex.rs",
-        ] {
-            assert_eq!(scan(hot, import), ["1:no-hash-in-hot-paths"], "{hot}");
-        }
-        // Cold layers, test files, and `#[cfg(test)]` items are exempt.
-        assert!(scan("crates/core/src/problem.rs", import).is_empty());
-        assert!(scan("crates/server/src/daemon.rs", import).is_empty());
-        let in_test = "#[cfg(test)]\n\
-                       mod tests {\n\
-                           use std::collections::HashMap;\n\
-                       }\n";
-        assert!(scan("crates/core/src/solvers/foo.rs", in_test).is_empty());
-        // A justified marker is honored; prose and identifiers are not.
-        let justified = "// lint:allow(hash): interning table keyed by tuple value, not dense id\n\
-                         let m: HashMap<Value, u32> = HashMap::new();\n";
-        assert!(scan("crates/core/src/ir/mod.rs", justified).is_empty());
-        let comment = "// HashMap would be wrong here\n";
-        assert!(scan("crates/core/src/ir/mod.rs", comment).is_empty());
-        let ident = "fn not_a_HashMapLike() {}\n";
-        assert!(scan("crates/core/src/ir/mod.rs", ident).is_empty());
-    }
-
-    #[test]
-    fn unsafe_requires_adjacent_safety_comment() {
-        let bad = "fn f() {\n    unsafe { g() }\n}\n";
-        assert_eq!(scan("crates/core/src/x.rs", bad), ["2:safety-comments"]);
-        let good = "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() }\n}\n";
-        assert!(scan("crates/core/src/x.rs", good).is_empty());
-        // A multi-line comment block directly above still counts …
-        let block = "fn f() {\n    // SAFETY: a long argument\n    // spanning lines.\n    unsafe { g() }\n}\n";
-        assert!(scan("crates/core/src/x.rs", block).is_empty());
-        // … but code between the comment and the `unsafe` breaks it.
-        let gapped = "fn f() {\n    // SAFETY: stale.\n    h();\n    unsafe { g() }\n}\n";
-        assert_eq!(scan("crates/core/src/x.rs", gapped), ["4:safety-comments"]);
-        // Identifiers containing the word are not the keyword.
-        let ident = "fn rejects_unsafe_head() {}\n";
-        assert!(scan("crates/core/src/x.rs", ident).is_empty());
-        // Prose in doc comments is not code.
-        let doc = "/// This query would be unsafe.\nfn f() {}\n";
-        assert!(scan("crates/core/src/x.rs", doc).is_empty());
-    }
-
-    #[test]
-    fn stripper_handles_strings_chars_and_block_comments() {
-        let mut blk = false;
-        assert_eq!(
-            strip_line("let c = '\"'; x.unwrap();", &mut blk),
-            "let c = ' '; x.unwrap();"
-        );
-        assert!(!blk);
-        assert_eq!(strip_line("a /* c1 */ b", &mut blk), "a  b");
-        assert_eq!(strip_line("a /* open", &mut blk), "a ");
-        assert!(blk);
-        assert_eq!(strip_line("still closed */ tail", &mut blk), " tail");
-        assert!(!blk);
-        assert_eq!(
-            strip_line("let s = \"esc \\\" quote\"; rest", &mut blk),
-            "let s = \"\"; rest"
-        );
-        assert_eq!(
-            strip_line("fn f<'a>(x: &'a str) {}", &mut blk),
-            "fn f<'a>(x: &'a str) {}"
-        );
-    }
-
-    #[test]
-    fn test_mask_covers_nested_braces_and_returns_to_code() {
-        let src = "fn a() {}\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn b() { if x { y() } }\n\
-                   }\n\
-                   fn c() { z.unwrap(); }\n";
-        let raw: Vec<&str> = src.lines().collect();
-        let code = strip_file(&raw);
-        let mask = test_block_mask(&code);
-        assert_eq!(mask, [false, true, true, true, true, false]);
-    }
 }
