@@ -470,12 +470,14 @@ static SCALE: delprop_core::runtime::sync::AtomicUsize =
 /// Set the workload scale factor (panics on 0).
 pub fn set_scale(factor: usize) {
     assert!(factor >= 1, "--scale must be at least 1");
+    // ordering: Relaxed — set once from main before any sweep thread
+    // reads it; no other data rides on this store.
     SCALE.store(factor, delprop_core::runtime::sync::Ordering::Relaxed);
 }
 
 /// The current workload scale factor.
 pub fn scale() -> usize {
-    SCALE.load(delprop_core::runtime::sync::Ordering::Relaxed)
+    SCALE.load(delprop_core::runtime::sync::Ordering::Relaxed) // ordering: plain config read, set before sweeps start
 }
 
 /// EX-KERN — the packed-kernel hot paths on the EX-P1 sweep: bitset

@@ -88,7 +88,7 @@ impl<S: Solver> FaultySolver<S> {
 
     /// Number of solve calls this wrapper has seen.
     pub fn attempts(&self) -> u64 {
-        self.attempts.load(Ordering::Relaxed)
+        self.attempts.load(Ordering::Relaxed) // ordering: monotonic counter, no data published
     }
 }
 

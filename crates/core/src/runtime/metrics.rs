@@ -50,19 +50,19 @@ impl Counter {
 
     /// Increment by one.
     pub fn inc(&self) {
-        self.value.fetch_add(1, Ordering::Relaxed);
+        self.value.fetch_add(1, Ordering::Relaxed); // ordering: statistical counter, no data published
     }
 
     /// Increment by `n`.
     pub fn add(&self, n: u64) {
         if n > 0 {
-            self.value.fetch_add(n, Ordering::Relaxed);
+            self.value.fetch_add(n, Ordering::Relaxed); // ordering: statistical counter, no data published
         }
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // ordering: scrape may lag concurrent increments
     }
 }
 
@@ -138,21 +138,24 @@ impl Histogram {
 
     /// Record one value.
     pub fn observe(&self, v: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed on all three — histogram cells are
+        // independent statistical counters; a scrape may observe a
+        // torn (count, sum, bucket) triple and that is acceptable.
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: see above
+        self.sum.fetch_add(v, Ordering::Relaxed); // ordering: see above
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // ordering: see above
     }
 
     /// Copy out the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
         for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
-            *out = b.load(Ordering::Relaxed);
+            *out = b.load(Ordering::Relaxed); // ordering: snapshot tolerates skew between cells
         }
         HistogramSnapshot {
             name: self.name,
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed), // ordering: snapshot tolerates skew
+            sum: self.sum.load(Ordering::Relaxed),     // ordering: snapshot tolerates skew
             buckets,
         }
     }

@@ -83,13 +83,16 @@ impl StealDeque {
     /// Owner: push a task at the bottom. Returns the task back when the
     /// deque is full (the caller runs it inline — never dropped).
     pub fn push(&self, task: usize) -> Result<(), usize> {
-        let b = self.bottom.load(Ordering::Relaxed);
-        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Relaxed); // ordering: owner-only index, no one else writes it
+        let t = self.top.load(Ordering::Acquire); // ordering: see finished steals before judging fullness
         if b - t >= self.slots.len() as u64 {
             return Err(task);
         }
+        // ordering: Relaxed — the Release store of `bottom` below is
+        // what publishes this slot write to thieves.
         self.slot(b).store(task as u64, Ordering::Relaxed);
-        // Release: a thief acquiring `bottom` must see the slot value.
+        // ordering: Release — a thief acquiring `bottom` must see the
+        // slot value stored above.
         self.bottom.store(b + 1, Ordering::Release);
         Ok(())
     }
@@ -97,18 +100,26 @@ impl StealDeque {
     /// Owner: pop the most recently pushed task, racing thieves for the
     /// last element.
     pub fn pop(&self) -> Option<usize> {
-        let b = self.bottom.load(Ordering::Relaxed);
-        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed); // ordering: owner-only index, no one else writes it
+        let t = self.top.load(Ordering::Relaxed); // ordering: advisory; re-read under the fence below
         if t >= b {
             return None; // empty (steals only ever shrink the deque)
         }
         let b = b - 1;
+        // ordering: Relaxed store + SeqCst fence — Chase–Lev requires
+        // the decrement to be totally ordered against thieves' `top`
+        // CASes, which the fence provides; the store alone need not
+        // publish anything.
         self.bottom.store(b, Ordering::Relaxed);
-        // Totally order the decrement against thieves' `top` CASes.
+        // ordering: SeqCst — totally orders the decrement against
+        // thieves' `top` CASes (the pairing half of the block above).
         fence(Ordering::SeqCst);
+        // ordering: Relaxed — the fence above already orders this load
+        // after the decrement for every thief that claimed a slot.
         let t = self.top.load(Ordering::Relaxed);
         if t < b {
             // At least two tasks remained: the bottom one is ours alone.
+            // ordering: Relaxed — this same thread wrote the slot.
             return Some(self.slot(b).load(Ordering::Relaxed) as usize);
         }
         if t == b {
@@ -116,22 +127,29 @@ impl StealDeque {
             // deque ends empty with `bottom = top = b + 1`.
             let won = self
                 .top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed) // ordering: success joins the fence total order; failure result is discarded
                 .is_ok();
+            // ordering: Relaxed reset — owner-only write to `bottom`.
             self.bottom.store(b + 1, Ordering::Relaxed);
+            // ordering: Relaxed slot read — own write; winning the CAS
+            // excluded every thief from this slot.
             return won.then(|| self.slot(b).load(Ordering::Relaxed) as usize);
         }
         // Thieves drained it between our two loads; restore `bottom`.
-        self.bottom.store(b + 1, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Relaxed); // ordering: owner-only reset
         None
     }
 
     /// Thief: try to take the oldest task.
     pub fn steal(&self) -> Steal {
+        // ordering: Acquire — see the claiming CAS of any earlier thief.
         let t = self.top.load(Ordering::Acquire);
-        // Order this thief's `bottom` load after any other contender's
-        // `top` CAS (mirror of the fence in `pop`).
+        // ordering: SeqCst fence — order this thief's `bottom` load
+        // after any other contender's `top` CAS (mirror of the fence in
+        // `pop`).
         fence(Ordering::SeqCst);
+        // ordering: Acquire pairs with push's Release store so the slot
+        // write behind `bottom` is visible before we read it below.
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
             return Steal::Empty;
@@ -140,10 +158,12 @@ impl StealDeque {
         // still `t`, so a push can not have lapped this slot (push
         // refuses at `bottom - top == capacity`); if it fails, the
         // possibly-stale value is discarded.
+        // ordering: Relaxed — visibility came from the Acquire of
+        // `bottom` above; staleness is handled by the CAS outcome.
         let task = self.slot(t).load(Ordering::Relaxed) as usize;
         if self
             .top
-            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed) // ordering: success joins the fence total order; failure discards `task`
             .is_ok()
         {
             Steal::Taken(task)
@@ -154,8 +174,8 @@ impl StealDeque {
 
     /// Whether the deque is observably empty (racy; advisory only).
     pub fn is_empty(&self) -> bool {
-        let t = self.top.load(Ordering::Relaxed);
-        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed); // ordering: advisory probe, staleness tolerated
+        let b = self.bottom.load(Ordering::Relaxed); // ordering: advisory probe, staleness tolerated
         t >= b
     }
 }

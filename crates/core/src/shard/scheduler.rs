@@ -54,6 +54,9 @@ where
 
     let finish = |task: usize| {
         run(task);
+        // ordering: Release pairs with the Acquire load in the
+        // termination check — a worker that sees `done == num_tasks`
+        // also sees every task's side effects.
         done.fetch_add(1, Ordering::Release);
     };
 
@@ -65,6 +68,8 @@ where
         }
         // 2. Claim a chunk from the injector: run the first task now,
         // expose the rest to thieves (full deque → run inline).
+        // ordering: Relaxed — the ticket value itself is the claim;
+        // tasks carry no cross-thread data until `done` is released.
         let start = injector.fetch_add(chunk, Ordering::Relaxed);
         if start < num_tasks {
             let end = (start + chunk).min(num_tasks);
@@ -96,6 +101,8 @@ where
         }
         // 4. Nothing anywhere. A lost steal race means someone else is
         // mid-transfer, so only a fully quiet scan may terminate.
+        // ordering: Acquire pairs with each worker's Release
+        // increment, so termination observes all completed work.
         if !contended && done.load(Ordering::Acquire) >= num_tasks {
             break;
         }

@@ -125,7 +125,7 @@ impl ActiveRequests {
     /// Register a share of `budget`'s pool; the returned id
     /// deregisters it.
     pub fn register(&self, budget: &Budget) -> u64 {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let id = self.next.fetch_add(1, Ordering::Relaxed); // ordering: unique-id ticket, order irrelevant
         self.lock().insert(id, budget.share_labeled("active"));
         if let Some(cause) = self.closed.get() {
             budget.cancel_all_with_cause(cause);
