@@ -56,6 +56,7 @@ fn pivot(ir: &CompiledInstance) -> Result<&PivotData, CoreError> {
     })
 }
 
+// lint:allow(budget): tree DP is two O(n) passes over bfs_order; the runtime adapter charges it coarsely
 fn run(ir: &CompiledInstance, mode: Mode) -> Result<Solution, CoreError> {
     let pivot = pivot(ir)?;
     let n = pivot.num_vertices();

@@ -111,6 +111,7 @@ pub fn with_threshold(ir: &CompiledInstance, tau: usize) -> TreeAttempt {
 /// pushed into a [`BucketQueue`] keyed by red-degree once, and popped
 /// (un-forbidden) exactly when τ reaches its degree — O(‖candidates‖)
 /// total restriction work across the whole sweep.
+// lint:allow(budget): tau-sweep is bounded by max_degree <= n and each pass is O(n)
 pub fn solve(ir: &CompiledInstance) -> Result<Solution, CoreError> {
     crate::runtime::metrics::SOLVE_LOWDEG_TREE.inc();
     let nb = ir.num_bases();

@@ -36,6 +36,7 @@ use crate::runtime::{metrics, Budget};
 use crate::solution::Solution;
 use delprop_lp::{Cmp, LpOutcome, LpProblem, Sense};
 
+// lint:allow(budget): LP assembly is one O(rows + nnz) pass; the simplex pivots tick via solve_budgeted
 fn build(ir: &CompiledInstance) -> LpProblem {
     let ny = ir.num_bases();
     let nx = ir.num_vulnerable();
@@ -138,6 +139,7 @@ pub fn solve_budgeted(ir: &CompiledInstance, budget: &Budget) -> Result<Solution
 /// min Σ_s w_s·x_s + Σ_r w_r·(1 − z_r)
 /// s.t. z_r ≤ Σ_{t∈witnesses(r)} y_t,  z_r ≤ 1,  x_s ≥ y_t,  all ≥ 0
 /// ```
+// lint:allow(budget): two O(nnz) scans over the incidence structure, no iteration
 pub fn balanced_lower_bound(ir: &CompiledInstance) -> f64 {
     if ir.num_demands() == 0 {
         return 0.0;

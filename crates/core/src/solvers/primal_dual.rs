@@ -86,6 +86,7 @@ pub struct PrimalDualOutcome {
 ///
 /// Errors with [`CoreError::Infeasible`] iff some demand's witnesses are
 /// all forbidden (possible only with a non-empty `forbidden` set).
+// lint:allow(budget): raise/cleanup passes are bounded by demands x witnesses; the runtime adapter charges the pass coarsely
 pub fn solve(
     ir: &CompiledInstance,
     config: &PrimalDualConfig,

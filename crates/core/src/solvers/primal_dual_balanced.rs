@@ -43,6 +43,7 @@ pub struct BalancedOutcome {
 }
 
 /// Run the prize-collecting primal-dual for the balanced objective.
+// lint:allow(budget): raise/cleanup passes are bounded by demands x witnesses; the runtime adapter charges the pass coarsely
 pub fn solve_balanced(
     ir: &CompiledInstance,
     config: &PrimalDualConfig,

@@ -19,6 +19,7 @@ use crate::ir::CompiledInstance;
 use crate::solution::Solution;
 
 /// Exact polynomial solver for |Q| = 1 and |ΔV| = 1.
+// lint:allow(budget): one scan of a single demand row, O(row length)
 pub fn solve_single_deletion(ir: &CompiledInstance) -> Result<Solution, CoreError> {
     crate::runtime::metrics::SOLVE_SINGLE_QUERY.inc();
     if ir.num_queries() != 1 {

@@ -54,6 +54,7 @@ pub fn solve(ir: &CompiledInstance) -> Solution {
     Solution::from_tuples(best.unwrap_or_default().into_iter().map(|b| ir.base(b)))
 }
 
+// lint:allow(budget): each iteration permanently discards one demand, O(demands) total
 fn search(
     demands: &[Vec<u32>],
     idx: usize,
@@ -86,6 +87,7 @@ fn search(
 
 /// Greedy hitting set: repeatedly delete the base tuple hitting the most
 /// not-yet-hit demands (ratio `H(‖ΔV‖)`).
+// lint:allow(budget): every round covers >= 1 uncovered demand, so <= num_demands rounds
 pub fn solve_greedy(ir: &CompiledInstance) -> Solution {
     crate::runtime::metrics::SOLVE_SOURCE.inc();
     let nd = ir.num_demands();
@@ -140,6 +142,7 @@ pub fn solve_greedy(ir: &CompiledInstance) -> Solution {
 /// leaves `Q_view` with no answers at all. Computed by treating every
 /// view tuple of that view as a demand and minimizing |ΔD| exactly.
 /// Stays `Problem`-based: it builds and compiles a modified instance.
+// lint:allow(budget): O(ids) relabeling pass over one view's solution
 pub fn resilience(problem: &Problem, view: usize) -> Solution {
     let mut all_marked = problem.clone();
     let ids: Vec<ViewTupleId> = all_marked

@@ -91,6 +91,7 @@ impl LpProblem {
     ///
     /// # Panics
     /// Panics on out-of-range variables or non-finite numbers.
+    // lint:allow(budget): O(terms) normalization of one constraint at build time
     pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
         assert!(rhs.is_finite(), "rhs must be finite");
         for &(v, c) in &terms {

@@ -65,6 +65,7 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
 /// (a cooperative work-budget checkpoint). When `tick` returns `false`
 /// the solve stops and reports [`LpOutcome::IterationLimit`], exactly as
 /// if the internal anti-cycling cap had fired.
+// lint:allow(budget): tableau assembly is one O(m*n) pass; the pivot loop in run_simplex ticks per iteration
 pub fn solve_with_ticker(problem: &LpProblem, tick: &mut dyn FnMut(u64) -> bool) -> LpOutcome {
     let n = problem.num_vars();
     let m = problem.constraints().len();
@@ -210,6 +211,7 @@ enum SimplexEnd {
 /// speed, switching to Bland's rule after a generous iteration budget so
 /// termination stays guaranteed on degenerate instances. Returns the
 /// optimal objective value `Σ cost[basis[i]]·b[i]` on success.
+// lint:allow(budget): per-iteration scans are bounded by the tableau; the enclosing pivot loop ticks once per iteration
 fn run_simplex(
     a: &mut Tableau,
     b: &mut [f64],
@@ -317,6 +319,7 @@ fn run_simplex(
 }
 
 /// Pivot the tableau: make column `j` basic in row `i`.
+// lint:allow(budget): one pivot is a single O(m*n) tableau sweep, ticked by run_simplex per iteration
 fn pivot(a: &mut Tableau, b: &mut [f64], basis: &mut [usize], i: usize, j: usize) {
     let p = a.at(i, j);
     debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");

@@ -55,6 +55,7 @@ pub fn solve(instance: &RedBlueInstance, config: ExactConfig) -> ExactResult {
 /// `tick` (a cooperative work-budget checkpoint). When `tick` returns
 /// `false` the search truncates exactly as if the node limit had fired:
 /// the best solution so far is returned with `proven_optimal == false`.
+// lint:allow(budget): the CSR build is O(nnz); node expansion below ticks in TICK_BATCH batches
 pub fn solve_with_ticker(
     instance: &RedBlueInstance,
     config: ExactConfig,
@@ -117,6 +118,7 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
+    // lint:allow(budget): candidate scans are O(words) per node and every node is ticked in batches via self.tick
     fn recurse(
         &mut self,
         covered_blue: &BitSet,

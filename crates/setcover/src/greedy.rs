@@ -35,6 +35,7 @@ pub fn cover(instance: &RedBlueInstance) -> Option<SetSelection> {
 /// the subinstance keeping only active sets (in original index order), but
 /// with original set indices and **no instance clone** — the τ-sweep in
 /// [`crate::lowdeg`] calls this once per threshold.
+// lint:allow(budget): each round covers >= 1 new blue so <= num_blue rounds of O(nnz) scans; callers charge the cover coarsely
 pub fn cover_restricted(instance: &RedBlueInstance, active: &BitSet) -> Option<SetSelection> {
     let num_blue = instance.num_blue();
     let num_sets = instance.sets().len();

@@ -30,6 +30,7 @@ impl BitMatrix {
 
     /// Build from an iterator of rows, each an iterator of set column
     /// indices. `rows` must match the iterator length exactly.
+    // lint:allow(budget): O(nnz) constructor; the cost is borne once by the caller
     pub fn from_rows<R, I>(rows: usize, cols: usize, row_iter: R) -> Self
     where
         R: IntoIterator<Item = I>,

@@ -39,6 +39,7 @@ impl BitSet {
     }
 
     /// Bitset over `0..capacity` with the given (in-range) indices set.
+    // lint:allow(budget): O(words) primitive; callers charge per operation
     pub fn from_indices(capacity: usize, indices: impl IntoIterator<Item = usize>) -> Self {
         let mut s = BitSet::new(capacity);
         for i in indices {
@@ -105,6 +106,7 @@ impl BitSet {
     }
 
     /// OR another bitset into this one (capacities must match).
+    // lint:allow(budget): O(words) primitive; callers charge per operation
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.capacity, other.capacity);
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
@@ -115,6 +117,7 @@ impl BitSet {
     /// OR a packed row over the same universe into this bitset. The row
     /// must come from a matrix/bitset with this capacity, so its tail bits
     /// are zero and the invariant holds.
+    // lint:allow(budget): O(words) primitive; callers charge per operation
     pub fn union_with_words(&mut self, row: &[u64]) {
         debug_assert_eq!(row.len(), self.blocks.len(), "universe mismatch");
         for (a, b) in self.blocks.iter_mut().zip(row) {
@@ -167,6 +170,7 @@ impl BitSet {
     }
 
     /// First unset bit below capacity, if any.
+    // lint:allow(budget): O(words) primitive; callers charge per operation
     pub fn first_unset(&self) -> Option<usize> {
         for (bi, &block) in self.blocks.iter().enumerate() {
             if block != u64::MAX {
@@ -191,6 +195,7 @@ impl Default for BitSet {
 
 impl FromIterator<usize> for BitSet {
     /// Collect indices into a bitset sized to the maximum index + 1.
+    // lint:allow(budget): O(words) primitive; callers charge per operation
     fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
         let items: Vec<usize> = iter.into_iter().collect();
         let cap = items.iter().copied().max().map_or(0, |m| m + 1);

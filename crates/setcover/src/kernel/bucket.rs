@@ -100,6 +100,7 @@ impl BucketQueue {
     }
 
     /// Pop an item with the minimum key (arbitrary order within a bucket).
+    // lint:allow(budget): the cursor sweep is amortized O(keys) across the queue's lifetime
     pub fn pop_min(&mut self) -> Option<(usize, usize)> {
         if self.len == 0 {
             return None;
@@ -114,6 +115,7 @@ impl BucketQueue {
     }
 
     /// Visit every queued item as `(item, key)`, cheapest bucket first.
+    // lint:allow(budget): visits each live entry exactly once, O(live + keys)
     pub fn for_each_live(&self, mut f: impl FnMut(usize, usize)) {
         let mut remaining = self.len;
         for key in self.cursor..self.head.len() {

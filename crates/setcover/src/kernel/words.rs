@@ -39,6 +39,7 @@ pub fn count(a: &[u64]) -> usize {
 }
 
 /// OR `src` into `dst` (`src` must not be longer than `dst`).
+// lint:allow(budget): O(words) primitive; callers charge per operation
 pub fn union_into(dst: &mut [u64], src: &[u64]) {
     debug_assert!(src.len() <= dst.len());
     for (d, s) in dst.iter_mut().zip(src) {

@@ -64,6 +64,7 @@ fn attempt_with_mask(instance: &RedBlueInstance, tau: usize, active: &BitSet) ->
 /// Sets sit in a monotone bucket queue keyed by red degree; each τ-step
 /// drains exactly the bucket of sets becoming active, so the sweep's
 /// activation work is O(|𝒞|) total instead of O(|𝒞|·max_degree).
+// lint:allow(budget): tau-sweep bounded by max_degree; each cover call is one bounded greedy pass
 pub fn solve(instance: &RedBlueInstance) -> Option<SetSelection> {
     let num_sets = instance.sets().len();
     let max_degree = instance.max_red_degree();

@@ -68,6 +68,7 @@ impl PosNegInstance {
     ///
     /// # Panics
     /// Panics on negative/non-finite weights or out-of-range members.
+    // lint:allow(budget): O(sets + nnz) constructor validation
     pub fn with_weights(pos_weights: Vec<f64>, neg_weights: Vec<f64>, sets: Vec<PnSet>) -> Self {
         assert!(
             pos_weights
@@ -142,6 +143,7 @@ impl PosNegInstance {
 
     /// Cost of a selection: uncovered-positive weight + covered-negative
     /// weight. Every selection (including the empty one) is feasible.
+    // lint:allow(budget): O(selection * words) evaluation of a fixed selection
     pub fn cost(&self, selection: &[usize]) -> f64 {
         let mut pos_covered = BitSet::new(self.num_pos());
         let mut neg_covered = BitSet::new(self.num_neg());

@@ -76,6 +76,7 @@ impl RedBlueInstance {
     /// # Panics
     /// Panics if weights length ≠ `num_red`, any weight is negative or
     /// non-finite, or any set references an out-of-range element.
+    // lint:allow(budget): O(sets + nnz) constructor validation
     pub fn with_weights(
         num_red: usize,
         num_blue: usize,
@@ -149,6 +150,7 @@ impl RedBlueInstance {
 
     /// Whether every blue element is covered by some set (a feasible
     /// solution exists iff this holds).
+    // lint:allow(budget): one O(nnz) union over blue rows
     pub fn is_coverable(&self) -> bool {
         let mut covered = BitSet::new(self.num_blue);
         for si in 0..self.sets.len() {
@@ -158,6 +160,7 @@ impl RedBlueInstance {
     }
 
     /// Blue elements covered by `selection`, as a bitset.
+    // lint:allow(budget): O(selection * words) evaluation of a fixed selection
     pub fn covered_blue(&self, selection: &[usize]) -> BitSet {
         let mut covered = BitSet::new(self.num_blue);
         for &si in selection {
@@ -167,6 +170,7 @@ impl RedBlueInstance {
     }
 
     /// Red elements covered by `selection`, as a bitset.
+    // lint:allow(budget): O(selection * words) evaluation of a fixed selection
     pub fn covered_red(&self, selection: &[usize]) -> BitSet {
         let mut covered = BitSet::new(self.num_red);
         for &si in selection {
@@ -198,6 +202,7 @@ impl RedBlueInstance {
 }
 
 impl fmt::Display for RedBlueInstance {
+    // lint:allow(budget): Display renders each set once, O(nnz)
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,

@@ -32,6 +32,7 @@ pub struct PosNegAsRedBlue {
 /// `p` uncovered. Costs are preserved exactly:
 /// `OPT_RB = OPT_PN`, and any Red-Blue solution maps back to a Pos-Neg
 /// selection of no greater cost.
+// lint:allow(budget): O(pos) image construction
 pub fn posneg_to_redblue(pn: &PosNegInstance) -> PosNegAsRedBlue {
     let num_neg = pn.num_neg();
     let num_pos = pn.num_pos();
