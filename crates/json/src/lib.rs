@@ -131,8 +131,10 @@ impl Json {
                 let mut keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
                 keys.sort_unstable();
                 for w in keys.windows(2) {
-                    if w[0] == w[1] {
-                        return Some(w[0]);
+                    if let [a, b] = w {
+                        if a == b {
+                            return Some(a);
+                        }
                     }
                 }
                 pairs.iter().find_map(|(_, v)| v.find_duplicate_key())
@@ -244,7 +246,13 @@ pub fn parse(text: &str) -> Result<Json, String> {
     Ok(value)
 }
 
+/// The bytes from `pos` on; empty past the end (never panics).
+fn tail(bytes: &[u8], pos: usize) -> &[u8] {
+    bytes.get(pos..).unwrap_or_default()
+}
+
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    // lint:allow(panic): index guarded by the same-line length check
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
     }
@@ -305,26 +313,29 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
         }
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+        Some(b't') if tail(bytes, *pos).starts_with(b"true") => {
             *pos += 4;
             Ok(Json::Bool(true))
         }
-        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+        Some(b'f') if tail(bytes, *pos).starts_with(b"false") => {
             *pos += 5;
             Ok(Json::Bool(false))
         }
-        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+        Some(b'n') if tail(bytes, *pos).starts_with(b"null") => {
             *pos += 4;
             Ok(Json::Null)
         }
         Some(_) => {
             let start = *pos;
+            // lint:allow(panic): index guarded by the length check in the
+            // same `while` condition
             while *pos < bytes.len()
                 && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
             {
                 *pos += 1;
             }
-            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            let text = std::str::from_utf8(bytes.get(start..*pos).unwrap_or_default())
+                .map_err(|e| e.to_string())?;
             text.parse::<f64>()
                 .map(Json::Num)
                 .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
@@ -371,7 +382,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
             _ => {
                 // Multi-byte UTF-8: copy the whole char.
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let rest = std::str::from_utf8(tail(bytes, *pos)).map_err(|e| e.to_string())?;
                 let c = rest.chars().next().ok_or("unexpected end in string")?;
                 out.push(c);
                 *pos += c.len_utf8();

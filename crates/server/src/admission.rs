@@ -227,12 +227,16 @@ impl<'a> QueuedSlot<'a> {
 
     /// The locked gate state.
     fn state(&mut self) -> &mut GateState {
+        // lint:allow(panic): slot protocol — `guard` is only vacated by
+        // `admit`/`wait`, which restore it or consume `self`
         self.guard.as_mut().expect("queued slot already released")
     }
 
     /// Block on `freed` for at most `dur`, reacquiring the lock (and
     /// with it the guard) before returning.
     fn wait(&mut self, freed: &Condvar, dur: Duration) {
+        // lint:allow(panic): slot protocol — `guard` is present between
+        // public calls; `wait` itself restores it before returning
         let guard = self.guard.take().expect("queued slot already released");
         let guard = freed
             .wait_timeout(guard, dur)
@@ -244,7 +248,10 @@ impl<'a> QueuedSlot<'a> {
     /// Leave the queue for admission: decrement `queued` and hand the
     /// guard back so the caller can take an inflight slot atomically.
     fn admit(mut self) -> MutexGuard<'a, GateState> {
+        // lint:allow(panic): slot protocol — `admit` consumes the slot,
+        // so the guard is still present and `queued` counts this slot
         let mut guard = self.guard.take().expect("queued slot already released");
+        // lint:allow(panic): accounting invariant — queued >= 1 here
         guard.queued = guard
             .queued
             .checked_sub(1)
@@ -256,6 +263,9 @@ impl<'a> QueuedSlot<'a> {
 impl Drop for QueuedSlot<'_> {
     fn drop(&mut self) {
         if let Some(mut guard) = self.guard.take() {
+            // This decrement pairs with the increment in `claim`;
+            // underflow is a bug worth a loud crash in the accept loop.
+            // lint:allow(panic): accounting invariant, see above
             guard.queued = guard
                 .queued
                 .checked_sub(1)
@@ -281,11 +291,16 @@ impl fmt::Debug for Permit<'_> {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         let mut st = self.gate.lock();
+        // Each Permit decrements exactly once what its issue
+        // incremented.
+        // lint:allow(panic): accounting invariant, see above
         st.inflight = st
             .inflight
             .checked_sub(1)
             .expect("admission inflight counter underflow");
         if let Some(n) = st.per_tenant.get_mut(&self.tenant) {
+            // The per-tenant count covers every outstanding Permit.
+            // lint:allow(panic): accounting invariant, see above
             *n = n
                 .checked_sub(1)
                 .expect("admission per-tenant counter underflow");

@@ -143,7 +143,7 @@ struct Shared {
 
 impl Shared {
     fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::Acquire)
+        self.shutdown.load(Ordering::Acquire) // ordering: pairs with the AcqRel swap in shutdown()
     }
 }
 
@@ -247,6 +247,9 @@ impl Daemon {
 
     /// Orderly shutdown: shed, cancel, wake, join. Idempotent.
     pub fn shutdown(&mut self) {
+        // ordering: AcqRel — the winning swap publishes everything
+        // written before shutdown was requested; losers acquire it and
+        // return without re-running the teardown.
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -306,6 +309,8 @@ fn handle_conn(shared: &Shared, mut stream: Box<dyn ConnStream>) {
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // clean EOF
+            // lint:allow(panic): io::Read contract — a successful read
+            // returns n <= chunk.len()
             Ok(n) => frames.extend(&chunk[..n]),
             Err(e)
                 if matches!(
@@ -432,6 +437,8 @@ fn handle_request(shared: &Shared, payload: &[u8]) -> Response {
                 // the queue solves the freshest epoch.
                 let snap = shared.cell.snapshot();
                 let portfolio = (shared.portfolio)(req.objective);
+                // ordering: Relaxed — only uniqueness of the ticket
+                // matters (seed derivation), not its order.
                 let seq = shared.request_seq.fetch_add(1, Ordering::Relaxed);
                 let seed = shared.seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 match engine::serve_solve(

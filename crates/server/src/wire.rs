@@ -47,6 +47,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < 4 {
+        // lint:allow(panic): `got < 4` is the loop condition, so the
+        // range start never passes the array length
         let n = r.read(&mut len[got..])?;
         if n == 0 {
             return if got == 0 {
@@ -96,18 +98,18 @@ impl FrameBuffer {
     /// the stream is corrupt (oversized frame) and the connection must
     /// be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, String> {
-        if self.buf.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        let &[b0, b1, b2, b3, ..] = self.buf.as_slice() else {
+            return Ok(None); // fewer than 4 bytes: no length prefix yet
+        };
+        let len = u32::from_be_bytes([b0, b1, b2, b3]);
         if len > MAX_FRAME {
             return Err(format!("frame of {len} bytes exceeds MAX_FRAME"));
         }
         let total = 4 + len as usize;
-        if self.buf.len() < total {
-            return Ok(None);
-        }
-        let frame = self.buf[4..total].to_vec();
+        let Some(frame) = self.buf.get(4..total) else {
+            return Ok(None); // body not fully buffered yet
+        };
+        let frame = frame.to_vec();
         self.buf.drain(..total);
         Ok(Some(frame))
     }
@@ -491,14 +493,12 @@ impl Response {
                 let mut deleted = Vec::new();
                 if let Some(arr) = j.get("deleted").and_then(Json::as_arr) {
                     for d in arr {
-                        let pair = d
+                        let [r, i] = d
                             .as_arr()
+                            .and_then(|p| <&[Json; 2]>::try_from(p).ok())
                             .ok_or("`deleted` entries must be [relation, index]")?;
-                        if pair.len() != 2 {
-                            return Err("`deleted` entries must be [relation, index]".to_string());
-                        }
-                        let r = pair[0].as_num().ok_or("non-numeric relation")?;
-                        let i = pair[1].as_num().ok_or("non-numeric index")?;
+                        let r = r.as_num().ok_or("non-numeric relation")?;
+                        let i = i.as_num().ok_or("non-numeric index")?;
                         deleted.push((r as usize, i as usize));
                     }
                 }
@@ -622,14 +622,14 @@ fn parse_pairs(j: &Json, key: &str) -> Result<Vec<(usize, usize)>, String> {
     let mut out = Vec::new();
     if let Some(arr) = j.get(key).and_then(Json::as_arr) {
         for d in arr {
-            let pair = d
+            let [v, i] = d
                 .as_arr()
-                .filter(|p| p.len() == 2)
+                .and_then(|p| <&[Json; 2]>::try_from(p).ok())
                 .ok_or_else(|| format!("`{key}` entries must be [view, index]"))?;
-            let v = pair[0]
+            let v = v
                 .as_num()
                 .ok_or_else(|| format!("non-numeric view in `{key}`"))?;
-            let i = pair[1]
+            let i = i
                 .as_num()
                 .ok_or_else(|| format!("non-numeric index in `{key}`"))?;
             out.push((v as usize, i as usize));
